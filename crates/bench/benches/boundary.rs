@@ -1,0 +1,30 @@
+//! Criterion bench: boundary-curve extraction and per-point zone encoding of
+//! the behavioural monitor model, plus one transistor-level boundary solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xy_monitor::{boundary_y_at, netlist, table1_comparators, trace_boundary, Window, ZonePartition};
+
+fn bench_boundary(c: &mut Criterion) {
+    let comparators = table1_comparators().expect("table 1");
+    let window = Window::unit();
+    let partition = ZonePartition::paper_default().expect("partition");
+
+    c.bench_function("zone_code_single_point", |b| {
+        b.iter(|| partition.zone_code(0.43, 0.61))
+    });
+
+    c.bench_function("behavioural_boundary_single_abscissa", |b| {
+        b.iter(|| boundary_y_at(&comparators[2], 0.5, &window).expect("boundary"))
+    });
+
+    c.bench_function("behavioural_boundary_full_curve_101pts", |b| {
+        b.iter(|| trace_boundary(&comparators[2], &window, 101))
+    });
+
+    c.bench_function("transistor_level_boundary_single_abscissa", |b| {
+        b.iter(|| netlist::netlist_boundary_y_at(&comparators[2], 0.5, &window).expect("boundary"))
+    });
+}
+
+criterion_group!(benches, bench_boundary);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: signature capture throughput (samples -> signature).
+//!
+//! Measures the cost of mapping one Lissajous period of observed samples to a
+//! digital signature with the six-monitor partition and the straight-line
+//! baseline, at several observation sample rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cut_filters::BiquadParams;
+use dsig_core::{capture_signature, CaptureClock, LinearZoning};
+use sim_signal::MultitoneSpec;
+use xy_monitor::ZonePartition;
+
+fn bench_capture(c: &mut Criterion) {
+    let partition = ZonePartition::paper_default().expect("partition");
+    let linear = LinearZoning::paper_comparable();
+    let clock = CaptureClock::paper_default();
+    let stimulus = MultitoneSpec::paper_default();
+    let params = BiquadParams::paper_default();
+
+    let mut group = c.benchmark_group("signature_capture");
+    for &rate in &[0.5e6, 1e6, 2e6] {
+        let x = stimulus.sample(1, rate);
+        let y = params.steady_state_response(&stimulus, 1, rate);
+        group.bench_with_input(BenchmarkId::new("nonlinear_partition", rate as u64), &rate, |b, _| {
+            b.iter(|| capture_signature(&partition, &x, &y, Some(&clock)).expect("capture"))
+        });
+        group.bench_with_input(BenchmarkId::new("straight_line_baseline", rate as u64), &rate, |b, _| {
+            b.iter(|| capture_signature(&linear, &x, &y, Some(&clock)).expect("capture"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

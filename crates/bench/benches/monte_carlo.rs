@@ -1,0 +1,30 @@
+//! Criterion bench: Monte Carlo throughput of the process-variation model
+//! (the Fig. 4 envelope generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xy_monitor::{monte_carlo_envelope, table1_comparators, ProcessVariation, Window};
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let comparators = table1_comparators().expect("table 1");
+    let variation = ProcessVariation::nominal_65nm();
+    let window = Window::unit();
+
+    c.bench_function("sample_one_varied_monitor_instance", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| variation.sample_comparator(&comparators[2], &mut rng).expect("instance"))
+    });
+
+    let mut group = c.benchmark_group("fig4_envelope");
+    group.sample_size(10);
+    for &instances in &[10usize, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(instances), &instances, |b, &n| {
+            b.iter(|| monte_carlo_envelope(&comparators[2], &variation, &window, 21, n, 3).expect("envelope"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: NDF computation and the full per-device evaluation used
+//! by the Fig. 8 sweep (signature capture + comparison + decision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cut_filters::BiquadParams;
+use dsig_core::{ndf, TestFlow, TestSetup};
+
+fn bench_ndf(c: &mut Criterion) {
+    let setup = TestSetup::paper_default()
+        .expect("setup")
+        .with_sample_rate(1e6)
+        .expect("rate");
+    let flow = TestFlow::new(setup, BiquadParams::paper_default()).expect("flow");
+    let golden = flow.golden().clone();
+    let observed = flow
+        .setup()
+        .signature_of(&BiquadParams::paper_default().with_f0_shift_pct(10.0), 3)
+        .expect("signature");
+
+    c.bench_function("ndf_comparison_only", |b| {
+        b.iter(|| ndf(&golden, &observed).expect("ndf"))
+    });
+
+    c.bench_function("full_device_evaluation", |b| {
+        let cut = BiquadParams::paper_default().with_f0_shift_pct(7.0);
+        b.iter(|| flow.evaluate(&cut, 11).expect("evaluate"))
+    });
+
+    c.bench_function("fig8_five_point_sweep", |b| {
+        b.iter(|| flow.sweep_f0(&[-10.0, -5.0, 0.0, 5.0, 10.0]).expect("sweep"))
+    });
+}
+
+criterion_group!(benches, bench_ndf);
+criterion_main!(benches);

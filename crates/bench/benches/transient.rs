@@ -1,0 +1,44 @@
+//! Criterion bench: cost of the circuit-level substrates — the MNA transient
+//! simulation of the Tow-Thomas Biquad and the RK4 state-space model — for
+//! one Lissajous period of the paper's stimulus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cut_filters::{BiquadParams, StateSpaceSim, TowThomasDesign};
+use sim_signal::MultitoneSpec;
+use sim_spice::{transient, SourceWaveform, Tone, TransientConfig};
+
+fn bench_transient(c: &mut Criterion) {
+    let params = BiquadParams::paper_default();
+    let stimulus = MultitoneSpec::paper_default();
+
+    c.bench_function("analytic_steady_state_one_period", |b| {
+        b.iter(|| params.steady_state_response(&stimulus, 1, 1e6))
+    });
+
+    c.bench_function("rk4_state_space_one_period", |b| {
+        let sim = StateSpaceSim::new(params, 2e-7).expect("sim");
+        b.iter(|| sim.simulate_multitone(&stimulus, 1, 1))
+    });
+
+    c.bench_function("mna_tow_thomas_one_period", |b| {
+        let design = TowThomasDesign::from_params(&params).expect("design");
+        let src = SourceWaveform::Multitone {
+            offset: stimulus.offset(),
+            tones: stimulus
+                .tones()
+                .iter()
+                .map(|t| Tone {
+                    amplitude: t.amplitude,
+                    frequency_hz: stimulus.fundamental_hz() * t.harmonic as f64,
+                    phase_rad: t.phase_rad,
+                })
+                .collect(),
+        };
+        let built = design.build_netlist(src).expect("netlist");
+        let config = TransientConfig::new(stimulus.period(), stimulus.period() / 1000.0);
+        b.iter(|| transient(&built.circuit, &config).expect("transient"))
+    });
+}
+
+criterion_group!(benches, bench_transient);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation study of the design choices called out in DESIGN.md: how the NDF
+//! sensitivity and the noise floor depend on the number of monitors in the
+//! bank, the capture-clock frequency, the counter width and the transition
+//! detector's minimum dwell.
+//!
+//! Run with: `cargo run -p repro-bench --bin ablation_design`
+
+use cut_filters::BiquadParams;
+use dsig_core::{CaptureClock, TestFlow, TestSetup};
+use repro_bench::{banner, REPRO_SAMPLE_RATE};
+use sim_signal::NoiseModel;
+use xy_monitor::{table1_comparators, ZonePartition};
+
+fn base_setup() -> Result<TestSetup, Box<dyn std::error::Error>> {
+    Ok(TestSetup::paper_default()?.with_sample_rate(REPRO_SAMPLE_RATE)?)
+}
+
+fn ndf_at(flow: &TestFlow, dev: f64) -> Result<f64, Box<dyn std::error::Error>> {
+    Ok(flow.evaluate(&BiquadParams::paper_default().with_f0_shift_pct(dev), 7)?.ndf)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Ablation — monitor count, capture clock, counter width, transition dwell",
+        "Each knob is varied in isolation; the score is the NDF at +5% / +10% f0 deviation.",
+    );
+    let reference = BiquadParams::paper_default();
+
+    // 1. Number of monitors in the bank (first k Table I curves).
+    println!("\n[1] number of monitors in the bank");
+    println!("{:>10} {:>14} {:>14} {:>14}", "monitors", "golden zones", "NDF @ +5%", "NDF @ +10%");
+    let all = table1_comparators()?;
+    for k in 1..=all.len() {
+        let setup = TestSetup { partition: ZonePartition::new(all[..k].to_vec())?, ..base_setup()? };
+        let flow = TestFlow::new(setup, reference)?;
+        println!(
+            "{:>10} {:>14} {:>14.4} {:>14.4}",
+            k,
+            flow.golden().distinct_zones(),
+            ndf_at(&flow, 5.0)?,
+            ndf_at(&flow, 10.0)?
+        );
+    }
+
+    // 2. Capture-clock frequency (counter width fixed at 16 bits so the
+    //    counter never saturates).
+    println!("\n[2] master-clock frequency (16-bit counter)");
+    println!("{:>14} {:>14} {:>14}", "clock (MHz)", "NDF @ +5%", "NDF @ +10%");
+    for clock_mhz in [0.25, 1.0, 10.0, 100.0] {
+        let setup = TestSetup {
+            clock: Some(CaptureClock::new(clock_mhz * 1e6, 16)?),
+            ..base_setup()?
+        };
+        let flow = TestFlow::new(setup, reference)?;
+        println!("{:>14.2} {:>14.4} {:>14.4}", clock_mhz, ndf_at(&flow, 5.0)?, ndf_at(&flow, 10.0)?);
+    }
+
+    // 3. Counter width at the paper's 10 MHz clock: narrow counters saturate
+    //    on long dwells and distort the signature.
+    println!("\n[3] interval-counter width (10 MHz clock)");
+    println!("{:>14} {:>16} {:>14}", "counter bits", "max dwell (us)", "NDF @ +10%");
+    for bits in [6u32, 8, 10, 12] {
+        let clock = CaptureClock::new(10e6, bits)?;
+        let setup = TestSetup { clock: Some(clock), ..base_setup()? };
+        let flow = TestFlow::new(setup, reference)?;
+        println!(
+            "{:>14} {:>16.1} {:>14.4}",
+            bits,
+            clock.max_ticks() as f64 * clock.tick() * 1e6,
+            ndf_at(&flow, 10.0)?
+        );
+    }
+
+    // 4. Transition-detector minimum dwell under the paper's noise level.
+    println!("\n[4] transition-detector minimum dwell (noise 3-sigma = 15 mV)");
+    println!("{:>16} {:>16} {:>14}", "min dwell (us)", "NDF floor (max)", "NDF @ +10%");
+    for min_dwell_us in [0.0, 1.0, 2.0, 5.0] {
+        let setup = TestSetup {
+            transition_min_dwell: min_dwell_us * 1e-6,
+            ..base_setup()?.with_noise(NoiseModel::paper_default())
+        };
+        let flow = TestFlow::new(setup, reference)?;
+        let (_, floor_max) = flow.noise_floor(3, 4, 100)?;
+        println!(
+            "{:>16.1} {:>16.4} {:>14.4}",
+            min_dwell_us,
+            floor_max,
+            flow.evaluate_averaged(&reference.with_f0_shift_pct(10.0), 4, 7)?.ndf
+        );
+    }
+
+    println!("\nTakeaways: sensitivity saturates once the bank creates enough zones along the");
+    println!("trajectory; the 10 MHz / 12-bit capture point of the paper is already in the");
+    println!("quantization-insensitive regime; counters narrower than ~8 bits saturate on the");
+    println!("longest dwells and distort the signature; a 1-2 us minimum dwell suppresses noise");
+    println!("chatter without eating into the genuine zone traversals.");
+    Ok(())
+}

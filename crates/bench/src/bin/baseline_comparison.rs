@@ -1,0 +1,60 @@
+//! Extension experiment: the paper's nonlinear-boundary zoning versus the
+//! prior-work straight-line zoning and a raw waveform-comparison baseline,
+//! swept over the same Fig. 8 f0 deviations.
+//!
+//! Run with: `cargo run -p repro-bench --bin baseline_comparison`
+
+use cut_filters::BiquadParams;
+use dsig_core::{capture_signature, ndf, normalized_output_error, LinearZoning, TestSetup};
+use repro_bench::{banner, REPRO_SAMPLE_RATE};
+use sim_signal::MultitoneSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Baseline comparison — nonlinear zoning vs straight-line zoning vs raw waveform error",
+        "All methods score the same f0 deviations; the signature methods share the capture hardware model.",
+    );
+
+    let setup = TestSetup::paper_default()?.with_sample_rate(REPRO_SAMPLE_RATE)?;
+    let reference = BiquadParams::paper_default();
+    let linear = LinearZoning::paper_comparable();
+    let stimulus = MultitoneSpec::paper_default();
+
+    // Golden references for each method.
+    let (xg, yg) = setup.observe(&reference, 0);
+    let golden_nonlinear = capture_signature(&setup.partition, &xg, &yg, setup.clock.as_ref())?;
+    let golden_linear = capture_signature(&linear, &xg, &yg, setup.clock.as_ref())?;
+    let golden_waveform = reference.steady_state_response(&stimulus, 1, REPRO_SAMPLE_RATE);
+
+    println!(
+        "\n{:>12} {:>18} {:>18} {:>18}",
+        "f0 dev (%)", "NDF nonlinear", "NDF straight-line", "norm. RMS error"
+    );
+    let mut rows = Vec::new();
+    for dev in [-20.0, -15.0, -10.0, -5.0, -2.0, 0.0, 2.0, 5.0, 10.0, 15.0, 20.0] {
+        let cut = reference.with_f0_shift_pct(dev);
+        let (x, y) = setup.observe(&cut, 1);
+        let nonlinear = ndf(&golden_nonlinear, &capture_signature(&setup.partition, &x, &y, setup.clock.as_ref())?)?;
+        let straight = ndf(&golden_linear, &capture_signature(&linear, &x, &y, setup.clock.as_ref())?)?;
+        let waveform = normalized_output_error(
+            &golden_waveform,
+            &cut.steady_state_response(&stimulus, 1, REPRO_SAMPLE_RATE),
+        )?;
+        println!("{dev:>12.0} {nonlinear:>18.4} {straight:>18.4} {waveform:>18.4}");
+        rows.push((dev, nonlinear, straight, waveform));
+    }
+
+    // Sensitivity summary around small deviations.
+    let slope = |col: fn(&(f64, f64, f64, f64)) -> f64| {
+        let p = rows.iter().find(|r| r.0 == 5.0).expect("5% point");
+        let m = rows.iter().find(|r| r.0 == -5.0).expect("-5% point");
+        (col(p) + col(m)) / 10.0
+    };
+    println!("\naverage sensitivity per % of deviation (from the ±5% points):");
+    println!("  nonlinear zoning NDF : {:.4}", slope(|r| r.1));
+    println!("  straight-line NDF    : {:.4}", slope(|r| r.2));
+    println!("  normalized RMS error : {:.4}", slope(|r| r.3));
+    println!("\nThe nonlinear boundaries need far smaller monitors (no weighted adders) while");
+    println!("retaining comparable sensitivity — the motivation given in §II/§III of the paper.");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Fig. 4 reproduction: the experimental control (boundary) curves of the six
+//! Table I configurations, together with the Monte Carlo envelope predicted
+//! by the process/mismatch variation model.
+//!
+//! Run with: `cargo run -p repro-bench --bin fig4_boundaries`
+
+use repro_bench::{ascii_plot, banner};
+use xy_monitor::{monte_carlo_envelope, table1_comparators, trace_boundary, ProcessVariation, Window};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Fig. 4 — control curves of the six Table I monitor configurations",
+        "Nominal boundary curves plus the Monte Carlo envelope (process + mismatch).",
+    );
+
+    let comparators = table1_comparators()?;
+    let window = Window::unit();
+    let variation = ProcessVariation::nominal_65nm();
+
+    // Overlay of all six nominal boundary curves.
+    let curves: Vec<_> = comparators.iter().map(|m| trace_boundary(m, &window, 121)).collect();
+    let series: Vec<(&str, &[(f64, f64)])> = curves
+        .iter()
+        .map(|c| (c.label.as_str(), c.points.as_slice()))
+        .collect();
+    println!("\nNominal boundary curves in the [0,1]x[0,1] V window:");
+    println!("{}", ascii_plot(&series, (0.0, 1.0), (0.0, 1.0), 61, 25));
+
+    println!("{:<10} {:>8} {:>12} {:>18} {:>22}", "curve", "points", "mean slope", "nonlinearity (V)", "MC half-width (mV)");
+    for (m, curve) in comparators.iter().zip(&curves) {
+        let envelope = monte_carlo_envelope(m, &variation, &window, 41, 100, 42)?;
+        println!(
+            "{:<10} {:>8} {:>12} {:>18} {:>22.1}",
+            curve.label,
+            curve.len(),
+            curve.mean_slope().map(|s| format!("{s:+.2}")).unwrap_or_else(|| "n/a".into()),
+            curve
+                .max_deviation_from_line()
+                .map(|d| format!("{d:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            envelope.mean_half_width() * 1e3,
+        );
+    }
+
+    println!();
+    println!("CSV (x, y) per curve:");
+    for curve in &curves {
+        println!("# {}", curve.label);
+        for &(x, y) in &curve.points {
+            println!("{x:.3},{y:.4}");
+        }
+    }
+    Ok(())
+}

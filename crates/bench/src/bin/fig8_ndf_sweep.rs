@@ -1,0 +1,48 @@
+//! Fig. 8 reproduction: the normalized discrepancy factor as a function of
+//! the deviation of the Biquad natural frequency f0, from -20 % to +20 %,
+//! together with the PASS/FAIL bands for a chosen tolerance.
+//!
+//! Run with: `cargo run -p repro-bench --bin fig8_ndf_sweep`
+
+use dsig_core::AcceptanceBand;
+use repro_bench::{ascii_plot, banner, paper_flow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Fig. 8 — normalized discrepancy factor vs f0 deviation (-20% .. +20%)",
+        "The paper reports an almost linear, roughly symmetric characteristic with PASS/FAIL bands.",
+    );
+
+    let flow = paper_flow()?;
+    let deviations: Vec<f64> = (-20..=20).map(|d| d as f64).collect();
+    let sweep = flow.sweep_f0(&deviations)?;
+
+    // PASS/FAIL bands for a ±5% tolerance, as drawn in Fig. 8.
+    let tolerance_pct = 5.0;
+    let pairs: Vec<(f64, f64)> = sweep.iter().map(|p| (p.deviation_pct, p.ndf)).collect();
+    let band = AcceptanceBand::calibrate(&pairs, tolerance_pct)?;
+
+    println!("\n{:>12} {:>10} {:>10}", "f0 dev (%)", "NDF", "verdict");
+    for point in &sweep {
+        println!(
+            "{:>12.0} {:>10.4} {:>10}",
+            point.deviation_pct,
+            point.ndf,
+            band.decide(point.ndf).to_string()
+        );
+    }
+
+    let max_ndf = sweep.iter().map(|p| p.ndf).fold(0.0_f64, f64::max);
+    let points: Vec<(f64, f64)> = sweep.iter().map(|p| (p.deviation_pct, p.ndf)).collect();
+    println!("\nNDF vs deviation (x: -20%..+20%, y: 0..{max_ndf:.3}):");
+    println!("{}", ascii_plot(&[("NDF", &points)], (-20.0, 20.0), (0.0, max_ndf.max(1e-3)), 61, 19));
+
+    // Shape metrics the paper highlights: near-linearity and symmetry.
+    let ndf_at = |d: f64| sweep.iter().find(|p| p.deviation_pct == d).map(|p| p.ndf).unwrap_or(0.0);
+    println!("acceptance band for ±{tolerance_pct}% tolerance: NDF <= {:.4}", band.ndf_threshold);
+    println!("NDF(+10%) / NDF(+5%)  = {:.2}  (linear => ~2)", ndf_at(10.0) / ndf_at(5.0).max(1e-12));
+    println!("NDF(+20%) / NDF(+10%) = {:.2}  (linear => ~2)", ndf_at(20.0) / ndf_at(10.0).max(1e-12));
+    println!("NDF(+10%) / NDF(-10%) = {:.2}  (symmetric => ~1)", ndf_at(10.0) / ndf_at(-10.0).max(1e-12));
+    println!("NDF(+20%) / NDF(-20%) = {:.2}  (symmetric => ~1)", ndf_at(20.0) / ndf_at(-20.0).max(1e-12));
+    Ok(())
+}

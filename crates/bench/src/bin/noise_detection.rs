@@ -1,0 +1,57 @@
+//! §IV-C reproduction: detection of small f0 deviations in the presence of
+//! white measurement noise with a 3-sigma spread of 0.015 V.
+//!
+//! The paper claims deviations as low as 1 % of the natural frequency are
+//! detected under this noise level.
+//!
+//! Run with: `cargo run -p repro-bench --bin noise_detection`
+
+use cut_filters::BiquadParams;
+use dsig_core::{AcceptanceBand, TestFlow, TestSetup};
+use repro_bench::{banner, REPRO_SAMPLE_RATE};
+use sim_signal::NoiseModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "§IV-C — minimum detectable f0 deviation under measurement noise",
+        "Paper claim: with null-mean white noise, 3-sigma = 0.015 V, deviations of 1% are detected.",
+    );
+
+    let reference = BiquadParams::paper_default();
+    let repeats = 6;
+
+    println!(
+        "\n{:>16} {:>16} {:>16} {:>24}",
+        "noise 3-sigma (V)", "NDF floor (max)", "NDF @ 1% dev", "min detectable dev (%)"
+    );
+    for three_sigma in [0.0, 0.005, 0.015, 0.030, 0.060] {
+        let noise = if three_sigma == 0.0 {
+            NoiseModel::none()
+        } else {
+            NoiseModel::new(three_sigma / 3.0)
+        };
+        let setup = TestSetup::paper_default()?
+            .with_sample_rate(REPRO_SAMPLE_RATE)?
+            .with_noise(noise);
+        let flow = TestFlow::new(setup, reference)?;
+
+        let (_, floor_max) = flow.noise_floor(4, repeats, 100)?;
+        let band = AcceptanceBand::new(floor_max * 1.2 + 1e-4)?;
+        let ndf_1pct = flow
+            .evaluate_averaged(&reference.with_f0_shift_pct(1.0), repeats, 17)?
+            .ndf;
+        let min_dev = flow.minimum_detectable_deviation(&band, 10.0, repeats, 7)?;
+
+        println!(
+            "{:>16.3} {:>16.4} {:>16.4} {:>24}",
+            three_sigma,
+            floor_max,
+            ndf_1pct,
+            min_dev.map(|d| format!("{d:.2}")).unwrap_or_else(|| "> 10".into())
+        );
+    }
+
+    println!("\nAt the paper's noise level (3-sigma = 0.015 V) the minimum detectable deviation");
+    println!("should be on the order of 1%, reproducing the §IV-C claim; larger noise degrades it.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Table I + Fig. 2/3 reproduction: the six monitor input configurations,
+//! the behavioural vs transistor-level agreement of the monitor, and the
+//! layout-area model.
+//!
+//! Run with: `cargo run -p repro-bench --bin table1_monitor`
+
+use repro_bench::banner;
+use xy_monitor::area::{PAPER_MONITOR_CORE_AREA_UM2, PAPER_MONITOR_DIMENSIONS_UM, PAPER_MONITOR_TOTAL_AREA_UM2};
+use xy_monitor::{boundary_y_at, netlist, table1_comparators, table1_rows, AreaModel, Window};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Table I — input configuration for the six monitor control curves",
+        "Transistor widths (L = 180 nm) and the V1..V4 gate assignments, plus the area model of Fig. 3.",
+    );
+
+    let rows = table1_rows();
+    println!("\n{:<6} {:>8} {:>8} {:>8} {:>8}   {:<10} {:<10} {:<10} {:<10}", "curve", "M1 (nm)", "M2 (nm)", "M3 (nm)", "M4 (nm)", "V1", "V2", "V3", "V4");
+    for row in &rows {
+        println!(
+            "{:<6} {:>8.0} {:>8.0} {:>8.0} {:>8.0}   {:<10} {:<10} {:<10} {:<10}",
+            row.curve,
+            row.widths_nm[0],
+            row.widths_nm[1],
+            row.widths_nm[2],
+            row.widths_nm[3],
+            row.inputs[0].to_string(),
+            row.inputs[1].to_string(),
+            row.inputs[2].to_string(),
+            row.inputs[3].to_string(),
+        );
+    }
+
+    // Behavioural vs transistor-level (Fig. 2 netlist on the MNA engine).
+    println!("\nBehavioural vs transistor-level boundary ordinate (curve 3):");
+    println!("{:>8} {:>16} {:>16} {:>12}", "x (V)", "behavioural (V)", "netlist (V)", "|diff| (mV)");
+    let comparators = table1_comparators()?;
+    let window = Window::unit();
+    for &x in &[0.30, 0.40, 0.50, 0.60] {
+        let b = boundary_y_at(&comparators[2], x, &window)?;
+        let n = netlist::netlist_boundary_y_at(&comparators[2], x, &window)?;
+        println!("{x:>8.2} {b:>16.4} {n:>16.4} {:>12.1}", (b - n).abs() * 1e3);
+    }
+
+    // Area model (Fig. 3).
+    let model = AreaModel::calibrated_65nm();
+    println!("\nLayout area (first-order model calibrated against the paper):");
+    println!("  paper: core {:.2} um2 ({} x {} um), total per monitor {:.1} um2",
+        PAPER_MONITOR_CORE_AREA_UM2, PAPER_MONITOR_DIMENSIONS_UM.0, PAPER_MONITOR_DIMENSIONS_UM.1, PAPER_MONITOR_TOTAL_AREA_UM2);
+    println!("{:<8} {:>16} {:>16}", "curve", "core (um2)", "total (um2)");
+    for (row, comparator) in rows.iter().zip(&comparators) {
+        println!(
+            "{:<8} {:>16.1} {:>16.1}",
+            row.curve,
+            model.core_area_um2(comparator),
+            model.total_area_um2(comparator)
+        );
+    }
+    println!("six-monitor bank total: {:.0} um2", model.bank_area_um2(comparators.iter()));
+    Ok(())
+}

@@ -1,0 +1,242 @@
+//! Asynchronous signature capture (Fig. 5).
+//!
+//! The on-chip capture circuit watches the monitor outputs, detects code
+//! transitions asynchronously and records the time spent in each zone with an
+//! m-bit counter clocked by a master clock. This module models that capture
+//! over sampled `x(t)` / `y(t)` waveforms: any [`PointEncoder`] (a bank of
+//! nonlinear monitors, a straight-line zoning baseline, ...) maps samples to
+//! zone codes, and an optional [`CaptureClock`] quantizes the dwell times.
+
+use sim_signal::Waveform;
+use xy_monitor::ZonePartition;
+
+use crate::error::{DsigError, Result};
+use crate::signature::{Signature, SignatureEntry, ZoneCode};
+
+/// Anything that maps an `(x, y)` observation point to a digital zone code.
+///
+/// The paper's encoder is the bank of nonlinear current-comparator monitors
+/// ([`ZonePartition`]); the prior-work baseline uses straight lines
+/// ([`crate::baseline::LinearZoning`]).
+pub trait PointEncoder {
+    /// Number of bits (monitors) in the zone code.
+    fn bits(&self) -> usize;
+    /// The zone code of an observation point.
+    fn encode(&self, x: f64, y: f64) -> u32;
+}
+
+impl PointEncoder for ZonePartition {
+    fn bits(&self) -> usize {
+        ZonePartition::bits(self)
+    }
+
+    fn encode(&self, x: f64, y: f64) -> u32 {
+        self.zone_code(x, y)
+    }
+}
+
+/// The master-clock / counter model of the capture circuit (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureClock {
+    /// Master clock frequency in hertz.
+    pub frequency_hz: f64,
+    /// Width of the interval counter in bits (`m` in the paper).
+    pub counter_bits: u32,
+}
+
+impl CaptureClock {
+    /// Creates a capture clock.
+    ///
+    /// # Errors
+    /// Returns [`DsigError::InvalidConfig`] for a non-positive frequency or a
+    /// counter width outside `1..=32`.
+    pub fn new(frequency_hz: f64, counter_bits: u32) -> Result<Self> {
+        if !(frequency_hz > 0.0) || !frequency_hz.is_finite() {
+            return Err(DsigError::InvalidConfig(format!(
+                "master clock frequency must be positive (got {frequency_hz})"
+            )));
+        }
+        if counter_bits == 0 || counter_bits > 32 {
+            return Err(DsigError::InvalidConfig(format!(
+                "counter width must be between 1 and 32 bits (got {counter_bits})"
+            )));
+        }
+        Ok(CaptureClock { frequency_hz, counter_bits })
+    }
+
+    /// A 10 MHz master clock with a 12-bit counter: one tick is 0.1 µs and the
+    /// counter covers 409.6 µs, comfortably more than the 200 µs Lissajous
+    /// period of the paper's experiment (Fig. 7).
+    pub fn paper_default() -> Self {
+        CaptureClock { frequency_hz: 10e6, counter_bits: 12 }
+    }
+
+    /// Duration of one clock tick, seconds.
+    pub fn tick(&self) -> f64 {
+        1.0 / self.frequency_hz
+    }
+
+    /// Maximum count the m-bit counter can hold.
+    pub fn max_ticks(&self) -> u64 {
+        (1u64 << self.counter_bits) - 1
+    }
+
+    /// Quantizes a dwell time to clock ticks, saturating at the counter range.
+    pub fn quantize_ticks(&self, duration: f64) -> u64 {
+        let ticks = (duration / self.tick()).round();
+        if ticks <= 0.0 {
+            0
+        } else {
+            (ticks as u64).min(self.max_ticks())
+        }
+    }
+
+    /// Quantizes a dwell time and converts it back to seconds.
+    pub fn quantize(&self, duration: f64) -> f64 {
+        self.quantize_ticks(duration) as f64 * self.tick()
+    }
+}
+
+/// Captures the digital signature of a pair of observed signals.
+///
+/// The two waveforms must share the same sampling grid (they are the
+/// `x(t)` / `y(t)` pair composed into the Lissajous trajectory). When a
+/// [`CaptureClock`] is supplied, every dwell time is quantized to the
+/// master-clock tick and saturated to the counter range; `None` captures
+/// exact (continuous-time) durations.
+///
+/// # Errors
+/// Returns [`DsigError::Signal`]-wrapped grid mismatch errors and
+/// [`DsigError::InvalidSignature`] for empty inputs.
+pub fn capture_signature(
+    encoder: &dyn PointEncoder,
+    x: &Waveform,
+    y: &Waveform,
+    clock: Option<&CaptureClock>,
+) -> Result<Signature> {
+    if x.len() != y.len() {
+        return Err(DsigError::Signal(sim_signal::SignalError::GridMismatch {
+            left: x.len(),
+            right: y.len(),
+        }));
+    }
+    if x.is_empty() {
+        return Err(DsigError::InvalidSignature("cannot capture a signature from empty waveforms".into()));
+    }
+
+    let dt = x.dt();
+    let mut entries: Vec<SignatureEntry> = Vec::new();
+    let mut current_code = encoder.encode(x.samples()[0], y.samples()[0]);
+    let mut dwell = dt;
+    for k in 1..x.len() {
+        let code = encoder.encode(x.samples()[k], y.samples()[k]);
+        if code == current_code {
+            dwell += dt;
+        } else {
+            entries.push(SignatureEntry { code: ZoneCode(current_code), duration: dwell });
+            current_code = code;
+            dwell = dt;
+        }
+    }
+    entries.push(SignatureEntry { code: ZoneCode(current_code), duration: dwell });
+
+    if let Some(clock) = clock {
+        for e in &mut entries {
+            e.duration = clock.quantize(e.duration);
+        }
+    }
+    Signature::new(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial encoder that splits the plane into four quadrants around (0.5, 0.5).
+    struct Quadrants;
+
+    impl PointEncoder for Quadrants {
+        fn bits(&self) -> usize {
+            2
+        }
+        fn encode(&self, x: f64, y: f64) -> u32 {
+            (u32::from(x > 0.5)) | (u32::from(y > 0.5) << 1)
+        }
+    }
+
+    fn ramp_pair() -> (Waveform, Waveform) {
+        // x ramps 0 -> 1 while y stays at 0.25: two zones are traversed.
+        let x = Waveform::from_fn(0.0, 1.0, 100.0, |t| t);
+        let y = Waveform::from_fn(0.0, 1.0, 100.0, |_| 0.25);
+        (x, y)
+    }
+
+    #[test]
+    fn clock_validation_and_quantization() {
+        assert!(CaptureClock::new(0.0, 12).is_err());
+        assert!(CaptureClock::new(1e6, 0).is_err());
+        assert!(CaptureClock::new(1e6, 40).is_err());
+        let clk = CaptureClock::new(1e6, 4).unwrap();
+        assert_eq!(clk.tick(), 1e-6);
+        assert_eq!(clk.max_ticks(), 15);
+        assert_eq!(clk.quantize_ticks(3.4e-6), 3);
+        assert_eq!(clk.quantize_ticks(1e-3), 15); // saturates
+        assert_eq!(clk.quantize_ticks(1e-9), 0);
+        assert!((clk.quantize(3.4e-6) - 3e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_default_clock_covers_the_period() {
+        let clk = CaptureClock::paper_default();
+        assert!(clk.max_ticks() as f64 * clk.tick() > 200e-6);
+    }
+
+    #[test]
+    fn capture_detects_zone_transitions() {
+        let (x, y) = ramp_pair();
+        let sig = capture_signature(&Quadrants, &x, &y, None).unwrap();
+        assert_eq!(sig.len(), 2, "one transition expected: {:?}", sig.entries());
+        assert_eq!(sig.entries()[0].code.value(), 0);
+        assert_eq!(sig.entries()[1].code.value(), 1);
+        // Both dwell times are about half the duration.
+        assert!((sig.entries()[0].duration - 0.51).abs() < 0.02);
+        assert!((sig.total_duration() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_capture_rounds_durations() {
+        let (x, y) = ramp_pair();
+        let clk = CaptureClock::new(10.0, 8).unwrap(); // 0.1 s ticks
+        let sig = capture_signature(&Quadrants, &x, &y, Some(&clk)).unwrap();
+        for e in sig.entries() {
+            let ticks = e.duration / clk.tick();
+            assert!((ticks - ticks.round()).abs() < 1e-9, "duration not quantized: {}", e.duration);
+        }
+    }
+
+    #[test]
+    fn mismatched_grids_rejected() {
+        let x = Waveform::from_fn(0.0, 1.0, 100.0, |t| t);
+        let y = Waveform::from_fn(0.0, 1.0, 50.0, |_| 0.0);
+        assert!(capture_signature(&Quadrants, &x, &y, None).is_err());
+        let empty = Waveform::new(0.0, 1.0, vec![]);
+        assert!(capture_signature(&Quadrants, &empty, &empty, None).is_err());
+    }
+
+    #[test]
+    fn zone_partition_implements_point_encoder() {
+        let partition = ZonePartition::paper_default().unwrap();
+        let encoder: &dyn PointEncoder = &partition;
+        assert_eq!(encoder.bits(), 6);
+        assert_eq!(encoder.encode(0.3, 0.4), partition.zone_code(0.3, 0.4));
+    }
+
+    #[test]
+    fn constant_signals_give_single_entry_signature() {
+        let x = Waveform::from_fn(0.0, 1.0, 50.0, |_| 0.2);
+        let y = Waveform::from_fn(0.0, 1.0, 50.0, |_| 0.2);
+        let sig = capture_signature(&Quadrants, &x, &y, None).unwrap();
+        assert_eq!(sig.len(), 1);
+        assert_eq!(sig.distinct_zones(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the digital-signature test core.
+
+use std::fmt;
+
+use cut_filters::FilterError;
+use sim_signal::SignalError;
+use xy_monitor::MonitorError;
+
+/// Errors produced by signature capture, comparison and test flows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsigError {
+    /// An invalid capture or analysis configuration.
+    InvalidConfig(String),
+    /// A signature is empty or otherwise unusable.
+    InvalidSignature(String),
+    /// A signal-processing operation failed.
+    Signal(SignalError),
+    /// Monitor construction or evaluation failed.
+    Monitor(MonitorError),
+    /// CUT modelling or simulation failed.
+    Filter(FilterError),
+}
+
+impl fmt::Display for DsigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsigError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DsigError::InvalidSignature(msg) => write!(f, "invalid signature: {msg}"),
+            DsigError::Signal(err) => write!(f, "signal processing failed: {err}"),
+            DsigError::Monitor(err) => write!(f, "monitor failed: {err}"),
+            DsigError::Filter(err) => write!(f, "circuit under test failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for DsigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsigError::Signal(err) => Some(err),
+            DsigError::Monitor(err) => Some(err),
+            DsigError::Filter(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SignalError> for DsigError {
+    fn from(err: SignalError) -> Self {
+        DsigError::Signal(err)
+    }
+}
+
+impl From<MonitorError> for DsigError {
+    fn from(err: MonitorError) -> Self {
+        DsigError::Monitor(err)
+    }
+}
+
+impl From<FilterError> for DsigError {
+    fn from(err: FilterError) -> Self {
+        DsigError::Filter(err)
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, DsigError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        use std::error::Error;
+        assert!(DsigError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(DsigError::InvalidSignature("empty".into()).to_string().contains("empty"));
+        let e: DsigError = SignalError::TooShort { len: 0, needed: 2 }.into();
+        assert!(e.source().is_some());
+        let e: DsigError = MonitorError::InvalidConfig("m".into()).into();
+        assert!(e.to_string().contains("monitor"));
+        let e: DsigError = FilterError::InvalidParameter("f".into()).into();
+        assert!(e.to_string().contains("circuit under test"));
+    }
+}

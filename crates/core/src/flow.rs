@@ -1,0 +1,472 @@
+//! End-to-end test flow: stimulus → CUT response → Lissajous → zone codes →
+//! signature → NDF → PASS/FAIL.
+//!
+//! This is the orchestration layer behind the paper's experiments: Fig. 6/7
+//! (golden vs defective signatures), Fig. 8 (NDF vs `f0` deviation sweep) and
+//! the noise-robustness claim of §IV-C.
+
+use cut_filters::{BiquadParams, Fault};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim_signal::{MultitoneSpec, NoiseModel, Waveform};
+use xy_monitor::ZonePartition;
+
+use crate::capture::{capture_signature, CaptureClock, PointEncoder};
+use crate::decision::{AcceptanceBand, ScreeningStats, TestOutcome};
+use crate::error::{DsigError, Result};
+use crate::ndf::{ndf, peak_hamming_distance};
+use crate::signature::Signature;
+
+/// Everything needed to observe one CUT instance and capture its signature.
+#[derive(Debug, Clone)]
+pub struct TestSetup {
+    /// The multitone stimulus applied to the CUT.
+    pub stimulus: MultitoneSpec,
+    /// The zone partition (bank of monitors) observing the Lissajous plane.
+    pub partition: ZonePartition,
+    /// The capture clock; `None` captures exact dwell times.
+    pub clock: Option<CaptureClock>,
+    /// Sample rate used to discretize the observed signals, hertz.
+    pub sample_rate: f64,
+    /// Measurement noise added to both observed signals.
+    pub noise: NoiseModel,
+    /// Minimum zone dwell the transition detector can register, seconds
+    /// (shorter zone visits — typically noise chatter at a boundary — are
+    /// absorbed by the surrounding zone). Set to 0 to disable.
+    pub transition_min_dwell: f64,
+    /// Input bandwidth of the observation front-end (the monitors), hertz.
+    /// Both observed signals are low-pass filtered at this cutoff, which
+    /// attenuates out-of-band measurement noise while leaving the multitone
+    /// signal (tens of kilohertz) untouched. `None` disables the filter.
+    pub monitor_bandwidth_hz: Option<f64>,
+}
+
+impl TestSetup {
+    /// The paper's experimental setup: the default multitone stimulus, the
+    /// six Table I monitors, the 10 MHz / 12-bit capture clock and no noise.
+    ///
+    /// # Errors
+    /// Propagates monitor construction errors (none occur for the published values).
+    pub fn paper_default() -> Result<Self> {
+        Ok(TestSetup {
+            stimulus: MultitoneSpec::paper_default(),
+            partition: ZonePartition::paper_default()?,
+            clock: Some(CaptureClock::paper_default()),
+            sample_rate: 5e6,
+            noise: NoiseModel::none(),
+            transition_min_dwell: 2e-6,
+            monitor_bandwidth_hz: Some(300e3),
+        })
+    }
+
+    /// Returns a copy with the given measurement-noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Returns a copy with the given observation sample rate.
+    ///
+    /// # Errors
+    /// Returns [`DsigError::InvalidConfig`] for a rate that does not resolve
+    /// the stimulus (fewer than 50 samples per fundamental period).
+    pub fn with_sample_rate(mut self, sample_rate: f64) -> Result<Self> {
+        if sample_rate * self.stimulus.period() < 50.0 {
+            return Err(DsigError::InvalidConfig(format!(
+                "sample rate {sample_rate} Hz resolves fewer than 50 points per period"
+            )));
+        }
+        self.sample_rate = sample_rate;
+        Ok(self)
+    }
+
+    /// Observes one CUT instance: returns the `(x(t), y(t))` waveform pair
+    /// over one Lissajous period, with measurement noise applied.
+    ///
+    /// `noise_seed` controls the (deterministic) noise realisation so that
+    /// repeated measurements of different devices are independent.
+    pub fn observe(&self, cut: &BiquadParams, noise_seed: u64) -> (Waveform, Waveform) {
+        let x = self.stimulus.sample(1, self.sample_rate);
+        let y = cut.steady_state_response(&self.stimulus, 1, self.sample_rate);
+        let mut x_obs = self.noise.apply(&x, noise_seed.wrapping_mul(2));
+        let mut y_obs = self.noise.apply(&y, noise_seed.wrapping_mul(2).wrapping_add(1));
+        if let Some(bandwidth) = self.monitor_bandwidth_hz {
+            x_obs = x_obs.lowpass(bandwidth);
+            y_obs = y_obs.lowpass(bandwidth);
+        }
+        (x_obs, y_obs)
+    }
+
+    /// Captures the digital signature of one CUT instance.
+    ///
+    /// # Errors
+    /// Propagates capture errors.
+    pub fn signature_of(&self, cut: &BiquadParams, noise_seed: u64) -> Result<Signature> {
+        let (x, y) = self.observe(cut, noise_seed);
+        let raw = capture_signature(&self.partition, &x, &y, self.clock.as_ref())?;
+        Ok(raw.deglitched(self.transition_min_dwell))
+    }
+
+    /// Captures a signature with an alternative encoder (used by the
+    /// straight-line zoning baseline).
+    ///
+    /// # Errors
+    /// Propagates capture errors.
+    pub fn signature_with_encoder(
+        &self,
+        encoder: &dyn PointEncoder,
+        cut: &BiquadParams,
+        noise_seed: u64,
+    ) -> Result<Signature> {
+        let (x, y) = self.observe(cut, noise_seed);
+        let raw = capture_signature(encoder, &x, &y, self.clock.as_ref())?;
+        Ok(raw.deglitched(self.transition_min_dwell))
+    }
+}
+
+/// The result of evaluating one CUT instance against the golden signature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NdfReport {
+    /// The normalized discrepancy factor (Eq. 2).
+    pub ndf: f64,
+    /// Peak instantaneous Hamming distance over the period.
+    pub peak_hamming: u32,
+    /// Number of zone traversals in the observed signature.
+    pub observed_zones: usize,
+}
+
+/// One point of the Fig. 8 sweep: an injected `f0` deviation and the NDF it produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Injected natural-frequency deviation, percent.
+    pub deviation_pct: f64,
+    /// Measured NDF.
+    pub ndf: f64,
+}
+
+/// A calibrated test flow: a golden signature plus the setup that produced it.
+#[derive(Debug, Clone)]
+pub struct TestFlow {
+    setup: TestSetup,
+    reference: BiquadParams,
+    golden: Signature,
+}
+
+impl TestFlow {
+    /// Builds the flow by capturing the golden signature of the reference
+    /// (nominal) CUT without measurement noise — the golden signature is a
+    /// characterization-time artifact, not a production measurement.
+    ///
+    /// # Errors
+    /// Propagates capture errors.
+    pub fn new(setup: TestSetup, reference: BiquadParams) -> Result<Self> {
+        let noiseless = TestSetup { noise: NoiseModel::none(), ..setup.clone() };
+        let golden = noiseless.signature_of(&reference, 0)?;
+        Ok(TestFlow { setup, reference, golden })
+    }
+
+    /// The golden signature.
+    pub fn golden(&self) -> &Signature {
+        &self.golden
+    }
+
+    /// The reference (nominal) CUT parameters.
+    pub fn reference(&self) -> &BiquadParams {
+        &self.reference
+    }
+
+    /// The observation setup.
+    pub fn setup(&self) -> &TestSetup {
+        &self.setup
+    }
+
+    /// Evaluates one CUT instance: captures its signature and compares it to
+    /// the golden one.
+    ///
+    /// # Errors
+    /// Propagates capture and comparison errors.
+    pub fn evaluate(&self, cut: &BiquadParams, noise_seed: u64) -> Result<NdfReport> {
+        let observed = self.setup.signature_of(cut, noise_seed)?;
+        Ok(NdfReport {
+            ndf: ndf(&self.golden, &observed)?,
+            peak_hamming: peak_hamming_distance(&self.golden, &observed)?,
+            observed_zones: observed.len(),
+        })
+    }
+
+    /// Evaluates one CUT instance as the average over several independent
+    /// measurements (noise realisations) — the standard way to push the
+    /// detection limit below the single-shot noise floor.
+    ///
+    /// # Errors
+    /// Propagates capture and comparison errors; `repeats` must be non-zero.
+    pub fn evaluate_averaged(&self, cut: &BiquadParams, repeats: usize, base_seed: u64) -> Result<NdfReport> {
+        if repeats == 0 {
+            return Err(DsigError::InvalidConfig("at least one measurement repeat is required".into()));
+        }
+        let mut ndf_sum = 0.0;
+        let mut peak = 0;
+        let mut zones = 0;
+        for i in 0..repeats {
+            let report = self.evaluate(cut, base_seed.wrapping_add(i as u64))?;
+            ndf_sum += report.ndf;
+            peak = peak.max(report.peak_hamming);
+            zones = zones.max(report.observed_zones);
+        }
+        Ok(NdfReport { ndf: ndf_sum / repeats as f64, peak_hamming: peak, observed_zones: zones })
+    }
+
+    /// Characterizes the measurement-noise floor: the mean and maximum
+    /// averaged NDF of the *nominal* reference device over `repeats`
+    /// independent measurement groups.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors; `repeats` must be non-zero.
+    pub fn noise_floor(&self, repeats: usize, group_size: usize, base_seed: u64) -> Result<(f64, f64)> {
+        if repeats == 0 {
+            return Err(DsigError::InvalidConfig("at least one repeat is required".into()));
+        }
+        let mut sum = 0.0;
+        let mut max = 0.0_f64;
+        for i in 0..repeats {
+            let report =
+                self.evaluate_averaged(&self.reference, group_size, base_seed.wrapping_add((i * 1000) as u64))?;
+            sum += report.ndf;
+            max = max.max(report.ndf);
+        }
+        Ok((sum / repeats as f64, max))
+    }
+
+    /// Evaluates a CUT produced by injecting a fault into the reference.
+    ///
+    /// # Errors
+    /// Propagates fault application and evaluation errors.
+    pub fn evaluate_fault(&self, fault: &Fault, noise_seed: u64) -> Result<NdfReport> {
+        let cut = fault.apply_to_params(&self.reference)?;
+        self.evaluate(&cut, noise_seed)
+    }
+
+    /// Runs the Fig. 8 sweep: NDF as a function of the `f0` deviation.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn sweep_f0(&self, deviations_pct: &[f64]) -> Result<Vec<SweepPoint>> {
+        deviations_pct
+            .iter()
+            .enumerate()
+            .map(|(i, &dev)| {
+                let cut = self.reference.with_f0_shift_pct(dev);
+                let report = self.evaluate(&cut, 1000 + i as u64)?;
+                Ok(SweepPoint { deviation_pct: dev, ndf: report.ndf })
+            })
+            .collect()
+    }
+
+    /// Calibrates an acceptance band from a Fig. 8 style sweep so that every
+    /// deviation within `tolerance_pct` passes.
+    ///
+    /// # Errors
+    /// Propagates sweep and calibration errors.
+    pub fn calibrate_band(&self, deviations_pct: &[f64], tolerance_pct: f64) -> Result<AcceptanceBand> {
+        let sweep = self.sweep_f0(deviations_pct)?;
+        let pairs: Vec<(f64, f64)> = sweep.iter().map(|p| (p.deviation_pct, p.ndf)).collect();
+        AcceptanceBand::calibrate(&pairs, tolerance_pct)
+    }
+
+    /// Screens a synthetic production population whose `f0` deviations are
+    /// Gaussian with the given sigma (percent). A device is *truly good* when
+    /// its deviation is within `tolerance_pct`; the signature test decides
+    /// PASS/FAIL through the supplied acceptance band.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn screen_population(
+        &self,
+        devices: usize,
+        sigma_pct: f64,
+        tolerance_pct: f64,
+        band: &AcceptanceBand,
+        seed: u64,
+    ) -> Result<ScreeningStats> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = ScreeningStats::default();
+        for i in 0..devices {
+            // Box-Muller standard normal draw.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let deviation = sigma_pct * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let cut = self.reference.with_f0_shift_pct(deviation);
+            let report = self.evaluate(&cut, seed.wrapping_add(i as u64))?;
+            let outcome = band.decide(report.ndf);
+            stats.record(deviation.abs() <= tolerance_pct, outcome);
+        }
+        Ok(stats)
+    }
+
+    /// Trains an alternate-test style estimator of the f0 deviation from the
+    /// per-zone dwell-time features of the signature (see
+    /// [`crate::regression`]). The characterization sweep plays the role of
+    /// the regression training set of the paper's reference [14].
+    ///
+    /// # Errors
+    /// Propagates evaluation and fitting errors.
+    pub fn train_f0_estimator(&self, deviations_pct: &[f64]) -> Result<crate::regression::SignatureRegressor> {
+        let mut samples = Vec::with_capacity(deviations_pct.len());
+        for (i, &dev) in deviations_pct.iter().enumerate() {
+            let cut = self.reference.with_f0_shift_pct(dev);
+            let signature = self.setup.signature_of(&cut, 5000 + i as u64)?;
+            samples.push((crate::regression::dwell_features(&self.golden, &signature), dev));
+        }
+        crate::regression::SignatureRegressor::fit(&samples, 1e-6)
+    }
+
+    /// Estimates the f0 deviation (in percent) of one CUT instance with a
+    /// trained estimator.
+    ///
+    /// # Errors
+    /// Propagates capture and prediction errors.
+    pub fn estimate_f0_deviation(
+        &self,
+        estimator: &crate::regression::SignatureRegressor,
+        cut: &BiquadParams,
+        noise_seed: u64,
+    ) -> Result<f64> {
+        let signature = self.setup.signature_of(cut, noise_seed)?;
+        estimator.predict(&crate::regression::dwell_features(&self.golden, &signature))
+    }
+
+    /// Finds the smallest positive `f0` deviation (in percent, searched on a
+    /// 0.25 % grid up to `max_pct`) whose averaged NDF over `repeats`
+    /// measurements exceeds the given threshold — the "minimum detectable
+    /// deviation" of §IV-C.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors. Returns `Ok(None)` if no deviation up to
+    /// `max_pct` is detectable.
+    pub fn minimum_detectable_deviation(
+        &self,
+        band: &AcceptanceBand,
+        max_pct: f64,
+        repeats: usize,
+        noise_seed: u64,
+    ) -> Result<Option<f64>> {
+        let mut dev = 0.25;
+        while dev <= max_pct + 1e-9 {
+            let cut = self.reference.with_f0_shift_pct(dev);
+            let report = self.evaluate_averaged(&cut, repeats, noise_seed)?;
+            if band.decide(report.ndf) == TestOutcome::Fail {
+                return Ok(Some(dev));
+            }
+            dev += 0.25;
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> TestFlow {
+        let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+        TestFlow::new(setup, BiquadParams::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn golden_signature_is_rich_and_periodic() {
+        let f = flow();
+        let golden = f.golden();
+        assert!(golden.len() >= 6, "golden signature has only {} zones", golden.len());
+        assert!((golden.total_duration() - 200e-6).abs() < 2e-6);
+        assert!(golden.distinct_zones() >= 4);
+    }
+
+    #[test]
+    fn nominal_device_has_zero_ndf() {
+        let f = flow();
+        let report = f.evaluate(&BiquadParams::paper_default(), 5).unwrap();
+        assert_eq!(report.ndf, 0.0);
+        assert_eq!(report.peak_hamming, 0);
+    }
+
+    #[test]
+    fn f0_shift_produces_nonzero_ndf_that_grows_with_deviation() {
+        let f = flow();
+        let small = f.evaluate_fault(&Fault::F0ShiftPct(2.0), 7).unwrap();
+        let large = f.evaluate_fault(&Fault::F0ShiftPct(10.0), 7).unwrap();
+        assert!(small.ndf > 0.0, "2% shift NDF {}", small.ndf);
+        assert!(large.ndf > small.ndf, "NDF must grow: {} vs {}", small.ndf, large.ndf);
+    }
+
+    #[test]
+    fn ndf_is_roughly_symmetric_in_sign() {
+        let f = flow();
+        let plus = f.evaluate_fault(&Fault::F0ShiftPct(10.0), 11).unwrap();
+        let minus = f.evaluate_fault(&Fault::F0ShiftPct(-10.0), 11).unwrap();
+        let ratio = plus.ndf / minus.ndf;
+        assert!(ratio > 0.4 && ratio < 2.5, "asymmetric NDF: +10% {} vs -10% {}", plus.ndf, minus.ndf);
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_deviation() {
+        let f = flow();
+        let sweep = f.sweep_f0(&[-10.0, 0.0, 10.0]).unwrap();
+        assert_eq!(sweep.len(), 3);
+        assert!(sweep[1].ndf <= sweep[0].ndf.min(sweep[2].ndf));
+    }
+
+    #[test]
+    fn calibrated_band_separates_good_from_bad() {
+        let f = flow();
+        let devs: Vec<f64> = (-10..=10).map(|d| d as f64).collect();
+        let band = f.calibrate_band(&devs, 3.0).unwrap();
+        let good = f.evaluate_fault(&Fault::F0ShiftPct(1.0), 3).unwrap();
+        let bad = f.evaluate_fault(&Fault::F0ShiftPct(9.0), 3).unwrap();
+        assert_eq!(band.decide(good.ndf), TestOutcome::Pass);
+        assert_eq!(band.decide(bad.ndf), TestOutcome::Fail);
+    }
+
+    #[test]
+    fn noise_does_not_hide_large_deviations() {
+        let setup = TestSetup::paper_default()
+            .unwrap()
+            .with_sample_rate(1e6)
+            .unwrap()
+            .with_noise(NoiseModel::paper_default());
+        let f = TestFlow::new(setup, BiquadParams::paper_default()).unwrap();
+        let report = f.evaluate_fault(&Fault::F0ShiftPct(10.0), 23).unwrap();
+        assert!(report.ndf > 0.02, "noisy 10% shift NDF {}", report.ndf);
+    }
+
+    #[test]
+    fn screening_statistics_are_consistent() {
+        let f = flow();
+        let band = AcceptanceBand::new(0.03).unwrap();
+        let stats = f.screen_population(20, 5.0, 5.0, &band, 99).unwrap();
+        assert_eq!(stats.total, 20);
+        assert_eq!(stats.passed + stats.failed, 20);
+        assert_eq!(stats.truly_good + stats.truly_bad, 20);
+    }
+
+    #[test]
+    fn regression_estimator_recovers_signed_deviation() {
+        let f = flow();
+        let training: Vec<f64> = (-10..=10).map(|d| d as f64 * 2.0).collect();
+        let estimator = f.train_f0_estimator(&training).unwrap();
+        for true_dev in [-15.0, -7.0, 0.0, 6.0, 13.0] {
+            let cut = BiquadParams::paper_default().with_f0_shift_pct(true_dev);
+            let estimated = f.estimate_f0_deviation(&estimator, &cut, 77).unwrap();
+            assert!(
+                (estimated - true_dev).abs() < 4.0,
+                "estimated {estimated}% for a true deviation of {true_dev}%"
+            );
+        }
+    }
+
+    #[test]
+    fn with_sample_rate_validation() {
+        let setup = TestSetup::paper_default().unwrap();
+        assert!(setup.clone().with_sample_rate(1e3).is_err());
+        assert!(setup.with_sample_rate(2e6).is_ok());
+    }
+}

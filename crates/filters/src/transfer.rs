@@ -1,0 +1,271 @@
+//! Second-order (Biquad) transfer functions.
+//!
+//! The circuit under test in the paper is a Biquad low-pass filter whose
+//! natural frequency `f0` is the parameter being verified. This module
+//! provides the continuous-time transfer function, its frequency response and
+//! the exact steady-state response to a multitone stimulus (a linear filter
+//! driven by a sum of sinusoids responds with the same sinusoids scaled and
+//! phase-shifted by `H(jw)`).
+
+use sim_signal::{MultitoneSpec, Waveform};
+use sim_spice::Complex;
+
+use crate::error::{FilterError, Result};
+
+/// The Biquad output tap being observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BiquadKind {
+    /// Low-pass output (the paper's CUT observation).
+    #[default]
+    LowPass,
+    /// Band-pass output.
+    BandPass,
+    /// High-pass output.
+    HighPass,
+}
+
+impl std::fmt::Display for BiquadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BiquadKind::LowPass => write!(f, "low-pass"),
+            BiquadKind::BandPass => write!(f, "band-pass"),
+            BiquadKind::HighPass => write!(f, "high-pass"),
+        }
+    }
+}
+
+/// Parameters of a second-order filter section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiquadParams {
+    /// Natural frequency `f0` in hertz.
+    pub f0_hz: f64,
+    /// Quality factor `Q`.
+    pub q: f64,
+    /// Pass-band gain (DC gain for the low-pass output).
+    pub gain: f64,
+    /// Which output tap is observed.
+    pub kind: BiquadKind,
+}
+
+impl BiquadParams {
+    /// Creates a filter parameter set.
+    ///
+    /// # Errors
+    /// Returns [`FilterError::InvalidParameter`] if `f0`, `Q` or the gain are
+    /// not strictly positive and finite.
+    pub fn new(f0_hz: f64, q: f64, gain: f64, kind: BiquadKind) -> Result<Self> {
+        for (name, v) in [("f0", f0_hz), ("Q", q), ("gain", gain)] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(FilterError::InvalidParameter(format!(
+                    "{name} must be positive and finite (got {v})"
+                )));
+            }
+        }
+        Ok(BiquadParams { f0_hz, q, gain, kind })
+    }
+
+    /// The nominal CUT of the reproduction: a low-pass Biquad with
+    /// `f0 = 15 kHz`, `Q = 1` and unity DC gain. With the paper-default
+    /// multitone stimulus (5 kHz fundamental plus 3rd and 5th harmonics) the
+    /// third harmonic sits exactly at `f0`, which makes the Lissajous
+    /// composition highly sensitive to `f0` deviations — the property the
+    /// paper's experiment relies on.
+    pub fn paper_default() -> Self {
+        BiquadParams { f0_hz: 15_000.0, q: 1.0, gain: 1.0, kind: BiquadKind::LowPass }
+    }
+
+    /// Angular natural frequency `w0 = 2 pi f0` in rad/s.
+    pub fn omega0(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.f0_hz
+    }
+
+    /// Returns a copy with the natural frequency shifted by `percent` %
+    /// (the deviation swept in Fig. 8).
+    pub fn with_f0_shift_pct(&self, percent: f64) -> Self {
+        BiquadParams { f0_hz: self.f0_hz * (1.0 + percent / 100.0), ..*self }
+    }
+
+    /// Returns a copy with the quality factor shifted by `percent` %.
+    pub fn with_q_shift_pct(&self, percent: f64) -> Self {
+        BiquadParams { q: self.q * (1.0 + percent / 100.0), ..*self }
+    }
+
+    /// Relative deviation of this filter's `f0` from a reference, in percent.
+    pub fn f0_deviation_pct(&self, reference: &BiquadParams) -> f64 {
+        (self.f0_hz / reference.f0_hz - 1.0) * 100.0
+    }
+
+    /// Complex transfer function `H(j 2 pi f)` at frequency `f` hertz.
+    pub fn response(&self, frequency_hz: f64) -> Complex {
+        let w0 = self.omega0();
+        let s = Complex::from_imag(2.0 * std::f64::consts::PI * frequency_hz);
+        let denom = s * s + s * Complex::from_real(w0 / self.q) + Complex::from_real(w0 * w0);
+        let numer = match self.kind {
+            BiquadKind::LowPass => Complex::from_real(self.gain * w0 * w0),
+            BiquadKind::BandPass => s * Complex::from_real(self.gain * w0 / self.q),
+            BiquadKind::HighPass => s * s * Complex::from_real(self.gain),
+        };
+        numer / denom
+    }
+
+    /// Magnitude of the frequency response at `f` hertz.
+    pub fn magnitude(&self, frequency_hz: f64) -> f64 {
+        self.response(frequency_hz).abs()
+    }
+
+    /// Phase of the frequency response at `f` hertz, radians.
+    pub fn phase(&self, frequency_hz: f64) -> f64 {
+        self.response(frequency_hz).arg()
+    }
+
+    /// The -3 dB cutoff frequency of the low-pass response, found numerically.
+    ///
+    /// # Errors
+    /// Returns [`FilterError::InvalidParameter`] when called on a non-low-pass
+    /// section.
+    pub fn cutoff_frequency(&self) -> Result<f64> {
+        if self.kind != BiquadKind::LowPass {
+            return Err(FilterError::InvalidParameter(
+                "cutoff frequency is defined for the low-pass output".into(),
+            ));
+        }
+        let target = self.gain * std::f64::consts::FRAC_1_SQRT_2;
+        let mut lo = self.f0_hz * 1e-3;
+        let mut hi = self.f0_hz * 1e3;
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt();
+            if self.magnitude(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok((lo * hi).sqrt())
+    }
+
+    /// Exact steady-state response of the filter to a multitone stimulus,
+    /// sampled at `sample_rate` hertz over `periods` fundamental periods.
+    ///
+    /// Each tone of the stimulus is scaled by `|H|` and shifted by `arg H`;
+    /// the DC offset is scaled by `H(0)`.
+    pub fn steady_state_response(&self, stimulus: &MultitoneSpec, periods: u32, sample_rate: f64) -> Waveform {
+        let h0 = self.response(0.0).re;
+        let w0 = 2.0 * std::f64::consts::PI * stimulus.fundamental_hz();
+        let tones: Vec<(f64, f64, f64)> = stimulus
+            .tones()
+            .iter()
+            .map(|tone| {
+                let f = stimulus.fundamental_hz() * tone.harmonic as f64;
+                let h = self.response(f);
+                (tone.amplitude * h.abs(), w0 * tone.harmonic as f64, tone.phase_rad + h.arg())
+            })
+            .collect();
+        let offset = stimulus.offset() * h0;
+        Waveform::from_fn(0.0, stimulus.period() * periods as f64, sample_rate, move |t| {
+            offset + tones.iter().map(|&(a, w, p)| a * (w * t + p).sin()).sum::<f64>()
+        })
+    }
+}
+
+impl Default for BiquadParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_signal::MultitoneSpec;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(BiquadParams::new(0.0, 1.0, 1.0, BiquadKind::LowPass).is_err());
+        assert!(BiquadParams::new(1e3, -1.0, 1.0, BiquadKind::LowPass).is_err());
+        assert!(BiquadParams::new(1e3, 1.0, f64::NAN, BiquadKind::LowPass).is_err());
+        assert!(BiquadParams::new(1e3, 0.707, 1.0, BiquadKind::LowPass).is_ok());
+    }
+
+    #[test]
+    fn lowpass_dc_gain_and_resonance() {
+        let p = BiquadParams::paper_default();
+        assert!((p.magnitude(0.0) - 1.0).abs() < 1e-12);
+        // At f0 the low-pass magnitude equals Q * gain.
+        assert!((p.magnitude(p.f0_hz) - p.q * p.gain).abs() < 1e-9);
+        // Far above f0 the response rolls off.
+        assert!(p.magnitude(10.0 * p.f0_hz) < 0.02);
+    }
+
+    #[test]
+    fn bandpass_peaks_at_f0_and_highpass_passes_high() {
+        let bp = BiquadParams::new(10e3, 2.0, 1.0, BiquadKind::BandPass).unwrap();
+        assert!((bp.magnitude(10e3) - 1.0).abs() < 1e-9);
+        assert!(bp.magnitude(1e3) < 0.3);
+        assert!(bp.magnitude(100e3) < 0.3);
+        let hp = BiquadParams::new(10e3, 0.707, 1.0, BiquadKind::HighPass).unwrap();
+        assert!(hp.magnitude(1e3) < 0.02);
+        assert!((hp.magnitude(1e6) - 1.0).abs() < 1e-3);
+        assert_eq!(BiquadKind::LowPass.to_string(), "low-pass");
+    }
+
+    #[test]
+    fn f0_shift_scales_frequency() {
+        let p = BiquadParams::paper_default();
+        let shifted = p.with_f0_shift_pct(10.0);
+        assert!((shifted.f0_hz - 16_500.0).abs() < 1e-9);
+        assert!((shifted.f0_deviation_pct(&p) - 10.0).abs() < 1e-9);
+        let down = p.with_f0_shift_pct(-20.0);
+        assert!((down.f0_deviation_pct(&p) + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_shift_scales_quality_factor() {
+        let p = BiquadParams::paper_default();
+        let shifted = p.with_q_shift_pct(25.0);
+        assert!((shifted.q - 1.25).abs() < 1e-12);
+        assert_eq!(shifted.f0_hz, p.f0_hz);
+    }
+
+    #[test]
+    fn cutoff_frequency_for_butterworth_q_equals_f0() {
+        // With Q = 1/sqrt(2) (Butterworth), the -3 dB point is exactly f0.
+        let p = BiquadParams::new(10e3, std::f64::consts::FRAC_1_SQRT_2, 1.0, BiquadKind::LowPass).unwrap();
+        let fc = p.cutoff_frequency().unwrap();
+        assert!((fc - 10e3).abs() / 10e3 < 1e-3, "fc {fc}");
+        let bp = BiquadParams::new(10e3, 1.0, 1.0, BiquadKind::BandPass).unwrap();
+        assert!(bp.cutoff_frequency().is_err());
+    }
+
+    #[test]
+    fn phase_is_minus_90_degrees_at_f0() {
+        let p = BiquadParams::paper_default();
+        assert!((p.phase(p.f0_hz) + std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_response_matches_single_tone_theory() {
+        let p = BiquadParams::paper_default();
+        let stim = MultitoneSpec::paper_default();
+        let y = p.steady_state_response(&stim, 1, 5e6);
+        // The mean of the output equals the offset times the DC gain.
+        assert!((y.mean() - 0.5).abs() < 1e-3, "mean {}", y.mean());
+        // The output stays inside the observation window.
+        assert!(y.min() > 0.0 && y.max() < 1.0, "range [{}, {}]", y.min(), y.max());
+    }
+
+    #[test]
+    fn f0_shift_changes_the_steady_state_output() {
+        let stim = MultitoneSpec::paper_default();
+        let golden = BiquadParams::paper_default().steady_state_response(&stim, 1, 1e6);
+        let shifted = BiquadParams::paper_default()
+            .with_f0_shift_pct(10.0)
+            .steady_state_response(&stim, 1, 1e6);
+        let rms = sim_signal::rms_error(&golden, &shifted).unwrap();
+        assert!(rms > 0.005, "a 10% f0 shift must visibly change the output (rms {rms})");
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(BiquadParams::default(), BiquadParams::paper_default());
+    }
+}

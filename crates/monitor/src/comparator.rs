@@ -1,0 +1,298 @@
+//! Behavioural model of the four-input current-comparator monitor (Fig. 2).
+//!
+//! The monitor is a pseudo-differential pair: nMOS transistors M1/M2 deliver
+//! current to the left branch and M3/M4 to the right branch. Each gate is
+//! driven either by the X signal, the Y signal or a DC bias. The digital
+//! output is the sign of the current difference between the two branches,
+//! which makes the zone boundary the locus where
+//! `I(M1) + I(M2) = I(M3) + I(M4)` — a nonlinear curve thanks to the
+//! quasi-quadratic MOS characteristic.
+
+use sim_spice::devices::{saturation_current, MosParams};
+
+use crate::error::{MonitorError, Result};
+
+/// What drives one of the four monitor inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MonitorInput {
+    /// The gate is driven by the X signal of the Lissajous composition.
+    XAxis,
+    /// The gate is driven by the Y signal of the Lissajous composition.
+    YAxis,
+    /// The gate is tied to a DC bias voltage (volts).
+    Dc(f64),
+}
+
+impl MonitorInput {
+    /// Resolves the gate voltage for an `(x, y)` observation point.
+    pub fn voltage(&self, x: f64, y: f64) -> f64 {
+        match self {
+            MonitorInput::XAxis => x,
+            MonitorInput::YAxis => y,
+            MonitorInput::Dc(v) => *v,
+        }
+    }
+}
+
+impl std::fmt::Display for MonitorInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorInput::XAxis => write!(f, "X axis"),
+            MonitorInput::YAxis => write!(f, "Y axis"),
+            MonitorInput::Dc(v) => write!(f, "{v} V"),
+        }
+    }
+}
+
+/// A single X-Y zoning monitor: four input transistors and their drive
+/// assignment. Transistors `M1`, `M2` feed the left branch; `M3`, `M4` feed
+/// the right branch, exactly as in Fig. 2 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentComparator {
+    /// Human-readable label (e.g. `"curve-3"`).
+    pub label: String,
+    /// Input transistor models, ordered `[M1, M2, M3, M4]`.
+    pub transistors: [MosParams; 4],
+    /// Gate drive assignment, ordered `[V1, V2, V3, V4]`.
+    pub inputs: [MonitorInput; 4],
+    /// Supply voltage of the monitor, volts.
+    pub vdd: f64,
+    /// When `true` the digital output is inverted so that the zone containing
+    /// the origin reads `0` (the paper's zone-codification convention, §IV-A).
+    pub inverted: bool,
+}
+
+impl CurrentComparator {
+    /// Creates a monitor from explicit transistor models and input drives.
+    ///
+    /// # Errors
+    /// Returns [`MonitorError::InvalidConfig`] if any transistor has invalid
+    /// geometry or the supply is not positive.
+    pub fn new(
+        label: impl Into<String>,
+        transistors: [MosParams; 4],
+        inputs: [MonitorInput; 4],
+        vdd: f64,
+    ) -> Result<Self> {
+        if !(vdd > 0.0) {
+            return Err(MonitorError::InvalidConfig(format!("supply voltage must be positive (got {vdd})")));
+        }
+        for (i, t) in transistors.iter().enumerate() {
+            t.validate().map_err(|e| {
+                MonitorError::InvalidConfig(format!("transistor M{} invalid: {e}", i + 1))
+            })?;
+        }
+        let mut comparator =
+            CurrentComparator { label: label.into(), transistors, inputs, vdd, inverted: false };
+        comparator.orient_for_origin();
+        Ok(comparator)
+    }
+
+    /// Creates a monitor where all four transistors share the same model and
+    /// only their widths differ (the situation of Table I: equal L, varying W).
+    ///
+    /// # Errors
+    /// Same as [`CurrentComparator::new`].
+    pub fn with_widths(
+        label: impl Into<String>,
+        base: MosParams,
+        widths: [f64; 4],
+        inputs: [MonitorInput; 4],
+        vdd: f64,
+    ) -> Result<Self> {
+        let transistors = [
+            base.with_width(widths[0]),
+            base.with_width(widths[1]),
+            base.with_width(widths[2]),
+            base.with_width(widths[3]),
+        ];
+        Self::new(label, transistors, inputs, vdd)
+    }
+
+    /// Current delivered by the left branch (`M1 + M2`) at an observation point.
+    pub fn left_current(&self, x: f64, y: f64) -> f64 {
+        saturation_current(&self.transistors[0], self.inputs[0].voltage(x, y))
+            + saturation_current(&self.transistors[1], self.inputs[1].voltage(x, y))
+    }
+
+    /// Current delivered by the right branch (`M3 + M4`) at an observation point.
+    pub fn right_current(&self, x: f64, y: f64) -> f64 {
+        saturation_current(&self.transistors[2], self.inputs[2].voltage(x, y))
+            + saturation_current(&self.transistors[3], self.inputs[3].voltage(x, y))
+    }
+
+    /// Signed current difference `I_left - I_right` at an observation point.
+    pub fn current_difference(&self, x: f64, y: f64) -> f64 {
+        self.left_current(x, y) - self.right_current(x, y)
+    }
+
+    /// Digital output of the monitor at an observation point.
+    ///
+    /// Following §IV-A, the output is `false` (`0`) for the zone that contains
+    /// the origin of the X-Y plane and `true` (`1`) on the other side of the
+    /// boundary curve.
+    pub fn output(&self, x: f64, y: f64) -> bool {
+        let raw = self.current_difference(x, y) > 0.0;
+        raw ^ self.inverted
+    }
+
+    /// Picks the output polarity so the origin region reads `0`.
+    ///
+    /// Boundaries that pass exactly through the origin (the 45° line of
+    /// curve 6 in Table I) are disambiguated with a probe point slightly along
+    /// the +X axis, which keeps the orientation deterministic.
+    fn orient_for_origin(&mut self) {
+        self.inverted = false;
+        let mut diff = self.current_difference(0.0, 0.0);
+        if diff.abs() < 1e-12 {
+            diff = self.current_difference(0.05, 0.0);
+        }
+        if diff.abs() < 1e-12 {
+            diff = self.current_difference(0.3, 0.0);
+        }
+        // The origin-side sign must map to output 0.
+        self.inverted = diff > 0.0;
+    }
+
+    /// Convenience accessor: widths of the four input transistors in meters.
+    pub fn widths(&self) -> [f64; 4] {
+        [
+            self.transistors[0].width,
+            self.transistors[1].width,
+            self.transistors[2].width,
+            self.transistors[3].width,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_spice::devices::MosParams;
+
+    fn base() -> MosParams {
+        MosParams::nmos_65nm(1.8e-6, 180e-9)
+    }
+
+    fn symmetric_45deg() -> CurrentComparator {
+        // Curve 6 of Table I: Y vs X with grounded companions, equal widths.
+        CurrentComparator::with_widths(
+            "curve-6",
+            base(),
+            [1.8e-6; 4],
+            [MonitorInput::YAxis, MonitorInput::Dc(0.0), MonitorInput::XAxis, MonitorInput::Dc(0.0)],
+            1.2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn input_resolution() {
+        assert_eq!(MonitorInput::XAxis.voltage(0.3, 0.7), 0.3);
+        assert_eq!(MonitorInput::YAxis.voltage(0.3, 0.7), 0.7);
+        assert_eq!(MonitorInput::Dc(0.55).voltage(0.3, 0.7), 0.55);
+        assert_eq!(MonitorInput::Dc(0.55).to_string(), "0.55 V");
+    }
+
+    #[test]
+    fn symmetric_monitor_boundary_is_diagonal() {
+        let m = symmetric_45deg();
+        // Points well above the diagonal vs below the diagonal give opposite outputs.
+        assert_ne!(m.output(0.8, 0.4), m.output(0.4, 0.8));
+        // On the diagonal (away from subthreshold) the current difference vanishes.
+        assert!(m.current_difference(0.7, 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn origin_region_reads_zero() {
+        let m = symmetric_45deg();
+        // The probe orientation maps the x > y half-plane (which contains the
+        // +X probe point next to the origin) to 0.
+        assert!(!m.output(0.8, 0.4));
+        assert!(m.output(0.4, 0.8));
+    }
+
+    #[test]
+    fn asymmetric_widths_shift_the_boundary() {
+        // Curve-1 style configuration: the boundary is a positive-slope
+        // segment in the upper half of the window, so sweeping y at a fixed x
+        // must cross it exactly once.
+        let heavy_left = CurrentComparator::with_widths(
+            "heavy-left",
+            base(),
+            [3.0e-6, 0.6e-6, 0.6e-6, 3.0e-6],
+            [MonitorInput::YAxis, MonitorInput::Dc(0.2), MonitorInput::XAxis, MonitorInput::Dc(0.6)],
+            1.2,
+        )
+        .unwrap();
+        let x = 0.5;
+        let mut flips = 0;
+        let mut prev = heavy_left.output(x, 0.0);
+        for i in 1..=100 {
+            let y = i as f64 / 100.0;
+            let cur = heavy_left.output(x, y);
+            if cur != prev {
+                flips += 1;
+            }
+            prev = cur;
+        }
+        assert_eq!(flips, 1, "expected exactly one boundary crossing along x = {x}");
+    }
+
+    #[test]
+    fn dc_inputs_make_output_independent_of_that_axis() {
+        // If neither input uses the Y axis, the output cannot depend on y.
+        let m = CurrentComparator::with_widths(
+            "x-only",
+            base(),
+            [1.8e-6; 4],
+            [MonitorInput::XAxis, MonitorInput::Dc(0.3), MonitorInput::Dc(0.55), MonitorInput::Dc(0.55)],
+            1.2,
+        )
+        .unwrap();
+        for y in [0.0, 0.5, 1.0] {
+            assert_eq!(m.output(0.2, y), m.output(0.2, 0.0));
+            assert_eq!(m.output(0.9, y), m.output(0.9, 0.0));
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad_vdd = CurrentComparator::with_widths(
+            "bad",
+            base(),
+            [1.8e-6; 4],
+            [MonitorInput::XAxis, MonitorInput::YAxis, MonitorInput::Dc(0.0), MonitorInput::Dc(0.0)],
+            0.0,
+        );
+        assert!(bad_vdd.is_err());
+        let bad_width = CurrentComparator::with_widths(
+            "bad",
+            base(),
+            [0.0, 1.8e-6, 1.8e-6, 1.8e-6],
+            [MonitorInput::XAxis, MonitorInput::YAxis, MonitorInput::Dc(0.0), MonitorInput::Dc(0.0)],
+            1.2,
+        );
+        assert!(bad_width.is_err());
+    }
+
+    #[test]
+    fn branch_currents_increase_with_gate_drive() {
+        let m = symmetric_45deg();
+        assert!(m.left_current(0.0, 0.9) > m.left_current(0.0, 0.5));
+        assert!(m.right_current(0.9, 0.0) > m.right_current(0.5, 0.0));
+    }
+
+    #[test]
+    fn widths_accessor_reports_configuration() {
+        let m = CurrentComparator::with_widths(
+            "w",
+            base(),
+            [3.0e-6, 0.6e-6, 0.6e-6, 3.0e-6],
+            [MonitorInput::YAxis, MonitorInput::Dc(0.2), MonitorInput::XAxis, MonitorInput::Dc(0.6)],
+            1.2,
+        )
+        .unwrap();
+        assert_eq!(m.widths(), [3.0e-6, 0.6e-6, 0.6e-6, 3.0e-6]);
+    }
+}

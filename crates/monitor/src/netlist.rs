@@ -1,0 +1,185 @@
+//! Transistor-level model of the monitor (Fig. 2) on the `sim-spice` engine.
+//!
+//! The behavioural model in [`crate::comparator`] reduces the monitor to the
+//! current balance of its input transistors. This module builds the actual
+//! differential structure — four nMOS input devices, pMOS active loads and a
+//! weak cross-coupled feedback pair — and solves it with the MNA simulator, so
+//! the behavioural boundary curves can be cross-validated against a
+//! circuit-level reference.
+
+use sim_spice::devices::MosParams;
+use sim_spice::{dc_operating_point, Circuit, Node};
+
+use crate::boundary::Window;
+use crate::comparator::CurrentComparator;
+use crate::error::{MonitorError, Result};
+
+/// Node handles of interest in the generated monitor netlist.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorNodes {
+    /// Left branch output (drains of M1/M2).
+    pub out1: Node,
+    /// Right branch output (drains of M3/M4).
+    pub out2: Node,
+}
+
+/// Builds the Fig. 2 netlist for a comparator biased at the observation point
+/// `(x, y)`.
+///
+/// # Errors
+/// Propagates netlist construction errors (invalid transistor geometry).
+pub fn build_monitor_netlist(
+    comparator: &CurrentComparator,
+    x: f64,
+    y: f64,
+) -> Result<(Circuit, MonitorNodes)> {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let out1 = ckt.node("out1");
+    let out2 = ckt.node("out2");
+    let gnd = ckt.ground();
+
+    ckt.add_vsource("VDD", vdd, gnd, comparator.vdd)?;
+
+    // Input nMOS devices: M1/M2 discharge out1, M3/M4 discharge out2.
+    for (i, (params, input)) in comparator
+        .transistors
+        .iter()
+        .zip(comparator.inputs.iter())
+        .enumerate()
+    {
+        let gate = ckt.node(&format!("g{}", i + 1));
+        ckt.add_vsource(&format!("VG{}", i + 1), gate, gnd, input.voltage(x, y))?;
+        let drain = if i < 2 { out1 } else { out2 };
+        ckt.add_mosfet(&format!("M{}", i + 1), drain, gate, gnd, *params)?;
+    }
+
+    // pMOS active loads (diode connected) and a weak cross-coupled pair that
+    // mirrors the M6/M7 feedback devices of the paper.
+    let load = MosParams::pmos_65nm(2.0e-6, 180e-9);
+    let feedback = MosParams::pmos_65nm(0.8e-6, 180e-9);
+    ckt.add_mosfet("M5", out1, out1, vdd, load)?;
+    ckt.add_mosfet("M8", out2, out2, vdd, load)?;
+    ckt.add_mosfet("M6", out2, out1, vdd, feedback)?;
+    ckt.add_mosfet("M7", out1, out2, vdd, feedback)?;
+
+    Ok((ckt, MonitorNodes { out1, out2 }))
+}
+
+/// Differential output voltage `v(out2) - v(out1)` of the transistor-level
+/// monitor at an observation point. Positive values mean the left branch
+/// sinks more current than the right branch.
+///
+/// # Errors
+/// Propagates DC convergence failures from the circuit simulator.
+pub fn differential_output(comparator: &CurrentComparator, x: f64, y: f64) -> Result<f64> {
+    let (ckt, nodes) = build_monitor_netlist(comparator, x, y)?;
+    let op = dc_operating_point(&ckt)?;
+    Ok(op.voltage(nodes.out2) - op.voltage(nodes.out1))
+}
+
+/// Digital output of the transistor-level monitor, using the same
+/// origin-region-is-zero convention as the behavioural model.
+///
+/// # Errors
+/// Propagates DC convergence failures from the circuit simulator.
+pub fn netlist_output(comparator: &CurrentComparator, x: f64, y: f64) -> Result<bool> {
+    let raw = differential_output(comparator, x, y)? > 0.0;
+    Ok(raw ^ comparator.inverted)
+}
+
+/// Locates the boundary ordinate of the transistor-level monitor at a given
+/// abscissa by bisection on the differential output voltage.
+///
+/// # Errors
+/// Returns [`MonitorError::BoundaryNotFound`] if the differential output does
+/// not change sign inside the window, and propagates simulation failures.
+pub fn netlist_boundary_y_at(comparator: &CurrentComparator, x: f64, window: &Window) -> Result<f64> {
+    let mut lo = window.y_min;
+    let mut hi = window.y_max;
+    let f_lo = differential_output(comparator, x, lo)?;
+    let f_hi = differential_output(comparator, x, hi)?;
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(MonitorError::BoundaryNotFound { x });
+    }
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = differential_output(comparator, x, mid)?;
+        if f_mid == 0.0 {
+            return Ok(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::boundary_y_at;
+    use crate::table1::table1_comparators;
+
+    #[test]
+    fn netlist_builds_with_expected_elements() {
+        let comps = table1_comparators().unwrap();
+        let (ckt, _) = build_monitor_netlist(&comps[2], 0.5, 0.5).unwrap();
+        // 1 supply + 4 gate sources + 4 input nMOS + 4 pMOS = 13 elements.
+        assert_eq!(ckt.element_count(), 13);
+    }
+
+    #[test]
+    fn differential_output_tracks_current_imbalance() {
+        let comps = table1_comparators().unwrap();
+        let m = &comps[2]; // curve 3: Y + X vs 2 x 0.55 V
+        // Strong drive on the left branch (large x and y) pulls out1 low.
+        let strong = differential_output(m, 0.9, 0.9).unwrap();
+        // Weak drive leaves out1 high.
+        let weak = differential_output(m, 0.1, 0.1).unwrap();
+        assert!(strong > 0.0, "strong drive diff {strong}");
+        assert!(weak < 0.0, "weak drive diff {weak}");
+    }
+
+    #[test]
+    fn netlist_output_matches_behavioural_far_from_boundary() {
+        let comps = table1_comparators().unwrap();
+        let m = &comps[2];
+        for &(x, y) in &[(0.1, 0.1), (0.9, 0.9), (0.2, 0.9), (0.9, 0.2)] {
+            let behavioural = m.output(x, y);
+            let circuit = netlist_output(m, x, y).unwrap();
+            assert_eq!(behavioural, circuit, "disagreement at ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn netlist_boundary_close_to_behavioural_boundary() {
+        let comps = table1_comparators().unwrap();
+        let m = &comps[2];
+        let window = Window::unit();
+        for &x in &[0.3, 0.45, 0.6] {
+            let behavioural = boundary_y_at(m, x, &window).unwrap();
+            let circuit = netlist_boundary_y_at(m, x, &window).unwrap();
+            assert!(
+                (behavioural - circuit).abs() < 0.08,
+                "x = {x}: behavioural {behavioural} vs circuit {circuit}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_boundary_is_reported_by_netlist_too() {
+        let comps = table1_comparators().unwrap();
+        // Curve 5 (0.75 V reference) has no crossing at x = 0.
+        let res = netlist_boundary_y_at(&comps[4], 0.0, &Window::unit());
+        assert!(matches!(res, Err(MonitorError::BoundaryNotFound { .. })));
+    }
+}

@@ -1,0 +1,161 @@
+//! The six monitor configurations of Table I of the paper.
+//!
+//! All configurations use L = 180 nm input transistors; curve shape and
+//! position are controlled by the transistor widths and by which gate is
+//! driven by the X signal, the Y signal or a DC bias.
+
+use sim_spice::devices::MosParams;
+
+use crate::comparator::{CurrentComparator, MonitorInput};
+use crate::error::Result;
+
+/// Drawn channel length of every input transistor in Table I (180 nm).
+pub const TABLE1_LENGTH: f64 = 180e-9;
+
+/// Supply voltage assumed for the 65 nm monitor (volts).
+pub const MONITOR_VDD: f64 = 1.2;
+
+/// One row of Table I: widths in nanometers and the four input drives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Curve index as printed in the paper (1-6).
+    pub curve: u8,
+    /// Widths of `[M1, M2, M3, M4]` in nanometers.
+    pub widths_nm: [f64; 4],
+    /// Input drives `[V1, V2, V3, V4]`.
+    pub inputs: [MonitorInput; 4],
+}
+
+/// The raw contents of Table I.
+pub fn table1_rows() -> Vec<Table1Row> {
+    use MonitorInput::{Dc, XAxis, YAxis};
+    vec![
+        Table1Row {
+            curve: 1,
+            widths_nm: [3000.0, 600.0, 600.0, 3000.0],
+            inputs: [YAxis, Dc(0.2), XAxis, Dc(0.6)],
+        },
+        Table1Row {
+            curve: 2,
+            widths_nm: [3000.0, 600.0, 600.0, 3000.0],
+            inputs: [Dc(0.6), YAxis, Dc(0.2), XAxis],
+        },
+        Table1Row {
+            curve: 3,
+            widths_nm: [1800.0, 1800.0, 1800.0, 1800.0],
+            inputs: [YAxis, XAxis, Dc(0.55), Dc(0.55)],
+        },
+        Table1Row {
+            curve: 4,
+            widths_nm: [1800.0, 1800.0, 1800.0, 1800.0],
+            inputs: [YAxis, XAxis, Dc(0.3), Dc(0.3)],
+        },
+        Table1Row {
+            curve: 5,
+            widths_nm: [1800.0, 1800.0, 1800.0, 1800.0],
+            inputs: [YAxis, XAxis, Dc(0.75), Dc(0.75)],
+        },
+        Table1Row {
+            curve: 6,
+            widths_nm: [1800.0, 1800.0, 1800.0, 1800.0],
+            inputs: [YAxis, Dc(0.0), XAxis, Dc(0.0)],
+        },
+    ]
+}
+
+/// Builds the behavioural comparator for one Table I row using the nominal
+/// 65 nm NMOS model.
+///
+/// # Errors
+/// Propagates configuration errors from [`CurrentComparator::with_widths`].
+pub fn comparator_for_row(row: &Table1Row) -> Result<CurrentComparator> {
+    let base = MosParams::nmos_65nm(1.0e-6, TABLE1_LENGTH);
+    let widths_m = [
+        row.widths_nm[0] * 1e-9,
+        row.widths_nm[1] * 1e-9,
+        row.widths_nm[2] * 1e-9,
+        row.widths_nm[3] * 1e-9,
+    ];
+    CurrentComparator::with_widths(format!("curve-{}", row.curve), base, widths_m, row.inputs, MONITOR_VDD)
+}
+
+/// Builds all six Table I comparators in curve order.
+///
+/// # Errors
+/// Propagates configuration errors (none occur for the published values).
+pub fn table1_comparators() -> Result<Vec<CurrentComparator>> {
+    table1_rows().iter().map(comparator_for_row).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_rows_with_published_widths() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].widths_nm, [3000.0, 600.0, 600.0, 3000.0]);
+        assert_eq!(rows[2].widths_nm, [1800.0; 4]);
+        assert_eq!(rows[5].curve, 6);
+    }
+
+    #[test]
+    fn every_row_references_both_axes() {
+        // Each monitor must observe at least one of X or Y (most observe both
+        // or one axis plus DC biases).
+        for row in table1_rows() {
+            let has_axis = row
+                .inputs
+                .iter()
+                .any(|i| matches!(i, MonitorInput::XAxis | MonitorInput::YAxis));
+            assert!(has_axis, "curve {} has no axis input", row.curve);
+        }
+    }
+
+    #[test]
+    fn comparators_build_for_all_rows() {
+        let comps = table1_comparators().unwrap();
+        assert_eq!(comps.len(), 6);
+        assert_eq!(comps[0].label, "curve-1");
+        assert_eq!(comps[5].label, "curve-6");
+        // Width assignment survives the conversion to meters.
+        assert!((comps[0].widths()[0] - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_slope_curves_have_y_and_x_on_opposite_branches() {
+        // Curves 1 and 2: V1/V3 (or V2/V4) carry the signals on opposite
+        // branches, giving positive-slope boundaries (paper §III-B).
+        let rows = table1_rows();
+        for row in &rows[0..2] {
+            let left_has_y = matches!(row.inputs[0], MonitorInput::YAxis)
+                || matches!(row.inputs[1], MonitorInput::YAxis);
+            let right_has_x = matches!(row.inputs[2], MonitorInput::XAxis)
+                || matches!(row.inputs[3], MonitorInput::XAxis);
+            assert!(left_has_y && right_has_x, "curve {}", row.curve);
+        }
+    }
+
+    #[test]
+    fn negative_slope_curves_have_both_signals_on_left_branch() {
+        // Curves 3-5: X and Y are added nonlinearly on the same branch
+        // against a DC reference (paper §III-B).
+        let rows = table1_rows();
+        for row in &rows[2..5] {
+            assert!(matches!(row.inputs[0], MonitorInput::YAxis));
+            assert!(matches!(row.inputs[1], MonitorInput::XAxis));
+            assert!(matches!(row.inputs[2], MonitorInput::Dc(_)));
+            assert!(matches!(row.inputs[3], MonitorInput::Dc(_)));
+        }
+    }
+
+    #[test]
+    fn dc_bias_levels_match_table() {
+        let rows = table1_rows();
+        assert_eq!(rows[2].inputs[2], MonitorInput::Dc(0.55));
+        assert_eq!(rows[3].inputs[2], MonitorInput::Dc(0.3));
+        assert_eq!(rows[4].inputs[2], MonitorInput::Dc(0.75));
+        assert_eq!(rows[5].inputs[1], MonitorInput::Dc(0.0));
+    }
+}

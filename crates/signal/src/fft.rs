@@ -1,0 +1,216 @@
+//! Radix-2 FFT and spectrum helpers.
+//!
+//! Used by tests and benches to verify the spectral content of multitone
+//! stimuli and filter outputs (e.g. that a low-pass CUT attenuates the tones
+//! above its natural frequency).
+
+use crate::waveform::{SignalError, Waveform};
+
+/// A complex spectrum bin value `(re, im)`.
+pub type Bin = (f64, f64);
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// # Errors
+/// Returns [`SignalError::InvalidParameter`] if the input length is not a
+/// power of two (or is zero).
+pub fn fft(input: &[Bin]) -> Result<Vec<Bin>, SignalError> {
+    let n = input.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(SignalError::InvalidParameter(format!(
+            "FFT length must be a non-zero power of two (got {n})"
+        )));
+    }
+    let mut data = input.to_vec();
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur = (1.0_f64, 0.0_f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = data[start + k];
+                let (br, bi) = data[start + k + len / 2];
+                let tr = br * cur.0 - bi * cur.1;
+                let ti = br * cur.1 + bi * cur.0;
+                data[start + k] = (ar + tr, ai + ti);
+                data[start + k + len / 2] = (ar - tr, ai - ti);
+                cur = (cur.0 * wr - cur.1 * wi, cur.0 * wi + cur.1 * wr);
+            }
+        }
+        len <<= 1;
+    }
+    Ok(data)
+}
+
+/// Single-sided amplitude spectrum of a waveform.
+///
+/// The waveform is truncated to the largest power-of-two length. Returns
+/// `(frequencies_hz, amplitudes)` for bins `0..n/2`.
+///
+/// # Errors
+/// Returns [`SignalError::TooShort`] if fewer than two samples are available.
+pub fn amplitude_spectrum(waveform: &Waveform) -> Result<(Vec<f64>, Vec<f64>), SignalError> {
+    let n_full = waveform.len();
+    if n_full < 2 {
+        return Err(SignalError::TooShort { len: n_full, needed: 2 });
+    }
+    let n = 1usize << (usize::BITS - 1 - n_full.leading_zeros());
+    let input: Vec<Bin> = waveform.samples()[..n].iter().map(|&x| (x, 0.0)).collect();
+    let bins = fft(&input)?;
+    let df = waveform.sample_rate() / n as f64;
+    let mut freqs = Vec::with_capacity(n / 2);
+    let mut amps = Vec::with_capacity(n / 2);
+    for (k, &(re, im)) in bins.iter().take(n / 2).enumerate() {
+        freqs.push(k as f64 * df);
+        let scale = if k == 0 { 1.0 / n as f64 } else { 2.0 / n as f64 };
+        amps.push((re * re + im * im).sqrt() * scale);
+    }
+    Ok((freqs, amps))
+}
+
+/// Amplitude of a single tone estimated by direct projection (one-bin DFT)
+/// over the *entire* waveform, without truncation to a power of two.
+///
+/// This is the right tool when the waveform covers an integer number of tone
+/// periods but its length is not a power of two (e.g. transient-simulation
+/// output); [`tone_amplitude`] is faster for long, power-of-two captures.
+///
+/// # Errors
+/// Returns [`SignalError::TooShort`] if fewer than two samples are available.
+pub fn tone_amplitude_projection(waveform: &Waveform, frequency_hz: f64) -> Result<f64, SignalError> {
+    if waveform.len() < 2 {
+        return Err(SignalError::TooShort { len: waveform.len(), needed: 2 });
+    }
+    let n = waveform.len() as f64;
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (k, &v) in waveform.samples().iter().enumerate() {
+        let t = waveform.time_at(k);
+        let phase = 2.0 * std::f64::consts::PI * frequency_hz * t;
+        re += v * phase.cos();
+        im += v * phase.sin();
+    }
+    if frequency_hz == 0.0 {
+        return Ok((re / n).abs());
+    }
+    Ok(2.0 * (re * re + im * im).sqrt() / n)
+}
+
+/// Returns the amplitude of the spectrum bin closest to `frequency_hz`.
+///
+/// # Errors
+/// Propagates the errors of [`amplitude_spectrum`].
+pub fn tone_amplitude(waveform: &Waveform, frequency_hz: f64) -> Result<f64, SignalError> {
+    let (freqs, amps) = amplitude_spectrum(waveform)?;
+    let idx = freqs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            (a.1 - frequency_hz)
+                .abs()
+                .partial_cmp(&(b.1 - frequency_hz).abs())
+                .expect("finite frequencies")
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(amps[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multitone::{MultitoneSpec, ToneSpec};
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        assert!(fft(&[(1.0, 0.0); 3]).is_err());
+        assert!(fft(&[]).is_err());
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut input = vec![(0.0, 0.0); 8];
+        input[0] = (1.0, 0.0);
+        let out = fft(&input).unwrap();
+        for &(re, im) in &out {
+            assert!((re - 1.0).abs() < 1e-12);
+            assert!(im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_in_bin_zero() {
+        let input = vec![(1.0, 0.0); 16];
+        let out = fft(&input).unwrap();
+        assert!((out[0].0 - 16.0).abs() < 1e-9);
+        for &(re, im) in &out[1..] {
+            assert!(re.abs() < 1e-9 && im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spectrum_recovers_sine_amplitude_and_frequency() {
+        // 1 kHz sine, amplitude 0.7, sampled at 32.768 kHz for exactly 1024 samples.
+        let fs = 32_768.0;
+        let w = Waveform::from_fn(0.0, 1024.0 / fs, fs, |t| {
+            0.7 * (2.0 * std::f64::consts::PI * 1024.0 * t).sin()
+        });
+        let amp = tone_amplitude(&w, 1024.0).unwrap();
+        assert!((amp - 0.7).abs() < 1e-6, "amp {amp}");
+    }
+
+    #[test]
+    fn spectrum_separates_multitone_components() {
+        // Use a power-of-two-friendly fundamental so bins align exactly.
+        let fs = 1_048_576.0; // 2^20 Hz
+        let spec = MultitoneSpec::new(
+            4096.0,
+            0.5,
+            vec![ToneSpec::new(1, 0.3), ToneSpec::new(3, 0.1)],
+        )
+        .unwrap();
+        let w = Waveform::from_fn(0.0, 256.0 / 4096.0 / 256.0 * 256.0, fs, |t| spec.value(t));
+        // 1/4096 s at fs = 256 samples: power of two.
+        let a1 = tone_amplitude(&w, 4096.0).unwrap();
+        let a3 = tone_amplitude(&w, 3.0 * 4096.0).unwrap();
+        let dc = tone_amplitude(&w, 0.0).unwrap();
+        assert!((a1 - 0.3).abs() < 0.01, "a1 {a1}");
+        assert!((a3 - 0.1).abs() < 0.01, "a3 {a3}");
+        assert!((dc - 0.5).abs() < 0.01, "dc {dc}");
+    }
+
+    #[test]
+    fn spectrum_requires_two_samples() {
+        let w = Waveform::new(0.0, 1.0, vec![1.0]);
+        assert!(amplitude_spectrum(&w).is_err());
+        assert!(tone_amplitude_projection(&w, 1.0).is_err());
+    }
+
+    #[test]
+    fn projection_recovers_amplitude_without_power_of_two_length() {
+        // 3 kHz sine, amplitude 0.4, sampled over exactly two periods with a
+        // deliberately non-power-of-two sample count.
+        let f = 3000.0;
+        let w = Waveform::from_fn(0.0, 2.0 / f, 3e6, |t| {
+            0.2 + 0.4 * (2.0 * std::f64::consts::PI * f * t + 0.7).sin()
+        });
+        assert!(w.len() & (w.len() - 1) != 0, "length should not be a power of two");
+        let amp = tone_amplitude_projection(&w, f).unwrap();
+        assert!((amp - 0.4).abs() < 1e-3, "amp {amp}");
+        let dc = tone_amplitude_projection(&w, 0.0).unwrap();
+        assert!((dc - 0.2).abs() < 1e-3, "dc {dc}");
+    }
+}

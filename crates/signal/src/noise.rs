@@ -1,0 +1,124 @@
+//! Measurement-noise injection.
+//!
+//! §IV-C of the paper evaluates the test robustness with "high frequency
+//! white noise on the signals with null mean and a 3σ spread of 0.015 V".
+//! [`NoiseModel::paper_default`] reproduces exactly that setting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::waveform::Waveform;
+
+/// Additive white Gaussian noise applied to observed signals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Standard deviation of the noise in volts.
+    pub sigma: f64,
+    /// Mean value of the noise in volts (the paper uses 0).
+    pub mean: f64,
+}
+
+impl NoiseModel {
+    /// Creates a zero-mean noise model with the given standard deviation.
+    pub fn new(sigma: f64) -> Self {
+        NoiseModel { sigma, mean: 0.0 }
+    }
+
+    /// The paper's noise setting: null mean and a 3σ spread of 0.015 V,
+    /// i.e. σ = 5 mV.
+    pub fn paper_default() -> Self {
+        NoiseModel { sigma: 0.015 / 3.0, mean: 0.0 }
+    }
+
+    /// A noiseless model (σ = 0).
+    pub fn none() -> Self {
+        NoiseModel { sigma: 0.0, mean: 0.0 }
+    }
+
+    /// The 3σ spread of the model in volts.
+    pub fn three_sigma(&self) -> f64 {
+        3.0 * self.sigma
+    }
+
+    /// Draws one noise sample using the supplied random number generator.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mean;
+        }
+        // Box-Muller transform: two uniforms -> one standard normal draw.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.sigma * z
+    }
+
+    /// Returns a copy of `waveform` with independent noise added to every
+    /// sample, using a deterministic seed.
+    pub fn apply(&self, waveform: &Waveform, seed: u64) -> Waveform {
+        if self.sigma == 0.0 && self.mean == 0.0 {
+            return waveform.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> =
+            waveform.samples().iter().map(|&x| x + self.sample(&mut rng)).collect();
+        Waveform::new(waveform.start_time(), waveform.sample_rate(), samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_three_sigma_spec() {
+        let n = NoiseModel::paper_default();
+        assert!((n.three_sigma() - 0.015).abs() < 1e-12);
+        assert_eq!(n.mean, 0.0);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let w = Waveform::from_fn(0.0, 1e-3, 1e6, |t| t);
+        let noisy = NoiseModel::none().apply(&w, 42);
+        assert_eq!(noisy, w);
+    }
+
+    #[test]
+    fn sample_statistics_match_model() {
+        let n = NoiseModel::new(0.01);
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws.len() as f64;
+        assert!(mean.abs() < 5e-4, "mean {mean}");
+        assert!((var.sqrt() - 0.01).abs() < 5e-4, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn apply_is_deterministic_per_seed() {
+        let w = Waveform::from_fn(0.0, 1e-4, 1e6, |_| 0.5);
+        let n = NoiseModel::paper_default();
+        let a = n.apply(&w, 1);
+        let b = n.apply(&w, 1);
+        let c = n.apply(&w, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn apply_preserves_grid() {
+        let w = Waveform::from_fn(0.0, 1e-4, 2e6, |t| t * 1e3);
+        let noisy = NoiseModel::new(0.005).apply(&w, 3);
+        assert_eq!(noisy.len(), w.len());
+        assert_eq!(noisy.sample_rate(), w.sample_rate());
+        assert_eq!(noisy.start_time(), w.start_time());
+    }
+
+    #[test]
+    fn nonzero_mean_shifts_signal() {
+        let w = Waveform::from_fn(0.0, 1e-3, 1e5, |_| 0.0);
+        let n = NoiseModel { sigma: 0.0, mean: 0.1 };
+        let shifted = n.apply(&w, 0);
+        assert!((shifted.mean() - 0.1).abs() < 1e-12);
+    }
+}

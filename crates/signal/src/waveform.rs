@@ -1,0 +1,390 @@
+//! Uniformly sampled waveforms.
+
+use std::fmt;
+
+/// Errors produced by waveform operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalError {
+    /// The operation requires two waveforms with the same sampling grid.
+    GridMismatch {
+        /// Number of samples of the left operand.
+        left: usize,
+        /// Number of samples of the right operand.
+        right: usize,
+    },
+    /// The waveform has too few samples for the requested operation.
+    TooShort {
+        /// Number of samples available.
+        len: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+    /// An invalid parameter (non-positive sample rate, empty tone list, ...).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::GridMismatch { left, right } => {
+                write!(f, "sampling grids differ ({left} vs {right} samples)")
+            }
+            SignalError::TooShort { len, needed } => {
+                write!(f, "waveform has {len} samples but {needed} are required")
+            }
+            SignalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+/// A uniformly sampled real-valued waveform.
+///
+/// The time axis is implicit: sample `k` corresponds to `t0 + k / sample_rate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    start_time: f64,
+    sample_rate: f64,
+    samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from raw samples.
+    ///
+    /// # Panics
+    /// Panics if `sample_rate` is not strictly positive.
+    pub fn new(start_time: f64, sample_rate: f64, samples: Vec<f64>) -> Self {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        Waveform { start_time, sample_rate, samples }
+    }
+
+    /// Samples a closure `f(t)` over `[start_time, start_time + duration)` at
+    /// `sample_rate` hertz.
+    pub fn from_fn(start_time: f64, duration: f64, sample_rate: f64, f: impl Fn(f64) -> f64) -> Self {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        assert!(duration >= 0.0, "duration must be non-negative");
+        let n = (duration * sample_rate).round() as usize;
+        let samples = (0..n).map(|k| f(start_time + k as f64 / sample_rate)).collect();
+        Waveform { start_time, sample_rate, samples }
+    }
+
+    /// Builds a waveform from explicit `(time, value)` pairs that are assumed
+    /// to be uniformly spaced (as produced by the transient simulator with a
+    /// fixed step).
+    ///
+    /// # Errors
+    /// Returns [`SignalError::TooShort`] when fewer than two samples are given
+    /// and [`SignalError::InvalidParameter`] when times are not increasing.
+    pub fn from_samples(times: &[f64], values: &[f64]) -> Result<Self, SignalError> {
+        if times.len() < 2 || values.len() < 2 {
+            return Err(SignalError::TooShort { len: times.len().min(values.len()), needed: 2 });
+        }
+        if times.len() != values.len() {
+            return Err(SignalError::GridMismatch { left: times.len(), right: values.len() });
+        }
+        let dt = times[1] - times[0];
+        if !(dt > 0.0) {
+            return Err(SignalError::InvalidParameter("times must be strictly increasing".into()));
+        }
+        Ok(Waveform { start_time: times[0], sample_rate: 1.0 / dt, samples: values.to_vec() })
+    }
+
+    /// The time of the first sample, seconds.
+    pub fn start_time(&self) -> f64 {
+        self.start_time
+    }
+
+    /// The sample rate in hertz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// The sample period in seconds.
+    pub fn dt(&self) -> f64 {
+        1.0 / self.sample_rate
+    }
+
+    /// The sample values.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the waveform has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total covered duration in seconds (`len / sample_rate`).
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate
+    }
+
+    /// The time of sample `k`.
+    pub fn time_at(&self, k: usize) -> f64 {
+        self.start_time + k as f64 / self.sample_rate
+    }
+
+    /// Linear interpolation of the waveform at an arbitrary time.
+    ///
+    /// Times outside the covered range clamp to the first/last sample.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let pos = (t - self.start_time) * self.sample_rate;
+        if pos <= 0.0 {
+            return self.samples[0];
+        }
+        let idx = pos.floor() as usize;
+        if idx + 1 >= self.samples.len() {
+            return *self.samples.last().expect("non-empty");
+        }
+        let frac = pos - idx as f64;
+        self.samples[idx] * (1.0 - frac) + self.samples[idx + 1] * frac
+    }
+
+    /// Resamples the waveform onto a new rate over the same time span.
+    pub fn resample(&self, new_rate: f64) -> Waveform {
+        assert!(new_rate > 0.0, "sample rate must be positive");
+        let duration = self.duration();
+        Waveform::from_fn(self.start_time, duration, new_rate, |t| self.value_at(t))
+    }
+
+    /// Minimum sample value (0.0 for an empty waveform).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+    }
+
+    /// Maximum sample value (0.0 for an empty waveform).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+    }
+
+    /// Arithmetic mean of the samples (0.0 for an empty waveform).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Root-mean-square value of the samples.
+    pub fn rms(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            (self.samples.iter().map(|x| x * x).sum::<f64>() / self.samples.len() as f64).sqrt()
+        }
+    }
+
+    /// Peak-to-peak amplitude.
+    pub fn peak_to_peak(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.max() - self.min()
+        }
+    }
+
+    /// Applies a function to every sample, returning a new waveform on the
+    /// same grid.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Waveform {
+        Waveform {
+            start_time: self.start_time,
+            sample_rate: self.sample_rate,
+            samples: self.samples.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Adds another waveform sample-by-sample.
+    ///
+    /// # Errors
+    /// Returns [`SignalError::GridMismatch`] if the lengths differ.
+    pub fn add(&self, other: &Waveform) -> Result<Waveform, SignalError> {
+        if self.samples.len() != other.samples.len() {
+            return Err(SignalError::GridMismatch { left: self.samples.len(), right: other.samples.len() });
+        }
+        Ok(Waveform {
+            start_time: self.start_time,
+            sample_rate: self.sample_rate,
+            samples: self.samples.iter().zip(&other.samples).map(|(a, b)| a + b).collect(),
+        })
+    }
+
+    /// Clamps every sample into `[lo, hi]` (models supply-rail saturation).
+    pub fn clamp(&self, lo: f64, hi: f64) -> Waveform {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Applies a first-order low-pass filter with the given cutoff frequency,
+    /// returning the filtered waveform on the same grid.
+    ///
+    /// This models the finite input bandwidth of an observation front-end
+    /// (e.g. the zoning monitor): out-of-band noise is attenuated while
+    /// signals well below the cutoff pass essentially unchanged. The filter
+    /// state is initialized to the first sample to avoid a start-up step.
+    pub fn lowpass(&self, cutoff_hz: f64) -> Waveform {
+        assert!(cutoff_hz > 0.0, "cutoff frequency must be positive");
+        if self.samples.is_empty() {
+            return self.clone();
+        }
+        let alpha = {
+            let rc = 1.0 / (2.0 * std::f64::consts::PI * cutoff_hz);
+            self.dt() / (self.dt() + rc)
+        };
+        let mut state = self.samples[0];
+        let samples = self
+            .samples
+            .iter()
+            .map(|&x| {
+                state += alpha * (x - state);
+                state
+            })
+            .collect();
+        Waveform { start_time: self.start_time, sample_rate: self.sample_rate, samples }
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_samples_expected_grid() {
+        let w = Waveform::from_fn(0.0, 1.0, 10.0, |t| t);
+        assert_eq!(w.len(), 10);
+        assert!((w.time_at(3) - 0.3).abs() < 1e-12);
+        assert!((w.samples()[3] - 0.3).abs() < 1e-12);
+        assert!((w.duration() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_at_interpolates_and_clamps() {
+        let w = Waveform::new(0.0, 1.0, vec![0.0, 1.0, 2.0]);
+        assert!((w.value_at(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(10.0), 2.0);
+    }
+
+    #[test]
+    fn from_samples_roundtrip() {
+        let times = vec![0.0, 0.1, 0.2, 0.3];
+        let values = vec![1.0, 2.0, 3.0, 4.0];
+        let w = Waveform::from_samples(&times, &values).unwrap();
+        assert!((w.sample_rate() - 10.0).abs() < 1e-9);
+        assert_eq!(w.samples(), &values[..]);
+    }
+
+    #[test]
+    fn from_samples_rejects_bad_input() {
+        assert!(Waveform::from_samples(&[0.0], &[1.0]).is_err());
+        assert!(Waveform::from_samples(&[0.0, 0.1, 0.2], &[1.0, 2.0]).is_err());
+        assert!(Waveform::from_samples(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn statistics_on_known_signal() {
+        let w = Waveform::new(0.0, 1.0, vec![-1.0, 1.0, -1.0, 1.0]);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.rms(), 1.0);
+        assert_eq!(w.min(), -1.0);
+        assert_eq!(w.max(), 1.0);
+        assert_eq!(w.peak_to_peak(), 2.0);
+    }
+
+    #[test]
+    fn empty_waveform_statistics_are_zero() {
+        let w = Waveform::new(0.0, 1.0, vec![]);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.rms(), 0.0);
+        assert_eq!(w.value_at(1.0), 0.0);
+        assert_eq!(w.peak_to_peak(), 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_shape() {
+        let w = Waveform::from_fn(0.0, 1.0, 100.0, |t| (2.0 * std::f64::consts::PI * 2.0 * t).sin());
+        let r = w.resample(1000.0);
+        assert_eq!(r.len(), 1000);
+        // Values at matching times agree within interpolation error.
+        assert!((r.value_at(0.26) - w.value_at(0.26)).abs() < 0.01);
+    }
+
+    #[test]
+    fn map_add_clamp() {
+        let a = Waveform::new(0.0, 1.0, vec![0.0, 1.0, 2.0]);
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.samples(), &[0.0, 2.0, 4.0]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.samples(), &[0.0, 3.0, 6.0]);
+        let d = c.clamp(0.0, 4.0);
+        assert_eq!(d.samples(), &[0.0, 3.0, 4.0]);
+        let mismatched = Waveform::new(0.0, 1.0, vec![1.0]);
+        assert!(a.add(&mismatched).is_err());
+    }
+
+    #[test]
+    fn lowpass_passes_slow_signals_and_attenuates_fast_ones() {
+        // 1 kHz signal through a 100 kHz filter: essentially unchanged.
+        let slow = Waveform::from_fn(0.0, 2e-3, 1e6, |t| (2.0 * std::f64::consts::PI * 1e3 * t).sin());
+        let filtered = slow.lowpass(100e3);
+        let err: f64 = slow
+            .samples()
+            .iter()
+            .zip(filtered.samples())
+            .skip(100)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 0.02, "pass-band error {err}");
+        // 500 kHz signal through a 50 kHz filter: strongly attenuated.
+        let fast = Waveform::from_fn(0.0, 1e-4, 1e7, |t| (2.0 * std::f64::consts::PI * 500e3 * t).sin());
+        let attenuated = fast.lowpass(50e3);
+        let tail: Vec<f64> = attenuated.samples().iter().copied().skip(500).collect();
+        let amp = tail.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        assert!(amp < 0.15, "stop-band amplitude {amp}");
+    }
+
+    #[test]
+    fn lowpass_reduces_white_noise_variance() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let noisy = Waveform::new(
+            0.0,
+            4e6,
+            (0..4000).map(|_| rng.gen_range(-0.01..0.01)).collect(),
+        );
+        let filtered = noisy.lowpass(300e3);
+        assert!(filtered.rms() < 0.6 * noisy.rms(), "rms {} vs {}", filtered.rms(), noisy.rms());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SignalError::GridMismatch { left: 3, right: 2 };
+        assert!(e.to_string().contains("3"));
+        let e = SignalError::TooShort { len: 1, needed: 2 };
+        assert!(e.to_string().contains("1"));
+        let e = SignalError::InvalidParameter("x".into());
+        assert!(e.to_string().contains("x"));
+    }
+}

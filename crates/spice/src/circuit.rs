@@ -1,0 +1,563 @@
+//! Circuit (netlist) construction.
+//!
+//! A [`Circuit`] is a flat netlist of two-, three- and four-terminal elements
+//! connected between named nodes. Node `"0"` (also available as
+//! [`Circuit::ground`]) is the reference node.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_spice::{Circuit, SourceWaveform};
+//!
+//! # fn main() -> Result<(), sim_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let vout = ckt.node("out");
+//! let gnd = ckt.ground();
+//! ckt.add_vsource("V1", vin, gnd, SourceWaveform::Dc(1.0))?;
+//! ckt.add_resistor("R1", vin, vout, 1e3)?;
+//! ckt.add_resistor("R2", vout, gnd, 1e3)?;
+//! let op = sim_spice::dc_operating_point(&ckt)?;
+//! assert!((op.voltage(vout) - 0.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::devices::MosParams;
+use crate::error::{Result, SpiceError};
+use crate::source::SourceWaveform;
+
+/// A handle to a circuit node.
+///
+/// Nodes are cheap copies of an index into the circuit's node table;
+/// handles from one circuit must not be used with another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// The reference (ground) node.
+    pub const GROUND: Node = Node(0);
+
+    /// Index of the node inside its circuit (0 is ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this handle refers to the reference node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A netlist element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Linear inductor between `a` and `b` (adds one branch-current unknown).
+    Inductor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Inductance in henries.
+        henries: f64,
+    },
+    /// Independent voltage source; `pos` is the positive terminal.
+    VoltageSource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        pos: Node,
+        /// Negative terminal.
+        neg: Node,
+        /// Driving waveform.
+        waveform: SourceWaveform,
+    },
+    /// Independent current source driving current from `from` into `to`.
+    CurrentSource {
+        /// Instance name.
+        name: String,
+        /// Node the current is drawn from.
+        from: Node,
+        /// Node the current is injected into.
+        to: Node,
+        /// Driving waveform (amperes).
+        waveform: SourceWaveform,
+    },
+    /// Voltage-controlled voltage source: `v(out_pos) - v(out_neg) = gain * (v(ctrl_pos) - v(ctrl_neg))`.
+    Vcvs {
+        /// Instance name.
+        name: String,
+        /// Positive output terminal.
+        out_pos: Node,
+        /// Negative output terminal.
+        out_neg: Node,
+        /// Positive controlling terminal.
+        ctrl_pos: Node,
+        /// Negative controlling terminal.
+        ctrl_neg: Node,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Voltage-controlled current source driving `gm * (v(ctrl_pos) - v(ctrl_neg))`
+    /// from `out_pos` to `out_neg`.
+    Vccs {
+        /// Instance name.
+        name: String,
+        /// Terminal the current leaves.
+        out_pos: Node,
+        /// Terminal the current enters.
+        out_neg: Node,
+        /// Positive controlling terminal.
+        ctrl_pos: Node,
+        /// Negative controlling terminal.
+        ctrl_neg: Node,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Ideal operational amplifier (nullor): forces `v(in_pos) = v(in_neg)`
+    /// by sourcing whatever current is needed at `out`.
+    IdealOpAmp {
+        /// Instance name.
+        name: String,
+        /// Non-inverting input.
+        in_pos: Node,
+        /// Inverting input.
+        in_neg: Node,
+        /// Output terminal.
+        out: Node,
+    },
+    /// Level-1 MOSFET (drain, gate, source; bulk tied to source).
+    Mosfet {
+        /// Instance name.
+        name: String,
+        /// Drain terminal.
+        drain: Node,
+        /// Gate terminal.
+        gate: Node,
+        /// Source terminal.
+        source: Node,
+        /// Model parameters.
+        params: MosParams,
+    },
+}
+
+impl Element {
+    /// Instance name of the element.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Inductor { name, .. }
+            | Element::VoltageSource { name, .. }
+            | Element::CurrentSource { name, .. }
+            | Element::Vcvs { name, .. }
+            | Element::Vccs { name, .. }
+            | Element::IdealOpAmp { name, .. }
+            | Element::Mosfet { name, .. } => name,
+        }
+    }
+
+    /// Whether the element introduces a branch-current unknown in MNA.
+    pub fn needs_branch(&self) -> bool {
+        matches!(
+            self,
+            Element::VoltageSource { .. }
+                | Element::Inductor { .. }
+                | Element::Vcvs { .. }
+                | Element::IdealOpAmp { .. }
+        )
+    }
+}
+
+/// A flat netlist of elements between named nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_index: HashMap<String, usize>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node `"0"`.
+    pub fn new() -> Self {
+        let mut ckt = Circuit { node_names: Vec::new(), name_to_index: HashMap::new(), elements: Vec::new() };
+        ckt.node_names.push("0".to_string());
+        ckt.name_to_index.insert("0".to_string(), 0);
+        ckt
+    }
+
+    /// The reference node.
+    pub fn ground(&self) -> Node {
+        Node::GROUND
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    pub fn node(&mut self, name: &str) -> Node {
+        if let Some(&idx) = self.name_to_index.get(name) {
+            return Node(idx);
+        }
+        let idx = self.node_names.len();
+        self.node_names.push(name.to_string());
+        self.name_to_index.insert(name.to_string(), idx);
+        Node(idx)
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    /// Returns [`SpiceError::UnknownNode`] if no node with that name exists.
+    pub fn find_node(&self, name: &str) -> Result<Node> {
+        self.name_to_index
+            .get(name)
+            .map(|&idx| Node(idx))
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))
+    }
+
+    /// The name of a node.
+    pub fn node_name(&self, node: Node) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of elements in the netlist.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    fn check_positive(name: &str, what: &str, value: f64) -> Result<()> {
+        if !(value > 0.0) || !value.is_finite() {
+            return Err(SpiceError::InvalidParameter {
+                what: name.to_string(),
+                message: format!("{what} must be a positive finite number (got {value})"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    /// Returns [`SpiceError::InvalidParameter`] if `ohms` is not positive and finite.
+    pub fn add_resistor(&mut self, name: &str, a: Node, b: Node, ohms: f64) -> Result<()> {
+        Self::check_positive(name, "resistance", ohms)?;
+        self.elements.push(Element::Resistor { name: name.to_string(), a, b, ohms });
+        Ok(())
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    /// Returns [`SpiceError::InvalidParameter`] if `farads` is not positive and finite.
+    pub fn add_capacitor(&mut self, name: &str, a: Node, b: Node, farads: f64) -> Result<()> {
+        Self::check_positive(name, "capacitance", farads)?;
+        self.elements.push(Element::Capacitor { name: name.to_string(), a, b, farads });
+        Ok(())
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    /// Returns [`SpiceError::InvalidParameter`] if `henries` is not positive and finite.
+    pub fn add_inductor(&mut self, name: &str, a: Node, b: Node, henries: f64) -> Result<()> {
+        Self::check_positive(name, "inductance", henries)?;
+        self.elements.push(Element::Inductor { name: name.to_string(), a, b, henries });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Errors
+    /// Currently infallible for all waveforms; returns `Ok(())`.
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        pos: Node,
+        neg: Node,
+        waveform: impl Into<SourceWaveform>,
+    ) -> Result<()> {
+        self.elements.push(Element::VoltageSource {
+            name: name.to_string(),
+            pos,
+            neg,
+            waveform: waveform.into(),
+        });
+        Ok(())
+    }
+
+    /// Adds an independent current source driving current from `from` into `to`.
+    ///
+    /// # Errors
+    /// Currently infallible for all waveforms; returns `Ok(())`.
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        from: Node,
+        to: Node,
+        waveform: impl Into<SourceWaveform>,
+    ) -> Result<()> {
+        self.elements.push(Element::CurrentSource {
+            name: name.to_string(),
+            from,
+            to,
+            waveform: waveform.into(),
+        });
+        Ok(())
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    ///
+    /// # Errors
+    /// Returns [`SpiceError::InvalidParameter`] if `gain` is not finite.
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        out_pos: Node,
+        out_neg: Node,
+        ctrl_pos: Node,
+        ctrl_neg: Node,
+        gain: f64,
+    ) -> Result<()> {
+        if !gain.is_finite() {
+            return Err(SpiceError::InvalidParameter {
+                what: name.to_string(),
+                message: "gain must be finite".to_string(),
+            });
+        }
+        self.elements.push(Element::Vcvs { name: name.to_string(), out_pos, out_neg, ctrl_pos, ctrl_neg, gain });
+        Ok(())
+    }
+
+    /// Adds a voltage-controlled current source.
+    ///
+    /// # Errors
+    /// Returns [`SpiceError::InvalidParameter`] if `gm` is not finite.
+    pub fn add_vccs(
+        &mut self,
+        name: &str,
+        out_pos: Node,
+        out_neg: Node,
+        ctrl_pos: Node,
+        ctrl_neg: Node,
+        gm: f64,
+    ) -> Result<()> {
+        if !gm.is_finite() {
+            return Err(SpiceError::InvalidParameter {
+                what: name.to_string(),
+                message: "transconductance must be finite".to_string(),
+            });
+        }
+        self.elements.push(Element::Vccs { name: name.to_string(), out_pos, out_neg, ctrl_pos, ctrl_neg, gm });
+        Ok(())
+    }
+
+    /// Adds an ideal operational amplifier (nullor model).
+    ///
+    /// # Errors
+    /// Currently infallible; returns `Ok(())`.
+    pub fn add_opamp(&mut self, name: &str, in_pos: Node, in_neg: Node, out: Node) -> Result<()> {
+        self.elements.push(Element::IdealOpAmp { name: name.to_string(), in_pos, in_neg, out });
+        Ok(())
+    }
+
+    /// Adds a level-1 MOSFET (bulk tied to source).
+    ///
+    /// # Errors
+    /// Returns [`SpiceError::InvalidParameter`] if the model parameters are invalid.
+    pub fn add_mosfet(&mut self, name: &str, drain: Node, gate: Node, source: Node, params: MosParams) -> Result<()> {
+        params.validate()?;
+        self.elements.push(Element::Mosfet { name: name.to_string(), drain, gate, source, params });
+        Ok(())
+    }
+}
+
+/// The unknown layout used by MNA assembly: node voltages followed by
+/// branch currents of the elements that require them.
+#[derive(Debug, Clone)]
+pub struct MnaLayout {
+    /// Number of non-ground nodes.
+    pub num_node_unknowns: usize,
+    /// For each element (by index), the branch-current unknown index, if any.
+    pub branch_of_element: Vec<Option<usize>>,
+    /// Total number of unknowns (nodes + branches).
+    pub total_unknowns: usize,
+}
+
+impl MnaLayout {
+    /// Builds the unknown layout for a circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let num_node_unknowns = circuit.node_count() - 1;
+        let mut branch_of_element = Vec::with_capacity(circuit.element_count());
+        let mut next_branch = num_node_unknowns;
+        for element in circuit.elements() {
+            if element.needs_branch() {
+                branch_of_element.push(Some(next_branch));
+                next_branch += 1;
+            } else {
+                branch_of_element.push(None);
+            }
+        }
+        MnaLayout { num_node_unknowns, branch_of_element, total_unknowns: next_branch }
+    }
+
+    /// Index of the unknown associated with a node, or `None` for ground.
+    pub fn node_unknown(&self, node: Node) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Reads the voltage of a node from a solution vector (0.0 for ground).
+    pub fn voltage_from(&self, solution: &[f64], node: Node) -> f64 {
+        match self.node_unknown(node) {
+            Some(idx) => solution[idx],
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::MosParams;
+
+    #[test]
+    fn node_creation_is_idempotent() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node_count(), 2);
+        assert_eq!(ckt.node_name(a), "a");
+    }
+
+    #[test]
+    fn ground_is_node_zero() {
+        let ckt = Circuit::new();
+        assert!(ckt.ground().is_ground());
+        assert_eq!(ckt.ground().index(), 0);
+        assert_eq!(ckt.node_name(ckt.ground()), "0");
+    }
+
+    #[test]
+    fn find_node_errors_on_missing() {
+        let ckt = Circuit::new();
+        assert!(matches!(ckt.find_node("nope"), Err(SpiceError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn invalid_resistor_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = ckt.ground();
+        assert!(ckt.add_resistor("R1", a, g, 0.0).is_err());
+        assert!(ckt.add_resistor("R1", a, g, f64::NAN).is_err());
+        assert!(ckt.add_resistor("R1", a, g, -5.0).is_err());
+        assert!(ckt.add_resistor("R1", a, g, 1e3).is_ok());
+    }
+
+    #[test]
+    fn invalid_capacitor_and_inductor_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = ckt.ground();
+        assert!(ckt.add_capacitor("C1", a, g, -1e-9).is_err());
+        assert!(ckt.add_inductor("L1", a, g, 0.0).is_err());
+    }
+
+    #[test]
+    fn layout_assigns_branches_in_order() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let g = ckt.ground();
+        ckt.add_vsource("V1", a, g, 1.0).unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_inductor("L1", b, g, 1e-3).unwrap();
+        let layout = MnaLayout::new(&ckt);
+        assert_eq!(layout.num_node_unknowns, 2);
+        assert_eq!(layout.total_unknowns, 4);
+        assert_eq!(layout.branch_of_element, vec![Some(2), None, Some(3)]);
+    }
+
+    #[test]
+    fn layout_node_unknowns() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let layout = MnaLayout::new(&ckt);
+        assert_eq!(layout.node_unknown(ckt.ground()), None);
+        assert_eq!(layout.node_unknown(a), Some(0));
+        assert_eq!(layout.voltage_from(&[1.5], a), 1.5);
+        assert_eq!(layout.voltage_from(&[1.5], ckt.ground()), 0.0);
+    }
+
+    #[test]
+    fn element_names_and_branch_flags() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = ckt.ground();
+        ckt.add_vsource("V1", a, g, 1.0).unwrap();
+        ckt.add_mosfet("M1", a, a, g, MosParams::nmos_65nm(1e-6, 180e-9)).unwrap();
+        let elems = ckt.elements();
+        assert_eq!(elems[0].name(), "V1");
+        assert!(elems[0].needs_branch());
+        assert_eq!(elems[1].name(), "M1");
+        assert!(!elems[1].needs_branch());
+    }
+
+    #[test]
+    fn mosfet_with_bad_params_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = ckt.ground();
+        let bad = MosParams::nmos_65nm(-1.0, 180e-9);
+        assert!(ckt.add_mosfet("M1", a, a, g, bad).is_err());
+    }
+
+    #[test]
+    fn vcvs_and_vccs_validation() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = ckt.ground();
+        assert!(ckt.add_vcvs("E1", a, g, a, g, f64::INFINITY).is_err());
+        assert!(ckt.add_vccs("G1", a, g, a, g, f64::NAN).is_err());
+        assert!(ckt.add_vcvs("E1", a, g, a, g, 2.0).is_ok());
+        assert!(ckt.add_vccs("G1", a, g, a, g, 1e-3).is_ok());
+    }
+}

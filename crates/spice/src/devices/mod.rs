@@ -1,0 +1,5 @@
+//! Device models available to the circuit builder.
+
+pub mod mosfet;
+
+pub use mosfet::{evaluate, saturation_current, MosEval, MosParams, MosPolarity, MosRegion, THERMAL_VOLTAGE};

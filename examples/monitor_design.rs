@@ -1,0 +1,67 @@
+//! Monitor design exploration: the six Table I configurations, their boundary
+//! curves, the process-variation envelope and the layout area estimate.
+//!
+//! Run with: `cargo run --example monitor_design`
+
+use analog_signature::monitor::{
+    monte_carlo_envelope, table1_comparators, table1_rows, trace_boundary, AreaModel,
+    ProcessVariation, Window,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = table1_rows();
+    let comparators = table1_comparators()?;
+    let window = Window::unit();
+    let area_model = AreaModel::calibrated_65nm();
+
+    println!("Table I monitor configurations (L = 180 nm):");
+    println!(
+        "{:>6} {:>22} {:>30} {:>12} {:>12}",
+        "curve", "widths M1..M4 (nm)", "inputs V1..V4", "slope", "area (um2)"
+    );
+    for (row, comparator) in rows.iter().zip(&comparators) {
+        let curve = trace_boundary(comparator, &window, 101);
+        let slope = curve
+            .mean_slope()
+            .map(|s| format!("{s:+.2}"))
+            .unwrap_or_else(|| "n/a".to_string());
+        let inputs = row
+            .inputs
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{:>6} {:>22} {:>30} {:>12} {:>12.1}",
+            row.curve,
+            format!("{:?}", row.widths_nm.map(|w| w as u32)),
+            inputs,
+            slope,
+            area_model.total_area_um2(comparator),
+        );
+    }
+
+    println!();
+    println!(
+        "Paper-reported areas: core {:.2} um2, with output stage {:.1} um2",
+        analog_signature::monitor::area::PAPER_MONITOR_CORE_AREA_UM2,
+        analog_signature::monitor::area::PAPER_MONITOR_TOTAL_AREA_UM2
+    );
+    println!(
+        "Six-monitor bank estimate: {:.0} um2",
+        area_model.bank_area_um2(comparators.iter())
+    );
+
+    // Monte Carlo spread of one representative curve (curve 3).
+    println!();
+    let variation = ProcessVariation::nominal_65nm();
+    let envelope = monte_carlo_envelope(&comparators[2], &variation, &window, 41, 200, 7)?;
+    println!(
+        "Curve 3 Monte Carlo envelope over {} instances: mean half-width {:.1} mV",
+        envelope.instances,
+        envelope.mean_half_width() * 1e3
+    );
+    println!("(the fabricated monitor's measured curves are reported to lie inside this kind of envelope)");
+
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Noise-robustness scenario (§IV-C): how small an f0 deviation can the
+//! signature test detect as the measurement noise level grows?
+//!
+//! The paper reports that with white noise of 3-sigma = 0.015 V, deviations as
+//! low as 1 % in the natural frequency are still detected.
+//!
+//! Run with: `cargo run --example noise_robustness`
+
+use analog_signature::dsig::{AcceptanceBand, TestFlow, TestSetup};
+use analog_signature::filters::BiquadParams;
+use analog_signature::signal::NoiseModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = BiquadParams::paper_default();
+
+    println!("{:>16} {:>14} {:>22}", "noise 3-sigma", "NDF floor", "min detectable f0 dev");
+    for three_sigma in [0.0, 0.005, 0.015, 0.03, 0.06] {
+        let noise = if three_sigma == 0.0 { NoiseModel::none() } else { NoiseModel::new(three_sigma / 3.0) };
+        let setup = TestSetup::paper_default()?
+            .with_sample_rate(2e6)?
+            .with_noise(noise);
+        let flow = TestFlow::new(setup, reference)?;
+
+        // The NDF "floor" is what a perfectly nominal device measures under
+        // this noise level (averaged over repeated measurements); the
+        // detection threshold must sit above it.
+        let (_, floor_max) = flow.noise_floor(4, 6, 100)?;
+        let band = AcceptanceBand::new(floor_max * 1.2 + 1e-4)?;
+        let min_dev = flow.minimum_detectable_deviation(&band, 10.0, 6, 7)?;
+
+        println!(
+            "{:>13.3} V {:>14.4} {:>22}",
+            three_sigma,
+            floor_max,
+            min_dev
+                .map(|d| format!("{d:.2} %"))
+                .unwrap_or_else(|| "> 10 %".to_string())
+        );
+    }
+
+    println!();
+    println!("At the paper's noise level (3-sigma = 0.015 V) the minimum detectable");
+    println!("deviation should be on the order of 1 %, reproducing the §IV-C claim.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Production screening scenario: a lot of devices with process spread on the
+//! Biquad natural frequency is screened with the digital-signature test, and
+//! the yield / test-escape / false-reject statistics are reported.
+//!
+//! Run with: `cargo run --example production_screening`
+
+use analog_signature::dsig::{TestFlow, TestSetup};
+use analog_signature::filters::BiquadParams;
+use analog_signature::signal::NoiseModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Production measurements carry the paper's noise level (3-sigma = 15 mV).
+    let setup = TestSetup::paper_default()?
+        .with_sample_rate(1e6)?
+        .with_noise(NoiseModel::paper_default());
+    let flow = TestFlow::new(setup, BiquadParams::paper_default())?;
+
+    // Specification: f0 within +/-3 %. Calibrate the NDF acceptance band.
+    let tolerance_pct = 3.0;
+    let deviations: Vec<f64> = (-20..=20).map(|d| d as f64).collect();
+    let band = flow.calibrate_band(&deviations, tolerance_pct)?;
+    println!("spec tolerance     : +/-{tolerance_pct}% on f0");
+    println!("NDF acceptance band: <= {:.4}", band.ndf_threshold);
+    println!();
+
+    // Screen lots with different amounts of process spread.
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>10} {:>12} {:>14}",
+        "sigma(f0) %", "devices", "pass", "fail", "yield %", "escape %", "false rej %"
+    );
+    for sigma_pct in [1.0, 2.0, 4.0, 8.0] {
+        let stats = flow.screen_population(200, sigma_pct, tolerance_pct, &band, 2024)?;
+        println!(
+            "{:>12.1} {:>8} {:>8} {:>8} {:>10.1} {:>12.1} {:>14.1}",
+            sigma_pct,
+            stats.total,
+            stats.passed,
+            stats.failed,
+            100.0 * stats.test_yield(),
+            100.0 * stats.escape_rate(),
+            100.0 * stats.false_reject_rate(),
+        );
+    }
+
+    println!();
+    println!("Escapes are out-of-spec devices accepted by the test; false rejects are");
+    println!("in-spec devices rejected. Both shrink as the NDF curve gets steeper around");
+    println!("the tolerance edge (see the fig8_ndf_sweep reproduction binary).");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quick start: verify the natural frequency of a Biquad filter with a
+//! digital signature, exactly as in the paper's §IV.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use analog_signature::dsig::{TestFlow, TestSetup};
+use analog_signature::filters::{BiquadParams, Fault};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Characterization: nominal CUT, paper stimulus, six Table I monitors.
+    let setup = TestSetup::paper_default()?.with_sample_rate(2e6)?;
+    let reference = BiquadParams::paper_default();
+    let flow = TestFlow::new(setup, reference)?;
+
+    println!("Golden signature: {} zone traversals over {:.1} us", flow.golden().len(), flow.golden().total_duration() * 1e6);
+    println!("  distinct zones visited: {}", flow.golden().distinct_zones());
+    println!();
+
+    // 2. Calibrate the acceptance band for a ±3 % f0 tolerance using a
+    //    Fig. 8 style characterization sweep.
+    let deviations: Vec<f64> = (-20..=20).map(|d| d as f64).collect();
+    let band = flow.calibrate_band(&deviations, 3.0)?;
+    println!("Acceptance band calibrated for +/-3% tolerance: NDF <= {:.4}", band.ndf_threshold);
+    println!();
+
+    // 3. Verify a few devices.
+    println!("{:>12} {:>10} {:>8}", "f0 shift", "NDF", "verdict");
+    for shift in [0.0, 1.0, 2.5, 5.0, 10.0, -10.0, 20.0] {
+        let report = flow.evaluate_fault(&Fault::F0ShiftPct(shift), 42)?;
+        let verdict = band.decide(report.ndf);
+        println!("{:>11.1}% {:>10.4} {:>8}", shift, report.ndf, verdict);
+    }
+
+    // 4. Catastrophic defects are caught too.
+    println!();
+    for fault in [
+        Fault::Open(analog_signature::filters::ComponentRef::R1),
+        Fault::Short(analog_signature::filters::ComponentRef::C1),
+    ] {
+        let report = flow.evaluate_fault(&fault, 42)?;
+        println!("{:<10} NDF = {:.4} -> {}", fault.to_string(), report.ndf, band.decide(report.ndf));
+    }
+
+    Ok(())
+}

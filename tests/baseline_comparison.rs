@@ -1,0 +1,77 @@
+//! Integration tests of the baseline methods against the paper's nonlinear
+//! zoning: the same f0 deviations are scored by (a) the nonlinear-boundary
+//! signature NDF, (b) the straight-line zoning signature NDF and (c) a raw
+//! waveform-comparison metric. All three should grow with the deviation; the
+//! signature-based ones share the same capture hardware model.
+
+use analog_signature::dsig::{capture_signature, ndf, normalized_output_error, LinearZoning, TestSetup};
+use analog_signature::filters::BiquadParams;
+use analog_signature::signal::MultitoneSpec;
+
+fn signatures_for(deviation_pct: f64, encoder: &dyn analog_signature::dsig::PointEncoder) -> (f64, f64) {
+    // Returns (ndf for deviation, ndf for nominal) with the given encoder.
+    let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+    let reference = BiquadParams::paper_default();
+    let (xg, yg) = setup.observe(&reference, 0);
+    let golden = capture_signature(encoder, &xg, &yg, setup.clock.as_ref()).unwrap();
+    let cut = reference.with_f0_shift_pct(deviation_pct);
+    let (xo, yo) = setup.observe(&cut, 1);
+    let observed = capture_signature(encoder, &xo, &yo, setup.clock.as_ref()).unwrap();
+    let (xn, yn) = setup.observe(&reference, 2);
+    let nominal = capture_signature(encoder, &xn, &yn, setup.clock.as_ref()).unwrap();
+    (ndf(&golden, &observed).unwrap(), ndf(&golden, &nominal).unwrap())
+}
+
+#[test]
+fn linear_zoning_also_detects_large_deviations() {
+    let linear = LinearZoning::paper_comparable();
+    let (ndf_10, ndf_0) = signatures_for(10.0, &linear);
+    assert!(ndf_0 < 1e-9, "nominal device must score 0 with straight lines too");
+    assert!(ndf_10 > 0.01, "straight-line zoning should still see a 10% shift (ndf {ndf_10})");
+}
+
+#[test]
+fn nonlinear_zoning_is_at_least_as_sensitive_as_straight_lines_for_small_shifts() {
+    let setup_encoder = analog_signature::monitor::ZonePartition::paper_default().unwrap();
+    let linear = LinearZoning::paper_comparable();
+    // Average over a few small deviations to smooth out individual zone effects.
+    let mut nonlinear_sum = 0.0;
+    let mut linear_sum = 0.0;
+    for dev in [2.0, 3.0, 4.0] {
+        nonlinear_sum += signatures_for(dev, &setup_encoder).0;
+        linear_sum += signatures_for(dev, &linear).0;
+    }
+    assert!(
+        nonlinear_sum > 0.3 * linear_sum,
+        "nonlinear zoning should be competitive: {nonlinear_sum} vs {linear_sum}"
+    );
+    assert!(nonlinear_sum > 0.0);
+}
+
+#[test]
+fn rms_baseline_grows_with_deviation_like_the_ndf() {
+    let stimulus = MultitoneSpec::paper_default();
+    let reference = BiquadParams::paper_default();
+    let golden = reference.steady_state_response(&stimulus, 1, 1e6);
+    let mut last = 0.0;
+    for dev in [0.0, 5.0, 10.0, 20.0] {
+        let cut = reference.with_f0_shift_pct(dev);
+        let out = cut.steady_state_response(&stimulus, 1, 1e6);
+        let err = normalized_output_error(&golden, &out).unwrap();
+        assert!(err >= last - 1e-12, "waveform error must grow with deviation");
+        last = err;
+    }
+    assert!(last > 0.01);
+}
+
+#[test]
+fn signature_compression_is_substantial_compared_to_raw_waveforms() {
+    // The practical benefit of the method: the signature is a handful of
+    // (code, duration) pairs instead of thousands of waveform samples.
+    let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+    let reference = BiquadParams::paper_default();
+    let (x, y) = setup.observe(&reference, 0);
+    let sig = capture_signature(&setup.partition, &x, &y, setup.clock.as_ref()).unwrap();
+    let raw_samples = x.len() + y.len();
+    assert!(sig.len() * 10 < raw_samples, "signature with {} entries vs {} raw samples", sig.len(), raw_samples);
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration tests: stimulus → Biquad CUT → monitors →
+//! signature → NDF → decision, across all workspace crates.
+
+use analog_signature::dsig::{AcceptanceBand, TestFlow, TestOutcome, TestSetup};
+use analog_signature::filters::{BiquadParams, ComponentRef, Fault};
+use analog_signature::signal::NoiseModel;
+
+fn paper_flow() -> TestFlow {
+    let setup = TestSetup::paper_default()
+        .expect("paper setup")
+        .with_sample_rate(1e6)
+        .expect("sample rate");
+    TestFlow::new(setup, BiquadParams::paper_default()).expect("flow")
+}
+
+#[test]
+fn ten_percent_shift_ndf_matches_paper_order_of_magnitude() {
+    // The paper reports NDF = 0.1021 for a +10% f0 shift (Fig. 7). Our
+    // substrate differs (simulated monitors and filter), so we check the
+    // order of magnitude and general placement, not the exact value.
+    let flow = paper_flow();
+    let report = flow.evaluate_fault(&Fault::F0ShiftPct(10.0), 1).expect("evaluate");
+    assert!(
+        report.ndf > 0.04 && report.ndf < 0.25,
+        "NDF for +10% f0 shift should be near 0.1, got {}",
+        report.ndf
+    );
+}
+
+#[test]
+fn ndf_grows_monotonically_with_positive_deviation() {
+    let flow = paper_flow();
+    let sweep = flow
+        .sweep_f0(&[0.0, 2.0, 5.0, 10.0, 15.0, 20.0])
+        .expect("sweep");
+    for pair in sweep.windows(2) {
+        assert!(
+            pair[1].ndf >= pair[0].ndf - 1e-9,
+            "NDF must not decrease with deviation: {:?} -> {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // Fig. 8: the NDF at 20% deviation is substantially larger than at 5%.
+    assert!(sweep[5].ndf > 2.0 * sweep[2].ndf);
+}
+
+#[test]
+fn ndf_is_roughly_linear_and_symmetric_like_fig8() {
+    let flow = paper_flow();
+    let devs: Vec<f64> = vec![-20.0, -15.0, -10.0, -5.0, 5.0, 10.0, 15.0, 20.0];
+    let sweep = flow.sweep_f0(&devs).expect("sweep");
+    // Rough linearity: NDF(2d) should be between 1.2x and 3.5x NDF(d).
+    let ndf_at = |d: f64| sweep.iter().find(|p| p.deviation_pct == d).expect("point").ndf;
+    for d in [5.0, 10.0, -5.0, -10.0] {
+        let ratio = ndf_at(2.0 * d) / ndf_at(d);
+        assert!(ratio > 1.2 && ratio < 3.5, "NDF({}) / NDF({}) = {}", 2.0 * d, d, ratio);
+    }
+    // Rough symmetry: same sign-magnitude deviations agree within a factor ~2.5.
+    for d in [5.0, 10.0, 20.0] {
+        let ratio = ndf_at(d) / ndf_at(-d);
+        assert!(ratio > 0.4 && ratio < 2.5, "NDF(+{d}) / NDF(-{d}) = {ratio}");
+    }
+}
+
+#[test]
+fn calibrated_acceptance_band_separates_in_and_out_of_tolerance() {
+    let flow = paper_flow();
+    let devs: Vec<f64> = (-20..=20).map(|d| d as f64).collect();
+    let band = flow.calibrate_band(&devs, 3.0).expect("band");
+    // In-tolerance devices pass.
+    for dev in [0.0, 1.0, -2.0, 3.0] {
+        let r = flow.evaluate_fault(&Fault::F0ShiftPct(dev), 9).expect("evaluate");
+        assert_eq!(band.decide(r.ndf), TestOutcome::Pass, "{dev}% should pass (ndf {})", r.ndf);
+    }
+    // Far out-of-tolerance devices fail.
+    for dev in [8.0, -10.0, 15.0, -20.0] {
+        let r = flow.evaluate_fault(&Fault::F0ShiftPct(dev), 9).expect("evaluate");
+        assert_eq!(band.decide(r.ndf), TestOutcome::Fail, "{dev}% should fail (ndf {})", r.ndf);
+    }
+}
+
+#[test]
+fn catastrophic_defects_produce_much_larger_ndf_than_parametric_ones() {
+    let flow = paper_flow();
+    let parametric = flow.evaluate_fault(&Fault::F0ShiftPct(10.0), 3).expect("evaluate").ndf;
+    for fault in [Fault::Open(ComponentRef::R1), Fault::Short(ComponentRef::C1), Fault::Open(ComponentRef::Rq)] {
+        let catastrophic = flow.evaluate_fault(&fault, 3).expect("evaluate").ndf;
+        assert!(
+            catastrophic > 2.0 * parametric,
+            "{fault} NDF {catastrophic} should dwarf the parametric {parametric}"
+        );
+    }
+}
+
+#[test]
+fn one_percent_deviation_detectable_under_paper_noise() {
+    // §IV-C: with 3-sigma = 0.015 V white noise, 1% f0 deviations are detected.
+    let setup = TestSetup::paper_default()
+        .expect("setup")
+        .with_sample_rate(2e6)
+        .expect("rate")
+        .with_noise(NoiseModel::paper_default());
+    let reference = BiquadParams::paper_default();
+    let flow = TestFlow::new(setup, reference).expect("flow");
+
+    // The decision threshold must sit above the noise-induced NDF floor of a
+    // nominal device, characterized over repeated averaged measurements.
+    let (_, floor_max) = flow.noise_floor(4, 6, 500).expect("floor");
+    let band = AcceptanceBand::new(floor_max * 1.2 + 1e-4).expect("band");
+    let min_dev = flow
+        .minimum_detectable_deviation(&band, 10.0, 6, 17)
+        .expect("search")
+        .expect("some deviation must be detectable");
+    assert!(
+        min_dev <= 2.0,
+        "minimum detectable deviation under paper noise should be ~1%, got {min_dev}%"
+    );
+}
+
+#[test]
+fn screening_a_tight_lot_yields_high_and_a_loose_lot_yields_lower() {
+    let flow = paper_flow();
+    let devs: Vec<f64> = (-20..=20).map(|d| d as f64).collect();
+    let band = flow.calibrate_band(&devs, 3.0).expect("band");
+    let tight = flow.screen_population(60, 1.0, 3.0, &band, 5).expect("screen");
+    let loose = flow.screen_population(60, 6.0, 3.0, &band, 5).expect("screen");
+    assert!(tight.test_yield() > loose.test_yield());
+    assert!(tight.test_yield() > 0.9, "tight lot yield {}", tight.test_yield());
+}
+
+#[test]
+fn quantized_and_exact_capture_agree_for_the_paper_clock() {
+    // With a 10 MHz master clock the quantization error on 200 us dwell times
+    // is negligible, so the NDF with and without the clock model must agree.
+    let reference = BiquadParams::paper_default();
+    let exact_setup = {
+        let mut s = TestSetup::paper_default().expect("setup").with_sample_rate(1e6).expect("rate");
+        s.clock = None;
+        s
+    };
+    let quantized_setup = TestSetup::paper_default().expect("setup").with_sample_rate(1e6).expect("rate");
+    let exact_flow = TestFlow::new(exact_setup, reference).expect("flow");
+    let quantized_flow = TestFlow::new(quantized_setup, reference).expect("flow");
+    let fault = Fault::F0ShiftPct(10.0);
+    let a = exact_flow.evaluate_fault(&fault, 2).expect("evaluate").ndf;
+    let b = quantized_flow.evaluate_fault(&fault, 2).expect("evaluate").ndf;
+    assert!((a - b).abs() < 0.01, "exact {a} vs quantized {b}");
+}

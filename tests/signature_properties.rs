@@ -1,0 +1,145 @@
+//! Property-based tests of the signature / NDF invariants.
+
+use analog_signature::dsig::{capture_signature, ndf, CaptureClock, PointEncoder, Signature, SignatureEntry, ZoneCode};
+use analog_signature::monitor::ZonePartition;
+use analog_signature::signal::Waveform;
+use proptest::prelude::*;
+
+/// Arbitrary signatures: 1..12 entries with codes below 64 and durations in
+/// (1 µs, 100 µs).
+fn signature_strategy() -> impl Strategy<Value = Signature> {
+    prop::collection::vec((0u32..64, 1e-6..100e-6_f64), 1..12).prop_map(|entries| {
+        Signature::new(
+            entries
+                .into_iter()
+                .map(|(c, d)| SignatureEntry { code: ZoneCode(c), duration: d })
+                .collect(),
+        )
+        .expect("valid entries")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ndf_of_a_signature_with_itself_is_zero(sig in signature_strategy()) {
+        prop_assert!(ndf(&sig, &sig).expect("ndf") < 1e-12);
+    }
+
+    #[test]
+    fn ndf_is_bounded_by_the_code_width(a in signature_strategy(), b in signature_strategy()) {
+        // Codes are below 64, i.e. at most 6 bits differ at any instant.
+        let value = ndf(&a, &b).expect("ndf");
+        prop_assert!(value >= 0.0);
+        prop_assert!(value <= 6.0 + 1e-12);
+    }
+
+    #[test]
+    fn ndf_is_symmetric_when_durations_match(codes_a in prop::collection::vec(0u32..64, 1..10),
+                                             codes_b in prop::collection::vec(0u32..64, 1..10)) {
+        // Build two signatures over the same total duration with uniform
+        // dwell times; Eq. (2) is then symmetric in its arguments.
+        let total = 200e-6;
+        let a = Signature::new(codes_a.iter().map(|&c| SignatureEntry {
+            code: ZoneCode(c), duration: total / codes_a.len() as f64,
+        }).collect()).expect("a");
+        let b = Signature::new(codes_b.iter().map(|&c| SignatureEntry {
+            code: ZoneCode(c), duration: total / codes_b.len() as f64,
+        }).collect()).expect("b");
+        let ab = ndf(&a, &b).expect("ndf");
+        let ba = ndf(&b, &a).expect("ndf");
+        prop_assert!((ab - ba).abs() < 1e-9, "ndf(a,b) = {ab}, ndf(b,a) = {ba}");
+    }
+
+    #[test]
+    fn signature_total_duration_is_preserved_by_merging(entries in prop::collection::vec((0u32..8, 1e-6..10e-6_f64), 1..20)) {
+        let expected: f64 = entries.iter().map(|e| e.1).sum();
+        let sig = Signature::new(entries.into_iter().map(|(c, d)| SignatureEntry {
+            code: ZoneCode(c), duration: d,
+        }).collect()).expect("sig");
+        prop_assert!((sig.total_duration() - expected).abs() < 1e-12);
+        // Merging never produces two adjacent entries with the same code.
+        for pair in sig.entries().windows(2) {
+            prop_assert_ne!(pair[0].code, pair[1].code);
+        }
+    }
+
+    #[test]
+    fn quantization_never_exceeds_half_a_tick_per_entry(duration in 1e-7..1e-3_f64) {
+        let clock = CaptureClock::new(10e6, 16).expect("clock");
+        let q = clock.quantize(duration);
+        prop_assert!((q - duration).abs() <= 0.5 * clock.tick() + 1e-15);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric_on_codes(a in 0u32..64, b in 0u32..64, c in 0u32..64) {
+        let ab = ZoneCode(a).hamming_distance(ZoneCode(b));
+        let ba = ZoneCode(b).hamming_distance(ZoneCode(a));
+        let ac = ZoneCode(a).hamming_distance(ZoneCode(c));
+        let cb = ZoneCode(c).hamming_distance(ZoneCode(b));
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ZoneCode(a).hamming_distance(ZoneCode(a)), 0);
+        // Triangle inequality.
+        prop_assert!(ab <= ac + cb);
+    }
+}
+
+/// A deterministic helper encoder for capture properties.
+struct Grid4x4;
+
+impl PointEncoder for Grid4x4 {
+    fn bits(&self) -> usize {
+        4
+    }
+    fn encode(&self, x: f64, y: f64) -> u32 {
+        let xi = ((x * 4.0).floor() as u32).min(3);
+        let yi = ((y * 4.0).floor() as u32).min(3);
+        xi | (yi << 2)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn capture_total_duration_equals_observation_window(freq in 1.0..8.0_f64, phase in 0.0..6.28_f64) {
+        let x = Waveform::from_fn(0.0, 1.0, 2000.0, |t| 0.5 + 0.45 * (2.0 * std::f64::consts::PI * freq * t + phase).sin());
+        let y = Waveform::from_fn(0.0, 1.0, 2000.0, |t| 0.5 + 0.45 * (2.0 * std::f64::consts::PI * freq * t).cos());
+        let sig = capture_signature(&Grid4x4, &x, &y, None).expect("capture");
+        prop_assert!((sig.total_duration() - 1.0).abs() < 1e-9);
+        prop_assert!(!sig.is_empty());
+    }
+
+    #[test]
+    fn capture_is_deterministic(freq in 1.0..8.0_f64) {
+        let x = Waveform::from_fn(0.0, 1.0, 1000.0, |t| 0.5 + 0.4 * (2.0 * std::f64::consts::PI * freq * t).sin());
+        let y = Waveform::from_fn(0.0, 1.0, 1000.0, |t| 0.5 + 0.4 * (2.0 * std::f64::consts::PI * 2.0 * freq * t).sin());
+        let a = capture_signature(&Grid4x4, &x, &y, None).expect("capture");
+        let b = capture_signature(&Grid4x4, &x, &y, None).expect("capture");
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn paper_partition_codes_adjacent_zones_within_one_bit_along_the_lissajous() {
+    // Walk the golden Lissajous trajectory finely: consecutive samples must
+    // differ by at most one or two bits (two only if two boundaries are
+    // crossed between samples), reproducing the zone-codification property
+    // of §IV-B that justifies the Hamming metric.
+    let partition = ZonePartition::paper_default().expect("partition");
+    let stimulus = analog_signature::signal::MultitoneSpec::paper_default();
+    let params = analog_signature::filters::BiquadParams::paper_default();
+    let x = stimulus.sample(1, 5e6);
+    let y = params.steady_state_response(&stimulus, 1, 5e6);
+    let mut max_step = 0u32;
+    let mut prev: Option<u32> = None;
+    for (xs, ys) in x.samples().iter().zip(y.samples()) {
+        let code = partition.zone_code(*xs, *ys);
+        if let Some(p) = prev {
+            max_step = max_step.max((code ^ p).count_ones());
+        }
+        prev = Some(code);
+    }
+    assert!(max_step <= 2, "adjacent Lissajous samples jumped {max_step} bits");
+}
