@@ -9,9 +9,7 @@ fn bench_boundary(c: &mut Criterion) {
     let window = Window::unit();
     let partition = ZonePartition::paper_default().expect("partition");
 
-    c.bench_function("zone_code_single_point", |b| {
-        b.iter(|| partition.zone_code(0.43, 0.61))
-    });
+    c.bench_function("zone_code_single_point", |b| b.iter(|| partition.zone_code(0.43, 0.61)));
 
     c.bench_function("behavioural_boundary_single_abscissa", |b| {
         b.iter(|| boundary_y_at(&comparators[2], 0.5, &window).expect("boundary"))

@@ -24,9 +24,11 @@ fn bench_capture(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("nonlinear_partition", rate as u64), &rate, |b, _| {
             b.iter(|| capture_signature(&partition, &x, &y, Some(&clock)).expect("capture"))
         });
-        group.bench_with_input(BenchmarkId::new("straight_line_baseline", rate as u64), &rate, |b, _| {
-            b.iter(|| capture_signature(&linear, &x, &y, Some(&clock)).expect("capture"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("straight_line_baseline", rate as u64),
+            &rate,
+            |b, _| b.iter(|| capture_signature(&linear, &x, &y, Some(&clock)).expect("capture")),
+        );
     }
     group.finish();
 }

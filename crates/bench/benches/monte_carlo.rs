@@ -13,7 +13,11 @@ fn bench_monte_carlo(c: &mut Criterion) {
 
     c.bench_function("sample_one_varied_monitor_instance", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| variation.sample_comparator(&comparators[2], &mut rng).expect("instance"))
+        b.iter(|| {
+            variation
+                .sample_comparator(&comparators[2], &mut rng)
+                .expect("instance")
+        })
     });
 
     let mut group = c.benchmark_group("fig4_envelope");

@@ -16,7 +16,9 @@ fn base_setup() -> Result<TestSetup, Box<dyn std::error::Error>> {
 }
 
 fn ndf_at(flow: &TestFlow, dev: f64) -> Result<f64, Box<dyn std::error::Error>> {
-    Ok(flow.evaluate(&BiquadParams::paper_default().with_f0_shift_pct(dev), 7)?.ndf)
+    Ok(flow
+        .evaluate(&BiquadParams::paper_default().with_f0_shift_pct(dev), 7)?
+        .ndf)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,10 +30,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Number of monitors in the bank (first k Table I curves).
     println!("\n[1] number of monitors in the bank");
-    println!("{:>10} {:>14} {:>14} {:>14}", "monitors", "golden zones", "NDF @ +5%", "NDF @ +10%");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "monitors", "golden zones", "NDF @ +5%", "NDF @ +10%"
+    );
     let all = table1_comparators()?;
     for k in 1..=all.len() {
-        let setup = TestSetup { partition: ZonePartition::new(all[..k].to_vec())?, ..base_setup()? };
+        let setup = TestSetup {
+            partition: ZonePartition::new(all[..k].to_vec())?,
+            ..base_setup()?
+        };
         let flow = TestFlow::new(setup, reference)?;
         println!(
             "{:>10} {:>14} {:>14.4} {:>14.4}",
@@ -52,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..base_setup()?
         };
         let flow = TestFlow::new(setup, reference)?;
-        println!("{:>14.2} {:>14.4} {:>14.4}", clock_mhz, ndf_at(&flow, 5.0)?, ndf_at(&flow, 10.0)?);
+        println!(
+            "{:>14.2} {:>14.4} {:>14.4}",
+            clock_mhz,
+            ndf_at(&flow, 5.0)?,
+            ndf_at(&flow, 10.0)?
+        );
     }
 
     // 3. Counter width at the paper's 10 MHz clock: narrow counters saturate
@@ -61,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>14} {:>16} {:>14}", "counter bits", "max dwell (us)", "NDF @ +10%");
     for bits in [6u32, 8, 10, 12] {
         let clock = CaptureClock::new(10e6, bits)?;
-        let setup = TestSetup { clock: Some(clock), ..base_setup()? };
+        let setup = TestSetup {
+            clock: Some(clock),
+            ..base_setup()?
+        };
         let flow = TestFlow::new(setup, reference)?;
         println!(
             "{:>14} {:>16.1} {:>14.4}",
@@ -73,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Transition-detector minimum dwell under the paper's noise level.
     println!("\n[4] transition-detector minimum dwell (noise 3-sigma = 15 mV)");
-    println!("{:>16} {:>16} {:>14}", "min dwell (us)", "NDF floor (max)", "NDF @ +10%");
+    println!(
+        "{:>16} {:>16} {:>14}",
+        "min dwell (us)", "NDF floor (max)", "NDF @ +10%"
+    );
     for min_dwell_us in [0.0, 1.0, 2.0, 5.0] {
         let setup = TestSetup {
             transition_min_dwell: min_dwell_us * 1e-6,

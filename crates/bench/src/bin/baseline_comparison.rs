@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for dev in [-20.0, -15.0, -10.0, -5.0, -2.0, 0.0, 2.0, 5.0, 10.0, 15.0, 20.0] {
         let cut = reference.with_f0_shift_pct(dev);
         let (x, y) = setup.observe(&cut, 1);
-        let nonlinear = ndf(&golden_nonlinear, &capture_signature(&setup.partition, &x, &y, setup.clock.as_ref())?)?;
-        let straight = ndf(&golden_linear, &capture_signature(&linear, &x, &y, setup.clock.as_ref())?)?;
+        let nonlinear = ndf(
+            &golden_nonlinear,
+            &capture_signature(&setup.partition, &x, &y, setup.clock.as_ref())?,
+        )?;
+        let straight = ndf(
+            &golden_linear,
+            &capture_signature(&linear, &x, &y, setup.clock.as_ref())?,
+        )?;
         let waveform = normalized_output_error(
             &golden_waveform,
             &cut.steady_state_response(&stimulus, 1, REPRO_SAMPLE_RATE),

@@ -1,0 +1,88 @@
+//! Campaign-engine throughput: serial loop vs the scoped worker pool on a
+//! Monte-Carlo screening campaign of 1000+ devices, plus the golden-cache
+//! effect. Prints devices/second and the parallel speedup, and asserts that
+//! parallel results stay bit-identical to the serial reference.
+//!
+//! Run with `cargo run --release -p repro-bench --bin campaign_throughput`.
+
+use std::time::Instant;
+
+use cut_filters::BiquadParams;
+use dsig_core::{AcceptanceBand, TestSetup};
+use dsig_engine::{available_threads, Campaign, CampaignRunner, DevicePopulation};
+use repro_bench::banner;
+
+const DEVICES: usize = 1000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "campaign_throughput",
+        "Monte-Carlo screening campaign: serial loop vs scoped worker pool",
+    );
+
+    let setup = TestSetup::paper_default()?.with_sample_rate(repro_bench::REPRO_SAMPLE_RATE)?;
+    let campaign = Campaign::new(
+        setup,
+        BiquadParams::paper_default(),
+        DevicePopulation::MonteCarlo {
+            devices: DEVICES,
+            sigma_pct: 3.0,
+        },
+        AcceptanceBand::new(0.03)?,
+        3.0,
+    )?
+    .with_seed(7);
+
+    let hardware = available_threads();
+    println!("devices: {DEVICES}   hardware threads: {hardware}\n");
+
+    // Serial reference (threads = 1), golden characterized cold.
+    let serial_runner = CampaignRunner::with_threads(1);
+    let start = Instant::now();
+    let serial = serial_runner.run(&campaign)?;
+    let serial_time = start.elapsed();
+    println!(
+        "threads  1: {:>8.2?}  ({:>7.1} devices/s)  [golden characterized cold]",
+        serial_time,
+        DEVICES as f64 / serial_time.as_secs_f64()
+    );
+
+    // Warm-cache serial pass isolates the golden-cache benefit.
+    let start = Instant::now();
+    let _ = serial_runner.run(&campaign)?;
+    let warm_time = start.elapsed();
+    println!(
+        "threads  1: {:>8.2?}  ({:>7.1} devices/s)  [golden cache warm]",
+        warm_time,
+        DEVICES as f64 / warm_time.as_secs_f64()
+    );
+
+    let mut thread_counts = vec![2, 4, hardware];
+    thread_counts.retain(|&t| t > 1 && t <= hardware.max(2));
+    thread_counts.dedup();
+    let mut best = warm_time;
+    for threads in thread_counts {
+        let runner = CampaignRunner::with_threads(threads);
+        runner.run(&campaign)?; // cold pass charges golden characterization once
+        let start = Instant::now();
+        let parallel = runner.run(&campaign)?;
+        let elapsed = start.elapsed();
+        assert_eq!(parallel, serial, "parallel campaign diverged from the serial reference");
+        println!(
+            "threads {threads:>2}: {:>8.2?}  ({:>7.1} devices/s)  speedup x{:.2}  [bit-identical]",
+            elapsed,
+            DEVICES as f64 / elapsed.as_secs_f64(),
+            warm_time.as_secs_f64() / elapsed.as_secs_f64()
+        );
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+
+    println!(
+        "\nbest: {:.1} devices/s (x{:.2} over the warm serial loop)",
+        DEVICES as f64 / best.as_secs_f64(),
+        warm_time.as_secs_f64() / best.as_secs_f64()
+    );
+    Ok(())
+}

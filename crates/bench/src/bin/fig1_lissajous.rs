@@ -26,15 +26,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let defective_curve = Lissajous::compose(&x, &y_defective)?;
 
     println!("\nGolden Lissajous (Vin vs Vout, both in volts):");
-    println!("{}", ascii_plot(&[("golden", golden_curve.points())], (0.0, 1.0), (0.0, 1.0), 61, 21));
+    println!(
+        "{}",
+        ascii_plot(&[("golden", golden_curve.points())], (0.0, 1.0), (0.0, 1.0), 61, 21)
+    );
     println!("Defective Lissajous (+10% f0):");
-    println!("{}", ascii_plot(&[("+10% f0", defective_curve.points())], (0.0, 1.0), (0.0, 1.0), 61, 21));
+    println!(
+        "{}",
+        ascii_plot(&[("+10% f0", defective_curve.points())], (0.0, 1.0), (0.0, 1.0), 61, 21)
+    );
 
     let ((gx0, gx1), (gy0, gy1)) = golden_curve.bounding_box();
     let ((dx0, dx1), (dy0, dy1)) = defective_curve.bounding_box();
     println!("golden    bounding box: x [{gx0:.3}, {gx1:.3}] V, y [{gy0:.3}, {gy1:.3}] V");
     println!("defective bounding box: x [{dx0:.3}, {dx1:.3}] V, y [{dy0:.3}, {dy1:.3}] V");
-    println!("max pointwise distance between curves: {:.4} V", golden_curve.max_distance(&defective_curve)?);
+    println!(
+        "max pointwise distance between curves: {:.4} V",
+        golden_curve.max_distance(&defective_curve)?
+    );
     println!(
         "both curves stay inside the [0,1]x[0,1] V observation window: {}",
         golden_curve.within(0.0, 1.0, 0.0, 1.0) && defective_curve.within(0.0, 1.0, 0.0, 1.0)

@@ -19,21 +19,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Overlay of all six nominal boundary curves.
     let curves: Vec<_> = comparators.iter().map(|m| trace_boundary(m, &window, 121)).collect();
-    let series: Vec<(&str, &[(f64, f64)])> = curves
-        .iter()
-        .map(|c| (c.label.as_str(), c.points.as_slice()))
-        .collect();
+    let series: Vec<(&str, &[(f64, f64)])> = curves.iter().map(|c| (c.label.as_str(), c.points.as_slice())).collect();
     println!("\nNominal boundary curves in the [0,1]x[0,1] V window:");
     println!("{}", ascii_plot(&series, (0.0, 1.0), (0.0, 1.0), 61, 25));
 
-    println!("{:<10} {:>8} {:>12} {:>18} {:>22}", "curve", "points", "mean slope", "nonlinearity (V)", "MC half-width (mV)");
+    println!(
+        "{:<10} {:>8} {:>12} {:>18} {:>22}",
+        "curve", "points", "mean slope", "nonlinearity (V)", "MC half-width (mV)"
+    );
     for (m, curve) in comparators.iter().zip(&curves) {
         let envelope = monte_carlo_envelope(m, &variation, &window, 41, 100, 42)?;
         println!(
             "{:<10} {:>8} {:>12} {:>18} {:>22.1}",
             curve.label,
             curve.len(),
-            curve.mean_slope().map(|s| format!("{s:+.2}")).unwrap_or_else(|| "n/a".into()),
+            curve
+                .mean_slope()
+                .map(|s| format!("{s:+.2}"))
+                .unwrap_or_else(|| "n/a".into()),
             curve
                 .max_deviation_from_line()
                 .map(|d| format!("{d:.3}"))

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    println!("\ndistinct zones on a 60x60 grid: {}", partition.distinct_zones_on_grid(60));
+    println!(
+        "\ndistinct zones on a 60x60 grid: {}",
+        partition.distinct_zones_on_grid(60)
+    );
 
     // Zone sequences of the golden and defective trajectories.
     let stimulus = MultitoneSpec::paper_default();
@@ -46,8 +49,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let x = stimulus.sample(1, REPRO_SAMPLE_RATE);
         let y = params.steady_state_response(&stimulus, 1, REPRO_SAMPLE_RATE);
         let signature = capture_signature(&partition, &x, &y, Some(&clock))?;
-        println!("\n{name} trajectory: {} zone traversals, {} distinct zones", signature.len(), signature.distinct_zones());
-        println!("{:>4} {:>10} {:>10} {:>12}", "#", "code (bin)", "code (dec)", "dwell (us)");
+        println!(
+            "\n{name} trajectory: {} zone traversals, {} distinct zones",
+            signature.len(),
+            signature.distinct_zones()
+        );
+        println!(
+            "{:>4} {:>10} {:>10} {:>12}",
+            "#", "code (bin)", "code (dec)", "dwell (us)"
+        );
         for (k, entry) in signature.entries().iter().enumerate() {
             println!(
                 "{:>4} {:>10} {:>10} {:>12.2}",

@@ -21,8 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let defective_params = Fault::F0ShiftPct(10.0).apply_to_params(flow.reference())?;
     let observed = flow.setup().signature_of(&defective_params, 7)?;
 
-    println!("\nGolden signature   : {} zone traversals over {:.1} us", golden.len(), golden.total_duration() * 1e6);
-    println!("Defective signature: {} zone traversals over {:.1} us", observed.len(), observed.total_duration() * 1e6);
+    println!(
+        "\nGolden signature   : {} zone traversals over {:.1} us",
+        golden.len(),
+        golden.total_duration() * 1e6
+    );
+    println!(
+        "Defective signature: {} zone traversals over {:.1} us",
+        observed.len(),
+        observed.total_duration() * 1e6
+    );
 
     println!("\nChronogram (decimal coded zone value, sampled every 4 us):");
     println!("{:>10} {:>10} {:>10} {:>10}", "t (us)", "golden", "defect", "dH");
@@ -31,7 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t = golden.total_duration() * k as f64 / samples as f64;
         let g = golden.code_at(t);
         let o = observed.code_at(t);
-        println!("{:>10.1} {:>10} {:>10} {:>10}", t * 1e6, g.value(), o.value(), g.hamming_distance(o));
+        println!(
+            "{:>10.1} {:>10} {:>10} {:>10}",
+            t * 1e6,
+            g.value(),
+            o.value(),
+            g.hamming_distance(o)
+        );
     }
 
     let segments = hamming_chronogram(&golden, &observed)?;

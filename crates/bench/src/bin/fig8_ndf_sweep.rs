@@ -35,14 +35,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_ndf = sweep.iter().map(|p| p.ndf).fold(0.0_f64, f64::max);
     let points: Vec<(f64, f64)> = sweep.iter().map(|p| (p.deviation_pct, p.ndf)).collect();
     println!("\nNDF vs deviation (x: -20%..+20%, y: 0..{max_ndf:.3}):");
-    println!("{}", ascii_plot(&[("NDF", &points)], (-20.0, 20.0), (0.0, max_ndf.max(1e-3)), 61, 19));
+    println!(
+        "{}",
+        ascii_plot(&[("NDF", &points)], (-20.0, 20.0), (0.0, max_ndf.max(1e-3)), 61, 19)
+    );
 
     // Shape metrics the paper highlights: near-linearity and symmetry.
-    let ndf_at = |d: f64| sweep.iter().find(|p| p.deviation_pct == d).map(|p| p.ndf).unwrap_or(0.0);
-    println!("acceptance band for ±{tolerance_pct}% tolerance: NDF <= {:.4}", band.ndf_threshold);
-    println!("NDF(+10%) / NDF(+5%)  = {:.2}  (linear => ~2)", ndf_at(10.0) / ndf_at(5.0).max(1e-12));
-    println!("NDF(+20%) / NDF(+10%) = {:.2}  (linear => ~2)", ndf_at(20.0) / ndf_at(10.0).max(1e-12));
-    println!("NDF(+10%) / NDF(-10%) = {:.2}  (symmetric => ~1)", ndf_at(10.0) / ndf_at(-10.0).max(1e-12));
-    println!("NDF(+20%) / NDF(-20%) = {:.2}  (symmetric => ~1)", ndf_at(20.0) / ndf_at(-20.0).max(1e-12));
+    let ndf_at = |d: f64| {
+        sweep
+            .iter()
+            .find(|p| p.deviation_pct == d)
+            .map(|p| p.ndf)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "acceptance band for ±{tolerance_pct}% tolerance: NDF <= {:.4}",
+        band.ndf_threshold
+    );
+    println!(
+        "NDF(+10%) / NDF(+5%)  = {:.2}  (linear => ~2)",
+        ndf_at(10.0) / ndf_at(5.0).max(1e-12)
+    );
+    println!(
+        "NDF(+20%) / NDF(+10%) = {:.2}  (linear => ~2)",
+        ndf_at(20.0) / ndf_at(10.0).max(1e-12)
+    );
+    println!(
+        "NDF(+10%) / NDF(-10%) = {:.2}  (symmetric => ~1)",
+        ndf_at(10.0) / ndf_at(-10.0).max(1e-12)
+    );
+    println!(
+        "NDF(+20%) / NDF(-20%) = {:.2}  (symmetric => ~1)",
+        ndf_at(20.0) / ndf_at(-20.0).max(1e-12)
+    );
     Ok(())
 }

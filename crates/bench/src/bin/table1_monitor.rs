@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let rows = table1_rows();
-    println!("\n{:<6} {:>8} {:>8} {:>8} {:>8}   {:<10} {:<10} {:<10} {:<10}", "curve", "M1 (nm)", "M2 (nm)", "M3 (nm)", "M4 (nm)", "V1", "V2", "V3", "V4");
+    println!(
+        "\n{:<6} {:>8} {:>8} {:>8} {:>8}   {:<10} {:<10} {:<10} {:<10}",
+        "curve", "M1 (nm)", "M2 (nm)", "M3 (nm)", "M4 (nm)", "V1", "V2", "V3", "V4"
+    );
     for row in &rows {
         println!(
             "{:<6} {:>8.0} {:>8.0} {:>8.0} {:>8.0}   {:<10} {:<10} {:<10} {:<10}",
@@ -33,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Behavioural vs transistor-level (Fig. 2 netlist on the MNA engine).
     println!("\nBehavioural vs transistor-level boundary ordinate (curve 3):");
-    println!("{:>8} {:>16} {:>16} {:>12}", "x (V)", "behavioural (V)", "netlist (V)", "|diff| (mV)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "x (V)", "behavioural (V)", "netlist (V)", "|diff| (mV)"
+    );
     let comparators = table1_comparators()?;
     let window = Window::unit();
     for &x in &[0.30, 0.40, 0.50, 0.60] {
@@ -45,8 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Area model (Fig. 3).
     let model = AreaModel::calibrated_65nm();
     println!("\nLayout area (first-order model calibrated against the paper):");
-    println!("  paper: core {:.2} um2 ({} x {} um), total per monitor {:.1} um2",
-        PAPER_MONITOR_CORE_AREA_UM2, PAPER_MONITOR_DIMENSIONS_UM.0, PAPER_MONITOR_DIMENSIONS_UM.1, PAPER_MONITOR_TOTAL_AREA_UM2);
+    println!(
+        "  paper: core {:.2} um2 ({} x {} um), total per monitor {:.1} um2",
+        PAPER_MONITOR_CORE_AREA_UM2,
+        PAPER_MONITOR_DIMENSIONS_UM.0,
+        PAPER_MONITOR_DIMENSIONS_UM.1,
+        PAPER_MONITOR_TOTAL_AREA_UM2
+    );
     println!("{:<8} {:>16} {:>16}", "curve", "core (um2)", "total (um2)");
     for (row, comparator) in rows.iter().zip(&comparators) {
         println!(
@@ -56,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             model.total_area_um2(comparator)
         );
     }
-    println!("six-monitor bank total: {:.0} um2", model.bank_area_um2(comparators.iter()));
+    println!(
+        "six-monitor bank total: {:.0} um2",
+        model.bank_area_um2(comparators.iter())
+    );
     Ok(())
 }

@@ -1,0 +1,322 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors the
+//! `proptest` API subset its property tests use: range and tuple
+//! [`Strategy`]s, [`Strategy::prop_map`], `prop::collection::vec`, the
+//! [`proptest!`] macro with an optional `proptest_config` attribute, and the
+//! `prop_assert*` macros.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case panics with
+//! the generated inputs left to `Debug` formatting in the assertion message.
+//! Case generation is deterministic per test (seeded from the test name), so
+//! failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Deterministic generator used to produce test cases (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from a test name; the same name always
+    /// yields the same case sequence.
+    pub fn from_name(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `u64` below `bound` (which must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Strategy namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A strategy producing `Vec`s of values with a length drawn from a
+        /// half-open range.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors whose length is drawn uniformly from `size` and
+        /// whose elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Configuration of a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything a property test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares deterministic random-case tests, mirroring proptest's macro.
+///
+/// Each declared function runs `config.cases` times with fresh inputs drawn
+/// from the given strategies; the generator is seeded from the test name so
+/// failures reproduce exactly.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut proptest_rng = $crate::TestRng::from_name(stringify!($name));
+            for _ in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = (0u32..64).generate(&mut rng);
+            assert!(v < 64);
+            let f = (1e-6..100e-6_f64).generate(&mut rng);
+            assert!((1e-6..100e-6).contains(&f));
+            let (a, b) = (0u32..4, 0.0..1.0_f64).generate(&mut rng);
+            assert!(a < 4 && (0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..10, 1..12).generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 12);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies_function() {
+        let mut rng = TestRng::from_name("map");
+        let doubled = (0u32..10).prop_map(|v| v * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && doubled < 20);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, y in 0.0..1.0_f64) {
+            prop_assert!(x < 100);
+            prop_assert!(y < 1.0, "y out of range: {y}");
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x as f64 + 2.0, y);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_works_without_config(x in 0u32..3) {
+            prop_assert!(x < 3);
+        }
+    }
+}

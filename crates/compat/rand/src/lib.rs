@@ -1,0 +1,240 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors the
+//! small `rand` API subset it actually uses — [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open ranges and [`Rng::gen`] — on top of a
+//! deterministic xoshiro256++ generator seeded through SplitMix64.
+//!
+//! The stream is *not* bit-compatible with upstream `rand::rngs::StdRng`
+//! (ChaCha12); nothing in this workspace depends on the exact stream, only on
+//! determinism per seed and reasonable statistical quality.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be built from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open `lo..hi` range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a value in `[lo, hi)` from the generator.
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Types that can be drawn from the "standard" distribution (`Rng::gen`):
+/// `[0, 1)` for floats, the full range for integers and `bool`.
+pub trait Standard {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)` (53-bit mantissa).
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        let u = unit_f64(rng);
+        let v = lo + u * (hi - lo);
+        // Guard against hitting `hi` through rounding of `lo + u * (hi - lo)`.
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f64::sample_uniform(lo as f64, hi as f64, rng) as f32
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift bounded draw (Lemire); a tiny modulo bias is
+                // acceptable for the simulation workloads of this workspace.
+                let hi64 = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + hi64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_uniform(range.start, range.end, self)
+    }
+
+    /// Draws one value from the standard distribution of `T`.
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded through SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+            // as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen_range(0.0..1.0), c.gen_range(0.0..1.0));
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds_and_looks_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&v));
+            sum += v;
+        }
+        assert!((sum / 10_000.0).abs() < 0.01, "mean {}", sum / 10_000.0);
+    }
+
+    #[test]
+    fn min_positive_range_never_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(0u32..6);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(-3i32..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_standard_draws() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        let _: u64 = rng.gen();
+        let _: bool = rng.gen();
+    }
+}

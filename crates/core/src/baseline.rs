@@ -38,7 +38,9 @@ impl LinearBoundary {
     /// Returns [`DsigError::InvalidConfig`] for a degenerate line (`a = b = 0`).
     pub fn new(a: f64, b: f64, c: f64) -> Result<Self> {
         if a == 0.0 && b == 0.0 {
-            return Err(DsigError::InvalidConfig("degenerate straight boundary (a = b = 0)".into()));
+            return Err(DsigError::InvalidConfig(
+                "degenerate straight boundary (a = b = 0)".into(),
+            ));
         }
         // Orient so the origin evaluates non-positive.
         let at_origin = c;
@@ -78,7 +80,9 @@ impl LinearZoning {
     /// Returns [`DsigError::InvalidConfig`] for an empty or over-wide (>32) bank.
     pub fn new(boundaries: Vec<LinearBoundary>) -> Result<Self> {
         if boundaries.is_empty() {
-            return Err(DsigError::InvalidConfig("a linear zoning needs at least one boundary".into()));
+            return Err(DsigError::InvalidConfig(
+                "a linear zoning needs at least one boundary".into(),
+            ));
         }
         if boundaries.len() > 32 {
             return Err(DsigError::InvalidConfig(format!(
@@ -196,7 +200,9 @@ mod tests {
 
     #[test]
     fn normalized_output_error_baseline() {
-        let golden = Waveform::from_fn(0.0, 1e-3, 1e6, |t| 0.5 + 0.3 * (2.0 * std::f64::consts::PI * 5e3 * t).sin());
+        let golden = Waveform::from_fn(0.0, 1e-3, 1e6, |t| {
+            0.5 + 0.3 * (2.0 * std::f64::consts::PI * 5e3 * t).sin()
+        });
         let observed = golden.map(|v| v + 0.006);
         let err = normalized_output_error(&golden, &observed).unwrap();
         assert!((err - 0.01).abs() < 1e-3, "error {err}");

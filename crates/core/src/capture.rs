@@ -61,14 +61,20 @@ impl CaptureClock {
                 "counter width must be between 1 and 32 bits (got {counter_bits})"
             )));
         }
-        Ok(CaptureClock { frequency_hz, counter_bits })
+        Ok(CaptureClock {
+            frequency_hz,
+            counter_bits,
+        })
     }
 
     /// A 10 MHz master clock with a 12-bit counter: one tick is 0.1 µs and the
     /// counter covers 409.6 µs, comfortably more than the 200 µs Lissajous
     /// period of the paper's experiment (Fig. 7).
     pub fn paper_default() -> Self {
-        CaptureClock { frequency_hz: 10e6, counter_bits: 12 }
+        CaptureClock {
+            frequency_hz: 10e6,
+            counter_bits: 12,
+        }
     }
 
     /// Duration of one clock tick, seconds.
@@ -121,7 +127,9 @@ pub fn capture_signature(
         }));
     }
     if x.is_empty() {
-        return Err(DsigError::InvalidSignature("cannot capture a signature from empty waveforms".into()));
+        return Err(DsigError::InvalidSignature(
+            "cannot capture a signature from empty waveforms".into(),
+        ));
     }
 
     let dt = x.dt();
@@ -133,12 +141,18 @@ pub fn capture_signature(
         if code == current_code {
             dwell += dt;
         } else {
-            entries.push(SignatureEntry { code: ZoneCode(current_code), duration: dwell });
+            entries.push(SignatureEntry {
+                code: ZoneCode(current_code),
+                duration: dwell,
+            });
             current_code = code;
             dwell = dt;
         }
     }
-    entries.push(SignatureEntry { code: ZoneCode(current_code), duration: dwell });
+    entries.push(SignatureEntry {
+        code: ZoneCode(current_code),
+        duration: dwell,
+    });
 
     if let Some(clock) = clock {
         for e in &mut entries {
@@ -210,7 +224,11 @@ mod tests {
         let sig = capture_signature(&Quadrants, &x, &y, Some(&clk)).unwrap();
         for e in sig.entries() {
             let ticks = e.duration / clk.tick();
-            assert!((ticks - ticks.round()).abs() < 1e-9, "duration not quantized: {}", e.duration);
+            assert!(
+                (ticks - ticks.round()).abs() < 1e-9,
+                "duration not quantized: {}",
+                e.duration
+            );
         }
     }
 

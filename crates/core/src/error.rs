@@ -73,7 +73,9 @@ mod tests {
     fn display_and_conversions() {
         use std::error::Error;
         assert!(DsigError::InvalidConfig("x".into()).to_string().contains("x"));
-        assert!(DsigError::InvalidSignature("empty".into()).to_string().contains("empty"));
+        assert!(DsigError::InvalidSignature("empty".into())
+            .to_string()
+            .contains("empty"));
         let e: DsigError = SignalError::TooShort { len: 0, needed: 2 }.into();
         assert!(e.source().is_some());
         let e: DsigError = MonitorError::InvalidConfig("m".into()).into();

@@ -7,7 +7,7 @@
 
 use cut_filters::{BiquadParams, Fault};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use sim_signal::{MultitoneSpec, NoiseModel, Waveform};
 use xy_monitor::ZonePartition;
 
@@ -160,9 +160,16 @@ impl TestFlow {
     /// # Errors
     /// Propagates capture errors.
     pub fn new(setup: TestSetup, reference: BiquadParams) -> Result<Self> {
-        let noiseless = TestSetup { noise: NoiseModel::none(), ..setup.clone() };
+        let noiseless = TestSetup {
+            noise: NoiseModel::none(),
+            ..setup.clone()
+        };
         let golden = noiseless.signature_of(&reference, 0)?;
-        Ok(TestFlow { setup, reference, golden })
+        Ok(TestFlow {
+            setup,
+            reference,
+            golden,
+        })
     }
 
     /// The golden signature.
@@ -202,7 +209,9 @@ impl TestFlow {
     /// Propagates capture and comparison errors; `repeats` must be non-zero.
     pub fn evaluate_averaged(&self, cut: &BiquadParams, repeats: usize, base_seed: u64) -> Result<NdfReport> {
         if repeats == 0 {
-            return Err(DsigError::InvalidConfig("at least one measurement repeat is required".into()));
+            return Err(DsigError::InvalidConfig(
+                "at least one measurement repeat is required".into(),
+            ));
         }
         let mut ndf_sum = 0.0;
         let mut peak = 0;
@@ -213,7 +222,11 @@ impl TestFlow {
             peak = peak.max(report.peak_hamming);
             zones = zones.max(report.observed_zones);
         }
-        Ok(NdfReport { ndf: ndf_sum / repeats as f64, peak_hamming: peak, observed_zones: zones })
+        Ok(NdfReport {
+            ndf: ndf_sum / repeats as f64,
+            peak_hamming: peak,
+            observed_zones: zones,
+        })
     }
 
     /// Characterizes the measurement-noise floor: the mean and maximum
@@ -257,7 +270,10 @@ impl TestFlow {
             .map(|(i, &dev)| {
                 let cut = self.reference.with_f0_shift_pct(dev);
                 let report = self.evaluate(&cut, 1000 + i as u64)?;
-                Ok(SweepPoint { deviation_pct: dev, ndf: report.ndf })
+                Ok(SweepPoint {
+                    deviation_pct: dev,
+                    ndf: report.ndf,
+                })
             })
             .collect()
     }
@@ -291,10 +307,7 @@ impl TestFlow {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut stats = ScreeningStats::default();
         for i in 0..devices {
-            // Box-Muller standard normal draw.
-            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let deviation = sigma_pct * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let deviation = sigma_pct * sim_signal::standard_normal(&mut rng);
             let cut = self.reference.with_f0_shift_pct(deviation);
             let report = self.evaluate(&cut, seed.wrapping_add(i as u64))?;
             let outcome = band.decide(report.ndf);
@@ -404,7 +417,12 @@ mod tests {
         let plus = f.evaluate_fault(&Fault::F0ShiftPct(10.0), 11).unwrap();
         let minus = f.evaluate_fault(&Fault::F0ShiftPct(-10.0), 11).unwrap();
         let ratio = plus.ndf / minus.ndf;
-        assert!(ratio > 0.4 && ratio < 2.5, "asymmetric NDF: +10% {} vs -10% {}", plus.ndf, minus.ndf);
+        assert!(
+            ratio > 0.4 && ratio < 2.5,
+            "asymmetric NDF: +10% {} vs -10% {}",
+            plus.ndf,
+            minus.ndf
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub fn hamming_chronogram(golden: &Signature, observed: &Signature) -> Result<Ve
         }
         let mid = 0.5 * (t0 + t1);
         let distance = golden.code_at(mid).hamming_distance(observed.code_at(mid));
-        segments.push(HammingSegment { t_start: t0, t_end: t1, distance });
+        segments.push(HammingSegment {
+            t_start: t0,
+            t_end: t1,
+            distance,
+        });
     }
     Ok(segments)
 }
@@ -97,7 +101,10 @@ mod tests {
         Signature::new(
             entries
                 .iter()
-                .map(|&(c, d)| SignatureEntry { code: ZoneCode(c), duration: d })
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
                 .collect(),
         )
         .unwrap()
@@ -173,7 +180,11 @@ mod tests {
 
     #[test]
     fn segment_duration_helper() {
-        let s = HammingSegment { t_start: 1.0, t_end: 3.5, distance: 2 };
+        let s = HammingSegment {
+            t_start: 1.0,
+            t_end: 3.5,
+            distance: 2,
+        };
         assert!((s.duration() - 2.5).abs() < 1e-12);
     }
 }

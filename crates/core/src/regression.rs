@@ -50,7 +50,9 @@ impl SignatureRegressor {
     /// equations are singular even after regularization.
     pub fn fit(samples: &[(Vec<f64>, f64)], ridge: f64) -> Result<Self> {
         if samples.len() < 2 {
-            return Err(DsigError::InvalidConfig("regression needs at least two characterization samples".into()));
+            return Err(DsigError::InvalidConfig(
+                "regression needs at least two characterization samples".into(),
+            ));
         }
         let n_features = samples[0].0.len();
         if n_features == 0 || samples.iter().any(|(f, _)| f.len() != n_features) {
@@ -140,7 +142,9 @@ fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
             .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
             .expect("non-empty");
         if a[pivot_row][col].abs() < 1e-12 {
-            return Err(DsigError::InvalidConfig("singular regression system (add more characterization points or ridge)".into()));
+            return Err(DsigError::InvalidConfig(
+                "singular regression system (add more characterization points or ridge)".into(),
+            ));
         }
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
@@ -175,7 +179,10 @@ mod tests {
         Signature::new(
             entries
                 .iter()
-                .map(|&(c, d)| SignatureEntry { code: ZoneCode(c), duration: d })
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
                 .collect(),
         )
         .unwrap()
@@ -230,9 +237,7 @@ mod tests {
     fn constant_feature_does_not_break_the_fit() {
         // A feature that never varies would make the plain normal equations
         // singular; the ridge term keeps the fit well-posed.
-        let samples: Vec<(Vec<f64>, f64)> = (0..8)
-            .map(|i| (vec![i as f64, 5.0], i as f64 * 2.0))
-            .collect();
+        let samples: Vec<(Vec<f64>, f64)> = (0..8).map(|i| (vec![i as f64, 5.0], i as f64 * 2.0)).collect();
         let model = SignatureRegressor::fit(&samples, 1e-6).unwrap();
         let predicted = model.predict(&[3.0, 5.0]).unwrap();
         assert!((predicted - 6.0).abs() < 0.1, "predicted {predicted}");

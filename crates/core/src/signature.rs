@@ -101,14 +101,19 @@ impl Signature {
     /// non-positive `dt`.
     pub fn from_sampled_codes(codes: &[u32], dt: f64) -> Result<Self> {
         if codes.is_empty() {
-            return Err(DsigError::InvalidSignature("no zone codes to build a signature from".into()));
+            return Err(DsigError::InvalidSignature(
+                "no zone codes to build a signature from".into(),
+            ));
         }
         if !(dt > 0.0) || !dt.is_finite() {
             return Err(DsigError::InvalidSignature(format!("invalid sample period {dt}")));
         }
         let entries = codes
             .iter()
-            .map(|&c| SignatureEntry { code: ZoneCode(c), duration: dt })
+            .map(|&c| SignatureEntry {
+                code: ZoneCode(c),
+                duration: dt,
+            })
             .collect();
         Signature::new(entries)
     }
@@ -227,6 +232,66 @@ impl Signature {
     }
 }
 
+/// Magic prefix of the binary signature encoding (see [`Signature::to_bytes`]).
+const CODEC_MAGIC: [u8; 4] = *b"DSG1";
+
+impl Signature {
+    /// Encodes the signature into a compact, self-describing binary form:
+    /// a 4-byte magic (`DSG1`), the entry count as a little-endian `u32`,
+    /// then one `(u32 code, f64 duration)` little-endian pair per entry.
+    ///
+    /// The encoding is exact: durations round-trip bit-for-bit through
+    /// [`Signature::from_bytes`]. A six-zone paper signature costs 32 + 8
+    /// bytes versus hundreds of kilobytes for the raw waveform pair, which is
+    /// what makes storing and replaying full campaign outputs practical.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 12 * self.entries.len());
+        out.extend_from_slice(&CODEC_MAGIC);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.code.value().to_le_bytes());
+            out.extend_from_slice(&e.duration.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a signature previously encoded with [`Signature::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns [`DsigError::InvalidSignature`] for a wrong magic, a truncated
+    /// or oversized buffer, or entries with invalid durations.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 8 {
+            return Err(DsigError::InvalidSignature(format!(
+                "signature buffer too short ({} bytes)",
+                bytes.len()
+            )));
+        }
+        if bytes[..4] != CODEC_MAGIC {
+            return Err(DsigError::InvalidSignature("bad signature magic".into()));
+        }
+        let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        let expected = 8 + 12 * count;
+        if bytes.len() != expected {
+            return Err(DsigError::InvalidSignature(format!(
+                "signature buffer length {} does not match {count} entries (expected {expected})",
+                bytes.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for k in 0..count {
+            let at = 8 + 12 * k;
+            let code = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            let bits = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+            entries.push(SignatureEntry {
+                code: ZoneCode(code),
+                duration: f64::from_bits(bits),
+            });
+        }
+        Signature::new(entries)
+    }
+}
+
 impl FromIterator<SignatureEntry> for Signature {
     fn from_iter<T: IntoIterator<Item = SignatureEntry>>(iter: T) -> Self {
         Signature::new(iter.into_iter().collect()).expect("finite non-negative durations")
@@ -238,7 +303,10 @@ mod tests {
     use super::*;
 
     fn entry(code: u32, duration: f64) -> SignatureEntry {
-        SignatureEntry { code: ZoneCode(code), duration }
+        SignatureEntry {
+            code: ZoneCode(code),
+            duration,
+        }
     }
 
     #[test]
@@ -349,5 +417,85 @@ mod tests {
     fn code_at_panics_on_empty() {
         let s = Signature::default();
         let _ = s.code_at(0.0);
+    }
+
+    #[test]
+    fn clone_and_eq_are_consistent() {
+        // The engine's binary codec and golden cache rely on these trait
+        // implementations agreeing with each other.
+        let code = ZoneCode(0b10110);
+        assert_eq!(code, code.clone());
+        let e = entry(5, 1.5e-6);
+        assert_eq!(e, e.clone());
+        let s = Signature::new(vec![entry(1, 1.0), entry(2, 2.0)]).unwrap();
+        let cloned = s.clone();
+        assert_eq!(s, cloned);
+        assert_eq!(s.entries(), cloned.entries());
+        // Inequality in any component breaks signature equality.
+        assert_ne!(e, entry(6, 1.5e-6));
+        assert_ne!(e, entry(5, 1.6e-6));
+        assert_ne!(s, Signature::new(vec![entry(1, 1.0)]).unwrap());
+        assert_ne!(s, Signature::default());
+    }
+
+    #[test]
+    fn debug_formats_are_informative() {
+        let s = Signature::new(vec![entry(28, 2e-6)]).unwrap();
+        let debug = format!("{s:?}");
+        assert!(debug.contains("Signature"), "{debug}");
+        assert!(debug.contains("28"), "{debug}");
+        let e = format!("{:?}", entry(3, 1.0));
+        assert!(e.contains("SignatureEntry") && e.contains("duration"), "{e}");
+        assert!(format!("{:?}", ZoneCode(3)).contains("ZoneCode(3)"));
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exact() {
+        let s = Signature::new(vec![
+            entry(0, 1.7e-6),
+            entry(63, 200e-6),
+            entry(5, f64::MIN_POSITIVE), // denormal-adjacent duration survives
+            entry(1, 123.456),
+        ])
+        .unwrap();
+        let decoded = Signature::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(decoded, s);
+        for (a, b) in decoded.entries().iter().zip(s.entries()) {
+            assert_eq!(
+                a.duration.to_bits(),
+                b.duration.to_bits(),
+                "durations must be bit-exact"
+            );
+        }
+        // An empty signature round-trips too.
+        let empty = Signature::default();
+        assert_eq!(Signature::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn codec_size_is_compact() {
+        let s = Signature::new((0..10).map(|k| entry(k, 1e-6 * (k + 1) as f64)).collect()).unwrap();
+        assert_eq!(s.to_bytes().len(), 8 + 12 * s.len());
+    }
+
+    #[test]
+    fn codec_rejects_corrupted_buffers() {
+        let s = Signature::new(vec![entry(1, 1.0), entry(2, 2.0)]).unwrap();
+        let bytes = s.to_bytes();
+        assert!(Signature::from_bytes(&bytes[..3]).is_err(), "short buffer");
+        assert!(
+            Signature::from_bytes(&bytes[..bytes.len() - 1]).is_err(),
+            "truncated entries"
+        );
+        let mut magic = bytes.clone();
+        magic[0] = b'x';
+        assert!(Signature::from_bytes(&magic).is_err(), "bad magic");
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(Signature::from_bytes(&extra).is_err(), "trailing bytes");
+        // A NaN duration smuggled into the payload is caught by validation.
+        let mut nan = bytes;
+        nan[12..20].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(Signature::from_bytes(&nan).is_err(), "NaN duration");
     }
 }

@@ -1,0 +1,193 @@
+//! Campaign output storage: a compact binary log of observed signatures that
+//! can be replayed (re-scored against any golden signature) without rerunning
+//! the simulation or touching the tester hardware again.
+//!
+//! The per-signature encoding lives in `dsig-core`
+//! ([`Signature::to_bytes`] / [`Signature::from_bytes`]); this module frames
+//! many of them into one buffer with their device indices.
+
+use dsig_core::{ndf, DsigError, Result, Signature};
+
+/// Magic prefix of the signature-log framing.
+const LOG_MAGIC: [u8; 4] = *b"DSGL";
+
+/// An ordered log of `(device index, observed signature)` pairs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SignatureLog {
+    entries: Vec<(u32, Signature)>,
+}
+
+impl SignatureLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observed signature.
+    pub fn push(&mut self, device_index: u32, signature: Signature) {
+        self.entries.push((device_index, signature));
+    }
+
+    /// The logged `(device index, signature)` pairs in insertion order.
+    pub fn entries(&self) -> &[(u32, Signature)] {
+        &self.entries
+    }
+
+    /// Number of logged signatures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the log: `DSGL`, a little-endian `u32` count, then per
+    /// entry the device index (`u32`), the signature byte length (`u32`) and
+    /// the signature bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&LOG_MAGIC);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (index, signature) in &self.entries {
+            let bytes = signature.to_bytes();
+            out.extend_from_slice(&index.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Decodes a log produced by [`SignatureLog::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns [`DsigError::InvalidSignature`] on framing or signature
+    /// decoding errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 8 || bytes[..4] != LOG_MAGIC {
+            return Err(DsigError::InvalidSignature("bad signature-log header".into()));
+        }
+        let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        // Every entry needs at least its 8-byte header plus an 8-byte empty
+        // signature; reject impossible counts before allocating, so a
+        // corrupted count field cannot trigger a huge allocation.
+        if count > (bytes.len() - 8) / 16 {
+            return Err(DsigError::InvalidSignature(format!(
+                "signature log claims {count} entries but only {} payload bytes follow",
+                bytes.len() - 8
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut at = 8usize;
+        for _ in 0..count {
+            if bytes.len() < at + 8 {
+                return Err(DsigError::InvalidSignature(
+                    "truncated signature-log entry header".into(),
+                ));
+            }
+            let index = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            let len = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes")) as usize;
+            at += 8;
+            if bytes.len() < at + len {
+                return Err(DsigError::InvalidSignature("truncated signature-log payload".into()));
+            }
+            entries.push((index, Signature::from_bytes(&bytes[at..at + len])?));
+            at += len;
+        }
+        if at != bytes.len() {
+            return Err(DsigError::InvalidSignature(format!(
+                "signature log has {} trailing bytes",
+                bytes.len() - at
+            )));
+        }
+        Ok(SignatureLog { entries })
+    }
+
+    /// Replays the log against a golden signature: recomputes the NDF of
+    /// every stored signature, returning `(device index, ndf)` pairs. This is
+    /// the offline path for re-scoring a stored campaign with a new golden
+    /// reference or acceptance band.
+    ///
+    /// # Errors
+    /// Propagates NDF comparison errors.
+    pub fn replay(&self, golden: &Signature) -> Result<Vec<(u32, f64)>> {
+        self.entries
+            .iter()
+            .map(|(index, signature)| Ok((*index, ndf(golden, signature)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsig_core::{SignatureEntry, ZoneCode};
+
+    fn sig(codes: &[(u32, f64)]) -> Signature {
+        Signature::new(
+            codes
+                .iter()
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn log_round_trips_bit_exact() {
+        let mut log = SignatureLog::new();
+        log.push(0, sig(&[(1, 10e-6), (3, 20e-6)]));
+        log.push(7, sig(&[(2, 0.1), (6, 1.5e-7), (2, 3.0)]));
+        let bytes = log.to_bytes();
+        let decoded = SignatureLog::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, log);
+        assert_eq!(decoded.len(), 2);
+        assert!(!decoded.is_empty());
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let log = SignatureLog::new();
+        let decoded = SignatureLog::from_bytes(&log.to_bytes()).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn corrupted_logs_are_rejected() {
+        let mut log = SignatureLog::new();
+        log.push(1, sig(&[(1, 1.0)]));
+        let bytes = log.to_bytes();
+        assert!(SignatureLog::from_bytes(&bytes[..6]).is_err(), "truncated header");
+        assert!(
+            SignatureLog::from_bytes(&bytes[..bytes.len() - 2]).is_err(),
+            "truncated payload"
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(SignatureLog::from_bytes(&bad_magic).is_err());
+        // A corrupted count field must be rejected before any allocation.
+        let mut huge_count = bytes.clone();
+        huge_count[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(SignatureLog::from_bytes(&huge_count).is_err(), "absurd count");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SignatureLog::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn replay_recomputes_ndfs() {
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        let mut log = SignatureLog::new();
+        log.push(0, golden.clone());
+        log.push(1, sig(&[(1, 100e-6), (7, 100e-6)]));
+        let replayed = log.replay(&golden).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].0, 0);
+        assert_eq!(replayed[0].1, 0.0, "golden vs itself");
+        assert!(replayed[1].1 > 0.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Streaming campaign aggregation: NDF histogram, pass/fail yield, per-fault
+//! coverage and dwell-time statistics, folded one device at a time.
+
+use dsig_core::{ScreeningStats, TestOutcome};
+
+/// The outcome of evaluating one device of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceResult {
+    /// Index of the device within the campaign.
+    pub index: usize,
+    /// Label inherited from the device spec (fault name, deviation, number).
+    pub label: String,
+    /// True `f0` deviation of the instance, percent.
+    pub true_deviation_pct: f64,
+    /// Measured normalized discrepancy factor.
+    pub ndf: f64,
+    /// Peak instantaneous Hamming distance over the period.
+    pub peak_hamming: u32,
+    /// Number of zone traversals in the observed signature.
+    pub observed_zones: usize,
+    /// PASS/FAIL decision of the campaign's acceptance band.
+    pub outcome: TestOutcome,
+}
+
+/// A fixed-bin histogram of NDF values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdfHistogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl NdfHistogram {
+    /// Creates a histogram of `bins` bins of width `bin_width`, plus an
+    /// overflow bucket. The paper's NDF values live in roughly `[0, 1]`, so
+    /// the default campaign histogram uses 50 bins of 0.01.
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        NdfHistogram {
+            bin_width,
+            counts: vec![0; bins.max(1)],
+            overflow: 0,
+        }
+    }
+
+    /// The default campaign histogram: 50 bins of 0.01 NDF.
+    pub fn campaign_default() -> Self {
+        Self::new(0.01, 50)
+    }
+
+    /// Records one NDF value.
+    pub fn record(&mut self, ndf: f64) {
+        let bin = (ndf / self.bin_width).floor();
+        if bin.is_finite() && bin >= 0.0 && (bin as usize) < self.counts.len() {
+            self.counts[bin as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Per-bin counts (bin `i` covers `[i * w, (i + 1) * w)`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// Values beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+}
+
+/// Streaming min/max/mean statistics of zone dwell times (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DwellStats {
+    min: f64,
+    max: f64,
+    sum: f64,
+    count: u64,
+}
+
+impl DwellStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        DwellStats {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one dwell time.
+    pub fn record(&mut self, dwell: f64) {
+        self.min = self.min.min(dwell);
+        self.max = self.max.max(dwell);
+        self.sum += dwell;
+        self.count += 1;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &DwellStats) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Shortest recorded dwell (`None` before any record).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Longest recorded dwell (`None` before any record).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean recorded dwell (`None` before any record).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Number of recorded dwells.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Default for DwellStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Detection record of one fault of a fault-grid campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCoverage {
+    /// Human-readable fault label.
+    pub label: String,
+    /// The NDF the fault produced.
+    pub ndf: f64,
+    /// Whether the acceptance band rejected the faulty device.
+    pub detected: bool,
+}
+
+/// The aggregated outcome of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Pass/fail/escape bookkeeping over the whole population.
+    pub screening: ScreeningStats,
+    /// Histogram of device NDFs.
+    pub histogram: NdfHistogram,
+    /// Dwell-time statistics across every zone of every observed signature.
+    pub dwell: DwellStats,
+    /// Per-fault coverage (populated for fault-grid campaigns, where each
+    /// device is a distinct fault; empty otherwise).
+    pub coverage: Vec<FaultCoverage>,
+    /// Per-device results in campaign order.
+    pub results: Vec<DeviceResult>,
+    ndf_sum: f64,
+    ndf_min: f64,
+    ndf_max: f64,
+}
+
+impl CampaignReport {
+    /// Creates an empty report with the default histogram.
+    pub fn new() -> Self {
+        CampaignReport {
+            screening: ScreeningStats::default(),
+            histogram: NdfHistogram::campaign_default(),
+            dwell: DwellStats::new(),
+            coverage: Vec::new(),
+            results: Vec::new(),
+            ndf_sum: 0.0,
+            ndf_min: f64::INFINITY,
+            ndf_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one device into the report. `tolerance_pct` decides whether the
+    /// device counts as truly good; `track_coverage` appends a
+    /// [`FaultCoverage`] row (fault-grid campaigns).
+    pub fn record(&mut self, result: DeviceResult, dwell: &DwellStats, tolerance_pct: f64, track_coverage: bool) {
+        let truly_good = result.true_deviation_pct.abs() <= tolerance_pct;
+        self.screening.record(truly_good, result.outcome);
+        self.histogram.record(result.ndf);
+        self.dwell.merge(dwell);
+        self.ndf_sum += result.ndf;
+        self.ndf_min = self.ndf_min.min(result.ndf);
+        self.ndf_max = self.ndf_max.max(result.ndf);
+        if track_coverage {
+            self.coverage.push(FaultCoverage {
+                label: result.label.clone(),
+                ndf: result.ndf,
+                detected: result.outcome == TestOutcome::Fail,
+            });
+        }
+        self.results.push(result);
+    }
+
+    /// Number of devices evaluated.
+    pub fn devices(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Fraction of devices that passed (see [`ScreeningStats::test_yield`]).
+    pub fn test_yield(&self) -> f64 {
+        self.screening.test_yield()
+    }
+
+    /// Mean NDF over the population (`None` for an empty report).
+    pub fn mean_ndf(&self) -> Option<f64> {
+        (!self.results.is_empty()).then(|| self.ndf_sum / self.results.len() as f64)
+    }
+
+    /// Smallest NDF observed (`None` for an empty report).
+    pub fn min_ndf(&self) -> Option<f64> {
+        (!self.results.is_empty()).then_some(self.ndf_min)
+    }
+
+    /// Largest NDF observed (`None` for an empty report).
+    pub fn max_ndf(&self) -> Option<f64> {
+        (!self.results.is_empty()).then_some(self.ndf_max)
+    }
+
+    /// Fraction of faults detected, for fault-grid campaigns
+    /// (`None` when no coverage rows were tracked).
+    pub fn fault_coverage(&self) -> Option<f64> {
+        if self.coverage.is_empty() {
+            return None;
+        }
+        let detected = self.coverage.iter().filter(|c| c.detected).count();
+        Some(detected as f64 / self.coverage.len() as f64)
+    }
+
+    /// A compact multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "devices: {}  pass: {}  fail: {}  yield: {:.1}%\n",
+            self.devices(),
+            self.screening.passed,
+            self.screening.failed,
+            100.0 * self.test_yield()
+        ));
+        out.push_str(&format!(
+            "ndf: min {:.4}  mean {:.4}  max {:.4}\n",
+            self.min_ndf().unwrap_or(0.0),
+            self.mean_ndf().unwrap_or(0.0),
+            self.max_ndf().unwrap_or(0.0)
+        ));
+        out.push_str(&format!(
+            "escapes: {}  false rejects: {}\n",
+            self.screening.escapes, self.screening.false_rejects
+        ));
+        if let (Some(min), Some(mean), Some(max)) = (self.dwell.min(), self.dwell.mean(), self.dwell.max()) {
+            out.push_str(&format!(
+                "zone dwell: min {:.2} µs  mean {:.2} µs  max {:.2} µs  ({} zones)\n",
+                min * 1e6,
+                mean * 1e6,
+                max * 1e6,
+                self.dwell.count()
+            ));
+        }
+        if let Some(coverage) = self.fault_coverage() {
+            out.push_str(&format!("fault coverage: {:.1}%\n", 100.0 * coverage));
+        }
+        out
+    }
+}
+
+impl Default for CampaignReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(index: usize, ndf: f64, dev: f64, outcome: TestOutcome) -> DeviceResult {
+        DeviceResult {
+            index,
+            label: format!("d{index}"),
+            true_deviation_pct: dev,
+            ndf,
+            peak_hamming: 1,
+            observed_zones: 8,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = NdfHistogram::new(0.1, 5);
+        for v in [0.0, 0.05, 0.1, 0.45, 0.9, f64::NAN] {
+            h.record(v);
+        }
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.overflow(), 2, "0.9 and NaN overflow");
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.bin_width(), 0.1);
+    }
+
+    #[test]
+    fn dwell_stats_stream_and_merge() {
+        let mut a = DwellStats::new();
+        assert_eq!(a.mean(), None);
+        a.record(1e-6);
+        a.record(3e-6);
+        let mut b = DwellStats::new();
+        b.record(5e-6);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(1e-6));
+        assert_eq!(a.max(), Some(5e-6));
+        assert!((a.mean().unwrap() - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn report_aggregates_yield_ndf_and_coverage() {
+        let mut report = CampaignReport::new();
+        let mut dwell = DwellStats::new();
+        dwell.record(10e-6);
+        report.record(result(0, 0.01, 1.0, TestOutcome::Pass), &dwell, 3.0, true);
+        report.record(result(1, 0.20, 10.0, TestOutcome::Fail), &dwell, 3.0, true);
+        report.record(result(2, 0.02, 8.0, TestOutcome::Pass), &dwell, 3.0, true); // escape
+        assert_eq!(report.devices(), 3);
+        assert!((report.test_yield() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.screening.escapes, 1);
+        assert_eq!(report.min_ndf(), Some(0.01));
+        assert_eq!(report.max_ndf(), Some(0.20));
+        assert!((report.mean_ndf().unwrap() - 0.23 / 3.0).abs() < 1e-12);
+        assert!((report.fault_coverage().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.dwell.count(), 3);
+        let text = report.summary();
+        assert!(text.contains("devices: 3"));
+        assert!(text.contains("fault coverage"));
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let report = CampaignReport::new();
+        assert_eq!(report.devices(), 0);
+        assert_eq!(report.mean_ndf(), None);
+        assert_eq!(report.fault_coverage(), None);
+        assert!(report.summary().contains("devices: 0"));
+    }
+}

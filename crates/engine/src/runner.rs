@@ -1,0 +1,277 @@
+//! The campaign runner: fans device evaluations across a scoped worker pool,
+//! reusing one cached golden signature for the whole population.
+
+use std::sync::Arc;
+
+use dsig_core::{ndf, peak_hamming_distance, Result, Signature, TestFlow, TestSetup};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xy_monitor::ZonePartition;
+
+use crate::cache::GoldenCache;
+use crate::campaign::{Campaign, DevicePopulation};
+use crate::codec::SignatureLog;
+use crate::pool::{available_threads, parallel_map_indexed, DEFAULT_CHUNK};
+use crate::report::{CampaignReport, DeviceResult, DwellStats};
+
+/// Executes campaigns over a worker pool with a shared golden-signature cache.
+pub struct CampaignRunner {
+    threads: usize,
+    chunk: usize,
+    cache: GoldenCache,
+}
+
+/// What one worker produces per device: the result row, the observed
+/// signature (for logging/replay) and its dwell statistics.
+struct DeviceOutcome {
+    result: DeviceResult,
+    dwell: DwellStats,
+    observed: Signature,
+}
+
+impl CampaignRunner {
+    /// A runner using every available hardware thread.
+    pub fn new() -> Self {
+        Self::with_threads(available_threads())
+    }
+
+    /// A runner with an explicit worker count (1 = serial reference path).
+    pub fn with_threads(threads: usize) -> Self {
+        CampaignRunner {
+            threads: threads.max(1),
+            chunk: DEFAULT_CHUNK,
+            cache: GoldenCache::new(),
+        }
+    }
+
+    /// Returns a copy with the given work-queue chunk size.
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// The worker count this runner fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The golden-signature cache (shared across every campaign this runner
+    /// executes).
+    pub fn cache(&self) -> &GoldenCache {
+        &self.cache
+    }
+
+    /// Runs a campaign and aggregates a [`CampaignReport`].
+    ///
+    /// The golden signature is characterized (or fetched from the cache)
+    /// once; device evaluations are distributed over the worker pool. Because
+    /// every per-device seed derives only from the campaign seed and the
+    /// device index, the report is bit-identical for every thread count.
+    ///
+    /// # Errors
+    /// Propagates setup, capture and comparison errors; the first failing
+    /// device (in index order) wins.
+    pub fn run(&self, campaign: &Campaign) -> Result<CampaignReport> {
+        Ok(self.run_internal(campaign, false)?.0)
+    }
+
+    /// Like [`CampaignRunner::run`], additionally returning the log of every
+    /// observed signature for storage and offline replay.
+    ///
+    /// # Errors
+    /// Propagates setup, capture and comparison errors.
+    pub fn run_logged(&self, campaign: &Campaign) -> Result<(CampaignReport, SignatureLog)> {
+        self.run_internal(campaign, true)
+    }
+
+    fn run_internal(&self, campaign: &Campaign, keep_signatures: bool) -> Result<(CampaignReport, SignatureLog)> {
+        let flow = self.cache.flow_for(&campaign.setup, &campaign.reference)?;
+        let devices = campaign.device_count();
+
+        let outcomes = parallel_map_indexed(devices, self.threads, self.chunk, |index| {
+            evaluate_device(campaign, &flow, index)
+        });
+
+        let track_coverage = matches!(campaign.population, DevicePopulation::FaultGrid(_));
+        let mut report = CampaignReport::new();
+        let mut log = SignatureLog::new();
+        for outcome in outcomes {
+            let outcome = outcome?;
+            if keep_signatures {
+                log.push(outcome.result.index as u32, outcome.observed);
+            }
+            report.record(outcome.result, &outcome.dwell, campaign.tolerance_pct, track_coverage);
+        }
+        Ok((report, log))
+    }
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Evaluates one device: materialize its spec, observe it through the
+/// campaign setup (with a per-device varied monitor bank when the campaign
+/// asks for it), and score it against the shared golden signature.
+fn evaluate_device(campaign: &Campaign, flow: &Arc<TestFlow>, index: usize) -> Result<DeviceOutcome> {
+    let spec = campaign.device(index)?;
+
+    let observed = match &campaign.monitor_variation {
+        None => campaign.setup.signature_of(&spec.cut, spec.noise_seed)?,
+        Some(variation) => {
+            // Each production device is observed by its own imperfect monitor
+            // instance (process + mismatch), as in the Fig. 4 envelope.
+            let mut rng = StdRng::seed_from_u64(spec.monitor_seed);
+            let varied: Vec<_> = campaign
+                .setup
+                .partition
+                .monitors()
+                .iter()
+                .map(|monitor| variation.sample_comparator(monitor, &mut rng))
+                .collect::<std::result::Result<_, _>>()?;
+            let setup = TestSetup {
+                partition: ZonePartition::new(varied)?,
+                ..campaign.setup.clone()
+            };
+            setup.signature_of(&spec.cut, spec.noise_seed)?
+        }
+    };
+
+    let golden = flow.golden();
+    let ndf_value = ndf(golden, &observed)?;
+    let peak_hamming = peak_hamming_distance(golden, &observed)?;
+    let mut dwell = DwellStats::new();
+    for entry in observed.entries() {
+        dwell.record(entry.duration);
+    }
+    let result = DeviceResult {
+        index,
+        label: spec.label,
+        true_deviation_pct: spec.true_deviation_pct,
+        ndf: ndf_value,
+        peak_hamming,
+        observed_zones: observed.len(),
+        outcome: campaign.band.decide(ndf_value),
+    };
+    Ok(DeviceOutcome {
+        result,
+        dwell,
+        observed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::DevicePopulation;
+    use cut_filters::{BiquadParams, ComponentRef, Fault};
+    use dsig_core::AcceptanceBand;
+    use xy_monitor::ProcessVariation;
+
+    fn campaign(population: DevicePopulation) -> Campaign {
+        let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+        Campaign::new(
+            setup,
+            BiquadParams::paper_default(),
+            population,
+            AcceptanceBand::new(0.03).unwrap(),
+            3.0,
+        )
+        .unwrap()
+        .with_seed(11)
+    }
+
+    #[test]
+    fn fault_grid_campaign_reports_coverage() {
+        let c = campaign(DevicePopulation::FaultGrid(vec![
+            Fault::F0ShiftPct(0.0),
+            Fault::F0ShiftPct(10.0),
+            Fault::Open(ComponentRef::R1),
+            Fault::Short(ComponentRef::C1),
+        ]));
+        let report = CampaignRunner::with_threads(2).run(&c).unwrap();
+        assert_eq!(report.devices(), 4);
+        assert_eq!(report.coverage.len(), 4);
+        // The nominal device is in tolerance and passes; the gross faults fail.
+        assert!(!report.coverage[0].detected);
+        assert!(report.coverage[1].detected);
+        assert!(report.coverage[2].detected);
+        assert!((report.fault_coverage().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(report.screening.escapes, 0);
+    }
+
+    #[test]
+    fn monte_carlo_campaign_is_thread_count_invariant() {
+        let c = campaign(DevicePopulation::MonteCarlo {
+            devices: 24,
+            sigma_pct: 4.0,
+        });
+        let serial = CampaignRunner::with_threads(1).run(&c).unwrap();
+        let parallel = CampaignRunner::with_threads(4).with_chunk_size(5).run(&c).unwrap();
+        assert_eq!(serial, parallel, "parallel campaign must be bit-identical to serial");
+        assert_eq!(serial.devices(), 24);
+    }
+
+    #[test]
+    fn golden_cache_is_reused_across_campaigns() {
+        let runner = CampaignRunner::with_threads(2);
+        let a = campaign(DevicePopulation::F0Sweep(vec![-5.0, 0.0, 5.0]));
+        let b = campaign(DevicePopulation::MonteCarlo {
+            devices: 4,
+            sigma_pct: 1.0,
+        });
+        runner.run(&a).unwrap();
+        runner.run(&b).unwrap();
+        assert_eq!(runner.cache().len(), 1, "same setup/reference must share one golden");
+    }
+
+    #[test]
+    fn logged_run_replays_to_the_same_ndfs() {
+        let c = campaign(DevicePopulation::F0Sweep(vec![0.0, 5.0, 10.0, 15.0]));
+        let runner = CampaignRunner::with_threads(2);
+        let (report, log) = runner.run_logged(&c).unwrap();
+        assert_eq!(log.len(), 4);
+        let decoded = SignatureLog::from_bytes(&log.to_bytes()).unwrap();
+        let golden = runner.cache().flow_for(&c.setup, &c.reference).unwrap();
+        let replayed = decoded.replay(golden.golden()).unwrap();
+        for ((index, replayed_ndf), result) in replayed.iter().zip(&report.results) {
+            assert_eq!(*index as usize, result.index);
+            assert_eq!(
+                *replayed_ndf, result.ndf,
+                "replayed NDF must match the live run bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn monitor_variation_spreads_the_nominal_ndf() {
+        // With per-device monitor variation even nominal devices score a
+        // nonzero NDF; without it they score exactly zero.
+        let base = campaign(DevicePopulation::MonteCarlo {
+            devices: 6,
+            sigma_pct: 0.0,
+        });
+        let ideal = CampaignRunner::with_threads(2).run(&base).unwrap();
+        assert_eq!(ideal.max_ndf(), Some(0.0));
+        let varied = base.clone().with_monitor_variation(ProcessVariation::nominal_65nm());
+        let real = CampaignRunner::with_threads(2).run(&varied).unwrap();
+        assert!(
+            real.max_ndf().unwrap() > 0.0,
+            "varied monitors must perturb the signature"
+        );
+        // And the variation draw must be deterministic too.
+        let again = CampaignRunner::with_threads(3).run(&varied).unwrap();
+        assert_eq!(real, again);
+    }
+
+    #[test]
+    fn sweep_campaign_ndf_grows_with_deviation() {
+        let c = campaign(DevicePopulation::F0Sweep(vec![0.0, 5.0, 10.0, 20.0]));
+        let report = CampaignRunner::new().run(&c).unwrap();
+        let ndfs: Vec<f64> = report.results.iter().map(|r| r.ndf).collect();
+        assert!(ndfs.windows(2).all(|w| w[1] >= w[0] - 1e-9), "NDFs {ndfs:?}");
+        assert!(ndfs[3] > 0.05);
+    }
+}

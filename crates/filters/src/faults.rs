@@ -101,11 +101,19 @@ impl Fault {
             Fault::GainShiftPct(p) => d.r1 /= 1.0 + p / 100.0,
             Fault::ComponentShiftPct(c, p) => scale_component(&mut d, c, 1.0 + p / 100.0),
             Fault::Open(c) => {
-                let factor = if matches!(c, ComponentRef::C1 | ComponentRef::C2) { 1e-6 } else { 1e6 };
+                let factor = if matches!(c, ComponentRef::C1 | ComponentRef::C2) {
+                    1e-6
+                } else {
+                    1e6
+                };
                 scale_component(&mut d, c, factor);
             }
             Fault::Short(c) => {
-                let factor = if matches!(c, ComponentRef::C1 | ComponentRef::C2) { 1e6 } else { 1e-6 };
+                let factor = if matches!(c, ComponentRef::C1 | ComponentRef::C2) {
+                    1e6
+                } else {
+                    1e-6
+                };
                 scale_component(&mut d, c, factor);
             }
         }
@@ -166,7 +174,9 @@ mod tests {
     fn component_shift_changes_f0_through_design() {
         let p = BiquadParams::paper_default();
         // +21 % on C2 gives roughly -9.1 % on f0 (1/sqrt(1.21) = 1/1.1).
-        let faulty = Fault::ComponentShiftPct(ComponentRef::C2, 21.0).apply_to_params(&p).unwrap();
+        let faulty = Fault::ComponentShiftPct(ComponentRef::C2, 21.0)
+            .apply_to_params(&p)
+            .unwrap();
         let dev = faulty.f0_deviation_pct(&p);
         assert!((dev + 9.1).abs() < 0.5, "deviation {dev}");
     }

@@ -28,7 +28,9 @@ impl StateSpaceSim {
     /// or is too coarse for the filter (fewer than 20 steps per `1/f0`).
     pub fn new(params: BiquadParams, dt: f64) -> Result<Self> {
         if !(dt > 0.0) || !dt.is_finite() {
-            return Err(FilterError::InvalidParameter(format!("time step must be positive (got {dt})")));
+            return Err(FilterError::InvalidParameter(format!(
+                "time step must be positive (got {dt})"
+            )));
         }
         if dt > 1.0 / (20.0 * params.f0_hz) {
             return Err(FilterError::InvalidParameter(format!(
@@ -145,7 +147,10 @@ mod tests {
         for k in 0..n {
             max_err = max_err.max((analytic.samples()[k] - simulated.samples()[k]).abs());
         }
-        assert!(max_err < 5e-3, "max deviation between RK4 and analytic response: {max_err}");
+        assert!(
+            max_err < 5e-3,
+            "max deviation between RK4 and analytic response: {max_err}"
+        );
     }
 
     #[test]

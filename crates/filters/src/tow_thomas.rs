@@ -120,7 +120,12 @@ impl TowThomasDesign {
         ckt.add_resistor("RINV_B", lowpass, n3, self.r_inv)?;
         ckt.add_opamp("A3", gnd, n3, lowpass)?;
 
-        Ok(TowThomasCircuit { circuit: ckt, input, bandpass, lowpass })
+        Ok(TowThomasCircuit {
+            circuit: ckt,
+            input,
+            bandpass,
+            lowpass,
+        })
     }
 }
 
@@ -179,7 +184,12 @@ mod tests {
         let params = BiquadParams::paper_default();
         let design = TowThomasDesign::from_params(&params).unwrap();
         let built = design
-            .build_netlist(SourceWaveform::Sine { offset: 0.0, amplitude: 1.0, frequency_hz: 1e3, phase_rad: 0.0 })
+            .build_netlist(SourceWaveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                frequency_hz: 1e3,
+                phase_rad: 0.0,
+            })
             .unwrap();
         let freqs = [1e3, 5e3, 15e3, 25e3, 60e3];
         let res = ac_sweep(&built.circuit, &freqs).unwrap();

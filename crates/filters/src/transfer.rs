@@ -71,7 +71,12 @@ impl BiquadParams {
     /// composition highly sensitive to `f0` deviations — the property the
     /// paper's experiment relies on.
     pub fn paper_default() -> Self {
-        BiquadParams { f0_hz: 15_000.0, q: 1.0, gain: 1.0, kind: BiquadKind::LowPass }
+        BiquadParams {
+            f0_hz: 15_000.0,
+            q: 1.0,
+            gain: 1.0,
+            kind: BiquadKind::LowPass,
+        }
     }
 
     /// Angular natural frequency `w0 = 2 pi f0` in rad/s.
@@ -82,12 +87,18 @@ impl BiquadParams {
     /// Returns a copy with the natural frequency shifted by `percent` %
     /// (the deviation swept in Fig. 8).
     pub fn with_f0_shift_pct(&self, percent: f64) -> Self {
-        BiquadParams { f0_hz: self.f0_hz * (1.0 + percent / 100.0), ..*self }
+        BiquadParams {
+            f0_hz: self.f0_hz * (1.0 + percent / 100.0),
+            ..*self
+        }
     }
 
     /// Returns a copy with the quality factor shifted by `percent` %.
     pub fn with_q_shift_pct(&self, percent: f64) -> Self {
-        BiquadParams { q: self.q * (1.0 + percent / 100.0), ..*self }
+        BiquadParams {
+            q: self.q * (1.0 + percent / 100.0),
+            ..*self
+        }
     }
 
     /// Relative deviation of this filter's `f0` from a reference, in percent.
@@ -157,7 +168,11 @@ impl BiquadParams {
             .map(|tone| {
                 let f = stimulus.fundamental_hz() * tone.harmonic as f64;
                 let h = self.response(f);
-                (tone.amplitude * h.abs(), w0 * tone.harmonic as f64, tone.phase_rad + h.arg())
+                (
+                    tone.amplitude * h.abs(),
+                    w0 * tone.harmonic as f64,
+                    tone.phase_rad + h.arg(),
+                )
             })
             .collect();
         let offset = stimulus.offset() * h0;

@@ -37,7 +37,11 @@ impl AreaModel {
     /// Model calibrated so that a Table I monitor lands near the paper's
     /// reported core area.
     pub fn calibrated_65nm() -> Self {
-        AreaModel { diffusion_extension: 0.28e-6, layout_overhead: 7.5, output_stage_um2: 62.0 }
+        AreaModel {
+            diffusion_extension: 0.28e-6,
+            layout_overhead: 7.5,
+            output_stage_um2: 62.0,
+        }
     }
 
     /// Active (diffusion) area of the four input transistors, µm².
@@ -84,7 +88,10 @@ mod tests {
         // Curve 3 uses 4 x 1800 nm devices, the balanced sizing of the paper.
         let area = model.core_area_um2(&comps[2]);
         let ratio = area / PAPER_MONITOR_CORE_AREA_UM2;
-        assert!(ratio > 0.3 && ratio < 3.0, "core area {area} µm² vs paper {PAPER_MONITOR_CORE_AREA_UM2}");
+        assert!(
+            ratio > 0.3 && ratio < 3.0,
+            "core area {area} µm² vs paper {PAPER_MONITOR_CORE_AREA_UM2}"
+        );
     }
 
     #[test]

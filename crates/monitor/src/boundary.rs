@@ -25,7 +25,12 @@ pub struct Window {
 impl Window {
     /// The unit window `[0, 1] V x [0, 1] V` used throughout the paper.
     pub fn unit() -> Self {
-        Window { x_min: 0.0, x_max: 1.0, y_min: 0.0, y_max: 1.0 }
+        Window {
+            x_min: 0.0,
+            x_max: 1.0,
+            y_min: 0.0,
+            y_max: 1.0,
+        }
     }
 
     /// Whether a point lies inside the closed window.
@@ -145,7 +150,10 @@ pub fn trace_boundary(monitor: &CurrentComparator, window: &Window, samples: usi
             points.push((x, y));
         }
     }
-    BoundaryCurve { label: monitor.label.clone(), points }
+    BoundaryCurve {
+        label: monitor.label.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +236,10 @@ mod tests {
 
     #[test]
     fn empty_curve_has_no_slope() {
-        let c = BoundaryCurve { label: "x".into(), points: vec![] };
+        let c = BoundaryCurve {
+            label: "x".into(),
+            points: vec![],
+        };
         assert!(c.is_empty());
         assert!(c.mean_slope().is_none());
         assert!(c.max_deviation_from_line().is_none());

@@ -75,15 +75,21 @@ impl CurrentComparator {
         vdd: f64,
     ) -> Result<Self> {
         if !(vdd > 0.0) {
-            return Err(MonitorError::InvalidConfig(format!("supply voltage must be positive (got {vdd})")));
+            return Err(MonitorError::InvalidConfig(format!(
+                "supply voltage must be positive (got {vdd})"
+            )));
         }
         for (i, t) in transistors.iter().enumerate() {
-            t.validate().map_err(|e| {
-                MonitorError::InvalidConfig(format!("transistor M{} invalid: {e}", i + 1))
-            })?;
+            t.validate()
+                .map_err(|e| MonitorError::InvalidConfig(format!("transistor M{} invalid: {e}", i + 1)))?;
         }
-        let mut comparator =
-            CurrentComparator { label: label.into(), transistors, inputs, vdd, inverted: false };
+        let mut comparator = CurrentComparator {
+            label: label.into(),
+            transistors,
+            inputs,
+            vdd,
+            inverted: false,
+        };
         comparator.orient_for_origin();
         Ok(comparator)
     }
@@ -180,7 +186,12 @@ mod tests {
             "curve-6",
             base(),
             [1.8e-6; 4],
-            [MonitorInput::YAxis, MonitorInput::Dc(0.0), MonitorInput::XAxis, MonitorInput::Dc(0.0)],
+            [
+                MonitorInput::YAxis,
+                MonitorInput::Dc(0.0),
+                MonitorInput::XAxis,
+                MonitorInput::Dc(0.0),
+            ],
             1.2,
         )
         .unwrap()
@@ -221,7 +232,12 @@ mod tests {
             "heavy-left",
             base(),
             [3.0e-6, 0.6e-6, 0.6e-6, 3.0e-6],
-            [MonitorInput::YAxis, MonitorInput::Dc(0.2), MonitorInput::XAxis, MonitorInput::Dc(0.6)],
+            [
+                MonitorInput::YAxis,
+                MonitorInput::Dc(0.2),
+                MonitorInput::XAxis,
+                MonitorInput::Dc(0.6),
+            ],
             1.2,
         )
         .unwrap();
@@ -246,7 +262,12 @@ mod tests {
             "x-only",
             base(),
             [1.8e-6; 4],
-            [MonitorInput::XAxis, MonitorInput::Dc(0.3), MonitorInput::Dc(0.55), MonitorInput::Dc(0.55)],
+            [
+                MonitorInput::XAxis,
+                MonitorInput::Dc(0.3),
+                MonitorInput::Dc(0.55),
+                MonitorInput::Dc(0.55),
+            ],
             1.2,
         )
         .unwrap();
@@ -262,7 +283,12 @@ mod tests {
             "bad",
             base(),
             [1.8e-6; 4],
-            [MonitorInput::XAxis, MonitorInput::YAxis, MonitorInput::Dc(0.0), MonitorInput::Dc(0.0)],
+            [
+                MonitorInput::XAxis,
+                MonitorInput::YAxis,
+                MonitorInput::Dc(0.0),
+                MonitorInput::Dc(0.0),
+            ],
             0.0,
         );
         assert!(bad_vdd.is_err());
@@ -270,7 +296,12 @@ mod tests {
             "bad",
             base(),
             [0.0, 1.8e-6, 1.8e-6, 1.8e-6],
-            [MonitorInput::XAxis, MonitorInput::YAxis, MonitorInput::Dc(0.0), MonitorInput::Dc(0.0)],
+            [
+                MonitorInput::XAxis,
+                MonitorInput::YAxis,
+                MonitorInput::Dc(0.0),
+                MonitorInput::Dc(0.0),
+            ],
             1.2,
         );
         assert!(bad_width.is_err());
@@ -289,7 +320,12 @@ mod tests {
             "w",
             base(),
             [3.0e-6, 0.6e-6, 0.6e-6, 3.0e-6],
-            [MonitorInput::YAxis, MonitorInput::Dc(0.2), MonitorInput::XAxis, MonitorInput::Dc(0.6)],
+            [
+                MonitorInput::YAxis,
+                MonitorInput::Dc(0.2),
+                MonitorInput::XAxis,
+                MonitorInput::Dc(0.6),
+            ],
             1.2,
         )
         .unwrap();

@@ -28,11 +28,7 @@ pub struct MonitorNodes {
 ///
 /// # Errors
 /// Propagates netlist construction errors (invalid transistor geometry).
-pub fn build_monitor_netlist(
-    comparator: &CurrentComparator,
-    x: f64,
-    y: f64,
-) -> Result<(Circuit, MonitorNodes)> {
+pub fn build_monitor_netlist(comparator: &CurrentComparator, x: f64, y: f64) -> Result<(Circuit, MonitorNodes)> {
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
     let out1 = ckt.node("out1");
@@ -42,12 +38,7 @@ pub fn build_monitor_netlist(
     ckt.add_vsource("VDD", vdd, gnd, comparator.vdd)?;
 
     // Input nMOS devices: M1/M2 discharge out1, M3/M4 discharge out2.
-    for (i, (params, input)) in comparator
-        .transistors
-        .iter()
-        .zip(comparator.inputs.iter())
-        .enumerate()
-    {
+    for (i, (params, input)) in comparator.transistors.iter().zip(comparator.inputs.iter()).enumerate() {
         let gate = ckt.node(&format!("g{}", i + 1));
         ckt.add_vsource(&format!("VG{}", i + 1), gate, gnd, input.voltage(x, y))?;
         let drain = if i < 2 { out1 } else { out2 };
@@ -141,7 +132,7 @@ mod tests {
     fn differential_output_tracks_current_imbalance() {
         let comps = table1_comparators().unwrap();
         let m = &comps[2]; // curve 3: Y + X vs 2 x 0.55 V
-        // Strong drive on the left branch (large x and y) pulls out1 low.
+                           // Strong drive on the left branch (large x and y) pulls out1 low.
         let strong = differential_output(m, 0.9, 0.9).unwrap();
         // Weak drive leaves out1 high.
         let weak = differential_output(m, 0.1, 0.1).unwrap();

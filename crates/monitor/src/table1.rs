@@ -129,10 +129,10 @@ mod tests {
         // branches, giving positive-slope boundaries (paper §III-B).
         let rows = table1_rows();
         for row in &rows[0..2] {
-            let left_has_y = matches!(row.inputs[0], MonitorInput::YAxis)
-                || matches!(row.inputs[1], MonitorInput::YAxis);
-            let right_has_x = matches!(row.inputs[2], MonitorInput::XAxis)
-                || matches!(row.inputs[3], MonitorInput::XAxis);
+            let left_has_y =
+                matches!(row.inputs[0], MonitorInput::YAxis) || matches!(row.inputs[1], MonitorInput::YAxis);
+            let right_has_x =
+                matches!(row.inputs[2], MonitorInput::XAxis) || matches!(row.inputs[3], MonitorInput::XAxis);
             assert!(left_has_y && right_has_x, "curve {}", row.curve);
         }
     }

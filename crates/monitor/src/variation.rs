@@ -66,9 +66,7 @@ impl ProcessVariation {
     }
 
     fn gauss(rng: &mut impl Rng) -> f64 {
-        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        sim_signal::standard_normal(rng)
     }
 
     /// Draws one varied instance of a monitor: a common process shift plus
@@ -142,8 +140,7 @@ impl BoundaryEnvelope {
         // Typical abscissa spacing of the envelope, used to decide whether an
         // envelope entry is "nearby".
         let spacing = if self.envelope.len() > 1 {
-            (self.envelope.last().expect("non-empty").0 - self.envelope[0].0)
-                / (self.envelope.len() - 1) as f64
+            (self.envelope.last().expect("non-empty").0 - self.envelope[0].0) / (self.envelope.len() - 1) as f64
         } else {
             f64::INFINITY
         };
@@ -244,19 +241,15 @@ mod tests {
     #[test]
     fn envelope_contains_nominal_curve() {
         let comps = table1_comparators().unwrap();
-        let env = monte_carlo_envelope(
-            &comps[2],
-            &ProcessVariation::nominal_65nm(),
-            &Window::unit(),
-            41,
-            50,
-            7,
-        )
-        .unwrap();
+        let env =
+            monte_carlo_envelope(&comps[2], &ProcessVariation::nominal_65nm(), &Window::unit(), 41, 50, 7).unwrap();
         assert_eq!(env.instances, 50);
         assert!(!env.envelope.is_empty());
         assert!(env.mean_half_width() > 0.0);
-        assert!(env.contains_curve(&env.nominal, 0.03), "nominal outside its own MC envelope");
+        assert!(
+            env.contains_curve(&env.nominal, 0.03),
+            "nominal outside its own MC envelope"
+        );
     }
 
     #[test]

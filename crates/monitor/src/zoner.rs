@@ -24,7 +24,9 @@ impl ZonePartition {
     /// than 32 monitors (zone codes are stored in a `u32`).
     pub fn new(monitors: Vec<CurrentComparator>) -> Result<Self> {
         if monitors.is_empty() {
-            return Err(MonitorError::InvalidConfig("a zone partition needs at least one monitor".into()));
+            return Err(MonitorError::InvalidConfig(
+                "a zone partition needs at least one monitor".into(),
+            ));
         }
         if monitors.len() > 32 {
             return Err(MonitorError::InvalidConfig(format!(
@@ -198,7 +200,12 @@ mod tests {
             "solo",
             MosParams::nmos_65nm(1.8e-6, 180e-9),
             [1.8e-6; 4],
-            [MonitorInput::YAxis, MonitorInput::XAxis, MonitorInput::Dc(0.55), MonitorInput::Dc(0.55)],
+            [
+                MonitorInput::YAxis,
+                MonitorInput::XAxis,
+                MonitorInput::Dc(0.55),
+                MonitorInput::Dc(0.55),
+            ],
             1.2,
         )
         .unwrap();

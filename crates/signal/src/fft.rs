@@ -92,7 +92,10 @@ pub fn amplitude_spectrum(waveform: &Waveform) -> Result<(Vec<f64>, Vec<f64>), S
 /// Returns [`SignalError::TooShort`] if fewer than two samples are available.
 pub fn tone_amplitude_projection(waveform: &Waveform, frequency_hz: f64) -> Result<f64, SignalError> {
     if waveform.len() < 2 {
-        return Err(SignalError::TooShort { len: waveform.len(), needed: 2 });
+        return Err(SignalError::TooShort {
+            len: waveform.len(),
+            needed: 2,
+        });
     }
     let n = waveform.len() as f64;
     let mut re = 0.0;
@@ -176,12 +179,7 @@ mod tests {
     fn spectrum_separates_multitone_components() {
         // Use a power-of-two-friendly fundamental so bins align exactly.
         let fs = 1_048_576.0; // 2^20 Hz
-        let spec = MultitoneSpec::new(
-            4096.0,
-            0.5,
-            vec![ToneSpec::new(1, 0.3), ToneSpec::new(3, 0.1)],
-        )
-        .unwrap();
+        let spec = MultitoneSpec::new(4096.0, 0.5, vec![ToneSpec::new(1, 0.3), ToneSpec::new(3, 0.1)]).unwrap();
         let w = Waveform::from_fn(0.0, 256.0 / 4096.0 / 256.0 * 256.0, fs, |t| spec.value(t));
         // 1/4096 s at fs = 256 samples: power of two.
         let a1 = tone_amplitude(&w, 4096.0).unwrap();

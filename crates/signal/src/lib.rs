@@ -41,5 +41,5 @@ pub use fft::{amplitude_spectrum, fft, tone_amplitude, tone_amplitude_projection
 pub use lissajous::Lissajous;
 pub use metrics::{correlation, max_abs_error, mean_squared_error, normalized_rms_error, rms_error};
 pub use multitone::{MultitoneSpec, ToneSpec};
-pub use noise::NoiseModel;
+pub use noise::{standard_normal, NoiseModel};
 pub use waveform::{SignalError, Waveform};

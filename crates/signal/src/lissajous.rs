@@ -23,10 +23,16 @@ impl Lissajous {
     /// available.
     pub fn compose(x: &Waveform, y: &Waveform) -> Result<Self, SignalError> {
         if x.len() != y.len() {
-            return Err(SignalError::GridMismatch { left: x.len(), right: y.len() });
+            return Err(SignalError::GridMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
         }
         if x.len() < 2 {
-            return Err(SignalError::TooShort { len: x.len(), needed: 2 });
+            return Err(SignalError::TooShort {
+                len: x.len(),
+                needed: 2,
+            });
         }
         let times = (0..x.len()).map(|k| x.time_at(k)).collect();
         let points = x.samples().iter().zip(y.samples()).map(|(&a, &b)| (a, b)).collect();
@@ -93,7 +99,10 @@ impl Lissajous {
     /// different number of points.
     pub fn max_distance(&self, other: &Lissajous) -> Result<f64, SignalError> {
         if self.len() != other.len() {
-            return Err(SignalError::GridMismatch { left: self.len(), right: other.len() });
+            return Err(SignalError::GridMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
         }
         Ok(self
             .points

@@ -67,7 +67,6 @@ pub fn normalized_rms_error(golden: &Waveform, observed: &Waveform) -> Result<f6
 /// either waveform has zero variance.
 pub fn correlation(a: &Waveform, b: &Waveform) -> Result<f64, SignalError> {
     check(a, b)?;
-    let n = a.len() as f64;
     let ma = a.mean();
     let mb = b.mean();
     let mut cov = 0.0;
@@ -79,14 +78,19 @@ pub fn correlation(a: &Waveform, b: &Waveform) -> Result<f64, SignalError> {
         vb += (y - mb) * (y - mb);
     }
     if va <= 0.0 || vb <= 0.0 {
-        return Err(SignalError::InvalidParameter("constant waveform has no correlation".into()));
+        return Err(SignalError::InvalidParameter(
+            "constant waveform has no correlation".into(),
+        ));
     }
-    Ok(cov / (va.sqrt() * vb.sqrt()) * (n / n))
+    Ok(cov / (va.sqrt() * vb.sqrt()))
 }
 
 fn check(a: &Waveform, b: &Waveform) -> Result<(), SignalError> {
     if a.len() != b.len() {
-        return Err(SignalError::GridMismatch { left: a.len(), right: b.len() });
+        return Err(SignalError::GridMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     if a.is_empty() {
         return Err(SignalError::TooShort { len: 0, needed: 1 });

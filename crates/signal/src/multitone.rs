@@ -20,7 +20,11 @@ pub struct ToneSpec {
 impl ToneSpec {
     /// Creates a tone at the given harmonic with zero phase.
     pub fn new(harmonic: u32, amplitude: f64) -> Self {
-        ToneSpec { harmonic, amplitude, phase_rad: 0.0 }
+        ToneSpec {
+            harmonic,
+            amplitude,
+            phase_rad: 0.0,
+        }
     }
 
     /// Returns a copy with the given phase (radians).
@@ -67,7 +71,11 @@ impl MultitoneSpec {
         if tones.iter().any(|t| t.harmonic == 0) {
             return Err(SignalError::InvalidParameter("harmonic indices start at 1".into()));
         }
-        Ok(MultitoneSpec { fundamental_hz, offset, tones })
+        Ok(MultitoneSpec {
+            fundamental_hz,
+            offset,
+            tones,
+        })
     }
 
     /// The stimulus used throughout the paper reproduction: a 5 kHz

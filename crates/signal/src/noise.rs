@@ -9,6 +9,17 @@ use rand::{Rng, SeedableRng};
 
 use crate::waveform::Waveform;
 
+/// One standard-normal draw via the Box-Muller transform (two uniforms, one
+/// cosine branch). This is *the* Gaussian convention of the workspace: noise
+/// injection, monitor Monte-Carlo variation and population screening all draw
+/// through it, so their streams stay bit-identical to one another for a given
+/// generator state.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
 /// Additive white Gaussian noise applied to observed signals.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseModel {
@@ -27,7 +38,10 @@ impl NoiseModel {
     /// The paper's noise setting: null mean and a 3σ spread of 0.015 V,
     /// i.e. σ = 5 mV.
     pub fn paper_default() -> Self {
-        NoiseModel { sigma: 0.015 / 3.0, mean: 0.0 }
+        NoiseModel {
+            sigma: 0.015 / 3.0,
+            mean: 0.0,
+        }
     }
 
     /// A noiseless model (σ = 0).
@@ -45,11 +59,7 @@ impl NoiseModel {
         if self.sigma == 0.0 {
             return self.mean;
         }
-        // Box-Muller transform: two uniforms -> one standard normal draw.
-        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        self.mean + self.sigma * z
+        self.mean + self.sigma * standard_normal(rng)
     }
 
     /// Returns a copy of `waveform` with independent noise added to every
@@ -59,8 +69,7 @@ impl NoiseModel {
             return waveform.clone();
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let samples: Vec<f64> =
-            waveform.samples().iter().map(|&x| x + self.sample(&mut rng)).collect();
+        let samples: Vec<f64> = waveform.samples().iter().map(|&x| x + self.sample(&mut rng)).collect();
         Waveform::new(waveform.start_time(), waveform.sample_rate(), samples)
     }
 }

@@ -56,7 +56,11 @@ impl Waveform {
     /// Panics if `sample_rate` is not strictly positive.
     pub fn new(start_time: f64, sample_rate: f64, samples: Vec<f64>) -> Self {
         assert!(sample_rate > 0.0, "sample rate must be positive");
-        Waveform { start_time, sample_rate, samples }
+        Waveform {
+            start_time,
+            sample_rate,
+            samples,
+        }
     }
 
     /// Samples a closure `f(t)` over `[start_time, start_time + duration)` at
@@ -66,7 +70,11 @@ impl Waveform {
         assert!(duration >= 0.0, "duration must be non-negative");
         let n = (duration * sample_rate).round() as usize;
         let samples = (0..n).map(|k| f(start_time + k as f64 / sample_rate)).collect();
-        Waveform { start_time, sample_rate, samples }
+        Waveform {
+            start_time,
+            sample_rate,
+            samples,
+        }
     }
 
     /// Builds a waveform from explicit `(time, value)` pairs that are assumed
@@ -78,16 +86,28 @@ impl Waveform {
     /// and [`SignalError::InvalidParameter`] when times are not increasing.
     pub fn from_samples(times: &[f64], values: &[f64]) -> Result<Self, SignalError> {
         if times.len() < 2 || values.len() < 2 {
-            return Err(SignalError::TooShort { len: times.len().min(values.len()), needed: 2 });
+            return Err(SignalError::TooShort {
+                len: times.len().min(values.len()),
+                needed: 2,
+            });
         }
         if times.len() != values.len() {
-            return Err(SignalError::GridMismatch { left: times.len(), right: values.len() });
+            return Err(SignalError::GridMismatch {
+                left: times.len(),
+                right: values.len(),
+            });
         }
         let dt = times[1] - times[0];
         if !(dt > 0.0) {
-            return Err(SignalError::InvalidParameter("times must be strictly increasing".into()));
+            return Err(SignalError::InvalidParameter(
+                "times must be strictly increasing".into(),
+            ));
         }
-        Ok(Waveform { start_time: times[0], sample_rate: 1.0 / dt, samples: values.to_vec() })
+        Ok(Waveform {
+            start_time: times[0],
+            sample_rate: 1.0 / dt,
+            samples: values.to_vec(),
+        })
     }
 
     /// The time of the first sample, seconds.
@@ -158,12 +178,21 @@ impl Waveform {
 
     /// Minimum sample value (0.0 for an empty waveform).
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+            .pipe_finite()
     }
 
     /// Maximum sample value (0.0 for an empty waveform).
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
     }
 
     /// Arithmetic mean of the samples (0.0 for an empty waveform).
@@ -209,7 +238,10 @@ impl Waveform {
     /// Returns [`SignalError::GridMismatch`] if the lengths differ.
     pub fn add(&self, other: &Waveform) -> Result<Waveform, SignalError> {
         if self.samples.len() != other.samples.len() {
-            return Err(SignalError::GridMismatch { left: self.samples.len(), right: other.samples.len() });
+            return Err(SignalError::GridMismatch {
+                left: self.samples.len(),
+                right: other.samples.len(),
+            });
         }
         Ok(Waveform {
             start_time: self.start_time,
@@ -248,7 +280,11 @@ impl Waveform {
                 state
             })
             .collect();
-        Waveform { start_time: self.start_time, sample_rate: self.sample_rate, samples }
+        Waveform {
+            start_time: self.start_time,
+            sample_rate: self.sample_rate,
+            samples,
+        }
     }
 }
 
@@ -369,13 +405,14 @@ mod tests {
     fn lowpass_reduces_white_noise_variance() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
-        let noisy = Waveform::new(
-            0.0,
-            4e6,
-            (0..4000).map(|_| rng.gen_range(-0.01..0.01)).collect(),
-        );
+        let noisy = Waveform::new(0.0, 4e6, (0..4000).map(|_| rng.gen_range(-0.01..0.01)).collect());
         let filtered = noisy.lowpass(300e3);
-        assert!(filtered.rms() < 0.6 * noisy.rms(), "rms {} vs {}", filtered.rms(), noisy.rms());
+        assert!(
+            filtered.rms() < 0.6 * noisy.rms(),
+            "rms {} vs {}",
+            filtered.rms(),
+            noisy.rms()
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub fn log_frequency_grid(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> 
 /// returns [`SpiceError::InvalidAnalysis`] for an empty frequency list.
 pub fn ac_sweep(circuit: &Circuit, frequencies: &[f64]) -> Result<AcResult> {
     if frequencies.is_empty() {
-        return Err(SpiceError::InvalidAnalysis("AC sweep needs at least one frequency".to_string()));
+        return Err(SpiceError::InvalidAnalysis(
+            "AC sweep needs at least one frequency".to_string(),
+        ));
     }
     let op = dc_operating_point(circuit)?;
     ac_sweep_at(circuit, &op, frequencies)
@@ -81,7 +83,9 @@ pub fn ac_sweep(circuit: &Circuit, frequencies: &[f64]) -> Result<AcResult> {
 /// and [`SpiceError::InvalidAnalysis`] for an empty frequency list.
 pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) -> Result<AcResult> {
     if frequencies.is_empty() {
-        return Err(SpiceError::InvalidAnalysis("AC sweep needs at least one frequency".to_string()));
+        return Err(SpiceError::InvalidAnalysis(
+            "AC sweep needs at least one frequency".to_string(),
+        ));
     }
     let layout = MnaLayout::new(circuit);
     let n = layout.total_unknowns;
@@ -93,21 +97,20 @@ pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) 
         let mut a = ComplexMatrix::zeros(n);
         let mut b = vec![Complex::ZERO; n];
 
-        let stamp_admittance =
-            |a: &mut ComplexMatrix, n1: Option<usize>, n2: Option<usize>, y: Complex| {
-                if let Some(i) = n1 {
-                    a.add(i, i, y);
-                    if let Some(j) = n2 {
-                        a.add(i, j, -y);
-                    }
-                }
+        let stamp_admittance = |a: &mut ComplexMatrix, n1: Option<usize>, n2: Option<usize>, y: Complex| {
+            if let Some(i) = n1 {
+                a.add(i, i, y);
                 if let Some(j) = n2 {
-                    a.add(j, j, y);
-                    if let Some(i) = n1 {
-                        a.add(j, i, -y);
-                    }
+                    a.add(i, j, -y);
                 }
-            };
+            }
+            if let Some(j) = n2 {
+                a.add(j, j, y);
+                if let Some(i) = n1 {
+                    a.add(j, i, -y);
+                }
+            }
+        };
 
         for (idx, element) in circuit.elements().iter().enumerate() {
             let branch = layout.branch_of_element[idx];
@@ -120,7 +123,9 @@ pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) 
                         Complex::from_real(1.0 / ohms),
                     );
                 }
-                Element::Capacitor { a: na, b: nb, farads, .. } => {
+                Element::Capacitor {
+                    a: na, b: nb, farads, ..
+                } => {
                     stamp_admittance(
                         &mut a,
                         layout.node_unknown(*na),
@@ -128,7 +133,9 @@ pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) 
                         Complex::from_imag(omega * farads),
                     );
                 }
-                Element::Inductor { a: na, b: nb, henries, .. } => {
+                Element::Inductor {
+                    a: na, b: nb, henries, ..
+                } => {
                     let br = branch.expect("inductor branch");
                     let ia = layout.node_unknown(*na);
                     let ib = layout.node_unknown(*nb);
@@ -165,7 +172,14 @@ pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) 
                         b[t] += Complex::from_real(mag);
                     }
                 }
-                Element::Vcvs { out_pos, out_neg, ctrl_pos, ctrl_neg, gain, .. } => {
+                Element::Vcvs {
+                    out_pos,
+                    out_neg,
+                    ctrl_pos,
+                    ctrl_neg,
+                    gain,
+                    ..
+                } => {
                     let br = branch.expect("vcvs branch");
                     let op_ = layout.node_unknown(*out_pos);
                     let on = layout.node_unknown(*out_neg);
@@ -186,7 +200,14 @@ pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) 
                         a.add(br, j, Complex::from_real(*gain));
                     }
                 }
-                Element::Vccs { out_pos, out_neg, ctrl_pos, ctrl_neg, gm, .. } => {
+                Element::Vccs {
+                    out_pos,
+                    out_neg,
+                    ctrl_pos,
+                    ctrl_neg,
+                    gm,
+                    ..
+                } => {
                     let op_ = layout.node_unknown(*out_pos);
                     let on = layout.node_unknown(*out_neg);
                     let cp = layout.node_unknown(*ctrl_pos);
@@ -202,7 +223,9 @@ pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) 
                         }
                     }
                 }
-                Element::IdealOpAmp { in_pos, in_neg, out, .. } => {
+                Element::IdealOpAmp {
+                    in_pos, in_neg, out, ..
+                } => {
                     let br = branch.expect("opamp branch");
                     if let Some(o) = layout.node_unknown(*out) {
                         a.add(o, br, -Complex::ONE);
@@ -214,7 +237,13 @@ pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) 
                         a.add(br, j, -Complex::ONE);
                     }
                 }
-                Element::Mosfet { drain, gate, source, params, .. } => {
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    params,
+                    ..
+                } => {
                     let vd = op.voltage(*drain);
                     let vg = op.voltage(*gate);
                     let vs = op.voltage(*source);
@@ -254,7 +283,10 @@ pub fn ac_sweep_at(circuit: &Circuit, op: &OperatingPoint, frequencies: &[f64]) 
         phasors.push(row);
     }
 
-    Ok(AcResult { frequencies: frequencies.to_vec(), phasors })
+    Ok(AcResult {
+        frequencies: frequencies.to_vec(),
+        phasors,
+    })
 }
 
 #[cfg(test)]
@@ -273,7 +305,12 @@ mod tests {
             "V1",
             vin,
             g,
-            SourceWaveform::Sine { offset: 0.0, amplitude: 1.0, frequency_hz: fc, phase_rad: 0.0 },
+            SourceWaveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                frequency_hz: fc,
+                phase_rad: 0.0,
+            },
         )
         .unwrap();
         ckt.add_resistor("R1", vin, out, r).unwrap();
@@ -342,7 +379,12 @@ mod tests {
             "V1",
             vin,
             g,
-            SourceWaveform::Sine { offset: 0.0, amplitude: 1.0, frequency_hz: 1e4, phase_rad: 0.0 },
+            SourceWaveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                frequency_hz: 1e4,
+                phase_rad: 0.0,
+            },
         )
         .unwrap();
         ckt.add_inductor("L1", vin, mid, 1e-3).unwrap();

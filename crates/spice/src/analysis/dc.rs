@@ -17,7 +17,11 @@ pub struct OperatingPoint {
 impl OperatingPoint {
     pub(crate) fn new(circuit: &Circuit, layout: MnaLayout, solution: Vec<f64>) -> Self {
         let element_names = circuit.elements().iter().map(|e| e.name().to_string()).collect();
-        OperatingPoint { layout, solution, element_names }
+        OperatingPoint {
+            layout,
+            solution,
+            element_names,
+        }
     }
 
     /// Voltage of a node (0.0 for ground).
@@ -63,7 +67,12 @@ pub struct NewtonOptions {
 
 impl Default for NewtonOptions {
     fn default() -> Self {
-        NewtonOptions { max_iterations: 200, abs_tol: 1e-9, rel_tol: 1e-6, damping_limit: 0.5 }
+        NewtonOptions {
+            max_iterations: 200,
+            abs_tol: 1e-9,
+            rel_tol: 1e-6,
+            damping_limit: 0.5,
+        }
     }
 }
 
@@ -149,9 +158,16 @@ fn dc_operating_point_at(circuit: &Circuit, sources: SourceEval) -> Result<Opera
     let zero = vec![0.0; layout.total_unknowns];
 
     // Plain attempt with the final (tiny) gmin.
-    if let Ok(solution) =
-        newton_solve(circuit, &layout, &zero, sources, ReactiveMode::Static, 1e-12, &options, "dc")
-    {
+    if let Ok(solution) = newton_solve(
+        circuit,
+        &layout,
+        &zero,
+        sources,
+        ReactiveMode::Static,
+        1e-12,
+        &options,
+        "dc",
+    ) {
         return Ok(OperatingPoint::new(circuit, layout, solution));
     }
 
@@ -160,8 +176,16 @@ fn dc_operating_point_at(circuit: &Circuit, sources: SourceEval) -> Result<Opera
     let mut guess = zero;
     let schedule = [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12];
     for (i, gmin) in schedule.iter().enumerate() {
-        match newton_solve(circuit, &layout, &guess, sources, ReactiveMode::Static, *gmin, &options, "dc")
-        {
+        match newton_solve(
+            circuit,
+            &layout,
+            &guess,
+            sources,
+            ReactiveMode::Static,
+            *gmin,
+            &options,
+            "dc",
+        ) {
             Ok(solution) => {
                 guess = solution;
             }
@@ -280,7 +304,12 @@ mod tests {
             "V1",
             a,
             g,
-            SourceWaveform::Sine { offset: 0.5, amplitude: 0.4, frequency_hz: 1e3, phase_rad: 0.0 },
+            SourceWaveform::Sine {
+                offset: 0.5,
+                amplitude: 0.4,
+                frequency_hz: 1e3,
+                phase_rad: 0.0,
+            },
         )
         .unwrap();
         ckt.add_resistor("R1", a, g, 1e3).unwrap();

@@ -112,7 +112,9 @@ pub fn assemble(
                 let g = 1.0 / ohms;
                 stamp_conductance(&mut a, layout.node_unknown(*na), layout.node_unknown(*nb), g);
             }
-            Element::Capacitor { a: na, b: nb, farads, .. } => match reactive {
+            Element::Capacitor {
+                a: na, b: nb, farads, ..
+            } => match reactive {
                 ReactiveMode::Static => {
                     // Open circuit at DC: no stamp.
                 }
@@ -136,7 +138,9 @@ pub fn assemble(
                     stamp_current(&mut b, ib, ia, ieq);
                 }
             },
-            Element::Inductor { a: na, b: nb, henries, .. } => {
+            Element::Inductor {
+                a: na, b: nb, henries, ..
+            } => {
                 let br = branch.expect("inductor has a branch");
                 let ia = layout.node_unknown(*na);
                 let ib = layout.node_unknown(*nb);
@@ -188,7 +192,14 @@ pub fn assemble(
                 let i = sources.value(waveform);
                 stamp_current(&mut b, layout.node_unknown(*from), layout.node_unknown(*to), i);
             }
-            Element::Vcvs { out_pos, out_neg, ctrl_pos, ctrl_neg, gain, .. } => {
+            Element::Vcvs {
+                out_pos,
+                out_neg,
+                ctrl_pos,
+                ctrl_neg,
+                gain,
+                ..
+            } => {
                 let br = branch.expect("vcvs has a branch");
                 let op = layout.node_unknown(*out_pos);
                 let on = layout.node_unknown(*out_neg);
@@ -209,7 +220,14 @@ pub fn assemble(
                     a.add(br, j, *gain);
                 }
             }
-            Element::Vccs { out_pos, out_neg, ctrl_pos, ctrl_neg, gm, .. } => {
+            Element::Vccs {
+                out_pos,
+                out_neg,
+                ctrl_pos,
+                ctrl_neg,
+                gm,
+                ..
+            } => {
                 let op = layout.node_unknown(*out_pos);
                 let on = layout.node_unknown(*out_neg);
                 let cp = layout.node_unknown(*ctrl_pos);
@@ -226,7 +244,9 @@ pub fn assemble(
                     }
                 }
             }
-            Element::IdealOpAmp { in_pos, in_neg, out, .. } => {
+            Element::IdealOpAmp {
+                in_pos, in_neg, out, ..
+            } => {
                 let br = branch.expect("opamp has a branch");
                 let ip = layout.node_unknown(*in_pos);
                 let inn = layout.node_unknown(*in_neg);
@@ -243,7 +263,13 @@ pub fn assemble(
                     a.add(br, j, -1.0);
                 }
             }
-            Element::Mosfet { drain, gate, source, params, .. } => {
+            Element::Mosfet {
+                drain,
+                gate,
+                source,
+                params,
+                ..
+            } => {
                 let vd = v_of(*drain);
                 let vg = v_of(*gate);
                 let vs = v_of(*source);

@@ -55,13 +55,21 @@ impl TransientConfig {
     /// not positive, or the step exceeds the stop time.
     pub fn validate(&self) -> Result<()> {
         if !(self.dt > 0.0) || !self.dt.is_finite() {
-            return Err(SpiceError::InvalidAnalysis(format!("time step must be positive (got {})", self.dt)));
+            return Err(SpiceError::InvalidAnalysis(format!(
+                "time step must be positive (got {})",
+                self.dt
+            )));
         }
         if !(self.t_stop > 0.0) || !self.t_stop.is_finite() {
-            return Err(SpiceError::InvalidAnalysis(format!("stop time must be positive (got {})", self.t_stop)));
+            return Err(SpiceError::InvalidAnalysis(format!(
+                "stop time must be positive (got {})",
+                self.t_stop
+            )));
         }
         if self.dt > self.t_stop {
-            return Err(SpiceError::InvalidAnalysis("time step larger than stop time".to_string()));
+            return Err(SpiceError::InvalidAnalysis(
+                "time step larger than stop time".to_string(),
+            ));
         }
         Ok(())
     }
@@ -193,7 +201,11 @@ pub fn transient(circuit: &Circuit, config: &TransientConfig) -> Result<Transien
 
     for step in 1..=steps {
         let t = step as f64 * config.dt;
-        let reactive = ReactiveMode::Companion { step: config.dt, method: config.method, state: &state };
+        let reactive = ReactiveMode::Companion {
+            step: config.dt,
+            method: config.method,
+            state: &state,
+        };
         x = newton_solve(
             circuit,
             &layout,
@@ -208,8 +220,14 @@ pub fn transient(circuit: &Circuit, config: &TransientConfig) -> Result<Transien
         record(t, &x, &mut traces, &mut times);
     }
 
-    let node_names = (0..node_count).map(|i| circuit.node_name(Node(i)).to_string()).collect();
-    Ok(TransientResult { times, traces, node_names })
+    let node_names = (0..node_count)
+        .map(|i| circuit.node_name(Node(i)).to_string())
+        .collect();
+    Ok(TransientResult {
+        times,
+        traces,
+        node_names,
+    })
 }
 
 #[cfg(test)]
@@ -240,7 +258,12 @@ mod tests {
         for target in [1e-3, 2e-3] {
             let idx = times.iter().position(|&t| (t - target).abs() < 5e-7).unwrap();
             let expected = 1.0 - (-target / 1e-3_f64).exp();
-            assert!((v[idx] - expected).abs() < 5e-3, "at {target}: {} vs {}", v[idx], expected);
+            assert!(
+                (v[idx] - expected).abs() < 5e-3,
+                "at {target}: {} vs {}",
+                v[idx],
+                expected
+            );
         }
     }
 
@@ -256,16 +279,17 @@ mod tests {
             "V1",
             vin,
             g,
-            SourceWaveform::Sine { offset: 0.0, amplitude: 1.0, frequency_hz: 10e3, phase_rad: 0.0 },
+            SourceWaveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                frequency_hz: 10e3,
+                phase_rad: 0.0,
+            },
         )
         .unwrap();
         ckt.add_resistor("R1", vin, out, r).unwrap();
         ckt.add_capacitor("C1", out, g, 1e-6).unwrap();
-        let res = transient(
-            &ckt,
-            &TransientConfig::new(2e-3, 1e-7).with_record_from(1e-3),
-        )
-        .unwrap();
+        let res = transient(&ckt, &TransientConfig::new(2e-3, 1e-7).with_record_from(1e-3)).unwrap();
         let v = res.voltage(out);
         let amp = v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
         assert!((amp - 0.0995).abs() < 0.01, "amplitude {amp}");
@@ -301,7 +325,10 @@ mod tests {
         assert!(crossings.len() >= 2, "expected oscillation");
         let period = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
         let expected = 2.0 * std::f64::consts::PI * (1e-3_f64 * 1e-6).sqrt();
-        assert!((period - expected).abs() / expected < 0.05, "period {period} vs {expected}");
+        assert!(
+            (period - expected).abs() / expected < 0.05,
+            "period {period} vs {expected}"
+        );
     }
 
     #[test]

@@ -206,7 +206,11 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit containing only the ground node `"0"`.
     pub fn new() -> Self {
-        let mut ckt = Circuit { node_names: Vec::new(), name_to_index: HashMap::new(), elements: Vec::new() };
+        let mut ckt = Circuit {
+            node_names: Vec::new(),
+            name_to_index: HashMap::new(),
+            elements: Vec::new(),
+        };
         ckt.node_names.push("0".to_string());
         ckt.name_to_index.insert("0".to_string(), 0);
         ckt
@@ -275,7 +279,12 @@ impl Circuit {
     /// Returns [`SpiceError::InvalidParameter`] if `ohms` is not positive and finite.
     pub fn add_resistor(&mut self, name: &str, a: Node, b: Node, ohms: f64) -> Result<()> {
         Self::check_positive(name, "resistance", ohms)?;
-        self.elements.push(Element::Resistor { name: name.to_string(), a, b, ohms });
+        self.elements.push(Element::Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            ohms,
+        });
         Ok(())
     }
 
@@ -285,7 +294,12 @@ impl Circuit {
     /// Returns [`SpiceError::InvalidParameter`] if `farads` is not positive and finite.
     pub fn add_capacitor(&mut self, name: &str, a: Node, b: Node, farads: f64) -> Result<()> {
         Self::check_positive(name, "capacitance", farads)?;
-        self.elements.push(Element::Capacitor { name: name.to_string(), a, b, farads });
+        self.elements.push(Element::Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            farads,
+        });
         Ok(())
     }
 
@@ -295,7 +309,12 @@ impl Circuit {
     /// Returns [`SpiceError::InvalidParameter`] if `henries` is not positive and finite.
     pub fn add_inductor(&mut self, name: &str, a: Node, b: Node, henries: f64) -> Result<()> {
         Self::check_positive(name, "inductance", henries)?;
-        self.elements.push(Element::Inductor { name: name.to_string(), a, b, henries });
+        self.elements.push(Element::Inductor {
+            name: name.to_string(),
+            a,
+            b,
+            henries,
+        });
         Ok(())
     }
 
@@ -303,13 +322,7 @@ impl Circuit {
     ///
     /// # Errors
     /// Currently infallible for all waveforms; returns `Ok(())`.
-    pub fn add_vsource(
-        &mut self,
-        name: &str,
-        pos: Node,
-        neg: Node,
-        waveform: impl Into<SourceWaveform>,
-    ) -> Result<()> {
+    pub fn add_vsource(&mut self, name: &str, pos: Node, neg: Node, waveform: impl Into<SourceWaveform>) -> Result<()> {
         self.elements.push(Element::VoltageSource {
             name: name.to_string(),
             pos,
@@ -323,13 +336,7 @@ impl Circuit {
     ///
     /// # Errors
     /// Currently infallible for all waveforms; returns `Ok(())`.
-    pub fn add_isource(
-        &mut self,
-        name: &str,
-        from: Node,
-        to: Node,
-        waveform: impl Into<SourceWaveform>,
-    ) -> Result<()> {
+    pub fn add_isource(&mut self, name: &str, from: Node, to: Node, waveform: impl Into<SourceWaveform>) -> Result<()> {
         self.elements.push(Element::CurrentSource {
             name: name.to_string(),
             from,
@@ -358,7 +365,14 @@ impl Circuit {
                 message: "gain must be finite".to_string(),
             });
         }
-        self.elements.push(Element::Vcvs { name: name.to_string(), out_pos, out_neg, ctrl_pos, ctrl_neg, gain });
+        self.elements.push(Element::Vcvs {
+            name: name.to_string(),
+            out_pos,
+            out_neg,
+            ctrl_pos,
+            ctrl_neg,
+            gain,
+        });
         Ok(())
     }
 
@@ -381,7 +395,14 @@ impl Circuit {
                 message: "transconductance must be finite".to_string(),
             });
         }
-        self.elements.push(Element::Vccs { name: name.to_string(), out_pos, out_neg, ctrl_pos, ctrl_neg, gm });
+        self.elements.push(Element::Vccs {
+            name: name.to_string(),
+            out_pos,
+            out_neg,
+            ctrl_pos,
+            ctrl_neg,
+            gm,
+        });
         Ok(())
     }
 
@@ -390,7 +411,12 @@ impl Circuit {
     /// # Errors
     /// Currently infallible; returns `Ok(())`.
     pub fn add_opamp(&mut self, name: &str, in_pos: Node, in_neg: Node, out: Node) -> Result<()> {
-        self.elements.push(Element::IdealOpAmp { name: name.to_string(), in_pos, in_neg, out });
+        self.elements.push(Element::IdealOpAmp {
+            name: name.to_string(),
+            in_pos,
+            in_neg,
+            out,
+        });
         Ok(())
     }
 
@@ -400,7 +426,13 @@ impl Circuit {
     /// Returns [`SpiceError::InvalidParameter`] if the model parameters are invalid.
     pub fn add_mosfet(&mut self, name: &str, drain: Node, gate: Node, source: Node, params: MosParams) -> Result<()> {
         params.validate()?;
-        self.elements.push(Element::Mosfet { name: name.to_string(), drain, gate, source, params });
+        self.elements.push(Element::Mosfet {
+            name: name.to_string(),
+            drain,
+            gate,
+            source,
+            params,
+        });
         Ok(())
     }
 }
@@ -431,7 +463,11 @@ impl MnaLayout {
                 branch_of_element.push(None);
             }
         }
-        MnaLayout { num_node_unknowns, branch_of_element, total_unknowns: next_branch }
+        MnaLayout {
+            num_node_unknowns,
+            branch_of_element,
+            total_unknowns: next_branch,
+        }
     }
 
     /// Index of the unknown associated with a node, or `None` for ground.
@@ -533,7 +569,8 @@ mod tests {
         let a = ckt.node("a");
         let g = ckt.ground();
         ckt.add_vsource("V1", a, g, 1.0).unwrap();
-        ckt.add_mosfet("M1", a, a, g, MosParams::nmos_65nm(1e-6, 180e-9)).unwrap();
+        ckt.add_mosfet("M1", a, a, g, MosParams::nmos_65nm(1e-6, 180e-9))
+            .unwrap();
         let elems = ckt.elements();
         assert_eq!(elems[0].name(), "V1");
         assert!(elems[0].needs_branch());

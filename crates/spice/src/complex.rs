@@ -47,13 +47,19 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Reciprocal `1 / self`.
     pub fn recip(self) -> Self {
         let d = self.re * self.re + self.im * self.im;
-        Complex { re: self.re / d, im: -self.im / d }
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Magnitude expressed in decibels, `20 log10 |z|`.
@@ -136,7 +142,10 @@ pub struct ComplexMatrix {
 impl ComplexMatrix {
     /// Creates an `n x n` complex matrix of zeros.
     pub fn zeros(n: usize) -> Self {
-        ComplexMatrix { n, data: vec![Complex::ZERO; n * n] }
+        ComplexMatrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
     }
 
     /// Dimension of the matrix.

@@ -198,7 +198,12 @@ fn eval_forward(params: &MosParams, vgs: f64, vds: f64) -> MosEval {
     };
 
     if vov <= 0.0 {
-        return MosEval { id: isub, gm: gm_sub, gds: gds_sub, region: MosRegion::Cutoff };
+        return MosEval {
+            id: isub,
+            gm: gm_sub,
+            gds: gds_sub,
+            region: MosRegion::Cutoff,
+        };
     }
 
     let clm = 1.0 + params.lambda * vds;
@@ -206,16 +211,24 @@ fn eval_forward(params: &MosParams, vgs: f64, vds: f64) -> MosEval {
         // Triode region.
         let id = beta * (vov * vds - 0.5 * vds * vds) * clm + isub;
         let gm = beta * vds * clm + gm_sub;
-        let gds = beta * (vov - vds) * clm
-            + beta * (vov * vds - 0.5 * vds * vds) * params.lambda
-            + gds_sub;
-        MosEval { id, gm, gds, region: MosRegion::Triode }
+        let gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * params.lambda + gds_sub;
+        MosEval {
+            id,
+            gm,
+            gds,
+            region: MosRegion::Triode,
+        }
     } else {
         // Saturation region.
         let id = 0.5 * beta * vov * vov * clm + isub;
         let gm = beta * vov * clm + gm_sub;
         let gds = 0.5 * beta * vov * vov * params.lambda + gds_sub;
-        MosEval { id, gm, gds, region: MosRegion::Saturation }
+        MosEval {
+            id,
+            gm,
+            gds,
+            region: MosRegion::Saturation,
+        }
     }
 }
 
@@ -236,7 +249,12 @@ pub fn evaluate(params: &MosParams, vg: f64, vd: f64, vs: f64) -> MosEval {
         MosPolarity::Nmos => {
             if vd >= vs {
                 let fwd = eval_forward(params, vg - vs, vd - vs);
-                MosEval { id: fwd.id, gm: fwd.gm, gds: fwd.gds, region: fwd.region }
+                MosEval {
+                    id: fwd.id,
+                    gm: fwd.gm,
+                    gds: fwd.gds,
+                    region: fwd.region,
+                }
             } else {
                 // Drain and source exchange roles; Id(vg, vd, vs) = -I_fwd(vg - vd, vs - vd).
                 let fwd = eval_forward(params, vg - vd, vs - vd);
@@ -253,7 +271,12 @@ pub fn evaluate(params: &MosParams, vg: f64, vd: f64, vs: f64) -> MosEval {
                 // Forward PMOS: current flows source -> drain, so the
                 // drain-terminal current is negative.
                 let fwd = eval_forward(params, vs - vg, vs - vd);
-                MosEval { id: -fwd.id, gm: fwd.gm, gds: fwd.gds, region: fwd.region }
+                MosEval {
+                    id: -fwd.id,
+                    gm: fwd.gm,
+                    gds: fwd.gds,
+                    region: fwd.region,
+                }
             } else {
                 // Reversed PMOS: Id(vg, vd, vs) = +I_fwd(vd - vg, vd - vs).
                 let fwd = eval_forward(params, vd - vg, vd - vs);
@@ -292,7 +315,11 @@ mod tests {
     fn cutoff_current_is_tiny() {
         let ev = evaluate(&nmos(), 0.1, 1.0, 0.0);
         assert_eq!(ev.region, MosRegion::Cutoff);
-        assert!(ev.id < 1e-6, "subthreshold current should be below a microampere, got {}", ev.id);
+        assert!(
+            ev.id < 1e-6,
+            "subthreshold current should be below a microampere, got {}",
+            ev.id
+        );
         assert!(ev.id >= 0.0);
     }
 
@@ -364,8 +391,18 @@ mod tests {
         let ev = evaluate(&p, vg, vd, vs);
         let gm_num = (evaluate(&p, vg + h, vd, vs).id - evaluate(&p, vg - h, vd, vs).id) / (2.0 * h);
         let gds_num = (evaluate(&p, vg, vd + h, vs).id - evaluate(&p, vg, vd - h, vs).id) / (2.0 * h);
-        assert!((ev.gm - gm_num).abs() / gm_num.abs().max(1e-12) < 1e-3, "gm {} vs {}", ev.gm, gm_num);
-        assert!((ev.gds - gds_num).abs() / gds_num.abs().max(1e-12) < 1e-3, "gds {} vs {}", ev.gds, gds_num);
+        assert!(
+            (ev.gm - gm_num).abs() / gm_num.abs().max(1e-12) < 1e-3,
+            "gm {} vs {}",
+            ev.gm,
+            gm_num
+        );
+        assert!(
+            (ev.gds - gds_num).abs() / gds_num.abs().max(1e-12) < 1e-3,
+            "gds {} vs {}",
+            ev.gds,
+            gds_num
+        );
     }
 
     #[test]
@@ -379,8 +416,18 @@ mod tests {
         let gm_num = (evaluate(&p, vg + h, vd, vs).id - evaluate(&p, vg - h, vd, vs).id) / (2.0 * h);
         let gds_num = (evaluate(&p, vg, vd + h, vs).id - evaluate(&p, vg, vd - h, vs).id) / (2.0 * h);
         let gs_num = (evaluate(&p, vg, vd, vs + h).id - evaluate(&p, vg, vd, vs - h).id) / (2.0 * h);
-        assert!((ev.gm - gm_num).abs() / gm_num.abs().max(1e-9) < 1e-3, "gm {} vs {}", ev.gm, gm_num);
-        assert!((ev.gds - gds_num).abs() / gds_num.abs().max(1e-9) < 1e-3, "gds {} vs {}", ev.gds, gds_num);
+        assert!(
+            (ev.gm - gm_num).abs() / gm_num.abs().max(1e-9) < 1e-3,
+            "gm {} vs {}",
+            ev.gm,
+            gm_num
+        );
+        assert!(
+            (ev.gds - gds_num).abs() / gds_num.abs().max(1e-9) < 1e-3,
+            "gds {} vs {}",
+            ev.gds,
+            gds_num
+        );
         // The source derivative is implied: dId/dVs = -(gm + gds).
         assert!((-(ev.gm + ev.gds) - gs_num).abs() / gs_num.abs().max(1e-9) < 1e-3);
     }
@@ -408,7 +455,12 @@ mod tests {
         let up = evaluate(&p, vgs, vds + h, 0.0).id;
         let dn = evaluate(&p, vgs, vds - h, 0.0).id;
         let numeric = (up - dn) / (2.0 * h);
-        assert!((ev.gds - numeric).abs() / numeric.abs() < 1e-3, "gds {} vs numeric {}", ev.gds, numeric);
+        assert!(
+            (ev.gds - numeric).abs() / numeric.abs() < 1e-3,
+            "gds {} vs numeric {}",
+            ev.gds,
+            numeric
+        );
     }
 
     #[test]
@@ -429,7 +481,10 @@ mod tests {
         let wide = MosParams::nmos_65nm(3.0e-6, 180e-9);
         let i_narrow = saturation_current(&narrow, 0.8);
         let i_wide = saturation_current(&wide, 0.8);
-        assert!((i_wide / i_narrow - 5.0).abs() < 0.1, "5x width should give ~5x current");
+        assert!(
+            (i_wide / i_narrow - 5.0).abs() < 0.1,
+            "5x width should give ~5x current"
+        );
     }
 
     #[test]

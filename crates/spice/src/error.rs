@@ -41,7 +41,11 @@ impl fmt::Display for SpiceError {
             SpiceError::SingularMatrix { row } => {
                 write!(f, "singular MNA matrix at row {row} (floating node or source loop)")
             }
-            SpiceError::ConvergenceFailure { analysis, iterations, residual } => write!(
+            SpiceError::ConvergenceFailure {
+                analysis,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "{analysis} analysis failed to converge after {iterations} iterations (residual {residual:.3e})"
             ),
@@ -71,7 +75,11 @@ mod tests {
 
     #[test]
     fn display_convergence() {
-        let e = SpiceError::ConvergenceFailure { analysis: "dc", iterations: 100, residual: 1e-3 };
+        let e = SpiceError::ConvergenceFailure {
+            analysis: "dc",
+            iterations: 100,
+            residual: 1e-3,
+        };
         let s = e.to_string();
         assert!(s.contains("dc"));
         assert!(s.contains("100"));
@@ -79,7 +87,10 @@ mod tests {
 
     #[test]
     fn display_invalid_parameter() {
-        let e = SpiceError::InvalidParameter { what: "R1".into(), message: "resistance must be finite".into() };
+        let e = SpiceError::InvalidParameter {
+            what: "R1".into(),
+            message: "resistance must be finite".into(),
+        };
         assert!(e.to_string().contains("R1"));
     }
 

@@ -52,9 +52,8 @@ pub mod linalg;
 pub mod source;
 
 pub use analysis::{
-    ac_sweep, ac_sweep_at, dc_operating_point, dc_operating_point_at_time, log_frequency_grid,
-    transient, AcResult, IntegrationMethod, NewtonOptions, OperatingPoint, TransientConfig,
-    TransientResult,
+    ac_sweep, ac_sweep_at, dc_operating_point, dc_operating_point_at_time, log_frequency_grid, transient, AcResult,
+    IntegrationMethod, NewtonOptions, OperatingPoint, TransientConfig, TransientResult,
 };
 pub use circuit::{Circuit, Element, MnaLayout, Node};
 pub use complex::Complex;

@@ -16,7 +16,10 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates an `n x n` matrix filled with zeros.
     pub fn zeros(n: usize) -> Self {
-        DenseMatrix { n, data: vec![0.0; n * n] }
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Creates the `n x n` identity matrix.

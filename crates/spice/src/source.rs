@@ -14,7 +14,11 @@ pub struct Tone {
 impl Tone {
     /// Creates a tone with zero initial phase.
     pub fn new(amplitude: f64, frequency_hz: f64) -> Self {
-        Tone { amplitude, frequency_hz, phase_rad: 0.0 }
+        Tone {
+            amplitude,
+            frequency_hz,
+            phase_rad: 0.0,
+        }
     }
 
     /// Instantaneous value of the tone at time `t` (seconds).
@@ -75,15 +79,22 @@ impl SourceWaveform {
     pub fn value(&self, t: f64) -> f64 {
         match self {
             SourceWaveform::Dc(v) => *v,
-            SourceWaveform::Sine { offset, amplitude, frequency_hz, phase_rad } => {
-                offset
-                    + amplitude
-                        * (2.0 * std::f64::consts::PI * frequency_hz * t + phase_rad).sin()
-            }
-            SourceWaveform::Multitone { offset, tones } => {
-                offset + tones.iter().map(|tone| tone.value(t)).sum::<f64>()
-            }
-            SourceWaveform::Pulse { low, high, delay, rise, fall, width, period } => {
+            SourceWaveform::Sine {
+                offset,
+                amplitude,
+                frequency_hz,
+                phase_rad,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * frequency_hz * t + phase_rad).sin(),
+            SourceWaveform::Multitone { offset, tones } => offset + tones.iter().map(|tone| tone.value(t)).sum::<f64>(),
+            SourceWaveform::Pulse {
+                low,
+                high,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *low;
                 }
@@ -165,7 +176,12 @@ mod tests {
 
     #[test]
     fn sine_hits_peak_at_quarter_period() {
-        let w = SourceWaveform::Sine { offset: 0.5, amplitude: 0.4, frequency_hz: 1000.0, phase_rad: 0.0 };
+        let w = SourceWaveform::Sine {
+            offset: 0.5,
+            amplitude: 0.4,
+            frequency_hz: 1000.0,
+            phase_rad: 0.0,
+        };
         let quarter = 1.0 / 1000.0 / 4.0;
         assert!((w.value(quarter) - 0.9).abs() < 1e-9);
         assert!((w.value(0.0) - 0.5).abs() < 1e-12);
@@ -226,7 +242,11 @@ mod tests {
 
     #[test]
     fn tone_value_is_sine() {
-        let tone = Tone { amplitude: 2.0, frequency_hz: 10.0, phase_rad: std::f64::consts::FRAC_PI_2 };
+        let tone = Tone {
+            amplitude: 2.0,
+            frequency_hz: 10.0,
+            phase_rad: std::f64::consts::FRAC_PI_2,
+        };
         assert!((tone.value(0.0) - 2.0).abs() < 1e-12);
     }
 }

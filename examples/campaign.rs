@@ -1,0 +1,67 @@
+//! Population-scale screening with the campaign engine: a Monte-Carlo
+//! production lot and a fault-dictionary coverage run, executed on the
+//! scoped worker pool with one cached golden signature.
+//!
+//! Run with `cargo run --release --example campaign`.
+
+use analog_signature::dsig::TestSetup;
+use analog_signature::engine::{Campaign, CampaignRunner, DevicePopulation, SignatureLog};
+use analog_signature::filters::{fig8_f0_sweep, BiquadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let setup = TestSetup::paper_default()?.with_sample_rate(1e6)?;
+    let reference = BiquadParams::paper_default();
+    let runner = CampaignRunner::new();
+    println!("campaign runner: {} worker thread(s)\n", runner.threads());
+
+    // Calibrate the acceptance band from a Fig. 8 characterization sweep so
+    // that every device within ±3% passes (the cached golden is reused by
+    // both campaigns below).
+    let flow = runner.cache().flow_for(&setup, &reference)?;
+    let deviations: Vec<f64> = (-20..=20).map(f64::from).collect();
+    let band = flow.calibrate_band(&deviations, 3.0)?;
+    println!("calibrated acceptance band: NDF <= {:.4}\n", band.ndf_threshold);
+
+    // 1. Screen a synthetic production lot of 500 devices (sigma = 3% on f0).
+    let lot = Campaign::new(
+        setup.clone(),
+        reference,
+        DevicePopulation::MonteCarlo {
+            devices: 500,
+            sigma_pct: 3.0,
+        },
+        band,
+        3.0,
+    )?
+    .with_seed(2026);
+    let (report, log) = runner.run_logged(&lot)?;
+    println!("== Monte-Carlo lot (500 devices, sigma 3%) ==");
+    print!("{}", report.summary());
+
+    // The observed signatures round-trip through the binary log and replay
+    // to the same NDFs without rerunning any simulation.
+    let bytes = log.to_bytes();
+    let replayed = SignatureLog::from_bytes(&bytes)?;
+    let golden = runner.cache().flow_for(&lot.setup, &lot.reference)?;
+    let rescored = replayed.replay(golden.golden())?;
+    assert_eq!(rescored.len(), report.devices());
+    println!(
+        "signature log: {} signatures in {} bytes, replayed OK\n",
+        log.len(),
+        bytes.len()
+    );
+
+    // 2. Coverage over the Fig. 8 fault dictionary (reuses the cached golden).
+    let grid = Campaign::new(
+        setup,
+        reference,
+        DevicePopulation::FaultGrid(fig8_f0_sweep()),
+        band,
+        3.0,
+    )?;
+    let coverage = runner.run(&grid)?;
+    println!("== Fig. 8 fault grid ({} faults) ==", coverage.devices());
+    print!("{}", coverage.summary());
+    println!("golden signatures characterized: {}", runner.cache().len());
+    Ok(())
+}

@@ -4,8 +4,7 @@
 //! Run with: `cargo run --example monitor_design`
 
 use analog_signature::monitor::{
-    monte_carlo_envelope, table1_comparators, table1_rows, trace_boundary, AreaModel,
-    ProcessVariation, Window,
+    monte_carlo_envelope, table1_comparators, table1_rows, trace_boundary, AreaModel, ProcessVariation, Window,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,12 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .mean_slope()
             .map(|s| format!("{s:+.2}"))
             .unwrap_or_else(|| "n/a".to_string());
-        let inputs = row
-            .inputs
-            .iter()
-            .map(|i| i.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
+        let inputs = row.inputs.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
         println!(
             "{:>6} {:>22} {:>30} {:>12} {:>12.1}",
             row.curve,

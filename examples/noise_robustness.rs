@@ -13,12 +13,17 @@ use analog_signature::signal::NoiseModel;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = BiquadParams::paper_default();
 
-    println!("{:>16} {:>14} {:>22}", "noise 3-sigma", "NDF floor", "min detectable f0 dev");
+    println!(
+        "{:>16} {:>14} {:>22}",
+        "noise 3-sigma", "NDF floor", "min detectable f0 dev"
+    );
     for three_sigma in [0.0, 0.005, 0.015, 0.03, 0.06] {
-        let noise = if three_sigma == 0.0 { NoiseModel::none() } else { NoiseModel::new(three_sigma / 3.0) };
-        let setup = TestSetup::paper_default()?
-            .with_sample_rate(2e6)?
-            .with_noise(noise);
+        let noise = if three_sigma == 0.0 {
+            NoiseModel::none()
+        } else {
+            NoiseModel::new(three_sigma / 3.0)
+        };
+        let setup = TestSetup::paper_default()?.with_sample_rate(2e6)?.with_noise(noise);
         let flow = TestFlow::new(setup, reference)?;
 
         // The NDF "floor" is what a perfectly nominal device measures under

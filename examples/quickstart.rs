@@ -12,7 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = BiquadParams::paper_default();
     let flow = TestFlow::new(setup, reference)?;
 
-    println!("Golden signature: {} zone traversals over {:.1} us", flow.golden().len(), flow.golden().total_duration() * 1e6);
+    println!(
+        "Golden signature: {} zone traversals over {:.1} us",
+        flow.golden().len(),
+        flow.golden().total_duration() * 1e6
+    );
     println!("  distinct zones visited: {}", flow.golden().distinct_zones());
     println!();
 
@@ -20,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    Fig. 8 style characterization sweep.
     let deviations: Vec<f64> = (-20..=20).map(|d| d as f64).collect();
     let band = flow.calibrate_band(&deviations, 3.0)?;
-    println!("Acceptance band calibrated for +/-3% tolerance: NDF <= {:.4}", band.ndf_threshold);
+    println!(
+        "Acceptance band calibrated for +/-3% tolerance: NDF <= {:.4}",
+        band.ndf_threshold
+    );
     println!();
 
     // 3. Verify a few devices.
@@ -38,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Fault::Short(analog_signature::filters::ComponentRef::C1),
     ] {
         let report = flow.evaluate_fault(&fault, 42)?;
-        println!("{:<10} NDF = {:.4} -> {}", fault.to_string(), report.ndf, band.decide(report.ndf));
+        println!(
+            "{:<10} NDF = {:.4} -> {}",
+            fault.to_string(),
+            report.ndf,
+            band.decide(report.ndf)
+        );
     }
 
     Ok(())

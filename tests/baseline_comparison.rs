@@ -27,7 +27,10 @@ fn linear_zoning_also_detects_large_deviations() {
     let linear = LinearZoning::paper_comparable();
     let (ndf_10, ndf_0) = signatures_for(10.0, &linear);
     assert!(ndf_0 < 1e-9, "nominal device must score 0 with straight lines too");
-    assert!(ndf_10 > 0.01, "straight-line zoning should still see a 10% shift (ndf {ndf_10})");
+    assert!(
+        ndf_10 > 0.01,
+        "straight-line zoning should still see a 10% shift (ndf {ndf_10})"
+    );
 }
 
 #[test]
@@ -73,5 +76,10 @@ fn signature_compression_is_substantial_compared_to_raw_waveforms() {
     let (x, y) = setup.observe(&reference, 0);
     let sig = capture_signature(&setup.partition, &x, &y, setup.clock.as_ref()).unwrap();
     let raw_samples = x.len() + y.len();
-    assert!(sig.len() * 10 < raw_samples, "signature with {} entries vs {} raw samples", sig.len(), raw_samples);
+    assert!(
+        sig.len() * 10 < raw_samples,
+        "signature with {} entries vs {} raw samples",
+        sig.len(),
+        raw_samples
+    );
 }

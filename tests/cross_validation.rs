@@ -3,9 +3,7 @@
 //! simulator, and behavioural vs transistor-level monitors.
 
 use analog_signature::filters::{BiquadParams, StateSpaceSim, TowThomasDesign};
-use analog_signature::monitor::{
-    boundary_y_at, netlist, table1_comparators, Window,
-};
+use analog_signature::monitor::{boundary_y_at, netlist, table1_comparators, Window};
 use analog_signature::signal::{tone_amplitude_projection, MultitoneSpec, Waveform};
 use analog_signature::spice::{ac_sweep, transient, SourceWaveform, Tone, TransientConfig};
 
@@ -14,7 +12,12 @@ fn tow_thomas_ac_response_matches_analytic_across_the_band() {
     let params = BiquadParams::paper_default();
     let design = TowThomasDesign::from_params(&params).expect("design");
     let built = design
-        .build_netlist(SourceWaveform::Sine { offset: 0.0, amplitude: 1.0, frequency_hz: 1e3, phase_rad: 0.0 })
+        .build_netlist(SourceWaveform::Sine {
+            offset: 0.0,
+            amplitude: 1.0,
+            frequency_hz: 1e3,
+            phase_rad: 0.0,
+        })
         .expect("netlist");
     let freqs = analog_signature::spice::log_frequency_grid(100.0, 1e6, 25);
     let res = ac_sweep(&built.circuit, &freqs).expect("ac");
@@ -108,6 +111,11 @@ fn filter_output_stays_inside_the_monitor_observation_window() {
     for shift in [-20.0, -10.0, 0.0, 10.0, 20.0] {
         let params = BiquadParams::paper_default().with_f0_shift_pct(shift);
         let y = params.steady_state_response(&stimulus, 1, 1e6);
-        assert!(y.min() >= 0.0 && y.max() <= 1.0, "shift {shift}%: range [{}, {}]", y.min(), y.max());
+        assert!(
+            y.min() >= 0.0 && y.max() <= 1.0,
+            "shift {shift}%: range [{}, {}]",
+            y.min(),
+            y.max()
+        );
     }
 }

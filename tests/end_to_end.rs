@@ -30,9 +30,7 @@ fn ten_percent_shift_ndf_matches_paper_order_of_magnitude() {
 #[test]
 fn ndf_grows_monotonically_with_positive_deviation() {
     let flow = paper_flow();
-    let sweep = flow
-        .sweep_f0(&[0.0, 2.0, 5.0, 10.0, 15.0, 20.0])
-        .expect("sweep");
+    let sweep = flow.sweep_f0(&[0.0, 2.0, 5.0, 10.0, 15.0, 20.0]).expect("sweep");
     for pair in sweep.windows(2) {
         assert!(
             pair[1].ndf >= pair[0].ndf - 1e-9,
@@ -71,12 +69,22 @@ fn calibrated_acceptance_band_separates_in_and_out_of_tolerance() {
     // In-tolerance devices pass.
     for dev in [0.0, 1.0, -2.0, 3.0] {
         let r = flow.evaluate_fault(&Fault::F0ShiftPct(dev), 9).expect("evaluate");
-        assert_eq!(band.decide(r.ndf), TestOutcome::Pass, "{dev}% should pass (ndf {})", r.ndf);
+        assert_eq!(
+            band.decide(r.ndf),
+            TestOutcome::Pass,
+            "{dev}% should pass (ndf {})",
+            r.ndf
+        );
     }
     // Far out-of-tolerance devices fail.
     for dev in [8.0, -10.0, 15.0, -20.0] {
         let r = flow.evaluate_fault(&Fault::F0ShiftPct(dev), 9).expect("evaluate");
-        assert_eq!(band.decide(r.ndf), TestOutcome::Fail, "{dev}% should fail (ndf {})", r.ndf);
+        assert_eq!(
+            band.decide(r.ndf),
+            TestOutcome::Fail,
+            "{dev}% should fail (ndf {})",
+            r.ndf
+        );
     }
 }
 
@@ -84,7 +92,11 @@ fn calibrated_acceptance_band_separates_in_and_out_of_tolerance() {
 fn catastrophic_defects_produce_much_larger_ndf_than_parametric_ones() {
     let flow = paper_flow();
     let parametric = flow.evaluate_fault(&Fault::F0ShiftPct(10.0), 3).expect("evaluate").ndf;
-    for fault in [Fault::Open(ComponentRef::R1), Fault::Short(ComponentRef::C1), Fault::Open(ComponentRef::Rq)] {
+    for fault in [
+        Fault::Open(ComponentRef::R1),
+        Fault::Short(ComponentRef::C1),
+        Fault::Open(ComponentRef::Rq),
+    ] {
         let catastrophic = flow.evaluate_fault(&fault, 3).expect("evaluate").ndf;
         assert!(
             catastrophic > 2.0 * parametric,
@@ -135,11 +147,17 @@ fn quantized_and_exact_capture_agree_for_the_paper_clock() {
     // is negligible, so the NDF with and without the clock model must agree.
     let reference = BiquadParams::paper_default();
     let exact_setup = {
-        let mut s = TestSetup::paper_default().expect("setup").with_sample_rate(1e6).expect("rate");
+        let mut s = TestSetup::paper_default()
+            .expect("setup")
+            .with_sample_rate(1e6)
+            .expect("rate");
         s.clock = None;
         s
     };
-    let quantized_setup = TestSetup::paper_default().expect("setup").with_sample_rate(1e6).expect("rate");
+    let quantized_setup = TestSetup::paper_default()
+        .expect("setup")
+        .with_sample_rate(1e6)
+        .expect("rate");
     let exact_flow = TestFlow::new(exact_setup, reference).expect("flow");
     let quantized_flow = TestFlow::new(quantized_setup, reference).expect("flow");
     let fault = Fault::F0ShiftPct(10.0);

@@ -1,0 +1,92 @@
+//! Determinism of the parallel campaign engine: a multi-threaded campaign
+//! over a Monte-Carlo population must produce NDFs bit-identical to the
+//! plain serial loop, at every thread count.
+
+use analog_signature::dsig::{ndf, peak_hamming_distance, AcceptanceBand, TestFlow, TestSetup};
+use analog_signature::engine::{Campaign, CampaignRunner, DevicePopulation};
+use analog_signature::filters::BiquadParams;
+use analog_signature::signal::NoiseModel;
+
+const DEVICES: usize = 64;
+
+fn campaign() -> Campaign {
+    let setup = TestSetup::paper_default()
+        .expect("setup")
+        .with_sample_rate(1e6)
+        .expect("rate")
+        .with_noise(NoiseModel::paper_default());
+    Campaign::new(
+        setup,
+        BiquadParams::paper_default(),
+        DevicePopulation::MonteCarlo {
+            devices: DEVICES,
+            sigma_pct: 4.0,
+        },
+        AcceptanceBand::new(0.03).expect("band"),
+        3.0,
+    )
+    .expect("campaign")
+    .with_seed(20260727)
+}
+
+/// The reference implementation the engine must reproduce bit-for-bit: a
+/// plain serial loop over `Campaign::device`, scored against a golden
+/// signature characterized directly with `TestFlow::new`.
+fn serial_reference_ndfs(campaign: &Campaign) -> Vec<f64> {
+    let noiseless = TestSetup {
+        noise: NoiseModel::none(),
+        ..campaign.setup.clone()
+    };
+    let flow = TestFlow::new(noiseless, campaign.reference).expect("flow");
+    (0..campaign.device_count())
+        .map(|i| {
+            let spec = campaign.device(i).expect("device");
+            let observed = campaign
+                .setup
+                .signature_of(&spec.cut, spec.noise_seed)
+                .expect("signature");
+            let _ = peak_hamming_distance(flow.golden(), &observed).expect("peak");
+            ndf(flow.golden(), &observed).expect("ndf")
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_campaign_matches_serial_loop_bit_for_bit() {
+    let campaign = campaign();
+    let reference = serial_reference_ndfs(&campaign);
+    assert_eq!(reference.len(), DEVICES);
+    // The population must be non-trivial: both passing and failing devices.
+    assert!(reference.iter().any(|&n| n > 0.03), "lot has no failing device");
+    assert!(reference.iter().any(|&n| n < 0.03), "lot has no passing device");
+
+    for threads in [1usize, 2, 8] {
+        let report = CampaignRunner::with_threads(threads)
+            .with_chunk_size(7) // deliberately uneven chunking
+            .run(&campaign)
+            .expect("campaign run");
+        assert_eq!(report.devices(), DEVICES);
+        let ndfs: Vec<f64> = report.results.iter().map(|r| r.ndf).collect();
+        assert_eq!(
+            ndfs.iter().map(|n| n.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|n| n.to_bits()).collect::<Vec<_>>(),
+            "NDFs at {threads} thread(s) differ from the serial loop"
+        );
+        // Device order and identity are preserved, not just the multiset.
+        for (i, result) in report.results.iter().enumerate() {
+            assert_eq!(result.index, i);
+        }
+    }
+}
+
+#[test]
+fn full_reports_are_identical_across_thread_counts() {
+    let campaign = campaign();
+    let reference = CampaignRunner::with_threads(1).run(&campaign).expect("serial run");
+    for threads in [2usize, 8] {
+        let report = CampaignRunner::with_threads(threads)
+            .run(&campaign)
+            .expect("parallel run");
+        assert_eq!(report, reference, "report at {threads} threads diverged");
+    }
+}

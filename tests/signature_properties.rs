@@ -12,7 +12,10 @@ fn signature_strategy() -> impl Strategy<Value = Signature> {
         Signature::new(
             entries
                 .into_iter()
-                .map(|(c, d)| SignatureEntry { code: ZoneCode(c), duration: d })
+                .map(|(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
                 .collect(),
         )
         .expect("valid entries")
@@ -103,7 +106,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
-    fn capture_total_duration_equals_observation_window(freq in 1.0..8.0_f64, phase in 0.0..6.28_f64) {
+    fn capture_total_duration_equals_observation_window(freq in 1.0..8.0_f64, phase in 0.0..std::f64::consts::TAU) {
         let x = Waveform::from_fn(0.0, 1.0, 2000.0, |t| 0.5 + 0.45 * (2.0 * std::f64::consts::PI * freq * t + phase).sin());
         let y = Waveform::from_fn(0.0, 1.0, 2000.0, |t| 0.5 + 0.45 * (2.0 * std::f64::consts::PI * freq * t).cos());
         let sig = capture_signature(&Grid4x4, &x, &y, None).expect("capture");
