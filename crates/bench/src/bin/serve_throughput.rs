@@ -1,0 +1,170 @@
+//! Serving-layer load generator: hammers a loopback `dsig-serve` server with
+//! concurrent clients at several batch sizes and reports request throughput,
+//! signature throughput and p50/p95/p99 latency, for both the TCP path and
+//! the in-process `ServeHandle` path.
+//!
+//! Run with `cargo run --release -p repro-bench --bin serve_throughput`
+//! (append `-- --smoke` for the abbreviated CI run).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cut_filters::BiquadParams;
+use dsig_core::{AcceptanceBand, Signature, TestSetup};
+use dsig_engine::{available_threads, Campaign, CampaignRunner, DevicePopulation};
+use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
+use repro_bench::banner;
+
+struct Load {
+    /// Distinct captured signatures cycled through by the clients.
+    signatures: usize,
+    /// Concurrent client connections.
+    clients: usize,
+    /// Requests issued per client per batch size.
+    requests_per_client: usize,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn report(path: &str, batch: usize, mut latencies: Vec<Duration>, elapsed: Duration) {
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let signatures = requests * batch;
+    println!(
+        "{path:<11} batch {batch:>3}: {:>9.1} req/s  {:>10.1} sigs/s   p50 {:>9.2?}  p95 {:>9.2?}  p99 {:>9.2?}",
+        requests as f64 / elapsed.as_secs_f64(),
+        signatures as f64 / elapsed.as_secs_f64(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    banner(
+        "serve_throughput",
+        "loopback scoring service: concurrent clients, batched screening requests",
+    );
+    let load = if smoke {
+        Load {
+            signatures: 64,
+            clients: 2,
+            requests_per_client: 50,
+        }
+    } else {
+        Load {
+            signatures: 256,
+            clients: 4,
+            requests_per_client: 250,
+        }
+    };
+
+    // Characterize one golden and capture a pool of realistic signatures via
+    // a small Monte-Carlo campaign (the capture cost stays out of the timed
+    // region — production testers upload already-captured signatures).
+    let setup = TestSetup::paper_default()?.with_sample_rate(repro_bench::REPRO_SAMPLE_RATE)?;
+    let reference = BiquadParams::paper_default();
+    let band = AcceptanceBand::new(0.03)?;
+    let store = Arc::new(GoldenStore::new());
+    let key = store.characterize(&setup, &reference, band)?;
+    let campaign = Campaign::new(
+        setup,
+        reference,
+        DevicePopulation::MonteCarlo {
+            devices: load.signatures,
+            sigma_pct: 3.0,
+        },
+        band,
+        3.0,
+    )?
+    .with_seed(7);
+    let (_, log) = CampaignRunner::new().run_logged(&campaign)?;
+    let pool: Arc<Vec<Signature>> = Arc::new(log.entries().iter().map(|(_, s)| s.clone()).collect());
+
+    let shards = available_threads();
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&store), ServeConfig::with_shards(shards))?;
+    let addr = server.local_addr();
+    println!(
+        "{} distinct signatures, {} shards, {} clients x {} requests per batch size\n",
+        pool.len(),
+        shards,
+        load.clients,
+        load.requests_per_client
+    );
+
+    for batch in [1usize, 8, 64] {
+        // TCP path: each client owns one connection and issues batched
+        // requests drawn round-robin from the signature pool.
+        let start = Instant::now();
+        let latencies: Vec<Duration> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..load.clients)
+                .map(|client_index| {
+                    let pool = Arc::clone(&pool);
+                    scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
+                        let mut client = ServeClient::connect(addr)?;
+                        let mut times = Vec::with_capacity(load.requests_per_client);
+                        for request in 0..load.requests_per_client {
+                            let at = (client_index + request * load.clients) % pool.len();
+                            let mut slice: Vec<Signature> = Vec::with_capacity(batch);
+                            for k in 0..batch {
+                                slice.push(pool[(at + k) % pool.len()].clone());
+                            }
+                            let sent = Instant::now();
+                            let results = client.screen(key, &slice)?;
+                            times.push(sent.elapsed());
+                            assert_eq!(results.len(), batch);
+                        }
+                        Ok(times)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|worker| worker.join().expect("client thread panicked").expect("client failed"))
+                .collect()
+        });
+        report("tcp", batch, latencies, start.elapsed());
+
+        // In-process path: same shards, no sockets or framing.
+        let handle = server.handle();
+        let start = Instant::now();
+        let latencies: Vec<Duration> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..load.clients)
+                .map(|client_index| {
+                    let pool = Arc::clone(&pool);
+                    let handle = handle.clone();
+                    scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
+                        let mut times = Vec::with_capacity(load.requests_per_client);
+                        for request in 0..load.requests_per_client {
+                            let at = (client_index + request * load.clients) % pool.len();
+                            let mut slice: Vec<Signature> = Vec::with_capacity(batch);
+                            for k in 0..batch {
+                                slice.push(pool[(at + k) % pool.len()].clone());
+                            }
+                            let sent = Instant::now();
+                            let results = handle.screen(key, &slice)?;
+                            times.push(sent.elapsed());
+                            assert_eq!(results.len(), batch);
+                        }
+                        Ok(times)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|worker| worker.join().expect("handle thread panicked").expect("handle failed"))
+                .collect()
+        });
+        report("in-process", batch, latencies, start.elapsed());
+    }
+
+    println!("\nserver scored {} signatures total", server.signatures_scored());
+    Ok(())
+}

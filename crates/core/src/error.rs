@@ -13,6 +13,27 @@ pub enum DsigError {
     InvalidConfig(String),
     /// A signature is empty or otherwise unusable.
     InvalidSignature(String),
+    /// A binary buffer ended before a complete structure could be decoded.
+    Truncated {
+        /// The structure being decoded (e.g. `"signature"`, `"signature log"`).
+        context: &'static str,
+        /// Bytes the failing read required.
+        needed: usize,
+        /// Bytes actually remaining in the buffer.
+        available: usize,
+    },
+    /// A binary buffer is structurally inconsistent: wrong magic, unsupported
+    /// format version, an impossible entry count or trailing garbage.
+    Corrupt {
+        /// The structure being decoded.
+        context: &'static str,
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// A filesystem operation on a persisted artifact failed. Carries the
+    /// rendered `std::io::Error` (this error type is `Clone + PartialEq`, so
+    /// the original cannot be stored).
+    Io(String),
     /// A signal-processing operation failed.
     Signal(SignalError),
     /// Monitor construction or evaluation failed.
@@ -26,6 +47,16 @@ impl fmt::Display for DsigError {
         match self {
             DsigError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DsigError::InvalidSignature(msg) => write!(f, "invalid signature: {msg}"),
+            DsigError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {context}: a read of {needed} bytes found only {available}"
+            ),
+            DsigError::Corrupt { context, detail } => write!(f, "corrupt {context}: {detail}"),
+            DsigError::Io(msg) => write!(f, "i/o failed: {msg}"),
             DsigError::Signal(err) => write!(f, "signal processing failed: {err}"),
             DsigError::Monitor(err) => write!(f, "monitor failed: {err}"),
             DsigError::Filter(err) => write!(f, "circuit under test failed: {err}"),
@@ -82,5 +113,18 @@ mod tests {
         assert!(e.to_string().contains("monitor"));
         let e: DsigError = FilterError::InvalidParameter("f".into()).into();
         assert!(e.to_string().contains("circuit under test"));
+        let e = DsigError::Truncated {
+            context: "signature",
+            needed: 12,
+            available: 3,
+        };
+        assert!(e.to_string().contains("truncated signature"), "{e}");
+        assert!(e.to_string().contains("12") && e.to_string().contains('3'));
+        let e = DsigError::Corrupt {
+            context: "golden store",
+            detail: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("corrupt golden store"), "{e}");
+        assert!(DsigError::Io("disk full".into()).to_string().contains("disk full"));
     }
 }

@@ -41,6 +41,7 @@ pub mod flow;
 pub mod ndf;
 pub mod regression;
 pub mod signature;
+pub mod wire;
 
 pub use baseline::{normalized_output_error, LinearBoundary, LinearZoning};
 pub use capture::{capture_signature, CaptureClock, PointEncoder};

@@ -7,6 +7,7 @@
 use std::fmt;
 
 use crate::error::{DsigError, Result};
+use crate::wire;
 
 /// An n-bit zone code delivered by the monitor bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -257,37 +258,32 @@ impl Signature {
 
     /// Decodes a signature previously encoded with [`Signature::to_bytes`].
     ///
+    /// Decoding never panics on malformed input: short buffers report
+    /// [`DsigError::Truncated`], a wrong magic, an impossible entry count or
+    /// trailing bytes report [`DsigError::Corrupt`], and smuggled invalid
+    /// durations (negative, NaN, infinite) report
+    /// [`DsigError::InvalidSignature`] through the [`Signature::new`]
+    /// validation.
+    ///
     /// # Errors
-    /// Returns [`DsigError::InvalidSignature`] for a wrong magic, a truncated
-    /// or oversized buffer, or entries with invalid durations.
+    /// See above.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < 8 {
-            return Err(DsigError::InvalidSignature(format!(
-                "signature buffer too short ({} bytes)",
-                bytes.len()
-            )));
-        }
-        if bytes[..4] != CODEC_MAGIC {
-            return Err(DsigError::InvalidSignature("bad signature magic".into()));
-        }
-        let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
-        let expected = 8 + 12 * count;
-        if bytes.len() != expected {
-            return Err(DsigError::InvalidSignature(format!(
-                "signature buffer length {} does not match {count} entries (expected {expected})",
-                bytes.len()
-            )));
-        }
+        let mut r = wire::ByteReader::new(bytes, "signature");
+        r.magic(CODEC_MAGIC)?;
+        let count = r.u32()? as usize;
+        // Each entry is exactly 12 bytes; reject impossible counts before
+        // allocating so a corrupted count field cannot demand gigabytes.
+        r.check_count(count, 12)?;
         let mut entries = Vec::with_capacity(count);
-        for k in 0..count {
-            let at = 8 + 12 * k;
-            let code = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-            let bits = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+        for _ in 0..count {
+            let code = r.u32()?;
+            let bits = r.u64()?;
             entries.push(SignatureEntry {
                 code: ZoneCode(code),
                 duration: f64::from_bits(bits),
             });
         }
+        r.finish()?;
         Signature::new(entries)
     }
 }
@@ -482,20 +478,44 @@ mod tests {
     fn codec_rejects_corrupted_buffers() {
         let s = Signature::new(vec![entry(1, 1.0), entry(2, 2.0)]).unwrap();
         let bytes = s.to_bytes();
-        assert!(Signature::from_bytes(&bytes[..3]).is_err(), "short buffer");
         assert!(
-            Signature::from_bytes(&bytes[..bytes.len() - 1]).is_err(),
+            matches!(Signature::from_bytes(&bytes[..3]), Err(DsigError::Truncated { .. })),
+            "short buffer"
+        );
+        // One byte short of the final entry: the count guard (which insists
+        // every claimed entry fits) fires before the per-entry read does.
+        assert!(
+            matches!(
+                Signature::from_bytes(&bytes[..bytes.len() - 1]),
+                Err(DsigError::Truncated { .. } | DsigError::Corrupt { .. })
+            ),
             "truncated entries"
         );
         let mut magic = bytes.clone();
         magic[0] = b'x';
-        assert!(Signature::from_bytes(&magic).is_err(), "bad magic");
+        assert!(
+            matches!(Signature::from_bytes(&magic), Err(DsigError::Corrupt { .. })),
+            "bad magic"
+        );
         let mut extra = bytes.clone();
         extra.push(0);
-        assert!(Signature::from_bytes(&extra).is_err(), "trailing bytes");
+        assert!(
+            matches!(Signature::from_bytes(&extra), Err(DsigError::Corrupt { .. })),
+            "trailing bytes"
+        );
+        // An absurd count field is rejected before any allocation.
+        let mut huge = bytes.clone();
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            matches!(Signature::from_bytes(&huge), Err(DsigError::Corrupt { .. })),
+            "absurd count"
+        );
         // A NaN duration smuggled into the payload is caught by validation.
         let mut nan = bytes;
         nan[12..20].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
-        assert!(Signature::from_bytes(&nan).is_err(), "NaN duration");
+        assert!(
+            matches!(Signature::from_bytes(&nan), Err(DsigError::InvalidSignature(_))),
+            "NaN duration"
+        );
     }
 }

@@ -93,9 +93,29 @@ pub fn golden_key(setup: &TestSetup, reference: &BiquadParams) -> GoldenKey {
     key
 }
 
-/// A compact 64-bit FNV-1a digest of [`golden_key`], for logging and
-/// display. Unlike the key itself a digest can collide, so the cache never
-/// uses it for lookups.
+/// A compact 64-bit FNV-1a digest of [`golden_key`], identifying a
+/// `(setup, reference)` characterization.
+///
+/// # Stability contract
+///
+/// The fingerprint is a pure function of the [`golden_key`] words — no
+/// pointers, no hash-map iteration order, no platform-dependent state — so it
+/// is **stable across runs, platforms, and thread counts**. Persistent
+/// artifacts (the serving layer's `GoldenStore`) key goldens by this value
+/// and rely on that stability to survive process restarts.
+///
+/// Two caveats follow from the design:
+///
+/// * **Collisions are possible in principle** (it is a 64-bit digest of an
+///   arbitrarily long key), so in-process caches keep using the exact
+///   [`GoldenKey`] for lookups; the fingerprint is for persistence, logging
+///   and wire addressing, where 64 bits of FNV-1a over behaviorally distinct
+///   setups is collision-free in practice (see the sweep-grid test below).
+/// * **Extending [`golden_key`] changes every fingerprint.** Any change to
+///   the key layout (new setup field, reordered words) invalidates stored
+///   fingerprints; bump the on-disk format version of fingerprint-keyed
+///   stores when that happens so stale stores are rejected instead of
+///   silently missing every lookup.
 pub fn golden_fingerprint(setup: &TestSetup, reference: &BiquadParams) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for word in golden_key(setup, reference) {
@@ -212,6 +232,40 @@ mod tests {
         trimmed.partition = xy_monitor::ZonePartition::new(monitors).unwrap();
         let _ = cache.flow_for(&trimmed, &BiquadParams::paper_default()).unwrap();
         assert_eq!(cache.len(), 2, "a 1 mV bias trim must not share a golden signature");
+    }
+
+    #[test]
+    fn fingerprints_are_collision_free_across_a_sweep_grid() {
+        // Every behaviorally distinct (setup, reference) pair of a realistic
+        // characterization grid must map to a distinct fingerprint — the
+        // property persistent golden stores rely on. The grid crosses sample
+        // rates, monitor bandwidths, f0 deviations and Q values: 3 * 2 * 41 *
+        // 3 = 738 distinct characterizations.
+        let mut seen = std::collections::HashMap::new();
+        for sample_rate in [1e6, 2e6, 5e6] {
+            for bandwidth in [Some(300e3), None] {
+                let mut setup = TestSetup::paper_default()
+                    .unwrap()
+                    .with_sample_rate(sample_rate)
+                    .unwrap();
+                setup.monitor_bandwidth_hz = bandwidth;
+                for tenth_pct in (-200..=200).step_by(10) {
+                    for q_scale in [0.9, 1.0, 1.1] {
+                        let mut reference = BiquadParams::paper_default().with_f0_shift_pct(tenth_pct as f64 / 10.0);
+                        reference.q *= q_scale;
+                        let fingerprint = golden_fingerprint(&setup, &reference);
+                        if let Some(previous) = seen.insert(fingerprint, (sample_rate, bandwidth, tenth_pct, q_scale)) {
+                            panic!(
+                                "fingerprint collision: {:?} and {:?} both map to {fingerprint:#018x}",
+                                previous,
+                                (sample_rate, bandwidth, tenth_pct, q_scale)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 3 * 2 * 41 * 3);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! ([`Signature::to_bytes`] / [`Signature::from_bytes`]); this module frames
 //! many of them into one buffer with their device indices.
 
-use dsig_core::{ndf, DsigError, Result, Signature};
+use std::path::Path;
+
+use dsig_core::{ndf, wire, Result, Signature};
 
 /// Magic prefix of the signature-log framing.
 const LOG_MAGIC: [u8; 4] = *b"DSGL";
@@ -61,47 +63,46 @@ impl SignatureLog {
 
     /// Decodes a log produced by [`SignatureLog::to_bytes`].
     ///
+    /// Decoding never panics on malformed input: truncation reports
+    /// [`DsigError::Truncated`]; a bad magic, an impossible count or trailing
+    /// bytes report [`DsigError::Corrupt`]; and embedded-signature errors are
+    /// propagated from [`Signature::from_bytes`].
+    ///
     /// # Errors
-    /// Returns [`DsigError::InvalidSignature`] on framing or signature
-    /// decoding errors.
+    /// See above.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < 8 || bytes[..4] != LOG_MAGIC {
-            return Err(DsigError::InvalidSignature("bad signature-log header".into()));
-        }
-        let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        let mut r = wire::ByteReader::new(bytes, "signature log");
+        r.magic(LOG_MAGIC)?;
+        let count = r.u32()? as usize;
         // Every entry needs at least its 8-byte header plus an 8-byte empty
         // signature; reject impossible counts before allocating, so a
         // corrupted count field cannot trigger a huge allocation.
-        if count > (bytes.len() - 8) / 16 {
-            return Err(DsigError::InvalidSignature(format!(
-                "signature log claims {count} entries but only {} payload bytes follow",
-                bytes.len() - 8
-            )));
-        }
+        r.check_count(count, 16)?;
         let mut entries = Vec::with_capacity(count);
-        let mut at = 8usize;
         for _ in 0..count {
-            if bytes.len() < at + 8 {
-                return Err(DsigError::InvalidSignature(
-                    "truncated signature-log entry header".into(),
-                ));
-            }
-            let index = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-            let len = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes")) as usize;
-            at += 8;
-            if bytes.len() < at + len {
-                return Err(DsigError::InvalidSignature("truncated signature-log payload".into()));
-            }
-            entries.push((index, Signature::from_bytes(&bytes[at..at + len])?));
-            at += len;
+            let index = r.u32()?;
+            let payload = r.bytes()?;
+            entries.push((index, Signature::from_bytes(payload)?));
         }
-        if at != bytes.len() {
-            return Err(DsigError::InvalidSignature(format!(
-                "signature log has {} trailing bytes",
-                bytes.len() - at
-            )));
-        }
+        r.finish()?;
         Ok(SignatureLog { entries })
+    }
+
+    /// Writes the serialized log to a file.
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Io`] on filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        wire::save_bytes(path.as_ref(), &self.to_bytes(), "signature log")
+    }
+
+    /// Reads a log previously written with [`SignatureLog::save`].
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Io`] on filesystem errors and decoding errors as
+    /// in [`SignatureLog::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        Self::from_bytes(&wire::load_bytes(path.as_ref(), "signature log")?)
     }
 
     /// Replays the log against a golden signature: recomputes the NDF of
@@ -122,7 +123,7 @@ impl SignatureLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsig_core::{SignatureEntry, ZoneCode};
+    use dsig_core::{DsigError, SignatureEntry, ZoneCode};
 
     fn sig(codes: &[(u32, f64)]) -> Signature {
         Signature::new(
@@ -176,6 +177,20 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(SignatureLog::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn log_saves_and_loads_from_disk() {
+        let mut log = SignatureLog::new();
+        log.push(3, sig(&[(1, 1.0), (2, 2.5)]));
+        log.push(9, sig(&[(7, 1e-6)]));
+        let path = std::env::temp_dir().join(format!("dsig-log-{}-{:p}.bin", std::process::id(), &log));
+        log.save(&path).unwrap();
+        let loaded = SignatureLog::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, log);
+        let missing = SignatureLog::load(path.with_extension("missing"));
+        assert!(matches!(missing, Err(DsigError::Io(_))));
     }
 
     #[test]

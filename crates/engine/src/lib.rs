@@ -63,9 +63,9 @@ pub mod pool;
 pub mod report;
 pub mod runner;
 
-pub use cache::{golden_fingerprint, GoldenCache};
+pub use cache::{golden_fingerprint, golden_key, GoldenCache, GoldenKey};
 pub use campaign::{mix_seed, Campaign, DevicePopulation, DeviceSpec};
 pub use codec::SignatureLog;
 pub use pool::{available_threads, parallel_map_indexed, DEFAULT_CHUNK};
-pub use report::{CampaignReport, DeviceResult, DwellStats, FaultCoverage, NdfHistogram};
+pub use report::{report_diff, CampaignReport, DeviceResult, DwellStats, FaultCoverage, NdfHistogram, ReportDiff};
 pub use runner::CampaignRunner;

@@ -1,7 +1,12 @@
 //! Streaming campaign aggregation: NDF histogram, pass/fail yield, per-fault
-//! coverage and dwell-time statistics, folded one device at a time.
+//! coverage and dwell-time statistics, folded one device at a time — plus
+//! persistence ([`CampaignReport::save`] / [`CampaignReport::load`], format
+//! `DSGR` v1 under the shared versioned-header convention of
+//! [`dsig_core::wire`]) and run-to-run comparison ([`report_diff`]).
 
-use dsig_core::{ScreeningStats, TestOutcome};
+use std::path::Path;
+
+use dsig_core::{wire, Result, ScreeningStats, TestOutcome};
 
 /// The outcome of evaluating one device of a campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -284,8 +289,251 @@ impl Default for CampaignReport {
     }
 }
 
+/// Magic prefix of the persisted campaign-report format.
+const REPORT_MAGIC: [u8; 4] = *b"DSGR";
+/// Current campaign-report format version.
+const REPORT_VERSION: u16 = 1;
+
+impl CampaignReport {
+    /// Serializes the complete report (screening counters, histogram, dwell
+    /// statistics, coverage rows and per-device results) into the versioned
+    /// `DSGR` binary format. Floating-point fields round-trip bit-exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + 64 * self.results.len());
+        wire::put_header(&mut out, REPORT_MAGIC, REPORT_VERSION);
+        for count in [
+            self.screening.total,
+            self.screening.passed,
+            self.screening.failed,
+            self.screening.truly_good,
+            self.screening.truly_bad,
+            self.screening.escapes,
+            self.screening.false_rejects,
+        ] {
+            wire::put_u64(&mut out, count as u64);
+        }
+        wire::put_f64(&mut out, self.histogram.bin_width);
+        wire::put_u32(&mut out, self.histogram.counts.len() as u32);
+        for &count in &self.histogram.counts {
+            wire::put_u64(&mut out, count);
+        }
+        wire::put_u64(&mut out, self.histogram.overflow);
+        for v in [self.dwell.min, self.dwell.max, self.dwell.sum] {
+            wire::put_f64(&mut out, v);
+        }
+        wire::put_u64(&mut out, self.dwell.count);
+        for v in [self.ndf_sum, self.ndf_min, self.ndf_max] {
+            wire::put_f64(&mut out, v);
+        }
+        wire::put_u32(&mut out, self.coverage.len() as u32);
+        for row in &self.coverage {
+            wire::put_str(&mut out, &row.label);
+            wire::put_f64(&mut out, row.ndf);
+            out.push(u8::from(row.detected));
+        }
+        wire::put_u32(&mut out, self.results.len() as u32);
+        for r in &self.results {
+            wire::put_u64(&mut out, r.index as u64);
+            wire::put_str(&mut out, &r.label);
+            wire::put_f64(&mut out, r.true_deviation_pct);
+            wire::put_f64(&mut out, r.ndf);
+            wire::put_u32(&mut out, r.peak_hamming);
+            wire::put_u64(&mut out, r.observed_zones as u64);
+            wire::put_outcome(&mut out, r.outcome);
+        }
+        out
+    }
+
+    /// Decodes a report produced by [`CampaignReport::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Truncated`] / [`DsigError::Corrupt`] on malformed
+    /// input; never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = wire::ByteReader::new(bytes, "campaign report");
+        r.header(REPORT_MAGIC, REPORT_VERSION)?;
+        let mut counts = [0usize; 7];
+        for slot in &mut counts {
+            *slot = r.u64()? as usize;
+        }
+        let screening = ScreeningStats {
+            total: counts[0],
+            passed: counts[1],
+            failed: counts[2],
+            truly_good: counts[3],
+            truly_bad: counts[4],
+            escapes: counts[5],
+            false_rejects: counts[6],
+        };
+        let bin_width = r.f64()?;
+        let bins = r.u32()? as usize;
+        r.check_count(bins, 8)?;
+        let mut histogram = NdfHistogram {
+            bin_width,
+            counts: Vec::with_capacity(bins),
+            overflow: 0,
+        };
+        for _ in 0..bins {
+            histogram.counts.push(r.u64()?);
+        }
+        histogram.overflow = r.u64()?;
+        let dwell = DwellStats {
+            min: r.f64()?,
+            max: r.f64()?,
+            sum: r.f64()?,
+            count: r.u64()?,
+        };
+        let ndf_sum = r.f64()?;
+        let ndf_min = r.f64()?;
+        let ndf_max = r.f64()?;
+        let coverage_rows = r.u32()? as usize;
+        r.check_count(coverage_rows, 13)?;
+        let mut coverage = Vec::with_capacity(coverage_rows);
+        for _ in 0..coverage_rows {
+            coverage.push(FaultCoverage {
+                label: r.string()?,
+                ndf: r.f64()?,
+                detected: r.u8()? != 0,
+            });
+        }
+        let result_rows = r.u32()? as usize;
+        r.check_count(result_rows, 41)?;
+        let mut results = Vec::with_capacity(result_rows);
+        for _ in 0..result_rows {
+            results.push(DeviceResult {
+                index: r.u64()? as usize,
+                label: r.string()?,
+                true_deviation_pct: r.f64()?,
+                ndf: r.f64()?,
+                peak_hamming: r.u32()?,
+                observed_zones: r.u64()? as usize,
+                outcome: r.outcome()?,
+            });
+        }
+        r.finish()?;
+        Ok(CampaignReport {
+            screening,
+            histogram,
+            dwell,
+            coverage,
+            results,
+            ndf_sum,
+            ndf_min,
+            ndf_max,
+        })
+    }
+
+    /// Writes the serialized report to a file.
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Io`] on filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        wire::save_bytes(path.as_ref(), &self.to_bytes(), "campaign report")
+    }
+
+    /// Reads a report previously written with [`CampaignReport::save`].
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Io`] on filesystem errors and decoding errors as
+    /// in [`CampaignReport::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        Self::from_bytes(&wire::load_bytes(path.as_ref(), "campaign report")?)
+    }
+}
+
+/// The difference between two campaign runs, `candidate` relative to
+/// `baseline` — the artifact reviewed when a setup, band or code change is
+/// qualified against a stored reference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportDiff {
+    /// Device counts `(baseline, candidate)`.
+    pub devices: (usize, usize),
+    /// Change in test yield (candidate − baseline).
+    pub yield_delta: f64,
+    /// Change in the number of test escapes.
+    pub escapes_delta: i64,
+    /// Change in the number of false rejects (yield loss).
+    pub false_rejects_delta: i64,
+    /// Change in the population mean NDF.
+    pub mean_ndf_delta: f64,
+    /// Change in the population maximum NDF.
+    pub max_ndf_delta: f64,
+    /// Change in fault coverage (`None` unless both runs tracked coverage).
+    pub coverage_delta: Option<f64>,
+    /// Fault labels detected by the candidate but missed by the baseline.
+    pub newly_detected: Vec<String>,
+    /// Fault labels detected by the baseline but missed by the candidate —
+    /// the regression signal.
+    pub newly_missed: Vec<String>,
+}
+
+impl ReportDiff {
+    /// Whether the candidate run is strictly worse on a safety metric: more
+    /// escapes, or previously detected faults now missed.
+    pub fn is_regression(&self) -> bool {
+        self.escapes_delta > 0 || !self.newly_missed.is_empty()
+    }
+
+    /// A compact multi-line human-readable summary of the deltas.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "devices: {} -> {}\nyield: {:+.2}%  escapes: {:+}  false rejects: {:+}\nndf: mean {:+.4}  max {:+.4}\n",
+            self.devices.0,
+            self.devices.1,
+            100.0 * self.yield_delta,
+            self.escapes_delta,
+            self.false_rejects_delta,
+            self.mean_ndf_delta,
+            self.max_ndf_delta
+        );
+        if let Some(delta) = self.coverage_delta {
+            out.push_str(&format!("fault coverage: {:+.1}%\n", 100.0 * delta));
+        }
+        if !self.newly_detected.is_empty() {
+            out.push_str(&format!("newly detected: {}\n", self.newly_detected.join(", ")));
+        }
+        if !self.newly_missed.is_empty() {
+            out.push_str(&format!("NEWLY MISSED: {}\n", self.newly_missed.join(", ")));
+        }
+        out
+    }
+}
+
+/// Compares two campaign runs: yield, escape, NDF and coverage deltas of
+/// `candidate` relative to `baseline`. Coverage rows are matched by fault
+/// label, so the runs may cover different (overlapping) fault dictionaries.
+pub fn report_diff(baseline: &CampaignReport, candidate: &CampaignReport) -> ReportDiff {
+    let mut newly_detected = Vec::new();
+    let mut newly_missed = Vec::new();
+    for row in &candidate.coverage {
+        let before = baseline.coverage.iter().find(|b| b.label == row.label);
+        match before {
+            Some(b) if !b.detected && row.detected => newly_detected.push(row.label.clone()),
+            Some(b) if b.detected && !row.detected => newly_missed.push(row.label.clone()),
+            _ => {}
+        }
+    }
+    let coverage_delta = match (baseline.fault_coverage(), candidate.fault_coverage()) {
+        (Some(a), Some(b)) => Some(b - a),
+        _ => None,
+    };
+    ReportDiff {
+        devices: (baseline.devices(), candidate.devices()),
+        yield_delta: candidate.test_yield() - baseline.test_yield(),
+        escapes_delta: candidate.screening.escapes as i64 - baseline.screening.escapes as i64,
+        false_rejects_delta: candidate.screening.false_rejects as i64 - baseline.screening.false_rejects as i64,
+        mean_ndf_delta: candidate.mean_ndf().unwrap_or(0.0) - baseline.mean_ndf().unwrap_or(0.0),
+        max_ndf_delta: candidate.max_ndf().unwrap_or(0.0) - baseline.max_ndf().unwrap_or(0.0),
+        coverage_delta,
+        newly_detected,
+        newly_missed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use dsig_core::DsigError;
+
     use super::*;
 
     fn result(index: usize, ndf: f64, dev: f64, outcome: TestOutcome) -> DeviceResult {
@@ -348,6 +596,102 @@ mod tests {
         let text = report.summary();
         assert!(text.contains("devices: 3"));
         assert!(text.contains("fault coverage"));
+    }
+
+    fn sample_report() -> CampaignReport {
+        let mut report = CampaignReport::new();
+        let mut dwell = DwellStats::new();
+        dwell.record(10e-6);
+        dwell.record(35e-6);
+        report.record(result(0, 0.01, 1.0, TestOutcome::Pass), &dwell, 3.0, true);
+        report.record(result(1, 0.20, 10.0, TestOutcome::Fail), &dwell, 3.0, true);
+        report.record(result(2, 0.02, 8.0, TestOutcome::Pass), &dwell, 3.0, true);
+        report
+    }
+
+    #[test]
+    fn report_round_trips_bit_exact() {
+        let report = sample_report();
+        let decoded = CampaignReport::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(
+            decoded.mean_ndf().unwrap().to_bits(),
+            report.mean_ndf().unwrap().to_bits()
+        );
+        // The empty report (infinite min/max sentinels) round-trips too.
+        let empty = CampaignReport::new();
+        assert_eq!(CampaignReport::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn report_saves_and_loads_from_disk() {
+        let report = sample_report();
+        let path = std::env::temp_dir().join(format!("dsig-report-{}-{:p}.bin", std::process::id(), &report));
+        report.save(&path).unwrap();
+        let loaded = CampaignReport::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, report);
+        assert!(matches!(
+            CampaignReport::load(path.with_extension("missing")),
+            Err(DsigError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_reports_are_rejected_without_panicking() {
+        let bytes = sample_report().to_bytes();
+        assert!(CampaignReport::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            CampaignReport::from_bytes(&bad_magic),
+            Err(DsigError::Corrupt { .. })
+        ));
+        let mut future_version = bytes.clone();
+        future_version[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert!(matches!(
+            CampaignReport::from_bytes(&future_version),
+            Err(DsigError::Corrupt { .. })
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(CampaignReport::from_bytes(&trailing).is_err());
+        // A bad outcome tag in the last device row is caught by validation.
+        let mut bad_outcome = bytes;
+        let last = bad_outcome.len() - 1;
+        bad_outcome[last] = 7;
+        assert!(matches!(
+            CampaignReport::from_bytes(&bad_outcome),
+            Err(DsigError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn diff_reports_yield_escape_and_coverage_deltas() {
+        let baseline = sample_report();
+        let mut candidate = CampaignReport::new();
+        let dwell = DwellStats::new();
+        // Device 2 (true deviation 8%, out of tolerance) now correctly fails.
+        candidate.record(result(0, 0.01, 1.0, TestOutcome::Pass), &dwell, 3.0, true);
+        candidate.record(result(1, 0.20, 10.0, TestOutcome::Fail), &dwell, 3.0, true);
+        candidate.record(result(2, 0.09, 8.0, TestOutcome::Fail), &dwell, 3.0, true);
+        let diff = report_diff(&baseline, &candidate);
+        assert_eq!(diff.devices, (3, 3));
+        assert!(diff.yield_delta < 0.0, "one more rejection lowers yield");
+        assert_eq!(diff.escapes_delta, -1);
+        assert_eq!(diff.newly_detected, vec!["d2".to_string()]);
+        assert!(diff.newly_missed.is_empty());
+        assert!(!diff.is_regression());
+        assert!((diff.coverage_delta.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        let text = diff.summary();
+        assert!(text.contains("escapes: -1"), "{text}");
+        assert!(text.contains("newly detected: d2"), "{text}");
+
+        // The reverse direction is a regression.
+        let reverse = report_diff(&candidate, &baseline);
+        assert!(reverse.is_regression());
+        assert_eq!(reverse.newly_missed, vec!["d2".to_string()]);
+        assert!(reverse.summary().contains("NEWLY MISSED: d2"));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! The TCP client: connects to a [`crate::Server`], frames requests and
+//! decodes responses. One client holds one connection and pipelines nothing —
+//! throughput comes from batching (many signatures per request) and from
+//! running several clients in parallel.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dsig_core::Signature;
+
+use crate::error::{Result, ServeError};
+use crate::proto::{decode_response, encode_request, read_frame, write_frame, ErrorCode, ScoreResult, ScreenResponse};
+
+/// A blocking client over one TCP connection.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a scoring server.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] on connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Scores a batch of observed signatures against the golden stored under
+    /// `golden_key` on the server, returning one [`ScoreResult`] per
+    /// signature in request order.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::UnknownGolden`] if the server does not hold the
+    /// fingerprint, [`ServeError::Remote`] for other server-side failures,
+    /// [`ServeError::Protocol`] on malformed responses and
+    /// [`ServeError::Io`] on dead connections.
+    pub fn screen(&mut self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        write_frame(&mut self.writer, &encode_request(golden_key, signatures))?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ))
+        })?;
+        match decode_response(&payload)? {
+            ScreenResponse::Results(results) => {
+                if results.len() != signatures.len() {
+                    return Err(ServeError::Protocol(format!(
+                        "server returned {} results for {} signatures",
+                        results.len(),
+                        signatures.len()
+                    )));
+                }
+                Ok(results)
+            }
+            ScreenResponse::Error { code, message } => Err(match code {
+                ErrorCode::UnknownGolden => ServeError::UnknownGolden(golden_key),
+                _ => ServeError::Remote(message),
+            }),
+        }
+    }
+
+    /// Scores a single signature (a one-element [`ServeClient::screen`]).
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`].
+    pub fn screen_one(&mut self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
+        Ok(self.screen(golden_key, std::slice::from_ref(signature))?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use dsig_core::{AcceptanceBand, SignatureEntry, TestOutcome, ZoneCode};
+
+    use super::*;
+    use crate::server::{ServeConfig, Server};
+    use crate::store::GoldenStore;
+
+    fn sig(codes: &[(u32, f64)]) -> Signature {
+        Signature::new(
+            codes
+                .iter()
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn serve() -> (Server, u64) {
+        let store = GoldenStore::new();
+        let key = 0xA11CE;
+        store.insert(
+            key,
+            sig(&[(1, 100e-6), (3, 100e-6)]),
+            AcceptanceBand::new(0.05).unwrap(),
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::new(store), ServeConfig::with_shards(2)).unwrap();
+        (server, key)
+    }
+
+    #[test]
+    fn client_screens_over_loopback() {
+        let (server, key) = serve();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let observed = vec![sig(&[(1, 100e-6), (3, 100e-6)]), sig(&[(1, 100e-6), (7, 100e-6)])];
+        let results = client.screen(key, &observed).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].ndf, 0.0);
+        assert_eq!(results[0].outcome, TestOutcome::Pass);
+        assert!(results[1].ndf > 0.0);
+        // The TCP path must agree with the in-process path bit-for-bit.
+        let direct = server.handle().screen(key, &observed).unwrap();
+        assert_eq!(results, direct);
+        // Several requests reuse the same connection.
+        let single = client.screen_one(key, &observed[1]).unwrap();
+        assert_eq!(single, direct[1]);
+    }
+
+    #[test]
+    fn unknown_golden_is_reported_with_the_key() {
+        let (server, _) = serve();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        match client.screen(0xDEAD, &[sig(&[(1, 1.0)])]) {
+            Err(ServeError::UnknownGolden(key)) => assert_eq!(key, 0xDEAD),
+            other => panic!("expected UnknownGolden, got {other:?}"),
+        }
+        // The connection survives an error response.
+        assert!(client.screen(0xA11CE, &[sig(&[(1, 100e-6), (3, 100e-6)])]).is_ok());
+    }
+
+    #[test]
+    fn empty_batches_round_trip() {
+        let (server, key) = serve();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        assert!(client.screen(key, &[]).unwrap().is_empty());
+    }
+}

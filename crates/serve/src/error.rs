@@ -1,0 +1,90 @@
+//! Error type of the serving layer.
+
+use std::fmt;
+
+use dsig_core::DsigError;
+
+/// Errors produced by the golden store, the wire protocol, the server and
+/// the client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or filesystem operation failed.
+    Io(std::io::Error),
+    /// Signature capture, decoding or comparison failed.
+    Dsig(DsigError),
+    /// A request referenced a golden fingerprint the store does not hold.
+    UnknownGolden(u64),
+    /// A peer violated the wire protocol (bad frame, oversized payload,
+    /// unexpected response kind).
+    Protocol(String),
+    /// The server reported an error for a request (the rendered remote
+    /// message, as received over the wire).
+    Remote(String),
+    /// The scoring shards have shut down and can no longer accept work.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(err) => write!(f, "i/o failed: {err}"),
+            ServeError::Dsig(err) => write!(f, "scoring failed: {err}"),
+            ServeError::UnknownGolden(key) => {
+                write!(f, "no golden signature stored under fingerprint {key:#018x}")
+            }
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::Remote(msg) => write!(f, "server reported an error: {msg}"),
+            ServeError::Closed => write!(f, "the scoring shards have shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(err) => Some(err),
+            ServeError::Dsig(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(err: std::io::Error) -> Self {
+        ServeError::Io(err)
+    }
+}
+
+impl From<DsigError> for ServeError {
+    fn from(err: DsigError) -> Self {
+        ServeError::Dsig(err)
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e: ServeError = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset").into();
+        assert!(e.to_string().contains("reset"));
+        assert!(e.source().is_some());
+        let e: ServeError = DsigError::InvalidSignature("empty".into()).into();
+        assert!(e.to_string().contains("empty"));
+        assert!(e.source().is_some());
+        assert!(ServeError::UnknownGolden(0xABCD)
+            .to_string()
+            .contains("0x000000000000abcd"));
+        assert!(ServeError::Protocol("bad frame".into())
+            .to_string()
+            .contains("bad frame"));
+        assert!(ServeError::Remote("boom".into()).to_string().contains("boom"));
+        assert!(ServeError::Closed.to_string().contains("shut down"));
+        assert!(ServeError::Closed.source().is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! # dsig-serve
+//!
+//! The production-test serving layer: a request/response signature-scoring
+//! service. A tester (or any client) uploads the digital signature captured
+//! from a device under test; the service scores it against a stored golden
+//! signature — NDF, peak Hamming distance, PASS/FAIL — and answers. This is
+//! the paper's end-game recast as a network service: `dsig-engine` is the
+//! batch characterization layer, `dsig-serve` is the per-device screening
+//! layer in front of it.
+//!
+//! The crate provides:
+//!
+//! * [`GoldenStore`] — goldens characterized once per `(setup, reference)`
+//!   fingerprint ([`dsig_engine::golden_fingerprint`]), held in memory for
+//!   scoring and persisted in a versioned binary format;
+//! * [`Server`] / [`ServeConfig`] — a `std::net::TcpListener` accept loop
+//!   dispatching to N scoring shards over channels; batches are chunked
+//!   across shards and reassembled in order, so results are bit-identical
+//!   for every shard count;
+//! * [`ServeHandle`] — the in-process client path (same shards, no TCP) for
+//!   embedding the scorer into another process;
+//! * [`ServeClient`] — the blocking TCP client with batch screening;
+//! * [`proto`] — the std-only wire protocol (layout below).
+//!
+//! # Wire format
+//!
+//! Everything is little-endian; `f64`s travel as [`f64::to_bits`] and are
+//! therefore bit-exact. Every message is one **frame**:
+//!
+//! ```text
+//! frame     := u32 payload_len, payload        (payload_len <= 64 MiB)
+//! ```
+//!
+//! Request payload (magic `DSRQ`, version 1):
+//!
+//! ```text
+//! request   := "DSRQ", u16 version=1,
+//!              u64 golden_key,                 (fingerprint of the golden)
+//!              u32 count,
+//!              count * { u32 len, len bytes }  (each a Signature::to_bytes)
+//! ```
+//!
+//! Response payload (magic `DSRS`, version 1):
+//!
+//! ```text
+//! response  := "DSRS", u16 version=1, u8 status, body
+//! status 0  := u32 count, count * { f64 ndf, u32 peak_hamming, u8 outcome }
+//!              (outcome: 0 = PASS, 1 = FAIL; one score per request
+//!               signature, in request order)
+//! status 1  := u16 error_code, u32 len, len bytes of UTF-8 message
+//!              (error_code: 1 = unknown golden, 2 = bad request,
+//!               3 = internal)
+//! ```
+//!
+//! Golden-store file (magic `DSGS`, version 1 — see [`store`]):
+//!
+//! ```text
+//! store     := "DSGS", u16 version=1, u32 count,
+//!              count * { u64 fingerprint, f64 ndf_threshold,
+//!                        u32 len, len bytes }  (each a Signature::to_bytes)
+//! ```
+//!
+//! # Example
+//!
+//! Characterize a golden, serve it, and screen a device over loopback:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cut_filters::BiquadParams;
+//! use dsig_core::{AcceptanceBand, TestSetup};
+//! use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let setup = TestSetup::paper_default()?.with_sample_rate(1e6)?;
+//! let reference = BiquadParams::paper_default();
+//!
+//! // Characterization: done once, persisted via store.save(path).
+//! let store = Arc::new(GoldenStore::new());
+//! let key = store.characterize(&setup, &reference, AcceptanceBand::new(0.03)?)?;
+//!
+//! // Serving: ephemeral loopback port, default shard count.
+//! let server = Server::bind("127.0.0.1:0", store, ServeConfig::default())?;
+//!
+//! // Production test: capture a signature from a device, upload, decide.
+//! let observed = setup.signature_of(&reference.with_f0_shift_pct(10.0), 7)?;
+//! let mut client = ServeClient::connect(server.local_addr())?;
+//! let score = client.screen_one(key, &observed)?;
+//! assert!(score.ndf > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::ServeClient;
+pub use error::{Result, ServeError};
+pub use proto::{ErrorCode, ScoreResult, ScreenRequest, ScreenResponse};
+pub use server::{ServeConfig, ServeHandle, Server};
+pub use store::{GoldenRecord, GoldenStore};

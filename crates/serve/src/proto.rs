@@ -1,0 +1,346 @@
+//! The compact binary wire protocol, std-only.
+//!
+//! Every message travels as a length-prefixed frame; payloads follow the
+//! shared versioned-header convention of [`dsig_core::wire`]. See the crate
+//! docs for the full byte layout.
+//!
+//! The protocol is deliberately batch-first: one request carries any number
+//! of signatures for one golden, so the framing, syscall and dispatch cost is
+//! amortized over the batch.
+
+use std::io::{Read, Write};
+
+use dsig_core::{wire, Signature, TestOutcome};
+
+use crate::error::{Result, ServeError};
+
+/// Magic prefix of request payloads.
+pub const REQUEST_MAGIC: [u8; 4] = *b"DSRQ";
+/// Magic prefix of response payloads.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"DSRS";
+/// Current wire-protocol version (shared by requests and responses).
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload (64 MiB). A length prefix beyond this is
+/// treated as a protocol violation rather than an allocation request — it
+/// bounds what a corrupt or malicious peer can make either side allocate.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Status byte of an ok response.
+const STATUS_OK: u8 = 0;
+/// Status byte of an error response.
+const STATUS_ERROR: u8 = 1;
+
+/// Machine-readable error codes carried by error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The requested golden fingerprint is not in the store.
+    UnknownGolden,
+    /// The request could not be decoded.
+    BadRequest,
+    /// Scoring failed server-side.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::UnknownGolden => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::Internal => 3,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<Self> {
+        match v {
+            1 => Ok(ErrorCode::UnknownGolden),
+            2 => Ok(ErrorCode::BadRequest),
+            3 => Ok(ErrorCode::Internal),
+            other => Err(ServeError::Protocol(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+/// A decoded screening request: score `signatures` against the golden stored
+/// under `golden_key`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenRequest {
+    /// Fingerprint of the golden to score against
+    /// (see [`dsig_engine::golden_fingerprint`]).
+    pub golden_key: u64,
+    /// The observed signatures to score, in request order.
+    pub signatures: Vec<Signature>,
+}
+
+/// The score of one signature against a golden.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreResult {
+    /// Normalized discrepancy factor (Eq. 2 of the paper).
+    pub ndf: f64,
+    /// Peak instantaneous Hamming distance over the period.
+    pub peak_hamming: u32,
+    /// PASS/FAIL decision of the golden's acceptance band.
+    pub outcome: TestOutcome,
+}
+
+/// A decoded response: per-signature scores, or a server-side error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScreenResponse {
+    /// One score per request signature, in request order.
+    Results(Vec<ScoreResult>),
+    /// The request failed server-side.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+/// Encodes a screening request payload (without the frame length prefix).
+pub fn encode_request(golden_key: u64, signatures: &[Signature]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(18 + 64 * signatures.len());
+    wire::put_header(&mut out, REQUEST_MAGIC, PROTO_VERSION);
+    wire::put_u64(&mut out, golden_key);
+    wire::put_u32(&mut out, signatures.len() as u32);
+    for signature in signatures {
+        wire::put_bytes(&mut out, &signature.to_bytes());
+    }
+    out
+}
+
+/// Decodes a screening request payload. Never panics on malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing or signature decoding errors.
+pub fn decode_request(payload: &[u8]) -> Result<ScreenRequest> {
+    let mut r = wire::ByteReader::new(payload, "screen request");
+    r.header(REQUEST_MAGIC, PROTO_VERSION)?;
+    let golden_key = r.u64()?;
+    let count = r.u32()? as usize;
+    // Minimum per signature: 4-byte length prefix + 8-byte empty signature.
+    r.check_count(count, 12)?;
+    let mut signatures = Vec::with_capacity(count);
+    for _ in 0..count {
+        signatures.push(Signature::from_bytes(r.bytes()?)?);
+    }
+    r.finish()?;
+    Ok(ScreenRequest { golden_key, signatures })
+}
+
+/// Encodes a response payload (without the frame length prefix).
+pub fn encode_response(response: &ScreenResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    wire::put_header(&mut out, RESPONSE_MAGIC, PROTO_VERSION);
+    match response {
+        ScreenResponse::Results(results) => {
+            out.push(STATUS_OK);
+            wire::put_u32(&mut out, results.len() as u32);
+            for result in results {
+                wire::put_f64(&mut out, result.ndf);
+                wire::put_u32(&mut out, result.peak_hamming);
+                wire::put_outcome(&mut out, result.outcome);
+            }
+        }
+        ScreenResponse::Error { code, message } => {
+            out.push(STATUS_ERROR);
+            wire::put_u16(&mut out, code.to_u16());
+            wire::put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a response payload. Never panics on malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors (including unknown outcome
+/// tags) and [`ServeError::Protocol`] on an unknown status byte.
+pub fn decode_response(payload: &[u8]) -> Result<ScreenResponse> {
+    let mut r = wire::ByteReader::new(payload, "screen response");
+    r.header(RESPONSE_MAGIC, PROTO_VERSION)?;
+    match r.u8()? {
+        STATUS_OK => {
+            let count = r.u32()? as usize;
+            // 13 bytes per score: f64 ndf, u32 peak hamming, u8 outcome.
+            r.check_count(count, 13)?;
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                results.push(ScoreResult {
+                    ndf: r.f64()?,
+                    peak_hamming: r.u32()?,
+                    outcome: r.outcome()?,
+                });
+            }
+            r.finish()?;
+            Ok(ScreenResponse::Results(results))
+        }
+        STATUS_ERROR => {
+            let code = ErrorCode::from_u16(r.u16()?)?;
+            let message = r.string()?;
+            r.finish()?;
+            Ok(ScreenResponse::Error { code, message })
+        }
+        other => Err(ServeError::Protocol(format!("unknown response status {other}"))),
+    }
+}
+
+/// Writes one frame: a little-endian `u32` payload length, then the payload.
+///
+/// # Errors
+/// Returns [`ServeError::Protocol`] for an oversized payload and
+/// [`ServeError::Io`] on write errors.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+            payload.len()
+        )));
+    }
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (the peer
+/// closed between frames).
+///
+/// # Errors
+/// Returns [`ServeError::Protocol`] for an oversized length prefix and
+/// [`ServeError::Io`] on read errors, including mid-frame end-of-stream.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            // Retry interrupted reads like read_exact does; a stray signal
+            // must not tear down a healthy connection.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "peer announced a frame of {len} bytes (limit {MAX_FRAME_BYTES})"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsig_core::{SignatureEntry, ZoneCode};
+
+    fn sig(codes: &[(u32, f64)]) -> Signature {
+        Signature::new(
+            codes
+                .iter()
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let signatures = vec![sig(&[(1, 10e-6), (3, 20e-6)]), sig(&[(7, 1.0)])];
+        let payload = encode_request(0xFEED_BEEF, &signatures);
+        let decoded = decode_request(&payload).unwrap();
+        assert_eq!(decoded.golden_key, 0xFEED_BEEF);
+        assert_eq!(decoded.signatures, signatures);
+        // An empty batch is legal.
+        let empty = decode_request(&encode_request(1, &[])).unwrap();
+        assert!(empty.signatures.is_empty());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = ScreenResponse::Results(vec![
+            ScoreResult {
+                ndf: 0.0125,
+                peak_hamming: 2,
+                outcome: TestOutcome::Pass,
+            },
+            ScoreResult {
+                ndf: 0.41,
+                peak_hamming: 5,
+                outcome: TestOutcome::Fail,
+            },
+        ]);
+        assert_eq!(decode_response(&encode_response(&ok)).unwrap(), ok);
+        let err = ScreenResponse::Error {
+            code: ErrorCode::UnknownGolden,
+            message: "no such golden".into(),
+        };
+        assert_eq!(decode_response(&encode_response(&err)).unwrap(), err);
+        for code in [ErrorCode::UnknownGolden, ErrorCode::BadRequest, ErrorCode::Internal] {
+            assert_eq!(ErrorCode::from_u16(code.to_u16()).unwrap(), code);
+        }
+        assert!(ErrorCode::from_u16(99).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_without_panicking() {
+        let payload = encode_request(7, &[sig(&[(1, 1.0)])]);
+        assert!(decode_request(&payload[..5]).is_err());
+        assert!(decode_request(&payload[..payload.len() - 1]).is_err());
+        let mut bad_magic = payload.clone();
+        bad_magic[0] = b'X';
+        assert!(decode_request(&bad_magic).is_err());
+        let mut future = payload.clone();
+        future[4..6].copy_from_slice(&42u16.to_le_bytes());
+        assert!(decode_request(&future).is_err(), "future protocol version");
+        let response = encode_response(&ScreenResponse::Results(vec![]));
+        assert!(decode_response(&response[..3]).is_err());
+        let mut bad_status = response;
+        let at = 6; // magic + version
+        bad_status[at] = 9;
+        assert!(matches!(decode_response(&bad_status), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, b"beta").unwrap();
+        let mut reader = stream.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"beta");
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean end of stream");
+    }
+
+    #[test]
+    fn frame_reader_rejects_abuse() {
+        // Truncated prefix.
+        let mut reader: &[u8] = &[1, 2];
+        assert!(matches!(read_frame(&mut reader), Err(ServeError::Io(_))));
+        // Truncated payload.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"payload").unwrap();
+        stream.truncate(stream.len() - 2);
+        let mut reader = stream.as_slice();
+        assert!(matches!(read_frame(&mut reader), Err(ServeError::Io(_))));
+        // An absurd announced length is a protocol violation, not an
+        // allocation.
+        let huge = (u32::MAX).to_le_bytes();
+        let mut reader: &[u8] = &huge;
+        assert!(matches!(read_frame(&mut reader), Err(ServeError::Protocol(_))));
+    }
+}

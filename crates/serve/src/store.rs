@@ -1,0 +1,321 @@
+//! The persistent golden store: golden signatures characterized once per
+//! `(setup, reference)` fingerprint, kept in memory for scoring and saved to
+//! disk in a versioned binary format (`DSGS` v1, see the crate docs for the
+//! byte layout).
+//!
+//! Records are keyed by [`dsig_engine::golden_fingerprint`], which is stable
+//! across runs and platforms (see its stability contract), so a store written
+//! by a characterization campaign can be loaded by any number of serving
+//! processes later. If the `golden_key` layout ever changes, every
+//! fingerprint changes with it — bump [`STORE_VERSION`] in that case so stale
+//! stores are rejected at load time instead of missing every lookup.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use cut_filters::BiquadParams;
+use dsig_core::{wire, AcceptanceBand, DsigError, Signature, TestFlow, TestSetup};
+use dsig_engine::golden_fingerprint;
+
+use crate::error::Result;
+
+/// Magic prefix of the persisted golden-store format.
+pub const STORE_MAGIC: [u8; 4] = *b"DSGS";
+/// Current golden-store format version. Bump when the record layout *or* the
+/// `golden_key` layout behind the fingerprints changes.
+pub const STORE_VERSION: u16 = 1;
+
+/// One stored golden: the characterized signature and the acceptance band
+/// that turns an NDF into a PASS/FAIL decision for devices screened against
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenRecord {
+    /// The golden (reference) signature.
+    pub golden: Signature,
+    /// The acceptance band applied to NDFs scored against this golden.
+    pub band: AcceptanceBand,
+}
+
+/// A thread-safe map of golden fingerprints to [`GoldenRecord`]s with
+/// versioned disk persistence.
+///
+/// Lookups hand out `Arc`s, so scoring shards hold a golden without blocking
+/// writers that characterize new goldens concurrently.
+#[derive(Debug, Default)]
+pub struct GoldenStore {
+    records: RwLock<HashMap<u64, Arc<GoldenRecord>>>,
+}
+
+impl GoldenStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a golden under an explicit fingerprint and
+    /// returns the previous record, if any.
+    pub fn insert(&self, key: u64, golden: Signature, band: AcceptanceBand) -> Option<Arc<GoldenRecord>> {
+        self.records
+            .write()
+            .expect("store lock poisoned")
+            .insert(key, Arc::new(GoldenRecord { golden, band }))
+    }
+
+    /// Characterizes the golden signature of `(setup, reference)` — the
+    /// expensive step, done once — and stores it under the pair's
+    /// [`golden_fingerprint`]. Returns the fingerprint, which is what clients
+    /// put in their requests.
+    ///
+    /// The capture is noiseless regardless of the setup's noise model, like
+    /// the engine's golden cache: a golden signature is a
+    /// characterization-time artifact, not a production measurement.
+    ///
+    /// Re-characterizing an already-stored fingerprint skips the capture (the
+    /// golden is deterministic) but always adopts the caller's band, so
+    /// tightening a threshold takes effect instead of silently keeping the
+    /// old one.
+    ///
+    /// # Errors
+    /// Propagates golden-capture errors from [`TestFlow::new`].
+    pub fn characterize(&self, setup: &TestSetup, reference: &BiquadParams, band: AcceptanceBand) -> Result<u64> {
+        let key = golden_fingerprint(setup, reference);
+        match self.get(key) {
+            Some(record) if record.band == band => {}
+            Some(record) => {
+                self.insert(key, record.golden.clone(), band);
+            }
+            None => {
+                let flow = TestFlow::new(setup.clone(), *reference)?;
+                self.insert(key, flow.golden().clone(), band);
+            }
+        }
+        Ok(key)
+    }
+
+    /// Looks up a golden by fingerprint.
+    pub fn get(&self, key: u64) -> Option<Arc<GoldenRecord>> {
+        self.records.read().expect("store lock poisoned").get(&key).cloned()
+    }
+
+    /// The stored fingerprints, ascending.
+    pub fn keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .records
+            .read()
+            .expect("store lock poisoned")
+            .keys()
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Number of stored goldens.
+    pub fn len(&self) -> usize {
+        self.records.read().expect("store lock poisoned").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes every record into the versioned `DSGS` binary format.
+    /// Records are written in ascending fingerprint order, so equal stores
+    /// produce identical bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let records = self.records.read().expect("store lock poisoned");
+        let mut keys: Vec<u64> = records.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = Vec::with_capacity(16 + 64 * keys.len());
+        wire::put_header(&mut out, STORE_MAGIC, STORE_VERSION);
+        wire::put_u32(&mut out, keys.len() as u32);
+        for key in keys {
+            let record = &records[&key];
+            wire::put_u64(&mut out, key);
+            wire::put_f64(&mut out, record.band.ndf_threshold);
+            wire::put_bytes(&mut out, &record.golden.to_bytes());
+        }
+        out
+    }
+
+    /// Decodes a store produced by [`GoldenStore::to_bytes`]. Never panics on
+    /// malformed input.
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Truncated`] / [`DsigError::Corrupt`] wrapped in
+    /// [`crate::ServeError::Dsig`] on malformed bytes, including duplicate
+    /// fingerprints and invalid acceptance bands.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = wire::ByteReader::new(bytes, "golden store");
+        r.header(STORE_MAGIC, STORE_VERSION)?;
+        let count = r.u32()? as usize;
+        // Minimum record: 8-byte key + 8-byte threshold + 4-byte length +
+        // 8-byte empty signature.
+        r.check_count(count, 28)?;
+        let mut records = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let key = r.u64()?;
+            let band = AcceptanceBand::new(r.f64()?)?;
+            let golden = Signature::from_bytes(r.bytes()?)?;
+            if records.insert(key, Arc::new(GoldenRecord { golden, band })).is_some() {
+                return Err(DsigError::Corrupt {
+                    context: "golden store",
+                    detail: format!("duplicate fingerprint {key:#018x}"),
+                }
+                .into());
+            }
+        }
+        r.finish()?;
+        Ok(GoldenStore {
+            records: RwLock::new(records),
+        })
+    }
+
+    /// Writes the serialized store to a file.
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Io`] (wrapped in [`crate::ServeError::Dsig`]) on
+    /// filesystem errors, naming the path.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        wire::save_bytes(path.as_ref(), &self.to_bytes(), "golden store")?;
+        Ok(())
+    }
+
+    /// Reads a store previously written with [`GoldenStore::save`].
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Io`] (wrapped in [`crate::ServeError::Dsig`]) on
+    /// filesystem errors and decoding errors as in
+    /// [`GoldenStore::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        Self::from_bytes(&wire::load_bytes(path.as_ref(), "golden store")?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsig_core::{SignatureEntry, ZoneCode};
+
+    fn sig(codes: &[(u32, f64)]) -> Signature {
+        Signature::new(
+            codes
+                .iter()
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn band(threshold: f64) -> AcceptanceBand {
+        AcceptanceBand::new(threshold).unwrap()
+    }
+
+    #[test]
+    fn insert_get_and_keys() {
+        let store = GoldenStore::new();
+        assert!(store.is_empty());
+        assert!(store.get(1).is_none());
+        store.insert(7, sig(&[(1, 1.0)]), band(0.03));
+        store.insert(3, sig(&[(2, 2.0)]), band(0.05));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.keys(), vec![3, 7]);
+        assert_eq!(store.get(7).unwrap().band.ndf_threshold, 0.03);
+        let replaced = store.insert(7, sig(&[(9, 1.0)]), band(0.10));
+        assert_eq!(replaced.unwrap().band.ndf_threshold, 0.03);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn characterize_is_idempotent_and_noise_blind() {
+        let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+        let reference = BiquadParams::paper_default();
+        let store = GoldenStore::new();
+        let key = store.characterize(&setup, &reference, band(0.03)).unwrap();
+        assert_eq!(store.len(), 1);
+        let again = store.characterize(&setup, &reference, band(0.03)).unwrap();
+        assert_eq!(key, again);
+        assert_eq!(store.len(), 1, "re-characterization must hit the store");
+        // A re-characterization with a tighter band must take effect without
+        // a fresh capture.
+        store.characterize(&setup, &reference, band(0.01)).unwrap();
+        assert_eq!(store.get(key).unwrap().band.ndf_threshold, 0.01);
+        store.characterize(&setup, &reference, band(0.03)).unwrap();
+        // The fingerprint ignores measurement noise, like the engine cache.
+        let noisy = setup.clone().with_noise(sim_signal::NoiseModel::paper_default());
+        assert_eq!(store.characterize(&noisy, &reference, band(0.03)).unwrap(), key);
+        // A different reference is a different golden.
+        let shifted = reference.with_f0_shift_pct(5.0);
+        let other = store.characterize(&setup, &shifted, band(0.03)).unwrap();
+        assert_ne!(other, key);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn store_round_trips_through_bytes_and_disk() {
+        let store = GoldenStore::new();
+        store.insert(42, sig(&[(1, 10e-6), (3, 20e-6)]), band(0.03));
+        store.insert(7, sig(&[(5, 1.5)]), band(0.08));
+        let bytes = store.to_bytes();
+        assert_eq!(bytes, store.to_bytes(), "serialization must be deterministic");
+        let decoded = GoldenStore::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.keys(), store.keys());
+        for key in store.keys() {
+            assert_eq!(*decoded.get(key).unwrap(), *store.get(key).unwrap());
+        }
+        let path = std::env::temp_dir().join(format!("dsig-store-{}-{:p}.bin", std::process::id(), &store));
+        store.save(&path).unwrap();
+        let loaded = GoldenStore::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.keys(), store.keys());
+        assert!(matches!(
+            GoldenStore::load(path.with_extension("missing")),
+            Err(crate::ServeError::Dsig(DsigError::Io(_)))
+        ));
+    }
+
+    #[test]
+    fn corrupted_stores_are_rejected_without_panicking() {
+        let store = GoldenStore::new();
+        store.insert(1, sig(&[(1, 1.0)]), band(0.03));
+        let bytes = store.to_bytes();
+        assert!(GoldenStore::from_bytes(&bytes[..5]).is_err(), "truncated header");
+        assert!(
+            GoldenStore::from_bytes(&bytes[..bytes.len() - 3]).is_err(),
+            "truncated record"
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(GoldenStore::from_bytes(&bad_magic).is_err());
+        let mut future = bytes.clone();
+        future[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert!(GoldenStore::from_bytes(&future).is_err(), "future version");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(GoldenStore::from_bytes(&trailing).is_err());
+        // A NaN threshold is caught by AcceptanceBand validation.
+        let mut nan = bytes;
+        nan[18..26].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(GoldenStore::from_bytes(&nan).is_err(), "NaN threshold");
+    }
+
+    #[test]
+    fn duplicate_fingerprints_are_corrupt() {
+        let store = GoldenStore::new();
+        store.insert(5, sig(&[(1, 1.0)]), band(0.03));
+        let mut bytes = store.to_bytes();
+        // Append a second copy of the single record and fix the count.
+        let record = bytes[10..].to_vec();
+        bytes.extend_from_slice(&record);
+        bytes[6..10].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            GoldenStore::from_bytes(&bytes),
+            Err(crate::ServeError::Dsig(DsigError::Corrupt { .. }))
+        ));
+    }
+}

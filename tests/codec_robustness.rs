@@ -1,0 +1,106 @@
+//! Property tests of the binary codecs: random signatures and logs must
+//! round-trip bit-exactly, and random truncations / byte mutations must be
+//! rejected or decoded — never panic, never hang, never over-allocate.
+
+use analog_signature::dsig::{DsigError, Signature, SignatureEntry, ZoneCode};
+use analog_signature::engine::SignatureLog;
+use proptest::prelude::*;
+
+/// Builds a valid signature from generated `(code, duration-in-µs)` pairs.
+fn signature_from(parts: &[(u32, f64)]) -> Signature {
+    Signature::new(
+        parts
+            .iter()
+            .map(|&(code, dur_us)| SignatureEntry {
+                code: ZoneCode(code),
+                duration: dur_us * 1e-6,
+            })
+            .collect(),
+    )
+    .expect("generated durations are finite and positive")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn signature_round_trips_bit_exact(parts in prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..40)) {
+        let signature = signature_from(&parts);
+        let decoded = Signature::from_bytes(&signature.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &signature);
+        for (a, b) in decoded.entries().iter().zip(signature.entries()) {
+            prop_assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_signatures_always_error(
+        parts in prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..20),
+        cut in 0.0..1.0_f64,
+    ) {
+        let bytes = signature_from(&parts).to_bytes();
+        let keep = (bytes.len() as f64 * cut) as usize; // strictly < len
+        let result = Signature::from_bytes(&bytes[..keep]);
+        prop_assert!(result.is_err(), "a {keep}-of-{} byte prefix must not decode", bytes.len());
+        prop_assert!(
+            matches!(result, Err(DsigError::Truncated { .. } | DsigError::Corrupt { .. })),
+            "truncation must map to a dedicated codec error, got {:?}", result
+        );
+    }
+
+    #[test]
+    fn mutated_signatures_never_panic(
+        parts in prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..20),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+    ) {
+        let mut bytes = signature_from(&parts).to_bytes();
+        let at = ((bytes.len() - 1) as f64 * position) as usize;
+        bytes[at] ^= flip;
+        // Any single-byte corruption either fails cleanly or decodes to some
+        // valid signature (a payload flip can produce a different but legal
+        // value); the property under test is the absence of panics and
+        // unbounded allocations.
+        if let Ok(decoded) = Signature::from_bytes(&bytes) {
+            prop_assert!(decoded.entries().iter().all(|e| e.duration >= 0.0));
+        }
+        // Corrupting the header (magic or count) can never decode silently,
+        // except a count flip on a buffer that still frames consistently —
+        // impossible here because the byte length pins the entry count.
+        if at < 8 {
+            prop_assert!(Signature::from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn log_round_trips_and_rejects_mutations(
+        lots in prop::collection::vec(
+            (0u32..10_000, prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..8)),
+            1..12,
+        ),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        let mut log = SignatureLog::new();
+        for (index, parts) in &lots {
+            log.push(*index, signature_from(parts));
+        }
+        let bytes = log.to_bytes();
+        prop_assert_eq!(&SignatureLog::from_bytes(&bytes).unwrap(), &log);
+
+        // Truncation: always a clean error.
+        let keep = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(SignatureLog::from_bytes(&bytes[..keep]).is_err());
+
+        // Mutation: never a panic. A flip inside a device-index field decodes
+        // to a different log; anything structural errors out.
+        let mut mutated = bytes.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        let _ = SignatureLog::from_bytes(&mutated);
+        if at < 8 {
+            prop_assert!(SignatureLog::from_bytes(&mutated).is_err(), "log header corruption must error");
+        }
+    }
+}
