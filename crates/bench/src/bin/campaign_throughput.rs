@@ -1,23 +1,37 @@
-//! Campaign-engine throughput: serial loop vs the scoped worker pool on a
-//! Monte-Carlo screening campaign of 1000+ devices, plus the golden-cache
-//! effect. Prints devices/second and the parallel speedup, and asserts that
-//! parallel results stay bit-identical to the serial reference.
+//! Campaign-engine throughput: the per-device reference path vs the
+//! shared-stimulus batched fast path, serial and over the scoped worker
+//! pool, on a Monte-Carlo screening campaign of 1000 devices. Prints
+//! devices/second, the batched per-device speedup and the parallel speedup,
+//! and asserts that every configuration stays bit-identical to the serial
+//! per-device reference.
 //!
 //! Run with `cargo run --release -p repro-bench --bin campaign_throughput`.
+//! Pass `--smoke` for a fast CI-sized run (fewer devices, no thread sweep)
+//! that still exercises and checks the batched fast path.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, TestSetup};
-use dsig_engine::{available_threads, Campaign, CampaignRunner, DevicePopulation};
+use dsig_engine::{available_threads, Campaign, CampaignReport, CampaignRunner, DevicePopulation};
 use repro_bench::banner;
 
-const DEVICES: usize = 1000;
+fn timed(runner: &CampaignRunner, campaign: &Campaign) -> (CampaignReport, Duration) {
+    let start = Instant::now();
+    let report = runner.run(campaign).expect("campaign run failed");
+    (report, start.elapsed())
+}
+
+fn rate(devices: usize, elapsed: Duration) -> f64 {
+    devices as f64 / elapsed.as_secs_f64()
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let devices = if smoke { 100 } else { 1000 };
     banner(
         "campaign_throughput",
-        "Monte-Carlo screening campaign: serial loop vs scoped worker pool",
+        "Monte-Carlo screening: per-device path vs shared-stimulus batched fast path",
     );
 
     let setup = TestSetup::paper_default()?.with_sample_rate(repro_bench::REPRO_SAMPLE_RATE)?;
@@ -25,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         setup,
         BiquadParams::paper_default(),
         DevicePopulation::MonteCarlo {
-            devices: DEVICES,
+            devices,
             sigma_pct: 3.0,
         },
         AcceptanceBand::new(0.03)?,
@@ -34,55 +48,80 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .with_seed(7);
 
     let hardware = available_threads();
-    println!("devices: {DEVICES}   hardware threads: {hardware}\n");
+    println!("devices: {devices}   hardware threads: {hardware}   smoke: {smoke}\n");
 
-    // Serial reference (threads = 1), golden characterized cold.
-    let serial_runner = CampaignRunner::with_threads(1);
-    let start = Instant::now();
-    let serial = serial_runner.run(&campaign)?;
-    let serial_time = start.elapsed();
+    // Serial per-device reference (threads = 1, batching off), golden cold.
+    let per_device_runner = CampaignRunner::with_threads(1).with_batching(false);
+    let (reference, cold_time) = timed(&per_device_runner, &campaign);
     println!(
-        "threads  1: {:>8.2?}  ({:>7.1} devices/s)  [golden characterized cold]",
-        serial_time,
-        DEVICES as f64 / serial_time.as_secs_f64()
+        "per-device  threads  1: {:>8.2?}  ({:>8.1} devices/s)  [golden characterized cold]",
+        cold_time,
+        rate(devices, cold_time)
+    );
+    // Warm-cache pass isolates the steady-state per-device cost.
+    let (warm_report, per_device_time) = timed(&per_device_runner, &campaign);
+    assert_eq!(warm_report, reference, "warm per-device run diverged");
+    println!(
+        "per-device  threads  1: {:>8.2?}  ({:>8.1} devices/s)  [golden cache warm]",
+        per_device_time,
+        rate(devices, per_device_time)
     );
 
-    // Warm-cache serial pass isolates the golden-cache benefit.
-    let start = Instant::now();
-    let _ = serial_runner.run(&campaign)?;
-    let warm_time = start.elapsed();
+    // Batched fast path, same thread count: the per-device speedup is pure
+    // shared-stimulus reuse (stimulus synthesis, x filtering and the X/DC
+    // monitor current terms are computed once for the whole lot).
+    let batched_runner = CampaignRunner::with_threads(1);
+    batched_runner.run(&campaign)?; // charge golden + stimulus synthesis once
+    let (batched_report, batched_time) = timed(&batched_runner, &campaign);
+    assert_eq!(
+        batched_report, reference,
+        "batched campaign diverged from the per-device reference"
+    );
+    let batch_speedup = per_device_time.as_secs_f64() / batched_time.as_secs_f64();
     println!(
-        "threads  1: {:>8.2?}  ({:>7.1} devices/s)  [golden cache warm]",
-        warm_time,
-        DEVICES as f64 / warm_time.as_secs_f64()
+        "batched     threads  1: {:>8.2?}  ({:>8.1} devices/s)  speedup x{batch_speedup:.2}  [bit-identical]",
+        batched_time,
+        rate(devices, batched_time)
     );
 
-    let mut thread_counts = vec![2, 4, hardware];
-    thread_counts.retain(|&t| t > 1 && t <= hardware.max(2));
-    thread_counts.dedup();
-    let mut best = warm_time;
-    for threads in thread_counts {
-        let runner = CampaignRunner::with_threads(threads);
-        runner.run(&campaign)?; // cold pass charges golden characterization once
-        let start = Instant::now();
-        let parallel = runner.run(&campaign)?;
-        let elapsed = start.elapsed();
-        assert_eq!(parallel, serial, "parallel campaign diverged from the serial reference");
-        println!(
-            "threads {threads:>2}: {:>8.2?}  ({:>7.1} devices/s)  speedup x{:.2}  [bit-identical]",
-            elapsed,
-            DEVICES as f64 / elapsed.as_secs_f64(),
-            warm_time.as_secs_f64() / elapsed.as_secs_f64()
-        );
-        if elapsed < best {
-            best = elapsed;
+    let mut best = batched_time;
+    if !smoke {
+        let mut thread_counts = vec![2, 4, hardware];
+        thread_counts.retain(|&t| t > 1 && t <= hardware.max(2));
+        thread_counts.dedup();
+        for threads in thread_counts {
+            let runner = CampaignRunner::with_threads(threads);
+            runner.run(&campaign)?; // cold pass charges golden + stimulus once
+            let (parallel, elapsed) = timed(&runner, &campaign);
+            assert_eq!(parallel, reference, "parallel batched campaign diverged");
+            println!(
+                "batched     threads {threads:>2}: {:>8.2?}  ({:>8.1} devices/s)  speedup x{:.2}  [bit-identical]",
+                elapsed,
+                rate(devices, elapsed),
+                per_device_time.as_secs_f64() / elapsed.as_secs_f64()
+            );
+            if elapsed < best {
+                best = elapsed;
+            }
         }
     }
 
     println!(
-        "\nbest: {:.1} devices/s (x{:.2} over the warm serial loop)",
-        DEVICES as f64 / best.as_secs_f64(),
-        warm_time.as_secs_f64() / best.as_secs_f64()
+        "\nbatched fast path: x{batch_speedup:.2} per-device speedup at equal thread count \
+         (target: >= 2x on a 1k-device lot)"
+    );
+    println!(
+        "best overall: {:.1} devices/s (x{:.2} over the warm per-device serial loop)",
+        rate(devices, best),
+        per_device_time.as_secs_f64() / best.as_secs_f64()
+    );
+    // Wall-clock rot guard, full runs only: the 1k-device lot has ~3x
+    // headroom, so a loaded CI runner won't flake it. Smoke runs are too
+    // short to time reliably; there the bit-identity asserts above are the
+    // gate and this bound is skipped.
+    assert!(
+        smoke || batch_speedup > 1.2,
+        "the batched fast path must clearly beat the per-device path (got x{batch_speedup:.2})"
     );
     Ok(())
 }

@@ -3,7 +3,7 @@
 //! Two baselines are implemented:
 //!
 //! * **Straight-line zoning** ([`LinearZoning`]): the prior-work approach the
-//!   paper improves upon (references [12], [13]): the X-Y plane is divided by
+//!   paper improves upon (references \[12\], \[13\]): the X-Y plane is divided by
 //!   straight lines implemented with weighted adders and comparators. The
 //!   same signature/NDF machinery applies, only the boundary shapes differ.
 //! * **Raw output comparison** ([`normalized_output_error`]): a classic

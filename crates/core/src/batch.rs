@@ -1,0 +1,653 @@
+//! Shared-stimulus batched signature capture — the population-scale fast path.
+//!
+//! Every device observed through one [`TestSetup`] sees the *same* input
+//! samples: the synthesized stimulus, its noiseless band-limited observed
+//! form and the saturation currents of every X- or DC-driven monitor input
+//! transistor depend only on the setup, never on the device under test. The
+//! per-device path ([`TestSetup::signature_of`]) recomputes all of that for
+//! every device; per the ROADMAP "Hot paths" item this dominates per-device
+//! cost (~0.25 ms/device at 2 MS/s).
+//!
+//! This module computes the shared work once per setup fingerprint and
+//! evaluates device responses against it in batches:
+//!
+//! * [`StimulusBank`] — a bounded, LRU-evicting cache of [`SharedStimulus`]
+//!   entries, keyed exactly by [`stimulus_key`] (no lossy hashing);
+//! * [`SharedStimulus`] — the cached per-setup artifacts: raw stimulus,
+//!   noiseless observed stimulus, and structure-of-arrays current-term
+//!   streams for every monitor input transistor;
+//! * [`capture_signatures_batch`] — evaluates N device responses against the
+//!   shared stimulus with a cache-friendly inner loop (one pass per monitor
+//!   over the sample stream) and scratch buffers reused across the whole
+//!   batch — no per-device allocation beyond the returned signatures.
+//!
+//! # Bit-identity contract
+//!
+//! The fast path reuses the *exact* `f64` values the per-device path
+//! computes: cached terms are produced by the same `saturation_current`
+//! calls on the same voltages, branch currents are added in the same slot
+//! order, and run-length encoding goes through the same
+//! [`signature_from_codes`] helper.
+//! Batched capture is therefore bit-identical to
+//! [`TestSetup::signature_of`] at every batch size; the workspace
+//! determinism and equivalence tests enforce this.
+//!
+//! # Examples
+//!
+//! ```
+//! use cut_filters::BiquadParams;
+//! use dsig_core::{BatchDevice, StimulusBank, TestSetup};
+//!
+//! # fn main() -> Result<(), dsig_core::DsigError> {
+//! let setup = TestSetup::paper_default()?.with_sample_rate(1e6)?;
+//! let bank = StimulusBank::new();
+//! // Synthesized once; every later request for the same setup is a hit.
+//! let shared = bank.shared_for(&setup)?;
+//!
+//! let lot: Vec<BatchDevice> = (0..4)
+//!     .map(|i| BatchDevice::new(BiquadParams::paper_default().with_f0_shift_pct(i as f64), i))
+//!     .collect();
+//! let signatures = setup.signatures_of_batch(&shared, &lot)?;
+//! assert_eq!(signatures.len(), 4);
+//! // Bit-identical to the per-device path.
+//! assert_eq!(signatures[2], setup.signature_of(&lot[2].cut, lot[2].noise_seed)?);
+//! assert_eq!(bank.hits(), 0);
+//! assert_eq!(bank.misses(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use cut_filters::BiquadParams;
+use sim_signal::lowpass_in_place;
+use sim_signal::Waveform;
+use xy_monitor::{saturation_current, MonitorInput, MosParams};
+
+use crate::capture::signature_from_codes;
+use crate::error::{DsigError, Result};
+use crate::flow::TestSetup;
+use crate::signature::Signature;
+
+/// The exact cache key of a [`SharedStimulus`]: every [`TestSetup`] parameter
+/// the shared per-setup artifacts depend on, serialized losslessly as 64-bit
+/// words. Equal keys *guarantee* interchangeable shared stimuli.
+///
+/// Deliberately excluded (the shared artifacts do not depend on them, so
+/// setups differing only there share one bank entry):
+///
+/// * the **noise model** — noise is drawn per device at capture time;
+/// * the **capture clock** and **transition deglitch dwell** — both apply
+///   after zone encoding;
+/// * monitor **supply voltage and labels** — the behavioural comparator
+///   output depends only on the input transistors and their drive
+///   assignment.
+pub fn stimulus_key(setup: &TestSetup) -> Vec<u64> {
+    let mut key = Vec::with_capacity(128);
+    key.push(setup.sample_rate.to_bits());
+    match setup.monitor_bandwidth_hz {
+        Some(bandwidth) => key.push(bandwidth.to_bits()),
+        None => key.push(u64::MAX),
+    }
+    push_stimulus_words(&mut key, &setup.stimulus);
+    key.push(setup.partition.bits() as u64);
+    for monitor in setup.partition.monitors() {
+        push_monitor_words(&mut key, monitor);
+    }
+    key
+}
+
+/// Appends the lossless word serialization of a multitone stimulus — offset,
+/// fundamental, then every tone — to a cache key. Shared by [`stimulus_key`]
+/// and the engine's `golden_key` so the two keys can never drift apart on
+/// what "the same stimulus" means.
+pub fn push_stimulus_words(key: &mut Vec<u64>, stimulus: &sim_signal::MultitoneSpec) {
+    key.push(stimulus.offset().to_bits());
+    key.push(stimulus.fundamental_hz().to_bits());
+    for tone in stimulus.tones() {
+        key.push(u64::from(tone.harmonic));
+        key.push(tone.amplitude.to_bits());
+        key.push(tone.phase_rad.to_bits());
+    }
+}
+
+/// Appends the behavioural word serialization of one monitor — output
+/// polarity, drive assignment, then polarity and electrical parameters of
+/// every input transistor — to a cache key. The supply voltage and label are
+/// deliberately excluded: the comparator's digital output does not depend on
+/// them. Shared by [`stimulus_key`] and the engine's `golden_key`.
+pub fn push_monitor_words(key: &mut Vec<u64>, monitor: &xy_monitor::CurrentComparator) {
+    key.push(u64::from(monitor.inverted));
+    for input in &monitor.inputs {
+        match input {
+            MonitorInput::XAxis => key.push(0),
+            MonitorInput::YAxis => key.push(1),
+            MonitorInput::Dc(bias) => {
+                key.push(2);
+                key.push(bias.to_bits());
+            }
+        }
+    }
+    for t in &monitor.transistors {
+        key.push(
+            format!("{:?}", t.polarity)
+                .bytes()
+                .fold(0u64, |acc, b| acc << 8 | u64::from(b)),
+        );
+        for v in [t.width, t.length, t.vth0, t.kp, t.lambda, t.subthreshold_n] {
+            key.push(v.to_bits());
+        }
+    }
+}
+
+/// One device of a batched capture: the CUT parameters and the seed of its
+/// measurement-noise realisation (the same seed [`TestSetup::signature_of`]
+/// takes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchDevice {
+    /// The (possibly deviated or faulty) CUT parameters of this device.
+    pub cut: BiquadParams,
+    /// Seed of the device's measurement-noise realisation; unused when the
+    /// setup is noiseless.
+    pub noise_seed: u64,
+}
+
+impl BatchDevice {
+    /// Creates a batch entry for one device.
+    pub fn new(cut: BiquadParams, noise_seed: u64) -> Self {
+        BatchDevice { cut, noise_seed }
+    }
+}
+
+/// One precomputed current term of a monitor input transistor.
+#[derive(Debug, Clone)]
+enum TermSlot {
+    /// DC-driven gate: the saturation current is one constant for all samples.
+    Const(f64),
+    /// X-driven gate: per-sample currents precomputed on the shared noiseless
+    /// observed stimulus, plus the transistor model for the noisy case where
+    /// x differs per device.
+    XGate { params: MosParams, shared: Vec<f64> },
+    /// Y-driven gate: always evaluated against the per-device response.
+    YGate(MosParams),
+}
+
+impl TermSlot {
+    /// The current of this slot at sample `k`, given the observed `x`/`y`
+    /// sample streams. `x_is_shared` selects the precomputed X streams (the
+    /// noiseless case, where x is the shared observed stimulus itself).
+    #[inline]
+    fn value(&self, k: usize, x: &[f64], y: &[f64], x_is_shared: bool) -> f64 {
+        match self {
+            TermSlot::Const(current) => *current,
+            TermSlot::XGate { params, shared } => {
+                if x_is_shared {
+                    shared[k]
+                } else {
+                    saturation_current(params, x[k])
+                }
+            }
+            TermSlot::YGate(params) => saturation_current(params, y[k]),
+        }
+    }
+}
+
+/// The four input-transistor terms of one monitor, in `[M1, M2, M3, M4]`
+/// slot order (M1 + M2 feed the left branch, M3 + M4 the right).
+#[derive(Debug, Clone)]
+struct MonitorTerms {
+    inverted: bool,
+    slots: [TermSlot; 4],
+}
+
+/// The per-setup artifacts shared by every device of a batched capture: the
+/// synthesized stimulus, its noiseless observed (band-limited) form and the
+/// structure-of-arrays current-term streams of the monitor bank.
+///
+/// Obtain one from a [`StimulusBank`] (cached per [`stimulus_key`]) or
+/// directly with [`SharedStimulus::new`].
+#[derive(Debug, Clone)]
+pub struct SharedStimulus {
+    key: Vec<u64>,
+    /// The raw synthesized stimulus (`stimulus.sample(1, sample_rate)`).
+    x_raw: Waveform,
+    /// The noiseless observed stimulus: `x_raw` low-pass filtered at the
+    /// monitor bandwidth (or `x_raw` itself without a bandwidth limit).
+    x_obs: Waveform,
+    monitors: Vec<MonitorTerms>,
+}
+
+impl SharedStimulus {
+    /// Synthesizes the shared artifacts of a setup: the stimulus sample
+    /// stream, its noiseless observed form, and the current-term streams of
+    /// every X- or DC-driven monitor input transistor.
+    ///
+    /// # Errors
+    /// Returns [`DsigError::InvalidConfig`] when the setup's sample rate
+    /// resolves no stimulus samples at all.
+    pub fn new(setup: &TestSetup) -> Result<Self> {
+        let x_raw = setup.stimulus.sample(1, setup.sample_rate);
+        if x_raw.is_empty() {
+            return Err(DsigError::InvalidConfig(format!(
+                "sample rate {} Hz resolves no stimulus samples",
+                setup.sample_rate
+            )));
+        }
+        let x_obs = match setup.monitor_bandwidth_hz {
+            Some(bandwidth) => x_raw.lowpass(bandwidth),
+            None => x_raw.clone(),
+        };
+        let monitors = setup
+            .partition
+            .monitors()
+            .iter()
+            .map(|monitor| MonitorTerms {
+                inverted: monitor.inverted,
+                slots: std::array::from_fn(|i| match monitor.inputs[i] {
+                    MonitorInput::Dc(bias) => TermSlot::Const(saturation_current(&monitor.transistors[i], bias)),
+                    MonitorInput::XAxis => TermSlot::XGate {
+                        params: monitor.transistors[i],
+                        shared: x_obs
+                            .samples()
+                            .iter()
+                            .map(|&x| saturation_current(&monitor.transistors[i], x))
+                            .collect(),
+                    },
+                    MonitorInput::YAxis => TermSlot::YGate(monitor.transistors[i]),
+                }),
+            })
+            .collect();
+        Ok(SharedStimulus {
+            key: stimulus_key(setup),
+            x_raw,
+            x_obs,
+            monitors,
+        })
+    }
+
+    /// Number of samples in the shared stimulus (one Lissajous period).
+    pub fn samples(&self) -> usize {
+        self.x_obs.len()
+    }
+
+    /// Whether this shared stimulus was built for (an equivalent of) the
+    /// given setup — exact [`stimulus_key`] equality.
+    pub fn matches(&self, setup: &TestSetup) -> bool {
+        self.key == stimulus_key(setup)
+    }
+
+    /// Zone-encodes one device's observed sample streams into `codes`
+    /// (cleared first), one structure-of-arrays pass per monitor.
+    fn encode_into(&self, x: &[f64], y: &[f64], x_is_shared: bool, codes: &mut Vec<u32>) {
+        let n = y.len();
+        codes.clear();
+        codes.resize(n, 0);
+        for (m, terms) in self.monitors.iter().enumerate() {
+            let bit = 1u32 << m;
+            let [s0, s1, s2, s3] = &terms.slots;
+            for k in 0..n {
+                let left = s0.value(k, x, y, x_is_shared) + s1.value(k, x, y, x_is_shared);
+                let right = s2.value(k, x, y, x_is_shared) + s3.value(k, x, y, x_is_shared);
+                if ((left - right) > 0.0) ^ terms.inverted {
+                    codes[k] |= bit;
+                }
+            }
+        }
+    }
+}
+
+/// Captures the signatures of a batch of devices sharing one setup, reusing
+/// the shared stimulus artifacts and a single set of scratch buffers for the
+/// whole batch.
+///
+/// The result is **bit-identical** to calling [`TestSetup::signature_of`]
+/// per device (see the [module docs](self) for why), for every batch size —
+/// including the noisy case, where each device still draws its own x/y noise
+/// realisations from its seed.
+///
+/// # Errors
+/// Returns [`DsigError::InvalidConfig`] when `shared` was built for a
+/// different setup, and propagates capture errors.
+pub fn capture_signatures_batch(
+    setup: &TestSetup,
+    shared: &SharedStimulus,
+    devices: &[BatchDevice],
+) -> Result<Vec<Signature>> {
+    if !shared.matches(setup) {
+        return Err(DsigError::InvalidConfig(
+            "shared stimulus does not match the setup; fetch it from a StimulusBank with this setup".into(),
+        ));
+    }
+    let n = shared.x_obs.len();
+    let dt = shared.x_obs.dt();
+    let x_is_shared = setup.noise.is_none();
+
+    // Scratch buffers reused across every device of the batch.
+    let mut y: Vec<f64> = Vec::new();
+    let mut x_dev: Vec<f64> = Vec::new();
+    let mut codes: Vec<u32> = Vec::new();
+
+    let mut out = Vec::with_capacity(devices.len());
+    for device in devices {
+        device
+            .cut
+            .steady_state_response_into(&setup.stimulus, 1, setup.sample_rate, &mut y);
+        if y.len() != n {
+            return Err(DsigError::Signal(sim_signal::SignalError::GridMismatch {
+                left: n,
+                right: y.len(),
+            }));
+        }
+        if !x_is_shared {
+            setup
+                .noise
+                .apply_in_place(&mut y, device.noise_seed.wrapping_mul(2).wrapping_add(1));
+        }
+        if let Some(bandwidth) = setup.monitor_bandwidth_hz {
+            lowpass_in_place(&mut y, dt, bandwidth);
+        }
+
+        let x: &[f64] = if x_is_shared {
+            shared.x_obs.samples()
+        } else {
+            x_dev.clear();
+            x_dev.extend_from_slice(shared.x_raw.samples());
+            setup
+                .noise
+                .apply_in_place(&mut x_dev, device.noise_seed.wrapping_mul(2));
+            if let Some(bandwidth) = setup.monitor_bandwidth_hz {
+                lowpass_in_place(&mut x_dev, dt, bandwidth);
+            }
+            &x_dev
+        };
+
+        shared.encode_into(x, &y, x_is_shared, &mut codes);
+        let raw = signature_from_codes(codes.iter().copied(), dt, setup.clock.as_ref())?;
+        out.push(raw.deglitched(setup.transition_min_dwell));
+    }
+    Ok(out)
+}
+
+/// Default number of [`SharedStimulus`] entries a [`StimulusBank`] retains.
+pub const DEFAULT_BANK_CAPACITY: usize = 8;
+
+#[derive(Debug)]
+struct BankEntry {
+    key: Vec<u64>,
+    shared: Arc<SharedStimulus>,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct BankInner {
+    entries: Vec<BankEntry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded, thread-safe cache of [`SharedStimulus`] entries keyed exactly
+/// by [`stimulus_key`].
+///
+/// Synthesizing a shared stimulus costs about as much as observing a handful
+/// of devices, so campaigns and characterization runs keep one bank for
+/// their lifetime and fetch per-setup entries from it. When the bank is full
+/// the least-recently-used entry is evicted; [`StimulusBank::hits`] /
+/// [`StimulusBank::misses`] expose the cache behaviour for tests and
+/// monitoring.
+#[derive(Debug)]
+pub struct StimulusBank {
+    inner: Mutex<BankInner>,
+}
+
+impl StimulusBank {
+    /// A bank retaining up to [`DEFAULT_BANK_CAPACITY`] shared stimuli.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_BANK_CAPACITY)
+    }
+
+    /// A bank retaining up to `capacity` shared stimuli (at least one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        StimulusBank {
+            inner: Mutex::new(BankInner {
+                entries: Vec::new(),
+                capacity: capacity.max(1),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Returns the shared stimulus for a setup, synthesizing it on the first
+    /// request and evicting the least-recently-used entry when the bank is
+    /// at capacity.
+    ///
+    /// # Errors
+    /// Propagates [`SharedStimulus::new`] errors.
+    pub fn shared_for(&self, setup: &TestSetup) -> Result<Arc<SharedStimulus>> {
+        let key = stimulus_key(setup);
+        {
+            let mut inner = self.inner.lock().expect("stimulus bank lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(i) = inner.entries.iter().position(|e| e.key == key) {
+                inner.hits += 1;
+                inner.entries[i].last_used = tick;
+                return Ok(Arc::clone(&inner.entries[i].shared));
+            }
+            inner.misses += 1;
+        }
+
+        // Synthesize outside the lock: this is the expensive part.
+        let shared = Arc::new(SharedStimulus::new(setup)?);
+        let mut inner = self.inner.lock().expect("stimulus bank lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(i) = inner.entries.iter().position(|e| e.key == key) {
+            // A racing builder inserted the same setup first; keep its entry.
+            inner.entries[i].last_used = tick;
+            return Ok(Arc::clone(&inner.entries[i].shared));
+        }
+        if inner.entries.len() >= inner.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity is at least one");
+            inner.entries.swap_remove(lru);
+        }
+        inner.entries.push(BankEntry {
+            key,
+            shared: Arc::clone(&shared),
+            last_used: tick,
+        });
+        Ok(shared)
+    }
+
+    /// Number of shared stimuli currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("stimulus bank lock poisoned").entries.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of entries the bank retains before evicting.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("stimulus bank lock poisoned").capacity
+    }
+
+    /// Number of [`StimulusBank::shared_for`] calls answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("stimulus bank lock poisoned").hits
+    }
+
+    /// Number of [`StimulusBank::shared_for`] calls that had to synthesize.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("stimulus bank lock poisoned").misses
+    }
+}
+
+impl Default for StimulusBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_signal::NoiseModel;
+
+    fn setup() -> TestSetup {
+        TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap()
+    }
+
+    fn lot(count: usize) -> Vec<BatchDevice> {
+        (0..count)
+            .map(|i| {
+                BatchDevice::new(
+                    BiquadParams::paper_default().with_f0_shift_pct(i as f64 * 2.5 - 5.0),
+                    1000 + i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_capture_is_bit_identical_to_per_device_noiseless() {
+        let setup = setup();
+        let shared = SharedStimulus::new(&setup).unwrap();
+        let devices = lot(5);
+        let batched = capture_signatures_batch(&setup, &shared, &devices).unwrap();
+        for (device, batched_sig) in devices.iter().zip(&batched) {
+            let per_device = setup.signature_of(&device.cut, device.noise_seed).unwrap();
+            assert_eq!(*batched_sig, per_device, "device {:?}", device.cut.f0_hz);
+        }
+    }
+
+    #[test]
+    fn batched_capture_is_bit_identical_to_per_device_noisy() {
+        let setup = setup().with_noise(NoiseModel::paper_default());
+        let shared = SharedStimulus::new(&setup).unwrap();
+        let devices = lot(5);
+        let batched = capture_signatures_batch(&setup, &shared, &devices).unwrap();
+        for (device, batched_sig) in devices.iter().zip(&batched) {
+            let per_device = setup.signature_of(&device.cut, device.noise_seed).unwrap();
+            assert_eq!(*batched_sig, per_device, "noise seed {}", device.noise_seed);
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let setup = setup();
+        let shared = SharedStimulus::new(&setup).unwrap();
+        let devices = lot(7);
+        let whole = capture_signatures_batch(&setup, &shared, &devices).unwrap();
+        let mut split = capture_signatures_batch(&setup, &shared, &devices[..3]).unwrap();
+        split.extend(capture_signatures_batch(&setup, &shared, &devices[3..]).unwrap());
+        assert_eq!(whole, split);
+        let singles: Vec<Signature> = devices
+            .iter()
+            .map(|d| {
+                capture_signatures_batch(&setup, &shared, std::slice::from_ref(d))
+                    .unwrap()
+                    .remove(0)
+            })
+            .collect();
+        assert_eq!(whole, singles);
+    }
+
+    #[test]
+    fn no_bandwidth_and_no_clock_path_matches_too() {
+        let mut setup = setup();
+        setup.monitor_bandwidth_hz = None;
+        setup.clock = None;
+        let shared = SharedStimulus::new(&setup).unwrap();
+        let devices = lot(3);
+        let batched = capture_signatures_batch(&setup, &shared, &devices).unwrap();
+        for (device, batched_sig) in devices.iter().zip(&batched) {
+            assert_eq!(
+                *batched_sig,
+                setup.signature_of(&device.cut, device.noise_seed).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_shared_stimulus_is_rejected() {
+        let shared = SharedStimulus::new(&setup()).unwrap();
+        let other = setup().with_sample_rate(2e6).unwrap();
+        assert!(capture_signatures_batch(&other, &shared, &lot(1)).is_err());
+        assert!(shared.matches(&setup()));
+        assert!(!shared.matches(&other));
+    }
+
+    #[test]
+    fn noise_model_does_not_split_the_key() {
+        // Noise is drawn per device at capture time, so noisy and noiseless
+        // setups share one bank entry (like the engine's golden cache).
+        let quiet = setup();
+        let noisy = setup().with_noise(NoiseModel::paper_default());
+        assert_eq!(stimulus_key(&quiet), stimulus_key(&noisy));
+        // Clock and deglitch dwell apply after encoding: also shared.
+        let mut unclocked = setup();
+        unclocked.clock = None;
+        unclocked.transition_min_dwell = 0.0;
+        assert_eq!(stimulus_key(&quiet), stimulus_key(&unclocked));
+        // The sample rate is part of the key.
+        assert_ne!(
+            stimulus_key(&quiet),
+            stimulus_key(&setup().with_sample_rate(2e6).unwrap())
+        );
+    }
+
+    #[test]
+    fn bank_hits_and_misses() {
+        let bank = StimulusBank::new();
+        assert!(bank.is_empty());
+        let a = bank.shared_for(&setup()).unwrap();
+        assert_eq!((bank.hits(), bank.misses()), (0, 1));
+        let b = bank.shared_for(&setup()).unwrap();
+        assert_eq!((bank.hits(), bank.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "same setup must reuse the synthesized entry");
+        let _ = bank.shared_for(&setup().with_sample_rate(2e6).unwrap()).unwrap();
+        assert_eq!((bank.hits(), bank.misses()), (1, 2));
+        assert_eq!(bank.len(), 2);
+    }
+
+    #[test]
+    fn bank_evicts_least_recently_used() {
+        let bank = StimulusBank::with_capacity(2);
+        assert_eq!(bank.capacity(), 2);
+        let rate_a = setup();
+        let rate_b = setup().with_sample_rate(2e6).unwrap();
+        let rate_c = setup().with_sample_rate(5e6).unwrap();
+        bank.shared_for(&rate_a).unwrap();
+        bank.shared_for(&rate_b).unwrap();
+        bank.shared_for(&rate_a).unwrap(); // refresh a: b is now the LRU
+        bank.shared_for(&rate_c).unwrap(); // evicts b
+        assert_eq!(bank.len(), 2);
+        assert_eq!((bank.hits(), bank.misses()), (1, 3));
+        bank.shared_for(&rate_a).unwrap();
+        assert_eq!(bank.hits(), 2, "the refreshed entry must have survived eviction");
+        bank.shared_for(&rate_b).unwrap();
+        assert_eq!(bank.misses(), 4, "the evicted entry must be re-synthesized");
+    }
+
+    #[test]
+    fn empty_stimulus_rejected() {
+        // A sample rate so low that one period resolves zero samples. The
+        // validated constructor refuses such rates, so build the setup field
+        // by hand.
+        let mut degenerate = setup();
+        degenerate.sample_rate = 1.0;
+        assert!(SharedStimulus::new(&degenerate).is_err());
+    }
+}

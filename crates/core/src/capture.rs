@@ -132,12 +132,44 @@ pub fn capture_signature(
         ));
     }
 
-    let dt = x.dt();
+    let codes = x
+        .samples()
+        .iter()
+        .zip(y.samples())
+        .map(|(&xk, &yk)| encoder.encode(xk, yk));
+    signature_from_codes(codes, x.dt(), clock)
+}
+
+/// Run-length encodes a stream of uniformly sampled zone codes into a
+/// [`Signature`], optionally quantizing every dwell time with a
+/// [`CaptureClock`].
+///
+/// This is the shared back half of every capture path: [`capture_signature`]
+/// streams encoder outputs straight into it (no intermediate buffer), the
+/// batched fast path ([`crate::batch::capture_signatures_batch`]) feeds it
+/// one device of a lot at a time. Keeping a single implementation is what
+/// guarantees the two paths produce bit-identical signatures.
+///
+/// # Errors
+/// Returns [`DsigError::InvalidSignature`] for an empty code sequence or a
+/// non-positive sample period.
+pub fn signature_from_codes<I>(codes: I, dt: f64, clock: Option<&CaptureClock>) -> Result<Signature>
+where
+    I: IntoIterator<Item = u32>,
+{
+    if !(dt > 0.0) || !dt.is_finite() {
+        return Err(DsigError::InvalidSignature(format!("invalid sample period {dt}")));
+    }
+    let mut codes = codes.into_iter();
+    let Some(first) = codes.next() else {
+        return Err(DsigError::InvalidSignature(
+            "cannot capture a signature from empty waveforms".into(),
+        ));
+    };
     let mut entries: Vec<SignatureEntry> = Vec::new();
-    let mut current_code = encoder.encode(x.samples()[0], y.samples()[0]);
+    let mut current_code = first;
     let mut dwell = dt;
-    for k in 1..x.len() {
-        let code = encoder.encode(x.samples()[k], y.samples()[k]);
+    for code in codes {
         if code == current_code {
             dwell += dt;
         } else {

@@ -107,6 +107,23 @@ impl TestSetup {
         Ok(raw.deglitched(self.transition_min_dwell))
     }
 
+    /// Captures the signatures of a batch of devices sharing this setup
+    /// through the shared-stimulus fast path — bit-identical to calling
+    /// [`TestSetup::signature_of`] per device, at a fraction of the cost.
+    ///
+    /// `shared` must come from [`crate::batch::StimulusBank::shared_for`]
+    /// (or [`crate::batch::SharedStimulus::new`]) with this setup.
+    ///
+    /// # Errors
+    /// Propagates [`crate::batch::capture_signatures_batch`] errors.
+    pub fn signatures_of_batch(
+        &self,
+        shared: &crate::batch::SharedStimulus,
+        devices: &[crate::batch::BatchDevice],
+    ) -> Result<Vec<Signature>> {
+        crate::batch::capture_signatures_batch(self, shared, devices)
+    }
+
     /// Captures a signature with an alternative encoder (used by the
     /// straight-line zoning baseline).
     ///
@@ -145,6 +162,28 @@ pub struct SweepPoint {
 }
 
 /// A calibrated test flow: a golden signature plus the setup that produced it.
+///
+/// # Examples
+///
+/// Calibrate an acceptance band from a deviation sweep, then screen devices:
+///
+/// ```
+/// use cut_filters::BiquadParams;
+/// use dsig_core::{TestFlow, TestOutcome, TestSetup};
+///
+/// # fn main() -> Result<(), dsig_core::DsigError> {
+/// let setup = TestSetup::paper_default()?.with_sample_rate(1e6)?;
+/// let flow = TestFlow::new(setup, BiquadParams::paper_default())?;
+/// // Devices within ±3% f0 deviation must pass.
+/// let deviations: Vec<f64> = (-10..=10).map(f64::from).collect();
+/// let band = flow.calibrate_band(&deviations, 3.0)?;
+/// let good = flow.evaluate(&BiquadParams::paper_default().with_f0_shift_pct(1.0), 1)?;
+/// let bad = flow.evaluate(&BiquadParams::paper_default().with_f0_shift_pct(9.0), 2)?;
+/// assert_eq!(band.decide(good.ndf), TestOutcome::Pass);
+/// assert_eq!(band.decide(bad.ndf), TestOutcome::Fail);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct TestFlow {
     setup: TestSetup,
@@ -199,6 +238,56 @@ impl TestFlow {
             peak_hamming: peak_hamming_distance(&self.golden, &observed)?,
             observed_zones: observed.len(),
         })
+    }
+
+    /// Evaluates a batch of CUT instances against the golden signature
+    /// through the shared-stimulus fast path, one [`NdfReport`] per device in
+    /// input order. Bit-identical to calling [`TestFlow::evaluate`] per
+    /// device.
+    ///
+    /// # Errors
+    /// Propagates batched-capture and comparison errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_filters::BiquadParams;
+    /// use dsig_core::{BatchDevice, StimulusBank, TestFlow, TestSetup};
+    ///
+    /// # fn main() -> Result<(), dsig_core::DsigError> {
+    /// let setup = TestSetup::paper_default()?.with_sample_rate(1e6)?;
+    /// let flow = TestFlow::new(setup, BiquadParams::paper_default())?;
+    /// let bank = StimulusBank::new();
+    /// let shared = bank.shared_for(flow.setup())?;
+    ///
+    /// let lot = [
+    ///     BatchDevice::new(BiquadParams::paper_default(), 1),
+    ///     BatchDevice::new(BiquadParams::paper_default().with_f0_shift_pct(10.0), 2),
+    /// ];
+    /// let reports = flow.evaluate_batch(&shared, &lot)?;
+    /// assert_eq!(reports[0].ndf, 0.0);
+    /// assert!(reports[1].ndf > 0.0);
+    /// // Bit-identical to the per-device path.
+    /// assert_eq!(reports[1], flow.evaluate(&lot[1].cut, lot[1].noise_seed)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn evaluate_batch(
+        &self,
+        shared: &crate::batch::SharedStimulus,
+        devices: &[crate::batch::BatchDevice],
+    ) -> Result<Vec<NdfReport>> {
+        let signatures = self.setup.signatures_of_batch(shared, devices)?;
+        signatures
+            .iter()
+            .map(|observed| {
+                Ok(NdfReport {
+                    ndf: ndf(&self.golden, observed)?,
+                    peak_hamming: peak_hamming_distance(&self.golden, observed)?,
+                    observed_zones: observed.len(),
+                })
+            })
+            .collect()
     }
 
     /// Evaluates one CUT instance as the average over several independent
@@ -319,7 +408,7 @@ impl TestFlow {
     /// Trains an alternate-test style estimator of the f0 deviation from the
     /// per-zone dwell-time features of the signature (see
     /// [`crate::regression`]). The characterization sweep plays the role of
-    /// the regression training set of the paper's reference [14].
+    /// the regression training set of the paper's reference \[14\].
     ///
     /// # Errors
     /// Propagates evaluation and fitting errors.

@@ -7,11 +7,14 @@
 //!   by the asynchronous capture circuit (Eq. 1, Fig. 5);
 //! * [`capture_signature`] — the capture model over sampled `x(t)` / `y(t)`
 //!   observations, with master-clock quantization ([`CaptureClock`]);
-//! * [`ndf`] — the normalized discrepancy factor (Eq. 2), the time-weighted
+//! * [`ndf()`](fn@ndf) — the normalized discrepancy factor (Eq. 2), the time-weighted
 //!   average Hamming distance between observed and golden zone codes;
 //! * [`AcceptanceBand`] / [`TestOutcome`] — the PASS/FAIL decision;
 //! * [`TestFlow`] — the end-to-end flow (golden generation, CUT evaluation,
 //!   Fig. 8 sweeps, population screening, minimum detectable deviation);
+//! * [`batch`] — the shared-stimulus batched capture fast path
+//!   ([`StimulusBank`], [`capture_signatures_batch`]): per-setup stimulus
+//!   and monitor-term caching with bit-identical batched evaluation;
 //! * [`baseline`] — straight-line zoning and raw waveform comparison
 //!   baselines used for comparison benches.
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod capture;
 pub mod decision;
 pub mod error;
@@ -44,7 +48,8 @@ pub mod signature;
 pub mod wire;
 
 pub use baseline::{normalized_output_error, LinearBoundary, LinearZoning};
-pub use capture::{capture_signature, CaptureClock, PointEncoder};
+pub use batch::{capture_signatures_batch, stimulus_key, BatchDevice, SharedStimulus, StimulusBank};
+pub use capture::{capture_signature, signature_from_codes, CaptureClock, PointEncoder};
 pub use decision::{AcceptanceBand, ScreeningStats, TestOutcome};
 pub use error::{DsigError, Result};
 pub use flow::{NdfReport, SweepPoint, TestFlow, TestSetup};

@@ -1,7 +1,7 @@
 //! Alternate-test style parameter estimation from signature features.
 //!
 //! The paper's decision is a PASS/FAIL band on the NDF. Its related work
-//! (reference [14]) maps Lissajous-signature features to circuit
+//! (reference \[14\]) maps Lissajous-signature features to circuit
 //! specifications by regression. This module implements that extension: the
 //! dwell time the CUT spends in each golden zone is used as a feature vector,
 //! and a ridge-regularized linear model trained on a characterization sweep

@@ -12,7 +12,6 @@ use std::sync::{Arc, Mutex};
 
 use cut_filters::BiquadParams;
 use dsig_core::{Result, TestFlow, TestSetup};
-use xy_monitor::MonitorInput;
 
 /// The exact cache key of a golden signature: every parameter of the setup
 /// and reference device that the (noiseless) golden capture depends on,
@@ -44,41 +43,21 @@ pub fn golden_key(setup: &TestSetup, reference: &BiquadParams) -> GoldenKey {
     // deliberately excluded: campaigns differing only in measurement noise
     // share one golden signature.
 
-    // Stimulus: offset, fundamental and every tone, exactly.
-    key.push(setup.stimulus.offset().to_bits());
-    key.push(setup.stimulus.fundamental_hz().to_bits());
-    for tone in setup.stimulus.tones() {
-        key.push(u64::from(tone.harmonic));
-        key.push(tone.amplitude.to_bits());
-        key.push(tone.phase_rad.to_bits());
-    }
+    // Stimulus and partition words come from the same serialization helpers
+    // the batch path's `stimulus_key` uses, so the two keys cannot drift
+    // apart on what "the same stimulus / monitor bank" means. The word order
+    // here is load-bearing: `golden_fingerprint` digests of it are persisted
+    // (DSGS stores), so any layout change requires a `STORE_VERSION` bump.
+    dsig_core::batch::push_stimulus_words(&mut key, &setup.stimulus);
 
     // Partition: every electrical parameter of every monitor. Labels are
-    // cosmetic and excluded.
+    // cosmetic and excluded; vdd is conservatively included (the behavioural
+    // comparator output does not depend on it, but it predates that insight
+    // and removing it would change every persisted fingerprint).
     key.push(setup.partition.bits() as u64);
     for monitor in setup.partition.monitors() {
         key.push(monitor.vdd.to_bits());
-        key.push(u64::from(monitor.inverted));
-        for input in &monitor.inputs {
-            match input {
-                MonitorInput::XAxis => key.push(0),
-                MonitorInput::YAxis => key.push(1),
-                MonitorInput::Dc(bias) => {
-                    key.push(2);
-                    key.push(bias.to_bits());
-                }
-            }
-        }
-        for t in &monitor.transistors {
-            key.push(
-                format!("{:?}", t.polarity)
-                    .bytes()
-                    .fold(0u64, |acc, b| acc << 8 | u64::from(b)),
-            );
-            for v in [t.width, t.length, t.vth0, t.kp, t.lambda, t.subthreshold_n] {
-                key.push(v.to_bits());
-            }
-        }
+        dsig_core::batch::push_monitor_words(&mut key, monitor);
     }
 
     // Reference device.

@@ -73,6 +73,31 @@ pub struct DeviceSpec {
 
 /// A population-scale screening campaign: one golden setup, one reference
 /// device, many devices-under-test.
+///
+/// # Examples
+///
+/// A fault-coverage campaign over a small dictionary:
+///
+/// ```
+/// use cut_filters::{BiquadParams, ComponentRef, Fault};
+/// use dsig_core::{AcceptanceBand, TestSetup};
+/// use dsig_engine::{Campaign, CampaignRunner, DevicePopulation};
+///
+/// # fn main() -> Result<(), dsig_core::DsigError> {
+/// let campaign = Campaign::new(
+///     TestSetup::paper_default()?.with_sample_rate(1e6)?,
+///     BiquadParams::paper_default(),
+///     DevicePopulation::FaultGrid(vec![Fault::F0ShiftPct(10.0), Fault::Open(ComponentRef::R1)]),
+///     AcceptanceBand::new(0.03)?,
+///     3.0,
+/// )?;
+/// let report = CampaignRunner::with_threads(2).run(&campaign)?;
+/// assert_eq!(report.devices(), 2);
+/// // Both gross faults are detected.
+/// assert_eq!(report.fault_coverage(), Some(1.0));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Campaign {
     /// The observation setup shared by every device of the campaign.

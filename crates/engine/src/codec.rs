@@ -64,8 +64,8 @@ impl SignatureLog {
     /// Decodes a log produced by [`SignatureLog::to_bytes`].
     ///
     /// Decoding never panics on malformed input: truncation reports
-    /// [`DsigError::Truncated`]; a bad magic, an impossible count or trailing
-    /// bytes report [`DsigError::Corrupt`]; and embedded-signature errors are
+    /// [`dsig_core::DsigError::Truncated`]; a bad magic, an impossible count or trailing
+    /// bytes report [`dsig_core::DsigError::Corrupt`]; and embedded-signature errors are
     /// propagated from [`Signature::from_bytes`].
     ///
     /// # Errors
@@ -91,7 +91,7 @@ impl SignatureLog {
     /// Writes the serialized log to a file.
     ///
     /// # Errors
-    /// Returns [`DsigError::Io`] on filesystem errors.
+    /// Returns [`dsig_core::DsigError::Io`] on filesystem errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         wire::save_bytes(path.as_ref(), &self.to_bytes(), "signature log")
     }
@@ -99,7 +99,7 @@ impl SignatureLog {
     /// Reads a log previously written with [`SignatureLog::save`].
     ///
     /// # Errors
-    /// Returns [`DsigError::Io`] on filesystem errors and decoding errors as
+    /// Returns [`dsig_core::DsigError::Io`] on filesystem errors and decoding errors as
     /// in [`SignatureLog::from_bytes`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         Self::from_bytes(&wire::load_bytes(path.as_ref(), "signature log")?)

@@ -13,7 +13,11 @@
 //!   per-device monitor process variation ([`xy_monitor::ProcessVariation`]);
 //! * [`CampaignRunner`] — a std-only scoped worker pool (chunked work queue
 //!   over `std::thread::scope`) with deterministic per-device seeding:
-//!   results are **bit-identical for every thread count**;
+//!   results are **bit-identical for every thread count**. Campaigns without
+//!   per-device monitor variation route through the shared-stimulus batched
+//!   capture fast path ([`dsig_core::batch`]) — one synthesized stimulus and
+//!   one set of precomputed monitor current terms per setup, several times
+//!   the per-device throughput, still bit-identical at every batch size;
 //! * [`GoldenCache`] — golden signatures characterized once per
 //!   `(setup, reference)` fingerprint, not once per device;
 //! * [`CampaignReport`] — streaming aggregation: NDF histogram, pass/fail

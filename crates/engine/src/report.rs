@@ -347,7 +347,7 @@ impl CampaignReport {
     /// Decodes a report produced by [`CampaignReport::to_bytes`].
     ///
     /// # Errors
-    /// Returns [`DsigError::Truncated`] / [`DsigError::Corrupt`] on malformed
+    /// Returns [`dsig_core::DsigError::Truncated`] / [`dsig_core::DsigError::Corrupt`] on malformed
     /// input; never panics.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = wire::ByteReader::new(bytes, "campaign report");
@@ -426,7 +426,7 @@ impl CampaignReport {
     /// Writes the serialized report to a file.
     ///
     /// # Errors
-    /// Returns [`DsigError::Io`] on filesystem errors.
+    /// Returns [`dsig_core::DsigError::Io`] on filesystem errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         wire::save_bytes(path.as_ref(), &self.to_bytes(), "campaign report")
     }
@@ -434,7 +434,7 @@ impl CampaignReport {
     /// Reads a report previously written with [`CampaignReport::save`].
     ///
     /// # Errors
-    /// Returns [`DsigError::Io`] on filesystem errors and decoding errors as
+    /// Returns [`dsig_core::DsigError::Io`] on filesystem errors and decoding errors as
     /// in [`CampaignReport::from_bytes`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         Self::from_bytes(&wire::load_bytes(path.as_ref(), "campaign report")?)

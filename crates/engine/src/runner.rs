@@ -1,24 +1,31 @@
 //! The campaign runner: fans device evaluations across a scoped worker pool,
-//! reusing one cached golden signature for the whole population.
+//! reusing one cached golden signature — and, on the batched fast path, one
+//! shared stimulus — for the whole population.
 
 use std::sync::Arc;
 
-use dsig_core::{ndf, peak_hamming_distance, Result, Signature, TestFlow, TestSetup};
+use dsig_core::{
+    capture_signatures_batch, ndf, peak_hamming_distance, BatchDevice, Result, SharedStimulus, Signature, StimulusBank,
+    TestFlow, TestSetup,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xy_monitor::ZonePartition;
 
 use crate::cache::GoldenCache;
-use crate::campaign::{Campaign, DevicePopulation};
+use crate::campaign::{Campaign, DevicePopulation, DeviceSpec};
 use crate::codec::SignatureLog;
 use crate::pool::{available_threads, parallel_map_indexed, DEFAULT_CHUNK};
 use crate::report::{CampaignReport, DeviceResult, DwellStats};
 
-/// Executes campaigns over a worker pool with a shared golden-signature cache.
+/// Executes campaigns over a worker pool with a shared golden-signature cache
+/// and a shared-stimulus bank for the batched capture fast path.
 pub struct CampaignRunner {
     threads: usize,
     chunk: usize,
+    batching: bool,
     cache: GoldenCache,
+    bank: StimulusBank,
 }
 
 /// What one worker produces per device: the result row, the observed
@@ -40,13 +47,26 @@ impl CampaignRunner {
         CampaignRunner {
             threads: threads.max(1),
             chunk: DEFAULT_CHUNK,
+            batching: true,
             cache: GoldenCache::new(),
+            bank: StimulusBank::new(),
         }
     }
 
-    /// Returns a copy with the given work-queue chunk size.
+    /// Returns a copy with the given work-queue chunk size. On the batched
+    /// fast path the chunk is also the capture batch size handed to each
+    /// worker; results are bit-identical for every chunk size.
     pub fn with_chunk_size(mut self, chunk: usize) -> Self {
         self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Returns a copy with the shared-stimulus batched capture fast path
+    /// enabled or disabled. Batching is on by default and bit-identical to
+    /// the per-device path; disabling it is only useful for benchmarking the
+    /// per-device reference (see the `campaign_throughput` bin).
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -59,6 +79,12 @@ impl CampaignRunner {
     /// executes).
     pub fn cache(&self) -> &GoldenCache {
         &self.cache
+    }
+
+    /// The shared-stimulus bank of the batched fast path (shared across
+    /// every campaign this runner executes).
+    pub fn stimulus_bank(&self) -> &StimulusBank {
+        &self.bank
     }
 
     /// Runs a campaign and aggregates a [`CampaignReport`].
@@ -88,9 +114,32 @@ impl CampaignRunner {
         let flow = self.cache.flow_for(&campaign.setup, &campaign.reference)?;
         let devices = campaign.device_count();
 
-        let outcomes = parallel_map_indexed(devices, self.threads, self.chunk, |index| {
-            evaluate_device(campaign, &flow, index)
-        });
+        // The batched fast path shares one stimulus (and its precomputed
+        // monitor terms) across the whole population; per-device monitor
+        // variation gives every device its own partition, so those campaigns
+        // keep the per-device path. Both paths are bit-identical.
+        let use_batch = self.batching && campaign.monitor_variation.is_none();
+        let outcomes: Vec<Result<DeviceOutcome>> = if use_batch {
+            let shared = self.bank.shared_for(&campaign.setup)?;
+            let chunks = devices.div_ceil(self.chunk);
+            let per_chunk = parallel_map_indexed(chunks, self.threads, 1, |chunk_index| {
+                let start = chunk_index * self.chunk;
+                let end = (start + self.chunk).min(devices);
+                evaluate_chunk_batched(campaign, &flow, &shared, start, end)
+            });
+            let mut flat = Vec::with_capacity(devices);
+            for chunk in per_chunk {
+                match chunk {
+                    Ok(scored) => flat.extend(scored.into_iter().map(Ok)),
+                    Err(e) => flat.push(Err(e)),
+                }
+            }
+            flat
+        } else {
+            parallel_map_indexed(devices, self.threads, self.chunk, |index| {
+                evaluate_device(campaign, &flow, index)
+            })
+        };
 
         let track_coverage = matches!(campaign.population, DevicePopulation::FaultGrid(_));
         let mut report = CampaignReport::new();
@@ -139,6 +188,38 @@ fn evaluate_device(campaign: &Campaign, flow: &Arc<TestFlow>, index: usize) -> R
         }
     };
 
+    score_device(campaign, flow, spec, observed)
+}
+
+/// Evaluates one chunk of the population through the batched capture fast
+/// path: materialize the specs, capture the chunk's signatures against the
+/// shared stimulus, and score each against the golden. Scratch buffers live
+/// per chunk, not per device.
+fn evaluate_chunk_batched(
+    campaign: &Campaign,
+    flow: &Arc<TestFlow>,
+    shared: &SharedStimulus,
+    start: usize,
+    end: usize,
+) -> Result<Vec<DeviceOutcome>> {
+    let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
+    let batch: Vec<BatchDevice> = specs.iter().map(|s| BatchDevice::new(s.cut, s.noise_seed)).collect();
+    let signatures = capture_signatures_batch(&campaign.setup, shared, &batch)?;
+    specs
+        .into_iter()
+        .zip(signatures)
+        .map(|(spec, observed)| score_device(campaign, flow, spec, observed))
+        .collect()
+}
+
+/// Scores one observed signature against the campaign's golden: NDF, peak
+/// Hamming distance, dwell statistics and the PASS/FAIL outcome.
+fn score_device(
+    campaign: &Campaign,
+    flow: &Arc<TestFlow>,
+    spec: DeviceSpec,
+    observed: Signature,
+) -> Result<DeviceOutcome> {
     let golden = flow.golden();
     let ndf_value = ndf(golden, &observed)?;
     let peak_hamming = peak_hamming_distance(golden, &observed)?;
@@ -147,7 +228,7 @@ fn evaluate_device(campaign: &Campaign, flow: &Arc<TestFlow>, index: usize) -> R
         dwell.record(entry.duration);
     }
     let result = DeviceResult {
-        index,
+        index: spec.index,
         label: spec.label,
         true_deviation_pct: spec.true_deviation_pct,
         ndf: ndf_value,
@@ -243,6 +324,46 @@ mod tests {
                 "replayed NDF must match the live run bit-for-bit"
             );
         }
+    }
+
+    #[test]
+    fn batched_path_is_bit_identical_to_per_device_path() {
+        let c = campaign(DevicePopulation::MonteCarlo {
+            devices: 30,
+            sigma_pct: 4.0,
+        });
+        let per_device = CampaignRunner::with_threads(2).with_batching(false).run(&c).unwrap();
+        for chunk in [1, 7, 64] {
+            let batched = CampaignRunner::with_threads(2).with_chunk_size(chunk).run(&c).unwrap();
+            assert_eq!(batched, per_device, "batched chunk {chunk} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_path_matches_per_device_under_noise() {
+        let mut c = campaign(DevicePopulation::MonteCarlo {
+            devices: 12,
+            sigma_pct: 3.0,
+        });
+        c.setup = c.setup.clone().with_noise(sim_signal::NoiseModel::paper_default());
+        let per_device = CampaignRunner::with_threads(1).with_batching(false).run(&c).unwrap();
+        let batched = CampaignRunner::with_threads(4).with_chunk_size(5).run(&c).unwrap();
+        assert_eq!(batched, per_device, "noisy batched campaign diverged");
+    }
+
+    #[test]
+    fn stimulus_bank_is_shared_across_campaigns() {
+        let runner = CampaignRunner::with_threads(2);
+        let a = campaign(DevicePopulation::F0Sweep(vec![-5.0, 0.0, 5.0]));
+        let b = campaign(DevicePopulation::MonteCarlo {
+            devices: 4,
+            sigma_pct: 1.0,
+        });
+        runner.run(&a).unwrap();
+        runner.run(&b).unwrap();
+        assert_eq!(runner.stimulus_bank().len(), 1, "same setup must share one stimulus");
+        assert_eq!(runner.stimulus_bank().misses(), 1);
+        assert_eq!(runner.stimulus_bank().hits(), 1);
     }
 
     #[test]

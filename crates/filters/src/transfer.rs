@@ -160,6 +160,24 @@ impl BiquadParams {
     /// Each tone of the stimulus is scaled by `|H|` and shifted by `arg H`;
     /// the DC offset is scaled by `H(0)`.
     pub fn steady_state_response(&self, stimulus: &MultitoneSpec, periods: u32, sample_rate: f64) -> Waveform {
+        let mut samples = Vec::new();
+        self.steady_state_response_into(stimulus, periods, sample_rate, &mut samples);
+        Waveform::new(0.0, sample_rate, samples)
+    }
+
+    /// Like [`BiquadParams::steady_state_response`], but synthesizes into a
+    /// caller-owned buffer (cleared first). This is the allocation-free
+    /// primitive behind the batched capture fast path; the sample values are
+    /// bit-identical to the waveform-returning variant (same grid, same
+    /// operation order).
+    pub fn steady_state_response_into(
+        &self,
+        stimulus: &MultitoneSpec,
+        periods: u32,
+        sample_rate: f64,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
         let h0 = self.response(0.0).re;
         let w0 = 2.0 * std::f64::consts::PI * stimulus.fundamental_hz();
         let tones: Vec<(f64, f64, f64)> = stimulus
@@ -176,9 +194,13 @@ impl BiquadParams {
             })
             .collect();
         let offset = stimulus.offset() * h0;
-        Waveform::from_fn(0.0, stimulus.period() * periods as f64, sample_rate, move |t| {
-            offset + tones.iter().map(|&(a, w, p)| a * (w * t + p).sin()).sum::<f64>()
-        })
+        let n = (stimulus.period() * periods as f64 * sample_rate).round() as usize;
+        out.clear();
+        out.reserve(n);
+        for k in 0..n {
+            let t = k as f64 / sample_rate;
+            out.push(offset + tones.iter().map(|&(a, w, p)| a * (w * t + p).sin()).sum::<f64>());
+        }
     }
 }
 

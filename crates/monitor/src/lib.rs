@@ -50,3 +50,9 @@ pub use error::{MonitorError, Result};
 pub use table1::{comparator_for_row, table1_comparators, table1_rows, Table1Row, MONITOR_VDD};
 pub use variation::{monte_carlo_envelope, BoundaryEnvelope, ProcessVariation};
 pub use zoner::{hamming_distance, ZonePartition};
+
+// The comparator's public `transistors` field is made of `MosParams`, so the
+// transistor model (and the current law the boundaries derive from) is part
+// of this crate's API surface; re-export both so downstream crates don't need
+// a direct `sim-spice` dependency to evaluate monitor branch currents.
+pub use sim_spice::devices::{saturation_current, MosParams};

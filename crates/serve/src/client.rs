@@ -12,6 +12,31 @@ use crate::error::{Result, ServeError};
 use crate::proto::{decode_response, encode_request, read_frame, write_frame, ErrorCode, ScoreResult, ScreenResponse};
 
 /// A blocking client over one TCP connection.
+///
+/// # Examples
+///
+/// Screen one observed signature against a served golden:
+///
+/// ```
+/// use std::sync::Arc;
+/// use cut_filters::BiquadParams;
+/// use dsig_core::{AcceptanceBand, TestSetup};
+/// use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let setup = TestSetup::paper_default()?.with_sample_rate(1e6)?;
+/// let reference = BiquadParams::paper_default();
+/// let store = Arc::new(GoldenStore::new());
+/// let key = store.characterize(&setup, &reference, AcceptanceBand::new(0.03)?)?;
+/// let server = Server::bind("127.0.0.1:0", store, ServeConfig::default())?;
+///
+/// let observed = setup.signature_of(&reference, 7)?;
+/// let mut client = ServeClient::connect(server.local_addr())?;
+/// let score = client.screen_one(key, &observed)?;
+/// assert_eq!(score.ndf, 0.0, "the nominal device matches its golden exactly");
+/// # Ok(())
+/// # }
+/// ```
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,

@@ -10,13 +10,16 @@
 //! fingerprint changes with it — bump [`STORE_VERSION`] in that case so stale
 //! stores are rejected at load time instead of missing every lookup.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use cut_filters::BiquadParams;
-use dsig_core::{wire, AcceptanceBand, DsigError, Signature, TestFlow, TestSetup};
+use dsig_core::{
+    capture_signatures_batch, wire, AcceptanceBand, BatchDevice, DsigError, Signature, StimulusBank, TestSetup,
+};
 use dsig_engine::golden_fingerprint;
+use sim_signal::NoiseModel;
 
 use crate::error::Result;
 
@@ -45,6 +48,9 @@ pub struct GoldenRecord {
 #[derive(Debug, Default)]
 pub struct GoldenStore {
     records: RwLock<HashMap<u64, Arc<GoldenRecord>>>,
+    /// Shared-stimulus cache of the batched capture fast path: references
+    /// characterized against the same setup share one synthesized stimulus.
+    bank: StimulusBank,
 }
 
 impl GoldenStore {
@@ -77,20 +83,91 @@ impl GoldenStore {
     /// old one.
     ///
     /// # Errors
-    /// Propagates golden-capture errors from [`TestFlow::new`].
+    /// Propagates golden-capture errors.
     pub fn characterize(&self, setup: &TestSetup, reference: &BiquadParams, band: AcceptanceBand) -> Result<u64> {
-        let key = golden_fingerprint(setup, reference);
-        match self.get(key) {
-            Some(record) if record.band == band => {}
-            Some(record) => {
-                self.insert(key, record.golden.clone(), band);
-            }
-            None => {
-                let flow = TestFlow::new(setup.clone(), *reference)?;
-                self.insert(key, flow.golden().clone(), band);
+        Ok(self.characterize_batch(setup, std::slice::from_ref(reference), band)?[0])
+    }
+
+    /// Characterizes a whole lot of references sharing one setup through the
+    /// shared-stimulus batched capture fast path
+    /// ([`dsig_core::capture_signatures_batch`]): the stimulus and the
+    /// monitor current terms are synthesized once (and cached in the store's
+    /// [`StimulusBank`] across calls), then every golden still missing from
+    /// the store is captured against them in one batch. Returns one
+    /// fingerprint per reference, in input order.
+    ///
+    /// Each captured golden is bit-identical to what the single-reference
+    /// path produced before batching existed (the per-device capture of
+    /// [`dsig_core::TestFlow::new`]); already-stored fingerprints skip the
+    /// capture but always adopt the caller's band, exactly like
+    /// [`GoldenStore::characterize`].
+    ///
+    /// # Errors
+    /// Propagates golden-capture errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_filters::BiquadParams;
+    /// use dsig_core::{AcceptanceBand, TestSetup};
+    /// use dsig_serve::GoldenStore;
+    ///
+    /// # fn main() -> Result<(), dsig_serve::ServeError> {
+    /// let setup = TestSetup::paper_default()?.with_sample_rate(1e6)?;
+    /// // Characterize three golden variants (e.g. binning corners) at once.
+    /// let lot: Vec<BiquadParams> = [-1.0, 0.0, 1.0]
+    ///     .iter()
+    ///     .map(|&d| BiquadParams::paper_default().with_f0_shift_pct(d))
+    ///     .collect();
+    /// let store = GoldenStore::new();
+    /// let keys = store.characterize_batch(&setup, &lot, AcceptanceBand::new(0.03)?)?;
+    /// assert_eq!(keys.len(), 3);
+    /// assert_eq!(store.len(), 3);
+    /// // The single-reference path resolves to the same fingerprints.
+    /// assert_eq!(store.characterize(&setup, &lot[1], AcceptanceBand::new(0.03)?)?, keys[1]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn characterize_batch(
+        &self,
+        setup: &TestSetup,
+        references: &[BiquadParams],
+        band: AcceptanceBand,
+    ) -> Result<Vec<u64>> {
+        let keys: Vec<u64> = references.iter().map(|r| golden_fingerprint(setup, r)).collect();
+
+        // Split the lot into stored fingerprints (adopt the caller's band,
+        // skip the capture — the golden is deterministic) and missing ones.
+        let mut missing: Vec<(usize, BatchDevice)> = Vec::new();
+        let mut queued: HashSet<u64> = HashSet::new();
+        for (i, (reference, &key)) in references.iter().zip(&keys).enumerate() {
+            match self.get(key) {
+                Some(record) if record.band == band => {}
+                Some(record) => {
+                    self.insert(key, record.golden.clone(), band);
+                }
+                None => {
+                    if queued.insert(key) {
+                        // A golden is a characterization-time artifact: the
+                        // capture is noiseless with a fixed seed.
+                        missing.push((i, BatchDevice::new(*reference, 0)));
+                    }
+                }
             }
         }
-        Ok(key)
+        if !missing.is_empty() {
+            let noiseless = TestSetup {
+                noise: NoiseModel::none(),
+                ..setup.clone()
+            };
+            let shared = self.bank.shared_for(&noiseless)?;
+            let batch: Vec<BatchDevice> = missing.iter().map(|&(_, device)| device).collect();
+            let goldens = capture_signatures_batch(&noiseless, &shared, &batch)?;
+            for ((i, _), golden) in missing.iter().zip(goldens) {
+                self.insert(keys[*i], golden, band);
+            }
+        }
+        Ok(keys)
     }
 
     /// Looks up a golden by fingerprint.
@@ -170,6 +247,7 @@ impl GoldenStore {
         r.finish()?;
         Ok(GoldenStore {
             records: RwLock::new(records),
+            bank: StimulusBank::new(),
         })
     }
 
@@ -254,6 +332,33 @@ mod tests {
         let other = store.characterize(&setup, &shifted, band(0.03)).unwrap();
         assert_ne!(other, key);
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn characterize_batch_matches_the_per_device_flow_golden() {
+        let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+        let references: Vec<BiquadParams> = [-2.0, 0.0, 3.0, 0.0]
+            .iter()
+            .map(|&d| BiquadParams::paper_default().with_f0_shift_pct(d))
+            .collect();
+        let store = GoldenStore::new();
+        let keys = store.characterize_batch(&setup, &references, band(0.03)).unwrap();
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys[1], keys[3], "duplicate references share a fingerprint");
+        assert_eq!(store.len(), 3, "duplicates must be captured once");
+        // Every batched golden is bit-identical to the per-device capture of
+        // TestFlow::new — the path `characterize` used before batching.
+        for (reference, &key) in references.iter().zip(&keys) {
+            let flow = dsig_core::TestFlow::new(setup.clone(), *reference).unwrap();
+            assert_eq!(store.get(key).unwrap().golden, *flow.golden());
+        }
+        // Re-characterizing hits the store but adopts the new band.
+        let again = store.characterize_batch(&setup, &references, band(0.01)).unwrap();
+        assert_eq!(again, keys);
+        assert!(store
+            .keys()
+            .iter()
+            .all(|&k| store.get(k).unwrap().band.ndf_threshold == 0.01));
     }
 
     #[test]

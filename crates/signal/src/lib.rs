@@ -8,7 +8,7 @@
 //! * [`MultitoneSpec`] — the harmonically related multitone stimulus used to
 //!   excite the circuit under test (§II of the paper);
 //! * [`NoiseModel`] — additive white Gaussian measurement noise (§IV-C);
-//! * [`fft`] — spectrum utilities used by tests and benches;
+//! * [`fft`](mod@fft) — spectrum utilities used by tests and benches;
 //! * [`metrics`] — waveform error metrics used by the baseline methods;
 //! * [`Lissajous`] — X-Y composition of two signals.
 //!
@@ -42,4 +42,4 @@ pub use lissajous::Lissajous;
 pub use metrics::{correlation, max_abs_error, mean_squared_error, normalized_rms_error, rms_error};
 pub use multitone::{MultitoneSpec, ToneSpec};
 pub use noise::{standard_normal, NoiseModel};
-pub use waveform::{SignalError, Waveform};
+pub use waveform::{lowpass_in_place, SignalError, Waveform};

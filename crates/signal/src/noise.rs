@@ -65,12 +65,33 @@ impl NoiseModel {
     /// Returns a copy of `waveform` with independent noise added to every
     /// sample, using a deterministic seed.
     pub fn apply(&self, waveform: &Waveform, seed: u64) -> Waveform {
-        if self.sigma == 0.0 && self.mean == 0.0 {
+        if self.is_none() {
             return waveform.clone();
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let samples: Vec<f64> = waveform.samples().iter().map(|&x| x + self.sample(&mut rng)).collect();
+        let mut samples = waveform.samples().to_vec();
+        self.apply_in_place(&mut samples, seed);
         Waveform::new(waveform.start_time(), waveform.sample_rate(), samples)
+    }
+
+    /// Adds independent noise to every sample in place — the allocation-free
+    /// primitive behind the batched capture fast path. For a given seed the
+    /// realisation is bit-identical to [`NoiseModel::apply`] (same generator,
+    /// same draw order, same addition).
+    pub fn apply_in_place(&self, samples: &mut [f64], seed: u64) {
+        if self.is_none() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for x in samples.iter_mut() {
+            *x += self.sample(&mut rng);
+        }
+    }
+
+    /// Whether the model is a no-op (zero sigma and zero mean): applying it
+    /// returns the input unchanged, which is what lets capture paths share
+    /// one noiseless observed stimulus across devices.
+    pub fn is_none(&self) -> bool {
+        self.sigma == 0.0 && self.mean == 0.0
     }
 }
 

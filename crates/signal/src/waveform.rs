@@ -263,28 +263,36 @@ impl Waveform {
     /// signals well below the cutoff pass essentially unchanged. The filter
     /// state is initialized to the first sample to avoid a start-up step.
     pub fn lowpass(&self, cutoff_hz: f64) -> Waveform {
-        assert!(cutoff_hz > 0.0, "cutoff frequency must be positive");
-        if self.samples.is_empty() {
-            return self.clone();
-        }
-        let alpha = {
-            let rc = 1.0 / (2.0 * std::f64::consts::PI * cutoff_hz);
-            self.dt() / (self.dt() + rc)
-        };
-        let mut state = self.samples[0];
-        let samples = self
-            .samples
-            .iter()
-            .map(|&x| {
-                state += alpha * (x - state);
-                state
-            })
-            .collect();
+        let mut samples = self.samples.clone();
+        lowpass_in_place(&mut samples, self.dt(), cutoff_hz);
         Waveform {
             start_time: self.start_time,
             sample_rate: self.sample_rate,
             samples,
         }
+    }
+}
+
+/// In-place version of [`Waveform::lowpass`] over raw samples with period
+/// `dt` seconds: the allocation-free primitive behind the batched capture
+/// fast path. Produces bit-identical results to [`Waveform::lowpass`] (same
+/// recurrence, same operation order).
+///
+/// # Panics
+/// Panics if `cutoff_hz` is not strictly positive.
+pub fn lowpass_in_place(samples: &mut [f64], dt: f64, cutoff_hz: f64) {
+    assert!(cutoff_hz > 0.0, "cutoff frequency must be positive");
+    let Some(&first) = samples.first() else {
+        return;
+    };
+    let alpha = {
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * cutoff_hz);
+        dt / (dt + rc)
+    };
+    let mut state = first;
+    for x in samples.iter_mut() {
+        state += alpha * (*x - state);
+        *x = state;
     }
 }
 

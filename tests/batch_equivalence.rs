@@ -1,0 +1,95 @@
+//! Property test of the shared-stimulus batched capture fast path: over
+//! random setups (sample rate, monitor bandwidth, capture clock, measurement
+//! noise) and random lots (deviations, seeds, batch sizes), batched capture
+//! must be bit-identical to the per-device reference path — signature by
+//! signature, entry by entry.
+
+use analog_signature::dsig::{
+    capture_signatures_batch, BatchDevice, CaptureClock, SharedStimulus, StimulusBank, TestSetup,
+};
+use analog_signature::filters::BiquadParams;
+use analog_signature::signal::NoiseModel;
+use proptest::prelude::*;
+
+/// Materializes a random-but-valid observation setup from generated knobs.
+fn setup_from(rate_step: u32, bandwidth_khz: u32, clock_bits: u32, noise_sigma_mv: f64) -> TestSetup {
+    let mut setup = TestSetup::paper_default()
+        .expect("setup")
+        // 0.5, 1.0, 1.5 or 2.0 MS/s — all resolve the stimulus comfortably.
+        .with_sample_rate(0.5e6 * f64::from(rate_step))
+        .expect("rate");
+    // 0 disables the front-end bandwidth limit; otherwise 100..=420 kHz.
+    setup.monitor_bandwidth_hz = if bandwidth_khz == 0 {
+        None
+    } else {
+        Some(f64::from(bandwidth_khz) * 1e3)
+    };
+    // 0 disables the capture clock (exact dwell times).
+    setup.clock = if clock_bits == 0 {
+        None
+    } else {
+        Some(CaptureClock::new(10e6, clock_bits).expect("clock"))
+    };
+    setup.noise = NoiseModel::new(noise_sigma_mv * 1e-3);
+    setup
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_capture_equals_per_device_capture(
+        knobs in (1u32..5, 0u32..421, 0u32..13, 0.0..8.0f64),
+        lot in prop::collection::vec((-18.0..18.0f64, 0u64..1_000_000), 1..9),
+    ) {
+        let (rate_step, bandwidth_khz, clock_bits, noise_sigma_mv) = knobs;
+        // Sub-100 kHz bandwidths would chop into the stimulus band itself;
+        // clamp the generated value into {None} ∪ [100, 420] kHz.
+        let bandwidth_khz = if bandwidth_khz < 100 { 0 } else { bandwidth_khz };
+        let setup = setup_from(rate_step, bandwidth_khz, clock_bits, noise_sigma_mv);
+
+        let devices: Vec<BatchDevice> = lot
+            .iter()
+            .map(|&(deviation, seed)| {
+                BatchDevice::new(BiquadParams::paper_default().with_f0_shift_pct(deviation), seed)
+            })
+            .collect();
+
+        let shared = SharedStimulus::new(&setup).expect("shared stimulus");
+        let batched = capture_signatures_batch(&setup, &shared, &devices).expect("batched capture");
+        prop_assert_eq!(batched.len(), devices.len());
+        for (device, batched_sig) in devices.iter().zip(&batched) {
+            let per_device = setup
+                .signature_of(&device.cut, device.noise_seed)
+                .expect("per-device capture");
+            prop_assert_eq!(batched_sig.len(), per_device.len());
+            for (a, b) in batched_sig.entries().iter().zip(per_device.entries()) {
+                prop_assert_eq!(a.code, b.code, "zone codes diverged");
+                prop_assert_eq!(
+                    a.duration.to_bits(),
+                    b.duration.to_bits(),
+                    "dwell times must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_reuse_does_not_change_results(
+        deviation in -15.0..15.0f64,
+        seed in 0u64..1_000_000,
+    ) {
+        // Fetching the shared stimulus from a bank (hit or miss) must not
+        // change anything: the entry is a pure function of the setup.
+        let setup = TestSetup::paper_default().expect("setup").with_sample_rate(1e6).expect("rate");
+        let bank = StimulusBank::new();
+        let device = [BatchDevice::new(BiquadParams::paper_default().with_f0_shift_pct(deviation), seed)];
+        let first = capture_signatures_batch(&setup, &bank.shared_for(&setup).expect("miss"), &device)
+            .expect("capture via miss");
+        let second = capture_signatures_batch(&setup, &bank.shared_for(&setup).expect("hit"), &device)
+            .expect("capture via hit");
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(bank.misses(), 1);
+        prop_assert!(bank.hits() >= 1);
+    }
+}

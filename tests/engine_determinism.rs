@@ -80,6 +80,31 @@ fn parallel_campaign_matches_serial_loop_bit_for_bit() {
 }
 
 #[test]
+fn batched_capture_is_bit_identical_at_every_batch_size_and_thread_count() {
+    // The shared-stimulus batched fast path must reproduce the per-device
+    // reference bit-for-bit at every capture batch size (= runner chunk) and
+    // thread count — including under measurement noise, where each device
+    // still draws its own x/y noise realisations.
+    let campaign = campaign();
+    let reference = CampaignRunner::with_threads(1)
+        .with_batching(false)
+        .run(&campaign)
+        .expect("per-device reference run");
+    for chunk in [1usize, 7, 64] {
+        for threads in [1usize, 8] {
+            let report = CampaignRunner::with_threads(threads)
+                .with_chunk_size(chunk)
+                .run(&campaign)
+                .expect("batched run");
+            assert_eq!(
+                report, reference,
+                "batch size {chunk} x {threads} thread(s) diverged from the per-device reference"
+            );
+        }
+    }
+}
+
+#[test]
 fn full_reports_are_identical_across_thread_counts() {
     let campaign = campaign();
     let reference = CampaignRunner::with_threads(1).run(&campaign).expect("serial run");

@@ -95,6 +95,42 @@ fn loopback_screening_is_bit_identical_to_direct_scoring() {
 }
 
 #[test]
+fn batch_characterization_serves_identical_goldens() {
+    // A store populated through the batched characterization fast path must
+    // be indistinguishable from one built reference-by-reference, and must
+    // serve decisions bit-identical to direct TestFlow scoring.
+    let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+    let band = AcceptanceBand::new(0.03).unwrap();
+    let references: Vec<BiquadParams> = [-5.0, 0.0, 5.0]
+        .iter()
+        .map(|&d| BiquadParams::paper_default().with_f0_shift_pct(d))
+        .collect();
+
+    let batch_store = Arc::new(GoldenStore::new());
+    let keys = batch_store.characterize_batch(&setup, &references, band).unwrap();
+    let single_store = GoldenStore::new();
+    for reference in &references {
+        single_store.characterize(&setup, reference, band).unwrap();
+    }
+    assert_eq!(batch_store.keys(), single_store.keys());
+    for &key in &keys {
+        assert_eq!(*batch_store.get(key).unwrap(), *single_store.get(key).unwrap());
+    }
+
+    // Screen a deviated device against the nominal golden over loopback and
+    // compare with direct TestFlow scoring.
+    let flow = analog_signature::dsig::TestFlow::new(setup.clone(), references[1]).unwrap();
+    let cut = references[1].with_f0_shift_pct(8.0);
+    let observed = setup.signature_of(&cut, 7).unwrap();
+    let direct = flow.evaluate(&cut, 7).unwrap();
+    let server = Server::bind("127.0.0.1:0", batch_store, ServeConfig::with_shards(2)).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let score = client.screen_one(keys[1], &observed).unwrap();
+    assert_eq!(score.ndf.to_bits(), direct.ndf.to_bits());
+    assert_eq!(score.peak_hamming, direct.peak_hamming);
+}
+
+#[test]
 fn in_process_handle_matches_tcp_path() {
     let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
     let reference = BiquadParams::paper_default();
