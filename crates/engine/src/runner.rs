@@ -12,11 +12,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xy_monitor::ZonePartition;
 
-use crate::cache::GoldenCache;
+use crate::cache::{golden_fingerprint, GoldenCache};
 use crate::campaign::{Campaign, DevicePopulation, DeviceSpec};
 use crate::codec::SignatureLog;
 use crate::pool::{available_threads, parallel_map_indexed, DEFAULT_CHUNK};
 use crate::report::{CampaignReport, DeviceResult, DwellStats};
+use crate::score::{RemoteScorer, ScoreTarget};
 
 /// Executes campaigns over a worker pool with a shared golden-signature cache
 /// and a shared-stimulus bank for the batched capture fast path.
@@ -98,7 +99,27 @@ impl CampaignRunner {
     /// Propagates setup, capture and comparison errors; the first failing
     /// device (in index order) wins.
     pub fn run(&self, campaign: &Campaign) -> Result<CampaignReport> {
-        Ok(self.run_internal(campaign, false)?.0)
+        Ok(self.run_internal(campaign, false, ScoreTarget::Local)?.0)
+    }
+
+    /// Runs a campaign scoring through the given [`ScoreTarget`]: captures
+    /// stay on the runner's worker pool, while verdicts come from the target
+    /// — [`ScoreTarget::Local`] scores against the cached golden exactly like
+    /// [`CampaignRunner::run`]; [`ScoreTarget::Remote`] ships each captured
+    /// chunk to a serving or routing tier addressed by the campaign's
+    /// [`golden_fingerprint`]. This is how a campaign shards its scoring
+    /// across processes or hosts.
+    ///
+    /// Remote reports are bit-identical to local ones when the remote golden
+    /// was characterized from the same `(setup, reference)` with the same
+    /// acceptance band, because scoring is a pure function of
+    /// `(golden, observed, band)`.
+    ///
+    /// # Errors
+    /// As for [`CampaignRunner::run`], plus remote scoring errors
+    /// ([`dsig_core::DsigError::Remote`]).
+    pub fn run_with_target(&self, campaign: &Campaign, target: ScoreTarget<'_>) -> Result<CampaignReport> {
+        Ok(self.run_internal(campaign, false, target)?.0)
     }
 
     /// Like [`CampaignRunner::run`], additionally returning the log of every
@@ -107,11 +128,25 @@ impl CampaignRunner {
     /// # Errors
     /// Propagates setup, capture and comparison errors.
     pub fn run_logged(&self, campaign: &Campaign) -> Result<(CampaignReport, SignatureLog)> {
-        self.run_internal(campaign, true)
+        self.run_internal(campaign, true, ScoreTarget::Local)
     }
 
-    fn run_internal(&self, campaign: &Campaign, keep_signatures: bool) -> Result<(CampaignReport, SignatureLog)> {
-        let flow = self.cache.flow_for(&campaign.setup, &campaign.reference)?;
+    fn run_internal(
+        &self,
+        campaign: &Campaign,
+        keep_signatures: bool,
+        target: ScoreTarget<'_>,
+    ) -> Result<(CampaignReport, SignatureLog)> {
+        // The local path scores against the cached golden; the remote path
+        // never characterizes locally — the target's store holds the golden,
+        // addressed by the campaign's fingerprint.
+        let scorer = match target {
+            ScoreTarget::Local => Scorer::Local(self.cache.flow_for(&campaign.setup, &campaign.reference)?),
+            ScoreTarget::Remote(remote) => Scorer::Remote {
+                remote,
+                key: golden_fingerprint(&campaign.setup, &campaign.reference),
+            },
+        };
         let devices = campaign.device_count();
 
         // The batched fast path shares one stimulus (and its precomputed
@@ -125,7 +160,7 @@ impl CampaignRunner {
             let per_chunk = parallel_map_indexed(chunks, self.threads, 1, |chunk_index| {
                 let start = chunk_index * self.chunk;
                 let end = (start + self.chunk).min(devices);
-                evaluate_chunk_batched(campaign, &flow, &shared, start, end)
+                evaluate_chunk_batched(campaign, &scorer, &shared, start, end)
             });
             let mut flat = Vec::with_capacity(devices);
             for chunk in per_chunk {
@@ -136,9 +171,22 @@ impl CampaignRunner {
             }
             flat
         } else {
-            parallel_map_indexed(devices, self.threads, self.chunk, |index| {
-                evaluate_device(campaign, &flow, index)
-            })
+            // The per-device path also works in chunks, so remote scoring
+            // ships one request per chunk instead of one per device.
+            let chunks = devices.div_ceil(self.chunk);
+            let per_chunk = parallel_map_indexed(chunks, self.threads, 1, |chunk_index| {
+                let start = chunk_index * self.chunk;
+                let end = (start + self.chunk).min(devices);
+                evaluate_chunk_per_device(campaign, &scorer, start, end)
+            });
+            let mut flat = Vec::with_capacity(devices);
+            for chunk in per_chunk {
+                match chunk {
+                    Ok(scored) => flat.extend(scored.into_iter().map(Ok)),
+                    Err(e) => flat.push(Err(e)),
+                }
+            }
+            flat
         };
 
         let track_coverage = matches!(campaign.population, DevicePopulation::FaultGrid(_));
@@ -161,43 +209,59 @@ impl Default for CampaignRunner {
     }
 }
 
-/// Evaluates one device: materialize its spec, observe it through the
-/// campaign setup (with a per-device varied monitor bank when the campaign
-/// asks for it), and score it against the shared golden signature.
-fn evaluate_device(campaign: &Campaign, flow: &Arc<TestFlow>, index: usize) -> Result<DeviceOutcome> {
-    let spec = campaign.device(index)?;
+/// Where a worker's captured signatures get their verdicts: the local cached
+/// golden, or a remote scoring tier addressed by the campaign fingerprint.
+enum Scorer<'a> {
+    Local(Arc<TestFlow>),
+    Remote { remote: &'a dyn RemoteScorer, key: u64 },
+}
 
-    let observed = match &campaign.monitor_variation {
-        None => campaign.setup.signature_of(&spec.cut, spec.noise_seed)?,
-        Some(variation) => {
-            // Each production device is observed by its own imperfect monitor
-            // instance (process + mismatch), as in the Fig. 4 envelope.
-            let mut rng = StdRng::seed_from_u64(spec.monitor_seed);
-            let varied: Vec<_> = campaign
-                .setup
-                .partition
-                .monitors()
-                .iter()
-                .map(|monitor| variation.sample_comparator(monitor, &mut rng))
-                .collect::<std::result::Result<_, _>>()?;
-            let setup = TestSetup {
-                partition: ZonePartition::new(varied)?,
-                ..campaign.setup.clone()
-            };
-            setup.signature_of(&spec.cut, spec.noise_seed)?
-        }
-    };
-
-    score_device(campaign, flow, spec, observed)
+/// Evaluates one chunk of the population through the per-device capture
+/// path: each device is observed individually (with a per-device varied
+/// monitor bank when the campaign asks for it), then the chunk is scored in
+/// one go — one remote request per chunk on the remote path.
+fn evaluate_chunk_per_device(
+    campaign: &Campaign,
+    scorer: &Scorer<'_>,
+    start: usize,
+    end: usize,
+) -> Result<Vec<DeviceOutcome>> {
+    let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
+    let observed: Vec<Signature> = specs
+        .iter()
+        .map(|spec| match &campaign.monitor_variation {
+            None => campaign.setup.signature_of(&spec.cut, spec.noise_seed),
+            Some(variation) => {
+                // Each production device is observed by its own imperfect
+                // monitor instance (process + mismatch), as in the Fig. 4
+                // envelope.
+                let mut rng = StdRng::seed_from_u64(spec.monitor_seed);
+                let varied: Vec<_> = campaign
+                    .setup
+                    .partition
+                    .monitors()
+                    .iter()
+                    .map(|monitor| variation.sample_comparator(monitor, &mut rng))
+                    .collect::<std::result::Result<_, _>>()?;
+                let setup = TestSetup {
+                    partition: ZonePartition::new(varied)?,
+                    ..campaign.setup.clone()
+                };
+                setup.signature_of(&spec.cut, spec.noise_seed)
+            }
+        })
+        .collect::<Result<_>>()?;
+    score_batch(campaign, scorer, specs, observed)
 }
 
 /// Evaluates one chunk of the population through the batched capture fast
 /// path: materialize the specs, capture the chunk's signatures against the
-/// shared stimulus, and score each against the golden. Scratch buffers live
-/// per chunk, not per device.
+/// shared stimulus, and score the chunk through the scorer (one remote
+/// request per chunk on the remote path). Scratch buffers live per chunk,
+/// not per device.
 fn evaluate_chunk_batched(
     campaign: &Campaign,
-    flow: &Arc<TestFlow>,
+    scorer: &Scorer<'_>,
     shared: &SharedStimulus,
     start: usize,
     end: usize,
@@ -205,24 +269,67 @@ fn evaluate_chunk_batched(
     let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
     let batch: Vec<BatchDevice> = specs.iter().map(|s| BatchDevice::new(s.cut, s.noise_seed)).collect();
     let signatures = capture_signatures_batch(&campaign.setup, shared, &batch)?;
-    specs
-        .into_iter()
-        .zip(signatures)
-        .map(|(spec, observed)| score_device(campaign, flow, spec, observed))
-        .collect()
+    score_batch(campaign, scorer, specs, signatures)
 }
 
-/// Scores one observed signature against the campaign's golden: NDF, peak
-/// Hamming distance, dwell statistics and the PASS/FAIL outcome.
-fn score_device(
+/// Scores one captured chunk: locally against the cached golden (NDF, peak
+/// Hamming, the campaign band's PASS/FAIL), or remotely in one batched
+/// screening request. Dwell statistics always come from the local capture.
+fn score_batch(
     campaign: &Campaign,
-    flow: &Arc<TestFlow>,
+    scorer: &Scorer<'_>,
+    specs: Vec<DeviceSpec>,
+    observed: Vec<Signature>,
+) -> Result<Vec<DeviceOutcome>> {
+    match scorer {
+        Scorer::Local(flow) => specs
+            .into_iter()
+            .zip(observed)
+            .map(|(spec, observed)| {
+                let golden = flow.golden();
+                let ndf_value = ndf(golden, &observed)?;
+                let peak_hamming = peak_hamming_distance(golden, &observed)?;
+                Ok(device_outcome(campaign, spec, observed, ndf_value, peak_hamming, None))
+            })
+            .collect(),
+        Scorer::Remote { remote, key } => {
+            let scores = remote.screen_remote(*key, &observed)?;
+            if scores.len() != observed.len() {
+                return Err(dsig_core::DsigError::Remote(format!(
+                    "remote target returned {} scores for {} signatures",
+                    scores.len(),
+                    observed.len()
+                )));
+            }
+            Ok(specs
+                .into_iter()
+                .zip(observed)
+                .zip(scores)
+                .map(|((spec, observed), score)| {
+                    device_outcome(
+                        campaign,
+                        spec,
+                        observed,
+                        score.ndf,
+                        score.peak_hamming,
+                        Some(score.outcome),
+                    )
+                })
+                .collect())
+        }
+    }
+}
+
+/// Assembles one device's outcome row. `remote_outcome` carries the decision
+/// of the remote golden's acceptance band; locally the campaign band decides.
+fn device_outcome(
+    campaign: &Campaign,
     spec: DeviceSpec,
     observed: Signature,
-) -> Result<DeviceOutcome> {
-    let golden = flow.golden();
-    let ndf_value = ndf(golden, &observed)?;
-    let peak_hamming = peak_hamming_distance(golden, &observed)?;
+    ndf_value: f64,
+    peak_hamming: u32,
+    remote_outcome: Option<dsig_core::TestOutcome>,
+) -> DeviceOutcome {
     let mut dwell = DwellStats::new();
     for entry in observed.entries() {
         dwell.record(entry.duration);
@@ -234,13 +341,13 @@ fn score_device(
         ndf: ndf_value,
         peak_hamming,
         observed_zones: observed.len(),
-        outcome: campaign.band.decide(ndf_value),
+        outcome: remote_outcome.unwrap_or_else(|| campaign.band.decide(ndf_value)),
     };
-    Ok(DeviceOutcome {
+    DeviceOutcome {
         result,
         dwell,
         observed,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +471,62 @@ mod tests {
         assert_eq!(runner.stimulus_bank().len(), 1, "same setup must share one stimulus");
         assert_eq!(runner.stimulus_bank().misses(), 1);
         assert_eq!(runner.stimulus_bank().hits(), 1);
+    }
+
+    #[test]
+    fn remote_score_target_is_bit_identical_to_local_scoring() {
+        use crate::score::{RemoteScore, RemoteScorer, ScoreTarget};
+
+        // A stand-in serving tier: scores against its own characterization of
+        // the same (setup, reference, band) — exactly what a golden store
+        // holds after `characterize`.
+        struct FlowScorer {
+            flow: TestFlow,
+            band: AcceptanceBand,
+        }
+        impl RemoteScorer for FlowScorer {
+            fn screen_remote(&self, _key: u64, signatures: &[Signature]) -> Result<Vec<RemoteScore>> {
+                signatures
+                    .iter()
+                    .map(|observed| {
+                        let ndf_value = ndf(self.flow.golden(), observed)?;
+                        Ok(RemoteScore {
+                            ndf: ndf_value,
+                            peak_hamming: peak_hamming_distance(self.flow.golden(), observed)?,
+                            outcome: self.band.decide(ndf_value),
+                        })
+                    })
+                    .collect()
+            }
+        }
+
+        let c = campaign(DevicePopulation::MonteCarlo {
+            devices: 24,
+            sigma_pct: 4.0,
+        });
+        let scorer = FlowScorer {
+            flow: TestFlow::new(c.setup.clone(), c.reference).unwrap(),
+            band: c.band,
+        };
+        let local = CampaignRunner::with_threads(2).run(&c).unwrap();
+        for threads in [1usize, 4] {
+            let remote = CampaignRunner::with_threads(threads)
+                .run_with_target(&c, ScoreTarget::Remote(&scorer))
+                .unwrap();
+            assert_eq!(remote, local, "remote-scored report diverged at {threads} threads");
+        }
+        // The per-device (monitor-variation) path also routes through the
+        // remote scorer; failures there must surface as remote errors.
+        struct Failing;
+        impl RemoteScorer for Failing {
+            fn screen_remote(&self, _key: u64, _signatures: &[Signature]) -> Result<Vec<RemoteScore>> {
+                Err(dsig_core::DsigError::Remote("backend gone".into()))
+            }
+        }
+        let err = CampaignRunner::with_threads(1)
+            .run_with_target(&c, ScoreTarget::Remote(&Failing))
+            .unwrap_err();
+        assert!(matches!(err, dsig_core::DsigError::Remote(_)));
     }
 
     #[test]

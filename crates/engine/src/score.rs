@@ -1,0 +1,95 @@
+//! Remote scoring targets: let a campaign ship its observed signatures to a
+//! serving or routing tier instead of scoring them against the locally
+//! characterized golden.
+//!
+//! The engine cannot depend on `dsig-serve` or `dsig-router` (they depend on
+//! the engine), so the seam is a trait: anything that can score a batch of
+//! signatures against a persisted golden fingerprint implements
+//! [`RemoteScorer`], and [`crate::CampaignRunner::run_with_target`] accepts a
+//! [`ScoreTarget`] selecting the local path or a remote implementation.
+//! `dsig_serve::ServeHandle` and `dsig_router::RouterHandle` both implement
+//! the trait, which is what makes multi-process campaign sharding real: the
+//! capture side fans out over the runner's worker pool while every verdict
+//! comes from the serving tier.
+//!
+//! Because signature scoring is a pure function of `(golden, observed)` and
+//! the acceptance band, a remote target whose golden was characterized from
+//! the same `(setup, reference, band)` produces reports **bit-identical** to
+//! local scoring — the loopback tests enforce this through both the serve and
+//! router tiers.
+
+use dsig_core::{Result, Signature, TestOutcome};
+
+/// One remotely produced score, mirroring the wire score of the serving
+/// protocol: the NDF, the peak instantaneous Hamming distance and the
+/// PASS/FAIL decision of the golden's acceptance band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteScore {
+    /// Normalized discrepancy factor (Eq. 2 of the paper).
+    pub ndf: f64,
+    /// Peak instantaneous Hamming distance over the period.
+    pub peak_hamming: u32,
+    /// PASS/FAIL decision made by the remote golden's acceptance band.
+    pub outcome: TestOutcome,
+}
+
+/// A scoring backend the campaign runner can send observed signatures to.
+///
+/// Implementations must be usable from several worker threads at once
+/// (`Sync`) and must return exactly one score per signature, in input order.
+pub trait RemoteScorer: Sync {
+    /// Scores `signatures` against the golden stored under `golden_key`
+    /// (see [`crate::golden_fingerprint`]), one score per signature in order.
+    ///
+    /// # Errors
+    /// Returns [`dsig_core::DsigError::Remote`] (or a decoded scoring error)
+    /// when the backend cannot answer.
+    fn screen_remote(&self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<RemoteScore>>;
+}
+
+/// Where a campaign's observed signatures are scored.
+#[derive(Clone, Copy)]
+pub enum ScoreTarget<'a> {
+    /// Score locally against the cached golden signature — the default path
+    /// of [`crate::CampaignRunner::run`].
+    Local,
+    /// Ship observed signatures to a remote scoring tier (a serve handle, a
+    /// router handle, or anything else implementing [`RemoteScorer`]),
+    /// addressed by the campaign's [`crate::golden_fingerprint`].
+    Remote(&'a dyn RemoteScorer),
+}
+
+impl std::fmt::Debug for ScoreTarget<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreTarget::Local => f.write_str("ScoreTarget::Local"),
+            ScoreTarget::Remote(_) => f.write_str("ScoreTarget::Remote(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_target_debug_is_stable() {
+        assert_eq!(format!("{:?}", ScoreTarget::Local), "ScoreTarget::Local");
+        struct Null;
+        impl RemoteScorer for Null {
+            fn screen_remote(&self, _key: u64, signatures: &[Signature]) -> Result<Vec<RemoteScore>> {
+                Ok(signatures
+                    .iter()
+                    .map(|_| RemoteScore {
+                        ndf: 0.0,
+                        peak_hamming: 0,
+                        outcome: TestOutcome::Pass,
+                    })
+                    .collect())
+            }
+        }
+        let null = Null;
+        assert_eq!(format!("{:?}", ScoreTarget::Remote(&null)), "ScoreTarget::Remote(..)");
+        assert!(null.screen_remote(1, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,340 @@
+//! A scoring backend as the router sees it: a transport (TCP `dsig-serve`
+//! process or in-process [`ServeHandle`]), a stable rendezvous identity and
+//! a health record with exponential backoff.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dsig_core::{AcceptanceBand, Signature};
+use dsig_serve::{GoldenRecord, ScoreResult, ServeClient, ServeError, ServeHandle};
+
+/// Backoff policy of the per-backend health record: the `n`-th consecutive
+/// failure marks the backend down for `base_backoff * 2^(n-1)`, capped at
+/// `max_backoff`. A marked-down backend is deprioritized, never abandoned —
+/// requests fall back to it when every ranked-higher backend also fails, and
+/// any success clears the record.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Backoff after the first consecutive failure.
+    pub base_backoff: Duration,
+    /// Upper bound on the backoff, however many failures accumulate.
+    pub max_backoff: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            base_backoff: Duration::from_millis(250),
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The backoff applied after `consecutive_failures` failures.
+    fn backoff(&self, consecutive_failures: u32) -> Duration {
+        let doublings = consecutive_failures.saturating_sub(1).min(16);
+        self.max_backoff.min(self.base_backoff.saturating_mul(1 << doublings))
+    }
+}
+
+/// Mutable health state of one backend.
+#[derive(Debug, Default)]
+struct Health {
+    consecutive_failures: u32,
+    down_until: Option<Instant>,
+}
+
+/// How the router reaches a backend.
+enum Transport {
+    /// A `dsig-serve` process reached over TCP, with a small pool of reusable
+    /// connections (one per concurrently forwarding router thread).
+    Tcp {
+        addr: SocketAddr,
+        pool: Mutex<Vec<ServeClient>>,
+    },
+    /// An in-process shard set (spawned via [`ServeHandle::spawn`]) — the
+    /// no-TCP path tests and single-process deployments use. The `killed`
+    /// flag simulates a dead process: once set, every operation fails like a
+    /// torn-down connection would.
+    Local { handle: ServeHandle, killed: AtomicBool },
+}
+
+/// One backend of a router: transport + identity + health.
+pub struct Backend {
+    id: u64,
+    label: String,
+    transport: Transport,
+    health: Mutex<Health>,
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend")
+            .field("id", &self.id)
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Backend {
+    /// A TCP backend addressing a `dsig-serve` process. The rendezvous id is
+    /// a hash of the address, so every router instance fronting the same
+    /// backend set ranks keys identically.
+    pub fn tcp(addr: SocketAddr) -> Backend {
+        let label = addr.to_string();
+        let id = label.bytes().fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
+            (hash ^ u64::from(byte)).wrapping_mul(0x1000_0000_01b3)
+        });
+        Backend {
+            id,
+            label,
+            transport: Transport::Tcp {
+                addr,
+                pool: Mutex::new(Vec::new()),
+            },
+            health: Mutex::new(Health::default()),
+        }
+    }
+
+    /// An in-process backend over an already spawned shard set, with an
+    /// explicit rendezvous id (in-process routers number their backends
+    /// `0, 1, 2, …`).
+    pub fn local(id: u64, handle: ServeHandle) -> Backend {
+        Backend {
+            id,
+            label: format!("local-{id}"),
+            transport: Transport::Local {
+                handle,
+                killed: AtomicBool::new(false),
+            },
+            health: Mutex::new(Health::default()),
+        }
+    }
+
+    /// The stable rendezvous identity of this backend.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A human-readable name (the address for TCP backends).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Simulates (or forces) a dead backend: every subsequent operation on an
+    /// in-process backend fails as a torn-down connection would. TCP
+    /// backends drop their pooled connections; whether later operations fail
+    /// depends on whether the remote process is actually gone.
+    pub fn kill(&self) {
+        match &self.transport {
+            Transport::Local { killed, .. } => killed.store(true, Ordering::SeqCst),
+            Transport::Tcp { pool, .. } => pool.lock().expect("backend pool lock poisoned").clear(),
+        }
+    }
+
+    /// Whether the backend's health record currently marks it down.
+    pub fn is_down(&self) -> bool {
+        !self.is_available(Instant::now())
+    }
+
+    /// Whether the backend is outside any failure backoff window at `now`.
+    pub(crate) fn is_available(&self, now: Instant) -> bool {
+        match self.health.lock().expect("backend health lock poisoned").down_until {
+            Some(until) => now >= until,
+            None => true,
+        }
+    }
+
+    /// Clears the failure record after a successful operation.
+    pub(crate) fn note_success(&self) {
+        let mut health = self.health.lock().expect("backend health lock poisoned");
+        health.consecutive_failures = 0;
+        health.down_until = None;
+    }
+
+    /// Records a failed operation and arms the exponential backoff.
+    pub(crate) fn note_failure(&self, now: Instant, config: &HealthConfig) {
+        let mut health = self.health.lock().expect("backend health lock poisoned");
+        health.consecutive_failures = health.consecutive_failures.saturating_add(1);
+        health.down_until = Some(now + config.backoff(health.consecutive_failures));
+    }
+
+    /// Takes a pooled TCP connection or dials a fresh one.
+    fn client(addr: SocketAddr, pool: &Mutex<Vec<ServeClient>>) -> Result<ServeClient, ServeError> {
+        if let Some(client) = pool.lock().expect("backend pool lock poisoned").pop() {
+            return Ok(client);
+        }
+        ServeClient::connect(addr)
+    }
+
+    /// Returns a connection to the pool unless the failure was a transport
+    /// one (a dead connection is dropped, not pooled).
+    fn settle<T>(
+        pool: &Mutex<Vec<ServeClient>>,
+        client: ServeClient,
+        result: Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        match &result {
+            Ok(_) | Err(ServeError::UnknownGolden(_) | ServeError::Remote(_)) => {
+                pool.lock().expect("backend pool lock poisoned").push(client);
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// Scores a batch against this backend.
+    pub(crate) fn screen(&self, key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>, ServeError> {
+        match &self.transport {
+            Transport::Tcp { addr, pool } => {
+                let mut client = Self::client(*addr, pool)?;
+                let result = client.screen(key, signatures);
+                Self::settle(pool, client, result)
+            }
+            Transport::Local { handle, killed } => {
+                if killed.load(Ordering::SeqCst) {
+                    return Err(ServeError::Closed);
+                }
+                handle.screen(key, signatures)
+            }
+        }
+    }
+
+    /// Pushes a golden record to this backend (replication).
+    pub(crate) fn push(&self, key: u64, record: &GoldenRecord) -> Result<(), ServeError> {
+        match &self.transport {
+            Transport::Tcp { addr, pool } => {
+                let mut client = Self::client(*addr, pool)?;
+                let result = client.push_golden(key, record.band, &record.golden);
+                Self::settle(pool, client, result)
+            }
+            Transport::Local { handle, killed } => {
+                if killed.load(Ordering::SeqCst) {
+                    return Err(ServeError::Closed);
+                }
+                handle.push_golden(key, record.golden.clone(), record.band);
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a golden record back from this backend.
+    pub(crate) fn fetch(&self, key: u64) -> Result<(AcceptanceBand, Signature), ServeError> {
+        match &self.transport {
+            Transport::Tcp { addr, pool } => {
+                let mut client = Self::client(*addr, pool)?;
+                let result = client.fetch_golden(key);
+                Self::settle(pool, client, result)
+            }
+            Transport::Local { handle, killed } => {
+                if killed.load(Ordering::SeqCst) {
+                    return Err(ServeError::Closed);
+                }
+                let record = handle.fetch_golden(key)?;
+                Ok((record.band, record.golden.clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use dsig_core::{SignatureEntry, ZoneCode};
+    use dsig_serve::{GoldenStore, ServeConfig};
+
+    fn sig(codes: &[(u32, f64)]) -> Signature {
+        Signature::new(
+            codes
+                .iter()
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn local_backend(id: u64) -> Backend {
+        Backend::local(
+            id,
+            ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::with_shards(1)),
+        )
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let config = HealthConfig {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(450),
+        };
+        assert_eq!(config.backoff(1), Duration::from_millis(100));
+        assert_eq!(config.backoff(2), Duration::from_millis(200));
+        assert_eq!(config.backoff(3), Duration::from_millis(400));
+        assert_eq!(config.backoff(4), Duration::from_millis(450), "capped");
+        assert_eq!(config.backoff(40), Duration::from_millis(450), "shift-safe");
+    }
+
+    #[test]
+    fn health_marks_down_and_recovers_on_success() {
+        let backend = local_backend(0);
+        let config = HealthConfig::default();
+        let now = Instant::now();
+        assert!(backend.is_available(now));
+        backend.note_failure(now, &config);
+        assert!(!backend.is_available(now));
+        assert!(backend.is_down());
+        // ...but availability returns once the backoff elapses...
+        assert!(backend.is_available(now + config.base_backoff));
+        // ...and a success clears the record instantly.
+        backend.note_failure(now, &config);
+        backend.note_success();
+        assert!(backend.is_available(now));
+        assert!(!backend.is_down());
+    }
+
+    #[test]
+    fn killed_local_backend_fails_like_a_dead_process() {
+        let backend = local_backend(3);
+        let band = AcceptanceBand::new(0.05).unwrap();
+        let golden = sig(&[(1, 100e-6)]);
+        backend
+            .push(
+                9,
+                &GoldenRecord {
+                    golden: golden.clone(),
+                    band,
+                },
+            )
+            .unwrap();
+        assert_eq!(backend.fetch(9).unwrap().1, golden);
+        assert_eq!(backend.screen(9, std::slice::from_ref(&golden)).unwrap()[0].ndf, 0.0);
+        backend.kill();
+        assert!(matches!(
+            backend.screen(9, std::slice::from_ref(&golden)),
+            Err(ServeError::Closed)
+        ));
+        assert!(matches!(
+            backend.push(9, &GoldenRecord { golden, band }),
+            Err(ServeError::Closed)
+        ));
+        assert!(matches!(backend.fetch(9), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn tcp_ids_hash_the_address_and_local_ids_are_explicit() {
+        let a = Backend::tcp("127.0.0.1:7001".parse().unwrap());
+        let b = Backend::tcp("127.0.0.1:7002".parse().unwrap());
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id(), Backend::tcp("127.0.0.1:7001".parse().unwrap()).id());
+        assert_eq!(a.label(), "127.0.0.1:7001");
+        assert_eq!(local_backend(5).id(), 5);
+        assert!(format!("{:?}", local_backend(5)).contains("local-5"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The blocking TCP client of a [`crate::Router`].
+//!
+//! The router speaks the `dsig-serve` wire protocol, so this is a thin wrapper
+//! over [`ServeClient`] that adds the router's error vocabulary — including
+//! the one-shot transparent reconnect the serve client provides (every
+//! request is idempotent).
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use dsig_core::{AcceptanceBand, Signature};
+use dsig_serve::{ScoreResult, ServeClient};
+
+use crate::error::Result;
+
+/// A blocking client over one TCP connection to a routing tier.
+///
+/// # Examples
+///
+/// Characterize a golden through the router (which replicates it to the
+/// owning backends), then screen a deviated device over loopback:
+///
+/// ```
+/// use std::sync::Arc;
+/// use cut_filters::BiquadParams;
+/// use dsig_core::{AcceptanceBand, TestSetup};
+/// use dsig_router::{Backend, Router, RouterClient, RouterConfig, RouterStore};
+/// use dsig_serve::{GoldenStore, ServeConfig, ServeHandle};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two in-process scoring backends fronted by a TCP router.
+/// let fleet: Vec<Backend> = (0..2)
+///     .map(|id| Backend::local(id, ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::with_shards(1))))
+///     .collect();
+/// let router = Router::bind("127.0.0.1:0", fleet, RouterStore::new(), RouterConfig::default())?;
+///
+/// // Characterization: once, through the router — the golden lands on its
+/// // rendezvous owner and replica.
+/// let setup = TestSetup::paper_default()?.with_sample_rate(1e6)?;
+/// let reference = BiquadParams::paper_default();
+/// let key = router.handle().characterize(&setup, &reference, AcceptanceBand::new(0.03)?)?;
+///
+/// // Production test: capture a signature, upload, decide.
+/// let observed = setup.signature_of(&reference.with_f0_shift_pct(10.0), 7)?;
+/// let mut client = RouterClient::connect(router.local_addr())?;
+/// let score = client.screen_one(key, &observed)?;
+/// assert!(score.ndf > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct RouterClient {
+    inner: ServeClient,
+}
+
+impl RouterClient {
+    /// Connects to a routing tier.
+    ///
+    /// # Errors
+    /// Returns [`crate::RouterError::Serve`] on connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        Ok(RouterClient {
+            inner: ServeClient::connect(addr)?,
+        })
+    }
+
+    /// The router address this client is connected to (and reconnects to).
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.inner.peer_addr()
+    }
+
+    /// Scores a batch of observed signatures against the golden stored under
+    /// `golden_key`, routed to the owning backend, returning one
+    /// [`ScoreResult`] per signature in request order — bit-identical to
+    /// direct [`dsig_core::TestFlow`] scoring at every backend count.
+    ///
+    /// # Errors
+    /// Returns [`crate::RouterError::UnknownGolden`] when neither the router
+    /// store nor any backend holds the fingerprint, and
+    /// [`crate::RouterError::Serve`] on transport or remote failures.
+    pub fn screen(&mut self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        self.inner.screen(golden_key, signatures).map_err(Into::into)
+    }
+
+    /// Scores a single signature (a one-element [`RouterClient::screen`]).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`].
+    pub fn screen_one(&mut self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
+        Ok(self.screen(golden_key, std::slice::from_ref(signature))?[0])
+    }
+
+    /// Scores a batch where each signature names its own golden (`DSRM`) —
+    /// the router splits it into per-backend sub-batches, forwards them
+    /// concurrently and reassembles the scores in request order.
+    ///
+    /// # Errors
+    /// An unknown fingerprint anywhere fails the whole batch. Unlike
+    /// [`RouterClient::screen`] — where the requested key is known client-side
+    /// and surfaces as [`crate::RouterError::UnknownGolden`] — a multi-batch
+    /// error arrives as [`crate::RouterError::Serve`] wrapping the remote
+    /// message, which names the offending fingerprint (the wire error body
+    /// carries no key field). Transport failures as for
+    /// [`RouterClient::screen`].
+    pub fn screen_multi(&mut self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        self.inner.screen_multi(items).map_err(Into::into)
+    }
+
+    /// Stores a golden on the router, which replicates it to the owning
+    /// backends (`DSGP`).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`].
+    pub fn push_golden(&mut self, key: u64, band: AcceptanceBand, golden: &Signature) -> Result<()> {
+        self.inner.push_golden(key, band, golden).map_err(Into::into)
+    }
+
+    /// Reads a golden record back through the router (`DSGF`), which resolves
+    /// it from its store or from the owning backends.
+    ///
+    /// # Errors
+    /// Returns [`crate::RouterError::UnknownGolden`] when nobody holds it.
+    pub fn fetch_golden(&mut self, key: u64) -> Result<(AcceptanceBand, Signature)> {
+        self.inner.fetch_golden(key).map_err(Into::into)
+    }
+}

@@ -1,0 +1,336 @@
+//! The in-process router front: the same routing core the TCP listener
+//! serves, without any socket — and a constructor that spawns a whole
+//! backend fleet in-process (via [`ServeHandle::spawn`]) for tests,
+//! benchmarks and single-process deployments.
+
+use std::sync::Arc;
+
+use cut_filters::BiquadParams;
+use dsig_core::{AcceptanceBand, Signature, TestSetup};
+use dsig_engine::{RemoteScore, RemoteScorer};
+use dsig_serve::{GoldenRecord, GoldenStore, ScoreResult, ServeConfig, ServeHandle};
+
+use crate::backend::Backend;
+use crate::error::Result;
+use crate::router::{RouterConfig, RouterCore};
+use crate::store::RouterStore;
+
+/// An in-process client of a routing core. Cloning is cheap; each clone can
+/// be used from its own thread.
+#[derive(Clone)]
+pub struct RouterHandle {
+    core: Arc<RouterCore>,
+}
+
+impl RouterHandle {
+    pub(crate) fn from_core(core: Arc<RouterCore>) -> Self {
+        RouterHandle { core }
+    }
+
+    /// Spawns `backends` in-process scoring backends — each its own
+    /// [`GoldenStore`] and shard set ([`ServeHandle::spawn`]), no TCP
+    /// anywhere — and fronts them with a router. This is the fixture the
+    /// loopback tests and the `router_throughput` bench build their fleets
+    /// with.
+    ///
+    /// # Errors
+    /// Returns [`crate::RouterError::NoBackends`] for a zero backend count.
+    pub fn spawn(backends: usize, per_backend: ServeConfig, store: RouterStore, config: RouterConfig) -> Result<Self> {
+        let fleet: Vec<Backend> = (0..backends)
+            .map(|id| {
+                Backend::local(
+                    id as u64,
+                    ServeHandle::spawn(Arc::new(GoldenStore::new()), per_backend.clone()),
+                )
+            })
+            .collect();
+        Self::with_backends(fleet, store, config)
+    }
+
+    /// Fronts an explicit backend set (mix TCP and in-process freely) with a
+    /// routing core.
+    ///
+    /// # Errors
+    /// Returns [`crate::RouterError::NoBackends`] for an empty set and an
+    /// invalid-config error for duplicate rendezvous ids.
+    pub fn with_backends(backends: Vec<Backend>, store: RouterStore, config: RouterConfig) -> Result<Self> {
+        Ok(RouterHandle {
+            core: Arc::new(RouterCore::new(backends, store, config)?),
+        })
+    }
+
+    /// The router's authoritative golden store.
+    pub fn store(&self) -> &RouterStore {
+        self.core.store()
+    }
+
+    /// Number of backends behind this router.
+    pub fn backend_count(&self) -> usize {
+        self.core.backends().len()
+    }
+
+    /// The rendezvous ranking of a fingerprint: backend indices, owner first.
+    pub fn rank(&self, key: u64) -> Vec<usize> {
+        self.core.rank(key)
+    }
+
+    /// Kills backend `index` (see [`Backend::kill`]): subsequent requests
+    /// routed to it fail and fail over to its replicas.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range.
+    pub fn kill_backend(&self, index: usize) {
+        self.core.backends()[index].kill();
+    }
+
+    /// Whether backend `index`'s health record currently marks it down.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range.
+    pub fn backend_down(&self, index: usize) -> bool {
+        self.core.backends()[index].is_down()
+    }
+
+    /// Characterizes `(setup, reference)` into the router store and pushes
+    /// the golden to its owning backends; returns the fingerprint clients
+    /// screen with.
+    ///
+    /// # Errors
+    /// Propagates capture errors; fails if no backend accepts the push.
+    pub fn characterize(&self, setup: &TestSetup, reference: &BiquadParams, band: AcceptanceBand) -> Result<u64> {
+        self.core.characterize(setup, reference, band)
+    }
+
+    /// Stores an already-characterized golden and replicates it to its
+    /// owning backends.
+    ///
+    /// # Errors
+    /// Fails if no backend accepts the push.
+    pub fn push_golden(&self, key: u64, golden: Signature, band: AcceptanceBand) -> Result<()> {
+        self.core.push_golden(key, golden, band)
+    }
+
+    /// Resolves a golden record: the router store first, then readback from
+    /// the owning backends (caching it locally).
+    ///
+    /// # Errors
+    /// Returns [`crate::RouterError::UnknownGolden`] when nobody holds it.
+    pub fn golden(&self, key: u64) -> Result<Arc<GoldenRecord>> {
+        self.core.golden(key)
+    }
+
+    /// Scores a batch against the golden under `golden_key`, routed to the
+    /// owning backend (with deterministic failover) and split at the
+    /// configured sub-batch boundary — bit-identical to direct
+    /// [`dsig_core::TestFlow`] scoring for every backend count and split.
+    ///
+    /// # Errors
+    /// Returns [`crate::RouterError::UnknownGolden`] for an unknown
+    /// fingerprint and [`crate::RouterError::AllBackendsFailed`] when the
+    /// whole failover chain is down.
+    pub fn screen(&self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        self.core.screen(golden_key, signatures)
+    }
+
+    /// Scores a single signature (a one-element [`RouterHandle::screen`]).
+    ///
+    /// # Errors
+    /// As for [`RouterHandle::screen`].
+    pub fn screen_one(&self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
+        Ok(self.screen(golden_key, std::slice::from_ref(signature))?[0])
+    }
+
+    /// Scores a multi-golden batch: split into per-backend sub-batches by
+    /// rendezvous ownership, forwarded concurrently, reassembled in request
+    /// order.
+    ///
+    /// # Errors
+    /// As for [`RouterHandle::screen`].
+    pub fn screen_multi(&self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        self.core.screen_multi(items)
+    }
+}
+
+impl RemoteScorer for RouterHandle {
+    fn screen_remote(&self, golden_key: u64, signatures: &[Signature]) -> dsig_core::Result<Vec<RemoteScore>> {
+        self.screen(golden_key, signatures)
+            // The score conversion is dsig-serve's `From<ScoreResult>`.
+            .map(|scores| scores.into_iter().map(Into::into).collect())
+            .map_err(crate::RouterError::into_dsig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouterError;
+    use dsig_core::{SignatureEntry, TestOutcome, ZoneCode};
+
+    fn sig(codes: &[(u32, f64)]) -> Signature {
+        Signature::new(
+            codes
+                .iter()
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn band(threshold: f64) -> AcceptanceBand {
+        AcceptanceBand::new(threshold).unwrap()
+    }
+
+    fn fleet(backends: usize, replicas: usize) -> RouterHandle {
+        RouterHandle::spawn(
+            backends,
+            ServeConfig::with_shards(1),
+            RouterStore::new(),
+            RouterConfig {
+                replicas,
+                sub_batch: 3, // force sub-batch splits in tests
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_fleets_and_duplicate_ids_are_rejected() {
+        assert!(matches!(
+            RouterHandle::spawn(
+                0,
+                ServeConfig::with_shards(1),
+                RouterStore::new(),
+                RouterConfig::default()
+            ),
+            Err(RouterError::NoBackends)
+        ));
+        let dup = vec![
+            Backend::local(
+                1,
+                ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::with_shards(1)),
+            ),
+            Backend::local(
+                1,
+                ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::with_shards(1)),
+            ),
+        ];
+        assert!(RouterHandle::with_backends(dup, RouterStore::new(), RouterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn pushed_goldens_land_on_the_owner_and_screen_correctly() {
+        let router = fleet(4, 2);
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        router.push_golden(0xC0FFEE, golden.clone(), band(0.05)).unwrap();
+        assert_eq!(router.store().len(), 1);
+        // Screening the golden itself through the router is a clean pass.
+        let results = router
+            .screen(0xC0FFEE, &[golden.clone(), sig(&[(1, 100e-6), (7, 100e-6)])])
+            .unwrap();
+        assert_eq!(results[0].ndf, 0.0);
+        assert_eq!(results[0].outcome, TestOutcome::Pass);
+        assert!(results[1].ndf > 0.0);
+        // Readback resolves from the store; unknown keys are reported as such.
+        assert_eq!(router.golden(0xC0FFEE).unwrap().golden, golden);
+        assert!(matches!(router.golden(0xBAD), Err(RouterError::UnknownGolden(0xBAD))));
+        assert!(matches!(
+            router.screen(0xBAD, &[golden]),
+            Err(RouterError::UnknownGolden(0xBAD))
+        ));
+    }
+
+    #[test]
+    fn failover_refreshes_the_golden_and_keeps_verdicts_identical() {
+        let router = fleet(3, 1); // a single copy: failover must refresh
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        router.push_golden(7, golden.clone(), band(0.05)).unwrap();
+        let observed = vec![
+            golden.clone(),
+            sig(&[(1, 100e-6), (3, 90e-6), (7, 10e-6)]),
+            sig(&[(5, 200e-6)]),
+        ];
+        let before = router.screen(7, &observed).unwrap();
+        // Kill the owner: the next screen fails over to the replica, which
+        // misses the golden and is refreshed from the router store mid-call.
+        let owner = router.rank(7)[0];
+        router.kill_backend(owner);
+        let after = router.screen(7, &observed).unwrap();
+        assert_eq!(after, before, "failover must not change a single verdict");
+        assert!(router.backend_down(owner), "the dead owner must be marked down");
+        // The router survives repeated screens with the owner gone.
+        assert_eq!(router.screen(7, &observed).unwrap(), before);
+    }
+
+    #[test]
+    fn multi_screen_reassembles_across_backends_in_request_order() {
+        let router = fleet(4, 2);
+        // Several goldens with distinguishable signatures.
+        let keys: Vec<u64> = (0..5).map(|k| 0x1000 + k).collect();
+        for (i, &key) in keys.iter().enumerate() {
+            router
+                .push_golden(key, sig(&[(1, 100e-6), (i as u32 + 2, 100e-6)]), band(0.05))
+                .unwrap();
+        }
+        // Interleaved items: each scores its own golden cleanly, a shifted
+        // variant of the next one dirtily.
+        let items: Vec<(u64, Signature)> = (0..30)
+            .map(|n| {
+                let key = keys[n % keys.len()];
+                (key, sig(&[(1, 100e-6), ((n % keys.len()) as u32 + 2, 100e-6)]))
+            })
+            .collect();
+        let results = router.screen_multi(&items).unwrap();
+        assert_eq!(results.len(), items.len());
+        for (n, result) in results.iter().enumerate() {
+            assert_eq!(result.ndf, 0.0, "item {n} must match its own golden");
+        }
+        // Bit-identical to screening each key separately.
+        for (item, result) in items.iter().zip(&results) {
+            let single = router.screen_one(item.0, &item.1).unwrap();
+            assert_eq!(single, *result);
+        }
+        // Unknown key anywhere fails the whole multi-batch deterministically.
+        let mut bad = items;
+        bad[4].0 = 0xFFFF;
+        assert!(matches!(
+            router.screen_multi(&bad),
+            Err(RouterError::UnknownGolden(0xFFFF))
+        ));
+        assert!(router.screen_multi(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn all_backends_dead_is_reported_with_detail() {
+        let router = fleet(2, 2);
+        let golden = sig(&[(1, 100e-6)]);
+        router.push_golden(1, golden.clone(), band(0.05)).unwrap();
+        router.kill_backend(0);
+        router.kill_backend(1);
+        match router.screen(1, &[golden]) {
+            Err(RouterError::AllBackendsFailed { key, detail }) => {
+                assert_eq!(key, 1);
+                assert!(detail.contains("local-0") && detail.contains("local-1"), "{detail}");
+            }
+            other => panic!("expected AllBackendsFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn characterize_replicates_and_matches_the_engine_fingerprint() {
+        let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+        let reference = BiquadParams::paper_default();
+        let router = fleet(3, 2);
+        let key = router.characterize(&setup, &reference, band(0.03)).unwrap();
+        assert_eq!(key, dsig_engine::golden_fingerprint(&setup, &reference));
+        // The golden scores its own noiseless capture cleanly through TCP-free
+        // routing, and survives the owner dying thanks to the replica.
+        let observed = setup.signature_of(&reference, 5).unwrap();
+        assert_eq!(router.screen_one(key, &observed).unwrap().ndf, 0.0);
+        router.kill_backend(router.rank(key)[0]);
+        assert_eq!(router.screen_one(key, &observed).unwrap().ndf, 0.0);
+    }
+}

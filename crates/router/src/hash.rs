@@ -1,0 +1,101 @@
+//! Rendezvous (highest-random-weight) hashing of golden fingerprints onto
+//! backends.
+//!
+//! Each `(golden_key, backend_id)` pair gets a pseudo-random weight; the
+//! backend with the highest weight **owns** the key, the runner-up is its
+//! first replica, and so on. The ranking is a pure function of the key and
+//! the backend ids, so:
+//!
+//! * every router instance (and every retry) routes a key identically —
+//!   deterministic failover means the replica chosen when the owner is down
+//!   is always the same one;
+//! * adding or removing a backend only remaps the keys that backend owned
+//!   (the classic HRW minimal-disruption property) — the relative order of
+//!   the surviving backends never changes.
+
+/// The SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation (the
+/// same mixer the engine uses for per-device seed derivation).
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The rendezvous weight of a backend for a golden fingerprint. The backend
+/// id is mixed before combining so that ids `0, 1, 2, …` (the in-process
+/// default) spread as well as hashed addresses.
+pub fn hrw_weight(golden_key: u64, backend_id: u64) -> u64 {
+    mix64(golden_key ^ mix64(backend_id))
+}
+
+/// Ranks backend indices by descending rendezvous weight for a fingerprint:
+/// `rank[0]` owns the key, `rank[1]` is the first replica, and so on. Ties
+/// (only possible with duplicate ids) break toward the smaller index, so the
+/// order is total and deterministic.
+pub fn rank_backends(golden_key: u64, ids: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ids.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(hrw_weight(golden_key, ids[i])), i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_deterministic_and_total() {
+        let ids: Vec<u64> = (0..8).collect();
+        for key in [0u64, 1, 0xFEED_BEEF, u64::MAX] {
+            let a = rank_backends(key, &ids);
+            let b = rank_backends(key, &ids);
+            assert_eq!(a, b);
+            let mut seen = a.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..8).collect::<Vec<usize>>(), "rank must be a permutation");
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_preserves_the_relative_order_of_the_rest() {
+        // The HRW property behind minimal disruption *and* deterministic
+        // failover: dropping one backend never reorders the others.
+        let ids: Vec<u64> = (0..6).collect();
+        for key in 0..200u64 {
+            let full = rank_backends(key, &ids);
+            let removed = full[0]; // kill the owner
+            let surviving_ids: Vec<u64> = ids.iter().copied().filter(|&id| id != ids[removed]).collect();
+            let shrunk = rank_backends(key, &surviving_ids);
+            let expectation: Vec<u64> = full[1..].iter().map(|&i| ids[i]).collect();
+            let got: Vec<u64> = shrunk.iter().map(|&i| surviving_ids[i]).collect();
+            assert_eq!(got, expectation, "key {key}");
+        }
+    }
+
+    #[test]
+    fn ownership_spreads_over_backends() {
+        let ids: Vec<u64> = (0..4).collect();
+        let mut owned = [0usize; 4];
+        for key in 0..4000u64 {
+            owned[rank_backends(mix64(key), &ids)[0]] += 1;
+        }
+        for (backend, &count) in owned.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&count),
+                "backend {backend} owns {count} of 4000 keys — distribution is skewed: {owned:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads_neighbors() {
+        assert_ne!(mix64(1), mix64(2));
+        assert_eq!(mix64(42), mix64(42));
+        // The finalizer fixes 0 (0 ^ 0 * m == 0), which is why hrw_weight
+        // mixes the backend id before combining with the key.
+        assert_eq!(mix64(0), 0);
+        assert_ne!(hrw_weight(0, 0), hrw_weight(0, 1));
+    }
+}

@@ -1,0 +1,323 @@
+//! The routing core: rendezvous ranking, per-backend sub-batch splitting,
+//! golden replication/refresh/readback, and health-aware deterministic
+//! failover. Shared by the in-process [`crate::RouterHandle`] and the TCP
+//! [`crate::Router`] front.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cut_filters::BiquadParams;
+use dsig_core::{AcceptanceBand, Signature, TestSetup};
+use dsig_serve::server::group_by_fingerprint;
+use dsig_serve::{GoldenRecord, ScoreResult, ServeError};
+
+use crate::backend::{Backend, HealthConfig};
+use crate::error::{Result, RouterError};
+use crate::hash::rank_backends;
+use crate::store::RouterStore;
+
+/// Tuning knobs of a router.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Copies of each golden pushed across the rendezvous ranking (the owner
+    /// plus `replicas - 1` followers). At least one; more copies let a
+    /// failover backend answer without a mid-request refresh.
+    pub replicas: usize,
+    /// Maximum signatures per forwarded screening sub-batch. Large client
+    /// batches are split at this boundary; results are bit-identical at
+    /// every boundary because scoring is per-signature pure.
+    pub sub_batch: usize,
+    /// Health/backoff policy of the backend set.
+    pub health: HealthConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replicas: 2,
+            sub_batch: 256,
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+/// The routing state shared by every front (TCP listener, in-process
+/// handles): the backend set, the authoritative golden store and the config.
+pub(crate) struct RouterCore {
+    backends: Vec<Backend>,
+    store: RouterStore,
+    config: RouterConfig,
+}
+
+impl RouterCore {
+    /// Builds a core over a non-empty backend set with unique rendezvous ids.
+    pub(crate) fn new(backends: Vec<Backend>, store: RouterStore, config: RouterConfig) -> Result<Self> {
+        if backends.is_empty() {
+            return Err(RouterError::NoBackends);
+        }
+        let mut ids: Vec<u64> = backends.iter().map(Backend::id).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|pair| pair[0] == pair[1]) {
+            return Err(RouterError::Dsig(dsig_core::DsigError::InvalidConfig(
+                "router backends must have unique rendezvous ids".into(),
+            )));
+        }
+        Ok(RouterCore {
+            backends,
+            store,
+            config,
+        })
+    }
+
+    pub(crate) fn store(&self) -> &RouterStore {
+        &self.store
+    }
+
+    pub(crate) fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// Backend indices in rendezvous order for a fingerprint: owner first,
+    /// then its replicas.
+    pub(crate) fn rank(&self, key: u64) -> Vec<usize> {
+        let ids: Vec<u64> = self.backends.iter().map(Backend::id).collect();
+        rank_backends(key, &ids)
+    }
+
+    /// The backend a key is dispatched to right now: the highest-ranked
+    /// backend outside a failure backoff, or the owner if every ranked
+    /// backend is backed off (it will be retried — backoff deprioritizes,
+    /// never abandons).
+    fn preferred(&self, key: u64, now: Instant) -> usize {
+        let rank = self.rank(key);
+        rank.iter()
+            .copied()
+            .find(|&i| self.backends[i].is_available(now))
+            .unwrap_or(rank[0])
+    }
+
+    /// One screening attempt against one backend, refreshing the golden from
+    /// the router store when the backend misses it (the replication path's
+    /// "refresh on miss").
+    fn try_backend(
+        &self,
+        index: usize,
+        key: u64,
+        chunk: &[Signature],
+    ) -> std::result::Result<Vec<ScoreResult>, ServeError> {
+        let backend = &self.backends[index];
+        match backend.screen(key, chunk) {
+            Err(ServeError::UnknownGolden(_)) => match self.store.get(key) {
+                Some(record) => {
+                    backend.push(key, &record)?;
+                    backend.screen(key, chunk)
+                }
+                None => Err(ServeError::UnknownGolden(key)),
+            },
+            other => other,
+        }
+    }
+
+    /// Forwards one sub-batch through the failover chain: every backend in
+    /// rendezvous order, available ones first, marked-down ones as a last
+    /// resort. The first success wins; scoring is pure, so *which* backend
+    /// answers can never change a verdict.
+    fn forward_chunk(&self, key: u64, chunk: &[Signature]) -> Result<Vec<ScoreResult>> {
+        let now = Instant::now();
+        let rank = self.rank(key);
+        let (available, backed_off): (Vec<usize>, Vec<usize>) =
+            rank.iter().copied().partition(|&i| self.backends[i].is_available(now));
+
+        let mut failures: Vec<String> = Vec::new();
+        let mut misses = 0usize;
+        for &index in available.iter().chain(&backed_off) {
+            let backend = &self.backends[index];
+            match self.try_backend(index, key, chunk) {
+                Ok(scores) => {
+                    backend.note_success();
+                    return Ok(scores);
+                }
+                Err(ServeError::UnknownGolden(_)) => {
+                    // The backend answered (it is healthy) — neither it nor
+                    // the router store holds the golden.
+                    misses += 1;
+                    failures.push(format!("{}: unknown golden", backend.label()));
+                }
+                Err(err) => {
+                    backend.note_failure(Instant::now(), &self.config.health);
+                    failures.push(format!("{}: {err}", backend.label()));
+                }
+            }
+        }
+        if misses == rank.len() {
+            return Err(RouterError::UnknownGolden(key));
+        }
+        Err(RouterError::AllBackendsFailed {
+            key,
+            detail: failures.join("; "),
+        })
+    }
+
+    /// Scores a batch against one golden: the batch is split at the
+    /// configured sub-batch boundary and each piece is forwarded through the
+    /// failover chain, so a backend dying mid-batch only re-routes the
+    /// not-yet-scored remainder.
+    pub(crate) fn screen(&self, key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        let sub_batch = self.config.sub_batch.max(1);
+        if signatures.is_empty() {
+            // Forward the empty batch anyway so an unknown fingerprint is
+            // reported exactly like the serving tier reports it.
+            return self.forward_chunk(key, signatures);
+        }
+        let mut results = Vec::with_capacity(signatures.len());
+        for chunk in signatures.chunks(sub_batch) {
+            results.extend(self.forward_chunk(key, chunk)?);
+        }
+        Ok(results)
+    }
+
+    /// Scores a multi-golden batch: items are grouped by fingerprint, the
+    /// groups are bucketed by the backend that currently owns them, buckets
+    /// are forwarded **concurrently** (one thread per backend bucket), and
+    /// results are reassembled in request order. Each group still goes
+    /// through the full failover chain, so a dead owner degrades to its
+    /// replica instead of failing the batch.
+    pub(crate) fn screen_multi(&self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let now = Instant::now();
+        // Group item indices by fingerprint (first-appearance order — the
+        // same grouping the serving tier uses), then bucket the groups by
+        // their currently preferred backend.
+        let groups = group_by_fingerprint(items);
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (group, (key, _)) in groups.iter().enumerate() {
+            buckets.entry(self.preferred(*key, now)).or_default().push(group);
+        }
+
+        let results: Mutex<Vec<Option<ScoreResult>>> = Mutex::new(vec![None; items.len()]);
+        let errors: Mutex<Vec<(usize, RouterError)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (bucket_order, group_ids) in buckets.values().enumerate() {
+                let results = &results;
+                let errors = &errors;
+                let groups = &groups;
+                scope.spawn(move || {
+                    for &group in group_ids {
+                        let (key, indices) = &groups[group];
+                        let key = *key;
+                        let batch: Vec<Signature> = indices.iter().map(|&i| items[i].1.clone()).collect();
+                        match self.screen(key, &batch) {
+                            Ok(scores) => {
+                                let mut slots = results.lock().expect("router results lock poisoned");
+                                for (&index, score) in indices.iter().zip(scores) {
+                                    slots[index] = Some(score);
+                                }
+                            }
+                            Err(err) => {
+                                errors
+                                    .lock()
+                                    .expect("router errors lock poisoned")
+                                    .push((bucket_order, err));
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut errors = errors.into_inner().expect("router errors lock poisoned");
+        if !errors.is_empty() {
+            // Deterministic error selection: the first failing bucket wins.
+            errors.sort_by_key(|&(bucket_order, _)| bucket_order);
+            return Err(errors.remove(0).1);
+        }
+        Ok(results
+            .into_inner()
+            .expect("router results lock poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every item scored"))
+            .collect())
+    }
+
+    /// Pushes a record to the first `replicas` backends of the key's
+    /// rendezvous ranking. Succeeds when at least one copy lands; backends
+    /// that refuse are marked down and reported in the error otherwise.
+    fn replicate(&self, key: u64, record: &GoldenRecord) -> Result<usize> {
+        let rank = self.rank(key);
+        let copies = self.config.replicas.max(1).min(rank.len());
+        let mut pushed = 0usize;
+        let mut failures: Vec<String> = Vec::new();
+        for &index in &rank {
+            if pushed == copies {
+                break;
+            }
+            let backend = &self.backends[index];
+            match backend.push(key, record) {
+                Ok(()) => {
+                    backend.note_success();
+                    pushed += 1;
+                }
+                Err(err) => {
+                    backend.note_failure(Instant::now(), &self.config.health);
+                    failures.push(format!("{}: {err}", backend.label()));
+                }
+            }
+        }
+        if pushed == 0 {
+            return Err(RouterError::AllBackendsFailed {
+                key,
+                detail: failures.join("; "),
+            });
+        }
+        Ok(pushed)
+    }
+
+    /// Characterizes `(setup, reference)` into the router store and
+    /// replicates the record to its owning backends; returns the fingerprint
+    /// clients screen with.
+    pub(crate) fn characterize(
+        &self,
+        setup: &TestSetup,
+        reference: &BiquadParams,
+        band: AcceptanceBand,
+    ) -> Result<u64> {
+        let key = self.store.characterize(setup, reference, band)?;
+        let record = self.store.get(key).expect("characterize stores the record");
+        self.replicate(key, &record)?;
+        Ok(key)
+    }
+
+    /// Stores an already-characterized golden and replicates it — the
+    /// routing-tier form of the `DSGP` push.
+    pub(crate) fn push_golden(&self, key: u64, golden: Signature, band: AcceptanceBand) -> Result<()> {
+        self.store.insert(key, golden, band);
+        let record = self.store.get(key).expect("insert stores the record");
+        self.replicate(key, &record)?;
+        Ok(())
+    }
+
+    /// Resolves a golden record: the router store first, then readback from
+    /// the backends in rendezvous order (caching the record locally) — the
+    /// `DSGF` path a freshly restarted router uses to repopulate its store.
+    pub(crate) fn golden(&self, key: u64) -> Result<std::sync::Arc<GoldenRecord>> {
+        if let Some(record) = self.store.get(key) {
+            return Ok(record);
+        }
+        for index in self.rank(key) {
+            let backend = &self.backends[index];
+            match backend.fetch(key) {
+                Ok((band, golden)) => {
+                    backend.note_success();
+                    self.store.insert(key, golden, band);
+                    return Ok(self.store.get(key).expect("record just cached"));
+                }
+                Err(ServeError::UnknownGolden(_)) => {}
+                Err(_) => backend.note_failure(Instant::now(), &self.config.health),
+            }
+        }
+        Err(RouterError::UnknownGolden(key))
+    }
+}

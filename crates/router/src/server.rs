@@ -1,0 +1,315 @@
+//! The TCP router front: an accept loop speaking the `dsig-serve` wire
+//! protocol (`DSRQ`/`DSRM`/`DSGP`/`DSGF` in, `DSRS`/`DSRA` out), fanning
+//! every request out across the backend fleet through the routing core.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  tester ──DSRQ/DSRM──▶ ┌─────────────────────┐ ──DSRQ──▶ backend A (dsig-serve)
+//!  tester ──DSRQ/DSRM──▶ │  Router             │ ──DSRQ──▶ backend B
+//!                        │  HRW(golden_key)    │ ──DSGP──▶ backend C  (replication)
+//!  RouterHandle ───────▶ │  + health/failover  │ ◀─DSGF──  readback on miss
+//!                        └─────────────────────┘
+//! ```
+//!
+//! A request's `golden_fingerprint` picks its owner backend by rendezvous
+//! hashing; multi-golden batches split into per-backend sub-batches and
+//! reassemble in request order. Scoring stays bit-identical to a direct
+//! `TestFlow` loop at every backend count, because the router never touches
+//! a score — it only decides *where* the pure scoring function runs.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dsig_serve::proto::{
+    decode_any_request, encode_admin_response, encode_decode_error, encode_response, read_frame, write_frame,
+    AdminResponse, ErrorCode, Request, ScreenResponse,
+};
+
+use crate::backend::Backend;
+use crate::error::{Result, RouterError};
+use crate::handle::RouterHandle;
+use crate::router::{RouterConfig, RouterCore};
+use crate::store::RouterStore;
+
+/// Maps a router error onto the wire error code it travels as.
+fn error_code_of(err: &RouterError) -> ErrorCode {
+    match err {
+        RouterError::UnknownGolden(_) => ErrorCode::UnknownGolden,
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// The routing tier's TCP front: shares one routing core between the
+/// accept loop and any number of in-process [`RouterHandle`]s.
+///
+/// Dropping (or [`Router::shutdown`]-ing) the router stops accepting new
+/// connections; in-flight connections finish serving their streams.
+pub struct Router {
+    local_addr: SocketAddr,
+    core: Arc<RouterCore>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds a listener (use port 0 for an ephemeral port) in front of a
+    /// backend fleet and starts routing.
+    ///
+    /// # Errors
+    /// Returns [`RouterError::Io`] if the listener cannot be bound,
+    /// [`RouterError::NoBackends`] for an empty fleet and an invalid-config
+    /// error for duplicate rendezvous ids.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backends: Vec<Backend>,
+        store: RouterStore,
+        config: RouterConfig,
+    ) -> Result<Router> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let core = Arc::new(RouterCore::new(backends, store, config)?);
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_core = Arc::clone(&core);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let conn_core = Arc::clone(&accept_core);
+                        // Connection threads are detached; they exit when the
+                        // peer closes its end of the stream.
+                        std::thread::spawn(move || handle_connection(stream, conn_core));
+                    }
+                    // Back off briefly on accept errors instead of spinning.
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                }
+            }
+        });
+
+        Ok(Router {
+            local_addr,
+            core,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the router is listening on (with the real port when bound
+    /// to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A new in-process handle to the routing core (no TCP round-trip).
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle::from_core(Arc::clone(&self.core))
+    }
+
+    /// Stops accepting connections and joins the accept loop. Idempotent;
+    /// also invoked on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection (dialing the
+        // loopback equivalent of a wildcard bind address).
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let woke = TcpStream::connect_timeout(&wake, std::time::Duration::from_secs(1)).is_ok();
+        if let Some(thread) = self.accept_thread.take() {
+            if woke {
+                let _ = thread.join();
+            }
+            // A failed wake leaves the thread detached rather than hanging
+            // the caller; it exits at the next connection attempt.
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one TCP connection: read a request frame, route it, write the
+/// response frame, repeat until the peer closes.
+fn handle_connection(stream: TcpStream, core: Arc<RouterCore>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return,
+        };
+        let response = match decode_any_request(&payload) {
+            Ok(request) => respond(&core, request),
+            Err(err) => encode_decode_error(&payload, err.to_string()),
+        };
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        if std::io::Write::flush(&mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+/// Builds the response frame for one decoded request — the router answers
+/// the same request kinds a serving process does, after fanning out.
+fn respond(core: &RouterCore, request: Request) -> Vec<u8> {
+    match request {
+        Request::Screen(request) => encode_response(&match core.screen(request.golden_key, &request.signatures) {
+            Ok(results) => ScreenResponse::Results(results),
+            Err(err) => ScreenResponse::Error {
+                code: error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
+        Request::MultiScreen(request) => encode_response(&match core.screen_multi(&request.items) {
+            Ok(results) => ScreenResponse::Results(results),
+            Err(err) => ScreenResponse::Error {
+                code: error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
+        Request::PushGolden { key, band, golden } => {
+            encode_admin_response(&match core.push_golden(key, golden, band) {
+                Ok(()) => AdminResponse::Ack,
+                Err(err) => AdminResponse::Error {
+                    code: error_code_of(&err),
+                    message: err.to_string(),
+                },
+            })
+        }
+        Request::FetchGolden { key } => encode_admin_response(&match core.golden(key) {
+            Ok(record) => AdminResponse::Record {
+                band: record.band,
+                golden: record.golden.clone(),
+            },
+            Err(err) => AdminResponse::Error {
+                code: error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RouterClient;
+    use dsig_core::{AcceptanceBand, Signature, SignatureEntry, TestOutcome, ZoneCode};
+    use dsig_serve::{GoldenStore, ServeConfig, ServeHandle};
+
+    fn sig(codes: &[(u32, f64)]) -> Signature {
+        Signature::new(
+            codes
+                .iter()
+                .map(|&(c, d)| SignatureEntry {
+                    code: ZoneCode(c),
+                    duration: d,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn local_fleet(count: usize) -> Vec<Backend> {
+        (0..count)
+            .map(|id| {
+                Backend::local(
+                    id as u64,
+                    ServeHandle::spawn(std::sync::Arc::new(GoldenStore::new()), ServeConfig::with_shards(1)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tcp_router_round_trips_all_request_kinds() {
+        let router = Router::bind(
+            "127.0.0.1:0",
+            local_fleet(3),
+            RouterStore::new(),
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let mut client = RouterClient::connect(router.local_addr()).unwrap();
+        let band = AcceptanceBand::new(0.05).unwrap();
+        let golden_a = sig(&[(1, 100e-6), (3, 100e-6)]);
+        let golden_b = sig(&[(2, 100e-6), (4, 100e-6)]);
+        client.push_golden(0xA, band, &golden_a).unwrap();
+        client.push_golden(0xB, band, &golden_b).unwrap();
+
+        // Single-golden screening, routed.
+        let results = client
+            .screen(0xA, &[golden_a.clone(), sig(&[(1, 100e-6), (7, 100e-6)])])
+            .unwrap();
+        assert_eq!(results[0].ndf, 0.0);
+        assert_eq!(results[0].outcome, TestOutcome::Pass);
+        assert!(results[1].ndf > 0.0);
+        // The TCP path equals the in-process path bit-for-bit.
+        let direct = router
+            .handle()
+            .screen(0xA, &[golden_a.clone(), sig(&[(1, 100e-6), (7, 100e-6)])])
+            .unwrap();
+        assert_eq!(results, direct);
+
+        // Multi-golden screening across both goldens.
+        let items = vec![
+            (0xA, golden_a.clone()),
+            (0xB, golden_b.clone()),
+            (0xA, golden_a.clone()),
+        ];
+        let multi = client.screen_multi(&items).unwrap();
+        assert_eq!(multi.len(), 3);
+        assert!(multi.iter().all(|r| r.ndf == 0.0));
+
+        // Readback over TCP.
+        let (fetched_band, fetched) = client.fetch_golden(0xB).unwrap();
+        assert_eq!(fetched_band, band);
+        assert_eq!(fetched, golden_b);
+        assert!(client.fetch_golden(0xDEAD).is_err());
+        // Unknown goldens carry the code through the router.
+        assert!(matches!(
+            client.screen(0xDEAD, &[golden_a]),
+            Err(RouterError::UnknownGolden(0xDEAD))
+        ));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_handles_survive() {
+        let mut router = Router::bind(
+            "127.0.0.1:0",
+            local_fleet(2),
+            RouterStore::new(),
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let handle = router.handle();
+        router.shutdown();
+        router.shutdown();
+        // The in-process path still works after the listener is gone.
+        let band = AcceptanceBand::new(0.05).unwrap();
+        let golden = sig(&[(1, 100e-6)]);
+        handle.push_golden(5, golden.clone(), band).unwrap();
+        assert_eq!(handle.screen_one(5, &golden).unwrap().ndf, 0.0);
+    }
+}

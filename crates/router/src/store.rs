@@ -1,0 +1,147 @@
+//! The router's authoritative golden store.
+//!
+//! A [`RouterStore`] wraps a [`GoldenStore`] (same `DSGS` on-disk format,
+//! same fingerprint keying), playing the *characterization authority* role
+//! in the routing tier: new goldens are characterized (or loaded) here, then
+//! **pushed** to the backends that own them under rendezvous hashing; when a
+//! failover backend misses a golden mid-request, the router **refreshes** it
+//! from this store; and when the router itself misses (say, after a
+//! restart with an empty store), it **reads the record back** from whichever
+//! backend holds it. The push/refresh/readback logic lives on the router
+//! core, which owns both this store and the backend set.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use cut_filters::BiquadParams;
+use dsig_core::{AcceptanceBand, Signature, TestSetup};
+use dsig_serve::{GoldenRecord, GoldenStore};
+
+use crate::error::Result;
+
+/// The router-local golden store: a shared, `DSGS`-compatible
+/// [`GoldenStore`].
+///
+/// Cloning is cheap (the underlying store is shared), so a TCP router, its
+/// in-process handles and a characterization loop can all hold the same
+/// authority.
+#[derive(Debug, Clone, Default)]
+pub struct RouterStore {
+    local: Arc<GoldenStore>,
+}
+
+impl RouterStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing golden store (e.g. one produced by a
+    /// characterization campaign) as the router's authority.
+    pub fn with_store(store: Arc<GoldenStore>) -> Self {
+        RouterStore { local: store }
+    }
+
+    /// The underlying golden store.
+    pub fn local(&self) -> &Arc<GoldenStore> {
+        &self.local
+    }
+
+    /// Characterizes `(setup, reference)` into the local store and returns
+    /// its fingerprint — the local half of the replication path (the router
+    /// core pushes the record to the owning backends afterwards).
+    ///
+    /// # Errors
+    /// Propagates golden-capture errors.
+    pub fn characterize(&self, setup: &TestSetup, reference: &BiquadParams, band: AcceptanceBand) -> Result<u64> {
+        self.local.characterize(setup, reference, band).map_err(Into::into)
+    }
+
+    /// Looks up a golden record by fingerprint.
+    pub fn get(&self, key: u64) -> Option<Arc<GoldenRecord>> {
+        self.local.get(key)
+    }
+
+    /// Inserts (or replaces) a record under an explicit fingerprint.
+    pub fn insert(&self, key: u64, golden: Signature, band: AcceptanceBand) {
+        self.local.insert(key, golden, band);
+    }
+
+    /// The stored fingerprints, ascending.
+    pub fn keys(&self) -> Vec<u64> {
+        self.local.keys()
+    }
+
+    /// Number of stored goldens.
+    pub fn len(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.local.is_empty()
+    }
+
+    /// Persists the store in the `DSGS` format (identical to
+    /// [`GoldenStore::save`] — a store written by a router loads in a serving
+    /// process and vice versa).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.local.save(path).map_err(Into::into)
+    }
+
+    /// Loads a `DSGS` store written by [`RouterStore::save`] (or by any
+    /// [`GoldenStore`] producer).
+    ///
+    /// # Errors
+    /// Propagates filesystem and decoding errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(RouterStore {
+            local: Arc::new(GoldenStore::load(path)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsig_core::{SignatureEntry, ZoneCode};
+
+    #[test]
+    fn store_is_dsgs_compatible_and_shared_between_clones() {
+        let store = RouterStore::new();
+        assert!(store.is_empty());
+        let golden = Signature::new(vec![SignatureEntry {
+            code: ZoneCode(3),
+            duration: 1e-4,
+        }])
+        .unwrap();
+        store.insert(7, golden.clone(), AcceptanceBand::new(0.03).unwrap());
+        let clone = store.clone();
+        assert_eq!(clone.len(), 1, "clones share the underlying store");
+        assert_eq!(clone.get(7).unwrap().golden, golden);
+
+        let path = std::env::temp_dir().join(format!("router-store-{}.bin", std::process::id()));
+        store.save(&path).unwrap();
+        // The bytes are a plain DSGS golden store.
+        let as_serve_store = GoldenStore::load(&path).unwrap();
+        assert_eq!(as_serve_store.keys(), vec![7]);
+        let reloaded = RouterStore::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.keys(), store.keys());
+    }
+
+    #[test]
+    fn characterize_matches_the_serving_fingerprint() {
+        let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+        let reference = BiquadParams::paper_default();
+        let band = AcceptanceBand::new(0.03).unwrap();
+        let store = RouterStore::new();
+        let key = store.characterize(&setup, &reference, band).unwrap();
+        assert_eq!(key, dsig_engine::golden_fingerprint(&setup, &reference));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(key).is_some());
+    }
+}

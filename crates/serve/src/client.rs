@@ -2,14 +2,22 @@
 //! decodes responses. One client holds one connection and pipelines nothing —
 //! throughput comes from batching (many signatures per request) and from
 //! running several clients in parallel.
+//!
+//! Every request is pure (screening scores, golden pushes and fetches are
+//! all idempotent), so the client transparently reconnects **once** per
+//! request when the connection turns out to be dead — a server restart or an
+//! idle-timeout close between requests does not surface to the caller.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
-use dsig_core::Signature;
+use dsig_core::{AcceptanceBand, Signature};
 
 use crate::error::{Result, ServeError};
-use crate::proto::{decode_response, encode_request, read_frame, write_frame, ErrorCode, ScoreResult, ScreenResponse};
+use crate::proto::{
+    decode_admin_response, decode_response, encode_fetch_request, encode_multi_request, encode_push_request,
+    encode_request, read_frame, write_frame, AdminResponse, ErrorCode, ScoreResult, ScreenResponse,
+};
 
 /// A blocking client over one TCP connection.
 ///
@@ -38,6 +46,7 @@ use crate::proto::{decode_response, encode_request, read_frame, write_frame, Err
 /// # }
 /// ```
 pub struct ServeClient {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
@@ -50,11 +59,65 @@ impl ServeClient {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(ServeClient {
+            addr,
             reader,
             writer: BufWriter::new(stream),
         })
+    }
+
+    /// The server address this client is connected to (and reconnects to).
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends one request frame and reads the response frame on the current
+    /// connection.
+    fn exchange_once(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        write_frame(&mut self.writer, request)?;
+        self.writer.flush()?;
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ))
+        })
+    }
+
+    /// Sends one request frame and reads the response, reconnecting **once**
+    /// on a dead connection (broken pipe, reset, end-of-stream). Every
+    /// request the protocol carries is idempotent — screening is a pure
+    /// function and pushes/fetches are last-write-wins reads/writes — so a
+    /// single resend can never change an outcome.
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        match self.exchange_once(request) {
+            Err(ServeError::Io(_)) => {
+                *self = Self::connect(self.addr)?;
+                self.exchange_once(request)
+            }
+            other => other,
+        }
+    }
+
+    /// Decodes a screening response, checking the score count.
+    fn decode_scores(&self, payload: &[u8], expected: usize, golden_key: Option<u64>) -> Result<Vec<ScoreResult>> {
+        match decode_response(payload)? {
+            ScreenResponse::Results(results) => {
+                if results.len() != expected {
+                    return Err(ServeError::Protocol(format!(
+                        "server returned {} results for {expected} signatures",
+                        results.len(),
+                    )));
+                }
+                Ok(results)
+            }
+            ScreenResponse::Error { code, message } => Err(match (code, golden_key) {
+                (ErrorCode::UnknownGolden, Some(key)) => ServeError::UnknownGolden(key),
+                _ => ServeError::Remote(message),
+            }),
+        }
     }
 
     /// Scores a batch of observed signatures against the golden stored under
@@ -65,32 +128,24 @@ impl ServeClient {
     /// Returns [`ServeError::UnknownGolden`] if the server does not hold the
     /// fingerprint, [`ServeError::Remote`] for other server-side failures,
     /// [`ServeError::Protocol`] on malformed responses and
-    /// [`ServeError::Io`] on dead connections.
+    /// [`ServeError::Io`] on dead connections (after one transparent
+    /// reconnect attempt).
     pub fn screen(&mut self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
-        write_frame(&mut self.writer, &encode_request(golden_key, signatures))?;
-        self.writer.flush()?;
-        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
-            ServeError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection before responding",
-            ))
-        })?;
-        match decode_response(&payload)? {
-            ScreenResponse::Results(results) => {
-                if results.len() != signatures.len() {
-                    return Err(ServeError::Protocol(format!(
-                        "server returned {} results for {} signatures",
-                        results.len(),
-                        signatures.len()
-                    )));
-                }
-                Ok(results)
-            }
-            ScreenResponse::Error { code, message } => Err(match code {
-                ErrorCode::UnknownGolden => ServeError::UnknownGolden(golden_key),
-                _ => ServeError::Remote(message),
-            }),
-        }
+        let payload = self.exchange(&encode_request(golden_key, signatures))?;
+        self.decode_scores(&payload, signatures.len(), Some(golden_key))
+    }
+
+    /// Scores a batch where each signature names its own golden fingerprint
+    /// (`DSRM`), returning one [`ScoreResult`] per item in request order.
+    /// Against a routing tier this is the frame that fans out across
+    /// backends.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`]; an unknown fingerprint anywhere fails
+    /// the whole batch with [`ServeError::Remote`].
+    pub fn screen_multi(&mut self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        let payload = self.exchange(&encode_multi_request(items))?;
+        self.decode_scores(&payload, items.len(), None)
     }
 
     /// Scores a single signature (a one-element [`ServeClient::screen`]).
@@ -99,6 +154,38 @@ impl ServeClient {
     /// As for [`ServeClient::screen`].
     pub fn screen_one(&mut self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
         Ok(self.screen(golden_key, std::slice::from_ref(signature))?[0])
+    }
+
+    /// Stores (or replaces) a golden record on the server (`DSGP`) — the
+    /// replication push a routing tier uses to place goldens on backends.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`] (minus `UnknownGolden`).
+    pub fn push_golden(&mut self, key: u64, band: AcceptanceBand, golden: &Signature) -> Result<()> {
+        let payload = self.exchange(&encode_push_request(key, band, golden))?;
+        match decode_admin_response(&payload)? {
+            AdminResponse::Ack => Ok(()),
+            AdminResponse::Record { .. } => Err(ServeError::Protocol("push answered with a record".into())),
+            AdminResponse::Error { message, .. } => Err(ServeError::Remote(message)),
+        }
+    }
+
+    /// Reads a golden record back from the server (`DSGF`) — the readback a
+    /// routing tier uses to refresh its local store on a miss.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::UnknownGolden`] when the server has no record
+    /// under `key`; otherwise as for [`ServeClient::screen`].
+    pub fn fetch_golden(&mut self, key: u64) -> Result<(AcceptanceBand, Signature)> {
+        let payload = self.exchange(&encode_fetch_request(key))?;
+        match decode_admin_response(&payload)? {
+            AdminResponse::Record { band, golden } => Ok((band, golden)),
+            AdminResponse::Ack => Err(ServeError::Protocol("fetch answered with a bare ack".into())),
+            AdminResponse::Error { code, message } => Err(match code {
+                ErrorCode::UnknownGolden => ServeError::UnknownGolden(key),
+                _ => ServeError::Remote(message),
+            }),
+        }
     }
 }
 
@@ -172,5 +259,83 @@ mod tests {
         let (server, key) = serve();
         let mut client = ServeClient::connect(server.local_addr()).unwrap();
         assert!(client.screen(key, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn client_reconnects_once_when_the_connection_is_torn_down() {
+        use std::net::TcpListener;
+
+        let store = GoldenStore::new();
+        let key = 5;
+        store.insert(
+            key,
+            sig(&[(1, 100e-6), (3, 100e-6)]),
+            AcceptanceBand::new(0.05).unwrap(),
+        );
+        let handle = crate::server::ServeHandle::spawn(Arc::new(store), ServeConfig::with_shards(1));
+
+        // A deliberately flaky front: the first accepted connection is
+        // dropped on the floor (a server-side teardown mid-session); the
+        // second is served for real.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve_thread = std::thread::spawn(move || {
+            let (dead, _) = listener.accept().unwrap();
+            drop(dead);
+            let (live, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(live.try_clone().unwrap());
+            let mut writer = std::io::BufWriter::new(live);
+            while let Ok(Some(payload)) = crate::proto::read_frame(&mut reader) {
+                let request = crate::proto::decode_request(&payload).unwrap();
+                let results = handle.screen_vec(request.golden_key, request.signatures).unwrap();
+                crate::proto::write_frame(
+                    &mut writer,
+                    &crate::proto::encode_response(&ScreenResponse::Results(results)),
+                )
+                .unwrap();
+                std::io::Write::flush(&mut writer).unwrap();
+            }
+        });
+
+        let mut client = ServeClient::connect(addr).unwrap();
+        assert_eq!(client.peer_addr(), addr);
+        // The first exchange hits the torn-down connection and must succeed
+        // through the one-shot transparent reconnect; later requests reuse
+        // the live connection.
+        let observed = sig(&[(1, 100e-6), (3, 100e-6)]);
+        for _ in 0..3 {
+            assert_eq!(client.screen_one(key, &observed).unwrap().ndf, 0.0);
+        }
+        drop(client);
+        serve_thread.join().unwrap();
+    }
+
+    #[test]
+    fn multi_screen_and_admin_ops_round_trip_over_tcp() {
+        let (server, key) = serve();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        // Push a second golden, read it back, and screen against both.
+        let band = AcceptanceBand::new(0.02).unwrap();
+        let second = sig(&[(2, 100e-6), (4, 100e-6)]);
+        client.push_golden(0xB0B, band, &second).unwrap();
+        let (fetched_band, fetched) = client.fetch_golden(0xB0B).unwrap();
+        assert_eq!(fetched_band, band);
+        assert_eq!(fetched, second);
+        assert!(matches!(
+            client.fetch_golden(0xDEAD),
+            Err(ServeError::UnknownGolden(0xDEAD))
+        ));
+        let items = vec![
+            (key, sig(&[(1, 100e-6), (3, 100e-6)])),
+            (0xB0B, second.clone()),
+            (key, sig(&[(1, 100e-6), (7, 100e-6)])),
+        ];
+        let results = client.screen_multi(&items).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].ndf, 0.0);
+        assert_eq!(results[1].ndf, 0.0, "pushed golden must score its own signature clean");
+        assert!(results[2].ndf > 0.0);
+        // Bit-identical to the in-process multi path.
+        assert_eq!(results, server.handle().screen_multi(&items).unwrap());
     }
 }

@@ -24,6 +24,21 @@ pub enum ServeError {
     Closed,
 }
 
+impl ServeError {
+    /// Collapses this error into the core error vocabulary — how serving-tier
+    /// failures surface from code that speaks [`dsig_core::Result`], like the
+    /// engine's remote scoring target ([`dsig_engine::RemoteScorer`]).
+    /// Scoring errors unwrap to their inner [`DsigError`]; everything else
+    /// (transport, protocol, unknown goldens) becomes [`DsigError::Remote`]
+    /// with the rendered message.
+    pub fn into_dsig(self) -> DsigError {
+        match self {
+            ServeError::Dsig(err) => err,
+            other => DsigError::Remote(other.to_string()),
+        }
+    }
+}
+
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -86,5 +101,16 @@ mod tests {
         assert!(ServeError::Remote("boom".into()).to_string().contains("boom"));
         assert!(ServeError::Closed.to_string().contains("shut down"));
         assert!(ServeError::Closed.source().is_none());
+    }
+
+    #[test]
+    fn into_dsig_unwraps_scoring_errors_and_wraps_the_rest() {
+        let inner = DsigError::InvalidSignature("empty".into());
+        assert_eq!(ServeError::Dsig(inner.clone()).into_dsig(), inner);
+        match ServeError::UnknownGolden(7).into_dsig() {
+            DsigError::Remote(msg) => assert!(msg.contains("0x0000000000000007"), "{msg}"),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+        assert!(matches!(ServeError::Closed.into_dsig(), DsigError::Remote(_)));
     }
 }

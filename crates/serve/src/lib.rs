@@ -52,6 +52,13 @@
 //!               3 = internal)
 //! ```
 //!
+//! Three further request kinds share the frame and header convention and are
+//! dispatched by payload magic: `DSRM` (multi-golden screening, each
+//! signature tagged with its own fingerprint — what a `dsig-router` tier
+//! splits across backends), `DSGP` (golden replication push) and `DSGF`
+//! (golden readback); the latter two answer with a `DSRA` admin response.
+//! See `docs/FORMATS.md` for the normative layouts.
+//!
 //! Golden-store file (magic `DSGS`, version 1 — see [`store`]):
 //!
 //! ```text
@@ -100,6 +107,6 @@ pub mod store;
 
 pub use client::ServeClient;
 pub use error::{Result, ServeError};
-pub use proto::{ErrorCode, ScoreResult, ScreenRequest, ScreenResponse};
-pub use server::{ServeConfig, ServeHandle, Server};
+pub use proto::{AdminResponse, ErrorCode, MultiScreenRequest, Request, ScoreResult, ScreenRequest, ScreenResponse};
+pub use server::{group_by_fingerprint, ServeConfig, ServeHandle, Server};
 pub use store::{GoldenRecord, GoldenStore};

@@ -10,7 +10,7 @@
 
 use std::io::{Read, Write};
 
-use dsig_core::{wire, Signature, TestOutcome};
+use dsig_core::{wire, AcceptanceBand, Signature, TestOutcome};
 
 use crate::error::{Result, ServeError};
 
@@ -18,7 +18,16 @@ use crate::error::{Result, ServeError};
 pub const REQUEST_MAGIC: [u8; 4] = *b"DSRQ";
 /// Magic prefix of response payloads.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"DSRS";
-/// Current wire-protocol version (shared by requests and responses).
+/// Magic prefix of multi-golden screening request payloads (`DSRM`) — the
+/// routed form where every signature carries its own golden fingerprint.
+pub const MULTI_REQUEST_MAGIC: [u8; 4] = *b"DSRM";
+/// Magic prefix of golden-push (replication) request payloads (`DSGP`).
+pub const PUSH_MAGIC: [u8; 4] = *b"DSGP";
+/// Magic prefix of golden-fetch (readback) request payloads (`DSGF`).
+pub const FETCH_MAGIC: [u8; 4] = *b"DSGF";
+/// Magic prefix of admin (push/fetch) response payloads (`DSRA`).
+pub const ADMIN_RESPONSE_MAGIC: [u8; 4] = *b"DSRA";
+/// Current wire-protocol version (shared by every request and response kind).
 pub const PROTO_VERSION: u16 = 1;
 
 /// Upper bound on a frame payload (64 MiB). A length prefix beyond this is
@@ -97,6 +106,69 @@ pub enum ScreenResponse {
     },
 }
 
+/// A decoded multi-golden screening request: score each signature against
+/// the golden its fingerprint names. This is the frame a routing tier splits
+/// into per-backend [`ScreenRequest`] sub-batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiScreenRequest {
+    /// `(golden fingerprint, observed signature)` pairs, in request order.
+    pub items: Vec<(u64, Signature)>,
+}
+
+/// Any request frame the serving tier understands, decoded by payload magic
+/// (see [`decode_any_request`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A single-golden screening request (`DSRQ`).
+    Screen(ScreenRequest),
+    /// A multi-golden screening request (`DSRM`).
+    MultiScreen(MultiScreenRequest),
+    /// A golden replication push (`DSGP`): store `golden` under `key`.
+    PushGolden {
+        /// Fingerprint the golden is stored under.
+        key: u64,
+        /// Acceptance band applied to NDFs scored against this golden.
+        band: AcceptanceBand,
+        /// The golden signature.
+        golden: Signature,
+    },
+    /// A golden readback request (`DSGF`): return the record under `key`.
+    FetchGolden {
+        /// Fingerprint to read back.
+        key: u64,
+    },
+}
+
+/// A decoded admin response (to [`Request::PushGolden`] /
+/// [`Request::FetchGolden`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminResponse {
+    /// The push was applied.
+    Ack,
+    /// The fetched golden record.
+    Record {
+        /// Acceptance band of the record.
+        band: AcceptanceBand,
+        /// The golden signature.
+        golden: Signature,
+    },
+    /// The request failed server-side.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+/// Status byte of an [`AdminResponse::Ack`].
+const ADMIN_ACK: u8 = 0;
+/// Status byte of an [`AdminResponse::Error`] (same value as
+/// [`STATUS_ERROR`], so error bodies share one layout across responses).
+const ADMIN_ERROR: u8 = 1;
+/// Status byte of an [`AdminResponse::Record`].
+const ADMIN_RECORD: u8 = 2;
+
 /// Encodes a screening request payload (without the frame length prefix).
 pub fn encode_request(golden_key: u64, signatures: &[Signature]) -> Vec<u8> {
     let mut out = Vec::with_capacity(18 + 64 * signatures.len());
@@ -126,6 +198,174 @@ pub fn decode_request(payload: &[u8]) -> Result<ScreenRequest> {
     }
     r.finish()?;
     Ok(ScreenRequest { golden_key, signatures })
+}
+
+/// Encodes a multi-golden screening request payload (without the frame
+/// length prefix).
+pub fn encode_multi_request(items: &[(u64, Signature)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + 76 * items.len());
+    wire::put_header(&mut out, MULTI_REQUEST_MAGIC, PROTO_VERSION);
+    wire::put_u32(&mut out, items.len() as u32);
+    for (key, signature) in items {
+        wire::put_u64(&mut out, *key);
+        wire::put_bytes(&mut out, &signature.to_bytes());
+    }
+    out
+}
+
+/// Decodes a multi-golden screening request payload. Never panics on
+/// malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing or signature decoding errors.
+pub fn decode_multi_request(payload: &[u8]) -> Result<MultiScreenRequest> {
+    let mut r = wire::ByteReader::new(payload, "multi screen request");
+    r.header(MULTI_REQUEST_MAGIC, PROTO_VERSION)?;
+    let count = r.u32()? as usize;
+    // Minimum per item: 8-byte key + 4-byte length + 8-byte empty signature.
+    r.check_count(count, 20)?;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = r.u64()?;
+        items.push((key, Signature::from_bytes(r.bytes()?)?));
+    }
+    r.finish()?;
+    Ok(MultiScreenRequest { items })
+}
+
+/// Encodes a golden-push request payload (without the frame length prefix).
+pub fn encode_push_request(key: u64, band: AcceptanceBand, golden: &Signature) -> Vec<u8> {
+    let mut out = Vec::with_capacity(26 + 64);
+    wire::put_header(&mut out, PUSH_MAGIC, PROTO_VERSION);
+    wire::put_u64(&mut out, key);
+    wire::put_f64(&mut out, band.ndf_threshold);
+    wire::put_bytes(&mut out, &golden.to_bytes());
+    out
+}
+
+/// Decodes a golden-push request payload. Never panics on malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing, signature or acceptance-band
+/// decoding errors.
+pub fn decode_push_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "golden push request");
+    r.header(PUSH_MAGIC, PROTO_VERSION)?;
+    let key = r.u64()?;
+    let band = AcceptanceBand::new(r.f64()?)?;
+    let golden = Signature::from_bytes(r.bytes()?)?;
+    r.finish()?;
+    Ok(Request::PushGolden { key, band, golden })
+}
+
+/// Encodes a golden-fetch request payload (without the frame length prefix).
+pub fn encode_fetch_request(key: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(14);
+    wire::put_header(&mut out, FETCH_MAGIC, PROTO_VERSION);
+    wire::put_u64(&mut out, key);
+    out
+}
+
+/// Decodes a golden-fetch request payload. Never panics on malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors.
+pub fn decode_fetch_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "golden fetch request");
+    r.header(FETCH_MAGIC, PROTO_VERSION)?;
+    let key = r.u64()?;
+    r.finish()?;
+    Ok(Request::FetchGolden { key })
+}
+
+/// Decodes any request frame by its payload magic — the dispatch point of a
+/// serving or routing process. Never panics on malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Protocol`] for an unknown magic and the specific
+/// decoder's errors otherwise.
+pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
+    match payload.get(..4) {
+        Some(magic) if *magic == REQUEST_MAGIC => Ok(Request::Screen(decode_request(payload)?)),
+        Some(magic) if *magic == MULTI_REQUEST_MAGIC => Ok(Request::MultiScreen(decode_multi_request(payload)?)),
+        Some(magic) if *magic == PUSH_MAGIC => decode_push_request(payload),
+        Some(magic) if *magic == FETCH_MAGIC => decode_fetch_request(payload),
+        Some(magic) => Err(ServeError::Protocol(format!(
+            "unknown request magic {:?}",
+            String::from_utf8_lossy(magic)
+        ))),
+        None => Err(ServeError::Protocol(format!(
+            "request frame of {} bytes is too short for a magic",
+            payload.len()
+        ))),
+    }
+}
+
+/// Encodes the response for a request frame that failed to decode, matching
+/// the response family the client is waiting for: admin requests
+/// (`DSGP`/`DSGF`) are answered with a `DSRA` error so their client-side
+/// decoder surfaces the server's message instead of a magic mismatch;
+/// everything else gets a `DSRS` error.
+pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
+    match payload.get(..4) {
+        Some(magic) if *magic == PUSH_MAGIC || *magic == FETCH_MAGIC => encode_admin_response(&AdminResponse::Error {
+            code: ErrorCode::BadRequest,
+            message,
+        }),
+        _ => encode_response(&ScreenResponse::Error {
+            code: ErrorCode::BadRequest,
+            message,
+        }),
+    }
+}
+
+/// Encodes an admin response payload (without the frame length prefix).
+pub fn encode_admin_response(response: &AdminResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    wire::put_header(&mut out, ADMIN_RESPONSE_MAGIC, PROTO_VERSION);
+    match response {
+        AdminResponse::Ack => out.push(ADMIN_ACK),
+        AdminResponse::Record { band, golden } => {
+            out.push(ADMIN_RECORD);
+            wire::put_f64(&mut out, band.ndf_threshold);
+            wire::put_bytes(&mut out, &golden.to_bytes());
+        }
+        AdminResponse::Error { code, message } => {
+            out.push(ADMIN_ERROR);
+            wire::put_u16(&mut out, code.to_u16());
+            wire::put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes an admin response payload. Never panics on malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors and
+/// [`ServeError::Protocol`] on an unknown status byte.
+pub fn decode_admin_response(payload: &[u8]) -> Result<AdminResponse> {
+    let mut r = wire::ByteReader::new(payload, "admin response");
+    r.header(ADMIN_RESPONSE_MAGIC, PROTO_VERSION)?;
+    match r.u8()? {
+        ADMIN_ACK => {
+            r.finish()?;
+            Ok(AdminResponse::Ack)
+        }
+        ADMIN_RECORD => {
+            let band = AcceptanceBand::new(r.f64()?)?;
+            let golden = Signature::from_bytes(r.bytes()?)?;
+            r.finish()?;
+            Ok(AdminResponse::Record { band, golden })
+        }
+        ADMIN_ERROR => {
+            let code = ErrorCode::from_u16(r.u16()?)?;
+            let message = r.string()?;
+            r.finish()?;
+            Ok(AdminResponse::Error { code, message })
+        }
+        other => Err(ServeError::Protocol(format!("unknown admin response status {other}"))),
+    }
 }
 
 /// Encodes a response payload (without the frame length prefix).
@@ -311,6 +551,125 @@ mod tests {
         let at = 6; // magic + version
         bad_status[at] = 9;
         assert!(matches!(decode_response(&bad_status), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn multi_requests_round_trip_and_reject_malformed_payloads() {
+        let items = vec![
+            (7u64, sig(&[(1, 10e-6), (3, 20e-6)])),
+            (9u64, sig(&[(7, 1.0)])),
+            (7u64, sig(&[(2, 5e-6)])),
+        ];
+        let payload = encode_multi_request(&items);
+        match decode_any_request(&payload).unwrap() {
+            Request::MultiScreen(decoded) => assert_eq!(decoded.items, items),
+            other => panic!("expected MultiScreen, got {other:?}"),
+        }
+        assert!(decode_multi_request(&encode_multi_request(&[]))
+            .unwrap()
+            .items
+            .is_empty());
+        assert!(decode_multi_request(&payload[..9]).is_err());
+        assert!(decode_multi_request(&payload[..payload.len() - 2]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_multi_request(&trailing).is_err());
+    }
+
+    #[test]
+    fn push_and_fetch_round_trip_and_reject_malformed_payloads() {
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        let band = AcceptanceBand::new(0.03).unwrap();
+        let push = encode_push_request(0xFACE, band, &golden);
+        match decode_any_request(&push).unwrap() {
+            Request::PushGolden {
+                key,
+                band: decoded_band,
+                golden: decoded,
+            } => {
+                assert_eq!(key, 0xFACE);
+                assert_eq!(decoded_band, band);
+                assert_eq!(decoded, golden);
+            }
+            other => panic!("expected PushGolden, got {other:?}"),
+        }
+        assert!(decode_push_request(&push[..10]).is_err());
+        // A NaN threshold is caught by AcceptanceBand validation.
+        let mut nan = push.clone();
+        nan[14..22].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_push_request(&nan).is_err());
+
+        let fetch = encode_fetch_request(42);
+        assert_eq!(decode_any_request(&fetch).unwrap(), Request::FetchGolden { key: 42 });
+        assert!(decode_fetch_request(&fetch[..8]).is_err());
+        let mut trailing = fetch.clone();
+        trailing.push(1);
+        assert!(decode_fetch_request(&trailing).is_err());
+
+        // Unknown magics and short buffers are protocol errors, not panics.
+        assert!(matches!(decode_any_request(b"NOPE1234"), Err(ServeError::Protocol(_))));
+        assert!(matches!(decode_any_request(b"DS"), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn admin_responses_round_trip_and_reject_malformed_payloads() {
+        let band = AcceptanceBand::new(0.05).unwrap();
+        let golden = sig(&[(1, 10e-6), (2, 20e-6)]);
+        for response in [
+            AdminResponse::Ack,
+            AdminResponse::Record {
+                band,
+                golden: golden.clone(),
+            },
+            AdminResponse::Error {
+                code: ErrorCode::UnknownGolden,
+                message: "no such golden".into(),
+            },
+        ] {
+            let payload = encode_admin_response(&response);
+            assert_eq!(decode_admin_response(&payload).unwrap(), response);
+            assert!(decode_admin_response(&payload[..5]).is_err());
+        }
+        let mut bad_status = encode_admin_response(&AdminResponse::Ack);
+        bad_status[6] = 9; // magic + version
+        assert!(matches!(
+            decode_admin_response(&bad_status),
+            Err(ServeError::Protocol(_))
+        ));
+        let mut trailing = encode_admin_response(&AdminResponse::Ack);
+        trailing.push(0);
+        assert!(decode_admin_response(&trailing).is_err());
+    }
+
+    #[test]
+    fn decode_errors_answer_in_the_request_family() {
+        let band = AcceptanceBand::new(0.03).unwrap();
+        let golden = sig(&[(1, 1.0)]);
+        // An undecodable admin request (future version) must get a DSRA
+        // error, so the admin client surfaces the message instead of a magic
+        // mismatch.
+        let mut push = encode_push_request(1, band, &golden);
+        push[4..6].copy_from_slice(&42u16.to_le_bytes());
+        let err = decode_any_request(&push).unwrap_err();
+        let response = encode_decode_error(&push, err.to_string());
+        match decode_admin_response(&response).unwrap() {
+            AdminResponse::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("version"), "{message}");
+            }
+            other => panic!("expected an admin error, got {other:?}"),
+        }
+        // Everything else (screening requests, unknown magics) answers DSRS.
+        for payload in [&encode_request(1, &[])[..2], b"NOPE1234"] {
+            let response = encode_decode_error(payload, "bad".into());
+            assert!(matches!(
+                decode_response(&response).unwrap(),
+                ScreenResponse::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ));
+        }
     }
 
     #[test]

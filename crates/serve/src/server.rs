@@ -19,16 +19,20 @@
 //! stays bit-identical to a serial loop (scoring is a pure function of
 //! `(golden, observed)`; shard count and dispatch order cannot change it).
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use dsig_core::{ndf, peak_hamming_distance, DsigError, Signature};
-use dsig_engine::available_threads;
+use dsig_core::{ndf, peak_hamming_distance, AcceptanceBand, DsigError, Signature};
+use dsig_engine::{available_threads, RemoteScore, RemoteScorer};
 
 use crate::error::{Result, ServeError};
-use crate::proto::{decode_request, encode_response, read_frame, write_frame, ErrorCode, ScoreResult, ScreenResponse};
+use crate::proto::{
+    decode_any_request, encode_admin_response, encode_decode_error, encode_response, read_frame, write_frame,
+    AdminResponse, ErrorCode, Request, ScoreResult, ScreenResponse,
+};
 use crate::store::{GoldenRecord, GoldenStore};
 
 /// Tuning knobs of a [`Server`].
@@ -104,6 +108,7 @@ pub struct ServeHandle {
     cursor: Arc<AtomicUsize>,
     store: Arc<GoldenStore>,
     chunk: usize,
+    scored: Arc<AtomicU64>,
 }
 
 impl Clone for ServeHandle {
@@ -113,14 +118,82 @@ impl Clone for ServeHandle {
             cursor: Arc::clone(&self.cursor),
             store: Arc::clone(&self.store),
             chunk: self.chunk,
+            scored: Arc::clone(&self.scored),
         }
     }
 }
 
 impl ServeHandle {
+    /// Spawns a set of scoring shards over a store and returns a handle to
+    /// them — the TCP-free way to embed a scoring backend in another process
+    /// (the router tier builds its in-process backends this way; a
+    /// [`Server`] is this plus a listener).
+    ///
+    /// Shard threads are detached and exit once the last clone of the
+    /// returned handle is dropped.
+    pub fn spawn(store: Arc<GoldenStore>, config: ServeConfig) -> ServeHandle {
+        let scored = Arc::new(AtomicU64::new(0));
+        let mut shards = Vec::with_capacity(config.shards.max(1));
+        for _ in 0..config.shards.max(1) {
+            let (jobs, receiver) = mpsc::channel();
+            let counter = Arc::clone(&scored);
+            // Shards are detached: they exit when the last job sender drops.
+            std::thread::spawn(move || shard_loop(receiver, counter));
+            shards.push(jobs);
+        }
+        ServeHandle {
+            shards,
+            cursor: Arc::new(AtomicUsize::new(0)),
+            store,
+            chunk: config.shard_chunk.max(1),
+            scored,
+        }
+    }
+
     /// The golden store this handle scores against.
     pub fn store(&self) -> &Arc<GoldenStore> {
         &self.store
+    }
+
+    /// Total signatures scored successfully through this handle's shards
+    /// (shared with every clone and with the owning [`Server`], if any).
+    pub fn signatures_scored(&self) -> u64 {
+        self.scored.load(Ordering::Relaxed)
+    }
+
+    /// Stores (or replaces) a golden record — the in-process form of the
+    /// `DSGP` replication push.
+    pub fn push_golden(&self, key: u64, golden: Signature, band: AcceptanceBand) {
+        self.store.insert(key, golden, band);
+    }
+
+    /// Looks up a golden record — the in-process form of the `DSGF` readback.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::UnknownGolden`] when the store has no record
+    /// under `key`.
+    pub fn fetch_golden(&self, key: u64) -> Result<Arc<GoldenRecord>> {
+        self.store.get(key).ok_or(ServeError::UnknownGolden(key))
+    }
+
+    /// Scores a batch where **each signature names its own golden**: items
+    /// are grouped by fingerprint, each group is screened through the shards
+    /// like a [`ServeHandle::screen`] batch, and results return in request
+    /// order — bit-identical to screening the groups separately.
+    ///
+    /// # Errors
+    /// As for [`ServeHandle::screen`]; an unknown fingerprint anywhere fails
+    /// the whole batch.
+    pub fn screen_multi(&self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        let mut results: Vec<Option<ScoreResult>> = vec![None; items.len()];
+        for (key, indices) in group_by_fingerprint(items) {
+            let batch: Vec<Signature> = indices.iter().map(|&i| items[i].1.clone()).collect();
+            let scores = self.screen_vec(key, batch)?;
+            for (&index, score) in indices.iter().zip(scores) {
+                results[index] = Some(score);
+            }
+        }
+        Ok(results.into_iter().map(|r| r.expect("every item scored")).collect())
     }
 
     /// Scores a batch of observed signatures against the golden stored under
@@ -201,7 +274,6 @@ pub struct Server {
     handle: ServeHandle,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    scored: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -213,22 +285,7 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, store: Arc<GoldenStore>, config: ServeConfig) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let scored = Arc::new(AtomicU64::new(0));
-
-        let mut shards = Vec::with_capacity(config.shards.max(1));
-        for _ in 0..config.shards.max(1) {
-            let (jobs, receiver) = mpsc::channel();
-            let counter = Arc::clone(&scored);
-            // Shards are detached: they exit when the last job sender drops.
-            std::thread::spawn(move || shard_loop(receiver, counter));
-            shards.push(jobs);
-        }
-        let handle = ServeHandle {
-            shards,
-            cursor: Arc::new(AtomicUsize::new(0)),
-            store,
-            chunk: config.shard_chunk.max(1),
-        };
+        let handle = ServeHandle::spawn(store, config);
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_handle = handle.clone();
@@ -257,7 +314,6 @@ impl Server {
             handle,
             shutdown,
             accept_thread: Some(accept_thread),
-            scored,
         })
     }
 
@@ -275,7 +331,7 @@ impl Server {
     /// Total signatures scored successfully since the server started, across
     /// the TCP and in-process paths.
     pub fn signatures_scored(&self) -> u64 {
-        self.scored.load(Ordering::Relaxed)
+        self.handle.signatures_scored()
     }
 
     /// Stops accepting connections and joins the accept loop. Idempotent;
@@ -313,8 +369,77 @@ impl Drop for Server {
     }
 }
 
-/// Serves one TCP connection: read a request frame, score, write the
-/// response frame, repeat until the peer closes.
+/// Groups the items of a multi-golden batch by fingerprint, preserving
+/// first-appearance order of the keys and original item indices within each
+/// group — the shared substrate of every `screen_multi` implementation (the
+/// in-process handle here, the routing tier's per-backend splitter).
+pub fn group_by_fingerprint(items: &[(u64, Signature)]) -> Vec<(u64, Vec<usize>)> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (index, (key, _)) in items.iter().enumerate() {
+        groups
+            .entry(*key)
+            .or_insert_with(|| {
+                order.push(*key);
+                Vec::new()
+            })
+            .push(index);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let indices = groups.remove(&key).expect("every ordered key has a group");
+            (key, indices)
+        })
+        .collect()
+}
+
+/// Maps a serving-layer error onto the wire error code it travels as.
+fn error_code_of(err: &ServeError) -> ErrorCode {
+    match err {
+        ServeError::UnknownGolden(_) => ErrorCode::UnknownGolden,
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Builds the response frame for one decoded request — shared by every
+/// serving process (and mirrored by the router tier, which answers the same
+/// request kinds after fanning the work out).
+fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
+    match request {
+        Request::Screen(request) => encode_response(&match handle.screen_vec(request.golden_key, request.signatures) {
+            Ok(results) => ScreenResponse::Results(results),
+            Err(err) => ScreenResponse::Error {
+                code: error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
+        Request::MultiScreen(request) => encode_response(&match handle.screen_multi(&request.items) {
+            Ok(results) => ScreenResponse::Results(results),
+            Err(err) => ScreenResponse::Error {
+                code: error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
+        Request::PushGolden { key, band, golden } => {
+            handle.push_golden(key, golden, band);
+            encode_admin_response(&AdminResponse::Ack)
+        }
+        Request::FetchGolden { key } => encode_admin_response(&match handle.fetch_golden(key) {
+            Ok(record) => AdminResponse::Record {
+                band: record.band,
+                golden: record.golden.clone(),
+            },
+            Err(err) => AdminResponse::Error {
+                code: error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
+    }
+}
+
+/// Serves one TCP connection: read a request frame, dispatch it by magic,
+/// write the response frame, repeat until the peer closes.
 fn handle_connection(stream: TcpStream, handle: ServeHandle) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
@@ -328,28 +453,34 @@ fn handle_connection(stream: TcpStream, handle: ServeHandle) {
             // Clean close, unreadable frame or dead socket: stop serving.
             Ok(None) | Err(_) => return,
         };
-        let response = match decode_request(&payload) {
-            Ok(request) => match handle.screen_vec(request.golden_key, request.signatures) {
-                Ok(results) => ScreenResponse::Results(results),
-                Err(err) => ScreenResponse::Error {
-                    code: match err {
-                        ServeError::UnknownGolden(_) => ErrorCode::UnknownGolden,
-                        _ => ErrorCode::Internal,
-                    },
-                    message: err.to_string(),
-                },
-            },
-            Err(err) => ScreenResponse::Error {
-                code: ErrorCode::BadRequest,
-                message: err.to_string(),
-            },
+        let response = match decode_any_request(&payload) {
+            Ok(request) => respond(&handle, request),
+            Err(err) => encode_decode_error(&payload, err.to_string()),
         };
-        if write_frame(&mut writer, &encode_response(&response)).is_err() {
+        if write_frame(&mut writer, &response).is_err() {
             return;
         }
         if std::io::Write::flush(&mut writer).is_err() {
             return;
         }
+    }
+}
+
+impl From<ScoreResult> for RemoteScore {
+    fn from(score: ScoreResult) -> Self {
+        RemoteScore {
+            ndf: score.ndf,
+            peak_hamming: score.peak_hamming,
+            outcome: score.outcome,
+        }
+    }
+}
+
+impl RemoteScorer for ServeHandle {
+    fn screen_remote(&self, golden_key: u64, signatures: &[Signature]) -> dsig_core::Result<Vec<RemoteScore>> {
+        self.screen(golden_key, signatures)
+            .map(|scores| scores.into_iter().map(Into::into).collect())
+            .map_err(ServeError::into_dsig)
     }
 }
 
@@ -447,6 +578,49 @@ mod tests {
         assert!(handle.screen(2, &[]).unwrap().is_empty());
         let single = handle.screen_one(2, &sig(&[(1, 100e-6), (3, 100e-6)])).unwrap();
         assert_eq!(single.ndf, 0.0);
+    }
+
+    #[test]
+    fn spawned_handle_scores_without_a_listener_and_serves_admin_ops() {
+        let store = store_with_golden(11);
+        let handle = ServeHandle::spawn(Arc::clone(&store), ServeConfig::with_shards(2));
+        let observed = sig(&[(1, 100e-6), (3, 100e-6)]);
+        assert_eq!(handle.screen_one(11, &observed).unwrap().ndf, 0.0);
+        assert_eq!(handle.signatures_scored(), 1);
+        // Push then read back a second golden through the admin surface.
+        assert!(matches!(handle.fetch_golden(12), Err(ServeError::UnknownGolden(12))));
+        handle.push_golden(12, sig(&[(2, 50e-6)]), AcceptanceBand::new(0.01).unwrap());
+        let record = handle.fetch_golden(12).unwrap();
+        assert_eq!(record.band.ndf_threshold, 0.01);
+        assert_eq!(record.golden, sig(&[(2, 50e-6)]));
+    }
+
+    #[test]
+    fn multi_screen_matches_per_key_screening_in_request_order() {
+        let store = store_with_golden(1);
+        store.insert(2, sig(&[(2, 100e-6), (4, 100e-6)]), AcceptanceBand::new(0.05).unwrap());
+        let config = ServeConfig {
+            shards: 3,
+            shard_chunk: 2, // force chunking inside each key group
+        };
+        let handle = ServeHandle::spawn(Arc::clone(&store), config);
+        // Interleave the two goldens so grouping must reassemble by index.
+        let items: Vec<(u64, Signature)> = (0..20)
+            .map(|k| {
+                let key = 1 + (k % 2) as u64;
+                (key, sig(&[(1, 100e-6), (2, (k + 1) as f64 * 1e-6)]))
+            })
+            .collect();
+        let results = handle.screen_multi(&items).unwrap();
+        assert_eq!(results.len(), items.len());
+        for (result, (key, observed)) in results.iter().zip(&items) {
+            let direct = direct_score(&store.get(*key).unwrap(), observed);
+            assert_eq!(result, &direct, "multi-screen must equal per-key scoring");
+        }
+        // An unknown key anywhere fails the whole batch.
+        let mut bad = items;
+        bad[7].0 = 999;
+        assert!(matches!(handle.screen_multi(&bad), Err(ServeError::UnknownGolden(999))));
     }
 
     #[test]

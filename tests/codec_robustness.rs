@@ -1,9 +1,11 @@
-//! Property tests of the binary codecs: random signatures and logs must
+//! Property tests of the binary codecs: random signatures, logs and wire
+//! frames (including the router tier's `DSRM`/`DSGP`/`DSGF`/`DSRA`) must
 //! round-trip bit-exactly, and random truncations / byte mutations must be
 //! rejected or decoded — never panic, never hang, never over-allocate.
 
-use analog_signature::dsig::{DsigError, Signature, SignatureEntry, ZoneCode};
+use analog_signature::dsig::{AcceptanceBand, DsigError, Signature, SignatureEntry, ZoneCode};
 use analog_signature::engine::SignatureLog;
+use analog_signature::serve::proto;
 use proptest::prelude::*;
 
 /// Builds a valid signature from generated `(code, duration-in-µs)` pairs.
@@ -69,6 +71,102 @@ proptest! {
         // impossible here because the byte length pins the entry count.
         if at < 8 {
             prop_assert!(Signature::from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn multi_screen_requests_round_trip_and_survive_abuse(
+        items in prop::collection::vec(
+            (0u64..u64::MAX, prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..8)),
+            0..10,
+        ),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        let items: Vec<(u64, Signature)> = items
+            .iter()
+            .map(|(key, parts)| (*key, signature_from(parts)))
+            .collect();
+        let bytes = proto::encode_multi_request(&items);
+        let decoded = proto::decode_multi_request(&bytes).unwrap();
+        prop_assert_eq!(&decoded.items, &items);
+        for ((_, a), (_, b)) in decoded.items.iter().zip(&items) {
+            for (x, y) in a.entries().iter().zip(b.entries()) {
+                prop_assert_eq!(x.duration.to_bits(), y.duration.to_bits());
+            }
+        }
+        // Truncation: always a clean error (the empty request is 10 bytes).
+        let keep = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(proto::decode_multi_request(&bytes[..keep]).is_err());
+        // Mutation: never a panic; header corruption always errors.
+        let mut mutated = bytes.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        let _ = proto::decode_multi_request(&mutated);
+        let _ = proto::decode_any_request(&mutated);
+        if at < 6 {
+            prop_assert!(proto::decode_multi_request(&mutated).is_err());
+        }
+    }
+
+    #[test]
+    fn push_fetch_and_admin_frames_round_trip_and_survive_abuse(
+        key in 0u64..u64::MAX,
+        threshold in 0.0..10.0_f64,
+        parts in prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..10),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        let band = AcceptanceBand::new(threshold).unwrap();
+        let golden = signature_from(&parts);
+        for bytes in [
+            proto::encode_push_request(key, band, &golden),
+            proto::encode_fetch_request(key),
+            proto::encode_admin_response(&proto::AdminResponse::Ack),
+            proto::encode_admin_response(&proto::AdminResponse::Record { band, golden: golden.clone() }),
+            proto::encode_admin_response(&proto::AdminResponse::Error {
+                code: proto::ErrorCode::Internal,
+                message: "x".into(),
+            }),
+        ] {
+            // Round trip through the matching decoder.
+            match bytes.get(..4) {
+                Some(magic) if *magic == proto::ADMIN_RESPONSE_MAGIC => {
+                    prop_assert_eq!(
+                        proto::encode_admin_response(&proto::decode_admin_response(&bytes).unwrap()),
+                        bytes.clone()
+                    );
+                }
+                _ => {
+                    let decoded = proto::decode_any_request(&bytes).unwrap();
+                    match &decoded {
+                        proto::Request::PushGolden { key: k, band: b, golden: g } => {
+                            prop_assert_eq!(*k, key);
+                            prop_assert_eq!(b.ndf_threshold.to_bits(), band.ndf_threshold.to_bits());
+                            prop_assert_eq!(g, &golden);
+                        }
+                        proto::Request::FetchGolden { key: k } => prop_assert_eq!(*k, key),
+                        other => prop_assert!(false, "unexpected request kind {:?}", other),
+                    }
+                }
+            }
+            // Truncation: always a clean error (every frame is > 6 bytes).
+            let keep = (bytes.len() as f64 * cut) as usize;
+            prop_assert!(proto::decode_any_request(&bytes[..keep]).is_err());
+            prop_assert!(proto::decode_admin_response(&bytes[..keep]).is_err());
+            // Mutation: never a panic; header corruption always errors.
+            let mut mutated = bytes.clone();
+            let at = ((mutated.len() - 1) as f64 * position) as usize;
+            mutated[at] ^= flip;
+            let _ = proto::decode_any_request(&mutated);
+            let _ = proto::decode_admin_response(&mutated);
+            if at < 6 {
+                prop_assert!(
+                    proto::decode_any_request(&mutated).is_err() && proto::decode_admin_response(&mutated).is_err()
+                );
+            }
         }
     }
 

@@ -1,0 +1,172 @@
+//! Acceptance test of the routing tier: a Monte-Carlo production lot
+//! screened through a router must yield bit-identical `(ndf, outcome,
+//! peak_hamming)` results to direct campaign-engine (`TestFlow`) scoring at
+//! backend counts 1, 2 and 4 — and keep doing so, with zero wrong verdicts,
+//! after one backend is killed mid-lot. A campaign scoring through the
+//! router as its `ScoreTarget` must reproduce the local report exactly.
+
+use std::sync::OnceLock;
+
+use analog_signature::dsig::{AcceptanceBand, Signature, TestSetup};
+use analog_signature::engine::{Campaign, CampaignReport, CampaignRunner, DevicePopulation, ScoreTarget};
+use analog_signature::filters::BiquadParams;
+use analog_signature::router::{RouterConfig, RouterHandle, RouterStore};
+use analog_signature::serve::ServeConfig;
+
+const DEVICES: usize = 1000;
+/// Client-side batch size; deliberately coprime with the router's sub-batch
+/// so every split boundary is exercised.
+const BATCH: usize = 64;
+
+struct Lot {
+    setup: TestSetup,
+    reference: BiquadParams,
+    band: AcceptanceBand,
+    report: CampaignReport,
+    signatures: Vec<Signature>,
+}
+
+/// Simulates the lot once for every test in this file: the campaign report's
+/// per-device scores *are* direct `TestFlow` scoring.
+fn lot() -> &'static Lot {
+    static LOT: OnceLock<Lot> = OnceLock::new();
+    LOT.get_or_init(|| {
+        let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+        let reference = BiquadParams::paper_default();
+        let band = AcceptanceBand::new(0.03).unwrap();
+        let campaign = Campaign::new(
+            setup.clone(),
+            reference,
+            DevicePopulation::MonteCarlo {
+                devices: DEVICES,
+                sigma_pct: 3.0,
+            },
+            band,
+            3.0,
+        )
+        .unwrap()
+        .with_seed(77);
+        let (report, log) = CampaignRunner::new().run_logged(&campaign).unwrap();
+        assert_eq!(report.devices(), DEVICES);
+        Lot {
+            setup,
+            reference,
+            band,
+            report,
+            signatures: log.entries().iter().map(|(_, s)| s.clone()).collect(),
+        }
+    })
+}
+
+fn router_with(backends: usize, sub_batch: usize) -> (RouterHandle, u64) {
+    let lot = lot();
+    let router = RouterHandle::spawn(
+        backends,
+        ServeConfig::default(),
+        RouterStore::new(),
+        RouterConfig {
+            sub_batch,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let key = router.characterize(&lot.setup, &lot.reference, lot.band).unwrap();
+    (router, key)
+}
+
+fn assert_scores_match(
+    scores: &[analog_signature::serve::ScoreResult],
+    results: &[analog_signature::engine::DeviceResult],
+    what: &str,
+) {
+    assert_eq!(scores.len(), results.len());
+    for (score, result) in scores.iter().zip(results) {
+        assert_eq!(
+            score.ndf.to_bits(),
+            result.ndf.to_bits(),
+            "{what} device={}: routed NDF must be bit-identical",
+            result.index
+        );
+        assert_eq!(
+            score.outcome, result.outcome,
+            "{what} device={}: routed outcome must match",
+            result.index
+        );
+        assert_eq!(
+            score.peak_hamming, result.peak_hamming,
+            "{what} device={}",
+            result.index
+        );
+    }
+}
+
+#[test]
+fn routed_screening_is_bit_identical_at_every_backend_count() {
+    let lot = lot();
+    // Sub-batch 97 is coprime with the client batch of 64, so chunk
+    // boundaries land everywhere across the lot.
+    for backends in [1usize, 2, 4] {
+        let (router, key) = router_with(backends, 97);
+        let mut scores = Vec::with_capacity(DEVICES);
+        for batch in lot.signatures.chunks(BATCH) {
+            scores.extend(router.screen(key, batch).unwrap());
+        }
+        assert_scores_match(&scores, &lot.report.results, &format!("backends={backends}"));
+    }
+}
+
+#[test]
+fn routed_screening_survives_a_killed_backend_with_zero_wrong_verdicts() {
+    let lot = lot();
+    let (router, key) = router_with(4, 97);
+    let owner = router.rank(key)[0];
+
+    // First half of the lot with the full fleet...
+    let half = DEVICES / 2;
+    let mut scores = Vec::with_capacity(DEVICES);
+    for batch in lot.signatures[..half].chunks(BATCH) {
+        scores.extend(router.screen(key, batch).unwrap());
+    }
+    // ...then the owner dies mid-lot and the rest fails over to the replica
+    // chain (refreshing the golden from the router store if it has to).
+    router.kill_backend(owner);
+    for batch in lot.signatures[half..].chunks(BATCH) {
+        scores.extend(router.screen(key, batch).unwrap());
+    }
+    assert_scores_match(&scores, &lot.report.results, "killed-owner");
+    assert!(
+        router.backend_down(owner),
+        "the killed owner must be marked down by the health record"
+    );
+
+    // The multi-golden path takes the same failover chain: interleave the
+    // first devices as (key, signature) items.
+    let items: Vec<(u64, Signature)> = lot.signatures[..100].iter().map(|s| (key, s.clone())).collect();
+    let multi = router.screen_multi(&items).unwrap();
+    assert_scores_match(&multi, &lot.report.results[..100], "killed-owner multi");
+}
+
+#[test]
+fn campaign_scores_through_the_router_target_bit_identically() {
+    let lot = lot();
+    let (router, _key) = router_with(3, 256);
+    let campaign = Campaign::new(
+        lot.setup.clone(),
+        lot.reference,
+        DevicePopulation::MonteCarlo {
+            devices: 200,
+            sigma_pct: 3.0,
+        },
+        lot.band,
+        3.0,
+    )
+    .unwrap()
+    .with_seed(2026);
+    let runner = CampaignRunner::with_threads(4);
+    let local = runner.run(&campaign).unwrap();
+    let routed = runner.run_with_target(&campaign, ScoreTarget::Remote(&router)).unwrap();
+    assert_eq!(
+        routed, local,
+        "a campaign scored through the router must reproduce the local report exactly"
+    );
+}
