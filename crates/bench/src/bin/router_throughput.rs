@@ -2,56 +2,33 @@
 //! (a) a single-process `dsig-serve` server and (b) a `dsig-router` tier
 //! fronting an in-process backend fleet, both over loopback TCP, and reports
 //! request/signature throughput and p50/p95/p99 latency per batch size —
-//! plus the router's in-process handle path and the multi-golden (`DSRM`)
-//! fan-out path.
+//! plus the router's in-process handle path, the multi-golden (`DSRM`)
+//! fan-out path, and the adaptive-retest (`DSRT`) path on a marginal-heavy
+//! lot.
 //!
 //! Run with `cargo run --release -p repro-bench --bin router_throughput`
 //! (append `-- --smoke` for the abbreviated CI run, which also **asserts**
-//! that the routed batched throughput stays within 20% of the direct serve
-//! path — the routing tier must cost coordination, not capacity).
+//! that routed batched throughput stays within 20% of the direct serve path
+//! and that the retest path stays within 30% of no-retest batched routing;
+//! `--json <path>` writes the `BENCH_router_throughput.json` artifact).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cut_filters::BiquadParams;
-use dsig_core::{AcceptanceBand, Signature, TestSetup};
+use dsig_core::{AcceptanceBand, RetestPolicy, Signature, TestSetup};
 use dsig_engine::{available_threads, Campaign, CampaignRunner, DevicePopulation};
 use dsig_router::{Backend, Router, RouterClient, RouterConfig, RouterStore};
-use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
+use dsig_serve::{GoldenStore, RetestItem, RetestRequest, ServeClient, ServeConfig, Server};
 use repro_bench::banner;
+use repro_bench::smoke::{report, BenchOutput, Load, RETEST_MIN_RATIO, ROUTER_MIN_RATIO};
 
 const BACKENDS: usize = 4;
-
-struct Load {
-    signatures: usize,
-    clients: usize,
-    requests_per_client: usize,
-}
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[rank]
-}
-
-/// Reports one measured path and returns its signatures/second.
-fn report(path: &str, batch: usize, mut latencies: Vec<Duration>, elapsed: Duration) -> f64 {
-    latencies.sort_unstable();
-    let requests = latencies.len();
-    let signatures = requests * batch;
-    let sigs_per_s = signatures as f64 / elapsed.as_secs_f64();
-    println!(
-        "{path:<15} batch {batch:>3}: {:>9.1} req/s  {:>10.1} sigs/s   p50 {:>9.2?}  p95 {:>9.2?}  p99 {:>9.2?}",
-        requests as f64 / elapsed.as_secs_f64(),
-        sigs_per_s,
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
-    );
-    sigs_per_s
-}
+/// Target fraction of the signature pool made marginal for the retest
+/// scenario ("marginal-heavy": ~2-3x the acceptance test's 5% floor; the
+/// realized fraction can land a little higher because the quantized NDF
+/// distribution produces ties at the guard-band edge).
+const MARGINAL_FRACTION: f64 = 0.10;
 
 /// Drives `clients` concurrent connections of `screen`-batch requests
 /// against one address and returns the per-request latencies.
@@ -93,25 +70,75 @@ fn drive_tcp(
     })
 }
 
+/// Drives `clients` concurrent connections of adaptive-retest requests: each
+/// device carries its single shot, and the marginal minority additionally
+/// carries its repeat budget — the shape the campaign runner produces.
+fn drive_retest(
+    addr: std::net::SocketAddr,
+    key: u64,
+    policy: &RetestPolicy,
+    pool: &Arc<Vec<Signature>>,
+    marginal: &Arc<Vec<bool>>,
+    load: &Load,
+    batch: usize,
+) -> Vec<Duration> {
+    let cap = policy.repeat_cap() as usize;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..load.clients)
+            .map(|client_index| {
+                let pool = Arc::clone(pool);
+                let marginal = Arc::clone(marginal);
+                let policy = policy.clone();
+                scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
+                    let mut client = ServeClient::connect(addr)?;
+                    let mut times = Vec::with_capacity(load.requests_per_client);
+                    for request in 0..load.requests_per_client {
+                        let at = (client_index + request * load.clients) % pool.len();
+                        let items: Vec<RetestItem> = (0..batch)
+                            .map(|k| {
+                                let device = (at + k) % pool.len();
+                                RetestItem {
+                                    initial: pool[device].clone(),
+                                    // The repeat budget of a marginal device:
+                                    // in this noiseless load every repeat
+                                    // observes the same samples, which is
+                                    // exactly what the tester would upload.
+                                    repeats: if marginal[device] {
+                                        vec![pool[device].clone(); cap]
+                                    } else {
+                                        Vec::new()
+                                    },
+                                }
+                            })
+                            .collect();
+                        let retest = RetestRequest {
+                            golden_key: key,
+                            policy: policy.clone(),
+                            items,
+                        };
+                        let sent = Instant::now();
+                        let results = client.screen_retest(&retest)?;
+                        times.push(sent.elapsed());
+                        assert_eq!(results.len(), batch);
+                    }
+                    Ok(times)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|worker| worker.join().expect("client thread panicked").expect("client failed"))
+            .collect()
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
     banner(
         "router_throughput",
         "loopback routing tier vs direct serve: batched screening over TCP",
     );
-    let load = if smoke {
-        Load {
-            signatures: 64,
-            clients: 2,
-            requests_per_client: 50,
-        }
-    } else {
-        Load {
-            signatures: 256,
-            clients: 4,
-            requests_per_client: 250,
-        }
-    };
+    let load = Load::for_mode(smoke);
 
     // Characterize one golden and capture a pool of realistic signatures
     // (capture cost stays outside every timed region).
@@ -129,7 +156,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3.0,
     )?
     .with_seed(7);
-    let (_, log) = CampaignRunner::new().run_logged(&campaign)?;
+    let (pool_report, log) = CampaignRunner::new().run_logged(&campaign)?;
     let pool: Arc<Vec<Signature>> = Arc::new(log.entries().iter().map(|(_, s)| s.clone()).collect());
 
     // Path A: the single-process serving baseline.
@@ -164,31 +191,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         load.clients,
         load.requests_per_client
     );
+    let mut output = BenchOutput::new("router_throughput", smoke);
+    output.config("signatures", pool.len());
+    output.config("serve_shards", shards);
+    output.config("backends", BACKENDS);
+    output.config("clients", load.clients);
+    output.config("requests_per_client", load.requests_per_client);
 
     let mut serve_batched = 0.0;
     let mut router_batched = 0.0;
     for batch in [1usize, 8, 64] {
         let start = Instant::now();
         let latencies = drive_tcp(server.local_addr(), key, &pool, &load, batch);
-        serve_batched = report("serve tcp", batch, latencies, start.elapsed());
+        let metrics = report("serve tcp", batch, latencies, start.elapsed());
+        serve_batched = metrics.items_per_s;
+        output.paths.push(metrics);
 
         let start = Instant::now();
         let latencies = drive_tcp(router.local_addr(), key, &pool, &load, batch);
-        router_batched = report("router tcp", batch, latencies, start.elapsed());
+        let metrics = report("router tcp", batch, latencies, start.elapsed());
+        router_batched = metrics.items_per_s;
+        output.paths.push(metrics);
     }
     let batch = 64usize;
     // Two short timed runs on a shared machine are noisy; before judging the
     // ratio, re-measure both paths back-to-back up to twice more and keep
-    // each path's best run. A real regression stays visible; a scheduling
-    // hiccup does not fail CI.
+    // the best *pair* (re-maximizing numerator and denominator independently
+    // could lower a ratio that already passed). A real regression stays
+    // visible; a scheduling hiccup does not fail CI.
     if smoke && router_batched < 0.9 * serve_batched {
         for _ in 0..2 {
             let start = Instant::now();
             let latencies = drive_tcp(server.local_addr(), key, &pool, &load, batch);
-            serve_batched = serve_batched.max(report("serve tcp", batch, latencies, start.elapsed()));
+            let serve_again = report("serve tcp", batch, latencies, start.elapsed()).items_per_s;
             let start = Instant::now();
             let latencies = drive_tcp(router.local_addr(), key, &pool, &load, batch);
-            router_batched = router_batched.max(report("router tcp", batch, latencies, start.elapsed()));
+            let router_again = report("router tcp", batch, latencies, start.elapsed()).items_per_s;
+            if router_again / serve_again > router_batched / serve_batched {
+                serve_batched = serve_again;
+                router_batched = router_again;
+            }
         }
     }
 
@@ -200,6 +242,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|client_index| {
                 let pool = Arc::clone(&pool);
                 let handle = handle.clone();
+                let load = &load;
                 scope.spawn(move || -> Result<Vec<Duration>, dsig_router::RouterError> {
                     let mut times = Vec::with_capacity(load.requests_per_client);
                     for request in 0..load.requests_per_client {
@@ -222,7 +265,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .flat_map(|worker| worker.join().expect("handle thread panicked").expect("handle failed"))
             .collect()
     });
-    report("router handle", batch, latencies, start.elapsed());
+    output
+        .paths
+        .push(report("router handle", batch, latencies, start.elapsed()));
 
     // The multi-golden fan-out path (DSRM), one request per client batch.
     let start = Instant::now();
@@ -237,7 +282,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         latencies.push(sent.elapsed());
         assert_eq!(results.len(), batch);
     }
-    report("router multi", batch, latencies, start.elapsed());
+    output
+        .paths
+        .push(report("router multi", batch, latencies, start.elapsed()));
+
+    // The adaptive-retest path (DSRT) on a marginal-heavy lot: the guard
+    // band is derived from the pool's own NDF distribution, and exactly the
+    // `MARGINAL_FRACTION` of devices closest to the threshold carry a repeat
+    // budget (the quantized NDF distribution produces ties at the guard
+    // edge; tied devices beyond the budgeted count escalate over an empty
+    // repeat list, which costs nothing) — the request shape a retest
+    // campaign produces, with a precisely bounded escalation surplus.
+    let mut ranked: Vec<(f64, usize)> = pool_report
+        .results
+        .iter()
+        .map(|r| ((r.ndf - band.ndf_threshold).abs(), r.index))
+        .collect();
+    ranked.sort_by(|a, b| f64::total_cmp(&a.0, &b.0).then(a.1.cmp(&b.1)));
+    let budgeted = ((pool.len() as f64 * MARGINAL_FRACTION).round() as usize).max(1);
+    let guard = ranked[budgeted - 1].0;
+    let policy = RetestPolicy::new(guard, vec![2])?;
+    let mut carries_repeats = vec![false; pool.len()];
+    for &(_, index) in &ranked[..budgeted] {
+        carries_repeats[index] = true;
+    }
+    let marginal: Arc<Vec<bool>> = Arc::new(carries_repeats);
+    println!(
+        "\nretest lot: {budgeted}/{} devices carry a repeat budget (guard {guard:.4}), {} repeats each",
+        pool.len(),
+        policy.repeat_cap()
+    );
+    let start = Instant::now();
+    let latencies = drive_retest(router.local_addr(), key, &policy, &pool, &marginal, &load, batch);
+    let mut router_retest = report("router retest", batch, latencies, start.elapsed()).items_per_s;
 
     println!();
     let ratio = router_batched / serve_batched;
@@ -245,15 +322,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "routed batched throughput = {:.1}% of the direct serve path (batch {batch})",
         100.0 * ratio
     );
+    let mut retest_ratio = router_retest / router_batched;
+    // De-flake the retest ratio the same way as the routing ratio: up to two
+    // more back-to-back (batched, retest) pairs, keeping the best pair.
+    if smoke && retest_ratio < RETEST_MIN_RATIO + 0.05 {
+        for _ in 0..2 {
+            let start = Instant::now();
+            let latencies = drive_tcp(router.local_addr(), key, &pool, &load, batch);
+            let batched_again = report("router tcp", batch, latencies, start.elapsed()).items_per_s;
+            let start = Instant::now();
+            let latencies = drive_retest(router.local_addr(), key, &policy, &pool, &marginal, &load, batch);
+            let retest_again = report("router retest", batch, latencies, start.elapsed()).items_per_s;
+            if retest_again / batched_again > retest_ratio {
+                retest_ratio = retest_again / batched_again;
+                router_batched = batched_again;
+                router_retest = retest_again;
+            }
+        }
+    }
+    println!(
+        "routed retest throughput  = {:.1}% of no-retest batched routing (batch {batch}, {MARGINAL_FRACTION} marginal)",
+        100.0 * retest_ratio
+    );
+    // Write the artifact before any gate can fail the run, so a tripped gate
+    // still leaves its measurements behind for diagnosis.
+    output.config("router_vs_serve_ratio", format!("{ratio:.4}"));
+    output.config("retest_vs_batched_ratio", format!("{retest_ratio:.4}"));
+    output.config("marginal_fraction", format!("{MARGINAL_FRACTION}"));
+    if let Some(path) = repro_bench::smoke::json_path_from_args() {
+        output.save(&path)?;
+        println!("wrote {}", path.display());
+    }
     if smoke {
-        // CI gate: routing must cost coordination, not capacity. The 20%
-        // bound is generous — the router forwards to in-process backends, so
-        // the TCP hop count matches the direct path.
+        // CI gate: routing must cost coordination, not capacity. The bound
+        // lives in repro_bench::smoke with the other gate thresholds.
         assert!(
-            ratio >= 0.8,
-            "routed throughput {router_batched:.1} sigs/s fell below 80% of serve's {serve_batched:.1} sigs/s"
+            ratio >= ROUTER_MIN_RATIO,
+            "routed throughput {router_batched:.1} sigs/s fell below {:.0}% of serve's {serve_batched:.1} sigs/s",
+            100.0 * ROUTER_MIN_RATIO
         );
-        println!("--smoke gate: routed batched throughput within 20% of direct serve: OK");
+        println!(
+            "--smoke gate: routed batched throughput within {:.0}% of direct serve: OK",
+            100.0 * (1.0 - ROUTER_MIN_RATIO)
+        );
+        // CI gate: adaptive retest on a marginal-heavy lot must stay within
+        // 30% of the no-retest batched path — the escalation budget is spent
+        // on the marginal minority, not on the whole lot.
+        assert!(
+            retest_ratio >= RETEST_MIN_RATIO,
+            "retest throughput {router_retest:.1} devices/s fell below {:.0}% of batched routing's {router_batched:.1}",
+            100.0 * RETEST_MIN_RATIO
+        );
+        println!(
+            "--smoke gate: retest path within {:.0}% of no-retest batched routing: OK",
+            100.0 * (1.0 - RETEST_MIN_RATIO)
+        );
     }
     Ok(())
 }

@@ -4,7 +4,8 @@
 //! the in-process `ServeHandle` path.
 //!
 //! Run with `cargo run --release -p repro-bench --bin serve_throughput`
-//! (append `-- --smoke` for the abbreviated CI run).
+//! (append `-- --smoke` for the abbreviated CI run, and `--json <path>` to
+//! write the machine-readable `BENCH_serve_throughput.json` artifact).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -14,37 +15,7 @@ use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_engine::{available_threads, Campaign, CampaignRunner, DevicePopulation};
 use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
 use repro_bench::banner;
-
-struct Load {
-    /// Distinct captured signatures cycled through by the clients.
-    signatures: usize,
-    /// Concurrent client connections.
-    clients: usize,
-    /// Requests issued per client per batch size.
-    requests_per_client: usize,
-}
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[rank]
-}
-
-fn report(path: &str, batch: usize, mut latencies: Vec<Duration>, elapsed: Duration) {
-    latencies.sort_unstable();
-    let requests = latencies.len();
-    let signatures = requests * batch;
-    println!(
-        "{path:<11} batch {batch:>3}: {:>9.1} req/s  {:>10.1} sigs/s   p50 {:>9.2?}  p95 {:>9.2?}  p99 {:>9.2?}",
-        requests as f64 / elapsed.as_secs_f64(),
-        signatures as f64 / elapsed.as_secs_f64(),
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
-    );
-}
+use repro_bench::smoke::{report, BenchOutput, Load};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
@@ -52,19 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "serve_throughput",
         "loopback scoring service: concurrent clients, batched screening requests",
     );
-    let load = if smoke {
-        Load {
-            signatures: 64,
-            clients: 2,
-            requests_per_client: 50,
-        }
-    } else {
-        Load {
-            signatures: 256,
-            clients: 4,
-            requests_per_client: 250,
-        }
-    };
+    let load = Load::for_mode(smoke);
 
     // Characterize one golden and capture a pool of realistic signatures via
     // a small Monte-Carlo campaign (the capture cost stays out of the timed
@@ -98,6 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         load.clients,
         load.requests_per_client
     );
+    let mut output = BenchOutput::new("serve_throughput", smoke);
+    output.config("signatures", pool.len());
+    output.config("shards", shards);
+    output.config("clients", load.clients);
+    output.config("requests_per_client", load.requests_per_client);
 
     for batch in [1usize, 8, 64] {
         // TCP path: each client owns one connection and issues batched
@@ -107,6 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let workers: Vec<_> = (0..load.clients)
                 .map(|client_index| {
                     let pool = Arc::clone(&pool);
+                    let load = &load;
                     scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
                         let mut client = ServeClient::connect(addr)?;
                         let mut times = Vec::with_capacity(load.requests_per_client);
@@ -130,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .flat_map(|worker| worker.join().expect("client thread panicked").expect("client failed"))
                 .collect()
         });
-        report("tcp", batch, latencies, start.elapsed());
+        output.paths.push(report("tcp", batch, latencies, start.elapsed()));
 
         // In-process path: same shards, no sockets or framing.
         let handle = server.handle();
@@ -140,6 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|client_index| {
                     let pool = Arc::clone(&pool);
                     let handle = handle.clone();
+                    let load = &load;
                     scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
                         let mut times = Vec::with_capacity(load.requests_per_client);
                         for request in 0..load.requests_per_client {
@@ -162,9 +128,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .flat_map(|worker| worker.join().expect("handle thread panicked").expect("handle failed"))
                 .collect()
         });
-        report("in-process", batch, latencies, start.elapsed());
+        output
+            .paths
+            .push(report("in-process", batch, latencies, start.elapsed()));
     }
 
     println!("\nserver scored {} signatures total", server.signatures_scored());
+    if let Some(path) = repro_bench::smoke::json_path_from_args() {
+        output.save(&path)?;
+        println!("wrote {}", path.display());
+    }
     Ok(())
 }

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod smoke;
+
 use cut_filters::BiquadParams;
 use dsig_core::{DsigError, TestFlow, TestSetup};
 

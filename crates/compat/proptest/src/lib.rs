@@ -129,9 +129,31 @@ macro_rules! impl_strategy_tuple {
 impl_strategy_tuple!(A: 0, B: 1);
 impl_strategy_tuple!(A: 0, B: 1, C: 2);
 impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 /// Strategy namespace, mirroring `proptest::prop`.
 pub mod prop {
+    /// Boolean strategies, mirroring `proptest::bool`.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// A strategy generating `true` and `false` with equal probability.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy (`prop::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use super::super::{Strategy, TestRng};
@@ -272,6 +294,25 @@ mod tests {
             assert!((1e-6..100e-6).contains(&f));
             let (a, b) = (0u32..4, 0.0..1.0_f64).generate(&mut rng);
             assert!(a < 4 && (0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn bool_strategy_generates_both_values() {
+        let mut rng = TestRng::from_name("bool");
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[usize::from(prop::bool::ANY.generate(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn wide_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_name("wide");
+        let (a, b, c, d, e, f) = (0u32..4, 0u32..4, 0u32..4, 0u32..4, 0u32..4, 0u32..4).generate(&mut rng);
+        for v in [a, b, c, d, e, f] {
+            assert!(v < 4);
         }
     }
 

@@ -15,6 +15,7 @@ use crate::capture::{capture_signature, CaptureClock, PointEncoder};
 use crate::decision::{AcceptanceBand, ScreeningStats, TestOutcome};
 use crate::error::{DsigError, Result};
 use crate::ndf::{ndf, peak_hamming_distance};
+use crate::retest::{retest_seed, RetestPolicy, RetestVerdict};
 use crate::signature::Signature;
 
 /// Everything needed to observe one CUT instance and capture its signature.
@@ -192,6 +193,20 @@ pub struct NdfReport {
     pub peak_hamming: u32,
     /// Number of zone traversals in the observed signature.
     pub observed_zones: usize,
+}
+
+/// The result of evaluating one CUT instance under a [`RetestPolicy`]
+/// (see [`TestFlow::evaluate_with_retest`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetestNdfReport {
+    /// The deciding measurements: the final (averaged, for retested devices)
+    /// NDF with the peak Hamming distance and zone count folded over the
+    /// initial capture and every consumed repeat.
+    pub report: NdfReport,
+    /// The single-shot NDF of the initial capture.
+    pub initial_ndf: f64,
+    /// The escalation walk's verdict (marginality, flip, repeats spent).
+    pub verdict: RetestVerdict,
 }
 
 /// One point of the Fig. 8 sweep: an injected `f0` deviation and the NDF it produces.
@@ -374,6 +389,84 @@ impl TestFlow {
             ndf: ndf_sum / repeats as f64,
             peak_hamming: peak,
             observed_zones: zones,
+        })
+    }
+
+    /// Evaluates one CUT instance under an adaptive retest policy: a single
+    /// capture decides non-marginal devices; a device whose NDF lands inside
+    /// the policy's guard band around `band.ndf_threshold` is re-measured
+    /// with averaged repeats (captured through
+    /// [`TestSetup::signatures_of_repeats`], seeds derived by
+    /// [`crate::retest_seed`]) and the escalation walk of
+    /// [`RetestPolicy::escalate`] decides — each step's averaged NDF is
+    /// bit-identical to [`TestFlow::evaluate_averaged`] over that many
+    /// repeats.
+    ///
+    /// # Errors
+    /// Propagates capture and comparison errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_filters::BiquadParams;
+    /// use dsig_core::{AcceptanceBand, RetestPolicy, TestFlow, TestSetup};
+    /// use sim_signal::NoiseModel;
+    ///
+    /// # fn main() -> Result<(), dsig_core::DsigError> {
+    /// let setup = TestSetup::paper_default()?
+    ///     .with_sample_rate(1e6)?
+    ///     .with_noise(NoiseModel::paper_default());
+    /// let flow = TestFlow::new(setup, BiquadParams::paper_default())?;
+    /// let band = AcceptanceBand::new(0.03)?;
+    /// let policy = RetestPolicy::new(0.01, vec![4, 16])?;
+    /// // A grossly deviated device is decided by its single capture alone.
+    /// let gross = BiquadParams::paper_default().with_f0_shift_pct(15.0);
+    /// let report = flow.evaluate_with_retest(&gross, &band, &policy, 7)?;
+    /// assert!(!report.verdict.marginal);
+    /// assert_eq!(report.verdict.repeats_used, 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn evaluate_with_retest(
+        &self,
+        cut: &BiquadParams,
+        band: &AcceptanceBand,
+        policy: &RetestPolicy,
+        noise_seed: u64,
+    ) -> Result<RetestNdfReport> {
+        let initial = self.evaluate(cut, noise_seed)?;
+        if !policy.is_marginal(band, initial.ndf) {
+            return Ok(RetestNdfReport {
+                report: initial,
+                initial_ndf: initial.ndf,
+                verdict: policy.escalate(band, initial.ndf, &[]),
+            });
+        }
+        let repeats = self
+            .setup
+            .signatures_of_repeats(cut, policy.repeat_cap() as usize, retest_seed(noise_seed))?;
+        let mut repeat_ndfs = Vec::with_capacity(repeats.len());
+        let mut repeat_peaks = Vec::with_capacity(repeats.len());
+        let mut repeat_zones = Vec::with_capacity(repeats.len());
+        for observed in &repeats {
+            repeat_ndfs.push(ndf(&self.golden, observed)?);
+            repeat_peaks.push(peak_hamming_distance(&self.golden, observed)?);
+            repeat_zones.push(observed.len());
+        }
+        let verdict = policy.escalate(band, initial.ndf, &repeat_ndfs);
+        let used = verdict.repeats_used as usize;
+        Ok(RetestNdfReport {
+            report: NdfReport {
+                ndf: verdict.ndf,
+                peak_hamming: repeat_peaks[..used]
+                    .iter()
+                    .fold(initial.peak_hamming, |peak, &p| peak.max(p)),
+                observed_zones: repeat_zones[..used]
+                    .iter()
+                    .fold(initial.observed_zones, |zones, &z| zones.max(z)),
+            },
+            initial_ndf: initial.ndf,
+            verdict,
         })
     }
 
@@ -661,6 +754,57 @@ mod tests {
         let repeated = quiet.signatures_of_repeats(&cut, 3, 99).unwrap();
         assert_eq!(repeated[0], quiet.signature_of(&cut, 99).unwrap());
         assert!(repeated.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn retest_averages_are_bit_identical_to_evaluate_averaged() {
+        use crate::decision::AcceptanceBand;
+
+        let setup = TestSetup::paper_default()
+            .unwrap()
+            .with_sample_rate(1e6)
+            .unwrap()
+            .with_noise(NoiseModel::paper_default());
+        let f = TestFlow::new(setup, BiquadParams::paper_default()).unwrap();
+        let cut = BiquadParams::paper_default().with_f0_shift_pct(2.5);
+        let noise_seed = 11u64;
+        let initial = f.evaluate(&cut, noise_seed).unwrap();
+        // Center the band on the single-shot NDF so the device is marginal
+        // with a wide guard band: the walk must consume the full schedule.
+        let band = AcceptanceBand::new(initial.ndf).unwrap();
+        let policy = RetestPolicy::new(1.0, vec![3, 7]).unwrap();
+        let retested = f.evaluate_with_retest(&cut, &band, &policy, noise_seed).unwrap();
+        assert!(retested.verdict.marginal);
+        assert_eq!(retested.verdict.repeats_used, 7);
+        assert_eq!(retested.initial_ndf.to_bits(), initial.ndf.to_bits());
+        // The deciding NDF is exactly evaluate_averaged over the consumed
+        // repeats, from the shared retest seed stream.
+        let averaged = f.evaluate_averaged(&cut, 7, retest_seed(noise_seed)).unwrap();
+        assert_eq!(retested.report.ndf.to_bits(), averaged.ndf.to_bits());
+        assert_eq!(
+            retested.report.peak_hamming,
+            averaged.peak_hamming.max(initial.peak_hamming)
+        );
+        assert_eq!(
+            retested.report.observed_zones,
+            averaged.observed_zones.max(initial.observed_zones)
+        );
+    }
+
+    #[test]
+    fn non_marginal_devices_skip_the_retest_capture() {
+        use crate::decision::AcceptanceBand;
+
+        let f = flow();
+        let band = AcceptanceBand::new(0.03).unwrap();
+        let policy = RetestPolicy::new(0.005, vec![4]).unwrap();
+        let gross = BiquadParams::paper_default().with_f0_shift_pct(15.0);
+        let retested = f.evaluate_with_retest(&gross, &band, &policy, 3).unwrap();
+        let single = f.evaluate(&gross, 3).unwrap();
+        assert_eq!(retested.report, single);
+        assert!(!retested.verdict.marginal);
+        assert_eq!(retested.verdict.repeats_used, 0);
+        assert_eq!(retested.verdict.outcome, TestOutcome::Fail);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`batch`] — the shared-stimulus batched capture fast path
 //!   ([`StimulusBank`], [`capture_signatures_batch`]): per-setup stimulus
 //!   and monitor-term caching with bit-identical batched evaluation;
+//! * [`retest`] — adaptive retest of marginal NDFs ([`RetestPolicy`]): a
+//!   guard band around the acceptance threshold plus a cumulative repeat
+//!   schedule, decided by one pure escalation walk shared by the local flow,
+//!   the serving shards and the campaign runner;
 //! * [`baseline`] — straight-line zoning and raw waveform comparison
 //!   baselines used for comparison benches.
 //!
@@ -44,6 +48,7 @@ pub mod error;
 pub mod flow;
 pub mod ndf;
 pub mod regression;
+pub mod retest;
 pub mod signature;
 pub mod wire;
 
@@ -52,7 +57,8 @@ pub use batch::{capture_signatures_batch, stimulus_key, BatchDevice, SharedStimu
 pub use capture::{capture_signature, signature_from_codes, CaptureClock, PointEncoder};
 pub use decision::{AcceptanceBand, ScreeningStats, TestOutcome};
 pub use error::{DsigError, Result};
-pub use flow::{NdfReport, SweepPoint, TestFlow, TestSetup};
+pub use flow::{NdfReport, RetestNdfReport, SweepPoint, TestFlow, TestSetup};
 pub use ndf::{hamming_chronogram, ndf, peak_hamming_distance, HammingSegment};
 pub use regression::{dwell_features, SignatureRegressor};
+pub use retest::{retest_seed, RetestPolicy, RetestVerdict};
 pub use signature::{Signature, SignatureEntry, ZoneCode};

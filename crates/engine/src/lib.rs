@@ -72,6 +72,9 @@ pub use cache::{golden_fingerprint, golden_key, GoldenCache, GoldenKey};
 pub use campaign::{mix_seed, Campaign, DevicePopulation, DeviceSpec};
 pub use codec::SignatureLog;
 pub use pool::{available_threads, parallel_map_indexed, DEFAULT_CHUNK};
-pub use report::{report_diff, CampaignReport, DeviceResult, DwellStats, FaultCoverage, NdfHistogram, ReportDiff};
+pub use report::{
+    report_diff, CampaignReport, CapturePath, DeviceResult, DeviceRetest, DwellStats, FaultCoverage, NdfHistogram,
+    ReportDiff, RetestStats,
+};
 pub use runner::CampaignRunner;
-pub use score::{RemoteScore, RemoteScorer, ScoreTarget};
+pub use score::{RemoteRetest, RemoteScore, RemoteScorer, RetestDevice, ScoreTarget};

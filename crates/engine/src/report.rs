@@ -17,14 +17,80 @@ pub struct DeviceResult {
     pub label: String,
     /// True `f0` deviation of the instance, percent.
     pub true_deviation_pct: f64,
-    /// Measured normalized discrepancy factor.
+    /// Measured normalized discrepancy factor. For a retested device this is
+    /// the final averaged NDF that decided the verdict (the single-shot
+    /// value lives in [`DeviceRetest::initial_ndf`]).
     pub ndf: f64,
-    /// Peak instantaneous Hamming distance over the period.
+    /// Peak instantaneous Hamming distance over the period (folded over the
+    /// initial capture and every consumed repeat for retested devices).
     pub peak_hamming: u32,
-    /// Number of zone traversals in the observed signature.
+    /// Number of zone traversals in the observed signature (the maximum over
+    /// initial capture and consumed repeats for retested devices).
     pub observed_zones: usize,
     /// PASS/FAIL decision of the campaign's acceptance band.
     pub outcome: TestOutcome,
+    /// Adaptive-retest metadata — present exactly when the single-shot NDF
+    /// fell inside the campaign retest policy's guard band.
+    pub retest: Option<DeviceRetest>,
+}
+
+/// Adaptive-retest metadata of one marginal device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceRetest {
+    /// The single-shot NDF that triggered the retest.
+    pub initial_ndf: f64,
+    /// Measurement repeats consumed by the escalation walk.
+    pub repeats_used: u32,
+    /// Whether the averaged verdict differs from the single-shot one.
+    pub flipped: bool,
+}
+
+/// Aggregate adaptive-retest statistics of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetestStats {
+    /// Devices whose single-shot NDF fell inside the guard band.
+    pub marginal: usize,
+    /// Marginal devices whose verdict flipped PASS → FAIL under averaging.
+    pub flips_to_fail: usize,
+    /// Marginal devices whose verdict flipped FAIL → PASS under averaging.
+    pub flips_to_pass: usize,
+    /// Total measurement repeats consumed across every retested device.
+    pub repeats_spent: u64,
+}
+
+impl RetestStats {
+    /// Total verdict flips in either direction.
+    pub fn flips(&self) -> usize {
+        self.flips_to_fail + self.flips_to_pass
+    }
+}
+
+/// Which capture path produced a campaign's observed signatures — recorded
+/// in the report so a throughput regression is diagnosable from the report
+/// alone (a campaign silently falling back to the per-device path is ~3×
+/// slower than the batched one).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CapturePath {
+    /// The report predates capture-path recording (a version-1 `DSGR` file).
+    #[default]
+    Unknown,
+    /// The shared-stimulus batched fast path.
+    Batched,
+    /// The per-device reference path, with the reason for the fallback.
+    PerDevice {
+        /// Why the batched fast path was not taken.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CapturePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapturePath::Unknown => write!(f, "unknown"),
+            CapturePath::Batched => write!(f, "batched (shared stimulus)"),
+            CapturePath::PerDevice { reason } => write!(f, "per-device ({reason})"),
+        }
+    }
 }
 
 /// A fixed-bin histogram of NDF values.
@@ -158,7 +224,14 @@ pub struct FaultCoverage {
 }
 
 /// The aggregated outcome of a campaign.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares every *result* field — screening counters, histogram,
+/// dwell statistics, coverage, per-device rows and retest statistics — but
+/// deliberately ignores [`CampaignReport::capture`]: the capture path
+/// records *how* the signatures were produced, and the batched fast path is
+/// bit-identical to the per-device reference by contract, so two runs
+/// differing only in capture path are the same result.
+#[derive(Debug, Clone)]
 pub struct CampaignReport {
     /// Pass/fail/escape bookkeeping over the whole population.
     pub screening: ScreeningStats,
@@ -171,6 +244,12 @@ pub struct CampaignReport {
     pub coverage: Vec<FaultCoverage>,
     /// Per-device results in campaign order.
     pub results: Vec<DeviceResult>,
+    /// Aggregate adaptive-retest statistics (all zero when the campaign ran
+    /// without a retest policy).
+    pub retest: RetestStats,
+    /// The capture path the campaign took (batched fast path vs per-device
+    /// fallback, with the fallback reason).
+    pub capture: CapturePath,
     ndf_sum: f64,
     ndf_min: f64,
     ndf_max: f64,
@@ -185,6 +264,8 @@ impl CampaignReport {
             dwell: DwellStats::new(),
             coverage: Vec::new(),
             results: Vec::new(),
+            retest: RetestStats::default(),
+            capture: CapturePath::default(),
             ndf_sum: 0.0,
             ndf_min: f64::INFINITY,
             ndf_max: f64::NEG_INFINITY,
@@ -202,6 +283,16 @@ impl CampaignReport {
         self.ndf_sum += result.ndf;
         self.ndf_min = self.ndf_min.min(result.ndf);
         self.ndf_max = self.ndf_max.max(result.ndf);
+        if let Some(retest) = &result.retest {
+            self.retest.marginal += 1;
+            self.retest.repeats_spent += u64::from(retest.repeats_used);
+            if retest.flipped {
+                match result.outcome {
+                    TestOutcome::Fail => self.retest.flips_to_fail += 1,
+                    TestOutcome::Pass => self.retest.flips_to_pass += 1,
+                }
+            }
+        }
         if track_coverage {
             self.coverage.push(FaultCoverage {
                 label: result.label.clone(),
@@ -279,7 +370,31 @@ impl CampaignReport {
         if let Some(coverage) = self.fault_coverage() {
             out.push_str(&format!("fault coverage: {:.1}%\n", 100.0 * coverage));
         }
+        if self.retest.marginal > 0 {
+            out.push_str(&format!(
+                "retest: {} marginal  flips {} -> FAIL, {} -> PASS  repeats spent {}\n",
+                self.retest.marginal, self.retest.flips_to_fail, self.retest.flips_to_pass, self.retest.repeats_spent
+            ));
+        }
+        if self.capture != CapturePath::Unknown {
+            out.push_str(&format!("capture path: {}\n", self.capture));
+        }
         out
+    }
+}
+
+impl PartialEq for CampaignReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `capture` is diagnostic metadata, not a result — see the type docs.
+        self.screening == other.screening
+            && self.histogram == other.histogram
+            && self.dwell == other.dwell
+            && self.coverage == other.coverage
+            && self.results == other.results
+            && self.retest == other.retest
+            && self.ndf_sum == other.ndf_sum
+            && self.ndf_min == other.ndf_min
+            && self.ndf_max == other.ndf_max
     }
 }
 
@@ -291,13 +406,23 @@ impl Default for CampaignReport {
 
 /// Magic prefix of the persisted campaign-report format.
 const REPORT_MAGIC: [u8; 4] = *b"DSGR";
-/// Current campaign-report format version.
-const REPORT_VERSION: u16 = 1;
+/// Current campaign-report format version. Version 2 added the capture-path
+/// record, the aggregate retest statistics and the per-device retest
+/// metadata; version-1 reports still load (with those fields defaulted).
+const REPORT_VERSION: u16 = 2;
+
+/// Wire tag of [`CapturePath::Unknown`].
+const CAPTURE_UNKNOWN: u8 = 0;
+/// Wire tag of [`CapturePath::Batched`].
+const CAPTURE_BATCHED: u8 = 1;
+/// Wire tag of [`CapturePath::PerDevice`].
+const CAPTURE_PER_DEVICE: u8 = 2;
 
 impl CampaignReport {
     /// Serializes the complete report (screening counters, histogram, dwell
-    /// statistics, coverage rows and per-device results) into the versioned
-    /// `DSGR` binary format. Floating-point fields round-trip bit-exactly.
+    /// statistics, capture path, retest statistics, coverage rows and
+    /// per-device results) into the versioned `DSGR` binary format.
+    /// Floating-point fields round-trip bit-exactly.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128 + 64 * self.results.len());
         wire::put_header(&mut out, REPORT_MAGIC, REPORT_VERSION);
@@ -325,6 +450,28 @@ impl CampaignReport {
         for v in [self.ndf_sum, self.ndf_min, self.ndf_max] {
             wire::put_f64(&mut out, v);
         }
+        match &self.capture {
+            CapturePath::Unknown => {
+                out.push(CAPTURE_UNKNOWN);
+                wire::put_str(&mut out, "");
+            }
+            CapturePath::Batched => {
+                out.push(CAPTURE_BATCHED);
+                wire::put_str(&mut out, "");
+            }
+            CapturePath::PerDevice { reason } => {
+                out.push(CAPTURE_PER_DEVICE);
+                wire::put_str(&mut out, reason);
+            }
+        }
+        for count in [
+            self.retest.marginal as u64,
+            self.retest.flips_to_fail as u64,
+            self.retest.flips_to_pass as u64,
+            self.retest.repeats_spent,
+        ] {
+            wire::put_u64(&mut out, count);
+        }
         wire::put_u32(&mut out, self.coverage.len() as u32);
         for row in &self.coverage {
             wire::put_str(&mut out, &row.label);
@@ -340,6 +487,15 @@ impl CampaignReport {
             wire::put_u32(&mut out, r.peak_hamming);
             wire::put_u64(&mut out, r.observed_zones as u64);
             wire::put_outcome(&mut out, r.outcome);
+            match &r.retest {
+                None => out.push(0),
+                Some(retest) => {
+                    out.push(1);
+                    wire::put_f64(&mut out, retest.initial_ndf);
+                    wire::put_u32(&mut out, retest.repeats_used);
+                    out.push(u8::from(retest.flipped));
+                }
+            }
         }
         out
     }
@@ -351,7 +507,7 @@ impl CampaignReport {
     /// input; never panics.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = wire::ByteReader::new(bytes, "campaign report");
-        r.header(REPORT_MAGIC, REPORT_VERSION)?;
+        let version = r.header(REPORT_MAGIC, REPORT_VERSION)?;
         let mut counts = [0usize; 7];
         for slot in &mut counts {
             *slot = r.u64()? as usize;
@@ -386,6 +542,35 @@ impl CampaignReport {
         let ndf_sum = r.f64()?;
         let ndf_min = r.f64()?;
         let ndf_max = r.f64()?;
+        let (capture, retest) = if version >= 2 {
+            let capture = match r.u8()? {
+                CAPTURE_UNKNOWN => {
+                    r.string()?;
+                    CapturePath::Unknown
+                }
+                CAPTURE_BATCHED => {
+                    r.string()?;
+                    CapturePath::Batched
+                }
+                CAPTURE_PER_DEVICE => CapturePath::PerDevice { reason: r.string()? },
+                other => {
+                    return Err(dsig_core::DsigError::Corrupt {
+                        context: "campaign report",
+                        detail: format!("invalid capture-path tag {other}"),
+                    })
+                }
+            };
+            let retest = RetestStats {
+                marginal: r.u64()? as usize,
+                flips_to_fail: r.u64()? as usize,
+                flips_to_pass: r.u64()? as usize,
+                repeats_spent: r.u64()?,
+            };
+            (capture, retest)
+        } else {
+            // Version-1 reports predate capture-path and retest recording.
+            (CapturePath::Unknown, RetestStats::default())
+        };
         let coverage_rows = r.u32()? as usize;
         r.check_count(coverage_rows, 13)?;
         let mut coverage = Vec::with_capacity(coverage_rows);
@@ -397,7 +582,9 @@ impl CampaignReport {
             });
         }
         let result_rows = r.u32()? as usize;
-        r.check_count(result_rows, 41)?;
+        // Minimum device row: the 41 v1 bytes, plus the retest presence tag
+        // in v2 rows.
+        r.check_count(result_rows, if version >= 2 { 42 } else { 41 })?;
         let mut results = Vec::with_capacity(result_rows);
         for _ in 0..result_rows {
             results.push(DeviceResult {
@@ -408,6 +595,24 @@ impl CampaignReport {
                 peak_hamming: r.u32()?,
                 observed_zones: r.u64()? as usize,
                 outcome: r.outcome()?,
+                retest: if version >= 2 {
+                    match r.u8()? {
+                        0 => None,
+                        1 => Some(DeviceRetest {
+                            initial_ndf: r.f64()?,
+                            repeats_used: r.u32()?,
+                            flipped: r.u8()? != 0,
+                        }),
+                        other => {
+                            return Err(dsig_core::DsigError::Corrupt {
+                                context: "campaign report",
+                                detail: format!("invalid retest presence tag {other}"),
+                            })
+                        }
+                    }
+                } else {
+                    None
+                },
             });
         }
         r.finish()?;
@@ -417,6 +622,8 @@ impl CampaignReport {
             dwell,
             coverage,
             results,
+            retest,
+            capture,
             ndf_sum,
             ndf_min,
             ndf_max,
@@ -545,6 +752,7 @@ mod tests {
             peak_hamming: 1,
             observed_zones: 8,
             outcome,
+            retest: None,
         }
     }
 
@@ -664,6 +872,92 @@ mod tests {
             CampaignReport::from_bytes(&bad_outcome),
             Err(DsigError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn retest_stats_and_capture_path_aggregate_and_round_trip() {
+        let mut report = CampaignReport::new();
+        let dwell = DwellStats::new();
+        report.capture = CapturePath::PerDevice {
+            reason: "per-device monitor variation".into(),
+        };
+        // A marginal PASS->FAIL flip, a marginal confirmation, a clean device.
+        let mut flipped = result(0, 0.041, 5.0, TestOutcome::Fail);
+        flipped.retest = Some(DeviceRetest {
+            initial_ndf: 0.028,
+            repeats_used: 16,
+            flipped: true,
+        });
+        let mut confirmed = result(1, 0.027, 1.0, TestOutcome::Pass);
+        confirmed.retest = Some(DeviceRetest {
+            initial_ndf: 0.029,
+            repeats_used: 4,
+            flipped: false,
+        });
+        report.record(flipped, &dwell, 3.0, false);
+        report.record(confirmed, &dwell, 3.0, false);
+        report.record(result(2, 0.001, 0.5, TestOutcome::Pass), &dwell, 3.0, false);
+        assert_eq!(report.retest.marginal, 2);
+        assert_eq!(report.retest.flips_to_fail, 1);
+        assert_eq!(report.retest.flips_to_pass, 0);
+        assert_eq!(report.retest.flips(), 1);
+        assert_eq!(report.retest.repeats_spent, 20);
+        let text = report.summary();
+        assert!(text.contains("retest: 2 marginal"), "{text}");
+        assert!(text.contains("per-device (per-device monitor variation)"), "{text}");
+        // Bit-exact DSGR v2 round trip, including the metadata (equality
+        // ignores the capture path, so check it explicitly).
+        let decoded = CampaignReport::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(decoded.capture, report.capture);
+        assert_eq!(
+            decoded.results[0].retest.unwrap().initial_ndf.to_bits(),
+            0.028f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn version_1_reports_still_load_with_defaulted_metadata() {
+        // Re-encode a sample report as a version-1 file: the v1 layout is the
+        // v2 one minus the capture path, retest stats and per-device tags.
+        let report = sample_report();
+        let v2 = report.to_bytes();
+        let mut v1 = Vec::new();
+        wire::put_header(&mut v1, *b"DSGR", 1);
+        // Screening counters .. ndf_max: everything up to the capture tag.
+        let fixed_head = 6 + 7 * 8 + 8 + 4 + 50 * 8 + 8 + 3 * 8 + 8 + 3 * 8;
+        v1.extend_from_slice(&v2[6..fixed_head]);
+        // Skip capture tag + empty reason + 4 retest counters.
+        let mut at = fixed_head + 1 + 4 + 4 * 8;
+        // Coverage rows pass through unchanged.
+        let coverage_start = at;
+        let coverage_rows = u32::from_le_bytes(v2[at..at + 4].try_into().unwrap()) as usize;
+        at += 4;
+        for _ in 0..coverage_rows {
+            let label_len = u32::from_le_bytes(v2[at..at + 4].try_into().unwrap()) as usize;
+            at += 4 + label_len + 8 + 1;
+        }
+        v1.extend_from_slice(&v2[coverage_start..at]);
+        // Device rows: copy each row minus its trailing retest tag (0).
+        let result_rows = u32::from_le_bytes(v2[at..at + 4].try_into().unwrap()) as usize;
+        v1.extend_from_slice(&v2[at..at + 4]);
+        at += 4;
+        for _ in 0..result_rows {
+            let row_start = at;
+            at += 8;
+            let label_len = u32::from_le_bytes(v2[at..at + 4].try_into().unwrap()) as usize;
+            at += 4 + label_len + 8 + 8 + 4 + 8 + 1;
+            v1.extend_from_slice(&v2[row_start..at]);
+            assert_eq!(v2[at], 0, "sample rows carry no retest metadata");
+            at += 1;
+        }
+        assert_eq!(at, v2.len());
+
+        let decoded = CampaignReport::from_bytes(&v1).unwrap();
+        assert_eq!(decoded.capture, CapturePath::Unknown);
+        assert_eq!(decoded.retest, RetestStats::default());
+        assert_eq!(decoded.results, report.results);
+        assert_eq!(decoded.screening, report.screening);
     }
 
     #[test]

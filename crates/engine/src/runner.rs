@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use dsig_core::{
-    capture_signatures_batch, ndf, peak_hamming_distance, BatchDevice, Result, SharedStimulus, Signature, StimulusBank,
-    TestFlow, TestSetup,
+    capture_signatures_batch, ndf, peak_hamming_distance, retest_seed, BatchDevice, Result, RetestPolicy,
+    SharedStimulus, Signature, StimulusBank, TestFlow, TestSetup,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,8 +16,8 @@ use crate::cache::{golden_fingerprint, GoldenCache};
 use crate::campaign::{Campaign, DevicePopulation, DeviceSpec};
 use crate::codec::SignatureLog;
 use crate::pool::{available_threads, parallel_map_indexed, DEFAULT_CHUNK};
-use crate::report::{CampaignReport, DeviceResult, DwellStats};
-use crate::score::{RemoteScorer, ScoreTarget};
+use crate::report::{CampaignReport, CapturePath, DeviceResult, DeviceRetest, DwellStats};
+use crate::score::{RemoteScorer, RetestDevice, ScoreTarget};
 
 /// Executes campaigns over a worker pool with a shared golden-signature cache
 /// and a shared-stimulus bank for the batched capture fast path.
@@ -25,6 +25,7 @@ pub struct CampaignRunner {
     threads: usize,
     chunk: usize,
     batching: bool,
+    retest: Option<RetestPolicy>,
     cache: GoldenCache,
     bank: StimulusBank,
 }
@@ -49,6 +50,7 @@ impl CampaignRunner {
             threads: threads.max(1),
             chunk: DEFAULT_CHUNK,
             batching: true,
+            retest: None,
             cache: GoldenCache::new(),
             bank: StimulusBank::new(),
         }
@@ -68,6 +70,20 @@ impl CampaignRunner {
     /// per-device reference (see the `campaign_throughput` bin).
     pub fn with_batching(mut self, batching: bool) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with an adaptive retest policy: devices whose
+    /// single-shot NDF falls inside the policy's guard band around the
+    /// campaign band are re-measured with averaged repeats (captured through
+    /// [`TestSetup::signatures_of_repeats`], seeds derived by
+    /// [`dsig_core::retest_seed`]) and re-decided by the policy's escalation
+    /// walk. On a remote [`ScoreTarget`], the repeats ship to the tier in one
+    /// `DSRT` request per chunk and the **serving shards** verdict — reports
+    /// stay bit-identical to local retest scoring because the walk is the
+    /// same pure function of the same repeat measurements.
+    pub fn with_retest(mut self, policy: RetestPolicy) -> Self {
+        self.retest = Some(policy);
         self
     }
 
@@ -154,13 +170,14 @@ impl CampaignRunner {
         // variation gives every device its own partition, so those campaigns
         // keep the per-device path. Both paths are bit-identical.
         let use_batch = self.batching && campaign.monitor_variation.is_none();
+        let retest = self.retest.as_ref();
         let outcomes: Vec<Result<DeviceOutcome>> = if use_batch {
             let shared = self.bank.shared_for(&campaign.setup)?;
             let chunks = devices.div_ceil(self.chunk);
             let per_chunk = parallel_map_indexed(chunks, self.threads, 1, |chunk_index| {
                 let start = chunk_index * self.chunk;
                 let end = (start + self.chunk).min(devices);
-                evaluate_chunk_batched(campaign, &scorer, &shared, start, end)
+                evaluate_chunk_batched(campaign, &scorer, retest, &shared, start, end)
             });
             let mut flat = Vec::with_capacity(devices);
             for chunk in per_chunk {
@@ -177,7 +194,7 @@ impl CampaignRunner {
             let per_chunk = parallel_map_indexed(chunks, self.threads, 1, |chunk_index| {
                 let start = chunk_index * self.chunk;
                 let end = (start + self.chunk).min(devices);
-                evaluate_chunk_per_device(campaign, &scorer, start, end)
+                evaluate_chunk_per_device(campaign, &scorer, retest, start, end)
             });
             let mut flat = Vec::with_capacity(devices);
             for chunk in per_chunk {
@@ -191,6 +208,19 @@ impl CampaignRunner {
 
         let track_coverage = matches!(campaign.population, DevicePopulation::FaultGrid(_));
         let mut report = CampaignReport::new();
+        // Record the capture path so a silent fall-back to the ~3x slower
+        // per-device path is diagnosable from the report alone.
+        report.capture = if use_batch {
+            CapturePath::Batched
+        } else if campaign.monitor_variation.is_some() {
+            CapturePath::PerDevice {
+                reason: "per-device monitor variation varies the zone partition".into(),
+            }
+        } else {
+            CapturePath::PerDevice {
+                reason: "batching disabled on this runner".into(),
+            }
+        };
         let mut log = SignatureLog::new();
         for outcome in outcomes {
             let outcome = outcome?;
@@ -216,6 +246,27 @@ enum Scorer<'a> {
     Remote { remote: &'a dyn RemoteScorer, key: u64 },
 }
 
+/// Builds the observation setup of one device: the campaign setup itself, or
+/// a per-device varied monitor instance (process + mismatch, as in the
+/// Fig. 4 envelope) when the campaign carries a monitor variation.
+fn observed_setup(campaign: &Campaign, spec: &DeviceSpec) -> Result<Option<TestSetup>> {
+    let Some(variation) = &campaign.monitor_variation else {
+        return Ok(None);
+    };
+    let mut rng = StdRng::seed_from_u64(spec.monitor_seed);
+    let varied: Vec<_> = campaign
+        .setup
+        .partition
+        .monitors()
+        .iter()
+        .map(|monitor| variation.sample_comparator(monitor, &mut rng))
+        .collect::<std::result::Result<_, _>>()?;
+    Ok(Some(TestSetup {
+        partition: ZonePartition::new(varied)?,
+        ..campaign.setup.clone()
+    }))
+}
+
 /// Evaluates one chunk of the population through the per-device capture
 /// path: each device is observed individually (with a per-device varied
 /// monitor bank when the campaign asks for it), then the chunk is scored in
@@ -223,35 +274,21 @@ enum Scorer<'a> {
 fn evaluate_chunk_per_device(
     campaign: &Campaign,
     scorer: &Scorer<'_>,
+    retest: Option<&RetestPolicy>,
     start: usize,
     end: usize,
 ) -> Result<Vec<DeviceOutcome>> {
     let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
     let observed: Vec<Signature> = specs
         .iter()
-        .map(|spec| match &campaign.monitor_variation {
+        .map(|spec| match observed_setup(campaign, spec)? {
             None => campaign.setup.signature_of(&spec.cut, spec.noise_seed),
-            Some(variation) => {
-                // Each production device is observed by its own imperfect
-                // monitor instance (process + mismatch), as in the Fig. 4
-                // envelope.
-                let mut rng = StdRng::seed_from_u64(spec.monitor_seed);
-                let varied: Vec<_> = campaign
-                    .setup
-                    .partition
-                    .monitors()
-                    .iter()
-                    .map(|monitor| variation.sample_comparator(monitor, &mut rng))
-                    .collect::<std::result::Result<_, _>>()?;
-                let setup = TestSetup {
-                    partition: ZonePartition::new(varied)?,
-                    ..campaign.setup.clone()
-                };
-                setup.signature_of(&spec.cut, spec.noise_seed)
-            }
+            Some(setup) => setup.signature_of(&spec.cut, spec.noise_seed),
         })
         .collect::<Result<_>>()?;
-    score_batch(campaign, scorer, specs, observed)
+    let mut outcomes = score_batch(campaign, scorer, specs, observed)?;
+    apply_retest(campaign, scorer, retest, &mut outcomes)?;
+    Ok(outcomes)
 }
 
 /// Evaluates one chunk of the population through the batched capture fast
@@ -262,6 +299,7 @@ fn evaluate_chunk_per_device(
 fn evaluate_chunk_batched(
     campaign: &Campaign,
     scorer: &Scorer<'_>,
+    retest: Option<&RetestPolicy>,
     shared: &SharedStimulus,
     start: usize,
     end: usize,
@@ -269,7 +307,133 @@ fn evaluate_chunk_batched(
     let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
     let batch: Vec<BatchDevice> = specs.iter().map(|s| BatchDevice::new(s.cut, s.noise_seed)).collect();
     let signatures = capture_signatures_batch(&campaign.setup, shared, &batch)?;
-    score_batch(campaign, scorer, specs, signatures)
+    let mut outcomes = score_batch(campaign, scorer, specs, signatures)?;
+    apply_retest(campaign, scorer, retest, &mut outcomes)?;
+    Ok(outcomes)
+}
+
+/// Re-decides the marginal devices of one scored chunk under the campaign's
+/// retest policy: capture the repeat measurements (seeded by
+/// [`retest_seed`], so every score target sees the same bytes), then either
+/// walk the escalation locally against the cached golden or ship the chunk's
+/// marginal devices to the remote tier in one `DSRT` batch.
+fn apply_retest(
+    campaign: &Campaign,
+    scorer: &Scorer<'_>,
+    retest: Option<&RetestPolicy>,
+    outcomes: &mut [DeviceOutcome],
+) -> Result<()> {
+    let Some(policy) = retest else {
+        return Ok(());
+    };
+    let marginal: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| policy.is_marginal(&campaign.band, o.result.ndf))
+        .map(|(at, _)| at)
+        .collect();
+    if marginal.is_empty() {
+        return Ok(());
+    }
+    // Capture the repeat budget of every marginal device up to the
+    // escalation cap: `signatures_of_repeats` synthesizes the stimulus and
+    // response once per device, so the per-repeat cost is noise + capture.
+    let cap = policy.repeat_cap() as usize;
+    let mut repeats: Vec<Vec<Signature>> = Vec::with_capacity(marginal.len());
+    for &at in &marginal {
+        let spec = campaign.device(outcomes[at].result.index)?;
+        let seed = retest_seed(spec.noise_seed);
+        repeats.push(match observed_setup(campaign, &spec)? {
+            None => campaign.setup.signatures_of_repeats(&spec.cut, cap, seed)?,
+            Some(setup) => setup.signatures_of_repeats(&spec.cut, cap, seed)?,
+        });
+    }
+    match scorer {
+        Scorer::Local(flow) => {
+            for (&at, device_repeats) in marginal.iter().zip(&repeats) {
+                let golden = flow.golden();
+                let mut repeat_ndfs = Vec::with_capacity(device_repeats.len());
+                let mut repeat_peaks = Vec::with_capacity(device_repeats.len());
+                for observed in device_repeats {
+                    repeat_ndfs.push(ndf(golden, observed)?);
+                    repeat_peaks.push(peak_hamming_distance(golden, observed)?);
+                }
+                let outcome = &mut outcomes[at];
+                let verdict = policy.escalate(&campaign.band, outcome.result.ndf, &repeat_ndfs);
+                let used = verdict.repeats_used as usize;
+                let peak = repeat_peaks[..used]
+                    .iter()
+                    .fold(outcome.result.peak_hamming, |peak, &p| peak.max(p));
+                finish_retest(outcome, verdict, peak, &device_repeats[..used]);
+            }
+        }
+        Scorer::Remote { remote, key } => {
+            let devices: Vec<RetestDevice> = marginal
+                .iter()
+                .zip(&repeats)
+                .map(|(&at, device_repeats)| RetestDevice {
+                    initial: outcomes[at].observed.clone(),
+                    repeats: device_repeats.clone(),
+                })
+                .collect();
+            let scores = remote.retest_remote(*key, policy, &devices)?;
+            if scores.len() != devices.len() {
+                return Err(dsig_core::DsigError::Remote(format!(
+                    "remote target returned {} retest scores for {} devices",
+                    scores.len(),
+                    devices.len()
+                )));
+            }
+            for ((&at, device_repeats), remote_score) in marginal.iter().zip(&repeats).zip(scores) {
+                let outcome = &mut outcomes[at];
+                let verdict = dsig_core::RetestVerdict {
+                    ndf: remote_score.score.ndf,
+                    outcome: remote_score.score.outcome,
+                    marginal: remote_score.marginal,
+                    flipped: remote_score.flipped,
+                    repeats_used: remote_score.repeats_used,
+                };
+                let used = remote_score.repeats_used as usize;
+                // The remote tier already folded the peak Hamming distance
+                // over the initial capture and the consumed repeats.
+                finish_retest(
+                    outcome,
+                    verdict,
+                    remote_score.score.peak_hamming,
+                    &device_repeats[..used],
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rewrites one device outcome with its retest verdict. The observed zone
+/// count is folded client-side (the wire score does not carry it); the
+/// logged signature and the dwell statistics stay those of the single-shot
+/// capture.
+fn finish_retest(
+    outcome: &mut DeviceOutcome,
+    verdict: dsig_core::RetestVerdict,
+    peak_hamming: u32,
+    consumed_repeats: &[Signature],
+) {
+    if !verdict.marginal {
+        // A remote band that disagrees with the campaign band can judge the
+        // device non-marginal; its single-shot score then stands untouched.
+        return;
+    }
+    outcome.result.retest = Some(DeviceRetest {
+        initial_ndf: outcome.result.ndf,
+        repeats_used: verdict.repeats_used,
+        flipped: verdict.flipped,
+    });
+    outcome.result.ndf = verdict.ndf;
+    outcome.result.outcome = verdict.outcome;
+    outcome.result.peak_hamming = peak_hamming;
+    outcome.result.observed_zones = consumed_repeats
+        .iter()
+        .fold(outcome.result.observed_zones, |zones, s| zones.max(s.len()));
 }
 
 /// Scores one captured chunk: locally against the cached golden (NDF, peak
@@ -342,6 +506,7 @@ fn device_outcome(
         peak_hamming,
         observed_zones: observed.len(),
         outcome: remote_outcome.unwrap_or_else(|| campaign.band.decide(ndf_value)),
+        retest: None,
     };
     DeviceOutcome {
         result,
@@ -525,6 +690,189 @@ mod tests {
         }
         let err = CampaignRunner::with_threads(1)
             .run_with_target(&c, ScoreTarget::Remote(&Failing))
+            .unwrap_err();
+        assert!(matches!(err, dsig_core::DsigError::Remote(_)));
+    }
+
+    #[test]
+    fn capture_path_is_recorded_with_the_fallback_reason() {
+        use crate::report::CapturePath;
+        let c = campaign(DevicePopulation::MonteCarlo {
+            devices: 4,
+            sigma_pct: 1.0,
+        });
+        let batched = CampaignRunner::with_threads(1).run(&c).unwrap();
+        assert_eq!(batched.capture, CapturePath::Batched);
+        let disabled = CampaignRunner::with_threads(1).with_batching(false).run(&c).unwrap();
+        assert!(
+            matches!(&disabled.capture, CapturePath::PerDevice { reason } if reason.contains("disabled")),
+            "{:?}",
+            disabled.capture
+        );
+        let varied = c.with_monitor_variation(ProcessVariation::nominal_65nm());
+        let fallback = CampaignRunner::with_threads(1).run(&varied).unwrap();
+        assert!(
+            matches!(&fallback.capture, CapturePath::PerDevice { reason } if reason.contains("monitor variation")),
+            "{:?}",
+            fallback.capture
+        );
+        assert!(fallback.summary().contains("capture path: per-device"));
+    }
+
+    #[test]
+    fn retest_policy_flips_marginal_devices_and_stays_thread_invariant() {
+        use dsig_core::RetestPolicy;
+
+        // A noisy campaign whose band sits in the populated part of the NDF
+        // range, with a guard band wide enough to catch devices near it.
+        let mut c = campaign(DevicePopulation::MonteCarlo {
+            devices: 40,
+            sigma_pct: 4.0,
+        });
+        c.setup = c.setup.clone().with_noise(sim_signal::NoiseModel::paper_default());
+        let policy = RetestPolicy::new(0.015, vec![4, 8]).unwrap();
+
+        let baseline = CampaignRunner::with_threads(2).run(&c).unwrap();
+        assert_eq!(baseline.retest.marginal, 0, "no policy, no retest metadata");
+
+        let retested = CampaignRunner::with_threads(2)
+            .with_retest(policy.clone())
+            .run(&c)
+            .unwrap();
+        assert!(
+            retested.retest.marginal > 0,
+            "the guard band must catch some of the noisy lot"
+        );
+        assert_eq!(
+            retested.retest.marginal,
+            retested.results.iter().filter(|r| r.retest.is_some()).count()
+        );
+        // Retested devices carry their single-shot NDF and the averaged one.
+        for result in retested.results.iter().filter(|r| r.retest.is_some()) {
+            let meta = result.retest.unwrap();
+            assert!(policy.is_marginal(&c.band, meta.initial_ndf));
+            assert_eq!(
+                meta.flipped,
+                c.band.decide(meta.initial_ndf) != result.outcome,
+                "flip flag must match the outcome transition"
+            );
+        }
+        // Bit-identical across thread counts, chunk sizes and capture paths.
+        for (threads, chunk) in [(1usize, 7usize), (4, 5), (8, 64)] {
+            let again = CampaignRunner::with_threads(threads)
+                .with_chunk_size(chunk)
+                .with_retest(policy.clone())
+                .run(&c)
+                .unwrap();
+            assert_eq!(again, retested, "threads {threads} chunk {chunk} diverged");
+        }
+        let per_device = CampaignRunner::with_threads(2)
+            .with_batching(false)
+            .with_retest(policy.clone())
+            .run(&c)
+            .unwrap();
+        assert_eq!(per_device, retested, "per-device retest diverged");
+    }
+
+    #[test]
+    fn remote_retest_scoring_is_bit_identical_to_local_retest() {
+        use crate::score::{RemoteRetest, RemoteScore, RemoteScorer, RetestDevice, ScoreTarget};
+        use dsig_core::RetestPolicy;
+
+        // A stand-in remote tier that escalates with the same pure walk the
+        // serving shards use, against its own characterization.
+        struct RetestingScorer {
+            flow: TestFlow,
+            band: AcceptanceBand,
+        }
+        impl RemoteScorer for RetestingScorer {
+            fn screen_remote(&self, _key: u64, signatures: &[Signature]) -> Result<Vec<RemoteScore>> {
+                signatures
+                    .iter()
+                    .map(|observed| {
+                        let ndf_value = ndf(self.flow.golden(), observed)?;
+                        Ok(RemoteScore {
+                            ndf: ndf_value,
+                            peak_hamming: peak_hamming_distance(self.flow.golden(), observed)?,
+                            outcome: self.band.decide(ndf_value),
+                        })
+                    })
+                    .collect()
+            }
+            fn retest_remote(
+                &self,
+                _key: u64,
+                policy: &RetestPolicy,
+                devices: &[RetestDevice],
+            ) -> Result<Vec<RemoteRetest>> {
+                devices
+                    .iter()
+                    .map(|device| {
+                        let golden = self.flow.golden();
+                        let initial_ndf = ndf(golden, &device.initial)?;
+                        let initial_peak = peak_hamming_distance(golden, &device.initial)?;
+                        let mut repeat_ndfs = Vec::new();
+                        let mut repeat_peaks = Vec::new();
+                        for repeat in &device.repeats {
+                            repeat_ndfs.push(ndf(golden, repeat)?);
+                            repeat_peaks.push(peak_hamming_distance(golden, repeat)?);
+                        }
+                        let verdict = policy.escalate(&self.band, initial_ndf, &repeat_ndfs);
+                        Ok(RemoteRetest {
+                            score: RemoteScore {
+                                ndf: verdict.ndf,
+                                peak_hamming: repeat_peaks[..verdict.repeats_used as usize]
+                                    .iter()
+                                    .fold(initial_peak, |peak, &p| peak.max(p)),
+                                outcome: verdict.outcome,
+                            },
+                            marginal: verdict.marginal,
+                            flipped: verdict.flipped,
+                            repeats_used: verdict.repeats_used,
+                        })
+                    })
+                    .collect()
+            }
+        }
+
+        let mut c = campaign(DevicePopulation::MonteCarlo {
+            devices: 30,
+            sigma_pct: 4.0,
+        });
+        c.setup = c.setup.clone().with_noise(sim_signal::NoiseModel::paper_default());
+        let policy = RetestPolicy::new(0.015, vec![4]).unwrap();
+        let scorer = RetestingScorer {
+            flow: TestFlow::new(c.setup.clone(), c.reference).unwrap(),
+            band: c.band,
+        };
+        let local = CampaignRunner::with_threads(2)
+            .with_retest(policy.clone())
+            .run(&c)
+            .unwrap();
+        assert!(local.retest.marginal > 0);
+        let remote = CampaignRunner::with_threads(3)
+            .with_retest(policy.clone())
+            .run_with_target(&c, ScoreTarget::Remote(&scorer))
+            .unwrap();
+        assert_eq!(remote, local, "remote retest must reproduce the local report");
+
+        // A target without retest support surfaces a remote error.
+        struct NoRetest;
+        impl RemoteScorer for NoRetest {
+            fn screen_remote(&self, _key: u64, signatures: &[Signature]) -> Result<Vec<RemoteScore>> {
+                Ok(signatures
+                    .iter()
+                    .map(|_| RemoteScore {
+                        ndf: 0.03,
+                        peak_hamming: 0,
+                        outcome: dsig_core::TestOutcome::Pass,
+                    })
+                    .collect())
+            }
+        }
+        let err = CampaignRunner::with_threads(1)
+            .with_retest(policy)
+            .run_with_target(&c, ScoreTarget::Remote(&NoRetest))
             .unwrap_err();
         assert!(matches!(err, dsig_core::DsigError::Remote(_)));
     }

@@ -18,7 +18,7 @@
 //! local scoring — the loopback tests enforce this through both the serve and
 //! router tiers.
 
-use dsig_core::{Result, Signature, TestOutcome};
+use dsig_core::{Result, RetestPolicy, Signature, TestOutcome};
 
 /// One remotely produced score, mirroring the wire score of the serving
 /// protocol: the NDF, the peak instantaneous Hamming distance and the
@@ -33,6 +33,33 @@ pub struct RemoteScore {
     pub outcome: TestOutcome,
 }
 
+/// One marginal device of an adaptive-retest remote batch: its single-shot
+/// signature plus the pre-captured measurement repeats the remote tier may
+/// consume while escalating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetestDevice {
+    /// The single-shot observed signature.
+    pub initial: Signature,
+    /// Measurement repeats (independent noise realisations of the same
+    /// device), at most the policy's escalation cap.
+    pub repeats: Vec<Signature>,
+}
+
+/// One remotely produced adaptive-retest score: the final (averaged, for
+/// escalated devices) score plus the escalation metadata, mirroring the
+/// `DSRR` wire score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteRetest {
+    /// The deciding score.
+    pub score: RemoteScore,
+    /// Whether the single-shot NDF fell inside the remote policy guard band.
+    pub marginal: bool,
+    /// Whether the averaged verdict differs from the single-shot one.
+    pub flipped: bool,
+    /// Measurement repeats consumed by the escalation walk.
+    pub repeats_used: u32,
+}
+
 /// A scoring backend the campaign runner can send observed signatures to.
 ///
 /// Implementations must be usable from several worker threads at once
@@ -45,6 +72,30 @@ pub trait RemoteScorer: Sync {
     /// Returns [`dsig_core::DsigError::Remote`] (or a decoded scoring error)
     /// when the backend cannot answer.
     fn screen_remote(&self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<RemoteScore>>;
+
+    /// Screens an adaptive-retest batch (`DSRT`): each device's single shot
+    /// plus its measurement repeats, re-decided remotely through `policy`'s
+    /// escalation walk against the golden stored under `golden_key`. Returns
+    /// one score per device, in input order.
+    ///
+    /// The default implementation reports the capability as unsupported —
+    /// serving and routing tiers (`ServeHandle`, `RouterHandle`) override it
+    /// with the `DSRT` fast path.
+    ///
+    /// # Errors
+    /// Returns [`dsig_core::DsigError::Remote`] when the backend cannot
+    /// answer or does not support adaptive retest.
+    fn retest_remote(
+        &self,
+        golden_key: u64,
+        policy: &RetestPolicy,
+        devices: &[RetestDevice],
+    ) -> Result<Vec<RemoteRetest>> {
+        let _ = (golden_key, policy, devices);
+        Err(dsig_core::DsigError::Remote(
+            "this scoring target does not support adaptive retest".into(),
+        ))
+    }
 }
 
 /// Where a campaign's observed signatures are scored.

@@ -8,7 +8,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dsig_core::{AcceptanceBand, Signature};
-use dsig_serve::{GoldenRecord, ScoreResult, ServeClient, ServeError, ServeHandle};
+use dsig_serve::{GoldenRecord, RetestRequest, RetestScore, ScoreResult, ServeClient, ServeError, ServeHandle};
 
 /// Backoff policy of the per-backend health record: the `n`-th consecutive
 /// failure marks the backend down for `base_backoff * 2^(n-1)`, capped at
@@ -199,6 +199,23 @@ impl Backend {
                     return Err(ServeError::Closed);
                 }
                 handle.screen(key, signatures)
+            }
+        }
+    }
+
+    /// Screens an adaptive-retest batch against this backend (`DSRT`).
+    pub(crate) fn retest(&self, request: &RetestRequest) -> Result<Vec<RetestScore>, ServeError> {
+        match &self.transport {
+            Transport::Tcp { addr, pool } => {
+                let mut client = Self::client(*addr, pool)?;
+                let result = client.screen_retest(request);
+                Self::settle(pool, client, result)
+            }
+            Transport::Local { handle, killed } => {
+                if killed.load(Ordering::SeqCst) {
+                    return Err(ServeError::Closed);
+                }
+                handle.screen_retest(request)
             }
         }
     }

@@ -8,7 +8,7 @@
 use std::net::{SocketAddr, ToSocketAddrs};
 
 use dsig_core::{AcceptanceBand, Signature};
-use dsig_serve::{ScoreResult, ServeClient};
+use dsig_serve::{RetestRequest, RetestScore, ScoreResult, ServeClient};
 
 use crate::error::Result;
 
@@ -102,6 +102,16 @@ impl RouterClient {
     /// [`RouterClient::screen`].
     pub fn screen_multi(&mut self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
         self.inner.screen_multi(items).map_err(Into::into)
+    }
+
+    /// Screens an adaptive-retest batch (`DSRT`) through the router, which
+    /// forwards it to the golden's owning backend with failover; marginal
+    /// devices are re-decided server-side from their averaged repeats.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`].
+    pub fn screen_retest(&mut self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        self.inner.screen_retest(request).map_err(Into::into)
     }
 
     /// Stores a golden on the router, which replicates it to the owning

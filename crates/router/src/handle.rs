@@ -8,7 +8,7 @@ use std::sync::Arc;
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_engine::{RemoteScore, RemoteScorer};
-use dsig_serve::{GoldenRecord, GoldenStore, ScoreResult, ServeConfig, ServeHandle};
+use dsig_serve::{GoldenRecord, GoldenStore, RetestRequest, RetestScore, ScoreResult, ServeConfig, ServeHandle};
 
 use crate::backend::Backend;
 use crate::error::Result;
@@ -149,12 +149,34 @@ impl RouterHandle {
     pub fn screen_multi(&self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
         self.core.screen_multi(items)
     }
+
+    /// Screens an adaptive-retest batch (`DSRT`): routed to the golden's
+    /// owning backend (with the same deterministic failover chain as
+    /// [`RouterHandle::screen`]), whose shards rerun marginal devices with
+    /// averaged repeats before verdicting.
+    ///
+    /// # Errors
+    /// As for [`RouterHandle::screen`].
+    pub fn screen_retest(&self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        self.core.screen_retest(request)
+    }
 }
 
 impl RemoteScorer for RouterHandle {
     fn screen_remote(&self, golden_key: u64, signatures: &[Signature]) -> dsig_core::Result<Vec<RemoteScore>> {
         self.screen(golden_key, signatures)
             // The score conversion is dsig-serve's `From<ScoreResult>`.
+            .map(|scores| scores.into_iter().map(Into::into).collect())
+            .map_err(crate::RouterError::into_dsig)
+    }
+
+    fn retest_remote(
+        &self,
+        golden_key: u64,
+        policy: &dsig_core::RetestPolicy,
+        devices: &[dsig_engine::RetestDevice],
+    ) -> dsig_core::Result<Vec<dsig_engine::RemoteRetest>> {
+        self.screen_retest(&dsig_serve::server::retest_request_of(golden_key, policy, devices))
             .map(|scores| scores.into_iter().map(Into::into).collect())
             .map_err(crate::RouterError::into_dsig)
     }
@@ -301,6 +323,68 @@ mod tests {
             Err(RouterError::UnknownGolden(0xFFFF))
         ));
         assert!(router.screen_multi(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn retest_requests_route_with_failover_and_match_direct_serving() {
+        use dsig_core::RetestPolicy;
+        use dsig_serve::RetestItem;
+
+        let router = fleet(3, 1); // one copy: failover must refresh
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        router.push_golden(0xAB, golden.clone(), band(0.05)).unwrap();
+        // A marginal device (one short zone rewrite) plus a clean one; the
+        // repeats confirm the rewrite, so the marginal device fails.
+        let marginal = sig(&[(1, 100e-6), (3, 90e-6), (7, 10e-6)]);
+        let request = RetestRequest {
+            golden_key: 0xAB,
+            policy: RetestPolicy::new(0.03, vec![2]).unwrap(),
+            items: vec![
+                RetestItem {
+                    initial: golden.clone(),
+                    repeats: vec![],
+                },
+                RetestItem {
+                    initial: marginal.clone(),
+                    repeats: vec![marginal.clone(), marginal.clone()],
+                },
+            ],
+        };
+        // Reference: a standalone serve handle holding the same golden.
+        let direct = ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::with_shards(2));
+        direct.push_golden(0xAB, golden.clone(), band(0.05));
+        let expected = direct.screen_retest(&request).unwrap();
+
+        let routed = router.screen_retest(&request).unwrap();
+        assert_eq!(routed, expected, "routed retest must equal direct serving");
+        assert!(!routed[0].marginal);
+        assert!(routed[1].marginal);
+        assert_eq!(routed[1].repeats_used, 2);
+
+        // Unknown fingerprints are reported as such (every live backend must
+        // answer "unknown"), and an empty batch still routes — the error
+        // surface matches plain screening.
+        let unknown = RetestRequest {
+            golden_key: 0xBAD,
+            ..request.clone()
+        };
+        assert!(matches!(
+            router.screen_retest(&unknown),
+            Err(RouterError::UnknownGolden(0xBAD))
+        ));
+        let empty = RetestRequest {
+            golden_key: 0xAB,
+            policy: request.policy.clone(),
+            items: vec![],
+        };
+        assert!(router.screen_retest(&empty).unwrap().is_empty());
+
+        // Kill the owner: the retest fails over (refreshing the golden from
+        // the router store) without changing a single verdict.
+        let owner = router.rank(0xAB)[0];
+        router.kill_backend(owner);
+        assert_eq!(router.screen_retest(&request).unwrap(), expected);
+        assert!(router.backend_down(owner));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::time::Instant;
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_serve::server::group_by_fingerprint;
-use dsig_serve::{GoldenRecord, ScoreResult, ServeError};
+use dsig_serve::{GoldenRecord, RetestRequest, RetestScore, ScoreResult, ServeError};
 
 use crate::backend::{Backend, HealthConfig};
 use crate::error::{Result, RouterError};
@@ -97,21 +97,21 @@ impl RouterCore {
             .unwrap_or(rank[0])
     }
 
-    /// One screening attempt against one backend, refreshing the golden from
-    /// the router store when the backend misses it (the replication path's
-    /// "refresh on miss").
-    fn try_backend(
+    /// One attempt of an arbitrary golden-addressed operation against one
+    /// backend, refreshing the golden from the router store when the backend
+    /// misses it (the replication path's "refresh on miss").
+    fn try_backend<T>(
         &self,
         index: usize,
         key: u64,
-        chunk: &[Signature],
-    ) -> std::result::Result<Vec<ScoreResult>, ServeError> {
+        attempt: &impl Fn(&Backend) -> std::result::Result<T, ServeError>,
+    ) -> std::result::Result<T, ServeError> {
         let backend = &self.backends[index];
-        match backend.screen(key, chunk) {
+        match attempt(backend) {
             Err(ServeError::UnknownGolden(_)) => match self.store.get(key) {
                 Some(record) => {
                     backend.push(key, &record)?;
-                    backend.screen(key, chunk)
+                    attempt(backend)
                 }
                 None => Err(ServeError::UnknownGolden(key)),
             },
@@ -119,11 +119,17 @@ impl RouterCore {
         }
     }
 
-    /// Forwards one sub-batch through the failover chain: every backend in
-    /// rendezvous order, available ones first, marked-down ones as a last
-    /// resort. The first success wins; scoring is pure, so *which* backend
-    /// answers can never change a verdict.
-    fn forward_chunk(&self, key: u64, chunk: &[Signature]) -> Result<Vec<ScoreResult>> {
+    /// Forwards one golden-addressed operation through the failover chain:
+    /// every backend in rendezvous order, available ones first, marked-down
+    /// ones as a last resort. The first success wins; both operations routed
+    /// this way (plain screening and adaptive retest) are pure functions of
+    /// `(golden, observed, band/policy)`, so *which* backend answers can
+    /// never change a verdict.
+    fn forward_with_failover<T>(
+        &self,
+        key: u64,
+        attempt: impl Fn(&Backend) -> std::result::Result<T, ServeError>,
+    ) -> Result<T> {
         let now = Instant::now();
         let rank = self.rank(key);
         let (available, backed_off): (Vec<usize>, Vec<usize>) =
@@ -133,7 +139,7 @@ impl RouterCore {
         let mut misses = 0usize;
         for &index in available.iter().chain(&backed_off) {
             let backend = &self.backends[index];
-            match self.try_backend(index, key, chunk) {
+            match self.try_backend(index, key, &attempt) {
                 Ok(scores) => {
                     backend.note_success();
                     return Ok(scores);
@@ -159,6 +165,11 @@ impl RouterCore {
         })
     }
 
+    /// Forwards one screening sub-batch through the failover chain.
+    fn forward_chunk(&self, key: u64, chunk: &[Signature]) -> Result<Vec<ScoreResult>> {
+        self.forward_with_failover(key, |backend| backend.screen(key, chunk))
+    }
+
     /// Scores a batch against one golden: the batch is split at the
     /// configured sub-batch boundary and each piece is forwarded through the
     /// failover chain, so a backend dying mid-batch only re-routes the
@@ -173,6 +184,32 @@ impl RouterCore {
         let mut results = Vec::with_capacity(signatures.len());
         for chunk in signatures.chunks(sub_batch) {
             results.extend(self.forward_chunk(key, chunk)?);
+        }
+        Ok(results)
+    }
+
+    /// Screens an adaptive-retest batch: the request is split at the
+    /// configured sub-batch boundary (counted in devices) and each piece is
+    /// forwarded to the golden's owner along the same failover chain plain
+    /// screening uses — the owning shard set reruns marginal devices with
+    /// averaged repeats before verdicting, and a backend dying mid-batch
+    /// only re-routes the not-yet-decided remainder.
+    pub(crate) fn screen_retest(&self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        let key = request.golden_key;
+        if request.items.is_empty() {
+            // Forward the empty batch anyway so an unknown fingerprint is
+            // reported exactly like the serving tier reports it.
+            return self.forward_with_failover(key, |backend| backend.retest(request));
+        }
+        let sub_batch = self.config.sub_batch.max(1);
+        let mut results = Vec::with_capacity(request.items.len());
+        for chunk in request.items.chunks(sub_batch) {
+            let piece = RetestRequest {
+                golden_key: key,
+                policy: request.policy.clone(),
+                items: chunk.to_vec(),
+            };
+            results.extend(self.forward_with_failover(key, |backend| backend.retest(&piece))?);
         }
         Ok(results)
     }

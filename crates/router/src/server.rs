@@ -24,8 +24,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use dsig_serve::proto::{
-    decode_any_request, encode_admin_response, encode_decode_error, encode_response, read_frame, write_frame,
-    AdminResponse, ErrorCode, Request, ScreenResponse,
+    decode_any_request, encode_admin_response, encode_decode_error, encode_response, encode_retest_response,
+    read_frame, write_frame, AdminResponse, ErrorCode, Request, RetestResponse, ScreenResponse,
 };
 
 use crate::backend::Backend;
@@ -189,6 +189,13 @@ fn respond(core: &RouterCore, request: Request) -> Vec<u8> {
                 message: err.to_string(),
             },
         }),
+        Request::Retest(request) => encode_retest_response(&match core.screen_retest(&request) {
+            Ok(results) => RetestResponse::Results(results),
+            Err(err) => RetestResponse::Error {
+                code: error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
         Request::PushGolden { key, band, golden } => {
             encode_admin_response(&match core.push_golden(key, golden, band) {
                 Ok(()) => AdminResponse::Ack,
@@ -281,6 +288,20 @@ mod tests {
         let multi = client.screen_multi(&items).unwrap();
         assert_eq!(multi.len(), 3);
         assert!(multi.iter().all(|r| r.ndf == 0.0));
+
+        // Adaptive retest over TCP: identical to the in-process route.
+        let retest = dsig_serve::RetestRequest {
+            golden_key: 0xA,
+            policy: dsig_core::RetestPolicy::new(0.03, vec![2]).unwrap(),
+            items: vec![dsig_serve::RetestItem {
+                initial: sig(&[(1, 100e-6), (3, 92e-6), (7, 8e-6)]),
+                repeats: vec![sig(&[(1, 100e-6), (3, 88e-6), (7, 12e-6)]); 2],
+            }],
+        };
+        let retested = client.screen_retest(&retest).unwrap();
+        assert_eq!(retested, router.handle().screen_retest(&retest).unwrap());
+        assert_eq!(retested.len(), 1);
+        assert!(retested[0].marginal);
 
         // Readback over TCP.
         let (fetched_band, fetched) = client.fetch_golden(0xB).unwrap();

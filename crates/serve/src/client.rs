@@ -15,8 +15,9 @@ use dsig_core::{AcceptanceBand, Signature};
 
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    decode_admin_response, decode_response, encode_fetch_request, encode_multi_request, encode_push_request,
-    encode_request, read_frame, write_frame, AdminResponse, ErrorCode, ScoreResult, ScreenResponse,
+    decode_admin_response, decode_response, decode_retest_response, encode_fetch_request, encode_multi_request,
+    encode_push_request, encode_request, encode_retest_request, read_frame, write_frame, AdminResponse, ErrorCode,
+    RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse,
 };
 
 /// A blocking client over one TCP connection.
@@ -146,6 +147,33 @@ impl ServeClient {
     pub fn screen_multi(&mut self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
         let payload = self.exchange(&encode_multi_request(items))?;
         self.decode_scores(&payload, items.len(), None)
+    }
+
+    /// Screens an adaptive-retest batch (`DSRT`): each device's single-shot
+    /// signature plus its measurement repeats, re-decided server-side through
+    /// the request's retest policy. Returns one [`RetestScore`] per device in
+    /// request order.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`].
+    pub fn screen_retest(&mut self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        let payload = self.exchange(&encode_retest_request(request))?;
+        match decode_retest_response(&payload)? {
+            RetestResponse::Results(results) => {
+                if results.len() != request.items.len() {
+                    return Err(ServeError::Protocol(format!(
+                        "server returned {} retest scores for {} devices",
+                        results.len(),
+                        request.items.len(),
+                    )));
+                }
+                Ok(results)
+            }
+            RetestResponse::Error { code, message } => Err(match code {
+                ErrorCode::UnknownGolden => ServeError::UnknownGolden(request.golden_key),
+                _ => ServeError::Remote(message),
+            }),
+        }
     }
 
     /// Scores a single signature (a one-element [`ServeClient::screen`]).

@@ -10,7 +10,7 @@
 
 use std::io::{Read, Write};
 
-use dsig_core::{wire, AcceptanceBand, Signature, TestOutcome};
+use dsig_core::{wire, AcceptanceBand, RetestPolicy, Signature, TestOutcome};
 
 use crate::error::{Result, ServeError};
 
@@ -27,6 +27,14 @@ pub const PUSH_MAGIC: [u8; 4] = *b"DSGP";
 pub const FETCH_MAGIC: [u8; 4] = *b"DSGF";
 /// Magic prefix of admin (push/fetch) response payloads (`DSRA`).
 pub const ADMIN_RESPONSE_MAGIC: [u8; 4] = *b"DSRA";
+/// Magic prefix of adaptive-retest screening request payloads (`DSRT`): each
+/// device carries its single-shot signature plus pre-captured measurement
+/// repeats, and the server verdicts marginal devices through the
+/// [`RetestPolicy`] escalation walk before answering.
+pub const RETEST_REQUEST_MAGIC: [u8; 4] = *b"DSRT";
+/// Magic prefix of adaptive-retest response payloads (`DSRR`) — the
+/// `DSRS`-style score list extended with per-device retest metadata.
+pub const RETEST_RESPONSE_MAGIC: [u8; 4] = *b"DSRR";
 /// Current wire-protocol version (shared by every request and response kind).
 pub const PROTO_VERSION: u16 = 1;
 
@@ -115,6 +123,63 @@ pub struct MultiScreenRequest {
     pub items: Vec<(u64, Signature)>,
 }
 
+/// One device of an adaptive-retest screening request: the single-shot
+/// signature plus the pre-captured measurement repeats the server may consume
+/// if the single shot turns out marginal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetestItem {
+    /// The single-shot observed signature.
+    pub initial: Signature,
+    /// Measurement repeats of the same device (independent noise
+    /// realisations), at most the policy's escalation cap.
+    pub repeats: Vec<Signature>,
+}
+
+/// A decoded adaptive-retest screening request (`DSRT`): score each device's
+/// single shot against the golden under `golden_key`, and re-decide marginal
+/// ones from averaged repeats through the carried [`RetestPolicy`] —
+/// **server-side**, before any verdict leaves the shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetestRequest {
+    /// Fingerprint of the golden to score against.
+    pub golden_key: u64,
+    /// The guard band and escalation schedule applied to every device.
+    pub policy: RetestPolicy,
+    /// The devices, in request order.
+    pub items: Vec<RetestItem>,
+}
+
+/// The adaptive-retest score of one device: the final (possibly averaged)
+/// score plus the retest metadata of the escalation walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetestScore {
+    /// The deciding score: single-shot for non-marginal devices, with the
+    /// NDF averaged and the peak Hamming distance folded over the consumed
+    /// repeats otherwise.
+    pub score: ScoreResult,
+    /// Whether the single-shot NDF fell inside the guard band.
+    pub marginal: bool,
+    /// Whether the averaged verdict differs from the single-shot one.
+    pub flipped: bool,
+    /// Measurement repeats consumed by the escalation walk.
+    pub repeats_used: u32,
+}
+
+/// A decoded adaptive-retest response (`DSRR`): per-device retest scores, or
+/// a server-side error (same error vocabulary as [`ScreenResponse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetestResponse {
+    /// One retest score per request device, in request order.
+    Results(Vec<RetestScore>),
+    /// The request failed server-side.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
 /// Any request frame the serving tier understands, decoded by payload magic
 /// (see [`decode_any_request`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +188,8 @@ pub enum Request {
     Screen(ScreenRequest),
     /// A multi-golden screening request (`DSRM`).
     MultiScreen(MultiScreenRequest),
+    /// An adaptive-retest screening request (`DSRT`).
+    Retest(RetestRequest),
     /// A golden replication push (`DSGP`): store `golden` under `key`.
     PushGolden {
         /// Fingerprint the golden is stored under.
@@ -233,6 +300,151 @@ pub fn decode_multi_request(payload: &[u8]) -> Result<MultiScreenRequest> {
     Ok(MultiScreenRequest { items })
 }
 
+/// Encodes an adaptive-retest screening request payload (without the frame
+/// length prefix).
+pub fn encode_retest_request(request: &RetestRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 128 * request.items.len());
+    wire::put_header(&mut out, RETEST_REQUEST_MAGIC, PROTO_VERSION);
+    wire::put_u64(&mut out, request.golden_key);
+    wire::put_f64(&mut out, request.policy.guard_band);
+    wire::put_u32(&mut out, request.policy.schedule.len() as u32);
+    for &step in &request.policy.schedule {
+        wire::put_u32(&mut out, step);
+    }
+    wire::put_u32(&mut out, request.items.len() as u32);
+    for item in &request.items {
+        wire::put_bytes(&mut out, &item.initial.to_bytes());
+        wire::put_u32(&mut out, item.repeats.len() as u32);
+        for repeat in &item.repeats {
+            wire::put_bytes(&mut out, &repeat.to_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes an adaptive-retest screening request payload. Never panics on
+/// malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing, signature or policy decoding
+/// errors (an invalid guard band or schedule is rejected by
+/// [`RetestPolicy::new`]).
+pub fn decode_retest_request(payload: &[u8]) -> Result<RetestRequest> {
+    let mut r = wire::ByteReader::new(payload, "retest request");
+    r.header(RETEST_REQUEST_MAGIC, PROTO_VERSION)?;
+    let golden_key = r.u64()?;
+    let guard_band = r.f64()?;
+    let steps = r.u32()? as usize;
+    r.check_count(steps, 4)?;
+    let mut schedule = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        schedule.push(r.u32()?);
+    }
+    let policy = RetestPolicy::new(guard_band, schedule)?;
+    let count = r.u32()? as usize;
+    // Minimum per item: 4-byte initial length + 8-byte empty signature +
+    // 4-byte repeat count.
+    r.check_count(count, 16)?;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let initial = Signature::from_bytes(r.bytes()?)?;
+        let repeats_len = r.u32()? as usize;
+        r.check_count(repeats_len, 12)?;
+        let mut repeats = Vec::with_capacity(repeats_len);
+        for _ in 0..repeats_len {
+            repeats.push(Signature::from_bytes(r.bytes()?)?);
+        }
+        items.push(RetestItem { initial, repeats });
+    }
+    r.finish()?;
+    Ok(RetestRequest {
+        golden_key,
+        policy,
+        items,
+    })
+}
+
+/// Encodes an adaptive-retest response payload (without the frame length
+/// prefix).
+pub fn encode_retest_response(response: &RetestResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    wire::put_header(&mut out, RETEST_RESPONSE_MAGIC, PROTO_VERSION);
+    match response {
+        RetestResponse::Results(results) => {
+            out.push(STATUS_OK);
+            wire::put_u32(&mut out, results.len() as u32);
+            for result in results {
+                wire::put_f64(&mut out, result.score.ndf);
+                wire::put_u32(&mut out, result.score.peak_hamming);
+                wire::put_outcome(&mut out, result.score.outcome);
+                out.push(u8::from(result.marginal));
+                out.push(u8::from(result.flipped));
+                wire::put_u32(&mut out, result.repeats_used);
+            }
+        }
+        RetestResponse::Error { code, message } => {
+            out.push(STATUS_ERROR);
+            wire::put_u16(&mut out, code.to_u16());
+            wire::put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes an adaptive-retest response payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors and
+/// [`ServeError::Protocol`] on unknown status, marginal or flip tags.
+pub fn decode_retest_response(payload: &[u8]) -> Result<RetestResponse> {
+    let mut r = wire::ByteReader::new(payload, "retest response");
+    r.header(RETEST_RESPONSE_MAGIC, PROTO_VERSION)?;
+    match r.u8()? {
+        STATUS_OK => {
+            let count = r.u32()? as usize;
+            // 19 bytes per score: the 13-byte DSRS score + u8 marginal,
+            // u8 flipped, u32 repeats_used.
+            r.check_count(count, 19)?;
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                let score = ScoreResult {
+                    ndf: r.f64()?,
+                    peak_hamming: r.u32()?,
+                    outcome: r.outcome()?,
+                };
+                let marginal = decode_bool(r.u8()?, "marginal")?;
+                let flipped = decode_bool(r.u8()?, "flipped")?;
+                let repeats_used = r.u32()?;
+                results.push(RetestScore {
+                    score,
+                    marginal,
+                    flipped,
+                    repeats_used,
+                });
+            }
+            r.finish()?;
+            Ok(RetestResponse::Results(results))
+        }
+        STATUS_ERROR => {
+            let code = ErrorCode::from_u16(r.u16()?)?;
+            let message = r.string()?;
+            r.finish()?;
+            Ok(RetestResponse::Error { code, message })
+        }
+        other => Err(ServeError::Protocol(format!("unknown retest response status {other}"))),
+    }
+}
+
+/// Decodes a strict boolean wire tag (0 or 1).
+fn decode_bool(tag: u8, what: &str) -> Result<bool> {
+    match tag {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(ServeError::Protocol(format!("invalid {what} tag {other}"))),
+    }
+}
+
 /// Encodes a golden-push request payload (without the frame length prefix).
 pub fn encode_push_request(key: u64, band: AcceptanceBand, golden: &Signature) -> Vec<u8> {
     let mut out = Vec::with_capacity(26 + 64);
@@ -288,6 +500,7 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
     match payload.get(..4) {
         Some(magic) if *magic == REQUEST_MAGIC => Ok(Request::Screen(decode_request(payload)?)),
         Some(magic) if *magic == MULTI_REQUEST_MAGIC => Ok(Request::MultiScreen(decode_multi_request(payload)?)),
+        Some(magic) if *magic == RETEST_REQUEST_MAGIC => Ok(Request::Retest(decode_retest_request(payload)?)),
         Some(magic) if *magic == PUSH_MAGIC => decode_push_request(payload),
         Some(magic) if *magic == FETCH_MAGIC => decode_fetch_request(payload),
         Some(magic) => Err(ServeError::Protocol(format!(
@@ -303,12 +516,17 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
 
 /// Encodes the response for a request frame that failed to decode, matching
 /// the response family the client is waiting for: admin requests
-/// (`DSGP`/`DSGF`) are answered with a `DSRA` error so their client-side
-/// decoder surfaces the server's message instead of a magic mismatch;
-/// everything else gets a `DSRS` error.
+/// (`DSGP`/`DSGF`) are answered with a `DSRA` error and retest requests
+/// (`DSRT`) with a `DSRR` error, so each client-side decoder surfaces the
+/// server's message instead of a magic mismatch; everything else gets a
+/// `DSRS` error.
 pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
     match payload.get(..4) {
         Some(magic) if *magic == PUSH_MAGIC || *magic == FETCH_MAGIC => encode_admin_response(&AdminResponse::Error {
+            code: ErrorCode::BadRequest,
+            message,
+        }),
+        Some(magic) if *magic == RETEST_REQUEST_MAGIC => encode_retest_response(&RetestResponse::Error {
             code: ErrorCode::BadRequest,
             message,
         }),
@@ -574,6 +792,111 @@ mod tests {
         let mut trailing = payload.clone();
         trailing.push(0);
         assert!(decode_multi_request(&trailing).is_err());
+    }
+
+    #[test]
+    fn retest_requests_round_trip_and_reject_malformed_payloads() {
+        let policy = RetestPolicy::new(0.005, vec![2, 8]).unwrap();
+        let request = RetestRequest {
+            golden_key: 0xFEED,
+            policy: policy.clone(),
+            items: vec![
+                RetestItem {
+                    initial: sig(&[(1, 10e-6), (3, 20e-6)]),
+                    repeats: vec![sig(&[(1, 11e-6)]), sig(&[(1, 9e-6)])],
+                },
+                RetestItem {
+                    initial: sig(&[(7, 1.0)]),
+                    repeats: vec![],
+                },
+            ],
+        };
+        let payload = encode_retest_request(&request);
+        match decode_any_request(&payload).unwrap() {
+            Request::Retest(decoded) => assert_eq!(decoded, request),
+            other => panic!("expected Retest, got {other:?}"),
+        }
+        // Empty device lists are legal.
+        let empty = RetestRequest {
+            golden_key: 1,
+            policy,
+            items: vec![],
+        };
+        assert_eq!(decode_retest_request(&encode_retest_request(&empty)).unwrap(), empty);
+        // Truncations, trailing bytes and broken policies are clean errors.
+        assert!(decode_retest_request(&payload[..9]).is_err());
+        assert!(decode_retest_request(&payload[..payload.len() - 2]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_retest_request(&trailing).is_err());
+        let mut nan_guard = payload.clone();
+        nan_guard[14..22].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_retest_request(&nan_guard).is_err(), "NaN guard band");
+        let mut bad_schedule = payload;
+        // First schedule step (after magic+version+key+guard+step count).
+        bad_schedule[26..30].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_retest_request(&bad_schedule).is_err(), "zero schedule step");
+    }
+
+    #[test]
+    fn retest_responses_round_trip_and_reject_malformed_payloads() {
+        let ok = RetestResponse::Results(vec![
+            RetestScore {
+                score: ScoreResult {
+                    ndf: 0.031,
+                    peak_hamming: 2,
+                    outcome: TestOutcome::Fail,
+                },
+                marginal: true,
+                flipped: true,
+                repeats_used: 8,
+            },
+            RetestScore {
+                score: ScoreResult {
+                    ndf: 0.001,
+                    peak_hamming: 0,
+                    outcome: TestOutcome::Pass,
+                },
+                marginal: false,
+                flipped: false,
+                repeats_used: 0,
+            },
+        ]);
+        let payload = encode_retest_response(&ok);
+        assert_eq!(decode_retest_response(&payload).unwrap(), ok);
+        let err = RetestResponse::Error {
+            code: ErrorCode::UnknownGolden,
+            message: "no such golden".into(),
+        };
+        assert_eq!(decode_retest_response(&encode_retest_response(&err)).unwrap(), err);
+        // Truncation, trailing bytes, bad status and bad boolean tags.
+        assert!(decode_retest_response(&payload[..5]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_retest_response(&trailing).is_err());
+        let mut bad_status = payload.clone();
+        bad_status[6] = 9;
+        assert!(matches!(
+            decode_retest_response(&bad_status),
+            Err(ServeError::Protocol(_))
+        ));
+        let mut bad_marginal = payload;
+        // First score: header(6) + status(1) + count(4) + ndf(8) + peak(4) +
+        // outcome(1) puts the marginal tag at offset 24.
+        bad_marginal[24] = 7;
+        assert!(matches!(
+            decode_retest_response(&bad_marginal),
+            Err(ServeError::Protocol(_))
+        ));
+        // A decode failure of a DSRT request answers in the DSRR family.
+        let response = encode_decode_error(b"DSRT", "bad".into());
+        assert!(matches!(
+            decode_retest_response(&response).unwrap(),
+            RetestResponse::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -25,13 +25,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use dsig_core::{ndf, peak_hamming_distance, AcceptanceBand, DsigError, Signature};
-use dsig_engine::{available_threads, RemoteScore, RemoteScorer};
+use dsig_core::{ndf, peak_hamming_distance, AcceptanceBand, DsigError, RetestPolicy, Signature};
+use dsig_engine::{available_threads, RemoteRetest, RemoteScore, RemoteScorer, RetestDevice};
 
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    decode_any_request, encode_admin_response, encode_decode_error, encode_response, read_frame, write_frame,
-    AdminResponse, ErrorCode, Request, ScoreResult, ScreenResponse,
+    decode_any_request, encode_admin_response, encode_decode_error, encode_response, encode_retest_response,
+    read_frame, write_frame, AdminResponse, ErrorCode, Request, RetestRequest, RetestResponse, RetestScore,
+    ScoreResult, ScreenResponse,
 };
 use crate::store::{GoldenRecord, GoldenStore};
 
@@ -196,6 +197,88 @@ impl ServeHandle {
         Ok(results.into_iter().map(|r| r.expect("every item scored")).collect())
     }
 
+    /// Screens an adaptive-retest batch: every device's single-shot
+    /// signature **and** its pre-captured measurement repeats are scored
+    /// through the shards in one flattened batch, then the pure escalation
+    /// walk of [`dsig_core::RetestPolicy::escalate`] re-decides marginal
+    /// devices from averaged repeats — server-side, before any verdict is
+    /// answered. Returns one [`RetestScore`] per device in request order.
+    ///
+    /// The averaged NDF of a retested device is bit-identical to
+    /// [`dsig_core::TestFlow::evaluate_averaged`] over the consumed repeats,
+    /// and the peak Hamming distance folds the initial capture with every
+    /// consumed repeat — exactly what
+    /// [`dsig_core::TestFlow::evaluate_with_retest`] computes locally.
+    ///
+    /// # Errors
+    /// As for [`ServeHandle::screen`]; the golden's stored acceptance band
+    /// decides marginality and the final verdicts.
+    pub fn screen_retest(&self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        let flat: Vec<Signature> = request
+            .items
+            .iter()
+            .flat_map(|item| std::iter::once(&item.initial).chain(&item.repeats).cloned())
+            .collect();
+        let repeat_counts: Vec<usize> = request.items.iter().map(|item| item.repeats.len()).collect();
+        self.screen_retest_flat(request.golden_key, &request.policy, flat, &repeat_counts)
+    }
+
+    /// Like [`ServeHandle::screen_retest`], taking ownership of the request —
+    /// the zero-copy path the connection threads use (the decoded signatures
+    /// move straight into the shard batch, never cloned).
+    ///
+    /// # Errors
+    /// As for [`ServeHandle::screen_retest`].
+    pub fn screen_retest_owned(&self, request: RetestRequest) -> Result<Vec<RetestScore>> {
+        let repeat_counts: Vec<usize> = request.items.iter().map(|item| item.repeats.len()).collect();
+        let flat: Vec<Signature> = request
+            .items
+            .into_iter()
+            .flat_map(|item| std::iter::once(item.initial).chain(item.repeats))
+            .collect();
+        self.screen_retest_flat(request.golden_key, &request.policy, flat, &repeat_counts)
+    }
+
+    /// The shared retest core: score the flattened `initial + repeats` batch
+    /// through the shards (the exact scoring pipeline of plain screening),
+    /// then run the pure escalation walk per device.
+    fn screen_retest_flat(
+        &self,
+        golden_key: u64,
+        policy: &RetestPolicy,
+        flat: Vec<Signature>,
+        repeat_counts: &[usize],
+    ) -> Result<Vec<RetestScore>> {
+        let record = self
+            .store
+            .get(golden_key)
+            .ok_or(ServeError::UnknownGolden(golden_key))?;
+        let scores = self.screen_record(Arc::clone(&record), flat)?;
+        let mut results = Vec::with_capacity(repeat_counts.len());
+        let mut at = 0usize;
+        for &repeat_count in repeat_counts {
+            let initial = scores[at];
+            let repeats = &scores[at + 1..at + 1 + repeat_count];
+            at += 1 + repeat_count;
+            let repeat_ndfs: Vec<f64> = repeats.iter().map(|s| s.ndf).collect();
+            let verdict = policy.escalate(&record.band, initial.ndf, &repeat_ndfs);
+            let used = verdict.repeats_used as usize;
+            results.push(RetestScore {
+                score: ScoreResult {
+                    ndf: verdict.ndf,
+                    peak_hamming: repeats[..used]
+                        .iter()
+                        .fold(initial.peak_hamming, |peak, s| peak.max(s.peak_hamming)),
+                    outcome: verdict.outcome,
+                },
+                marginal: verdict.marginal,
+                flipped: verdict.flipped,
+                repeats_used: verdict.repeats_used,
+            });
+        }
+        Ok(results)
+    }
+
     /// Scores a batch of observed signatures against the golden stored under
     /// `golden_key`, returning one [`ScoreResult`] per signature in order.
     ///
@@ -222,6 +305,13 @@ impl ServeHandle {
             .store
             .get(golden_key)
             .ok_or(ServeError::UnknownGolden(golden_key))?;
+        self.screen_record(record, signatures)
+    }
+
+    /// The shard-dispatch core behind [`ServeHandle::screen_vec`] and the
+    /// retest path, taking an already-resolved golden record (one store
+    /// lookup per request, however the caller obtained the record).
+    fn screen_record(&self, record: Arc<GoldenRecord>, signatures: Vec<Signature>) -> Result<Vec<ScoreResult>> {
         if signatures.is_empty() {
             return Ok(Vec::new());
         }
@@ -421,6 +511,13 @@ fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
                 message: err.to_string(),
             },
         }),
+        Request::Retest(request) => encode_retest_response(&match handle.screen_retest_owned(request) {
+            Ok(results) => RetestResponse::Results(results),
+            Err(err) => RetestResponse::Error {
+                code: error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
         Request::PushGolden { key, band, golden } => {
             handle.push_golden(key, golden, band);
             encode_admin_response(&AdminResponse::Ack)
@@ -476,9 +573,49 @@ impl From<ScoreResult> for RemoteScore {
     }
 }
 
+impl From<RetestScore> for RemoteRetest {
+    fn from(score: RetestScore) -> Self {
+        RemoteRetest {
+            score: score.score.into(),
+            marginal: score.marginal,
+            flipped: score.flipped,
+            repeats_used: score.repeats_used,
+        }
+    }
+}
+
+/// Builds the wire retest request of an engine-level retest batch — shared
+/// by the [`RemoteScorer`] impls of the serving and routing tiers.
+pub fn retest_request_of(golden_key: u64, policy: &RetestPolicy, devices: &[RetestDevice]) -> RetestRequest {
+    RetestRequest {
+        golden_key,
+        policy: policy.clone(),
+        items: devices
+            .iter()
+            .map(|device| crate::proto::RetestItem {
+                initial: device.initial.clone(),
+                repeats: device.repeats.clone(),
+            })
+            .collect(),
+    }
+}
+
 impl RemoteScorer for ServeHandle {
     fn screen_remote(&self, golden_key: u64, signatures: &[Signature]) -> dsig_core::Result<Vec<RemoteScore>> {
         self.screen(golden_key, signatures)
+            .map(|scores| scores.into_iter().map(Into::into).collect())
+            .map_err(ServeError::into_dsig)
+    }
+
+    fn retest_remote(
+        &self,
+        golden_key: u64,
+        policy: &RetestPolicy,
+        devices: &[RetestDevice],
+    ) -> dsig_core::Result<Vec<RemoteRetest>> {
+        // The built request is already owned: take the zero-copy path so the
+        // signatures are cloned once, not twice.
+        self.screen_retest_owned(retest_request_of(golden_key, policy, devices))
             .map(|scores| scores.into_iter().map(Into::into).collect())
             .map_err(ServeError::into_dsig)
     }
@@ -621,6 +758,91 @@ mod tests {
         let mut bad = items;
         bad[7].0 = 999;
         assert!(matches!(handle.screen_multi(&bad), Err(ServeError::UnknownGolden(999))));
+    }
+
+    #[test]
+    fn retest_screening_escalates_marginal_devices_server_side() {
+        use crate::proto::RetestItem;
+        use dsig_core::RetestPolicy;
+
+        let store = store_with_golden(4);
+        let record = store.get(4).unwrap();
+        let config = ServeConfig {
+            shards: 3,
+            shard_chunk: 2, // force chunking across the flattened batch
+        };
+        let handle = ServeHandle::spawn(Arc::clone(&store), config);
+        // Three devices: one far inside the band, one marginal whose repeats
+        // push it over the threshold (a PASS -> FAIL flip), one marginal and
+        // confirmed by its repeats.
+        let clean = sig(&[(1, 100e-6), (3, 100e-6)]);
+        let marginal_bad = sig(&[(1, 100e-6), (3, 91e-6), (7, 9e-6)]);
+        let worse = sig(&[(1, 100e-6), (3, 80e-6), (7, 20e-6)]);
+        let marginal_ok = sig(&[(1, 100e-6), (3, 92e-6), (7, 8e-6)]);
+        let single = |s: &Signature| score(&record, s).unwrap();
+        // Build a guard band that makes exactly the two borderline devices
+        // marginal against the stored 0.05 threshold.
+        let guard = 0.02;
+        let policy = RetestPolicy::new(guard, vec![2]).unwrap();
+        assert!(!policy.is_marginal(&record.band, single(&clean).ndf));
+        assert!(policy.is_marginal(&record.band, single(&marginal_bad).ndf));
+        assert!(policy.is_marginal(&record.band, single(&marginal_ok).ndf));
+
+        let request = RetestRequest {
+            golden_key: 4,
+            policy: policy.clone(),
+            items: vec![
+                RetestItem {
+                    initial: clean.clone(),
+                    repeats: vec![],
+                },
+                RetestItem {
+                    initial: marginal_bad.clone(),
+                    repeats: vec![worse.clone(), worse.clone()],
+                },
+                RetestItem {
+                    initial: marginal_ok.clone(),
+                    repeats: vec![marginal_ok.clone(), marginal_ok.clone()],
+                },
+            ],
+        };
+        let results = handle.screen_retest(&request).unwrap();
+        assert_eq!(results.len(), 3);
+        // Non-marginal: the single-shot score passes through untouched.
+        assert_eq!(results[0].score, single(&clean));
+        assert!(!results[0].marginal);
+        assert_eq!(results[0].repeats_used, 0);
+        // Marginal with failing repeats: averaged NDF, folded peak, FAIL.
+        let expected_ndf = (single(&worse).ndf + single(&worse).ndf) / 2.0;
+        assert_eq!(results[1].score.ndf.to_bits(), expected_ndf.to_bits());
+        assert_eq!(results[1].score.outcome, record.band.decide(expected_ndf));
+        assert_eq!(
+            results[1].score.peak_hamming,
+            single(&marginal_bad).peak_hamming.max(single(&worse).peak_hamming)
+        );
+        assert_eq!(results[1].repeats_used, 2);
+        assert!(results[1].marginal);
+        // Confirmed marginal device: same outcome as the single shot.
+        assert!(results[2].marginal);
+        assert_eq!(results[2].score.outcome, single(&marginal_ok).outcome);
+
+        // The TCP path answers the identical scores.
+        let server = Server::bind("127.0.0.1:0", store, ServeConfig::with_shards(2)).unwrap();
+        let mut client = crate::client::ServeClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.screen_retest(&request).unwrap(), results);
+        // Unknown goldens carry the fingerprint back.
+        let unknown = RetestRequest {
+            golden_key: 0xDEAD,
+            ..request
+        };
+        assert!(matches!(
+            client.screen_retest(&unknown),
+            Err(ServeError::UnknownGolden(0xDEAD))
+        ));
+        assert!(matches!(
+            handle.screen_retest(&unknown),
+            Err(ServeError::UnknownGolden(0xDEAD))
+        ));
     }
 
     #[test]

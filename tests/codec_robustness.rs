@@ -171,6 +171,106 @@ proptest! {
     }
 
     #[test]
+    fn retest_requests_round_trip_and_survive_abuse(
+        key in 0u64..u64::MAX,
+        guard_milli in 0u32..50,
+        steps in prop::collection::vec(1u32..6, 1..4),
+        items in prop::collection::vec(
+            (
+                prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..6),
+                prop::collection::vec(prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..4), 0..4),
+            ),
+            0..6,
+        ),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        // Build a strictly increasing cumulative schedule from the step increments.
+        let mut schedule = Vec::with_capacity(steps.len());
+        let mut total = 0u32;
+        for step in steps {
+            total += step;
+            schedule.push(total);
+        }
+        let request = analog_signature::serve::RetestRequest {
+            golden_key: key,
+            policy: analog_signature::dsig::RetestPolicy::new(f64::from(guard_milli) / 1000.0, schedule).unwrap(),
+            items: items
+                .iter()
+                .map(|(initial, repeats)| analog_signature::serve::RetestItem {
+                    initial: signature_from(initial),
+                    repeats: repeats.iter().map(|parts| signature_from(parts)).collect(),
+                })
+                .collect(),
+        };
+        let bytes = proto::encode_retest_request(&request);
+        let decoded = proto::decode_retest_request(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &request);
+        prop_assert_eq!(
+            decoded.policy.guard_band.to_bits(),
+            request.policy.guard_band.to_bits()
+        );
+        match proto::decode_any_request(&bytes).unwrap() {
+            proto::Request::Retest(dispatched) => prop_assert_eq!(dispatched, request),
+            other => prop_assert!(false, "expected Retest, got {:?}", other),
+        }
+        // Truncation: always a clean error (the empty request is > 22 bytes).
+        let keep = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(proto::decode_retest_request(&bytes[..keep]).is_err());
+        // Mutation: never a panic; header corruption always errors.
+        let mut mutated = bytes.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        let _ = proto::decode_retest_request(&mutated);
+        let _ = proto::decode_any_request(&mutated);
+        if at < 6 {
+            prop_assert!(proto::decode_retest_request(&mutated).is_err());
+        }
+    }
+
+    #[test]
+    fn retest_responses_round_trip_and_survive_abuse(
+        scores in prop::collection::vec(
+            (0.0..2.0_f64, 0u32..50, prop::bool::ANY, prop::bool::ANY, prop::bool::ANY, 0u32..64),
+            0..10,
+        ),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        use analog_signature::dsig::TestOutcome;
+        let response = proto::RetestResponse::Results(
+            scores
+                .iter()
+                .map(|&(ndf, peak, fail, marginal, flipped, repeats)| proto::RetestScore {
+                    score: proto::ScoreResult {
+                        ndf,
+                        peak_hamming: peak,
+                        outcome: if fail { TestOutcome::Fail } else { TestOutcome::Pass },
+                    },
+                    marginal,
+                    flipped,
+                    repeats_used: repeats,
+                })
+                .collect(),
+        );
+        let bytes = proto::encode_retest_response(&response);
+        prop_assert_eq!(&proto::decode_retest_response(&bytes).unwrap(), &response);
+        // Truncation: always a clean error.
+        let keep = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(proto::decode_retest_response(&bytes[..keep]).is_err());
+        // Mutation: never a panic; header corruption always errors.
+        let mut mutated = bytes.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        let _ = proto::decode_retest_response(&mutated);
+        if at < 6 {
+            prop_assert!(proto::decode_retest_response(&mutated).is_err());
+        }
+    }
+
+    #[test]
     fn log_round_trips_and_rejects_mutations(
         lots in prop::collection::vec(
             (0u32..10_000, prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..8)),
