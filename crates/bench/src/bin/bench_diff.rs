@@ -1,0 +1,114 @@
+//! Bench-artifact trending: compares two `BENCH_<name>.json` artifacts (a
+//! committed baseline and a fresh run of the same throughput bin) and emits
+//! a TDT-style plain-text `RSLT` record — verdict, comparison environment,
+//! one `MEAS` line per compared metric (items/s a.k.a. devices/s, p50/p95/
+//! p99) with its relative delta.
+//!
+//! Run with
+//! `cargo run --release -p repro-bench --bin bench_diff -- <baseline.json> <candidate.json>`.
+//! Pass `--threshold-pct <pct>` to tune the regression threshold (default
+//! 15%), `--rslt <path>` to also write the record to a file, and `--smoke`
+//! for report-only mode: the record still says FAIL on a regression, but the
+//! process exits 0 — what CI uses on shared runners, where a slow neighbour
+//! must not fail the build. Without `--smoke`, a regression (or a vanished
+//! path) exits 1.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use repro_bench::trend::{diff_artifacts, BenchArtifact, DEFAULT_THRESHOLD_PCT};
+
+struct Args {
+    baseline: PathBuf,
+    candidate: PathBuf,
+    threshold_pct: f64,
+    rslt: Option<PathBuf>,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut rslt = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold-pct" => {
+                let value = args.next().ok_or("--threshold-pct needs a value")?;
+                threshold_pct = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --threshold-pct value {value:?}"))?;
+                if !threshold_pct.is_finite() || threshold_pct < 0.0 {
+                    return Err(format!("--threshold-pct must be a non-negative number, got {value}"));
+                }
+            }
+            "--rslt" => rslt = Some(PathBuf::from(args.next().ok_or("--rslt needs a path")?)),
+            "--smoke" => smoke = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => positional.push(PathBuf::from(other)),
+        }
+    }
+    let [baseline, candidate] = <[PathBuf; 2]>::try_from(positional).map_err(|_| {
+        "usage: bench_diff <baseline.json> <candidate.json> [--threshold-pct <pct>] [--rslt <path>] [--smoke]"
+    })?;
+    Ok(Args {
+        baseline,
+        candidate,
+        threshold_pct,
+        rslt,
+        smoke,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let baseline = BenchArtifact::load(&args.baseline)?;
+    let candidate = BenchArtifact::load(&args.candidate)?;
+    if baseline.bench != candidate.bench {
+        return Err(format!(
+            "artifacts compare different benches: {:?} vs {:?}",
+            baseline.bench, candidate.bench
+        ));
+    }
+
+    let report = diff_artifacts(&baseline, &candidate, args.threshold_pct);
+    let mut rslt = report.render_rslt();
+    // The environment of the comparison, spliced in after the verdict line:
+    // where the two artifacts came from and which load shapes they ran.
+    let env = format!(
+        "ENV baseline {}\nENV candidate {}\nENV baseline_smoke {}\nENV candidate_smoke {}\n",
+        args.baseline.display(),
+        args.candidate.display(),
+        baseline.smoke,
+        candidate.smoke,
+    );
+    let after_verdict = rslt
+        .find('\n')
+        .and_then(|first| rslt[first + 1..].find('\n').map(|second| first + 1 + second + 1));
+    if let Some(at) = after_verdict {
+        rslt.insert_str(at, &env);
+    }
+
+    print!("{rslt}");
+    if let Some(path) = &args.rslt {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, &rslt).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(report.pass() || args.smoke)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench_diff: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

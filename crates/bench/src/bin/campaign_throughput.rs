@@ -7,9 +7,10 @@
 //!
 //! Run with `cargo run --release -p repro-bench --bin campaign_throughput`.
 //! Pass `--smoke` for a fast CI-sized run (fewer devices, no thread sweep)
-//! that still exercises and checks the batched fast path, and
+//! that still exercises and checks the batched fast path,
 //! `--json <path>` to write the machine-readable
-//! `BENCH_campaign_throughput.json` artifact.
+//! `BENCH_campaign_throughput.json` artifact, and `--metrics <path>` to
+//! dump the engine's metrics registry next to it.
 
 use std::time::{Duration, Instant};
 
@@ -146,6 +147,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     output.config("batch_speedup", format!("{batch_speedup:.3}"));
     if let Some(path) = repro_bench::smoke::json_path_from_args() {
         output.save(&path)?;
+        println!("wrote {}", path.display());
+    }
+    // The runners above report into the process-global registry; dump the
+    // engine's phase timings and gauges next to the JSON artifact.
+    if let Some(path) = repro_bench::smoke::metrics_path_from_args() {
+        let snapshot = dsig_obs::Registry::global().snapshot();
+        repro_bench::smoke::save_text(&path, &snapshot.render())?;
         println!("wrote {}", path.display());
     }
     // Wall-clock rot guard, full runs only: the 1k-device lot has ~3x

@@ -10,7 +10,8 @@
 //! (append `-- --smoke` for the abbreviated CI run, which also **asserts**
 //! that routed batched throughput stays within 20% of the direct serve path
 //! and that the retest path stays within 30% of no-retest batched routing;
-//! `--json <path>` writes the `BENCH_router_throughput.json` artifact).
+//! `--json <path>` writes the `BENCH_router_throughput.json` artifact and
+//! `--metrics <path>` the rendered `DSMX` scrape of the routing tier).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -351,6 +352,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     output.config("marginal_fraction", format!("{MARGINAL_FRACTION}"));
     if let Some(path) = repro_bench::smoke::json_path_from_args() {
         output.save(&path)?;
+        println!("wrote {}", path.display());
+    }
+    // Scrape the router's metrics over TCP (`DSMX`) after the load — written
+    // before the gates too, so a tripped gate still leaves the scrape behind.
+    if let Some(path) = repro_bench::smoke::metrics_path_from_args() {
+        let snapshot = client.metrics()?;
+        repro_bench::smoke::save_text(&path, &snapshot.render())?;
         println!("wrote {}", path.display());
     }
     if smoke {

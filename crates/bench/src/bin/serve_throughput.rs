@@ -4,8 +4,10 @@
 //! the in-process `ServeHandle` path.
 //!
 //! Run with `cargo run --release -p repro-bench --bin serve_throughput`
-//! (append `-- --smoke` for the abbreviated CI run, and `--json <path>` to
-//! write the machine-readable `BENCH_serve_throughput.json` artifact).
+//! (append `-- --smoke` for the abbreviated CI run, `--json <path>` to
+//! write the machine-readable `BENCH_serve_throughput.json` artifact, and
+//! `--metrics <path>` to scrape the server's metrics over TCP (`DSMX`)
+//! after the load and write the rendered snapshot).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -136,6 +138,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nserver scored {} signatures total", server.signatures_scored());
     if let Some(path) = repro_bench::smoke::json_path_from_args() {
         output.save(&path)?;
+        println!("wrote {}", path.display());
+    }
+    // Scrape the server's metrics over TCP (`DSMX`) after the load — the
+    // second artifact CI uploads next to the JSON.
+    if let Some(path) = repro_bench::smoke::metrics_path_from_args() {
+        let snapshot = ServeClient::connect(addr)?.metrics()?;
+        repro_bench::smoke::save_text(&path, &snapshot.render())?;
         println!("wrote {}", path.display());
     }
     Ok(())

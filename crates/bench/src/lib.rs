@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod smoke;
+pub mod trend;
 
 use cut_filters::BiquadParams;
 use dsig_core::{DsigError, TestFlow, TestSetup};

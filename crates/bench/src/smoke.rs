@@ -215,13 +215,37 @@ fn json_string(s: &str) -> String {
 
 /// Extracts the `--json <path>` flag from the process arguments, if present.
 pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    path_flag_from_args("--json")
+}
+
+/// Extracts the `--metrics <path>` flag from the process arguments: where a
+/// throughput bin writes the rendered `MetricsSnapshot` it scrapes from its
+/// server at the end of the run (uploaded by CI next to the JSON artifact).
+pub fn metrics_path_from_args() -> Option<std::path::PathBuf> {
+    path_flag_from_args("--metrics")
+}
+
+fn path_flag_from_args(flag: &str) -> Option<std::path::PathBuf> {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
-        if arg == "--json" {
+        if arg == flag {
             return args.next().map(std::path::PathBuf::from);
         }
     }
     None
+}
+
+/// Writes a plain-text artifact, creating parent directories as needed.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_text(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, text)
 }
 
 #[cfg(test)]

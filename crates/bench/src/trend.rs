@@ -1,0 +1,518 @@
+//! Bench-artifact trending: load two `BENCH_<name>.json` artifacts (the
+//! machine-readable output of the throughput bins, see [`crate::smoke`]),
+//! compare throughput and latency percentiles path by path against a
+//! configurable regression threshold, and render the comparison as a
+//! TDT-style plain-text `RSLT` record (verdict + environment + measurements)
+//! — the format the `bench_diff` bin prints and CI archives next to the JSON
+//! artifacts.
+
+use std::path::Path;
+
+use crate::smoke::PathMetrics;
+
+/// Default regression threshold: a path regresses when its throughput drops
+/// (or a latency percentile rises) by more than this percentage.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
+
+/// A parsed JSON value (std-only; the build environment has no serde).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object.
+    pub fn field(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of document".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? != byte {
+            return Err(format!("expected {:?} at byte {}", byte as char, self.pos));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&byte) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&escape) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogates (the artifacts never emit them) decode
+                            // to the replacement character rather than erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Collect the raw UTF-8 run up to the next quote/escape.
+                    let start = self.pos - 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII run");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+/// One loaded `BENCH_<name>.json` artifact.
+#[derive(Debug, Clone)]
+pub struct BenchArtifact {
+    /// Bench binary name (the `"bench"` field).
+    pub bench: String,
+    /// Whether the run was an abbreviated `--smoke` run.
+    pub smoke: bool,
+    /// The configuration key/value pairs of the run.
+    pub config: Vec<(String, String)>,
+    /// One entry per measured path.
+    pub paths: Vec<PathMetrics>,
+}
+
+impl BenchArtifact {
+    /// Parses the JSON shape [`crate::smoke::BenchOutput::to_json`] writes.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax or shape error.
+    pub fn from_json(text: &str) -> Result<BenchArtifact, String> {
+        let doc = Json::parse(text)?;
+        let bench = doc
+            .field("bench")
+            .and_then(Json::as_str)
+            .ok_or("missing \"bench\" field")?
+            .to_string();
+        let smoke = matches!(doc.field("smoke"), Some(Json::Bool(true)));
+        let config = match doc.field("config") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_str().unwrap_or_default().to_string()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let Some(Json::Arr(raw_paths)) = doc.field("paths") else {
+            return Err("missing \"paths\" array".to_string());
+        };
+        let mut paths = Vec::with_capacity(raw_paths.len());
+        for entry in raw_paths {
+            let num = |name: &str| {
+                entry
+                    .field(name)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("path missing {name:?}"))
+            };
+            paths.push(PathMetrics {
+                path: entry
+                    .field("path")
+                    .and_then(Json::as_str)
+                    .ok_or("path missing \"path\"")?
+                    .to_string(),
+                batch: num("batch")? as usize,
+                requests_per_s: num("requests_per_s")?,
+                items_per_s: num("items_per_s")?,
+                p50_us: num("p50_us")?,
+                p95_us: num("p95_us")?,
+                p99_us: num("p99_us")?,
+            });
+        }
+        Ok(BenchArtifact {
+            bench,
+            smoke,
+            config,
+            paths,
+        })
+    }
+
+    /// Loads and parses an artifact file.
+    ///
+    /// # Errors
+    /// Propagates filesystem and parse errors as a description.
+    pub fn load(path: &Path) -> Result<BenchArtifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// One compared metric of one path.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// `<path>/<batch>.<metric>` (e.g. `router tcp/64.items_per_s`).
+    pub key: String,
+    /// The baseline value.
+    pub baseline: f64,
+    /// The candidate value.
+    pub candidate: f64,
+    /// Signed relative change in percent (positive = candidate larger).
+    pub delta_pct: f64,
+    /// Whether this delta crosses the regression threshold in the bad
+    /// direction (throughput down, latency up).
+    pub regressed: bool,
+}
+
+/// The comparison of two bench artifacts.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// The bench name (from the baseline artifact).
+    pub bench: String,
+    /// The regression threshold the comparison ran with, in percent.
+    pub threshold_pct: f64,
+    /// Every compared metric, in path order.
+    pub deltas: Vec<Delta>,
+    /// Paths present in the baseline but absent from the candidate (counted
+    /// as regressions — a vanished path could hide one).
+    pub missing: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the candidate holds the baseline within the threshold.
+    pub fn pass(&self) -> bool {
+        self.missing.is_empty() && self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Renders the TDT-style plain-text `RSLT` record: the verdict, the
+    /// environment of the comparison, one `MEAS` line per compared metric
+    /// and one `MISS` line per vanished path.
+    pub fn render_rslt(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("RSLT bench_diff:{}\n", self.bench));
+        out.push_str(&format!("VERDICT {}\n", if self.pass() { "PASS" } else { "FAIL" }));
+        out.push_str(&format!("ENV threshold_pct {:?}\n", self.threshold_pct));
+        for delta in &self.deltas {
+            out.push_str(&format!(
+                "MEAS {} baseline {:?} candidate {:?} delta_pct {:+.2}{}\n",
+                delta.key,
+                delta.baseline,
+                delta.candidate,
+                delta.delta_pct,
+                if delta.regressed { " REGRESSED" } else { "" },
+            ));
+        }
+        for path in &self.missing {
+            out.push_str(&format!("MISS {path}\n"));
+        }
+        out.push_str("END RSLT\n");
+        out
+    }
+}
+
+/// Compares the signed relative change of one metric; `higher_is_better`
+/// flips the regression direction for latency percentiles. A zero baseline
+/// (e.g. an unmeasured latency) is reported but never regresses.
+fn delta(key: String, baseline: f64, candidate: f64, higher_is_better: bool, threshold_pct: f64) -> Delta {
+    let delta_pct = if baseline == 0.0 {
+        0.0
+    } else {
+        (candidate - baseline) / baseline * 100.0
+    };
+    let regressed = baseline != 0.0
+        && if higher_is_better {
+            delta_pct < -threshold_pct
+        } else {
+            delta_pct > threshold_pct
+        };
+    Delta {
+        key,
+        baseline,
+        candidate,
+        delta_pct,
+        regressed,
+    }
+}
+
+/// Compares a candidate artifact against a baseline: per `(path, batch)`
+/// pair, throughput (items/s — devices/s for campaign benches) must not drop
+/// and the latency percentiles must not rise by more than `threshold_pct`.
+/// Paths only the candidate has are ignored (new coverage is not a
+/// regression); paths only the baseline has are reported in
+/// [`DiffReport::missing`].
+pub fn diff_artifacts(baseline: &BenchArtifact, candidate: &BenchArtifact, threshold_pct: f64) -> DiffReport {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.paths {
+        let key = format!("{}/{}", base.path, base.batch);
+        let Some(cand) = candidate
+            .paths
+            .iter()
+            .find(|p| p.path == base.path && p.batch == base.batch)
+        else {
+            missing.push(key);
+            continue;
+        };
+        let metric = |name: &str, b: f64, c: f64, higher_is_better: bool| {
+            delta(format!("{key}.{name}"), b, c, higher_is_better, threshold_pct)
+        };
+        deltas.push(metric("items_per_s", base.items_per_s, cand.items_per_s, true));
+        deltas.push(metric("p50_us", base.p50_us, cand.p50_us, false));
+        deltas.push(metric("p95_us", base.p95_us, cand.p95_us, false));
+        deltas.push(metric("p99_us", base.p99_us, cand.p99_us, false));
+    }
+    DiffReport {
+        bench: baseline.bench.clone(),
+        threshold_pct,
+        deltas,
+        missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoke::BenchOutput;
+
+    fn artifact(items_per_s: f64, p99_us: f64) -> BenchArtifact {
+        let mut output = BenchOutput::new("unit_bench", true);
+        output.config("devices", 100);
+        output.paths.push(PathMetrics {
+            path: "router tcp".into(),
+            batch: 64,
+            requests_per_s: items_per_s / 64.0,
+            items_per_s,
+            p50_us: 100.0,
+            p95_us: 200.0,
+            p99_us,
+        });
+        BenchArtifact::from_json(&output.to_json()).unwrap()
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_the_json_writer() {
+        let art = artifact(64000.0, 450.5);
+        assert_eq!(art.bench, "unit_bench");
+        assert!(art.smoke);
+        assert_eq!(art.config, vec![("devices".to_string(), "100".to_string())]);
+        assert_eq!(art.paths.len(), 1);
+        assert_eq!(art.paths[0].batch, 64);
+        assert_eq!(art.paths[0].items_per_s, 64000.0);
+        assert_eq!(art.paths[0].p99_us, 450.5);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_rejects_garbage() {
+        let doc = Json::parse(r#"{"a": [1, -2.5e3, true, null], "b\n": "q\"\\A"}"#).unwrap();
+        assert_eq!(
+            doc.field("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2500.0),
+                Json::Bool(true),
+                Json::Null,
+            ]))
+        );
+        assert_eq!(doc.field("b\n"), Some(&Json::Str("q\"\\A".to_string())));
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "1 2", "\"open"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn equal_artifacts_pass_and_regressions_fail() {
+        let base = artifact(64000.0, 400.0);
+        let same = diff_artifacts(&base, &base, 10.0);
+        assert!(same.pass());
+        assert_eq!(same.deltas.len(), 4);
+        assert!(same.render_rslt().contains("VERDICT PASS"));
+
+        // Throughput down 25% trips a 10% threshold; latency up does too.
+        let slower = artifact(48000.0, 400.0);
+        let report = diff_artifacts(&base, &slower, 10.0);
+        assert!(!report.pass());
+        assert!(report
+            .deltas
+            .iter()
+            .any(|d| d.key.ends_with("items_per_s") && d.regressed));
+        let rslt = report.render_rslt();
+        assert!(rslt.starts_with("RSLT bench_diff:unit_bench\nVERDICT FAIL\n"));
+        assert!(rslt.contains("REGRESSED"));
+        assert!(rslt.trim_end().ends_with("END RSLT"));
+
+        let laggier = artifact(64000.0, 800.0);
+        assert!(!diff_artifacts(&base, &laggier, 10.0).pass());
+        // A generous threshold tolerates both.
+        assert!(diff_artifacts(&base, &slower, 30.0).pass());
+        assert!(diff_artifacts(&base, &laggier, 120.0).pass());
+        // Improvements never regress.
+        assert!(diff_artifacts(&slower, &base, 10.0).pass());
+    }
+
+    #[test]
+    fn vanished_paths_are_reported_as_missing() {
+        let base = artifact(64000.0, 400.0);
+        let mut empty = artifact(64000.0, 400.0);
+        empty.paths.clear();
+        let report = diff_artifacts(&base, &empty, 10.0);
+        assert!(!report.pass());
+        assert_eq!(report.missing, vec!["router tcp/64".to_string()]);
+        assert!(report.render_rslt().contains("MISS router tcp/64"));
+    }
+}

@@ -385,6 +385,7 @@ struct BankInner {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// A bounded, thread-safe cache of [`SharedStimulus`] entries keyed exactly
@@ -394,8 +395,8 @@ struct BankInner {
 /// of devices, so campaigns and characterization runs keep one bank for
 /// their lifetime and fetch per-setup entries from it. When the bank is full
 /// the least-recently-used entry is evicted; [`StimulusBank::hits`] /
-/// [`StimulusBank::misses`] expose the cache behaviour for tests and
-/// monitoring.
+/// [`StimulusBank::misses`] / [`StimulusBank::evictions`] expose the cache
+/// behaviour for tests and monitoring.
 #[derive(Debug)]
 pub struct StimulusBank {
     inner: Mutex<BankInner>,
@@ -416,6 +417,7 @@ impl StimulusBank {
                 tick: 0,
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
         }
     }
@@ -459,6 +461,7 @@ impl StimulusBank {
                 .map(|(i, _)| i)
                 .expect("capacity is at least one");
             inner.entries.swap_remove(lru);
+            inner.evictions += 1;
         }
         inner.entries.push(BankEntry {
             key,
@@ -491,6 +494,11 @@ impl StimulusBank {
     /// Number of [`StimulusBank::shared_for`] calls that had to synthesize.
     pub fn misses(&self) -> u64 {
         self.inner.lock().expect("stimulus bank lock poisoned").misses
+    }
+
+    /// Number of entries evicted to make room for a newly synthesized one.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().expect("stimulus bank lock poisoned").evictions
     }
 }
 
@@ -631,14 +639,17 @@ mod tests {
         let rate_c = setup().with_sample_rate(5e6).unwrap();
         bank.shared_for(&rate_a).unwrap();
         bank.shared_for(&rate_b).unwrap();
+        assert_eq!(bank.evictions(), 0, "no eviction below capacity");
         bank.shared_for(&rate_a).unwrap(); // refresh a: b is now the LRU
         bank.shared_for(&rate_c).unwrap(); // evicts b
         assert_eq!(bank.len(), 2);
         assert_eq!((bank.hits(), bank.misses()), (1, 3));
+        assert_eq!(bank.evictions(), 1, "filling past capacity must evict the LRU");
         bank.shared_for(&rate_a).unwrap();
         assert_eq!(bank.hits(), 2, "the refreshed entry must have survived eviction");
         bank.shared_for(&rate_b).unwrap();
         assert_eq!(bank.misses(), 4, "the evicted entry must be re-synthesized");
+        assert_eq!(bank.evictions(), 2, "re-inserting past capacity evicts again");
     }
 
     #[test]

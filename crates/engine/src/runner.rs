@@ -3,11 +3,13 @@
 //! shared stimulus — for the whole population.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use dsig_core::{
     capture_signatures_batch, ndf, peak_hamming_distance, retest_seed, BatchDevice, Result, RetestPolicy,
     SharedStimulus, Signature, StimulusBank, TestFlow, TestSetup,
 };
+use dsig_obs::{Counter, Gauge, Histogram, Registry, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xy_monitor::ZonePartition;
@@ -28,6 +30,50 @@ pub struct CampaignRunner {
     retest: Option<RetestPolicy>,
     cache: GoldenCache,
     bank: StimulusBank,
+    metrics: EngineMetrics,
+}
+
+/// The engine's metric handles, resolved once per runner so workers only
+/// touch lock-free atomics. Everything here is observational: no metric
+/// feeds back into seeding, scheduling order or scoring, so instrumented
+/// reports stay bit-identical to uninstrumented ones.
+struct EngineMetrics {
+    /// `engine.capture_us` — one sample per captured chunk.
+    capture_us: Arc<Histogram>,
+    /// `engine.score_us` — one sample per scored chunk (local or remote).
+    score_us: Arc<Histogram>,
+    /// `engine.retest_us` — one sample per chunk walked under a retest
+    /// policy (marginal scan, repeat capture and escalation).
+    retest_us: Arc<Histogram>,
+    /// `engine.devices_per_s` — population throughput of the last campaign.
+    devices_per_s: Arc<Gauge>,
+    /// `engine.bank.hits` / `.misses` / `.evictions` — the runner's stimulus
+    /// bank counters, mirrored as gauges after each campaign.
+    bank_hits: Arc<Gauge>,
+    bank_misses: Arc<Gauge>,
+    bank_evictions: Arc<Gauge>,
+    /// `engine.queue_depth` — chunks still queued (this one included) when a
+    /// worker claims a chunk.
+    queue_depth: Arc<Histogram>,
+    /// `engine.fallback.per_device` — campaigns that fell back to the
+    /// per-device capture path instead of the batched fast path.
+    fallback_per_device: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            capture_us: registry.histogram("engine.capture_us"),
+            score_us: registry.histogram("engine.score_us"),
+            retest_us: registry.histogram("engine.retest_us"),
+            devices_per_s: registry.gauge("engine.devices_per_s"),
+            bank_hits: registry.gauge("engine.bank.hits"),
+            bank_misses: registry.gauge("engine.bank.misses"),
+            bank_evictions: registry.gauge("engine.bank.evictions"),
+            queue_depth: registry.histogram("engine.queue_depth"),
+            fallback_per_device: registry.counter("engine.fallback.per_device"),
+        }
+    }
 }
 
 /// What one worker produces per device: the result row, the observed
@@ -53,6 +99,7 @@ impl CampaignRunner {
             retest: None,
             cache: GoldenCache::new(),
             bank: StimulusBank::new(),
+            metrics: EngineMetrics::new(&Registry::global()),
         }
     }
 
@@ -171,13 +218,18 @@ impl CampaignRunner {
         // keep the per-device path. Both paths are bit-identical.
         let use_batch = self.batching && campaign.monitor_variation.is_none();
         let retest = self.retest.as_ref();
+        let metrics = &self.metrics;
+        let started = Instant::now();
         let outcomes: Vec<Result<DeviceOutcome>> = if use_batch {
             let shared = self.bank.shared_for(&campaign.setup)?;
             let chunks = devices.div_ceil(self.chunk);
             let per_chunk = parallel_map_indexed(chunks, self.threads, 1, |chunk_index| {
+                // Chunks are claimed in index order, so the pending depth at
+                // claim time is everything at or past this index.
+                metrics.queue_depth.record_us((chunks - chunk_index) as u64);
                 let start = chunk_index * self.chunk;
                 let end = (start + self.chunk).min(devices);
-                evaluate_chunk_batched(campaign, &scorer, retest, &shared, start, end)
+                evaluate_chunk_batched(campaign, &scorer, retest, metrics, &shared, start, end)
             });
             let mut flat = Vec::with_capacity(devices);
             for chunk in per_chunk {
@@ -190,11 +242,13 @@ impl CampaignRunner {
         } else {
             // The per-device path also works in chunks, so remote scoring
             // ships one request per chunk instead of one per device.
+            self.metrics.fallback_per_device.inc();
             let chunks = devices.div_ceil(self.chunk);
             let per_chunk = parallel_map_indexed(chunks, self.threads, 1, |chunk_index| {
+                metrics.queue_depth.record_us((chunks - chunk_index) as u64);
                 let start = chunk_index * self.chunk;
                 let end = (start + self.chunk).min(devices);
-                evaluate_chunk_per_device(campaign, &scorer, retest, start, end)
+                evaluate_chunk_per_device(campaign, &scorer, retest, metrics, start, end)
             });
             let mut flat = Vec::with_capacity(devices);
             for chunk in per_chunk {
@@ -205,6 +259,13 @@ impl CampaignRunner {
             }
             flat
         };
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            self.metrics.devices_per_s.set(devices as f64 / elapsed);
+        }
+        self.metrics.bank_hits.set(self.bank.hits() as f64);
+        self.metrics.bank_misses.set(self.bank.misses() as f64);
+        self.metrics.bank_evictions.set(self.bank.evictions() as f64);
 
         let track_coverage = matches!(campaign.population, DevicePopulation::FaultGrid(_));
         let mut report = CampaignReport::new();
@@ -275,19 +336,26 @@ fn evaluate_chunk_per_device(
     campaign: &Campaign,
     scorer: &Scorer<'_>,
     retest: Option<&RetestPolicy>,
+    metrics: &EngineMetrics,
     start: usize,
     end: usize,
 ) -> Result<Vec<DeviceOutcome>> {
     let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
-    let observed: Vec<Signature> = specs
-        .iter()
-        .map(|spec| match observed_setup(campaign, spec)? {
-            None => campaign.setup.signature_of(&spec.cut, spec.noise_seed),
-            Some(setup) => setup.signature_of(&spec.cut, spec.noise_seed),
-        })
-        .collect::<Result<_>>()?;
-    let mut outcomes = score_batch(campaign, scorer, specs, observed)?;
-    apply_retest(campaign, scorer, retest, &mut outcomes)?;
+    let observed: Vec<Signature> = {
+        let _capture = Span::enter(&metrics.capture_us);
+        specs
+            .iter()
+            .map(|spec| match observed_setup(campaign, spec)? {
+                None => campaign.setup.signature_of(&spec.cut, spec.noise_seed),
+                Some(setup) => setup.signature_of(&spec.cut, spec.noise_seed),
+            })
+            .collect::<Result<_>>()?
+    };
+    let mut outcomes = {
+        let _score = Span::enter(&metrics.score_us);
+        score_batch(campaign, scorer, specs, observed)?
+    };
+    apply_retest(campaign, scorer, retest, metrics, &mut outcomes)?;
     Ok(outcomes)
 }
 
@@ -300,15 +368,22 @@ fn evaluate_chunk_batched(
     campaign: &Campaign,
     scorer: &Scorer<'_>,
     retest: Option<&RetestPolicy>,
+    metrics: &EngineMetrics,
     shared: &SharedStimulus,
     start: usize,
     end: usize,
 ) -> Result<Vec<DeviceOutcome>> {
     let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
     let batch: Vec<BatchDevice> = specs.iter().map(|s| BatchDevice::new(s.cut, s.noise_seed)).collect();
-    let signatures = capture_signatures_batch(&campaign.setup, shared, &batch)?;
-    let mut outcomes = score_batch(campaign, scorer, specs, signatures)?;
-    apply_retest(campaign, scorer, retest, &mut outcomes)?;
+    let signatures = {
+        let _capture = Span::enter(&metrics.capture_us);
+        capture_signatures_batch(&campaign.setup, shared, &batch)?
+    };
+    let mut outcomes = {
+        let _score = Span::enter(&metrics.score_us);
+        score_batch(campaign, scorer, specs, signatures)?
+    };
+    apply_retest(campaign, scorer, retest, metrics, &mut outcomes)?;
     Ok(outcomes)
 }
 
@@ -321,11 +396,13 @@ fn apply_retest(
     campaign: &Campaign,
     scorer: &Scorer<'_>,
     retest: Option<&RetestPolicy>,
+    metrics: &EngineMetrics,
     outcomes: &mut [DeviceOutcome],
 ) -> Result<()> {
     let Some(policy) = retest else {
         return Ok(());
     };
+    let _retest = Span::enter(&metrics.retest_us);
     let marginal: Vec<usize> = outcomes
         .iter()
         .enumerate()
@@ -875,6 +952,36 @@ mod tests {
             .run_with_target(&c, ScoreTarget::Remote(&NoRetest))
             .unwrap_err();
         assert!(matches!(err, dsig_core::DsigError::Remote(_)));
+    }
+
+    #[test]
+    fn runs_record_engine_metrics_without_changing_reports() {
+        let registry = Registry::global();
+        let c = campaign(DevicePopulation::MonteCarlo {
+            devices: 8,
+            sigma_pct: 2.0,
+        });
+        // The registry is process-global (other tests run campaigns too), so
+        // everything is asserted as before/after deltas.
+        let count = |s: &dsig_obs::MetricsSnapshot, name: &str| s.histogram(name).map_or(0, |h| h.count);
+        let before = registry.snapshot();
+        let plain = CampaignRunner::with_threads(2).run(&c).unwrap();
+        let after = registry.snapshot();
+        assert!(count(&after, "engine.capture_us") > count(&before, "engine.capture_us"));
+        assert!(count(&after, "engine.score_us") > count(&before, "engine.score_us"));
+        assert!(count(&after, "engine.queue_depth") > count(&before, "engine.queue_depth"));
+        assert!(after.gauge("engine.devices_per_s").is_some());
+        assert!(after.gauge("engine.bank.misses").is_some());
+
+        let fallbacks = after.counter("engine.fallback.per_device").unwrap_or(0);
+        CampaignRunner::with_threads(1).with_batching(false).run(&c).unwrap();
+        let fell_back = registry.snapshot();
+        assert!(
+            fell_back.counter("engine.fallback.per_device").unwrap() > fallbacks,
+            "a per-device run must count a fallback"
+        );
+        // Instrumentation is observational: the report stays bit-identical.
+        assert_eq!(CampaignRunner::with_threads(2).run(&c).unwrap(), plain);
     }
 
     #[test]

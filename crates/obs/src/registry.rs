@@ -1,0 +1,170 @@
+//! The process-wide metric registry.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A cheaply cloneable handle to a set of named metrics.
+///
+/// Components resolve their metric handles (`Arc<Counter>` etc.) once at
+/// construction time; the registry's lock is touched only on registration
+/// and on [`Registry::snapshot`], never on the recording hot path. Clones
+/// share the same underlying metrics, and [`Registry::global`] provides the
+/// conventional process-wide instance every tier registers into by default.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("metrics", &self.lock().len()).finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty, private registry (used by tests that need
+    /// isolation from the process-wide one).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry. Every tier's constructors default to
+    /// registering here, so one scrape sees the whole process.
+    pub fn global() -> Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new).clone()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        // Metric updates cannot panic, so poisoning can only come from a
+        // panicking *caller* mid-registration; the map is still coherent.
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Returns the counter registered under `name`, creating it at zero if
+    /// absent. If `name` is already registered as a different kind, a
+    /// detached counter is returned (it keeps working but is invisible to
+    /// snapshots) — metric names are namespaced per tier to keep that a
+    /// programming error that cannot take a service down.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        let metric = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it at `0.0` if
+    /// absent; same kind-mismatch policy as [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        let metric = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it empty if
+    /// absent; same kind-mismatch policy as [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        let metric = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Captures every registered metric into a [`MetricsSnapshot`], sorted
+    /// by name. Counters are monotonically consistent across successive
+    /// snapshots of the same registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.lock();
+        MetricsSnapshot {
+            metrics: map
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_shared_handles() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(registry.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    fn clones_share_metrics() {
+        let registry = Registry::new();
+        let clone = registry.clone();
+        clone.gauge("g").set(2.5);
+        assert_eq!(registry.snapshot().gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        let registry = Registry::new();
+        registry.counter("m").inc();
+        let detached = registry.gauge("m");
+        detached.set(9.0);
+        // The registered counter is untouched and still a counter.
+        assert_eq!(registry.snapshot().counter("m"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_monotonic() {
+        let registry = Registry::new();
+        let c = registry.counter("b.second");
+        registry.counter("a.first");
+        registry.histogram("c.third").record_us(10);
+        c.add(5);
+        let first = registry.snapshot();
+        let names: Vec<_> = first.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "b.second", "c.third"]);
+        c.add(5);
+        let second = registry.snapshot();
+        assert!(second.counter("b.second").unwrap() > first.counter("b.second").unwrap());
+    }
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        let a = Registry::global();
+        let name = "obs.test.global_registry_is_one_instance";
+        a.counter(name).inc();
+        assert!(Registry::global().snapshot().counter(name).unwrap() >= 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! The stable scrape format: [`MetricsSnapshot`] and its `DSMS` wire codec.
+
+use dsig_core::wire::{self, ByteReader};
+use dsig_core::{DsigError, Result};
+
+/// Magic bytes of a serialized metrics snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DSMS";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+const KIND_COUNTER: u8 = 0;
+const KIND_GAUGE: u8 = 1;
+const KIND_HISTOGRAM: u8 = 2;
+
+/// An owned copy of one histogram's state at scrape time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values, in microseconds (wrapping).
+    pub sum_us: u64,
+    /// `(inclusive upper bound in µs, samples)` per bucket, ascending; the
+    /// final bucket's bound is `u64::MAX` (overflow).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The smallest bucket upper bound (µs) below which at least fraction
+    /// `q` of the samples fall. Returns 0 for an empty histogram; an answer
+    /// of `u64::MAX` means the quantile landed in the overflow bucket.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return upper;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median latency bound in µs.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th-percentile latency bound in µs.
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th-percentile latency bound in µs.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Mean recorded value in µs (0 for an empty histogram).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// The value of one scraped metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A last-write-wins measurement.
+    Gauge(f64),
+    /// A latency distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One process's metrics at a point in time: `(name, value)` pairs sorted
+/// by name, serializable via [`MetricsSnapshot::to_bytes`] (magic `DSMS`).
+///
+/// Counters in successive snapshots of a live registry are monotonically
+/// consistent: a later scrape never reports a smaller value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// The scraped metrics, ascending by name (names are unique).
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// The value of counter `name`, if present and a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name`, if present and a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The state of histogram `name`, if present and a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Serializes the snapshot (magic `DSMS`, version 1).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_header(&mut out, SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
+        wire::put_u32(&mut out, self.metrics.len() as u32);
+        for (name, value) in &self.metrics {
+            wire::put_str(&mut out, name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push(KIND_COUNTER);
+                    wire::put_u64(&mut out, *v);
+                }
+                MetricValue::Gauge(v) => {
+                    out.push(KIND_GAUGE);
+                    wire::put_f64(&mut out, *v);
+                }
+                MetricValue::Histogram(h) => {
+                    out.push(KIND_HISTOGRAM);
+                    wire::put_u64(&mut out, h.count);
+                    wire::put_u64(&mut out, h.sum_us);
+                    wire::put_u32(&mut out, h.buckets.len() as u32);
+                    for &(upper, n) in &h.buckets {
+                        wire::put_u64(&mut out, upper);
+                        wire::put_u64(&mut out, n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a snapshot serialized by [`MetricsSnapshot::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<MetricsSnapshot> {
+        let mut r = ByteReader::new(bytes, "metrics snapshot");
+        r.header(SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        let count = r.u32()? as usize;
+        // Smallest metric: empty name (4) + kind (1) + counter value (8).
+        r.check_count(count, 13)?;
+        let mut metrics = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = r.string()?;
+            if let Some((last, _)) = metrics.last() {
+                if *last >= name {
+                    return Err(DsigError::Corrupt {
+                        context: "metrics snapshot",
+                        detail: format!("metric names not strictly ascending at {name:?}"),
+                    });
+                }
+            }
+            let value = match r.u8()? {
+                KIND_COUNTER => MetricValue::Counter(r.u64()?),
+                KIND_GAUGE => MetricValue::Gauge(r.f64()?),
+                KIND_HISTOGRAM => {
+                    let count = r.u64()?;
+                    let sum_us = r.u64()?;
+                    let buckets = r.u32()? as usize;
+                    r.check_count(buckets, 16)?;
+                    let mut out = Vec::with_capacity(buckets);
+                    let mut prev: Option<u64> = None;
+                    for _ in 0..buckets {
+                        let upper = r.u64()?;
+                        if prev.is_some_and(|p| p >= upper) {
+                            return Err(DsigError::Corrupt {
+                                context: "metrics snapshot",
+                                detail: format!("histogram bounds not ascending in {name:?}"),
+                            });
+                        }
+                        prev = Some(upper);
+                        out.push((upper, r.u64()?));
+                    }
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count,
+                        sum_us,
+                        buckets: out,
+                    })
+                }
+                kind => {
+                    return Err(DsigError::Corrupt {
+                        context: "metrics snapshot",
+                        detail: format!("unknown metric kind {kind}"),
+                    });
+                }
+            };
+            metrics.push((name, value));
+        }
+        r.finish()?;
+        Ok(MetricsSnapshot { metrics })
+    }
+
+    /// Renders the snapshot as aligned human-readable text, one metric per
+    /// line (the format CI uploads next to the bench JSON artifacts).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            let line = match value {
+                MetricValue::Counter(v) => format!("{name} counter {v}"),
+                MetricValue::Gauge(v) => format!("{name} gauge {v:?}"),
+                MetricValue::Histogram(h) => format!(
+                    "{name} histogram count {} mean_us {:.1} p50_us {} p95_us {} p99_us {}",
+                    h.count,
+                    h.mean_us(),
+                    h.p50_us(),
+                    h.p95_us(),
+                    h.p99_us()
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: vec![
+                ("a.count".into(), MetricValue::Counter(42)),
+                ("b.gauge".into(), MetricValue::Gauge(-1.25)),
+                (
+                    "c.hist".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: 3,
+                        sum_us: 300,
+                        buckets: vec![(64, 1), (128, 2), (u64::MAX, 0)],
+                    }),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = MetricsSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let snap = sample();
+        assert_eq!(snap.counter("a.count"), Some(42));
+        assert_eq!(snap.gauge("b.gauge"), Some(-1.25));
+        assert_eq!(snap.histogram("c.hist").unwrap().count, 3);
+        assert_eq!(snap.counter("b.gauge"), None);
+        assert_eq!(snap.get("missing"), None);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = HistogramSnapshot {
+            count: 100,
+            sum_us: 0,
+            buckets: vec![(1, 50), (2, 40), (4, 9), (u64::MAX, 1)],
+        };
+        assert_eq!(h.p50_us(), 1);
+        assert_eq!(h.p95_us(), 4);
+        assert_eq!(h.p99_us(), 4);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                sum_us: 0,
+                buckets: vec![]
+            }
+            .p50_us(),
+            0
+        );
+    }
+
+    #[test]
+    fn rejects_unsorted_names_unknown_kinds_and_trailing_bytes() {
+        let mut unsorted = sample();
+        unsorted.metrics.swap(0, 1);
+        assert!(MetricsSnapshot::from_bytes(&unsorted.to_bytes()).is_err());
+
+        let mut bytes = sample().to_bytes();
+        // The kind byte of the first metric sits after the header (6), the
+        // metric count (4) and the length-prefixed name.
+        let kind_at = 6 + 4 + 4 + "a.count".len();
+        bytes[kind_at] = 9;
+        assert!(MetricsSnapshot::from_bytes(&bytes).is_err());
+
+        let mut trailing = sample().to_bytes();
+        trailing.push(0);
+        assert!(MetricsSnapshot::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = sample().to_bytes();
+        for keep in 0..bytes.len() {
+            assert!(MetricsSnapshot::from_bytes(&bytes[..keep]).is_err());
+        }
+    }
+
+    #[test]
+    fn render_is_one_line_per_metric() {
+        let text = sample().render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("a.count counter 42"));
+        assert!(text.contains("p99_us"));
+    }
+}

@@ -8,6 +8,7 @@
 use std::net::{SocketAddr, ToSocketAddrs};
 
 use dsig_core::{AcceptanceBand, Signature};
+use dsig_obs::MetricsSnapshot;
 use dsig_serve::{RetestRequest, RetestScore, ScoreResult, ServeClient};
 
 use crate::error::Result;
@@ -130,5 +131,15 @@ impl RouterClient {
     /// Returns [`crate::RouterError::UnknownGolden`] when nobody holds it.
     pub fn fetch_golden(&mut self, key: u64) -> Result<(AcceptanceBand, Signature)> {
         self.inner.fetch_golden(key).map_err(Into::into)
+    }
+
+    /// Scrapes the router's metrics (`DSMX`): per-backend forward/failover/
+    /// retry counters, the backoff gauge, fan-out latency and the
+    /// refresh-on-miss count.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`] on transport or remote failures.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        self.inner.metrics().map_err(Into::into)
     }
 }

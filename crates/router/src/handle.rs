@@ -8,6 +8,7 @@ use std::sync::Arc;
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_engine::{RemoteScore, RemoteScorer};
+use dsig_obs::MetricsSnapshot;
 use dsig_serve::{GoldenRecord, GoldenStore, RetestRequest, RetestScore, ScoreResult, ServeConfig, ServeHandle};
 
 use crate::backend::Backend;
@@ -89,6 +90,13 @@ impl RouterHandle {
     /// Panics when `index` is out of range.
     pub fn backend_down(&self, index: usize) -> bool {
         self.core.backends()[index].is_down()
+    }
+
+    /// Snapshots the routing tier's metrics (per-backend forward/failover/
+    /// retry counters, backoff gauge, fan-out latency, refresh-on-miss) — the
+    /// in-process equivalent of a `DSMX` scrape.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.core.metrics()
     }
 
     /// Characterizes `(setup, reference)` into the router store and pushes
@@ -385,6 +393,43 @@ mod tests {
         router.kill_backend(owner);
         assert_eq!(router.screen_retest(&request).unwrap(), expected);
         assert!(router.backend_down(owner));
+    }
+
+    #[test]
+    fn metrics_scrape_tracks_forwards_failovers_and_refreshes() {
+        let router = fleet(3, 1); // one copy: failover must refresh
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        router.push_golden(0x0B5, golden.clone(), band(0.05)).unwrap();
+        // Fleet metrics share the process-global registry (other tests bump
+        // the same counters), so everything is asserted as before/after
+        // deltas with >= — counters are monotonic.
+        let sum = |snapshot: &MetricsSnapshot, what: &str| -> u64 {
+            (0..3)
+                .map(|i| {
+                    snapshot
+                        .counter(&format!("router.backend.local-{i}.{what}"))
+                        .unwrap_or(0)
+                })
+                .sum()
+        };
+        let fanout = |snapshot: &MetricsSnapshot| snapshot.histogram("router.fanout_us").map_or(0, |h| h.count);
+        let before = router.metrics();
+
+        router.screen(0x0B5, std::slice::from_ref(&golden)).unwrap();
+        // Kill the owner: the next screen retries it, fails over to the next
+        // ranked backend and refreshes the golden there mid-request.
+        router.kill_backend(router.rank(0x0B5)[0]);
+        router.screen(0x0B5, std::slice::from_ref(&golden)).unwrap();
+
+        let after = router.metrics();
+        assert!(sum(&after, "forwards") >= sum(&before, "forwards") + 2);
+        assert!(sum(&after, "retries") > sum(&before, "retries"));
+        assert!(sum(&after, "failovers") > sum(&before, "failovers"));
+        assert!(
+            after.counter("router.refresh_on_miss").unwrap() > before.counter("router.refresh_on_miss").unwrap_or(0)
+        );
+        assert!(fanout(&after) >= fanout(&before) + 2);
+        assert!(after.gauge("router.backoff_backends").is_some());
     }
 
     #[test]

@@ -44,8 +44,11 @@
 //!
 //! The router speaks the serving protocol unchanged: `DSRQ`/`DSRS` for
 //! single-golden screening (forwarded verbatim to backends), plus the
-//! `DSRM` multi-golden request and the `DSGP`/`DSGF`/`DSRA` replication
-//! frames, all specified in `docs/FORMATS.md`.
+//! `DSRM` multi-golden request, the `DSGP`/`DSGF`/`DSRA` replication
+//! frames and the `DSMX`/`DSMR` metrics scrape (answering with the routing
+//! tier's own counters — per-backend forwards/failovers/retries, backoff
+//! gauge, fan-out latency, refresh-on-miss), all specified in
+//! `docs/FORMATS.md`.
 //!
 //! # Example
 //!

@@ -4,11 +4,12 @@
 //! [`crate::Router`] front.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
+use dsig_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, Span};
 use dsig_serve::server::group_by_fingerprint;
 use dsig_serve::{GoldenRecord, RetestRequest, RetestScore, ScoreResult, ServeError};
 
@@ -42,17 +43,80 @@ impl Default for RouterConfig {
     }
 }
 
+/// The routing tier's metric handles, resolved once per core so the
+/// forwarding hot path never touches the registry lock. Per-backend
+/// counters embed the backend label (`router.backend.<label>.*`).
+struct RouterMetrics {
+    /// One counter set per backend, parallel to `RouterCore::backends`.
+    per_backend: Vec<BackendMetrics>,
+    /// `router.backoff_backends` — ranked backends in failure backoff at the
+    /// last forward (a state gauge, refreshed per forwarded operation).
+    backoff: Arc<Gauge>,
+    /// `router.fanout_us` — latency of one forwarded sub-batch, failover
+    /// walk included.
+    fanout_us: Arc<Histogram>,
+    /// `router.refresh_on_miss` — goldens re-pushed to a backend that
+    /// answered "unknown golden" mid-request.
+    refresh_on_miss: Arc<Counter>,
+}
+
+/// Per-backend forward/failover/retry counters.
+struct BackendMetrics {
+    /// `router.backend.<label>.forwards` — operations this backend answered.
+    forwards: Arc<Counter>,
+    /// `router.backend.<label>.failovers` — operations this backend answered
+    /// after at least one higher-ranked backend was skipped or had failed.
+    failovers: Arc<Counter>,
+    /// `router.backend.<label>.retries` — failed attempts against this
+    /// backend that sent the operation onward down the chain.
+    retries: Arc<Counter>,
+}
+
+impl RouterMetrics {
+    fn new(registry: &Registry, backends: &[Backend]) -> RouterMetrics {
+        RouterMetrics {
+            per_backend: backends
+                .iter()
+                .map(|backend| {
+                    let name = |what: &str| format!("router.backend.{}.{what}", backend.label());
+                    BackendMetrics {
+                        forwards: registry.counter(&name("forwards")),
+                        failovers: registry.counter(&name("failovers")),
+                        retries: registry.counter(&name("retries")),
+                    }
+                })
+                .collect(),
+            backoff: registry.gauge("router.backoff_backends"),
+            fanout_us: registry.histogram("router.fanout_us"),
+            refresh_on_miss: registry.counter("router.refresh_on_miss"),
+        }
+    }
+}
+
 /// The routing state shared by every front (TCP listener, in-process
 /// handles): the backend set, the authoritative golden store and the config.
 pub(crate) struct RouterCore {
     backends: Vec<Backend>,
     store: RouterStore,
     config: RouterConfig,
+    registry: Registry,
+    metrics: RouterMetrics,
 }
 
 impl RouterCore {
-    /// Builds a core over a non-empty backend set with unique rendezvous ids.
+    /// Builds a core over a non-empty backend set with unique rendezvous
+    /// ids, registering its metrics in the process-wide [`Registry::global`].
     pub(crate) fn new(backends: Vec<Backend>, store: RouterStore, config: RouterConfig) -> Result<Self> {
+        Self::new_in(backends, store, config, Registry::global())
+    }
+
+    /// Like [`RouterCore::new`] with an explicit metrics registry.
+    pub(crate) fn new_in(
+        backends: Vec<Backend>,
+        store: RouterStore,
+        config: RouterConfig,
+        registry: Registry,
+    ) -> Result<Self> {
         if backends.is_empty() {
             return Err(RouterError::NoBackends);
         }
@@ -63,15 +127,24 @@ impl RouterCore {
                 "router backends must have unique rendezvous ids".into(),
             )));
         }
+        let metrics = RouterMetrics::new(&registry, &backends);
         Ok(RouterCore {
             backends,
             store,
             config,
+            registry,
+            metrics,
         })
     }
 
     pub(crate) fn store(&self) -> &RouterStore {
         &self.store
+    }
+
+    /// Snapshots the registry this core reports into — the routing tier's
+    /// `DSMX` scrape body.
+    pub(crate) fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     pub(crate) fn backends(&self) -> &[Backend] {
@@ -111,6 +184,7 @@ impl RouterCore {
             Err(ServeError::UnknownGolden(_)) => match self.store.get(key) {
                 Some(record) => {
                     backend.push(key, &record)?;
+                    self.metrics.refresh_on_miss.inc();
                     attempt(backend)
                 }
                 None => Err(ServeError::UnknownGolden(key)),
@@ -130,18 +204,28 @@ impl RouterCore {
         key: u64,
         attempt: impl Fn(&Backend) -> std::result::Result<T, ServeError>,
     ) -> Result<T> {
+        let _fanout = Span::enter(&self.metrics.fanout_us);
+        // One clock sample per forward: availability partitioning and any
+        // failure bookkeeping below see the same instant, so a backend can
+        // never be judged available and then back-dated past its own check.
         let now = Instant::now();
         let rank = self.rank(key);
         let (available, backed_off): (Vec<usize>, Vec<usize>) =
             rank.iter().copied().partition(|&i| self.backends[i].is_available(now));
+        self.metrics.backoff.set(backed_off.len() as f64);
 
         let mut failures: Vec<String> = Vec::new();
         let mut misses = 0usize;
-        for &index in available.iter().chain(&backed_off) {
+        for (position, &index) in available.iter().chain(&backed_off).enumerate() {
             let backend = &self.backends[index];
+            let counters = &self.metrics.per_backend[index];
             match self.try_backend(index, key, &attempt) {
                 Ok(scores) => {
                     backend.note_success();
+                    counters.forwards.inc();
+                    if position > 0 {
+                        counters.failovers.inc();
+                    }
                     return Ok(scores);
                 }
                 Err(ServeError::UnknownGolden(_)) => {
@@ -151,7 +235,8 @@ impl RouterCore {
                     failures.push(format!("{}: unknown golden", backend.label()));
                 }
                 Err(err) => {
-                    backend.note_failure(Instant::now(), &self.config.health);
+                    backend.note_failure(now, &self.config.health);
+                    counters.retries.inc();
                     failures.push(format!("{}: {err}", backend.label()));
                 }
             }
@@ -283,6 +368,7 @@ impl RouterCore {
     /// rendezvous ranking. Succeeds when at least one copy lands; backends
     /// that refuse are marked down and reported in the error otherwise.
     fn replicate(&self, key: u64, record: &GoldenRecord) -> Result<usize> {
+        let now = Instant::now();
         let rank = self.rank(key);
         let copies = self.config.replicas.max(1).min(rank.len());
         let mut pushed = 0usize;
@@ -298,7 +384,7 @@ impl RouterCore {
                     pushed += 1;
                 }
                 Err(err) => {
-                    backend.note_failure(Instant::now(), &self.config.health);
+                    backend.note_failure(now, &self.config.health);
                     failures.push(format!("{}: {err}", backend.label()));
                 }
             }
@@ -343,6 +429,7 @@ impl RouterCore {
         if let Some(record) = self.store.get(key) {
             return Ok(record);
         }
+        let now = Instant::now();
         for index in self.rank(key) {
             let backend = &self.backends[index];
             match backend.fetch(key) {
@@ -352,7 +439,7 @@ impl RouterCore {
                     return Ok(self.store.get(key).expect("record just cached"));
                 }
                 Err(ServeError::UnknownGolden(_)) => {}
-                Err(_) => backend.note_failure(Instant::now(), &self.config.health),
+                Err(_) => backend.note_failure(now, &self.config.health),
             }
         }
         Err(RouterError::UnknownGolden(key))

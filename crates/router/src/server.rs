@@ -1,6 +1,7 @@
 //! The TCP router front: an accept loop speaking the `dsig-serve` wire
-//! protocol (`DSRQ`/`DSRM`/`DSGP`/`DSGF` in, `DSRS`/`DSRA` out), fanning
-//! every request out across the backend fleet through the routing core.
+//! protocol (`DSRQ`/`DSRM`/`DSGP`/`DSGF`/`DSMX` in, `DSRS`/`DSRA`/`DSMR`
+//! out), fanning every request out across the backend fleet through the
+//! routing core.
 //!
 //! # Architecture
 //!
@@ -24,8 +25,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use dsig_serve::proto::{
-    decode_any_request, encode_admin_response, encode_decode_error, encode_response, encode_retest_response,
-    read_frame, write_frame, AdminResponse, ErrorCode, Request, RetestResponse, ScreenResponse,
+    decode_any_request, encode_admin_response, encode_decode_error, encode_metrics_response, encode_response,
+    encode_retest_response, read_frame, write_frame, AdminResponse, ErrorCode, MetricsResponse, Request,
+    RetestResponse, ScreenResponse,
 };
 
 use crate::backend::Backend;
@@ -215,6 +217,7 @@ fn respond(core: &RouterCore, request: Request) -> Vec<u8> {
                 message: err.to_string(),
             },
         }),
+        Request::Metrics => encode_metrics_response(&MetricsResponse::Snapshot(core.metrics())),
     }
 }
 
@@ -313,6 +316,48 @@ mod tests {
             client.screen(0xDEAD, &[golden_a]),
             Err(RouterError::UnknownGolden(0xDEAD))
         ));
+    }
+
+    #[test]
+    fn tcp_metrics_scrape_reports_live_router_counters() {
+        let router = Router::bind(
+            "127.0.0.1:0",
+            local_fleet(2),
+            RouterStore::new(),
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let mut client = RouterClient::connect(router.local_addr()).unwrap();
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        client
+            .push_golden(0x11, AcceptanceBand::new(0.05).unwrap(), &golden)
+            .unwrap();
+
+        let before = client.metrics().unwrap();
+        client.screen(0x11, &[golden.clone(), golden.clone()]).unwrap();
+        let after = client.metrics().unwrap();
+
+        // The registry is process-global, so assert monotonic deltas only.
+        let forwards = |snapshot: &dsig_obs::MetricsSnapshot| -> u64 {
+            (0..2)
+                .map(|i| {
+                    snapshot
+                        .counter(&format!("router.backend.local-{i}.forwards"))
+                        .unwrap_or(0)
+                })
+                .sum()
+        };
+        assert!(forwards(&after) > forwards(&before));
+        assert!(after.histogram("router.fanout_us").is_some());
+        // The TCP scrape decodes to the same shape the in-process scrape has.
+        let backend_metrics = |snapshot: &dsig_obs::MetricsSnapshot| {
+            snapshot
+                .metrics
+                .iter()
+                .filter(|(name, _)| name.starts_with("router.backend"))
+                .count()
+        };
+        assert_eq!(backend_metrics(&after), backend_metrics(&router.handle().metrics()));
     }
 
     #[test]

@@ -13,11 +13,14 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use dsig_core::{AcceptanceBand, Signature};
 
+use dsig_obs::MetricsSnapshot;
+
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    decode_admin_response, decode_response, decode_retest_response, encode_fetch_request, encode_multi_request,
-    encode_push_request, encode_request, encode_retest_request, read_frame, write_frame, AdminResponse, ErrorCode,
-    RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse,
+    decode_admin_response, decode_metrics_response, decode_response, decode_retest_response, encode_fetch_request,
+    encode_metrics_request, encode_multi_request, encode_push_request, encode_request, encode_retest_request,
+    read_frame, write_frame, AdminResponse, ErrorCode, MetricsResponse, RetestRequest, RetestResponse, RetestScore,
+    ScoreResult, ScreenResponse,
 };
 
 /// A blocking client over one TCP connection.
@@ -198,6 +201,21 @@ impl ServeClient {
         }
     }
 
+    /// Scrapes the server's live metrics registry (`DSMX`), returning its
+    /// [`MetricsSnapshot`] — the operator's view of request counters, shard
+    /// latencies and traffic totals. Counters are monotonically consistent
+    /// across successive scrapes of the same process.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`] (minus `UnknownGolden`).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        let payload = self.exchange(&encode_metrics_request())?;
+        match decode_metrics_response(&payload)? {
+            MetricsResponse::Snapshot(snapshot) => Ok(snapshot),
+            MetricsResponse::Error { message, .. } => Err(ServeError::Remote(message)),
+        }
+    }
+
     /// Reads a golden record back from the server (`DSGF`) — the readback a
     /// routing tier uses to refresh its local store on a miss.
     ///
@@ -336,6 +354,31 @@ mod tests {
         }
         drop(client);
         serve_thread.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_scrape_reports_live_counters_over_tcp() {
+        let (server, key) = serve();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let before = client.metrics().unwrap();
+        let observed = vec![sig(&[(1, 100e-6), (3, 100e-6)]), sig(&[(1, 100e-6), (7, 100e-6)])];
+        client.screen(key, &observed).unwrap();
+        let _ = client.screen(0xDEAD, &[sig(&[(1, 1.0)])]);
+        let after = client.metrics().unwrap();
+        // Counters move and stay monotonic (the registry is process-wide, so
+        // only deltas relative to `before` are asserted).
+        let delta = |name: &str| after.counter(name).unwrap() - before.counter(name).unwrap_or(0);
+        assert!(delta("serve.requests.dsrq") >= 2);
+        assert!(delta("serve.errors.dsrq") >= 1);
+        assert!(delta("serve.signatures_scored") >= 2);
+        assert!(delta("serve.bytes_in") > 0);
+        assert!(delta("serve.bytes_out") > 0);
+        assert!(after.counter("serve.requests.dsmx").unwrap() >= 1);
+        assert!(after.histogram("serve.dispatch_us").unwrap().count >= 1);
+        // The TCP scrape and the in-process scrape see the same registry.
+        assert!(
+            server.metrics().counter("serve.requests.dsrq").unwrap() >= after.counter("serve.requests.dsrq").unwrap()
+        );
     }
 
     #[test]

@@ -52,16 +52,18 @@
 //!               3 = internal)
 //! ```
 //!
-//! Four further request kinds share the frame and header convention and are
+//! Five further request kinds share the frame and header convention and are
 //! dispatched by payload magic: `DSRM` (multi-golden screening, each
 //! signature tagged with its own fingerprint — what a `dsig-router` tier
 //! splits across backends), `DSRT` (adaptive-retest screening: each device
 //! carries its single shot plus measurement repeats, and marginal devices
 //! are re-decided **server-side** through the carried
 //! [`dsig_core::RetestPolicy`], answered with a `DSRR` response), `DSGP`
-//! (golden replication push) and `DSGF` (golden readback); the latter two
-//! answer with a `DSRA` admin response. See `docs/FORMATS.md` for the
-//! normative layouts.
+//! (golden replication push), `DSGF` (golden readback) — the latter two
+//! answer with a `DSRA` admin response — and `DSMX` (metrics scrape,
+//! answered with a `DSMR` response carrying one serialized
+//! [`dsig_obs::MetricsSnapshot`]). See `docs/FORMATS.md` for the normative
+//! layouts.
 //!
 //! Golden-store file (magic `DSGS`, version 1 — see [`store`]):
 //!
@@ -112,8 +114,8 @@ pub mod store;
 pub use client::ServeClient;
 pub use error::{Result, ServeError};
 pub use proto::{
-    AdminResponse, ErrorCode, MultiScreenRequest, Request, RetestItem, RetestRequest, RetestResponse, RetestScore,
-    ScoreResult, ScreenRequest, ScreenResponse,
+    AdminResponse, ErrorCode, MetricsResponse, MultiScreenRequest, Request, RetestItem, RetestRequest, RetestResponse,
+    RetestScore, ScoreResult, ScreenRequest, ScreenResponse,
 };
 pub use server::{group_by_fingerprint, ServeConfig, ServeHandle, Server};
 pub use store::{GoldenRecord, GoldenStore};

@@ -11,6 +11,7 @@
 use std::io::{Read, Write};
 
 use dsig_core::{wire, AcceptanceBand, RetestPolicy, Signature, TestOutcome};
+use dsig_obs::MetricsSnapshot;
 
 use crate::error::{Result, ServeError};
 
@@ -35,6 +36,13 @@ pub const RETEST_REQUEST_MAGIC: [u8; 4] = *b"DSRT";
 /// Magic prefix of adaptive-retest response payloads (`DSRR`) — the
 /// `DSRS`-style score list extended with per-device retest metadata.
 pub const RETEST_RESPONSE_MAGIC: [u8; 4] = *b"DSRR";
+/// Magic prefix of metrics-scrape request payloads (`DSMX`): a header-only
+/// frame asking the answering process — serving shard host or router — for a
+/// snapshot of its live metrics registry.
+pub const METRICS_REQUEST_MAGIC: [u8; 4] = *b"DSMX";
+/// Magic prefix of metrics-scrape response payloads (`DSMR`) — one
+/// serialized [`dsig_obs::MetricsSnapshot`] (`DSMS` bytes), or an error.
+pub const METRICS_RESPONSE_MAGIC: [u8; 4] = *b"DSMR";
 /// Current wire-protocol version (shared by every request and response kind).
 pub const PROTO_VERSION: u16 = 1;
 
@@ -203,6 +211,24 @@ pub enum Request {
     FetchGolden {
         /// Fingerprint to read back.
         key: u64,
+    },
+    /// A metrics-scrape request (`DSMX`): snapshot the process's registry.
+    Metrics,
+}
+
+/// A decoded metrics-scrape response (`DSMR`): the answering process's
+/// metrics snapshot, or a server-side error (same error vocabulary as
+/// [`ScreenResponse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsResponse {
+    /// The scraped snapshot.
+    Snapshot(MetricsSnapshot),
+    /// The request failed server-side.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Rendered error message.
+        message: String,
     },
 }
 
@@ -490,6 +516,71 @@ pub fn decode_fetch_request(payload: &[u8]) -> Result<Request> {
     Ok(Request::FetchGolden { key })
 }
 
+/// Encodes a metrics-scrape request payload (without the frame length
+/// prefix). The request is header-only.
+pub fn encode_metrics_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    wire::put_header(&mut out, METRICS_REQUEST_MAGIC, PROTO_VERSION);
+    out
+}
+
+/// Decodes a metrics-scrape request payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors (wrong magic, unsupported
+/// version, trailing bytes).
+pub fn decode_metrics_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "metrics request");
+    r.header(METRICS_REQUEST_MAGIC, PROTO_VERSION)?;
+    r.finish()?;
+    Ok(Request::Metrics)
+}
+
+/// Encodes a metrics-scrape response payload (without the frame length
+/// prefix). The ok body is one length-prefixed `DSMS` snapshot.
+pub fn encode_metrics_response(response: &MetricsResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    wire::put_header(&mut out, METRICS_RESPONSE_MAGIC, PROTO_VERSION);
+    match response {
+        MetricsResponse::Snapshot(snapshot) => {
+            out.push(STATUS_OK);
+            wire::put_bytes(&mut out, &snapshot.to_bytes());
+        }
+        MetricsResponse::Error { code, message } => {
+            out.push(STATUS_ERROR);
+            wire::put_u16(&mut out, code.to_u16());
+            wire::put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a metrics-scrape response payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing or snapshot decoding errors and
+/// [`ServeError::Protocol`] on an unknown status byte.
+pub fn decode_metrics_response(payload: &[u8]) -> Result<MetricsResponse> {
+    let mut r = wire::ByteReader::new(payload, "metrics response");
+    r.header(METRICS_RESPONSE_MAGIC, PROTO_VERSION)?;
+    match r.u8()? {
+        STATUS_OK => {
+            let snapshot = MetricsSnapshot::from_bytes(r.bytes()?)?;
+            r.finish()?;
+            Ok(MetricsResponse::Snapshot(snapshot))
+        }
+        STATUS_ERROR => {
+            let code = ErrorCode::from_u16(r.u16()?)?;
+            let message = r.string()?;
+            r.finish()?;
+            Ok(MetricsResponse::Error { code, message })
+        }
+        other => Err(ServeError::Protocol(format!("unknown metrics response status {other}"))),
+    }
+}
+
 /// Decodes any request frame by its payload magic — the dispatch point of a
 /// serving or routing process. Never panics on malformed input.
 ///
@@ -503,6 +594,7 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
         Some(magic) if *magic == RETEST_REQUEST_MAGIC => Ok(Request::Retest(decode_retest_request(payload)?)),
         Some(magic) if *magic == PUSH_MAGIC => decode_push_request(payload),
         Some(magic) if *magic == FETCH_MAGIC => decode_fetch_request(payload),
+        Some(magic) if *magic == METRICS_REQUEST_MAGIC => decode_metrics_request(payload),
         Some(magic) => Err(ServeError::Protocol(format!(
             "unknown request magic {:?}",
             String::from_utf8_lossy(magic)
@@ -516,10 +608,10 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
 
 /// Encodes the response for a request frame that failed to decode, matching
 /// the response family the client is waiting for: admin requests
-/// (`DSGP`/`DSGF`) are answered with a `DSRA` error and retest requests
-/// (`DSRT`) with a `DSRR` error, so each client-side decoder surfaces the
-/// server's message instead of a magic mismatch; everything else gets a
-/// `DSRS` error.
+/// (`DSGP`/`DSGF`) are answered with a `DSRA` error, retest requests
+/// (`DSRT`) with a `DSRR` error and metrics scrapes (`DSMX`) with a `DSMR`
+/// error, so each client-side decoder surfaces the server's message instead
+/// of a magic mismatch; everything else gets a `DSRS` error.
 pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
     match payload.get(..4) {
         Some(magic) if *magic == PUSH_MAGIC || *magic == FETCH_MAGIC => encode_admin_response(&AdminResponse::Error {
@@ -527,6 +619,10 @@ pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
             message,
         }),
         Some(magic) if *magic == RETEST_REQUEST_MAGIC => encode_retest_response(&RetestResponse::Error {
+            code: ErrorCode::BadRequest,
+            message,
+        }),
+        Some(magic) if *magic == METRICS_REQUEST_MAGIC => encode_metrics_response(&MetricsResponse::Error {
             code: ErrorCode::BadRequest,
             message,
         }),
@@ -993,6 +1089,58 @@ mod tests {
                 }
             ));
         }
+    }
+
+    #[test]
+    fn metrics_frames_round_trip_and_reject_malformed_payloads() {
+        use dsig_obs::Registry;
+
+        let request = encode_metrics_request();
+        assert_eq!(decode_any_request(&request).unwrap(), Request::Metrics);
+        // A scrape request carries nothing beyond the header.
+        let mut trailing_request = request.clone();
+        trailing_request.push(0);
+        assert!(decode_metrics_request(&trailing_request).is_err());
+        let mut future = request.clone();
+        future[4..6].copy_from_slice(&42u16.to_le_bytes());
+        assert!(decode_metrics_request(&future).is_err(), "future protocol version");
+
+        let registry = Registry::new();
+        registry.counter("serve.requests.screen").add(3);
+        registry.gauge("engine.devices_per_s").set(1234.5);
+        registry.histogram("serve.dispatch_us").record_us(17);
+        let ok = MetricsResponse::Snapshot(registry.snapshot());
+        let payload = encode_metrics_response(&ok);
+        assert_eq!(decode_metrics_response(&payload).unwrap(), ok);
+
+        let err = MetricsResponse::Error {
+            code: ErrorCode::Internal,
+            message: "registry unavailable".into(),
+        };
+        assert_eq!(decode_metrics_response(&encode_metrics_response(&err)).unwrap(), err);
+
+        // Truncation, trailing bytes and a bad status are clean errors.
+        assert!(decode_metrics_response(&payload[..5]).is_err());
+        assert!(decode_metrics_response(&payload[..payload.len() - 1]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_metrics_response(&trailing).is_err());
+        let mut bad_status = payload;
+        bad_status[6] = 9; // magic + version
+        assert!(matches!(
+            decode_metrics_response(&bad_status),
+            Err(ServeError::Protocol(_))
+        ));
+
+        // A decode failure of a DSMX request answers in the DSMR family.
+        let response = encode_decode_error(&encode_metrics_request()[..5], "bad".into());
+        assert!(matches!(
+            decode_metrics_response(&response).unwrap(),
+            MetricsResponse::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
     }
 
     #[test]

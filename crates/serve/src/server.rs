@@ -27,12 +27,13 @@ use std::thread::JoinHandle;
 
 use dsig_core::{ndf, peak_hamming_distance, AcceptanceBand, DsigError, RetestPolicy, Signature};
 use dsig_engine::{available_threads, RemoteRetest, RemoteScore, RemoteScorer, RetestDevice};
+use dsig_obs::{Counter, Histogram, MetricsSnapshot, Registry, Span};
 
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    decode_any_request, encode_admin_response, encode_decode_error, encode_response, encode_retest_response,
-    read_frame, write_frame, AdminResponse, ErrorCode, Request, RetestRequest, RetestResponse, RetestScore,
-    ScoreResult, ScreenResponse,
+    decode_any_request, encode_admin_response, encode_decode_error, encode_metrics_response, encode_response,
+    encode_retest_response, read_frame, write_frame, AdminResponse, ErrorCode, MetricsResponse, Request, RetestRequest,
+    RetestResponse, RetestScore, ScoreResult, ScreenResponse,
 };
 use crate::store::{GoldenRecord, GoldenStore};
 
@@ -66,6 +67,78 @@ impl ServeConfig {
     }
 }
 
+/// The serving tier's metric handles, resolved once per [`ServeHandle`]
+/// fleet so the hot path never touches the registry lock. All names live
+/// under the `serve.` prefix of the registry the handle was spawned in
+/// (the process-wide [`Registry::global`] by default).
+struct ServeMetrics {
+    /// `serve.requests.<family>` — requests answered, by payload magic.
+    requests: PerFamily,
+    /// `serve.errors.<family>` — error responses, by payload magic.
+    errors: PerFamily,
+    /// `serve.errors.decode` — frames whose payload failed to decode.
+    decode_errors: Arc<Counter>,
+    /// `serve.dispatch_us` — time to fan one batch out to the shards.
+    dispatch_us: Arc<Histogram>,
+    /// `serve.reassembly_us` — time from last chunk sent to batch reassembled.
+    reassembly_us: Arc<Histogram>,
+    /// `serve.bytes_in` / `serve.bytes_out` — framed TCP payload traffic.
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    /// `serve.signatures_scored` — mirror of [`ServeHandle::signatures_scored`].
+    scored: Arc<Counter>,
+}
+
+/// One counter per request family (wire magic).
+struct PerFamily {
+    screen: Arc<Counter>,
+    multi: Arc<Counter>,
+    retest: Arc<Counter>,
+    push: Arc<Counter>,
+    fetch: Arc<Counter>,
+    metrics: Arc<Counter>,
+}
+
+impl PerFamily {
+    fn new(registry: &Registry, kind: &str) -> PerFamily {
+        let name = |family: &str| format!("serve.{kind}.{family}");
+        PerFamily {
+            screen: registry.counter(&name("dsrq")),
+            multi: registry.counter(&name("dsrm")),
+            retest: registry.counter(&name("dsrt")),
+            push: registry.counter(&name("dsgp")),
+            fetch: registry.counter(&name("dsgf")),
+            metrics: registry.counter(&name("dsmx")),
+        }
+    }
+
+    fn of(&self, request: &Request) -> &Arc<Counter> {
+        match request {
+            Request::Screen(_) => &self.screen,
+            Request::MultiScreen(_) => &self.multi,
+            Request::Retest(_) => &self.retest,
+            Request::PushGolden { .. } => &self.push,
+            Request::FetchGolden { .. } => &self.fetch,
+            Request::Metrics => &self.metrics,
+        }
+    }
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry) -> ServeMetrics {
+        ServeMetrics {
+            requests: PerFamily::new(registry, "requests"),
+            errors: PerFamily::new(registry, "errors"),
+            decode_errors: registry.counter("serve.errors.decode"),
+            dispatch_us: registry.histogram("serve.dispatch_us"),
+            reassembly_us: registry.histogram("serve.reassembly_us"),
+            bytes_in: registry.counter("serve.bytes_in"),
+            bytes_out: registry.counter("serve.bytes_out"),
+            scored: registry.counter("serve.signatures_scored"),
+        }
+    }
+}
+
 /// One chunk of scoring work handed to a shard. The batch itself is shared
 /// (`Arc`), so fanning a request across shards moves no signature data.
 struct ScoreJob {
@@ -87,13 +160,14 @@ fn score(record: &GoldenRecord, observed: &Signature) -> std::result::Result<Sco
     })
 }
 
-fn shard_loop(jobs: mpsc::Receiver<ScoreJob>, scored: Arc<AtomicU64>) {
+fn shard_loop(jobs: mpsc::Receiver<ScoreJob>, scored: Arc<AtomicU64>, scored_metric: Arc<Counter>) {
     while let Ok(job) = jobs.recv() {
         let items = &job.batch[job.range.clone()];
         let result: std::result::Result<Vec<ScoreResult>, DsigError> =
             items.iter().map(|observed| score(&job.record, observed)).collect();
         if result.is_ok() {
             scored.fetch_add(items.len() as u64, Ordering::Relaxed);
+            scored_metric.add(items.len() as u64);
         }
         // A send failure means the requester gave up (disconnected client);
         // the work is simply dropped.
@@ -110,6 +184,8 @@ pub struct ServeHandle {
     store: Arc<GoldenStore>,
     chunk: usize,
     scored: Arc<AtomicU64>,
+    registry: Registry,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl Clone for ServeHandle {
@@ -120,6 +196,8 @@ impl Clone for ServeHandle {
             store: Arc::clone(&self.store),
             chunk: self.chunk,
             scored: Arc::clone(&self.scored),
+            registry: self.registry.clone(),
+            metrics: Arc::clone(&self.metrics),
         }
     }
 }
@@ -132,14 +210,26 @@ impl ServeHandle {
     ///
     /// Shard threads are detached and exit once the last clone of the
     /// returned handle is dropped.
+    ///
+    /// Metrics register in the process-wide [`Registry::global`]; use
+    /// [`ServeHandle::spawn_in`] to register elsewhere.
     pub fn spawn(store: Arc<GoldenStore>, config: ServeConfig) -> ServeHandle {
+        ServeHandle::spawn_in(store, config, Registry::global())
+    }
+
+    /// Like [`ServeHandle::spawn`], registering the fleet's metrics in
+    /// `registry` instead of the process-wide one (test isolation, or one
+    /// registry per embedded fleet).
+    pub fn spawn_in(store: Arc<GoldenStore>, config: ServeConfig, registry: Registry) -> ServeHandle {
+        let metrics = Arc::new(ServeMetrics::new(&registry));
         let scored = Arc::new(AtomicU64::new(0));
         let mut shards = Vec::with_capacity(config.shards.max(1));
         for _ in 0..config.shards.max(1) {
             let (jobs, receiver) = mpsc::channel();
             let counter = Arc::clone(&scored);
+            let scored_metric = Arc::clone(&metrics.scored);
             // Shards are detached: they exit when the last job sender drops.
-            std::thread::spawn(move || shard_loop(receiver, counter));
+            std::thread::spawn(move || shard_loop(receiver, counter, scored_metric));
             shards.push(jobs);
         }
         ServeHandle {
@@ -148,12 +238,21 @@ impl ServeHandle {
             store,
             chunk: config.shard_chunk.max(1),
             scored,
+            registry,
+            metrics,
         }
     }
 
     /// The golden store this handle scores against.
     pub fn store(&self) -> &Arc<GoldenStore> {
         &self.store
+    }
+
+    /// Snapshots the registry this handle's fleet reports into — the
+    /// in-process form of the `DSMX` metrics scrape. Counters are
+    /// monotonically consistent across successive calls.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Total signatures scored successfully through this handle's shards
@@ -318,20 +417,24 @@ impl ServeHandle {
         let batch: Arc<[Signature]> = signatures.into();
         let (reply, replies) = mpsc::channel();
         let mut chunks = 0usize;
-        for start in (0..batch.len()).step_by(self.chunk) {
-            let end = (start + self.chunk).min(batch.len());
-            let shard = self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-            self.shards[shard]
-                .send(ScoreJob {
-                    record: Arc::clone(&record),
-                    batch: Arc::clone(&batch),
-                    range: start..end,
-                    reply: reply.clone(),
-                })
-                .map_err(|_| ServeError::Closed)?;
-            chunks += 1;
+        {
+            let _dispatch = Span::enter(&self.metrics.dispatch_us);
+            for start in (0..batch.len()).step_by(self.chunk) {
+                let end = (start + self.chunk).min(batch.len());
+                let shard = self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                self.shards[shard]
+                    .send(ScoreJob {
+                        record: Arc::clone(&record),
+                        batch: Arc::clone(&batch),
+                        range: start..end,
+                        reply: reply.clone(),
+                    })
+                    .map_err(|_| ServeError::Closed)?;
+                chunks += 1;
+            }
         }
         drop(reply);
+        let _reassembly = Span::enter(&self.metrics.reassembly_us);
         let mut parts = Vec::with_capacity(chunks);
         for _ in 0..chunks {
             let part = replies.recv().map_err(|_| ServeError::Closed)?;
@@ -424,6 +527,12 @@ impl Server {
         self.handle.signatures_scored()
     }
 
+    /// Snapshots the registry this server reports into — the in-process
+    /// form of the `DSMX` metrics scrape.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.handle.metrics()
+    }
+
     /// Stops accepting connections and joins the accept loop. Idempotent;
     /// also invoked on drop. In-flight connections finish serving their
     /// current stream.
@@ -496,27 +605,42 @@ fn error_code_of(err: &ServeError) -> ErrorCode {
 /// serving process (and mirrored by the router tier, which answers the same
 /// request kinds after fanning the work out).
 fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
+    let metrics = &handle.metrics;
+    metrics.requests.of(&request).inc();
+    // Cloned up front so the error arms can tally without re-matching on
+    // the (by then moved) request.
+    let error_counter = Arc::clone(metrics.errors.of(&request));
+    let count_error = || error_counter.inc();
     match request {
         Request::Screen(request) => encode_response(&match handle.screen_vec(request.golden_key, request.signatures) {
             Ok(results) => ScreenResponse::Results(results),
-            Err(err) => ScreenResponse::Error {
-                code: error_code_of(&err),
-                message: err.to_string(),
-            },
+            Err(err) => {
+                count_error();
+                ScreenResponse::Error {
+                    code: error_code_of(&err),
+                    message: err.to_string(),
+                }
+            }
         }),
         Request::MultiScreen(request) => encode_response(&match handle.screen_multi(&request.items) {
             Ok(results) => ScreenResponse::Results(results),
-            Err(err) => ScreenResponse::Error {
-                code: error_code_of(&err),
-                message: err.to_string(),
-            },
+            Err(err) => {
+                count_error();
+                ScreenResponse::Error {
+                    code: error_code_of(&err),
+                    message: err.to_string(),
+                }
+            }
         }),
         Request::Retest(request) => encode_retest_response(&match handle.screen_retest_owned(request) {
             Ok(results) => RetestResponse::Results(results),
-            Err(err) => RetestResponse::Error {
-                code: error_code_of(&err),
-                message: err.to_string(),
-            },
+            Err(err) => {
+                count_error();
+                RetestResponse::Error {
+                    code: error_code_of(&err),
+                    message: err.to_string(),
+                }
+            }
         }),
         Request::PushGolden { key, band, golden } => {
             handle.push_golden(key, golden, band);
@@ -527,11 +651,15 @@ fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
                 band: record.band,
                 golden: record.golden.clone(),
             },
-            Err(err) => AdminResponse::Error {
-                code: error_code_of(&err),
-                message: err.to_string(),
-            },
+            Err(err) => {
+                count_error();
+                AdminResponse::Error {
+                    code: error_code_of(&err),
+                    message: err.to_string(),
+                }
+            }
         }),
+        Request::Metrics => encode_metrics_response(&MetricsResponse::Snapshot(handle.metrics())),
     }
 }
 
@@ -550,10 +678,15 @@ fn handle_connection(stream: TcpStream, handle: ServeHandle) {
             // Clean close, unreadable frame or dead socket: stop serving.
             Ok(None) | Err(_) => return,
         };
+        handle.metrics.bytes_in.add(payload.len() as u64 + 4);
         let response = match decode_any_request(&payload) {
             Ok(request) => respond(&handle, request),
-            Err(err) => encode_decode_error(&payload, err.to_string()),
+            Err(err) => {
+                handle.metrics.decode_errors.inc();
+                encode_decode_error(&payload, err.to_string())
+            }
         };
+        handle.metrics.bytes_out.add(response.len() as u64 + 4);
         if write_frame(&mut writer, &response).is_err() {
             return;
         }

@@ -1,10 +1,12 @@
 //! Property tests of the binary codecs: random signatures, logs and wire
-//! frames (including the router tier's `DSRM`/`DSGP`/`DSGF`/`DSRA`) must
+//! frames (including the router tier's `DSRM`/`DSGP`/`DSGF`/`DSRA` and the
+//! observability tier's `DSMS` snapshots and `DSMX`/`DSMR` scrape pair) must
 //! round-trip bit-exactly, and random truncations / byte mutations must be
 //! rejected or decoded — never panic, never hang, never over-allocate.
 
 use analog_signature::dsig::{AcceptanceBand, DsigError, Signature, SignatureEntry, ZoneCode};
 use analog_signature::engine::SignatureLog;
+use analog_signature::obs::{MetricsSnapshot, Registry};
 use analog_signature::serve::proto;
 use proptest::prelude::*;
 
@@ -268,6 +270,130 @@ proptest! {
         if at < 6 {
             prop_assert!(proto::decode_retest_response(&mutated).is_err());
         }
+    }
+
+    #[test]
+    fn metrics_snapshots_round_trip_and_survive_abuse(
+        counters in prop::collection::vec(0u64..u64::MAX, 0..6),
+        gauges in prop::collection::vec(-1e12..1e12_f64, 0..6),
+        samples in prop::collection::vec(prop::collection::vec(0u64..10_000_000, 0..20), 0..4),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        // Populate a private registry (not the process-global one, which
+        // other tests mutate concurrently) with generated metrics.
+        let registry = Registry::new();
+        for (i, v) in counters.iter().enumerate() {
+            registry.counter(&format!("c{i:02}.count")).add(*v);
+        }
+        for (i, v) in gauges.iter().enumerate() {
+            registry.gauge(&format!("g{i:02}.level")).set(*v);
+        }
+        for (i, values) in samples.iter().enumerate() {
+            let histogram = registry.histogram(&format!("h{i:02}.us"));
+            for v in values {
+                histogram.record_us(*v);
+            }
+        }
+        let snapshot = registry.snapshot();
+        let bytes = snapshot.to_bytes();
+        let decoded = MetricsSnapshot::from_bytes(&bytes).unwrap();
+        // Bit-exact: every value survives, and re-encoding is byte-identical.
+        for (i, v) in counters.iter().enumerate() {
+            prop_assert_eq!(decoded.counter(&format!("c{i:02}.count")), Some(*v));
+        }
+        for (i, v) in gauges.iter().enumerate() {
+            prop_assert_eq!(
+                decoded.gauge(&format!("g{i:02}.level")).map(f64::to_bits),
+                Some(v.to_bits())
+            );
+        }
+        for (i, values) in samples.iter().enumerate() {
+            let histogram = decoded.histogram(&format!("h{i:02}.us")).unwrap();
+            prop_assert_eq!(histogram.count, values.len() as u64);
+            prop_assert_eq!(histogram.sum_us, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        }
+        prop_assert_eq!(decoded.render(), snapshot.render());
+        prop_assert_eq!(decoded.to_bytes(), bytes.clone());
+        // Truncation: always a clean error (the empty snapshot is 10 bytes).
+        let keep = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(MetricsSnapshot::from_bytes(&bytes[..keep]).is_err());
+        // Mutation: never a panic; header corruption always errors.
+        let mut mutated = bytes.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        let _ = MetricsSnapshot::from_bytes(&mutated);
+        if at < 6 {
+            prop_assert!(MetricsSnapshot::from_bytes(&mutated).is_err());
+        }
+    }
+
+    #[test]
+    fn metrics_scrape_frames_round_trip_and_survive_abuse(
+        counter in 0u64..u64::MAX,
+        gauge in -1e12..1e12_f64,
+        samples in prop::collection::vec(0u64..10_000_000, 0..20),
+        message_bytes in prop::collection::vec(0x20u8..0x7f, 0..40),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        let message = String::from_utf8(message_bytes).unwrap();
+        // The DSMX request is header-only and dispatches like every other
+        // request family.
+        let request = proto::encode_metrics_request();
+        match proto::decode_any_request(&request).unwrap() {
+            proto::Request::Metrics => {}
+            other => prop_assert!(false, "expected Metrics, got {:?}", other),
+        }
+        let registry = Registry::new();
+        registry.counter("scrape.count").add(counter);
+        registry.gauge("scrape.level").set(gauge);
+        let histogram = registry.histogram("scrape.us");
+        for v in &samples {
+            histogram.record_us(*v);
+        }
+        for response in [
+            proto::MetricsResponse::Snapshot(registry.snapshot()),
+            proto::MetricsResponse::Error {
+                code: proto::ErrorCode::Internal,
+                message,
+            },
+        ] {
+            let bytes = proto::encode_metrics_response(&response);
+            let decoded = proto::decode_metrics_response(&bytes).unwrap();
+            prop_assert_eq!(proto::encode_metrics_response(&decoded), bytes.clone());
+            if let (
+                proto::MetricsResponse::Snapshot(got),
+                proto::MetricsResponse::Snapshot(sent),
+            ) = (&decoded, &response)
+            {
+                prop_assert_eq!(got.counter("scrape.count"), sent.counter("scrape.count"));
+                prop_assert_eq!(
+                    got.gauge("scrape.level").map(f64::to_bits),
+                    sent.gauge("scrape.level").map(f64::to_bits)
+                );
+            }
+            // Truncation: always a clean error (every frame is > 6 bytes).
+            let keep = (bytes.len() as f64 * cut) as usize;
+            prop_assert!(proto::decode_metrics_response(&bytes[..keep]).is_err());
+            // Mutation: never a panic; header corruption always errors.
+            let mut mutated = bytes.clone();
+            let at = ((mutated.len() - 1) as f64 * position) as usize;
+            mutated[at] ^= flip;
+            let _ = proto::decode_metrics_response(&mutated);
+            if at < 6 {
+                prop_assert!(proto::decode_metrics_response(&mutated).is_err());
+            }
+        }
+        // Truncating or corrupting the request header errors too.
+        let keep = (request.len() as f64 * cut) as usize;
+        prop_assert!(proto::decode_metrics_request(&request[..keep]).is_err());
+        let mut mutated = request.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        prop_assert!(proto::decode_metrics_request(&mutated).is_err());
     }
 
     #[test]

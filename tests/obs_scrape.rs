@@ -1,0 +1,134 @@
+//! Acceptance test of the observability tier: scraping a live `RouterHandle`
+//! fleet *while* a campaign screens through it must show counters moving and
+//! stay monotonically consistent scrape-over-scrape — and the instrumentation
+//! must be purely observational: the routed campaign report stays
+//! bit-identical to an uninstrumented local run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use analog_signature::dsig::{AcceptanceBand, TestSetup};
+use analog_signature::engine::{Campaign, CampaignRunner, DevicePopulation, ScoreTarget};
+use analog_signature::filters::BiquadParams;
+use analog_signature::obs::{MetricValue, MetricsSnapshot};
+use analog_signature::router::{RouterConfig, RouterHandle, RouterStore};
+use analog_signature::serve::ServeConfig;
+
+/// Every counter and histogram count present in `before` must still be
+/// present in `after`, no smaller: counters are monotone, and a scrape must
+/// never observe one moving backwards.
+fn assert_monotonic(before: &MetricsSnapshot, after: &MetricsSnapshot) {
+    for (name, value) in &before.metrics {
+        match value {
+            MetricValue::Counter(was) => {
+                let now = after
+                    .counter(name)
+                    .unwrap_or_else(|| panic!("counter {name} vanished between scrapes"));
+                assert!(now >= *was, "counter {name} went backwards: {was} -> {now}");
+            }
+            MetricValue::Histogram(was) => {
+                let now = after
+                    .histogram(name)
+                    .unwrap_or_else(|| panic!("histogram {name} vanished between scrapes"));
+                assert!(
+                    now.count >= was.count,
+                    "histogram {name} lost samples: {} -> {}",
+                    was.count,
+                    now.count
+                );
+            }
+            MetricValue::Gauge(_) => {} // last-write-wins, free to move either way
+        }
+    }
+}
+
+/// Sums one per-backend counter across the fleet.
+fn fleet_counter(snapshot: &MetricsSnapshot, backends: usize, what: &str) -> u64 {
+    (0..backends)
+        .map(|i| {
+            snapshot
+                .counter(&format!("router.backend.local-{i}.{what}"))
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+#[test]
+fn live_fleet_scrapes_move_and_leave_the_campaign_report_bit_identical() {
+    const BACKENDS: usize = 3;
+    let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+    let reference = BiquadParams::paper_default();
+    let band = AcceptanceBand::new(0.03).unwrap();
+    let campaign = Campaign::new(
+        setup.clone(),
+        reference,
+        DevicePopulation::MonteCarlo {
+            devices: 150,
+            sigma_pct: 3.0,
+        },
+        band,
+        3.0,
+    )
+    .unwrap()
+    .with_seed(4242);
+    let runner = CampaignRunner::with_threads(2);
+    // The uninstrumented reference: a plain local run, no router, no scrapes.
+    let local = runner.run(&campaign).unwrap();
+
+    let router = RouterHandle::spawn(
+        BACKENDS,
+        ServeConfig::default(),
+        RouterStore::new(),
+        RouterConfig {
+            sub_batch: 37,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    router.characterize(&setup, &reference, band).unwrap();
+
+    let first = router.metrics();
+    let done = AtomicBool::new(false);
+    let (routed, scrapes) = std::thread::scope(|scope| {
+        let campaign = &campaign;
+        let runner = &runner;
+        let router = &router;
+        let done = &done;
+        let worker = scope.spawn(move || {
+            let report = runner.run_with_target(campaign, ScoreTarget::Remote(router));
+            done.store(true, Ordering::Release);
+            report
+        });
+        // Scrape the fleet while the campaign is screening through it. Each
+        // scrape must be monotonically consistent with the previous one.
+        let mut scrapes = 0usize;
+        let mut previous = first.clone();
+        while !done.load(Ordering::Acquire) {
+            let next = router.metrics();
+            assert_monotonic(&previous, &next);
+            previous = next;
+            scrapes += 1;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        (worker.join().expect("campaign thread panicked").unwrap(), scrapes)
+    });
+    let last = router.metrics();
+    assert_monotonic(&first, &last);
+    assert!(scrapes >= 1, "the campaign finished before a single mid-run scrape");
+
+    // The counters moved: the campaign's screening traffic is visible.
+    let forwards = fleet_counter(&last, BACKENDS, "forwards") - fleet_counter(&first, BACKENDS, "forwards");
+    assert!(
+        forwards >= 2,
+        "expected the routed campaign to forward batches, saw {forwards}"
+    );
+    let fanout = last
+        .histogram("router.fanout_us")
+        .expect("fan-out histogram must exist");
+    assert!(fanout.count >= first.histogram("router.fanout_us").map_or(0, |h| h.count) + 2);
+
+    // And none of it touched the data path: bit-identical verdicts.
+    assert_eq!(
+        routed, local,
+        "scraping a live fleet mid-campaign must not perturb the report"
+    );
+}
