@@ -12,6 +12,13 @@
 //! process exits 0 — what CI uses on shared runners, where a slow neighbour
 //! must not fail the build. Without `--smoke`, a regression (or a vanished
 //! path) exits 1.
+//!
+//! A benchmark without a committed baseline yet (the baseline file does not
+//! exist) is not an error: the record says `VERDICT NEW`, lists every
+//! candidate path as `NEW`, and the process exits 0 — a fresh throughput bin
+//! must not fail CI before its first baseline lands. Pass `--write-baseline`
+//! to copy the candidate artifact over the baseline path (seeding a new
+//! baseline, or refreshing an existing one after an accepted change).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +31,7 @@ struct Args {
     threshold_pct: f64,
     rslt: Option<PathBuf>,
     smoke: bool,
+    write_baseline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
     let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
     let mut rslt = None;
     let mut smoke = false;
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,12 +54,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--rslt" => rslt = Some(PathBuf::from(args.next().ok_or("--rslt needs a path")?)),
             "--smoke" => smoke = true,
+            "--write-baseline" => write_baseline = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positional.push(PathBuf::from(other)),
         }
     }
     let [baseline, candidate] = <[PathBuf; 2]>::try_from(positional).map_err(|_| {
-        "usage: bench_diff <baseline.json> <candidate.json> [--threshold-pct <pct>] [--rslt <path>] [--smoke]"
+        "usage: bench_diff <baseline.json> <candidate.json> \
+         [--threshold-pct <pct>] [--rslt <path>] [--smoke] [--write-baseline]"
     })?;
     Ok(Args {
         baseline,
@@ -58,13 +69,56 @@ fn parse_args() -> Result<Args, String> {
         threshold_pct,
         rslt,
         smoke,
+        write_baseline,
     })
+}
+
+/// Writes `text` to `path`, creating parent directories as needed.
+fn write_record(path: &PathBuf, text: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Copies the candidate artifact over the baseline path (`--write-baseline`).
+fn seed_baseline(args: &Args) -> Result<(), String> {
+    let body = std::fs::read(&args.candidate).map_err(|e| format!("{}: {e}", args.candidate.display()))?;
+    if let Some(parent) = args.baseline.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&args.baseline, body).map_err(|e| format!("{}: {e}", args.baseline.display()))?;
+    println!("wrote baseline {}", args.baseline.display());
+    Ok(())
 }
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
-    let baseline = BenchArtifact::load(&args.baseline)?;
     let candidate = BenchArtifact::load(&args.candidate)?;
+    if !args.baseline.exists() {
+        // A benchmark with no committed baseline yet: informational `NEW`
+        // record, never a failure — the first baseline has to land somehow.
+        let mut rslt = format!("RSLT bench_diff:{}\nVERDICT NEW\n", candidate.bench);
+        rslt.push_str(&format!("ENV baseline {} (absent)\n", args.baseline.display()));
+        rslt.push_str(&format!("ENV candidate {}\n", args.candidate.display()));
+        for path in &candidate.paths {
+            rslt.push_str(&format!("NEW {}/{}\n", path.path, path.batch));
+        }
+        rslt.push_str("END RSLT\n");
+        print!("{rslt}");
+        if let Some(path) = &args.rslt {
+            write_record(path, &rslt)?;
+        }
+        if args.write_baseline {
+            seed_baseline(&args)?;
+        }
+        return Ok(true);
+    }
+    let baseline = BenchArtifact::load(&args.baseline)?;
     if baseline.bench != candidate.bench {
         return Err(format!(
             "artifacts compare different benches: {:?} vs {:?}",
@@ -92,12 +146,10 @@ fn run() -> Result<bool, String> {
 
     print!("{rslt}");
     if let Some(path) = &args.rslt {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
-            }
-        }
-        std::fs::write(path, &rslt).map_err(|e| format!("{}: {e}", path.display()))?;
+        write_record(path, &rslt)?;
+    }
+    if args.write_baseline {
+        seed_baseline(&args)?;
     }
     Ok(report.pass() || args.smoke)
 }

@@ -8,10 +8,13 @@
 //!
 //! Run with `cargo run --release -p repro-bench --bin router_throughput`
 //! (append `-- --smoke` for the abbreviated CI run, which also **asserts**
-//! that routed batched throughput stays within 20% of the direct serve path
-//! and that the retest path stays within 30% of no-retest batched routing;
-//! `--json <path>` writes the `BENCH_router_throughput.json` artifact and
-//! `--metrics <path>` the rendered `DSMX` scrape of the routing tier).
+//! that routed batched throughput stays within 20% of the direct serve path,
+//! that the retest path stays within 30% of no-retest batched routing, and
+//! that fully-traced routing — every request carrying a sampled trace
+//! context — stays within 10% of untraced; `--json <path>` writes the
+//! `BENCH_router_throughput.json` artifact, `--metrics <path>` the rendered
+//! `DSMX` scrape of the routing tier, and `--trace <path>` the span trees
+//! scraped over `DSTX` after the traced load).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -19,10 +22,12 @@ use std::time::{Duration, Instant};
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, RetestPolicy, Signature, TestSetup};
 use dsig_engine::{available_threads, Campaign, CampaignRunner, DevicePopulation};
+use dsig_obs::trace::{self, Tracer};
+use dsig_obs::TraceTree;
 use dsig_router::{Backend, Router, RouterClient, RouterConfig, RouterStore};
 use dsig_serve::{GoldenStore, RetestItem, RetestRequest, ServeClient, ServeConfig, Server};
 use repro_bench::banner;
-use repro_bench::smoke::{report, BenchOutput, Load, RETEST_MIN_RATIO, ROUTER_MIN_RATIO};
+use repro_bench::smoke::{report, BenchOutput, Load, RETEST_MIN_RATIO, ROUTER_MIN_RATIO, TRACE_MIN_RATIO};
 
 const BACKENDS: usize = 4;
 /// Target fraction of the signature pool made marginal for the retest
@@ -55,6 +60,47 @@ fn drive_tcp(
                         for k in 0..batch {
                             slice.push(pool[(at + k) % pool.len()].clone());
                         }
+                        let sent = Instant::now();
+                        let results = client.screen(key, &slice)?;
+                        times.push(sent.elapsed());
+                        assert_eq!(results.len(), batch);
+                    }
+                    Ok(times)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|worker| worker.join().expect("client thread panicked").expect("client failed"))
+            .collect()
+    })
+}
+
+/// [`drive_tcp`] with every request carrying a fresh **sampled** trace
+/// context — the worst-case tracing load: the routing tier and every backend
+/// record spans for every single request.
+fn drive_tcp_traced(
+    addr: std::net::SocketAddr,
+    key: u64,
+    pool: &Arc<Vec<Signature>>,
+    load: &Load,
+    batch: usize,
+) -> Vec<Duration> {
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..load.clients)
+            .map(|client_index| {
+                let pool = Arc::clone(pool);
+                scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
+                    let tracer = Tracer::default();
+                    let mut client = ServeClient::connect(addr)?;
+                    let mut times = Vec::with_capacity(load.requests_per_client);
+                    for request in 0..load.requests_per_client {
+                        let at = (client_index + request * load.clients) % pool.len();
+                        let mut slice: Vec<Signature> = Vec::with_capacity(batch);
+                        for k in 0..batch {
+                            slice.push(pool[(at + k) % pool.len()].clone());
+                        }
+                        let _sampled = trace::with_context(tracer.start_trace());
                         let sent = Instant::now();
                         let results = client.screen(key, &slice)?;
                         times.push(sent.elapsed());
@@ -345,11 +391,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "routed retest throughput  = {:.1}% of no-retest batched routing (batch {batch}, {MARGINAL_FRACTION} marginal)",
         100.0 * retest_ratio
     );
+
+    // The tracing-overhead path: the same batched routed load, but every
+    // request carries a fresh sampled trace context, so the routing tier and
+    // every backend record spans for every request. Measured back-to-back
+    // against a fresh untraced run so the ratio compares like against like.
+    client.traces()?; // discard the spans left by the pool-capture campaign
+    let start = Instant::now();
+    let latencies = drive_tcp(router.local_addr(), key, &pool, &load, batch);
+    let mut router_untraced = report("router tcp", batch, latencies, start.elapsed()).items_per_s;
+    let start = Instant::now();
+    let latencies = drive_tcp_traced(router.local_addr(), key, &pool, &load, batch);
+    let traced_metrics = report("router traced", batch, latencies, start.elapsed());
+    let mut router_traced = traced_metrics.items_per_s;
+    output.paths.push(traced_metrics);
+    let mut trace_ratio = router_traced / router_untraced;
+    // De-flake like the other ratios: up to two more back-to-back pairs,
+    // keeping the best pair.
+    if smoke && trace_ratio < TRACE_MIN_RATIO + 0.05 {
+        for _ in 0..2 {
+            let start = Instant::now();
+            let latencies = drive_tcp(router.local_addr(), key, &pool, &load, batch);
+            let untraced_again = report("router tcp", batch, latencies, start.elapsed()).items_per_s;
+            let start = Instant::now();
+            let latencies = drive_tcp_traced(router.local_addr(), key, &pool, &load, batch);
+            let traced_again = report("router traced", batch, latencies, start.elapsed()).items_per_s;
+            if traced_again / untraced_again > trace_ratio {
+                trace_ratio = traced_again / untraced_again;
+                router_untraced = untraced_again;
+                router_traced = traced_again;
+            }
+        }
+    }
+    println!(
+        "traced routed throughput  = {:.1}% of untraced batched routing (batch {batch}, every request sampled)",
+        100.0 * trace_ratio
+    );
     // Write the artifact before any gate can fail the run, so a tripped gate
     // still leaves its measurements behind for diagnosis.
     output.config("router_vs_serve_ratio", format!("{ratio:.4}"));
     output.config("retest_vs_batched_ratio", format!("{retest_ratio:.4}"));
     output.config("marginal_fraction", format!("{MARGINAL_FRACTION}"));
+    output.config("traced_vs_untraced_ratio", format!("{trace_ratio:.4}"));
     if let Some(path) = repro_bench::smoke::json_path_from_args() {
         output.save(&path)?;
         println!("wrote {}", path.display());
@@ -359,6 +442,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = repro_bench::smoke::metrics_path_from_args() {
         let snapshot = client.metrics()?;
         repro_bench::smoke::save_text(&path, &snapshot.render())?;
+        println!("wrote {}", path.display());
+    }
+    // Scrape the spans buffered by the routing tier and its in-process
+    // backends over TCP (`DSTX`) and render a few span trees — written
+    // before the gates for the same reason.
+    if let Some(path) = repro_bench::smoke::trace_path_from_args() {
+        let log = client.traces()?;
+        let trees = TraceTree::build(&log.spans);
+        let mut text = format!(
+            "{} spans in {} traces scraped over DSTX after the traced load\n",
+            log.spans.len(),
+            trees.len()
+        );
+        // The span ring is bounded, so the oldest spans of a heavy load get
+        // overwritten: render only trees that survived intact.
+        for tree in trees
+            .iter()
+            .filter(|t| t.orphan_count() == 0 && t.root_count() == 1)
+            .take(3)
+        {
+            text.push('\n');
+            text.push_str(&tree.render());
+        }
+        repro_bench::smoke::save_text(&path, &text)?;
         println!("wrote {}", path.display());
     }
     if smoke {
@@ -384,6 +491,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "--smoke gate: retest path within {:.0}% of no-retest batched routing: OK",
             100.0 * (1.0 - RETEST_MIN_RATIO)
+        );
+        // CI gate: tracing must be observationally cheap — a fully-sampled
+        // routed load keeps at least 90% of untraced throughput.
+        assert!(
+            trace_ratio >= TRACE_MIN_RATIO,
+            "traced routed throughput {router_traced:.1} sigs/s fell below {:.0}% of untraced's {router_untraced:.1} sigs/s",
+            100.0 * TRACE_MIN_RATIO
+        );
+        println!(
+            "--smoke gate: traced routed throughput within {:.0}% of untraced: OK",
+            100.0 * (1.0 - TRACE_MIN_RATIO)
         );
     }
     Ok(())

@@ -5,9 +5,11 @@
 //!
 //! Run with `cargo run --release -p repro-bench --bin serve_throughput`
 //! (append `-- --smoke` for the abbreviated CI run, `--json <path>` to
-//! write the machine-readable `BENCH_serve_throughput.json` artifact, and
+//! write the machine-readable `BENCH_serve_throughput.json` artifact,
 //! `--metrics <path>` to scrape the server's metrics over TCP (`DSMX`)
-//! after the load and write the rendered snapshot).
+//! after the load and write the rendered snapshot, and `--trace <path>` to
+//! drive a short sampled load, scrape the server's spans over `DSTX` and
+//! write the rendered span trees).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -15,6 +17,8 @@ use std::time::{Duration, Instant};
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_engine::{available_threads, Campaign, CampaignRunner, DevicePopulation};
+use dsig_obs::trace::{self, Tracer};
+use dsig_obs::TraceTree;
 use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
 use repro_bench::banner;
 use repro_bench::smoke::{report, BenchOutput, Load};
@@ -145,6 +149,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = repro_bench::smoke::metrics_path_from_args() {
         let snapshot = ServeClient::connect(addr)?.metrics()?;
         repro_bench::smoke::save_text(&path, &snapshot.render())?;
+        println!("wrote {}", path.display());
+    }
+    // A short sampled load (outside every timed region — the throughput runs
+    // above carry no trace context), then scrape the server's spans over TCP
+    // (`DSTX`) and write the rendered trees — the third artifact CI uploads.
+    if let Some(path) = repro_bench::smoke::trace_path_from_args() {
+        let tracer = Tracer::default();
+        let mut client = ServeClient::connect(addr)?;
+        client.traces()?; // discard the spans left by the pool-capture campaign
+        for request in 0..3usize {
+            let slice: Vec<Signature> = (0..64).map(|k| pool[(request * 64 + k) % pool.len()].clone()).collect();
+            let _sampled = trace::with_context(tracer.start_trace());
+            client.screen(key, &slice)?;
+        }
+        let log = client.traces()?;
+        let trees = TraceTree::build(&log.spans);
+        let mut text = format!(
+            "{} spans in {} traces scraped over DSTX after a sampled 3x64 load\n",
+            log.spans.len(),
+            trees.len()
+        );
+        for tree in &trees {
+            text.push('\n');
+            text.push_str(&tree.render());
+        }
+        repro_bench::smoke::save_text(&path, &text)?;
         println!("wrote {}", path.display());
     }
     Ok(())

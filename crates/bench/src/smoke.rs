@@ -20,6 +20,11 @@ pub const ROUTER_MIN_RATIO: f64 = 0.8;
 /// within 30% of the no-retest batched screening throughput.
 pub const RETEST_MIN_RATIO: f64 = 0.7;
 
+/// CI gate: routed batched throughput with every request carrying a sampled
+/// trace context must stay at or above this fraction of the untraced path —
+/// tracing must be observationally cheap.
+pub const TRACE_MIN_RATIO: f64 = 0.9;
+
 /// The client load shape a serve/router load generator drives.
 pub struct Load {
     /// Distinct captured signatures cycled through by the clients.
@@ -223,6 +228,13 @@ pub fn json_path_from_args() -> Option<std::path::PathBuf> {
 /// server at the end of the run (uploaded by CI next to the JSON artifact).
 pub fn metrics_path_from_args() -> Option<std::path::PathBuf> {
     path_flag_from_args("--metrics")
+}
+
+/// Extracts the `--trace <path>` flag from the process arguments: where a
+/// throughput bin writes the rendered span trees it scrapes from its server
+/// over `DSTX` at the end of the run (uploaded by CI next to the metrics).
+pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    path_flag_from_args("--trace")
 }
 
 fn path_flag_from_args(flag: &str) -> Option<std::path::PathBuf> {

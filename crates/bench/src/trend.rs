@@ -332,6 +332,10 @@ pub struct DiffReport {
     /// Paths present in the baseline but absent from the candidate (counted
     /// as regressions — a vanished path could hide one).
     pub missing: Vec<String>,
+    /// Paths present in the candidate but absent from the baseline —
+    /// informational only (new coverage is not a regression), surfaced so a
+    /// fresh benchmark shows up in the record instead of vanishing silently.
+    pub new_paths: Vec<String>,
 }
 
 impl DiffReport {
@@ -360,6 +364,9 @@ impl DiffReport {
         }
         for path in &self.missing {
             out.push_str(&format!("MISS {path}\n"));
+        }
+        for path in &self.new_paths {
+            out.push_str(&format!("NEW {path}\n"));
         }
         out.push_str("END RSLT\n");
         out
@@ -393,9 +400,9 @@ fn delta(key: String, baseline: f64, candidate: f64, higher_is_better: bool, thr
 /// Compares a candidate artifact against a baseline: per `(path, batch)`
 /// pair, throughput (items/s — devices/s for campaign benches) must not drop
 /// and the latency percentiles must not rise by more than `threshold_pct`.
-/// Paths only the candidate has are ignored (new coverage is not a
-/// regression); paths only the baseline has are reported in
-/// [`DiffReport::missing`].
+/// Paths only the candidate has are reported in [`DiffReport::new_paths`]
+/// (informational — new coverage is not a regression); paths only the
+/// baseline has are reported in [`DiffReport::missing`].
 pub fn diff_artifacts(baseline: &BenchArtifact, candidate: &BenchArtifact, threshold_pct: f64) -> DiffReport {
     let mut deltas = Vec::new();
     let mut missing = Vec::new();
@@ -417,11 +424,23 @@ pub fn diff_artifacts(baseline: &BenchArtifact, candidate: &BenchArtifact, thres
         deltas.push(metric("p95_us", base.p95_us, cand.p95_us, false));
         deltas.push(metric("p99_us", base.p99_us, cand.p99_us, false));
     }
+    let new_paths = candidate
+        .paths
+        .iter()
+        .filter(|cand| {
+            !baseline
+                .paths
+                .iter()
+                .any(|base| base.path == cand.path && base.batch == cand.batch)
+        })
+        .map(|cand| format!("{}/{}", cand.path, cand.batch))
+        .collect();
     DiffReport {
         bench: baseline.bench.clone(),
         threshold_pct,
         deltas,
         missing,
+        new_paths,
     }
 }
 
@@ -514,5 +533,27 @@ mod tests {
         assert!(!report.pass());
         assert_eq!(report.missing, vec!["router tcp/64".to_string()]);
         assert!(report.render_rslt().contains("MISS router tcp/64"));
+    }
+
+    #[test]
+    fn paths_absent_from_the_baseline_are_reported_as_new_and_informational() {
+        let base = artifact(64000.0, 400.0);
+        let mut wider = artifact(64000.0, 400.0);
+        wider.paths.push(PathMetrics {
+            path: "router traced".into(),
+            batch: 64,
+            requests_per_s: 900.0,
+            items_per_s: 57600.0,
+            p50_us: 110.0,
+            p95_us: 210.0,
+            p99_us: 420.0,
+        });
+        let report = diff_artifacts(&base, &wider, 10.0);
+        // New coverage never regresses the verdict, but shows in the record.
+        assert!(report.pass());
+        assert_eq!(report.new_paths, vec!["router traced/64".to_string()]);
+        let rslt = report.render_rslt();
+        assert!(rslt.contains("VERDICT PASS"));
+        assert!(rslt.contains("NEW router traced/64"));
     }
 }

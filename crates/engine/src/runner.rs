@@ -9,6 +9,7 @@ use dsig_core::{
     capture_signatures_batch, ndf, peak_hamming_distance, retest_seed, BatchDevice, Result, RetestPolicy,
     SharedStimulus, Signature, StimulusBank, TestFlow, TestSetup,
 };
+use dsig_obs::trace::{self, TraceContext, Tracer};
 use dsig_obs::{Counter, Gauge, Histogram, Registry, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,9 +28,11 @@ pub struct CampaignRunner {
     threads: usize,
     chunk: usize,
     batching: bool,
+    tracing: bool,
     retest: Option<RetestPolicy>,
     cache: GoldenCache,
     bank: StimulusBank,
+    tracer: Tracer,
     metrics: EngineMetrics,
 }
 
@@ -92,14 +95,17 @@ impl CampaignRunner {
 
     /// A runner with an explicit worker count (1 = serial reference path).
     pub fn with_threads(threads: usize) -> Self {
+        let registry = Registry::global();
         CampaignRunner {
             threads: threads.max(1),
             chunk: DEFAULT_CHUNK,
             batching: true,
+            tracing: true,
             retest: None,
             cache: GoldenCache::new(),
             bank: StimulusBank::new(),
-            metrics: EngineMetrics::new(&Registry::global()),
+            tracer: registry.tracer().clone(),
+            metrics: EngineMetrics::new(&registry),
         }
     }
 
@@ -117,6 +123,17 @@ impl CampaignRunner {
     /// per-device reference (see the `campaign_throughput` bin).
     pub fn with_batching(mut self, batching: bool) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with distributed tracing enabled or disabled. When on
+    /// (the default), every chunk opens a sampled root `engine.chunk` span
+    /// whose context propagates through remote [`ScoreTarget`]s to the
+    /// routing and serving tiers. Tracing is purely observational — traced
+    /// reports are bit-identical to untraced ones — so disabling it only
+    /// serves as the untraced baseline for overhead measurement.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -219,6 +236,8 @@ impl CampaignRunner {
         let use_batch = self.batching && campaign.monitor_variation.is_none();
         let retest = self.retest.as_ref();
         let metrics = &self.metrics;
+        let tracer = &self.tracer;
+        let tracing = self.tracing;
         let started = Instant::now();
         let outcomes: Vec<Result<DeviceOutcome>> = if use_batch {
             let shared = self.bank.shared_for(&campaign.setup)?;
@@ -229,7 +248,19 @@ impl CampaignRunner {
                 metrics.queue_depth.record_us((chunks - chunk_index) as u64);
                 let start = chunk_index * self.chunk;
                 let end = (start + self.chunk).min(devices);
-                evaluate_chunk_batched(campaign, &scorer, retest, metrics, &shared, start, end)
+                // Each chunk is its own trace: one sampled root span whose
+                // context flows through the capture/score/retest children
+                // and, via the ambient context, across the wire.
+                let root = if tracing {
+                    tracer.start_trace()
+                } else {
+                    TraceContext::NONE
+                };
+                let mut chunk_span = tracer.span("engine.chunk", "engine", root);
+                chunk_span.annotate("chunk", chunk_index);
+                chunk_span.annotate("devices", end - start);
+                let ctx = chunk_span.context();
+                evaluate_chunk_batched(campaign, &scorer, retest, metrics, tracer, ctx, &shared, start, end)
             });
             let mut flat = Vec::with_capacity(devices);
             for chunk in per_chunk {
@@ -248,7 +279,16 @@ impl CampaignRunner {
                 metrics.queue_depth.record_us((chunks - chunk_index) as u64);
                 let start = chunk_index * self.chunk;
                 let end = (start + self.chunk).min(devices);
-                evaluate_chunk_per_device(campaign, &scorer, retest, metrics, start, end)
+                let root = if tracing {
+                    tracer.start_trace()
+                } else {
+                    TraceContext::NONE
+                };
+                let mut chunk_span = tracer.span("engine.chunk", "engine", root);
+                chunk_span.annotate("chunk", chunk_index);
+                chunk_span.annotate("devices", end - start);
+                let ctx = chunk_span.context();
+                evaluate_chunk_per_device(campaign, &scorer, retest, metrics, tracer, ctx, start, end)
             });
             let mut flat = Vec::with_capacity(devices);
             for chunk in per_chunk {
@@ -337,11 +377,14 @@ fn evaluate_chunk_per_device(
     scorer: &Scorer<'_>,
     retest: Option<&RetestPolicy>,
     metrics: &EngineMetrics,
+    tracer: &Tracer,
+    ctx: TraceContext,
     start: usize,
     end: usize,
 ) -> Result<Vec<DeviceOutcome>> {
     let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
     let observed: Vec<Signature> = {
+        let _capture_span = tracer.span("engine.capture", "engine", ctx);
         let _capture = Span::enter(&metrics.capture_us);
         specs
             .iter()
@@ -352,10 +395,14 @@ fn evaluate_chunk_per_device(
             .collect::<Result<_>>()?
     };
     let mut outcomes = {
+        let score_span = tracer.span("engine.score", "engine", ctx);
+        // The score span is the ambient context, so a remote score target
+        // injects it into outgoing frames and the tiers parent under it.
+        let _ambient = trace::with_context(score_span.context());
         let _score = Span::enter(&metrics.score_us);
         score_batch(campaign, scorer, specs, observed)?
     };
-    apply_retest(campaign, scorer, retest, metrics, &mut outcomes)?;
+    apply_retest(campaign, scorer, retest, metrics, tracer, ctx, &mut outcomes)?;
     Ok(outcomes)
 }
 
@@ -369,6 +416,8 @@ fn evaluate_chunk_batched(
     scorer: &Scorer<'_>,
     retest: Option<&RetestPolicy>,
     metrics: &EngineMetrics,
+    tracer: &Tracer,
+    ctx: TraceContext,
     shared: &SharedStimulus,
     start: usize,
     end: usize,
@@ -376,14 +425,19 @@ fn evaluate_chunk_batched(
     let specs: Vec<DeviceSpec> = (start..end).map(|i| campaign.device(i)).collect::<Result<_>>()?;
     let batch: Vec<BatchDevice> = specs.iter().map(|s| BatchDevice::new(s.cut, s.noise_seed)).collect();
     let signatures = {
+        let _capture_span = tracer.span("engine.capture", "engine", ctx);
         let _capture = Span::enter(&metrics.capture_us);
         capture_signatures_batch(&campaign.setup, shared, &batch)?
     };
     let mut outcomes = {
+        let score_span = tracer.span("engine.score", "engine", ctx);
+        // The score span is the ambient context, so a remote score target
+        // injects it into outgoing frames and the tiers parent under it.
+        let _ambient = trace::with_context(score_span.context());
         let _score = Span::enter(&metrics.score_us);
         score_batch(campaign, scorer, specs, signatures)?
     };
-    apply_retest(campaign, scorer, retest, metrics, &mut outcomes)?;
+    apply_retest(campaign, scorer, retest, metrics, tracer, ctx, &mut outcomes)?;
     Ok(outcomes)
 }
 
@@ -397,11 +451,17 @@ fn apply_retest(
     scorer: &Scorer<'_>,
     retest: Option<&RetestPolicy>,
     metrics: &EngineMetrics,
+    tracer: &Tracer,
+    ctx: TraceContext,
     outcomes: &mut [DeviceOutcome],
 ) -> Result<()> {
     let Some(policy) = retest else {
         return Ok(());
     };
+    let mut retest_span = tracer.span("engine.retest", "engine", ctx);
+    // The retest span is the ambient context, so remote `DSRT` batches carry
+    // it and the tiers parent their spans under it.
+    let _ambient = trace::with_context(retest_span.context());
     let _retest = Span::enter(&metrics.retest_us);
     let marginal: Vec<usize> = outcomes
         .iter()
@@ -409,6 +469,7 @@ fn apply_retest(
         .filter(|(_, o)| policy.is_marginal(&campaign.band, o.result.ndf))
         .map(|(at, _)| at)
         .collect();
+    retest_span.annotate("marginal", marginal.len());
     if marginal.is_empty() {
         return Ok(());
     }

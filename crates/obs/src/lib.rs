@@ -45,7 +45,13 @@
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Span, HISTOGRAM_BUCKETS};
 pub use registry::Registry;
-pub use snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{
+    HistogramSnapshot, MetricDelta, MetricValue, MetricsSnapshot, SnapshotDiff, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use trace::{
+    ActiveSpan, SpanRecord, TraceContext, TraceLog, TraceTree, Tracer, TRACE_LOG_MAGIC, TRACE_LOG_VERSION,
+};

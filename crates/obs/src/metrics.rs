@@ -91,6 +91,7 @@ pub struct Histogram {
     counts: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum_us: AtomicU64,
+    max_us: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -99,6 +100,7 @@ impl Default for Histogram {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
         }
     }
 }
@@ -134,6 +136,9 @@ impl Histogram {
         self.counts[Histogram::bucket_index(value_us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(value_us, Ordering::Relaxed);
+        // The exact observed maximum keeps tail quantiles honest when
+        // samples land in the overflow bucket (whose bound is u64::MAX).
+        self.max_us.fetch_max(value_us, Ordering::Relaxed);
     }
 
     /// Records one elapsed [`Duration`] (saturating at `u64::MAX` µs).
@@ -152,6 +157,7 @@ impl Histogram {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
             sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
             buckets: (0..HISTOGRAM_BUCKETS)
                 .map(|i| (bucket_upper_us(i), self.counts[i].load(Ordering::Relaxed)))
                 .collect(),
@@ -238,6 +244,7 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count, 4);
         assert_eq!(snap.sum_us, 1u64.wrapping_add(200).wrapping_add(u64::MAX));
+        assert_eq!(snap.max_us, u64::MAX, "the exact max survives the overflow bucket");
         assert_eq!(snap.buckets.len(), HISTOGRAM_BUCKETS);
         assert_eq!(snap.buckets[0], (1, 1));
         assert_eq!(snap.buckets[7], (128, 2));

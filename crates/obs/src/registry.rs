@@ -5,6 +5,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::{MetricValue, MetricsSnapshot};
+use crate::trace::Tracer;
 
 enum Metric {
     Counter(Arc<Counter>),
@@ -22,6 +23,7 @@ enum Metric {
 #[derive(Clone, Default)]
 pub struct Registry {
     inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Registry {
@@ -42,6 +44,13 @@ impl Registry {
     pub fn global() -> Registry {
         static GLOBAL: OnceLock<Registry> = OnceLock::new();
         GLOBAL.get_or_init(Registry::new).clone()
+    }
+
+    /// The registry's span recorder. Clones share it, so every component
+    /// registered into one registry records into one ring and a single
+    /// trace scrape sees the whole process.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
@@ -158,6 +167,14 @@ mod tests {
         c.add(5);
         let second = registry.snapshot();
         assert!(second.counter("b.second").unwrap() > first.counter("b.second").unwrap());
+    }
+
+    #[test]
+    fn clones_share_the_tracer() {
+        let registry = Registry::new();
+        let ctx = registry.tracer().start_trace();
+        drop(registry.clone().tracer().span("s", "test", ctx));
+        assert_eq!(registry.tracer().drain().len(), 1);
     }
 
     #[test]

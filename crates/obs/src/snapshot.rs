@@ -5,8 +5,10 @@ use dsig_core::{DsigError, Result};
 
 /// Magic bytes of a serialized metrics snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DSMS";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Current snapshot format version. Version 2 added the exact observed
+/// maximum to histogram bodies; version-1 snapshots still decode (with a
+/// zero, i.e. unknown, maximum).
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 const KIND_COUNTER: u8 = 0;
 const KIND_GAUGE: u8 = 1;
@@ -19,6 +21,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all recorded values, in microseconds (wrapping).
     pub sum_us: u64,
+    /// Exact largest recorded value in µs; 0 when no sample has been
+    /// recorded (or the snapshot was decoded from a version-1 `DSMS`,
+    /// which did not carry it).
+    pub max_us: u64,
     /// `(inclusive upper bound in µs, samples)` per bucket, ascending; the
     /// final bucket's bound is `u64::MAX` (overflow).
     pub buckets: Vec<(u64, u64)>,
@@ -26,21 +32,25 @@ pub struct HistogramSnapshot {
 
 impl HistogramSnapshot {
     /// The smallest bucket upper bound (µs) below which at least fraction
-    /// `q` of the samples fall. Returns 0 for an empty histogram; an answer
-    /// of `u64::MAX` means the quantile landed in the overflow bucket.
+    /// `q` of the samples fall, clamped to the exact observed maximum when
+    /// one is known — so a tail quantile landing in the overflow bucket
+    /// reports the real largest sample instead of saturating at the
+    /// bucket's `u64::MAX` bound. Returns 0 for an empty histogram.
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        // max_us == 0 means "unknown" (version-1 snapshot): no clamp then.
+        let clamp = |bound: u64| if self.max_us > 0 { bound.min(self.max_us) } else { bound };
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for &(upper, n) in &self.buckets {
             seen = seen.saturating_add(n);
             if seen >= rank {
-                return upper;
+                return clamp(upper);
             }
         }
-        u64::MAX
+        clamp(u64::MAX)
     }
 
     /// Median latency bound in µs.
@@ -77,6 +87,79 @@ pub enum MetricValue {
     Gauge(f64),
     /// A latency distribution.
     Histogram(HistogramSnapshot),
+}
+
+/// How one metric moved between two snapshots (see
+/// [`MetricsSnapshot::diff`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricDelta {
+    /// A counter's earlier and later values.
+    Counter {
+        /// Value in the earlier snapshot.
+        from: u64,
+        /// Value in the later snapshot.
+        to: u64,
+    },
+    /// A gauge's earlier and later values (free to move either way).
+    Gauge {
+        /// Value in the earlier snapshot.
+        from: f64,
+        /// Value in the later snapshot.
+        to: f64,
+    },
+    /// A histogram's earlier and later sample counts and sums.
+    Histogram {
+        /// Sample count in the earlier snapshot.
+        count_from: u64,
+        /// Sample count in the later snapshot.
+        count_to: u64,
+        /// Sample sum (µs) in the earlier snapshot.
+        sum_from: u64,
+        /// Sample sum (µs) in the later snapshot.
+        sum_to: u64,
+    },
+    /// The name is registered as a different metric kind in each snapshot.
+    KindChanged,
+}
+
+/// Per-metric deltas between two snapshots (see [`MetricsSnapshot::diff`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotDiff {
+    /// Deltas for names present in both snapshots, ascending by name.
+    pub deltas: Vec<(String, MetricDelta)>,
+    /// Names present only in the earlier snapshot.
+    pub vanished: Vec<String>,
+    /// Names present only in the later snapshot.
+    pub appeared: Vec<String>,
+}
+
+impl SnapshotDiff {
+    /// Everything that violates scrape-over-scrape monotonicity of one
+    /// live registry: counters or histogram sample counts that went
+    /// backwards, metrics that vanished, and names that changed kind.
+    /// Empty for a well-behaved pair of scrapes (gauges are last-write-wins
+    /// and new metrics may appear at any time; neither is a violation).
+    pub fn monotonicity_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, delta) in &self.deltas {
+            match delta {
+                MetricDelta::Counter { from, to } if to < from => {
+                    out.push(format!("counter {name} went backwards: {from} -> {to}"));
+                }
+                MetricDelta::Histogram {
+                    count_from, count_to, ..
+                } if count_to < count_from => {
+                    out.push(format!("histogram {name} lost samples: {count_from} -> {count_to}"));
+                }
+                MetricDelta::KindChanged => out.push(format!("metric {name} changed kind between scrapes")),
+                _ => {}
+            }
+        }
+        for name in &self.vanished {
+            out.push(format!("metric {name} vanished between scrapes"));
+        }
+        out
+    }
 }
 
 /// One process's metrics at a point in time: `(name, value)` pairs sorted
@@ -123,7 +206,7 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Serializes the snapshot (magic `DSMS`, version 1).
+    /// Serializes the snapshot (magic `DSMS`, version 2).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         wire::put_header(&mut out, SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
@@ -143,6 +226,7 @@ impl MetricsSnapshot {
                     out.push(KIND_HISTOGRAM);
                     wire::put_u64(&mut out, h.count);
                     wire::put_u64(&mut out, h.sum_us);
+                    wire::put_u64(&mut out, h.max_us);
                     wire::put_u32(&mut out, h.buckets.len() as u32);
                     for &(upper, n) in &h.buckets {
                         wire::put_u64(&mut out, upper);
@@ -154,10 +238,12 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Decodes a snapshot serialized by [`MetricsSnapshot::to_bytes`].
+    /// Decodes a snapshot serialized by [`MetricsSnapshot::to_bytes`]
+    /// (either version: a version-1 histogram body simply has no exact
+    /// maximum).
     pub fn from_bytes(bytes: &[u8]) -> Result<MetricsSnapshot> {
         let mut r = ByteReader::new(bytes, "metrics snapshot");
-        r.header(SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        let version = r.header(SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
         let count = r.u32()? as usize;
         // Smallest metric: empty name (4) + kind (1) + counter value (8).
         r.check_count(count, 13)?;
@@ -178,6 +264,7 @@ impl MetricsSnapshot {
                 KIND_HISTOGRAM => {
                     let count = r.u64()?;
                     let sum_us = r.u64()?;
+                    let max_us = if version >= 2 { r.u64()? } else { 0 };
                     let buckets = r.u32()? as usize;
                     r.check_count(buckets, 16)?;
                     let mut out = Vec::with_capacity(buckets);
@@ -196,6 +283,7 @@ impl MetricsSnapshot {
                     MetricValue::Histogram(HistogramSnapshot {
                         count,
                         sum_us,
+                        max_us,
                         buckets: out,
                     })
                 }
@@ -212,6 +300,56 @@ impl MetricsSnapshot {
         Ok(MetricsSnapshot { metrics })
     }
 
+    /// Computes per-metric deltas from `earlier` to `self` (both sorted by
+    /// name, so this is one merge walk). Use
+    /// [`SnapshotDiff::monotonicity_violations`] to check that two scrapes
+    /// of one live registry are consistent.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> SnapshotDiff {
+        let mut diff = SnapshotDiff::default();
+        let (mut i, mut j) = (0, 0);
+        while i < earlier.metrics.len() || j < self.metrics.len() {
+            let order = match (earlier.metrics.get(i), self.metrics.get(j)) {
+                (Some((was, _)), Some((now, _))) => was.as_str().cmp(now.as_str()),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => unreachable!("loop condition holds an index in range"),
+            };
+            match order {
+                std::cmp::Ordering::Less => {
+                    diff.vanished.push(earlier.metrics[i].0.clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    diff.appeared.push(self.metrics[j].0.clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let (name, was) = &earlier.metrics[i];
+                    let now = &self.metrics[j].1;
+                    let delta = match (was, now) {
+                        (MetricValue::Counter(from), MetricValue::Counter(to)) => {
+                            MetricDelta::Counter { from: *from, to: *to }
+                        }
+                        (MetricValue::Gauge(from), MetricValue::Gauge(to)) => {
+                            MetricDelta::Gauge { from: *from, to: *to }
+                        }
+                        (MetricValue::Histogram(from), MetricValue::Histogram(to)) => MetricDelta::Histogram {
+                            count_from: from.count,
+                            count_to: to.count,
+                            sum_from: from.sum_us,
+                            sum_to: to.sum_us,
+                        },
+                        _ => MetricDelta::KindChanged,
+                    };
+                    diff.deltas.push((name.clone(), delta));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        diff
+    }
+
     /// Renders the snapshot as aligned human-readable text, one metric per
     /// line (the format CI uploads next to the bench JSON artifacts).
     pub fn render(&self) -> String {
@@ -221,12 +359,13 @@ impl MetricsSnapshot {
                 MetricValue::Counter(v) => format!("{name} counter {v}"),
                 MetricValue::Gauge(v) => format!("{name} gauge {v:?}"),
                 MetricValue::Histogram(h) => format!(
-                    "{name} histogram count {} mean_us {:.1} p50_us {} p95_us {} p99_us {}",
+                    "{name} histogram count {} mean_us {:.1} p50_us {} p95_us {} p99_us {} max_us {}",
                     h.count,
                     h.mean_us(),
                     h.p50_us(),
                     h.p95_us(),
-                    h.p99_us()
+                    h.p99_us(),
+                    h.max_us
                 ),
             };
             out.push_str(&line);
@@ -250,6 +389,7 @@ mod tests {
                     MetricValue::Histogram(HistogramSnapshot {
                         count: 3,
                         sum_us: 300,
+                        max_us: 120,
                         buckets: vec![(64, 1), (128, 2), (u64::MAX, 0)],
                     }),
                 ),
@@ -278,9 +418,12 @@ mod tests {
 
     #[test]
     fn quantiles_walk_cumulative_buckets() {
+        // max_us == 0 (unknown, as decoded from a version-1 snapshot):
+        // tail quantiles saturate at the bucket bounds like they used to.
         let h = HistogramSnapshot {
             count: 100,
             sum_us: 0,
+            max_us: 0,
             buckets: vec![(1, 50), (2, 40), (4, 9), (u64::MAX, 1)],
         };
         assert_eq!(h.p50_us(), 1);
@@ -291,11 +434,158 @@ mod tests {
             HistogramSnapshot {
                 count: 0,
                 sum_us: 0,
+                max_us: 0,
                 buckets: vec![]
             }
             .p50_us(),
             0
         );
+    }
+
+    #[test]
+    fn known_max_clamps_tail_quantiles() {
+        // One sample in the overflow bucket: with the exact max known, the
+        // tail quantile reports it instead of u64::MAX; quantiles below the
+        // max keep their bucket-bound answers.
+        let h = HistogramSnapshot {
+            count: 100,
+            sum_us: 0,
+            max_us: 250_000_000,
+            buckets: vec![(1, 50), (2, 40), (4, 9), (u64::MAX, 1)],
+        };
+        assert_eq!(h.p50_us(), 1);
+        assert_eq!(h.quantile_us(1.0), 250_000_000);
+        // A max below a bucket bound clamps that bound too (the last
+        // sample in a bucket is never larger than the observed max).
+        let tight = HistogramSnapshot {
+            count: 2,
+            sum_us: 5,
+            max_us: 3,
+            buckets: vec![(2, 1), (4, 1)],
+        };
+        assert_eq!(tight.quantile_us(1.0), 3);
+    }
+
+    #[test]
+    fn version1_snapshots_still_decode() {
+        // A hand-encoded version-1 DSMS: histogram bodies without max_us.
+        let mut bytes = Vec::new();
+        wire::put_header(&mut bytes, SNAPSHOT_MAGIC, 1);
+        wire::put_u32(&mut bytes, 1);
+        wire::put_str(&mut bytes, "h");
+        bytes.push(2); // KIND_HISTOGRAM
+        wire::put_u64(&mut bytes, 3); // count
+        wire::put_u64(&mut bytes, 300); // sum_us
+        wire::put_u32(&mut bytes, 2); // buckets
+        for (upper, n) in [(64u64, 1u64), (u64::MAX, 2)] {
+            wire::put_u64(&mut bytes, upper);
+            wire::put_u64(&mut bytes, n);
+        }
+        let snap = MetricsSnapshot::from_bytes(&bytes).unwrap();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!((h.count, h.sum_us, h.max_us), (3, 300, 0));
+        // Re-encoding writes the current version.
+        assert_eq!(snap.to_bytes()[4..6], SNAPSHOT_VERSION.to_le_bytes());
+    }
+
+    #[test]
+    fn diff_reports_deltas_vanished_and_appeared() {
+        let earlier = MetricsSnapshot {
+            metrics: vec![
+                ("a.count".into(), MetricValue::Counter(10)),
+                ("b.gone".into(), MetricValue::Counter(1)),
+                ("c.gauge".into(), MetricValue::Gauge(1.0)),
+                (
+                    "d.hist".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: 2,
+                        sum_us: 20,
+                        max_us: 15,
+                        buckets: vec![(u64::MAX, 2)],
+                    }),
+                ),
+            ],
+        };
+        let later = MetricsSnapshot {
+            metrics: vec![
+                ("a.count".into(), MetricValue::Counter(15)),
+                ("c.gauge".into(), MetricValue::Gauge(-2.0)),
+                (
+                    "d.hist".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: 5,
+                        sum_us: 60,
+                        max_us: 15,
+                        buckets: vec![(u64::MAX, 5)],
+                    }),
+                ),
+                ("e.new".into(), MetricValue::Counter(1)),
+            ],
+        };
+        let diff = later.diff(&earlier);
+        assert_eq!(diff.vanished, vec!["b.gone".to_string()]);
+        assert_eq!(diff.appeared, vec!["e.new".to_string()]);
+        assert_eq!(
+            diff.deltas,
+            vec![
+                ("a.count".into(), MetricDelta::Counter { from: 10, to: 15 }),
+                ("c.gauge".into(), MetricDelta::Gauge { from: 1.0, to: -2.0 }),
+                (
+                    "d.hist".into(),
+                    MetricDelta::Histogram {
+                        count_from: 2,
+                        count_to: 5,
+                        sum_from: 20,
+                        sum_to: 60,
+                    }
+                ),
+            ]
+        );
+        // The vanished counter is the only monotonicity violation here.
+        let violations = diff.monotonicity_violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("b.gone"), "{violations:?}");
+    }
+
+    #[test]
+    fn diff_flags_regressions_and_kind_changes() {
+        let earlier = MetricsSnapshot {
+            metrics: vec![
+                ("a".into(), MetricValue::Counter(10)),
+                ("b".into(), MetricValue::Counter(1)),
+                (
+                    "h".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: 9,
+                        sum_us: 0,
+                        max_us: 0,
+                        buckets: vec![],
+                    }),
+                ),
+            ],
+        };
+        let later = MetricsSnapshot {
+            metrics: vec![
+                ("a".into(), MetricValue::Counter(3)),
+                ("b".into(), MetricValue::Gauge(1.0)),
+                (
+                    "h".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: 4,
+                        sum_us: 0,
+                        max_us: 0,
+                        buckets: vec![],
+                    }),
+                ),
+            ],
+        };
+        let violations = later.diff(&earlier).monotonicity_violations();
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("counter a went backwards")));
+        assert!(violations.iter().any(|v| v.contains("b changed kind")));
+        assert!(violations.iter().any(|v| v.contains("histogram h lost samples")));
+        // An identical pair has no violations and no movement.
+        assert!(earlier.diff(&earlier).monotonicity_violations().is_empty());
     }
 
     #[test]

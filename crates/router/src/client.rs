@@ -8,7 +8,7 @@
 use std::net::{SocketAddr, ToSocketAddrs};
 
 use dsig_core::{AcceptanceBand, Signature};
-use dsig_obs::MetricsSnapshot;
+use dsig_obs::{MetricsSnapshot, TraceLog};
 use dsig_serve::{RetestRequest, RetestScore, ScoreResult, ServeClient};
 
 use crate::error::Result;
@@ -141,5 +141,14 @@ impl RouterClient {
     /// As for [`RouterClient::screen`] on transport or remote failures.
     pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
         self.inner.metrics().map_err(Into::into)
+    }
+
+    /// Drains the router's buffered trace spans (`DSTX`): the routing spans
+    /// recorded for sampled requests since the last scrape.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`] on transport or remote failures.
+    pub fn traces(&mut self) -> Result<TraceLog> {
+        self.inner.traces().map_err(Into::into)
     }
 }

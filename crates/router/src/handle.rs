@@ -8,7 +8,7 @@ use std::sync::Arc;
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_engine::{RemoteScore, RemoteScorer};
-use dsig_obs::MetricsSnapshot;
+use dsig_obs::{MetricsSnapshot, TraceLog};
 use dsig_serve::{GoldenRecord, GoldenStore, RetestRequest, RetestScore, ScoreResult, ServeConfig, ServeHandle};
 
 use crate::backend::Backend;
@@ -97,6 +97,12 @@ impl RouterHandle {
     /// in-process equivalent of a `DSMX` scrape.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.core.metrics()
+    }
+
+    /// Drains the routing tier's buffered trace spans — the in-process
+    /// equivalent of a `DSTX` scrape. Each span is exported at most once.
+    pub fn traces(&self) -> TraceLog {
+        self.core.traces()
     }
 
     /// Characterizes `(setup, reference)` into the router store and pushes

@@ -9,7 +9,8 @@ use std::time::Instant;
 
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
-use dsig_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, Span};
+use dsig_obs::trace::{self, Tracer};
+use dsig_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, Span, TraceLog};
 use dsig_serve::server::group_by_fingerprint;
 use dsig_serve::{GoldenRecord, RetestRequest, RetestScore, ScoreResult, ServeError};
 
@@ -100,6 +101,7 @@ pub(crate) struct RouterCore {
     store: RouterStore,
     config: RouterConfig,
     registry: Registry,
+    tracer: Tracer,
     metrics: RouterMetrics,
 }
 
@@ -128,11 +130,13 @@ impl RouterCore {
             )));
         }
         let metrics = RouterMetrics::new(&registry, &backends);
+        let tracer = registry.tracer().clone();
         Ok(RouterCore {
             backends,
             store,
             config,
             registry,
+            tracer,
             metrics,
         })
     }
@@ -145,6 +149,14 @@ impl RouterCore {
     /// `DSMX` scrape body.
     pub(crate) fn metrics(&self) -> MetricsSnapshot {
         self.registry.snapshot()
+    }
+
+    /// Drains the spans buffered by this core's tracer — the routing tier's
+    /// `DSTX` scrape body.
+    pub(crate) fn traces(&self) -> TraceLog {
+        TraceLog {
+            spans: self.registry.tracer().drain(),
+        }
     }
 
     pub(crate) fn backends(&self) -> &[Backend] {
@@ -214,12 +226,24 @@ impl RouterCore {
             rank.iter().copied().partition(|&i| self.backends[i].is_available(now));
         self.metrics.backoff.set(backed_off.len() as f64);
 
+        let inbound = trace::current_context();
         let mut failures: Vec<String> = Vec::new();
         let mut misses = 0usize;
         for (position, &index) in available.iter().chain(&backed_off).enumerate() {
             let backend = &self.backends[index];
             let counters = &self.metrics.per_backend[index];
-            match self.try_backend(index, key, &attempt) {
+            let mut forward_span = self.tracer.span("router.forward", "router", inbound);
+            forward_span.annotate("backend", backend.label());
+            if position > 0 {
+                forward_span.annotate("failover", position);
+            }
+            // The backend call runs under the forward span's context, so a
+            // serving backend parents its spans beneath this forward.
+            let outcome = {
+                let _ctx = trace::with_context(forward_span.context());
+                self.try_backend(index, key, &attempt)
+            };
+            match outcome {
                 Ok(scores) => {
                     backend.note_success();
                     counters.forwards.inc();
@@ -232,11 +256,13 @@ impl RouterCore {
                     // The backend answered (it is healthy) — neither it nor
                     // the router store holds the golden.
                     misses += 1;
+                    forward_span.annotate("outcome", "unknown_golden");
                     failures.push(format!("{}: unknown golden", backend.label()));
                 }
                 Err(err) => {
                     backend.note_failure(now, &self.config.health);
                     counters.retries.inc();
+                    forward_span.annotate("outcome", "failed");
                     failures.push(format!("{}: {err}", backend.label()));
                 }
             }
@@ -261,13 +287,20 @@ impl RouterCore {
     /// not-yet-scored remainder.
     pub(crate) fn screen(&self, key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
         let sub_batch = self.config.sub_batch.max(1);
+        let mut screen_span = self.tracer.span("router.screen", "router", trace::current_context());
+        screen_span.annotate("batch", signatures.len());
         if signatures.is_empty() {
             // Forward the empty batch anyway so an unknown fingerprint is
             // reported exactly like the serving tier reports it.
+            let _ctx = trace::with_context(screen_span.context());
             return self.forward_chunk(key, signatures);
         }
         let mut results = Vec::with_capacity(signatures.len());
-        for chunk in signatures.chunks(sub_batch) {
+        for (piece, chunk) in signatures.chunks(sub_batch).enumerate() {
+            let mut sub_span = self.tracer.span("router.sub_batch", "router", screen_span.context());
+            sub_span.annotate("piece", piece);
+            sub_span.annotate("items", chunk.len());
+            let _ctx = trace::with_context(sub_span.context());
             results.extend(self.forward_chunk(key, chunk)?);
         }
         Ok(results)
@@ -281,14 +314,21 @@ impl RouterCore {
     /// only re-routes the not-yet-decided remainder.
     pub(crate) fn screen_retest(&self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
         let key = request.golden_key;
+        let mut retest_span = self.tracer.span("router.retest", "router", trace::current_context());
+        retest_span.annotate("devices", request.items.len());
         if request.items.is_empty() {
             // Forward the empty batch anyway so an unknown fingerprint is
             // reported exactly like the serving tier reports it.
+            let _ctx = trace::with_context(retest_span.context());
             return self.forward_with_failover(key, |backend| backend.retest(request));
         }
         let sub_batch = self.config.sub_batch.max(1);
         let mut results = Vec::with_capacity(request.items.len());
-        for chunk in request.items.chunks(sub_batch) {
+        for (piece_index, chunk) in request.items.chunks(sub_batch).enumerate() {
+            let mut sub_span = self.tracer.span("router.sub_batch", "router", retest_span.context());
+            sub_span.annotate("piece", piece_index);
+            sub_span.annotate("items", chunk.len());
+            let _ctx = trace::with_context(sub_span.context());
             let piece = RetestRequest {
                 golden_key: key,
                 policy: request.policy.clone(),
@@ -321,12 +361,16 @@ impl RouterCore {
 
         let results: Mutex<Vec<Option<ScoreResult>>> = Mutex::new(vec![None; items.len()]);
         let errors: Mutex<Vec<(usize, RouterError)>> = Mutex::new(Vec::new());
+        // The ambient trace context is thread-local; capture it here so the
+        // bucket threads re-establish it before forwarding.
+        let inbound = trace::current_context();
         std::thread::scope(|scope| {
             for (bucket_order, group_ids) in buckets.values().enumerate() {
                 let results = &results;
                 let errors = &errors;
                 let groups = &groups;
                 scope.spawn(move || {
+                    let _ctx = trace::with_context(inbound);
                     for &group in group_ids {
                         let (key, indices) = &groups[group];
                         let key = *key;

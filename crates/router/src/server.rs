@@ -24,10 +24,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use dsig_obs::trace;
 use dsig_serve::proto::{
-    decode_any_request, encode_admin_response, encode_decode_error, encode_metrics_response, encode_response,
-    encode_retest_response, read_frame, write_frame, AdminResponse, ErrorCode, MetricsResponse, Request,
-    RetestResponse, ScreenResponse,
+    decode_any_request, decode_request_context, encode_admin_response, encode_decode_error, encode_metrics_response,
+    encode_response, encode_retest_response, encode_traces_response, read_frame, write_frame, AdminResponse, ErrorCode,
+    MetricsResponse, Request, RetestResponse, ScreenResponse, TracesResponse,
 };
 
 use crate::backend::Backend;
@@ -160,9 +161,14 @@ fn handle_connection(stream: TcpStream, core: Arc<RouterCore>) {
             Ok(Some(payload)) => payload,
             Ok(None) | Err(_) => return,
         };
-        let response = match decode_any_request(&payload) {
-            Ok(request) => respond(&core, request),
-            Err(err) => encode_decode_error(&payload, err.to_string()),
+        let response = {
+            // Pin the caller's trace context for the whole request so the
+            // routing spans parent under the remote caller.
+            let _ctx = trace::with_context(decode_request_context(&payload));
+            match decode_any_request(&payload) {
+                Ok(request) => respond(&core, request),
+                Err(err) => encode_decode_error(&payload, err.to_string()),
+            }
         };
         if write_frame(&mut writer, &response).is_err() {
             return;
@@ -218,6 +224,7 @@ fn respond(core: &RouterCore, request: Request) -> Vec<u8> {
             },
         }),
         Request::Metrics => encode_metrics_response(&MetricsResponse::Snapshot(core.metrics())),
+        Request::Traces => encode_traces_response(&TracesResponse::Log(core.traces())),
     }
 }
 

@@ -13,14 +13,14 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use dsig_core::{AcceptanceBand, Signature};
 
-use dsig_obs::MetricsSnapshot;
+use dsig_obs::{MetricsSnapshot, TraceLog};
 
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    decode_admin_response, decode_metrics_response, decode_response, decode_retest_response, encode_fetch_request,
-    encode_metrics_request, encode_multi_request, encode_push_request, encode_request, encode_retest_request,
-    read_frame, write_frame, AdminResponse, ErrorCode, MetricsResponse, RetestRequest, RetestResponse, RetestScore,
-    ScoreResult, ScreenResponse,
+    decode_admin_response, decode_metrics_response, decode_response, decode_retest_response, decode_traces_response,
+    encode_fetch_request, encode_metrics_request, encode_multi_request, encode_push_request, encode_request,
+    encode_retest_request, encode_traces_request, read_frame, write_frame, AdminResponse, ErrorCode, MetricsResponse,
+    RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
 };
 
 /// A blocking client over one TCP connection.
@@ -216,6 +216,20 @@ impl ServeClient {
         }
     }
 
+    /// Drains the server's buffered trace spans (`DSTX`), returning its
+    /// [`TraceLog`]. Scraping consumes: each span is exported at most once,
+    /// so successive scrapes return disjoint span sets.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`] (minus `UnknownGolden`).
+    pub fn traces(&mut self) -> Result<TraceLog> {
+        let payload = self.exchange(&encode_traces_request())?;
+        match decode_traces_response(&payload)? {
+            TracesResponse::Log(log) => Ok(log),
+            TracesResponse::Error { message, .. } => Err(ServeError::Remote(message)),
+        }
+    }
+
     /// Reads a golden record back from the server (`DSGF`) — the readback a
     /// routing tier uses to refresh its local store on a miss.
     ///
@@ -379,6 +393,40 @@ mod tests {
         assert!(
             server.metrics().counter("serve.requests.dsrq").unwrap() >= after.counter("serve.requests.dsrq").unwrap()
         );
+    }
+
+    #[test]
+    fn traces_scrape_drains_server_spans_over_tcp() {
+        use dsig_obs::{trace, Tracer};
+
+        let (server, key) = serve();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let observed = vec![sig(&[(1, 100e-6), (3, 100e-6)]), sig(&[(1, 100e-6), (7, 100e-6)])];
+
+        // An unsampled request (no ambient context) must leave no spans.
+        client.screen(key, &observed).unwrap();
+        // A sampled request propagates its context over the wire; the server
+        // parents its dispatch/shard/reassembly spans under it.
+        let ctx = Tracer::default().start_trace();
+        {
+            let _guard = trace::with_context(ctx);
+            client.screen(key, &observed).unwrap();
+        }
+        let log = client.traces().unwrap();
+        let ours: Vec<_> = log.spans.iter().filter(|s| s.trace_id == ctx.trace_id).collect();
+        assert!(!ours.is_empty(), "sampled request must leave spans on the server");
+        for name in ["serve.dispatch", "serve.shard", "serve.reassembly"] {
+            assert!(ours.iter().any(|s| s.name == name), "missing {name} span");
+        }
+        assert!(ours
+            .iter()
+            .all(|s| s.parent_span == ctx.parent_span && s.tier == "serve"));
+        assert!(
+            log.spans.iter().all(|s| s.trace_id == ctx.trace_id),
+            "the unsampled request must not have recorded spans",
+        );
+        // Scraping drains: a second scrape starts empty.
+        assert!(client.traces().unwrap().spans.is_empty());
     }
 
     #[test]

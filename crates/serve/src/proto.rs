@@ -11,7 +11,8 @@
 use std::io::{Read, Write};
 
 use dsig_core::{wire, AcceptanceBand, RetestPolicy, Signature, TestOutcome};
-use dsig_obs::MetricsSnapshot;
+use dsig_obs::trace::{self, TraceContext};
+use dsig_obs::{MetricsSnapshot, TraceLog};
 
 use crate::error::{Result, ServeError};
 
@@ -43,8 +44,22 @@ pub const METRICS_REQUEST_MAGIC: [u8; 4] = *b"DSMX";
 /// Magic prefix of metrics-scrape response payloads (`DSMR`) — one
 /// serialized [`dsig_obs::MetricsSnapshot`] (`DSMS` bytes), or an error.
 pub const METRICS_RESPONSE_MAGIC: [u8; 4] = *b"DSMR";
-/// Current wire-protocol version (shared by every request and response kind).
+/// Magic prefix of trace-scrape request payloads (`DSTX`): a header-only
+/// frame asking the answering process to drain its buffered trace spans.
+pub const TRACES_REQUEST_MAGIC: [u8; 4] = *b"DSTX";
+/// Magic prefix of trace-scrape response payloads (`DSTD`) — one serialized
+/// [`dsig_obs::TraceLog`] (`DSTL` bytes), or an error.
+pub const TRACES_RESPONSE_MAGIC: [u8; 4] = *b"DSTD";
+/// Wire-protocol version of response frames and of the header-only scrape
+/// requests (`DSMX`/`DSTX`).
 pub const PROTO_VERSION: u16 = 1;
+/// Wire-protocol version of the work-carrying request frames
+/// (`DSRQ`/`DSRM`/`DSRT`/`DSGP`/`DSGF`). Version 2 added a fixed 17-byte
+/// trace context right after the header; version-1 frames still decode,
+/// with [`TraceContext::NONE`]. The header-only scrape requests stay at
+/// version 1 — they carry no body for a context to precede, and bumping
+/// them would let a corrupted version byte alias between versions.
+pub const REQUEST_PROTO_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload (64 MiB). A length prefix beyond this is
 /// treated as a protocol violation rather than an allocation request — it
@@ -214,6 +229,8 @@ pub enum Request {
     },
     /// A metrics-scrape request (`DSMX`): snapshot the process's registry.
     Metrics,
+    /// A trace-scrape request (`DSTX`): drain the process's buffered spans.
+    Traces,
 }
 
 /// A decoded metrics-scrape response (`DSMR`): the answering process's
@@ -223,6 +240,22 @@ pub enum Request {
 pub enum MetricsResponse {
     /// The scraped snapshot.
     Snapshot(MetricsSnapshot),
+    /// The request failed server-side.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+/// A decoded trace-scrape response (`DSTD`): the spans the answering
+/// process had buffered (draining them), or a server-side error (same error
+/// vocabulary as [`ScreenResponse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TracesResponse {
+    /// The drained spans.
+    Log(TraceLog),
     /// The request failed server-side.
     Error {
         /// Machine-readable error class.
@@ -262,10 +295,56 @@ const ADMIN_ERROR: u8 = 1;
 /// Status byte of an [`AdminResponse::Record`].
 const ADMIN_RECORD: u8 = 2;
 
+/// Appends the current thread's ambient trace context (see
+/// [`trace::current_context`]): request encoders stamp outgoing frames with
+/// whatever context the caller has pinned, so deep call chains propagate
+/// causality without threading a parameter through every signature.
+fn put_request_context(out: &mut Vec<u8>) {
+    trace::put_trace_context(out, trace::current_context());
+}
+
+/// Consumes (and validates) the context block of a version-`version`
+/// request frame; version-1 frames have none.
+fn skip_request_context(r: &mut wire::ByteReader<'_>, version: u16) -> Result<()> {
+    if version >= 2 {
+        trace::read_trace_context(r)?;
+    }
+    Ok(())
+}
+
+/// Extracts the trace context of a request frame without decoding its body
+/// — the dispatch loop pins it to the handling thread before
+/// [`decode_any_request`] runs. Infallible: anything that is not a
+/// well-formed version-2+ frame of a context-carrying family yields
+/// [`TraceContext::NONE`] (the decoder proper reports the actual error).
+pub fn decode_request_context(payload: &[u8]) -> TraceContext {
+    let magic: [u8; 4] = match payload.get(..4).and_then(|m| m.try_into().ok()) {
+        Some(magic) => magic,
+        None => return TraceContext::NONE,
+    };
+    let carries_context = [
+        REQUEST_MAGIC,
+        MULTI_REQUEST_MAGIC,
+        RETEST_REQUEST_MAGIC,
+        PUSH_MAGIC,
+        FETCH_MAGIC,
+    ]
+    .contains(&magic);
+    if !carries_context {
+        return TraceContext::NONE;
+    }
+    let mut r = wire::ByteReader::new(payload, "request trace context");
+    match r.header(magic, REQUEST_PROTO_VERSION) {
+        Ok(version) if version >= 2 => trace::read_trace_context(&mut r).unwrap_or(TraceContext::NONE),
+        _ => TraceContext::NONE,
+    }
+}
+
 /// Encodes a screening request payload (without the frame length prefix).
 pub fn encode_request(golden_key: u64, signatures: &[Signature]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(18 + 64 * signatures.len());
-    wire::put_header(&mut out, REQUEST_MAGIC, PROTO_VERSION);
+    let mut out = Vec::with_capacity(35 + 64 * signatures.len());
+    wire::put_header(&mut out, REQUEST_MAGIC, REQUEST_PROTO_VERSION);
+    put_request_context(&mut out);
     wire::put_u64(&mut out, golden_key);
     wire::put_u32(&mut out, signatures.len() as u32);
     for signature in signatures {
@@ -280,7 +359,8 @@ pub fn encode_request(golden_key: u64, signatures: &[Signature]) -> Vec<u8> {
 /// Returns [`ServeError::Dsig`] on framing or signature decoding errors.
 pub fn decode_request(payload: &[u8]) -> Result<ScreenRequest> {
     let mut r = wire::ByteReader::new(payload, "screen request");
-    r.header(REQUEST_MAGIC, PROTO_VERSION)?;
+    let version = r.header(REQUEST_MAGIC, REQUEST_PROTO_VERSION)?;
+    skip_request_context(&mut r, version)?;
     let golden_key = r.u64()?;
     let count = r.u32()? as usize;
     // Minimum per signature: 4-byte length prefix + 8-byte empty signature.
@@ -296,8 +376,9 @@ pub fn decode_request(payload: &[u8]) -> Result<ScreenRequest> {
 /// Encodes a multi-golden screening request payload (without the frame
 /// length prefix).
 pub fn encode_multi_request(items: &[(u64, Signature)]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(10 + 76 * items.len());
-    wire::put_header(&mut out, MULTI_REQUEST_MAGIC, PROTO_VERSION);
+    let mut out = Vec::with_capacity(27 + 76 * items.len());
+    wire::put_header(&mut out, MULTI_REQUEST_MAGIC, REQUEST_PROTO_VERSION);
+    put_request_context(&mut out);
     wire::put_u32(&mut out, items.len() as u32);
     for (key, signature) in items {
         wire::put_u64(&mut out, *key);
@@ -313,7 +394,8 @@ pub fn encode_multi_request(items: &[(u64, Signature)]) -> Vec<u8> {
 /// Returns [`ServeError::Dsig`] on framing or signature decoding errors.
 pub fn decode_multi_request(payload: &[u8]) -> Result<MultiScreenRequest> {
     let mut r = wire::ByteReader::new(payload, "multi screen request");
-    r.header(MULTI_REQUEST_MAGIC, PROTO_VERSION)?;
+    let version = r.header(MULTI_REQUEST_MAGIC, REQUEST_PROTO_VERSION)?;
+    skip_request_context(&mut r, version)?;
     let count = r.u32()? as usize;
     // Minimum per item: 8-byte key + 4-byte length + 8-byte empty signature.
     r.check_count(count, 20)?;
@@ -329,8 +411,9 @@ pub fn decode_multi_request(payload: &[u8]) -> Result<MultiScreenRequest> {
 /// Encodes an adaptive-retest screening request payload (without the frame
 /// length prefix).
 pub fn encode_retest_request(request: &RetestRequest) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32 + 128 * request.items.len());
-    wire::put_header(&mut out, RETEST_REQUEST_MAGIC, PROTO_VERSION);
+    let mut out = Vec::with_capacity(49 + 128 * request.items.len());
+    wire::put_header(&mut out, RETEST_REQUEST_MAGIC, REQUEST_PROTO_VERSION);
+    put_request_context(&mut out);
     wire::put_u64(&mut out, request.golden_key);
     wire::put_f64(&mut out, request.policy.guard_band);
     wire::put_u32(&mut out, request.policy.schedule.len() as u32);
@@ -357,7 +440,8 @@ pub fn encode_retest_request(request: &RetestRequest) -> Vec<u8> {
 /// [`RetestPolicy::new`]).
 pub fn decode_retest_request(payload: &[u8]) -> Result<RetestRequest> {
     let mut r = wire::ByteReader::new(payload, "retest request");
-    r.header(RETEST_REQUEST_MAGIC, PROTO_VERSION)?;
+    let version = r.header(RETEST_REQUEST_MAGIC, REQUEST_PROTO_VERSION)?;
+    skip_request_context(&mut r, version)?;
     let golden_key = r.u64()?;
     let guard_band = r.f64()?;
     let steps = r.u32()? as usize;
@@ -473,8 +557,9 @@ fn decode_bool(tag: u8, what: &str) -> Result<bool> {
 
 /// Encodes a golden-push request payload (without the frame length prefix).
 pub fn encode_push_request(key: u64, band: AcceptanceBand, golden: &Signature) -> Vec<u8> {
-    let mut out = Vec::with_capacity(26 + 64);
-    wire::put_header(&mut out, PUSH_MAGIC, PROTO_VERSION);
+    let mut out = Vec::with_capacity(43 + 64);
+    wire::put_header(&mut out, PUSH_MAGIC, REQUEST_PROTO_VERSION);
+    put_request_context(&mut out);
     wire::put_u64(&mut out, key);
     wire::put_f64(&mut out, band.ndf_threshold);
     wire::put_bytes(&mut out, &golden.to_bytes());
@@ -488,7 +573,8 @@ pub fn encode_push_request(key: u64, band: AcceptanceBand, golden: &Signature) -
 /// decoding errors.
 pub fn decode_push_request(payload: &[u8]) -> Result<Request> {
     let mut r = wire::ByteReader::new(payload, "golden push request");
-    r.header(PUSH_MAGIC, PROTO_VERSION)?;
+    let version = r.header(PUSH_MAGIC, REQUEST_PROTO_VERSION)?;
+    skip_request_context(&mut r, version)?;
     let key = r.u64()?;
     let band = AcceptanceBand::new(r.f64()?)?;
     let golden = Signature::from_bytes(r.bytes()?)?;
@@ -498,8 +584,9 @@ pub fn decode_push_request(payload: &[u8]) -> Result<Request> {
 
 /// Encodes a golden-fetch request payload (without the frame length prefix).
 pub fn encode_fetch_request(key: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(14);
-    wire::put_header(&mut out, FETCH_MAGIC, PROTO_VERSION);
+    let mut out = Vec::with_capacity(31);
+    wire::put_header(&mut out, FETCH_MAGIC, REQUEST_PROTO_VERSION);
+    put_request_context(&mut out);
     wire::put_u64(&mut out, key);
     out
 }
@@ -510,7 +597,8 @@ pub fn encode_fetch_request(key: u64) -> Vec<u8> {
 /// Returns [`ServeError::Dsig`] on framing errors.
 pub fn decode_fetch_request(payload: &[u8]) -> Result<Request> {
     let mut r = wire::ByteReader::new(payload, "golden fetch request");
-    r.header(FETCH_MAGIC, PROTO_VERSION)?;
+    let version = r.header(FETCH_MAGIC, REQUEST_PROTO_VERSION)?;
+    skip_request_context(&mut r, version)?;
     let key = r.u64()?;
     r.finish()?;
     Ok(Request::FetchGolden { key })
@@ -581,6 +669,71 @@ pub fn decode_metrics_response(payload: &[u8]) -> Result<MetricsResponse> {
     }
 }
 
+/// Encodes a trace-scrape request payload (without the frame length
+/// prefix). The request is header-only, like `DSMX`.
+pub fn encode_traces_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    wire::put_header(&mut out, TRACES_REQUEST_MAGIC, PROTO_VERSION);
+    out
+}
+
+/// Decodes a trace-scrape request payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors (wrong magic, unsupported
+/// version, trailing bytes).
+pub fn decode_traces_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "traces request");
+    r.header(TRACES_REQUEST_MAGIC, PROTO_VERSION)?;
+    r.finish()?;
+    Ok(Request::Traces)
+}
+
+/// Encodes a trace-scrape response payload (without the frame length
+/// prefix). The ok body is one length-prefixed `DSTL` trace log.
+pub fn encode_traces_response(response: &TracesResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    wire::put_header(&mut out, TRACES_RESPONSE_MAGIC, PROTO_VERSION);
+    match response {
+        TracesResponse::Log(log) => {
+            out.push(STATUS_OK);
+            wire::put_bytes(&mut out, &log.to_bytes());
+        }
+        TracesResponse::Error { code, message } => {
+            out.push(STATUS_ERROR);
+            wire::put_u16(&mut out, code.to_u16());
+            wire::put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a trace-scrape response payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing or trace-log decoding errors and
+/// [`ServeError::Protocol`] on an unknown status byte.
+pub fn decode_traces_response(payload: &[u8]) -> Result<TracesResponse> {
+    let mut r = wire::ByteReader::new(payload, "traces response");
+    r.header(TRACES_RESPONSE_MAGIC, PROTO_VERSION)?;
+    match r.u8()? {
+        STATUS_OK => {
+            let log = TraceLog::from_bytes(r.bytes()?)?;
+            r.finish()?;
+            Ok(TracesResponse::Log(log))
+        }
+        STATUS_ERROR => {
+            let code = ErrorCode::from_u16(r.u16()?)?;
+            let message = r.string()?;
+            r.finish()?;
+            Ok(TracesResponse::Error { code, message })
+        }
+        other => Err(ServeError::Protocol(format!("unknown traces response status {other}"))),
+    }
+}
+
 /// Decodes any request frame by its payload magic — the dispatch point of a
 /// serving or routing process. Never panics on malformed input.
 ///
@@ -595,6 +748,7 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
         Some(magic) if *magic == PUSH_MAGIC => decode_push_request(payload),
         Some(magic) if *magic == FETCH_MAGIC => decode_fetch_request(payload),
         Some(magic) if *magic == METRICS_REQUEST_MAGIC => decode_metrics_request(payload),
+        Some(magic) if *magic == TRACES_REQUEST_MAGIC => decode_traces_request(payload),
         Some(magic) => Err(ServeError::Protocol(format!(
             "unknown request magic {:?}",
             String::from_utf8_lossy(magic)
@@ -609,9 +763,10 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
 /// Encodes the response for a request frame that failed to decode, matching
 /// the response family the client is waiting for: admin requests
 /// (`DSGP`/`DSGF`) are answered with a `DSRA` error, retest requests
-/// (`DSRT`) with a `DSRR` error and metrics scrapes (`DSMX`) with a `DSMR`
-/// error, so each client-side decoder surfaces the server's message instead
-/// of a magic mismatch; everything else gets a `DSRS` error.
+/// (`DSRT`) with a `DSRR` error, metrics scrapes (`DSMX`) with a `DSMR`
+/// error and trace scrapes (`DSTX`) with a `DSTD` error, so each
+/// client-side decoder surfaces the server's message instead of a magic
+/// mismatch; everything else gets a `DSRS` error.
 pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
     match payload.get(..4) {
         Some(magic) if *magic == PUSH_MAGIC || *magic == FETCH_MAGIC => encode_admin_response(&AdminResponse::Error {
@@ -623,6 +778,10 @@ pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
             message,
         }),
         Some(magic) if *magic == METRICS_REQUEST_MAGIC => encode_metrics_response(&MetricsResponse::Error {
+            code: ErrorCode::BadRequest,
+            message,
+        }),
+        Some(magic) if *magic == TRACES_REQUEST_MAGIC => encode_traces_response(&TracesResponse::Error {
             code: ErrorCode::BadRequest,
             message,
         }),
@@ -925,12 +1084,15 @@ mod tests {
         let mut trailing = payload.clone();
         trailing.push(0);
         assert!(decode_retest_request(&trailing).is_err());
+        // The guard band sits after magic+version (6) + trace context (17)
+        // + golden key (8).
         let mut nan_guard = payload.clone();
-        nan_guard[14..22].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        nan_guard[31..39].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
         assert!(decode_retest_request(&nan_guard).is_err(), "NaN guard band");
         let mut bad_schedule = payload;
-        // First schedule step (after magic+version+key+guard+step count).
-        bad_schedule[26..30].copy_from_slice(&0u32.to_le_bytes());
+        // First schedule step (after magic+version+context+key+guard+step
+        // count).
+        bad_schedule[43..47].copy_from_slice(&0u32.to_le_bytes());
         assert!(decode_retest_request(&bad_schedule).is_err(), "zero schedule step");
     }
 
@@ -1013,9 +1175,10 @@ mod tests {
             other => panic!("expected PushGolden, got {other:?}"),
         }
         assert!(decode_push_request(&push[..10]).is_err());
-        // A NaN threshold is caught by AcceptanceBand validation.
+        // A NaN threshold is caught by AcceptanceBand validation (the
+        // threshold sits after magic+version (6) + context (17) + key (8)).
         let mut nan = push.clone();
-        nan[14..22].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        nan[31..39].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
         assert!(decode_push_request(&nan).is_err());
 
         let fetch = encode_fetch_request(42);
@@ -1137,6 +1300,127 @@ mod tests {
         assert!(matches!(
             decode_metrics_response(&response).unwrap(),
             MetricsResponse::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn requests_carry_the_ambient_trace_context() {
+        let ctx = TraceContext {
+            trace_id: 0xABCD,
+            parent_span: 0x1234,
+            sampled: true,
+        };
+        let band = AcceptanceBand::new(0.03).unwrap();
+        let golden = sig(&[(1, 1.0)]);
+        let frames: Vec<(&str, Vec<u8>)> = {
+            let _guard = trace::with_context(ctx);
+            vec![
+                ("DSRQ", encode_request(7, &[sig(&[(1, 1.0)])])),
+                ("DSRM", encode_multi_request(&[(7, sig(&[(1, 1.0)]))])),
+                (
+                    "DSRT",
+                    encode_retest_request(&RetestRequest {
+                        golden_key: 7,
+                        policy: RetestPolicy::new(0.01, vec![2]).unwrap(),
+                        items: vec![],
+                    }),
+                ),
+                ("DSGP", encode_push_request(7, band, &golden)),
+                ("DSGF", encode_fetch_request(7)),
+            ]
+        };
+        for (what, payload) in &frames {
+            assert_eq!(decode_request_context(payload), ctx, "{what}");
+            // The context block never breaks body decoding.
+            assert!(decode_any_request(payload).is_ok(), "{what}");
+        }
+        // Outside the guard the ambient context is gone: frames carry the
+        // null context, and the peek agrees.
+        let bare = encode_fetch_request(7);
+        assert_eq!(decode_request_context(&bare), TraceContext::NONE);
+        // Non-context frames and garbage peek to NONE instead of erroring.
+        assert_eq!(decode_request_context(&encode_metrics_request()), TraceContext::NONE);
+        assert_eq!(decode_request_context(b"DS"), TraceContext::NONE);
+        assert_eq!(decode_request_context(b"NOPE1234"), TraceContext::NONE);
+    }
+
+    #[test]
+    fn version1_requests_decode_with_a_null_context() {
+        // A hand-encoded version-1 screen request: no context block.
+        let mut v1 = Vec::new();
+        wire::put_header(&mut v1, REQUEST_MAGIC, 1);
+        wire::put_u64(&mut v1, 0xFEED);
+        wire::put_u32(&mut v1, 1);
+        wire::put_bytes(&mut v1, &sig(&[(1, 1.0)]).to_bytes());
+        let decoded = decode_request(&v1).unwrap();
+        assert_eq!(decoded.golden_key, 0xFEED);
+        assert_eq!(decoded.signatures.len(), 1);
+        assert_eq!(decode_request_context(&v1), TraceContext::NONE);
+        // Same for a version-1 fetch.
+        let mut fetch = Vec::new();
+        wire::put_header(&mut fetch, FETCH_MAGIC, 1);
+        wire::put_u64(&mut fetch, 42);
+        assert_eq!(decode_any_request(&fetch).unwrap(), Request::FetchGolden { key: 42 });
+        assert_eq!(decode_request_context(&fetch), TraceContext::NONE);
+    }
+
+    #[test]
+    fn traces_frames_round_trip_and_reject_malformed_payloads() {
+        use dsig_obs::SpanRecord;
+
+        let request = encode_traces_request();
+        assert_eq!(decode_any_request(&request).unwrap(), Request::Traces);
+        // A scrape request carries nothing beyond the header.
+        let mut trailing_request = request.clone();
+        trailing_request.push(0);
+        assert!(decode_traces_request(&trailing_request).is_err());
+        let mut future = request.clone();
+        future[4..6].copy_from_slice(&42u16.to_le_bytes());
+        assert!(decode_traces_request(&future).is_err(), "future protocol version");
+
+        let log = TraceLog {
+            spans: vec![SpanRecord {
+                trace_id: 1,
+                span_id: 2,
+                parent_span: 0,
+                name: "serve.dispatch".into(),
+                tier: "serve".into(),
+                start_us: 10,
+                end_us: 40,
+                annotations: vec![("batch".into(), "64".into())],
+            }],
+        };
+        let ok = TracesResponse::Log(log);
+        let payload = encode_traces_response(&ok);
+        assert_eq!(decode_traces_response(&payload).unwrap(), ok);
+
+        let err = TracesResponse::Error {
+            code: ErrorCode::Internal,
+            message: "tracer unavailable".into(),
+        };
+        assert_eq!(decode_traces_response(&encode_traces_response(&err)).unwrap(), err);
+
+        // Truncation, trailing bytes and a bad status are clean errors.
+        assert!(decode_traces_response(&payload[..5]).is_err());
+        assert!(decode_traces_response(&payload[..payload.len() - 1]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_traces_response(&trailing).is_err());
+        let mut bad_status = payload;
+        bad_status[6] = 9; // magic + version
+        assert!(matches!(
+            decode_traces_response(&bad_status),
+            Err(ServeError::Protocol(_))
+        ));
+
+        // A decode failure of a DSTX request answers in the DSTD family.
+        let response = encode_decode_error(&encode_traces_request()[..5], "bad".into());
+        assert!(matches!(
+            decode_traces_response(&response).unwrap(),
+            TracesResponse::Error {
                 code: ErrorCode::BadRequest,
                 ..
             }

@@ -27,13 +27,14 @@ use std::thread::JoinHandle;
 
 use dsig_core::{ndf, peak_hamming_distance, AcceptanceBand, DsigError, RetestPolicy, Signature};
 use dsig_engine::{available_threads, RemoteRetest, RemoteScore, RemoteScorer, RetestDevice};
-use dsig_obs::{Counter, Histogram, MetricsSnapshot, Registry, Span};
+use dsig_obs::trace::{self, TraceContext, Tracer};
+use dsig_obs::{Counter, Histogram, MetricsSnapshot, Registry, Span, TraceLog};
 
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    decode_any_request, encode_admin_response, encode_decode_error, encode_metrics_response, encode_response,
-    encode_retest_response, read_frame, write_frame, AdminResponse, ErrorCode, MetricsResponse, Request, RetestRequest,
-    RetestResponse, RetestScore, ScoreResult, ScreenResponse,
+    decode_any_request, decode_request_context, encode_admin_response, encode_decode_error, encode_metrics_response,
+    encode_response, encode_retest_response, encode_traces_response, read_frame, write_frame, AdminResponse, ErrorCode,
+    MetricsResponse, Request, RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
 };
 use crate::store::{GoldenRecord, GoldenStore};
 
@@ -97,6 +98,7 @@ struct PerFamily {
     push: Arc<Counter>,
     fetch: Arc<Counter>,
     metrics: Arc<Counter>,
+    traces: Arc<Counter>,
 }
 
 impl PerFamily {
@@ -109,6 +111,7 @@ impl PerFamily {
             push: registry.counter(&name("dsgp")),
             fetch: registry.counter(&name("dsgf")),
             metrics: registry.counter(&name("dsmx")),
+            traces: registry.counter(&name("dstx")),
         }
     }
 
@@ -120,6 +123,7 @@ impl PerFamily {
             Request::PushGolden { .. } => &self.push,
             Request::FetchGolden { .. } => &self.fetch,
             Request::Metrics => &self.metrics,
+            Request::Traces => &self.traces,
         }
     }
 }
@@ -147,6 +151,9 @@ struct ScoreJob {
     /// The chunk of the batch this job scores; its start doubles as the
     /// reassembly key.
     range: std::ops::Range<usize>,
+    /// Trace context of the request this chunk belongs to — the shard
+    /// thread parents its `serve.shard` span under it.
+    ctx: TraceContext,
     reply: mpsc::Sender<(usize, std::result::Result<Vec<ScoreResult>, DsigError>)>,
 }
 
@@ -160,8 +167,11 @@ fn score(record: &GoldenRecord, observed: &Signature) -> std::result::Result<Sco
     })
 }
 
-fn shard_loop(jobs: mpsc::Receiver<ScoreJob>, scored: Arc<AtomicU64>, scored_metric: Arc<Counter>) {
+fn shard_loop(jobs: mpsc::Receiver<ScoreJob>, scored: Arc<AtomicU64>, scored_metric: Arc<Counter>, tracer: Tracer) {
     while let Ok(job) = jobs.recv() {
+        let mut shard_span = tracer.span("serve.shard", "serve", job.ctx);
+        shard_span.annotate("chunk_start", job.range.start);
+        shard_span.annotate("items", job.range.len());
         let items = &job.batch[job.range.clone()];
         let result: std::result::Result<Vec<ScoreResult>, DsigError> =
             items.iter().map(|observed| score(&job.record, observed)).collect();
@@ -169,6 +179,9 @@ fn shard_loop(jobs: mpsc::Receiver<ScoreJob>, scored: Arc<AtomicU64>, scored_met
             scored.fetch_add(items.len() as u64, Ordering::Relaxed);
             scored_metric.add(items.len() as u64);
         }
+        // Recorded before the reply is sent so a scrape issued right after
+        // the response cannot miss the shard span.
+        drop(shard_span);
         // A send failure means the requester gave up (disconnected client);
         // the work is simply dropped.
         let _ = job.reply.send((job.range.start, result));
@@ -185,6 +198,7 @@ pub struct ServeHandle {
     chunk: usize,
     scored: Arc<AtomicU64>,
     registry: Registry,
+    tracer: Tracer,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -197,6 +211,7 @@ impl Clone for ServeHandle {
             chunk: self.chunk,
             scored: Arc::clone(&self.scored),
             registry: self.registry.clone(),
+            tracer: self.tracer.clone(),
             metrics: Arc::clone(&self.metrics),
         }
     }
@@ -222,14 +237,16 @@ impl ServeHandle {
     /// registry per embedded fleet).
     pub fn spawn_in(store: Arc<GoldenStore>, config: ServeConfig, registry: Registry) -> ServeHandle {
         let metrics = Arc::new(ServeMetrics::new(&registry));
+        let tracer = registry.tracer().clone();
         let scored = Arc::new(AtomicU64::new(0));
         let mut shards = Vec::with_capacity(config.shards.max(1));
         for _ in 0..config.shards.max(1) {
             let (jobs, receiver) = mpsc::channel();
             let counter = Arc::clone(&scored);
             let scored_metric = Arc::clone(&metrics.scored);
+            let shard_tracer = tracer.clone();
             // Shards are detached: they exit when the last job sender drops.
-            std::thread::spawn(move || shard_loop(receiver, counter, scored_metric));
+            std::thread::spawn(move || shard_loop(receiver, counter, scored_metric, shard_tracer));
             shards.push(jobs);
         }
         ServeHandle {
@@ -239,6 +256,7 @@ impl ServeHandle {
             chunk: config.shard_chunk.max(1),
             scored,
             registry,
+            tracer,
             metrics,
         }
     }
@@ -253,6 +271,14 @@ impl ServeHandle {
     /// monotonically consistent across successive calls.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.registry.snapshot()
+    }
+
+    /// Drains and returns the spans buffered by this handle's tracer — the
+    /// in-process equivalent of a `DSTX` scrape.
+    pub fn traces(&self) -> TraceLog {
+        TraceLog {
+            spans: self.registry.tracer().drain(),
+        }
     }
 
     /// Total signatures scored successfully through this handle's shards
@@ -415,9 +441,11 @@ impl ServeHandle {
             return Ok(Vec::new());
         }
         let batch: Arc<[Signature]> = signatures.into();
+        let inbound = trace::current_context();
         let (reply, replies) = mpsc::channel();
         let mut chunks = 0usize;
         {
+            let mut dispatch_span = self.tracer.span("serve.dispatch", "serve", inbound);
             let _dispatch = Span::enter(&self.metrics.dispatch_us);
             for start in (0..batch.len()).step_by(self.chunk) {
                 let end = (start + self.chunk).min(batch.len());
@@ -427,13 +455,18 @@ impl ServeHandle {
                         record: Arc::clone(&record),
                         batch: Arc::clone(&batch),
                         range: start..end,
+                        ctx: inbound,
                         reply: reply.clone(),
                     })
                     .map_err(|_| ServeError::Closed)?;
                 chunks += 1;
             }
+            dispatch_span.annotate("chunks", chunks);
+            dispatch_span.annotate("batch", batch.len());
         }
         drop(reply);
+        let mut reassembly_span = self.tracer.span("serve.reassembly", "serve", inbound);
+        reassembly_span.annotate("chunks", chunks);
         let _reassembly = Span::enter(&self.metrics.reassembly_us);
         let mut parts = Vec::with_capacity(chunks);
         for _ in 0..chunks {
@@ -660,6 +693,7 @@ fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
             }
         }),
         Request::Metrics => encode_metrics_response(&MetricsResponse::Snapshot(handle.metrics())),
+        Request::Traces => encode_traces_response(&TracesResponse::Log(handle.traces())),
     }
 }
 
@@ -679,11 +713,16 @@ fn handle_connection(stream: TcpStream, handle: ServeHandle) {
             Ok(None) | Err(_) => return,
         };
         handle.metrics.bytes_in.add(payload.len() as u64 + 4);
-        let response = match decode_any_request(&payload) {
-            Ok(request) => respond(&handle, request),
-            Err(err) => {
-                handle.metrics.decode_errors.inc();
-                encode_decode_error(&payload, err.to_string())
+        let response = {
+            // Pin the caller's trace context for the whole request so every
+            // span opened while serving it parents under the remote caller.
+            let _ctx = trace::with_context(decode_request_context(&payload));
+            match decode_any_request(&payload) {
+                Ok(request) => respond(&handle, request),
+                Err(err) => {
+                    handle.metrics.decode_errors.inc();
+                    encode_decode_error(&payload, err.to_string())
+                }
             }
         };
         handle.metrics.bytes_out.add(response.len() as u64 + 4);

@@ -1,8 +1,9 @@
 //! Property tests of the binary codecs: random signatures, logs and wire
 //! frames (including the router tier's `DSRM`/`DSGP`/`DSGF`/`DSRA` and the
-//! observability tier's `DSMS` snapshots and `DSMX`/`DSMR` scrape pair) must
-//! round-trip bit-exactly, and random truncations / byte mutations must be
-//! rejected or decoded — never panic, never hang, never over-allocate.
+//! observability tier's `DSMS` snapshots, `DSMX`/`DSMR` scrape pair, `DSTL`
+//! trace logs and `DSTX`/`DSTD` trace scrape pair) must round-trip
+//! bit-exactly, and random truncations / byte mutations must be rejected or
+//! decoded — never panic, never hang, never over-allocate.
 
 use analog_signature::dsig::{AcceptanceBand, DsigError, Signature, SignatureEntry, ZoneCode};
 use analog_signature::engine::SignatureLog;
@@ -394,6 +395,102 @@ proptest! {
         let at = ((mutated.len() - 1) as f64 * position) as usize;
         mutated[at] ^= flip;
         prop_assert!(proto::decode_metrics_request(&mutated).is_err());
+    }
+
+    #[test]
+    fn trace_log_and_scrape_frames_round_trip_and_survive_abuse(
+        spans in prop::collection::vec(
+            (
+                // trace id (never 0), span id (never 0), parent (0 = root)
+                (1u64..u64::MAX, 1u64..u64::MAX, 0u64..u64::MAX),
+                // name, tier
+                (prop::collection::vec(0x20u8..0x7f, 1..16), prop::collection::vec(0x20u8..0x7f, 1..8)),
+                // start µs, duration µs
+                (0u64..1_000_000, 0u64..1_000_000),
+                prop::collection::vec(
+                    (prop::collection::vec(0x20u8..0x7f, 1..8), prop::collection::vec(0x20u8..0x7f, 0..8)),
+                    0..4,
+                ),
+            ),
+            0..8,
+        ),
+        message_bytes in prop::collection::vec(0x20u8..0x7f, 0..40),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        use analog_signature::obs::{SpanRecord, TraceLog};
+        let log = TraceLog {
+            spans: spans
+                .iter()
+                .map(|((trace_id, span_id, parent), (name, tier), (start, dur), annotations)| SpanRecord {
+                    trace_id: *trace_id,
+                    span_id: *span_id,
+                    parent_span: *parent,
+                    name: String::from_utf8(name.clone()).unwrap(),
+                    tier: String::from_utf8(tier.clone()).unwrap(),
+                    start_us: *start,
+                    end_us: start + dur,
+                    annotations: annotations
+                        .iter()
+                        .map(|(k, v)| {
+                            (String::from_utf8(k.clone()).unwrap(), String::from_utf8(v.clone()).unwrap())
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        // The standalone DSTL log round-trips bit-exactly.
+        let bytes = log.to_bytes();
+        prop_assert_eq!(&TraceLog::from_bytes(&bytes).unwrap(), &log);
+        // Truncation: always a clean error (the empty log is 10 bytes).
+        let keep = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(TraceLog::from_bytes(&bytes[..keep]).is_err());
+        // Mutation: never a panic; header corruption always errors.
+        let mut mutated = bytes.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        let _ = TraceLog::from_bytes(&mutated);
+        if at < 6 {
+            prop_assert!(TraceLog::from_bytes(&mutated).is_err());
+        }
+
+        // The DSTX request is header-only and dispatches like every other
+        // request family.
+        let request = proto::encode_traces_request();
+        match proto::decode_any_request(&request).unwrap() {
+            proto::Request::Traces => {}
+            other => prop_assert!(false, "expected Traces, got {:?}", other),
+        }
+        let keep = (request.len() as f64 * cut) as usize;
+        prop_assert!(proto::decode_traces_request(&request[..keep]).is_err());
+        let mut mutated = request.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        prop_assert!(proto::decode_traces_request(&mutated).is_err());
+
+        // Both DSTD response arms round-trip and reject abuse.
+        let message = String::from_utf8(message_bytes).unwrap();
+        for response in [
+            proto::TracesResponse::Log(log),
+            proto::TracesResponse::Error {
+                code: proto::ErrorCode::Internal,
+                message,
+            },
+        ] {
+            let bytes = proto::encode_traces_response(&response);
+            let decoded = proto::decode_traces_response(&bytes).unwrap();
+            prop_assert_eq!(proto::encode_traces_response(&decoded), bytes.clone());
+            let keep = (bytes.len() as f64 * cut) as usize;
+            prop_assert!(proto::decode_traces_response(&bytes[..keep]).is_err());
+            let mut mutated = bytes.clone();
+            let at = ((mutated.len() - 1) as f64 * position) as usize;
+            mutated[at] ^= flip;
+            let _ = proto::decode_traces_response(&mutated);
+            if at < 6 {
+                prop_assert!(proto::decode_traces_response(&mutated).is_err());
+            }
+        }
     }
 
     #[test]

@@ -9,36 +9,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use analog_signature::dsig::{AcceptanceBand, TestSetup};
 use analog_signature::engine::{Campaign, CampaignRunner, DevicePopulation, ScoreTarget};
 use analog_signature::filters::BiquadParams;
-use analog_signature::obs::{MetricValue, MetricsSnapshot};
+use analog_signature::obs::MetricsSnapshot;
 use analog_signature::router::{RouterConfig, RouterHandle, RouterStore};
 use analog_signature::serve::ServeConfig;
 
 /// Every counter and histogram count present in `before` must still be
 /// present in `after`, no smaller: counters are monotone, and a scrape must
-/// never observe one moving backwards.
+/// never observe one moving backwards. Checked through the snapshot diff
+/// the operator tooling uses.
 fn assert_monotonic(before: &MetricsSnapshot, after: &MetricsSnapshot) {
-    for (name, value) in &before.metrics {
-        match value {
-            MetricValue::Counter(was) => {
-                let now = after
-                    .counter(name)
-                    .unwrap_or_else(|| panic!("counter {name} vanished between scrapes"));
-                assert!(now >= *was, "counter {name} went backwards: {was} -> {now}");
-            }
-            MetricValue::Histogram(was) => {
-                let now = after
-                    .histogram(name)
-                    .unwrap_or_else(|| panic!("histogram {name} vanished between scrapes"));
-                assert!(
-                    now.count >= was.count,
-                    "histogram {name} lost samples: {} -> {}",
-                    was.count,
-                    now.count
-                );
-            }
-            MetricValue::Gauge(_) => {} // last-write-wins, free to move either way
-        }
-    }
+    let violations = after.diff(before).monotonicity_violations();
+    assert!(violations.is_empty(), "scrape went backwards: {violations:?}");
 }
 
 /// Sums one per-backend counter across the fleet.
