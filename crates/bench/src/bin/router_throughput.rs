@@ -27,7 +27,9 @@ use dsig_obs::TraceTree;
 use dsig_router::{Backend, Router, RouterClient, RouterConfig, RouterStore};
 use dsig_serve::{GoldenStore, RetestItem, RetestRequest, ServeClient, ServeConfig, Server};
 use repro_bench::banner;
-use repro_bench::smoke::{report, BenchOutput, Load, RETEST_MIN_RATIO, ROUTER_MIN_RATIO, TRACE_MIN_RATIO};
+use repro_bench::smoke::{
+    report, run_mux_shape, BenchOutput, Load, MUX_MIN_SPEEDUP, RETEST_MIN_RATIO, ROUTER_MIN_RATIO, TRACE_MIN_RATIO,
+};
 
 const BACKENDS: usize = 4;
 /// Target fraction of the signature pool made marginal for the retest
@@ -427,6 +429,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "traced routed throughput  = {:.1}% of untraced batched routing (batch {batch}, every request sampled)",
         100.0 * trace_ratio
     );
+    // The many-tester single-connection shape through the router: one
+    // downstream connection carrying every tester's pipelined requests,
+    // fanned out to the backends over one multiplexed upstream each.
+    let mux_speedup = run_mux_shape(router.local_addr(), key, &pool, smoke, &mut output);
+
     // Write the artifact before any gate can fail the run, so a tripped gate
     // still leaves its measurements behind for diagnosis.
     output.config("router_vs_serve_ratio", format!("{ratio:.4}"));
@@ -503,6 +510,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--smoke gate: traced routed throughput within {:.0}% of untraced: OK",
             100.0 * (1.0 - TRACE_MIN_RATIO)
         );
+        // CI gate: multiplexing must hide the per-request round trip even
+        // through the routing tier — the pipelined client beats the blocking
+        // one on the same downstream connection.
+        assert!(
+            mux_speedup >= MUX_MIN_SPEEDUP,
+            "multiplexed single-connection routed throughput ({mux_speedup:.2}x) fell below \
+             the {MUX_MIN_SPEEDUP}x gate over the blocking path"
+        );
+        println!("--smoke gate: multiplexed >= {MUX_MIN_SPEEDUP}x blocking through the router: OK");
     }
     Ok(())
 }

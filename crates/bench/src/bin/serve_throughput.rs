@@ -21,7 +21,7 @@ use dsig_obs::trace::{self, Tracer};
 use dsig_obs::TraceTree;
 use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
 use repro_bench::banner;
-use repro_bench::smoke::{report, BenchOutput, Load};
+use repro_bench::smoke::{report, run_mux_shape, BenchOutput, Load, MUX_MIN_SPEEDUP};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
@@ -139,6 +139,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .push(report("in-process", batch, latencies, start.elapsed()));
     }
 
+    // The many-tester single-connection shape: the same server, one TCP
+    // connection, the pipelined multiplexed client vs the blocking
+    // one-in-flight client — the speedup the smoke gate asserts below.
+    let mux_speedup = run_mux_shape(addr, key, &pool, smoke, &mut output);
+
     println!("\nserver scored {} signatures total", server.signatures_scored());
     if let Some(path) = repro_bench::smoke::json_path_from_args() {
         output.save(&path)?;
@@ -176,6 +181,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         repro_bench::smoke::save_text(&path, &text)?;
         println!("wrote {}", path.display());
+    }
+    if smoke {
+        // CI gate: multiplexing must hide the per-request round trip — the
+        // pipelined client beats the blocking one on the same connection.
+        assert!(
+            mux_speedup >= MUX_MIN_SPEEDUP,
+            "multiplexed single-connection throughput ({mux_speedup:.2}x) fell below \
+             the {MUX_MIN_SPEEDUP}x gate over the blocking path"
+        );
+        println!("--smoke gate: multiplexed >= {MUX_MIN_SPEEDUP}x blocking on one connection: OK");
     }
     Ok(())
 }

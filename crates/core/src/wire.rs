@@ -61,6 +61,17 @@ pub fn put_header(out: &mut Vec<u8>, magic: [u8; 4], version: u16) {
     put_u16(out, version);
 }
 
+/// Appends a tagged frame header: magic, `u16` version, `u64` request id.
+///
+/// The request id is the multiplexing correlator of the serving protocol —
+/// it always sits at bytes `6..14` of a tagged frame, immediately after the
+/// magic and version, so encoders can emit a placeholder id and transports
+/// can stamp the real one in place without re-encoding the body.
+pub fn put_tagged_header(out: &mut Vec<u8>, magic: [u8; 4], version: u16, request_id: u64) {
+    put_header(out, magic, version);
+    put_u64(out, request_id);
+}
+
 /// Appends a PASS/FAIL outcome as its stable wire tag (0 = PASS, 1 = FAIL).
 /// The single definition shared by every format that carries outcomes (the
 /// campaign-report file and the serving protocol), so the tag mapping cannot
@@ -247,6 +258,20 @@ impl<'a> ByteReader<'a> {
         Ok(version)
     }
 
+    /// Consumes a versioned header plus the `u64` request id of frames at or
+    /// above `tagged_from`, returning `(version, request_id)`. Frames older
+    /// than `tagged_from` carry no id field and read as id `0` — the untagged
+    /// at-most-one-in-flight convention of the serving protocol.
+    ///
+    /// # Errors
+    /// Returns [`DsigError::Corrupt`] on a magic mismatch or an unsupported
+    /// version, and [`DsigError::Truncated`] on a cut-off id field.
+    pub fn tagged_header(&mut self, magic: [u8; 4], max_version: u16, tagged_from: u16) -> Result<(u16, u64)> {
+        let version = self.header(magic, max_version)?;
+        let request_id = if version >= tagged_from { self.u64()? } else { 0 };
+        Ok((version, request_id))
+    }
+
     /// Checks that `count` items of at least `min_item_bytes` each can fit in
     /// the remaining buffer — the guard that keeps a corrupted count field
     /// from triggering a huge allocation.
@@ -339,6 +364,36 @@ mod tests {
         put_header(&mut zero, *b"GOOD", 0);
         let mut r = ByteReader::new(&zero, "hdr");
         assert!(matches!(r.header(*b"GOOD", 2), Err(DsigError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn tagged_headers_round_trip_and_untagged_versions_read_id_zero() {
+        let mut out = Vec::new();
+        put_tagged_header(&mut out, *b"TAGD", 3, 0xDEAD_BEEF_CAFE);
+        assert_eq!(&out[6..14], &0xDEAD_BEEF_CAFEu64.to_le_bytes());
+        let mut r = ByteReader::new(&out, "tagged");
+        assert_eq!(r.tagged_header(*b"TAGD", 3, 3).unwrap(), (3, 0xDEAD_BEEF_CAFE));
+        r.finish().unwrap();
+
+        // An older, untagged frame of the same family: no id field, id 0.
+        let mut old = Vec::new();
+        put_header(&mut old, *b"TAGD", 2);
+        let mut r = ByteReader::new(&old, "tagged");
+        assert_eq!(r.tagged_header(*b"TAGD", 3, 3).unwrap(), (2, 0));
+        r.finish().unwrap();
+
+        // A tagged frame cut off inside the id is truncated, not id 0.
+        let mut r = ByteReader::new(&out[..10], "tagged");
+        assert!(matches!(
+            r.tagged_header(*b"TAGD", 3, 3),
+            Err(DsigError::Truncated { .. })
+        ));
+        // Header errors pass through unchanged.
+        let mut r = ByteReader::new(&out, "tagged");
+        assert!(matches!(
+            r.tagged_header(*b"TAGD", 2, 2),
+            Err(DsigError::Corrupt { .. })
+        ));
     }
 
     #[test]

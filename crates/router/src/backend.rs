@@ -8,7 +8,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dsig_core::{AcceptanceBand, Signature};
-use dsig_serve::{GoldenRecord, RetestRequest, RetestScore, ScoreResult, ServeClient, ServeError, ServeHandle};
+use dsig_serve::{GoldenRecord, PipelinedClient, RetestRequest, RetestScore, ScoreResult, ServeError, ServeHandle};
 
 /// Backoff policy of the per-backend health record: the `n`-th consecutive
 /// failure marks the backend down for `base_backoff * 2^(n-1)`, capped at
@@ -49,11 +49,15 @@ struct Health {
 
 /// How the router reaches a backend.
 enum Transport {
-    /// A `dsig-serve` process reached over TCP, with a small pool of reusable
-    /// connections (one per concurrently forwarding router thread).
+    /// A `dsig-serve` process reached over **one multiplexed connection**:
+    /// every concurrently forwarding router thread pipelines onto the same
+    /// [`PipelinedClient`], so the fan-in from thousands of downstream
+    /// testers rides a single upstream stream per backend. The slot is
+    /// `None` until first use and after a transport failure (the next
+    /// operation redials).
     Tcp {
         addr: SocketAddr,
-        pool: Mutex<Vec<ServeClient>>,
+        mux: Mutex<Option<PipelinedClient>>,
     },
     /// An in-process shard set (spawned via [`ServeHandle::spawn`]) — the
     /// no-TCP path tests and single-process deployments use. The `killed`
@@ -93,7 +97,7 @@ impl Backend {
             label,
             transport: Transport::Tcp {
                 addr,
-                pool: Mutex::new(Vec::new()),
+                mux: Mutex::new(None),
             },
             health: Mutex::new(Health::default()),
         }
@@ -126,12 +130,12 @@ impl Backend {
 
     /// Simulates (or forces) a dead backend: every subsequent operation on an
     /// in-process backend fails as a torn-down connection would. TCP
-    /// backends drop their pooled connections; whether later operations fail
-    /// depends on whether the remote process is actually gone.
+    /// backends drop their multiplexed connection; whether later operations
+    /// fail depends on whether the remote process is actually gone.
     pub fn kill(&self) {
         match &self.transport {
             Transport::Local { killed, .. } => killed.store(true, Ordering::SeqCst),
-            Transport::Tcp { pool, .. } => pool.lock().expect("backend pool lock poisoned").clear(),
+            Transport::Tcp { mux, .. } => *mux.lock().expect("backend mux lock poisoned") = None,
         }
     }
 
@@ -162,26 +166,26 @@ impl Backend {
         health.down_until = Some(now + config.backoff(health.consecutive_failures));
     }
 
-    /// Takes a pooled TCP connection or dials a fresh one.
-    fn client(addr: SocketAddr, pool: &Mutex<Vec<ServeClient>>) -> Result<ServeClient, ServeError> {
-        if let Some(client) = pool.lock().expect("backend pool lock poisoned").pop() {
-            return Ok(client);
+    /// Clones the backend's shared multiplexed connection, dialing it on
+    /// first use (or after a transport failure cleared it).
+    fn client(addr: SocketAddr, mux: &Mutex<Option<PipelinedClient>>) -> Result<PipelinedClient, ServeError> {
+        let mut slot = mux.lock().expect("backend mux lock poisoned");
+        if let Some(client) = &*slot {
+            return Ok(client.clone());
         }
-        ServeClient::connect(addr)
+        let client = PipelinedClient::connect(addr)?;
+        *slot = Some(client.clone());
+        Ok(client)
     }
 
-    /// Returns a connection to the pool unless the failure was a transport
-    /// one (a dead connection is dropped, not pooled).
-    fn settle<T>(
-        pool: &Mutex<Vec<ServeClient>>,
-        client: ServeClient,
-        result: Result<T, ServeError>,
-    ) -> Result<T, ServeError> {
+    /// Clears the shared connection after a transport failure (remote-side
+    /// errors keep it: the stream itself is fine). The pipelined client
+    /// already retried once internally, so a transport error here means the
+    /// backend is genuinely unreachable right now.
+    fn settle<T>(mux: &Mutex<Option<PipelinedClient>>, result: Result<T, ServeError>) -> Result<T, ServeError> {
         match &result {
-            Ok(_) | Err(ServeError::UnknownGolden(_) | ServeError::Remote(_)) => {
-                pool.lock().expect("backend pool lock poisoned").push(client);
-            }
-            Err(_) => {}
+            Ok(_) | Err(ServeError::UnknownGolden(_) | ServeError::Remote(_)) => {}
+            Err(_) => *mux.lock().expect("backend mux lock poisoned") = None,
         }
         result
     }
@@ -189,10 +193,9 @@ impl Backend {
     /// Scores a batch against this backend.
     pub(crate) fn screen(&self, key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>, ServeError> {
         match &self.transport {
-            Transport::Tcp { addr, pool } => {
-                let mut client = Self::client(*addr, pool)?;
-                let result = client.screen(key, signatures);
-                Self::settle(pool, client, result)
+            Transport::Tcp { addr, mux } => {
+                let client = Self::client(*addr, mux)?;
+                Self::settle(mux, client.screen(key, signatures))
             }
             Transport::Local { handle, killed } => {
                 if killed.load(Ordering::SeqCst) {
@@ -206,10 +209,9 @@ impl Backend {
     /// Screens an adaptive-retest batch against this backend (`DSRT`).
     pub(crate) fn retest(&self, request: &RetestRequest) -> Result<Vec<RetestScore>, ServeError> {
         match &self.transport {
-            Transport::Tcp { addr, pool } => {
-                let mut client = Self::client(*addr, pool)?;
-                let result = client.screen_retest(request);
-                Self::settle(pool, client, result)
+            Transport::Tcp { addr, mux } => {
+                let client = Self::client(*addr, mux)?;
+                Self::settle(mux, client.screen_retest(request))
             }
             Transport::Local { handle, killed } => {
                 if killed.load(Ordering::SeqCst) {
@@ -223,10 +225,9 @@ impl Backend {
     /// Pushes a golden record to this backend (replication).
     pub(crate) fn push(&self, key: u64, record: &GoldenRecord) -> Result<(), ServeError> {
         match &self.transport {
-            Transport::Tcp { addr, pool } => {
-                let mut client = Self::client(*addr, pool)?;
-                let result = client.push_golden(key, record.band, &record.golden);
-                Self::settle(pool, client, result)
+            Transport::Tcp { addr, mux } => {
+                let client = Self::client(*addr, mux)?;
+                Self::settle(mux, client.push_golden(key, record.band, &record.golden))
             }
             Transport::Local { handle, killed } => {
                 if killed.load(Ordering::SeqCst) {
@@ -241,10 +242,9 @@ impl Backend {
     /// Reads a golden record back from this backend.
     pub(crate) fn fetch(&self, key: u64) -> Result<(AcceptanceBand, Signature), ServeError> {
         match &self.transport {
-            Transport::Tcp { addr, pool } => {
-                let mut client = Self::client(*addr, pool)?;
-                let result = client.fetch_golden(key);
-                Self::settle(pool, client, result)
+            Transport::Tcp { addr, mux } => {
+                let client = Self::client(*addr, mux)?;
+                Self::settle(mux, client.fetch_golden(key))
             }
             Transport::Local { handle, killed } => {
                 if killed.load(Ordering::SeqCst) {

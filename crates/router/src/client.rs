@@ -1,15 +1,19 @@
-//! The blocking TCP client of a [`crate::Router`].
+//! The TCP clients of a [`crate::Router`].
 //!
-//! The router speaks the `dsig-serve` wire protocol, so this is a thin wrapper
-//! over [`ServeClient`] that adds the router's error vocabulary — including
-//! the one-shot transparent reconnect the serve client provides (every
-//! request is idempotent).
+//! The router speaks the `dsig-serve` wire protocol, so these are thin
+//! wrappers that add the router's error vocabulary: [`RouterClient`] over
+//! the blocking [`ServeClient`] (one request in flight), and
+//! [`PipelinedRouterClient`] over the multiplexed
+//! [`dsig_serve::PipelinedClient`] (N requests in flight on one connection,
+//! matched by request id). Both inherit the one-shot transparent reconnect —
+//! see the `dsig_serve::client` module docs for the exact resubmission
+//! rules under pipelining.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 
 use dsig_core::{AcceptanceBand, Signature};
 use dsig_obs::{MetricsSnapshot, TraceLog};
-use dsig_serve::{RetestRequest, RetestScore, ScoreResult, ServeClient};
+use dsig_serve::{PipelinedClient, RetestRequest, RetestScore, ScoreResult, ServeClient, Ticket};
 
 use crate::error::Result;
 
@@ -150,5 +154,164 @@ impl RouterClient {
     /// As for [`RouterClient::screen`] on transport or remote failures.
     pub fn traces(&mut self) -> Result<TraceLog> {
         self.inner.traces().map_err(Into::into)
+    }
+}
+
+/// The multiplexed client of a routing tier: one connection, many requests
+/// in flight, responses matched by the echoed request id. Cheap to clone;
+/// all clones share the connection, so a whole test floor's worth of
+/// threads fans in over one stream to the router.
+///
+/// Methods mirror [`RouterClient`] with `&self` receivers; the `start_*` /
+/// `wait_*` pairs keep many requests in flight from a single thread.
+pub struct PipelinedRouterClient {
+    inner: PipelinedClient,
+}
+
+impl Clone for PipelinedRouterClient {
+    fn clone(&self) -> Self {
+        PipelinedRouterClient {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl PipelinedRouterClient {
+    /// Connects to a routing tier.
+    ///
+    /// # Errors
+    /// Returns [`crate::RouterError::Serve`] on connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        Ok(PipelinedRouterClient {
+            inner: PipelinedClient::connect(addr)?,
+        })
+    }
+
+    /// The router address this client is connected to (and reconnects to).
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.inner.peer_addr()
+    }
+
+    /// Starts a routed screening request; redeem with
+    /// [`PipelinedRouterClient::wait_screen`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`].
+    pub fn start_screen(&self, golden_key: u64, signatures: &[Signature]) -> Result<Ticket> {
+        self.inner.start_screen(golden_key, signatures).map_err(Into::into)
+    }
+
+    /// Redeems a [`PipelinedRouterClient::start_screen`] ticket.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`].
+    pub fn wait_screen(&self, ticket: Ticket, expected: usize, golden_key: u64) -> Result<Vec<ScoreResult>> {
+        self.inner.wait_screen(ticket, expected, golden_key).map_err(Into::into)
+    }
+
+    /// Starts a routed adaptive-retest request; redeem with
+    /// [`PipelinedRouterClient::wait_retest`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen_retest`].
+    pub fn start_retest(&self, request: &RetestRequest) -> Result<Ticket> {
+        self.inner.start_retest(request).map_err(Into::into)
+    }
+
+    /// Redeems a [`PipelinedRouterClient::start_retest`] ticket.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen_retest`].
+    pub fn wait_retest(&self, ticket: Ticket, expected: usize, golden_key: u64) -> Result<Vec<RetestScore>> {
+        self.inner.wait_retest(ticket, expected, golden_key).map_err(Into::into)
+    }
+
+    /// Scores a batch against one golden, routed — the pipelined
+    /// [`RouterClient::screen`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`].
+    pub fn screen(&self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        self.inner.screen(golden_key, signatures).map_err(Into::into)
+    }
+
+    /// Scores a single signature (a one-element
+    /// [`PipelinedRouterClient::screen`]).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`].
+    pub fn screen_one(&self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
+        Ok(self.screen(golden_key, std::slice::from_ref(signature))?[0])
+    }
+
+    /// Scores a multi-golden batch (`DSRM`), routed — the pipelined
+    /// [`RouterClient::screen_multi`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen_multi`].
+    pub fn screen_multi(&self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        self.inner.screen_multi(items).map_err(Into::into)
+    }
+
+    /// Screens an adaptive-retest batch (`DSRT`), routed — the pipelined
+    /// [`RouterClient::screen_retest`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen_retest`].
+    pub fn screen_retest(&self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        self.inner.screen_retest(request).map_err(Into::into)
+    }
+
+    /// Stores a golden on the router, which replicates it to the owning
+    /// backends (`DSGP`).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::push_golden`].
+    pub fn push_golden(&self, key: u64, band: AcceptanceBand, golden: &Signature) -> Result<()> {
+        self.inner.push_golden(key, band, golden).map_err(Into::into)
+    }
+
+    /// Reads a golden record back through the router (`DSGF`).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fetch_golden`].
+    pub fn fetch_golden(&self, key: u64) -> Result<(AcceptanceBand, Signature)> {
+        self.inner.fetch_golden(key).map_err(Into::into)
+    }
+
+    /// Scrapes the router's metrics (`DSMX`).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::metrics`].
+    pub fn metrics(&self) -> Result<MetricsSnapshot> {
+        self.inner.metrics().map_err(Into::into)
+    }
+
+    /// Drains the router's buffered trace spans (`DSTX`) — not resubmitted
+    /// on a dead connection (a drain is not idempotent).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::traces`].
+    pub fn traces(&self) -> Result<TraceLog> {
+        self.inner.traces().map_err(Into::into)
+    }
+}
+
+impl dsig_engine::RemoteScorer for PipelinedRouterClient {
+    fn screen_remote(
+        &self,
+        golden_key: u64,
+        signatures: &[Signature],
+    ) -> dsig_core::Result<Vec<dsig_engine::RemoteScore>> {
+        dsig_engine::RemoteScorer::screen_remote(&self.inner, golden_key, signatures)
+    }
+
+    fn retest_remote(
+        &self,
+        golden_key: u64,
+        policy: &dsig_core::RetestPolicy,
+        devices: &[dsig_engine::RetestDevice],
+    ) -> dsig_core::Result<Vec<dsig_engine::RemoteRetest>> {
+        dsig_engine::RemoteScorer::retest_remote(&self.inner, golden_key, policy, devices)
     }
 }

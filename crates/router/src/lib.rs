@@ -67,7 +67,7 @@ pub mod server;
 pub mod store;
 
 pub use backend::{Backend, HealthConfig};
-pub use client::RouterClient;
+pub use client::{PipelinedRouterClient, RouterClient};
 pub use error::{Result, RouterError};
 pub use handle::RouterHandle;
 pub use hash::{hrw_weight, mix64, rank_backends};

@@ -25,10 +25,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use dsig_obs::trace;
+use dsig_serve::mux::{self, WorkPool};
 use dsig_serve::proto::{
     decode_any_request, decode_request_context, encode_admin_response, encode_decode_error, encode_metrics_response,
-    encode_response, encode_retest_response, encode_traces_response, read_frame, write_frame, AdminResponse, ErrorCode,
-    MetricsResponse, Request, RetestResponse, ScreenResponse, TracesResponse,
+    encode_response, encode_retest_response, encode_traces_response, AdminResponse, ErrorCode, MetricsResponse,
+    Request, RetestResponse, ScreenResponse, TracesResponse,
 };
 
 use crate::backend::Backend;
@@ -78,6 +79,10 @@ impl Router {
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_core = Arc::clone(&core);
         let accept_shutdown = Arc::clone(&shutdown);
+        // One request-processing pool shared by every downstream connection:
+        // thousands of pipelined testers fan in over it, while each backend
+        // is reached through one multiplexed upstream connection.
+        let pool = Arc::new(WorkPool::new(dsig_engine::available_threads()));
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
@@ -86,9 +91,10 @@ impl Router {
                 match stream {
                     Ok(stream) => {
                         let conn_core = Arc::clone(&accept_core);
+                        let conn_pool = Arc::clone(&pool);
                         // Connection threads are detached; they exit when the
                         // peer closes its end of the stream.
-                        std::thread::spawn(move || handle_connection(stream, conn_core));
+                        std::thread::spawn(move || handle_connection(stream, conn_core, conn_pool));
                     }
                     // Back off briefly on accept errors instead of spinning.
                     Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
@@ -147,36 +153,21 @@ impl Drop for Router {
     }
 }
 
-/// Serves one TCP connection: read a request frame, route it, write the
-/// response frame, repeat until the peer closes.
-fn handle_connection(stream: TcpStream, core: Arc<RouterCore>) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = std::io::BufReader::new(read_half);
-    let mut writer = std::io::BufWriter::new(stream);
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) | Err(_) => return,
-        };
-        let response = {
-            // Pin the caller's trace context for the whole request so the
-            // routing spans parent under the remote caller.
-            let _ctx = trace::with_context(decode_request_context(&payload));
-            match decode_any_request(&payload) {
-                Ok(request) => respond(&core, request),
-                Err(err) => encode_decode_error(&payload, err.to_string()),
-            }
-        };
-        if write_frame(&mut writer, &response).is_err() {
-            return;
+/// Serves one TCP connection through the shared [`WorkPool`]: tagged
+/// requests route as pool jobs completing out of order, untagged ones keep
+/// their in-order semantics (see [`mux::drive_connection`]).
+fn handle_connection(stream: TcpStream, core: Arc<RouterCore>, pool: Arc<WorkPool>) {
+    let respond_to = Arc::new(move |payload: Vec<u8>| {
+        // Pin the caller's trace context per request so the routing spans
+        // parent under the remote caller even when pool workers interleave
+        // requests from many testers.
+        let _ctx = trace::with_context(decode_request_context(&payload));
+        match decode_any_request(&payload) {
+            Ok(request) => respond(&core, request),
+            Err(err) => encode_decode_error(&payload, err.to_string()),
         }
-        if std::io::Write::flush(&mut writer).is_err() {
-            return;
-        }
-    }
+    });
+    mux::drive_connection(stream, &pool, respond_to);
 }
 
 /// Builds the response frame for one decoded request — the router answers

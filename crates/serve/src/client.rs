@@ -1,17 +1,34 @@
-//! The TCP client: connects to a [`crate::Server`], frames requests and
-//! decodes responses. One client holds one connection and pipelines nothing —
-//! throughput comes from batching (many signatures per request) and from
-//! running several clients in parallel.
+//! The TCP clients: connect to a [`crate::Server`], frame requests and
+//! decode responses.
 //!
-//! Every request is pure (screening scores, golden pushes and fetches are
-//! all idempotent), so the client transparently reconnects **once** per
-//! request when the connection turns out to be dead — a server restart or an
-//! idle-timeout close between requests does not surface to the caller.
+//! * [`ServeClient`] — the blocking client: one connection, one request in
+//!   flight; throughput comes from batching (many signatures per request)
+//!   and from running several clients in parallel.
+//! * [`PipelinedClient`] — the multiplexed client: one connection, **N
+//!   requests in flight**, responses matched by the echoed request id and
+//!   completed out of order. Cheap to clone; every clone shares the
+//!   connection, so thousands of caller threads fan in over one stream.
+//!
+//! # Retry semantics
+//!
+//! Nearly every request is pure (screening scores, golden pushes and
+//! fetches are all idempotent), so both clients transparently reconnect
+//! **once** when the connection turns out to be dead — a server restart or
+//! an idle-timeout close between requests does not surface to the caller.
+//! Under pipelining the rule is explicit: on reconnect, only the
+//! **unacknowledged idempotent** requests are resubmitted (with their
+//! original ids). Requests whose responses already arrived are never
+//! resent, and a pending `DSTX` trace drain — the one non-idempotent
+//! request, since scraping consumes spans — fails with the connection error
+//! instead of being silently re-issued.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, Weak};
 
-use dsig_core::{AcceptanceBand, Signature};
+use dsig_core::{AcceptanceBand, DsigError, Signature};
 
 use dsig_obs::{MetricsSnapshot, TraceLog};
 
@@ -19,8 +36,9 @@ use crate::error::{Result, ServeError};
 use crate::proto::{
     decode_admin_response, decode_metrics_response, decode_response, decode_retest_response, decode_traces_response,
     encode_fetch_request, encode_metrics_request, encode_multi_request, encode_push_request, encode_request,
-    encode_retest_request, encode_traces_request, read_frame, write_frame, AdminResponse, ErrorCode, MetricsResponse,
-    RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
+    encode_retest_request, encode_traces_request, read_frame, stamp_request_id, write_frame, AdminResponse, ErrorCode,
+    MetricsResponse, RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
+    TRACES_REQUEST_MAGIC,
 };
 
 /// A blocking client over one TCP connection.
@@ -105,25 +123,6 @@ impl ServeClient {
         }
     }
 
-    /// Decodes a screening response, checking the score count.
-    fn decode_scores(&self, payload: &[u8], expected: usize, golden_key: Option<u64>) -> Result<Vec<ScoreResult>> {
-        match decode_response(payload)? {
-            ScreenResponse::Results(results) => {
-                if results.len() != expected {
-                    return Err(ServeError::Protocol(format!(
-                        "server returned {} results for {expected} signatures",
-                        results.len(),
-                    )));
-                }
-                Ok(results)
-            }
-            ScreenResponse::Error { code, message } => Err(match (code, golden_key) {
-                (ErrorCode::UnknownGolden, Some(key)) => ServeError::UnknownGolden(key),
-                _ => ServeError::Remote(message),
-            }),
-        }
-    }
-
     /// Scores a batch of observed signatures against the golden stored under
     /// `golden_key` on the server, returning one [`ScoreResult`] per
     /// signature in request order.
@@ -136,7 +135,7 @@ impl ServeClient {
     /// reconnect attempt).
     pub fn screen(&mut self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
         let payload = self.exchange(&encode_request(golden_key, signatures))?;
-        self.decode_scores(&payload, signatures.len(), Some(golden_key))
+        decode_scores(&payload, signatures.len(), Some(golden_key))
     }
 
     /// Scores a batch where each signature names its own golden fingerprint
@@ -149,7 +148,7 @@ impl ServeClient {
     /// the whole batch with [`ServeError::Remote`].
     pub fn screen_multi(&mut self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
         let payload = self.exchange(&encode_multi_request(items))?;
-        self.decode_scores(&payload, items.len(), None)
+        decode_scores(&payload, items.len(), None)
     }
 
     /// Screens an adaptive-retest batch (`DSRT`): each device's single-shot
@@ -161,22 +160,7 @@ impl ServeClient {
     /// As for [`ServeClient::screen`].
     pub fn screen_retest(&mut self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
         let payload = self.exchange(&encode_retest_request(request))?;
-        match decode_retest_response(&payload)? {
-            RetestResponse::Results(results) => {
-                if results.len() != request.items.len() {
-                    return Err(ServeError::Protocol(format!(
-                        "server returned {} retest scores for {} devices",
-                        results.len(),
-                        request.items.len(),
-                    )));
-                }
-                Ok(results)
-            }
-            RetestResponse::Error { code, message } => Err(match code {
-                ErrorCode::UnknownGolden => ServeError::UnknownGolden(request.golden_key),
-                _ => ServeError::Remote(message),
-            }),
-        }
+        decode_retest_scores(&payload, request.items.len(), request.golden_key)
     }
 
     /// Scores a single signature (a one-element [`ServeClient::screen`]).
@@ -194,11 +178,7 @@ impl ServeClient {
     /// As for [`ServeClient::screen`] (minus `UnknownGolden`).
     pub fn push_golden(&mut self, key: u64, band: AcceptanceBand, golden: &Signature) -> Result<()> {
         let payload = self.exchange(&encode_push_request(key, band, golden))?;
-        match decode_admin_response(&payload)? {
-            AdminResponse::Ack => Ok(()),
-            AdminResponse::Record { .. } => Err(ServeError::Protocol("push answered with a record".into())),
-            AdminResponse::Error { message, .. } => Err(ServeError::Remote(message)),
-        }
+        decode_push_ack(&payload)
     }
 
     /// Scrapes the server's live metrics registry (`DSMX`), returning its
@@ -210,10 +190,7 @@ impl ServeClient {
     /// As for [`ServeClient::screen`] (minus `UnknownGolden`).
     pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
         let payload = self.exchange(&encode_metrics_request())?;
-        match decode_metrics_response(&payload)? {
-            MetricsResponse::Snapshot(snapshot) => Ok(snapshot),
-            MetricsResponse::Error { message, .. } => Err(ServeError::Remote(message)),
-        }
+        decode_metrics_snapshot(&payload)
     }
 
     /// Drains the server's buffered trace spans (`DSTX`), returning its
@@ -224,10 +201,7 @@ impl ServeClient {
     /// As for [`ServeClient::screen`] (minus `UnknownGolden`).
     pub fn traces(&mut self) -> Result<TraceLog> {
         let payload = self.exchange(&encode_traces_request())?;
-        match decode_traces_response(&payload)? {
-            TracesResponse::Log(log) => Ok(log),
-            TracesResponse::Error { message, .. } => Err(ServeError::Remote(message)),
-        }
+        decode_trace_log(&payload)
     }
 
     /// Reads a golden record back from the server (`DSGF`) — the readback a
@@ -238,14 +212,528 @@ impl ServeClient {
     /// under `key`; otherwise as for [`ServeClient::screen`].
     pub fn fetch_golden(&mut self, key: u64) -> Result<(AcceptanceBand, Signature)> {
         let payload = self.exchange(&encode_fetch_request(key))?;
-        match decode_admin_response(&payload)? {
-            AdminResponse::Record { band, golden } => Ok((band, golden)),
-            AdminResponse::Ack => Err(ServeError::Protocol("fetch answered with a bare ack".into())),
-            AdminResponse::Error { code, message } => Err(match code {
-                ErrorCode::UnknownGolden => ServeError::UnknownGolden(key),
-                _ => ServeError::Remote(message),
-            }),
+        decode_fetch_record(&payload, key)
+    }
+}
+
+/// Decodes a screening response, checking the score count.
+fn decode_scores(payload: &[u8], expected: usize, golden_key: Option<u64>) -> Result<Vec<ScoreResult>> {
+    match decode_response(payload)? {
+        ScreenResponse::Results(results) => {
+            if results.len() != expected {
+                return Err(ServeError::Protocol(format!(
+                    "server returned {} results for {expected} signatures",
+                    results.len(),
+                )));
+            }
+            Ok(results)
         }
+        ScreenResponse::Error { code, message } => Err(match (code, golden_key) {
+            (ErrorCode::UnknownGolden, Some(key)) => ServeError::UnknownGolden(key),
+            _ => ServeError::Remote(message),
+        }),
+    }
+}
+
+/// Decodes a retest response, checking the per-device score count.
+fn decode_retest_scores(payload: &[u8], expected: usize, golden_key: u64) -> Result<Vec<RetestScore>> {
+    match decode_retest_response(payload)? {
+        RetestResponse::Results(results) => {
+            if results.len() != expected {
+                return Err(ServeError::Protocol(format!(
+                    "server returned {} retest scores for {expected} devices",
+                    results.len(),
+                )));
+            }
+            Ok(results)
+        }
+        RetestResponse::Error { code, message } => Err(match code {
+            ErrorCode::UnknownGolden => ServeError::UnknownGolden(golden_key),
+            _ => ServeError::Remote(message),
+        }),
+    }
+}
+
+/// Decodes a push acknowledgement.
+fn decode_push_ack(payload: &[u8]) -> Result<()> {
+    match decode_admin_response(payload)? {
+        AdminResponse::Ack => Ok(()),
+        AdminResponse::Record { .. } => Err(ServeError::Protocol("push answered with a record".into())),
+        AdminResponse::Error { message, .. } => Err(ServeError::Remote(message)),
+    }
+}
+
+/// Decodes a fetch response into the stored record.
+fn decode_fetch_record(payload: &[u8], key: u64) -> Result<(AcceptanceBand, Signature)> {
+    match decode_admin_response(payload)? {
+        AdminResponse::Record { band, golden } => Ok((band, golden)),
+        AdminResponse::Ack => Err(ServeError::Protocol("fetch answered with a bare ack".into())),
+        AdminResponse::Error { code, message } => Err(match code {
+            ErrorCode::UnknownGolden => ServeError::UnknownGolden(key),
+            _ => ServeError::Remote(message),
+        }),
+    }
+}
+
+/// Decodes a metrics-scrape response into its snapshot.
+fn decode_metrics_snapshot(payload: &[u8]) -> Result<MetricsSnapshot> {
+    match decode_metrics_response(payload)? {
+        MetricsResponse::Snapshot(snapshot) => Ok(snapshot),
+        MetricsResponse::Error { message, .. } => Err(ServeError::Remote(message)),
+    }
+}
+
+/// Decodes a trace-scrape response into its log.
+fn decode_trace_log(payload: &[u8]) -> Result<TraceLog> {
+    match decode_traces_response(payload)? {
+        TracesResponse::Log(log) => Ok(log),
+        TracesResponse::Error { message, .. } => Err(ServeError::Remote(message)),
+    }
+}
+
+/// A pending response slot: the ticket's receiver plus everything needed to
+/// resubmit the request if the connection dies underneath it.
+struct PendingEntry {
+    /// The encoded request frame, id already stamped — resent verbatim on
+    /// reconnect (idempotent requests only).
+    frame: Vec<u8>,
+    /// Delivers the response payload (or the terminal error) to the ticket.
+    tx: mpsc::Sender<Result<Vec<u8>>>,
+}
+
+/// Shared connection state: the write half plus the in-flight table.
+struct MuxState {
+    /// Write half of the live connection; `None` between connections.
+    writer: Option<BufWriter<TcpStream>>,
+    /// Bumped on every (re)connect so a stale reader thread — one belonging
+    /// to an already-replaced connection — recognizes itself and exits
+    /// without touching the table.
+    generation: u64,
+    /// In-flight requests by id. An entry leaves the table exactly once:
+    /// when its response arrives, when a failed reconnect fails it, or when
+    /// corruption poisons the client.
+    pending: HashMap<u64, PendingEntry>,
+    /// Set when the stream returned a response id that matches nothing —
+    /// ids can no longer be trusted, so the client is terminally dead.
+    poisoned: Option<String>,
+}
+
+struct MuxInner {
+    addr: SocketAddr,
+    state: Mutex<MuxState>,
+    /// Monotonic id source; ids start at 1 (0 is the untagged correlator).
+    next_id: AtomicU64,
+}
+
+impl Drop for MuxInner {
+    fn drop(&mut self) {
+        // The reader thread holds only a `Weak` to this state, so it cannot
+        // keep the client alive — but it is blocked in `read_frame`.
+        // Shutting the socket down (both halves share one underlying
+        // socket) pops it out with an EOF.
+        if let Ok(state) = self.state.lock() {
+            if let Some(writer) = &state.writer {
+                let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// A handle to one in-flight [`PipelinedClient`] request: redeem it with
+/// [`Ticket::wait`] for the raw response payload. Tickets resolve in
+/// whatever order the server finishes — that is the point of pipelining —
+/// and may be waited from any thread.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Vec<u8>>>,
+    /// Keeps the connection alive until redeemed, and lets `wait` drain the
+    /// shared write buffer before blocking.
+    inner: Arc<MuxInner>,
+}
+
+impl Ticket {
+    /// Blocks until the response (or the connection's terminal error)
+    /// arrives, returning the raw response payload.
+    ///
+    /// Submitted frames may still be sitting in the connection's write
+    /// buffer (submission only buffers — that is what batches a burst of
+    /// `start_*` calls into a handful of syscalls), so `wait` pushes the
+    /// buffer to the wire before blocking: redeeming any ticket guarantees
+    /// every previously submitted request is actually on its way.
+    ///
+    /// # Errors
+    /// Returns whatever error killed the request: [`ServeError::Io`] for a
+    /// dead connection that could not be transparently retried, or
+    /// [`ServeError::Dsig`] ([`DsigError::Corrupt`]) when the stream
+    /// produced an unmatchable response id.
+    pub fn wait(self) -> Result<Vec<u8>> {
+        {
+            let mut state = self.inner.state.lock().expect("mux state poisoned");
+            if let Some(writer) = state.writer.as_mut() {
+                if !writer.buffer().is_empty() && writer.flush().is_err() {
+                    reconnect(&self.inner, &mut state);
+                }
+            }
+        }
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "pipelined connection dropped the request without resolving it",
+            )))
+        })
+    }
+}
+
+/// The multiplexed TCP client: one connection, many requests in flight,
+/// responses matched to callers by the echoed request id.
+///
+/// Cloning is cheap and every clone shares the connection and id space —
+/// hand clones to as many threads as you like (`&self` methods throughout).
+/// Each typed method has the same signature and decode semantics as its
+/// [`ServeClient`] counterpart; the `start_*` variants return a [`Ticket`]
+/// instead of blocking, which is how one thread keeps hundreds of requests
+/// in flight.
+///
+/// See the module docs for the retry semantics under pipelining.
+pub struct PipelinedClient {
+    inner: Arc<MuxInner>,
+}
+
+impl Clone for PipelinedClient {
+    fn clone(&self) -> Self {
+        PipelinedClient {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl PipelinedClient {
+    /// Connects to a scoring server (or router — both speak the same
+    /// protocol).
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] on connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
+        let inner = Arc::new(MuxInner {
+            addr,
+            state: Mutex::new(MuxState {
+                writer: None,
+                generation: 0,
+                pending: HashMap::new(),
+                poisoned: None,
+            }),
+            next_id: AtomicU64::new(1),
+        });
+        let mut state = inner.state.lock().expect("mux state poisoned");
+        attach_stream(&inner, &mut state, stream)?;
+        drop(state);
+        Ok(PipelinedClient { inner })
+    }
+
+    /// The server address this client is connected to (and reconnects to).
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Submits one encoded request frame and returns its [`Ticket`]. The
+    /// frame is stamped with a fresh id; the response with the matching id
+    /// resolves the ticket, whenever it arrives.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] if the connection is down and redialing
+    /// fails, and the poisoning [`ServeError::Dsig`] if a protocol
+    /// violation has terminally killed this client.
+    fn call(&self, mut frame: Vec<u8>) -> Result<Ticket> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        stamp_request_id(&mut frame, id);
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.inner.state.lock().expect("mux state poisoned");
+        if let Some(detail) = &state.poisoned {
+            return Err(poison_error(detail));
+        }
+        if state.writer.is_none() {
+            // Lazy redial after an idle server-side close.
+            let stream = TcpStream::connect(self.inner.addr)?;
+            attach_stream(&self.inner, &mut state, stream)?;
+        }
+        // The pending table owns the frame (for resubmit-on-reconnect); the
+        // wire write borrows it from there, so the hot path never copies it.
+        state.pending.insert(id, PendingEntry { frame, tx });
+        let MuxState { writer, pending, .. } = &mut *state;
+        let frame = &pending[&id].frame;
+        let writer = writer.as_mut().expect("connected above");
+        if write_frame(writer, frame).is_err() {
+            // The connection died under us; one transparent reconnect
+            // resubmits everything in flight (including this request).
+            reconnect(&self.inner, &mut state);
+        }
+        // No flush here: the frame sits in the write buffer until the buffer
+        // overflows onto the wire or a [`Ticket::wait`] drains it. A burst
+        // of submissions thus coalesces into a handful of write syscalls,
+        // and redeeming any ticket guarantees delivery of them all.
+        Ok(Ticket {
+            rx,
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Starts a screening request (`DSRQ`); redeem with
+    /// [`PipelinedClient::wait_screen`].
+    ///
+    /// # Errors
+    /// As for [`Ticket::wait`].
+    pub fn start_screen(&self, golden_key: u64, signatures: &[Signature]) -> Result<Ticket> {
+        self.call(encode_request(golden_key, signatures))
+    }
+
+    /// Redeems a [`PipelinedClient::start_screen`] ticket.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`].
+    pub fn wait_screen(&self, ticket: Ticket, expected: usize, golden_key: u64) -> Result<Vec<ScoreResult>> {
+        decode_scores(&ticket.wait()?, expected, Some(golden_key))
+    }
+
+    /// Starts an adaptive-retest request (`DSRT`); redeem with
+    /// [`PipelinedClient::wait_retest`].
+    ///
+    /// # Errors
+    /// As for [`Ticket::wait`].
+    pub fn start_retest(&self, request: &RetestRequest) -> Result<Ticket> {
+        self.call(encode_retest_request(request))
+    }
+
+    /// Redeems a [`PipelinedClient::start_retest`] ticket.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen_retest`].
+    pub fn wait_retest(&self, ticket: Ticket, expected: usize, golden_key: u64) -> Result<Vec<RetestScore>> {
+        decode_retest_scores(&ticket.wait()?, expected, golden_key)
+    }
+
+    /// Scores a batch against one golden — the pipelined
+    /// [`ServeClient::screen`].
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`].
+    pub fn screen(&self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        self.wait_screen(self.start_screen(golden_key, signatures)?, signatures.len(), golden_key)
+    }
+
+    /// Scores a single signature (a one-element [`PipelinedClient::screen`]).
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen`].
+    pub fn screen_one(&self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
+        Ok(self.screen(golden_key, std::slice::from_ref(signature))?[0])
+    }
+
+    /// Scores a multi-golden batch (`DSRM`) — the pipelined
+    /// [`ServeClient::screen_multi`].
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen_multi`].
+    pub fn screen_multi(&self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        let ticket = self.call(encode_multi_request(items))?;
+        decode_scores(&ticket.wait()?, items.len(), None)
+    }
+
+    /// Screens an adaptive-retest batch — the pipelined
+    /// [`ServeClient::screen_retest`].
+    ///
+    /// # Errors
+    /// As for [`ServeClient::screen_retest`].
+    pub fn screen_retest(&self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        self.wait_retest(self.start_retest(request)?, request.items.len(), request.golden_key)
+    }
+
+    /// Stores (or replaces) a golden record on the server (`DSGP`).
+    ///
+    /// # Errors
+    /// As for [`ServeClient::push_golden`].
+    pub fn push_golden(&self, key: u64, band: AcceptanceBand, golden: &Signature) -> Result<()> {
+        decode_push_ack(&self.call(encode_push_request(key, band, golden))?.wait()?)
+    }
+
+    /// Reads a golden record back from the server (`DSGF`).
+    ///
+    /// # Errors
+    /// As for [`ServeClient::fetch_golden`].
+    pub fn fetch_golden(&self, key: u64) -> Result<(AcceptanceBand, Signature)> {
+        decode_fetch_record(&self.call(encode_fetch_request(key))?.wait()?, key)
+    }
+
+    /// Scrapes the server's live metrics registry (`DSMX`).
+    ///
+    /// # Errors
+    /// As for [`ServeClient::metrics`].
+    pub fn metrics(&self) -> Result<MetricsSnapshot> {
+        decode_metrics_snapshot(&self.call(encode_metrics_request())?.wait()?)
+    }
+
+    /// Drains the server's buffered trace spans (`DSTX`). The one
+    /// non-idempotent request: if the connection dies before the response
+    /// arrives, the call fails with [`ServeError::Io`] instead of being
+    /// resubmitted (the drain may or may not have happened server-side).
+    ///
+    /// # Errors
+    /// As for [`ServeClient::traces`].
+    pub fn traces(&self) -> Result<TraceLog> {
+        decode_trace_log(&self.call(encode_traces_request())?.wait()?)
+    }
+}
+
+/// The terminal error a poisoned client answers everything with.
+fn poison_error(detail: &str) -> ServeError {
+    ServeError::Dsig(DsigError::Corrupt {
+        context: "mux response stream",
+        detail: detail.to_string(),
+    })
+}
+
+/// Installs a freshly dialed stream into the state — new writer, bumped
+/// generation, new reader thread — without touching the pending table.
+fn attach_stream(inner: &Arc<MuxInner>, state: &mut MuxState, stream: TcpStream) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let read_half = stream.try_clone()?;
+    state.writer = Some(BufWriter::new(stream));
+    state.generation += 1;
+    let generation = state.generation;
+    let weak = Arc::downgrade(inner);
+    std::thread::spawn(move || reader_loop(&weak, read_half, generation));
+    Ok(())
+}
+
+/// Tears down the current connection and dials **once**: unacknowledged
+/// idempotent requests are resubmitted with their original ids; pending
+/// trace drains (non-idempotent) and — if the redial fails — everything
+/// else resolve to the connection error. Callers already hold the lock.
+fn reconnect(inner: &Arc<MuxInner>, state: &mut MuxState) {
+    state.writer = None;
+    // Invalidate the old reader even if redialing fails.
+    state.generation += 1;
+    // Fail the non-idempotent requests rather than re-issuing them.
+    let drains: Vec<u64> = state
+        .pending
+        .iter()
+        .filter(|(_, entry)| entry.frame.get(..4) == Some(&TRACES_REQUEST_MAGIC))
+        .map(|(&id, _)| id)
+        .collect();
+    for id in drains {
+        if let Some(entry) = state.pending.remove(&id) {
+            let _ = entry.tx.send(Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "connection died before the trace drain resolved; not resubmitted (a drain is not idempotent)",
+            ))));
+        }
+    }
+    let failure = match TcpStream::connect(inner.addr)
+        .map_err(ServeError::from)
+        .and_then(|stream| attach_stream(inner, state, stream))
+    {
+        Err(err) => Some(err),
+        Ok(()) => {
+            let MuxState { writer, pending, .. } = &mut *state;
+            let writer = writer.as_mut().expect("attached above");
+            pending
+                .values()
+                .try_fold((), |(), entry| write_frame(writer, &entry.frame))
+                .and_then(|()| writer.flush().map_err(Into::into))
+                .err()
+        }
+    };
+    if let Some(err) = failure {
+        // The retry is spent: resolve every survivor with the error.
+        state.writer = None;
+        let message = err.to_string();
+        for (_, entry) in state.pending.drain() {
+            let _ = entry.tx.send(Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                message.clone(),
+            ))));
+        }
+    }
+}
+
+/// The demultiplexing read half: matches response ids to pending tickets.
+/// One reader exists per connection generation; a reader that detects it is
+/// stale (the connection was replaced underneath it) exits silently.
+fn reader_loop(inner: &Weak<MuxInner>, stream: TcpStream, generation: u64) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let outcome = read_frame(&mut reader);
+        // Upgrade after the blocking read: if every client handle is gone
+        // (the drop shut the socket down to wake us), just exit.
+        let Some(inner) = inner.upgrade() else {
+            return;
+        };
+        let mut state = inner.state.lock().expect("mux state poisoned");
+        if state.generation != generation {
+            return;
+        }
+        match outcome {
+            Ok(Some(payload)) => {
+                let id = crate::proto::peek_request_id(&payload);
+                match state.pending.remove(&id) {
+                    Some(entry) => {
+                        let _ = entry.tx.send(Ok(payload));
+                    }
+                    None => {
+                        // An id matching nothing in flight — duplicate or
+                        // never-issued. The stream can no longer be
+                        // trusted to route responses: poison terminally.
+                        let detail = format!("response carries unknown or duplicate request id {id}");
+                        state.poisoned = Some(detail.clone());
+                        if let Some(writer) = &state.writer {
+                            let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+                        }
+                        state.writer = None;
+                        state.generation += 1;
+                        for (_, entry) in state.pending.drain() {
+                            let _ = entry.tx.send(Err(poison_error(&detail)));
+                        }
+                        return;
+                    }
+                }
+            }
+            Ok(None) if state.pending.is_empty() => {
+                // Idle server-side close: note it and let the next call
+                // redial lazily.
+                state.writer = None;
+                state.generation += 1;
+                return;
+            }
+            // EOF or an unreadable stream with requests in flight: one
+            // transparent reconnect, resubmitting the unacknowledged.
+            Ok(None) | Err(_) => {
+                reconnect(&inner, &mut state);
+                return;
+            }
+        }
+    }
+}
+
+impl dsig_engine::RemoteScorer for PipelinedClient {
+    fn screen_remote(
+        &self,
+        golden_key: u64,
+        signatures: &[Signature],
+    ) -> dsig_core::Result<Vec<dsig_engine::RemoteScore>> {
+        self.screen(golden_key, signatures)
+            .map(|scores| scores.into_iter().map(Into::into).collect())
+            .map_err(ServeError::into_dsig)
+    }
+
+    fn retest_remote(
+        &self,
+        golden_key: u64,
+        policy: &dsig_core::RetestPolicy,
+        devices: &[dsig_engine::RetestDevice],
+    ) -> dsig_core::Result<Vec<dsig_engine::RemoteRetest>> {
+        self.screen_retest(&crate::server::retest_request_of(golden_key, policy, devices))
+            .map(|scores| scores.into_iter().map(Into::into).collect())
+            .map_err(ServeError::into_dsig)
     }
 }
 
@@ -367,6 +855,177 @@ mod tests {
             assert_eq!(client.screen_one(key, &observed).unwrap().ndf, 0.0);
         }
         drop(client);
+        serve_thread.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_client_screens_and_matches_the_blocking_path() {
+        let (server, key) = serve();
+        let client = PipelinedClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.peer_addr(), server.local_addr());
+        let observed = vec![sig(&[(1, 100e-6), (3, 100e-6)]), sig(&[(1, 100e-6), (7, 100e-6)])];
+        // Issue a burst of tickets before waiting on any: all in flight on
+        // the one connection.
+        let tickets: Vec<_> = (0..16).map(|_| client.start_screen(key, &observed).unwrap()).collect();
+        let direct = server.handle().screen(key, &observed).unwrap();
+        for ticket in tickets {
+            assert_eq!(client.wait_screen(ticket, observed.len(), key).unwrap(), direct);
+        }
+        // Typed blocking wrappers agree too, and clones share the stream.
+        assert_eq!(client.clone().screen(key, &observed).unwrap(), direct);
+        assert_eq!(client.screen_one(key, &observed[1]).unwrap(), direct[1]);
+        assert!(matches!(
+            client.screen(0xDEAD, &observed),
+            Err(ServeError::UnknownGolden(0xDEAD))
+        ));
+        // Admin + scrape surfaces run pipelined as well.
+        let band = AcceptanceBand::new(0.02).unwrap();
+        let second = sig(&[(2, 100e-6)]);
+        client.push_golden(0xB0B, band, &second).unwrap();
+        assert_eq!(client.fetch_golden(0xB0B).unwrap(), (band, second.clone()));
+        let items = vec![(key, observed[0].clone()), (0xB0B, second)];
+        assert_eq!(
+            client.screen_multi(&items).unwrap(),
+            server.handle().screen_multi(&items).unwrap()
+        );
+        assert!(client.metrics().unwrap().counter("serve.requests.dsrq").unwrap() > 0);
+        let _ = client.traces().unwrap();
+    }
+
+    /// The satellite contract: on a dead connection, the pipelined client
+    /// resubmits **only unacknowledged idempotent** requests — an already
+    /// answered request is never resent, and the ids survive the redial.
+    #[test]
+    fn pipelined_reconnect_resubmits_only_unacknowledged_requests() {
+        use std::net::TcpListener;
+
+        let store = GoldenStore::new();
+        let key = 5;
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        store.insert(key, golden.clone(), AcceptanceBand::new(0.05).unwrap());
+        let handle = crate::server::ServeHandle::spawn(Arc::new(store), ServeConfig::with_shards(1));
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve_thread = std::thread::spawn(move || {
+            let answer = |stream: &std::net::TcpStream, payload: &[u8]| {
+                let request = crate::proto::decode_request(payload).unwrap();
+                let results = handle.screen_vec(request.golden_key, request.signatures).unwrap();
+                let mut response = crate::proto::encode_response(&ScreenResponse::Results(results));
+                crate::proto::stamp_request_id(&mut response, crate::proto::peek_request_id(payload));
+                let mut writer = std::io::BufWriter::new(stream);
+                crate::proto::write_frame(&mut writer, &response).unwrap();
+                std::io::Write::flush(&mut writer).unwrap();
+            };
+            // Connection 1: answer request A, read request B, then drop the
+            // connection with B unacknowledged.
+            let (first, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(first.try_clone().unwrap());
+            let frame_a = crate::proto::read_frame(&mut reader).unwrap().unwrap();
+            answer(&first, &frame_a);
+            let frame_b = crate::proto::read_frame(&mut reader).unwrap().unwrap();
+            let id_a = crate::proto::peek_request_id(&frame_a);
+            let id_b = crate::proto::peek_request_id(&frame_b);
+            drop(reader);
+            drop(first);
+            // Connection 2: the client must resubmit exactly B (same id) —
+            // never the acknowledged A.
+            let (second, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(second.try_clone().unwrap());
+            let resubmitted = crate::proto::read_frame(&mut reader).unwrap().unwrap();
+            assert_eq!(crate::proto::peek_request_id(&resubmitted), id_b);
+            assert_eq!(resubmitted, frame_b, "resubmission must be byte-identical");
+            answer(&second, &resubmitted);
+            // The follow-up request proves A was never resent: it is the
+            // next (and only further) frame on the wire.
+            let frame_c = crate::proto::read_frame(&mut reader).unwrap().unwrap();
+            assert_ne!(crate::proto::peek_request_id(&frame_c), id_a);
+            answer(&second, &frame_c);
+            assert!(
+                crate::proto::read_frame(&mut reader).unwrap().is_none(),
+                "no further resubmissions"
+            );
+        });
+
+        let client = PipelinedClient::connect(addr).unwrap();
+        let observed = vec![golden.clone()];
+        let ticket_a = client.start_screen(key, &observed).unwrap();
+        let scores_a = client.wait_screen(ticket_a, 1, key).unwrap();
+        assert_eq!(scores_a[0].ndf, 0.0);
+        // B rides the torn-down connection; the transparent reconnect must
+        // resolve it without surfacing an error.
+        let ticket_b = client.start_screen(key, &observed).unwrap();
+        assert_eq!(client.wait_screen(ticket_b, 1, key).unwrap(), scores_a);
+        assert_eq!(client.screen(key, &observed).unwrap(), scores_a);
+        drop(client);
+        serve_thread.join().unwrap();
+    }
+
+    /// A pending `DSTX` trace drain is **not** idempotent: a reconnect must
+    /// fail it with the connection error instead of re-issuing it.
+    #[test]
+    fn pipelined_reconnect_fails_pending_trace_drains_instead_of_resubmitting() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve_thread = std::thread::spawn(move || {
+            // Connection 1: swallow the DSTX frame and hang up.
+            let (first, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(first.try_clone().unwrap());
+            let frame = crate::proto::read_frame(&mut reader).unwrap().unwrap();
+            assert_eq!(&frame[..4], b"DSTX");
+            drop(reader);
+            drop(first);
+            // Connection 2 (the transparent redial): nothing may be
+            // resubmitted on it.
+            let (second, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(second.try_clone().unwrap());
+            assert!(
+                crate::proto::read_frame(&mut reader).unwrap().is_none(),
+                "a trace drain must not be resubmitted"
+            );
+        });
+
+        let client = PipelinedClient::connect(addr).unwrap();
+        assert!(matches!(client.traces(), Err(ServeError::Io(_))));
+        drop(client);
+        serve_thread.join().unwrap();
+    }
+
+    /// A response id matching nothing in flight poisons the client: every
+    /// pending and future request surfaces [`DsigError::Corrupt`].
+    #[test]
+    fn unmatched_response_ids_poison_the_pipelined_client() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let _ = crate::proto::read_frame(&mut reader).unwrap().unwrap();
+            // Answer with an id that was never issued.
+            let mut response = crate::proto::encode_response(&ScreenResponse::Results(vec![]));
+            crate::proto::stamp_request_id(&mut response, 0x000B_AD1D);
+            let mut writer = std::io::BufWriter::new(&stream);
+            crate::proto::write_frame(&mut writer, &response).unwrap();
+            std::io::Write::flush(&mut writer).unwrap();
+        });
+
+        let client = PipelinedClient::connect(addr).unwrap();
+        let ticket = client.start_screen(1, &[sig(&[(1, 1.0)])]).unwrap();
+        match ticket.wait() {
+            Err(ServeError::Dsig(dsig_core::DsigError::Corrupt { context, .. })) => {
+                assert_eq!(context, "mux response stream");
+            }
+            other => panic!("expected Corrupt poisoning, got {other:?}"),
+        }
+        // Poisoning is terminal: later calls fail fast without dialing.
+        assert!(matches!(
+            client.screen(1, &[sig(&[(1, 1.0)])]),
+            Err(ServeError::Dsig(dsig_core::DsigError::Corrupt { .. }))
+        ));
         serve_thread.join().unwrap();
     }
 

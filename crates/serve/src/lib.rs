@@ -20,6 +20,10 @@
 //! * [`ServeHandle`] — the in-process client path (same shards, no TCP) for
 //!   embedding the scorer into another process;
 //! * [`ServeClient`] — the blocking TCP client with batch screening;
+//! * [`PipelinedClient`] — the multiplexed TCP client: N requests in
+//!   flight on one connection, responses matched by request id;
+//! * [`mux`] — the shared [`WorkPool`] + connection event loop that serves
+//!   tagged frames out of order;
 //! * [`proto`] — the std-only wire protocol (layout below).
 //!
 //! # Wire format
@@ -31,19 +35,25 @@
 //! frame     := u32 payload_len, payload        (payload_len <= 64 MiB)
 //! ```
 //!
-//! Request payload (magic `DSRQ`, version 1):
+//! Request payload (magic `DSRQ`, version 3):
 //!
 //! ```text
-//! request   := "DSRQ", u16 version=1,
+//! request   := "DSRQ", u16 version=3,
+//!              u64 request_id,                 (multiplexing correlator,
+//!                                               0 = untagged; v1/2 omit)
+//!              17-byte trace context,          (v1 omits)
 //!              u64 golden_key,                 (fingerprint of the golden)
 //!              u32 count,
 //!              count * { u32 len, len bytes }  (each a Signature::to_bytes)
 //! ```
 //!
-//! Response payload (magic `DSRS`, version 1):
+//! Response payload (magic `DSRS`, version 2):
 //!
 //! ```text
-//! response  := "DSRS", u16 version=1, u8 status, body
+//! response  := "DSRS", u16 version=2,
+//!              u64 request_id,                 (echo of the request's id;
+//!                                               v1 omits)
+//!              u8 status, body
 //! status 0  := u32 count, count * { f64 ndf, u32 peak_hamming, u8 outcome }
 //!              (outcome: 0 = PASS, 1 = FAIL; one score per request
 //!               signature, in request order)
@@ -51,6 +61,11 @@
 //!              (error_code: 1 = unknown golden, 2 = bad request,
 //!               3 = internal)
 //! ```
+//!
+//! The request id sits at the fixed bytes `6..14` of every tagged frame.
+//! Tagged requests on one connection may be answered **out of order**; the
+//! echoed id is the correlator. Untagged (older-version) frames keep their
+//! historical at-most-one-in-flight, in-order semantics.
 //!
 //! Five further request kinds share the frame and header convention and are
 //! dispatched by payload magic: `DSRM` (multi-golden screening, each
@@ -107,12 +122,14 @@
 
 pub mod client;
 pub mod error;
+pub mod mux;
 pub mod proto;
 pub mod server;
 pub mod store;
 
-pub use client::ServeClient;
+pub use client::{PipelinedClient, ServeClient, Ticket};
 pub use error::{Result, ServeError};
+pub use mux::WorkPool;
 pub use proto::{
     AdminResponse, ErrorCode, MetricsResponse, MultiScreenRequest, Request, RetestItem, RetestRequest, RetestResponse,
     RetestScore, ScoreResult, ScreenRequest, ScreenResponse,

@@ -1,0 +1,338 @@
+//! The multiplexed connection core: a work-stealing thread pool shared by
+//! every connection of a serving process, plus the per-connection
+//! reader/writer event loop that lets one TCP stream carry hundreds of
+//! pipelined requests answered **out of order**.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                       ┌─────────────── WorkPool ───────────────┐
+//!  conn A reader ─┐     │ worker 0: [deque] ◀─┐ steal            │
+//!  conn B reader ─┼──▶  │ worker 1: [deque] ◀─┼─ steal           │
+//!  conn C reader ─┘     │ worker N: [deque] ◀─┘                  │
+//!                       └──────┬──────────────┬──────────────────┘
+//!                              ▼              ▼
+//!                       conn A writer   conn B writer   (mpsc per conn)
+//! ```
+//!
+//! Each accepted connection runs two threads: the **reader** decodes frames
+//! and submits tagged requests to the shared pool (untagged pre-v3 frames
+//! are served inline, preserving their historical in-order semantics), and
+//! the **writer** drains an unbounded response channel, so a stalled peer
+//! blocks only its own writer — never a pool worker, never another
+//! connection. Pool workers stamp the request's id into the response
+//! ([`crate::proto::stamp_request_id`]) and hand it to the owning
+//! connection's writer; completion order is whatever the shards finish
+//! first, which is the whole point.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::proto::{peek_request_id, read_frame, request_is_tagged, stamp_request_id, write_frame};
+
+/// One unit of connection work: decode, serve and encode one request.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// The request handler a connection loop serves frames with: one request
+/// payload in, one encoded response frame out. Implementations do their own
+/// metric/trace bookkeeping — the loop only moves bytes and ids.
+pub type Responder = dyn Fn(Vec<u8>) -> Vec<u8> + Send + Sync;
+
+/// A fixed-size work-stealing thread pool, shared by every connection of a
+/// server so the request concurrency is bounded by core count, not by
+/// connection count.
+///
+/// Submission is round-robin over per-worker deques; an idle worker steals
+/// from the back of its siblings' deques. A counting semaphore (mutex +
+/// condvar) tracks queued jobs, so workers sleep when the pool is idle and a
+/// grab after a successful acquire is guaranteed to find a job. Dropping the
+/// pool drains every queued job before the workers exit.
+pub struct WorkPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct PoolInner {
+    /// One deque per worker; `submit` round-robins pushes over them.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Queued-job count — the semaphore's permit count.
+    pending: Mutex<usize>,
+    /// Signalled once per submitted job (and broadcast on shutdown).
+    available: Condvar,
+    shutdown: AtomicBool,
+    cursor: AtomicUsize,
+}
+
+impl WorkPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkPool {
+        let count = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            queues: (0..count).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: Mutex::new(0),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cursor: AtomicUsize::new(0),
+        });
+        let workers = (0..count)
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner, index))
+            })
+            .collect();
+        WorkPool { inner, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.queues.len()
+    }
+
+    /// Enqueues one job. Jobs submitted before the pool drops are always
+    /// run, even if the drop races the submission.
+    pub fn submit(&self, job: Job) {
+        let slot = self.inner.cursor.fetch_add(1, Ordering::Relaxed) % self.inner.queues.len();
+        self.inner.queues[slot]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        // Publish the permit only after the job is queued: a worker that
+        // wins the permit is guaranteed to find a job in some deque.
+        let mut pending = self.inner.pending.lock().expect("pool semaphore poisoned");
+        *pending += 1;
+        drop(pending);
+        self.inner.available.notify_one();
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner, index: usize) {
+    loop {
+        // Acquire one permit, or exit once the pool is shut down *and*
+        // drained — queued work always completes.
+        {
+            let mut pending = inner.pending.lock().expect("pool semaphore poisoned");
+            loop {
+                if *pending > 0 {
+                    *pending -= 1;
+                    break;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                pending = inner.available.wait(pending).expect("pool semaphore poisoned");
+            }
+        }
+        // A permit means a job is queued somewhere. It may still be in
+        // flight between another submitter's push and our scan, so loop:
+        // own deque front first (cache-warm), then steal siblings' backs.
+        let job = 'grab: loop {
+            let count = inner.queues.len();
+            for offset in 0..count {
+                let queue = &inner.queues[(index + offset) % count];
+                let grabbed = if offset == 0 {
+                    queue.lock().expect("pool queue poisoned").pop_front()
+                } else {
+                    queue.lock().expect("pool queue poisoned").pop_back()
+                };
+                if let Some(job) = grabbed {
+                    break 'grab job;
+                }
+            }
+            std::thread::yield_now();
+        };
+        job();
+    }
+}
+
+/// Serves one TCP connection through the shared pool until the peer closes:
+/// the calling thread becomes the frame **reader**, a spawned thread the
+/// frame **writer**, and tagged requests run as pool jobs whose responses
+/// complete out of order (matched by the echoed request id).
+///
+/// Untagged (pre-multiplexing) requests are served inline on the reader
+/// thread: at most one in flight, responses in request order — exactly the
+/// contract those clients were built against.
+///
+/// Returns when the peer closes or the stream errors; in-flight pool jobs
+/// finish and their responses are written (or dropped if the peer is gone)
+/// before the writer exits.
+pub fn drive_connection(stream: TcpStream, pool: &WorkPool, respond: Arc<Responder>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
+    let (responses, inbox) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::spawn(move || writer_loop(stream, &inbox));
+    // With a single pool worker, completion order is submission order and
+    // every job runs back-to-back on that one thread — the handoff (job
+    // allocation, semaphore, queue, worker wake-up) buys nothing, so serve
+    // tagged requests inline on the reader instead. Responses still flow
+    // through the writer thread, so a stalled peer keeps blocking only its
+    // own writer.
+    let inline_tagged = pool.workers() == 1;
+    // A clean close, unreadable frame or dead socket ends the read loop.
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        if request_is_tagged(&payload) {
+            if inline_tagged {
+                let request_id = peek_request_id(&payload);
+                let mut response = respond(payload);
+                stamp_request_id(&mut response, request_id);
+                let _ = responses.send(response);
+                continue;
+            }
+            let respond = Arc::clone(&respond);
+            let responses = responses.clone();
+            pool.submit(Box::new(move || {
+                let request_id = peek_request_id(&payload);
+                let mut response = respond(payload);
+                stamp_request_id(&mut response, request_id);
+                // A send failure means the writer died with the peer; the
+                // response is dropped like any write to a closed socket.
+                let _ = responses.send(response);
+            }));
+        } else {
+            // Encoders emit the placeholder id 0 — exactly the untagged
+            // correlator these frames decode as, so no stamping needed.
+            let _ = responses.send(respond(payload));
+        }
+    }
+    // Close our sender; the writer exits once every in-flight job's clone
+    // is gone and the channel drains.
+    drop(responses);
+    let _ = writer.join();
+}
+
+/// The write half of a connection: drain the response channel, batching
+/// every ready frame into one flush. Exits when the channel closes (reader
+/// gone, jobs done) or the peer stops accepting bytes.
+fn writer_loop(stream: TcpStream, inbox: &mpsc::Receiver<Vec<u8>>) {
+    let mut writer = std::io::BufWriter::new(stream);
+    while let Ok(frame) = inbox.recv() {
+        if write_frame(&mut writer, &frame).is_err() {
+            return;
+        }
+        // Greedily coalesce everything already queued before flushing once.
+        while let Ok(frame) = inbox.try_recv() {
+            if write_frame(&mut writer, &frame).is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_every_job_across_workers() {
+        let pool = WorkPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let sum = Arc::new(AtomicU64::new(0));
+        let (done, finished) = mpsc::channel();
+        for k in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            let done = done.clone();
+            pool.submit(Box::new(move || {
+                sum.fetch_add(k, Ordering::Relaxed);
+                let _ = done.send(());
+            }));
+        }
+        for _ in 0..100 {
+            finished.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn dropping_the_pool_drains_queued_jobs() {
+        // One worker blocked on the first job forces the rest to queue; the
+        // drop must still run them all.
+        let pool = WorkPool::new(1);
+        let ran = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            let ran = Arc::clone(&ran);
+            pool.submit(Box::new(move || {
+                let (lock, cvar) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cvar.wait(open).unwrap();
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        for _ in 0..9 {
+            let ran = Arc::clone(&ran);
+            pool.submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        // Open the gate from another thread a moment after drop begins.
+        let opener = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                let (lock, cvar) = &*gate;
+                *lock.lock().unwrap() = true;
+                cvar.notify_all();
+            })
+        };
+        drop(pool);
+        opener.join().unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 10, "every queued job ran before exit");
+    }
+
+    #[test]
+    fn idle_workers_steal_from_busy_queues() {
+        // Two workers; worker 0's queue gets a blocker plus follow-up work
+        // (round-robin alternates, so half the jobs land behind the
+        // blocker). Worker 1 must steal them — the test deadlocks without
+        // stealing and passes quickly with it.
+        let pool = WorkPool::new(2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (done, finished) = mpsc::channel();
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(Box::new(move || {
+                let (lock, cvar) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cvar.wait(open).unwrap();
+                }
+            }));
+        }
+        for _ in 0..20 {
+            let done = done.clone();
+            pool.submit(Box::new(move || {
+                let _ = done.send(());
+            }));
+        }
+        for _ in 0..20 {
+            finished.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+}

@@ -50,16 +50,24 @@ pub const TRACES_REQUEST_MAGIC: [u8; 4] = *b"DSTX";
 /// Magic prefix of trace-scrape response payloads (`DSTD`) — one serialized
 /// [`dsig_obs::TraceLog`] (`DSTL` bytes), or an error.
 pub const TRACES_RESPONSE_MAGIC: [u8; 4] = *b"DSTD";
-/// Wire-protocol version of response frames and of the header-only scrape
-/// requests (`DSMX`/`DSTX`).
-pub const PROTO_VERSION: u16 = 1;
+/// Wire-protocol version of response frames and of the scrape requests
+/// (`DSMX`/`DSTX`). Version 2 added a `u64` request id right after the
+/// header — the multiplexing correlator echoed from the request — at the
+/// fixed offset `6..14` shared by every tagged frame. Version-1 frames
+/// still decode, as the untagged id `0`.
+pub const PROTO_VERSION: u16 = 2;
 /// Wire-protocol version of the work-carrying request frames
 /// (`DSRQ`/`DSRM`/`DSRT`/`DSGP`/`DSGF`). Version 2 added a fixed 17-byte
-/// trace context right after the header; version-1 frames still decode,
-/// with [`TraceContext::NONE`]. The header-only scrape requests stay at
-/// version 1 — they carry no body for a context to precede, and bumping
-/// them would let a corrupted version byte alias between versions.
-pub const REQUEST_PROTO_VERSION: u16 = 2;
+/// trace context right after the header; version 3 added a `u64` request id
+/// between the header and the context (bytes `6..14`, like every tagged
+/// frame). Version-1 frames still decode with [`TraceContext::NONE`], and
+/// version-1/2 frames decode as the untagged id `0` — the
+/// at-most-one-in-flight convention pre-multiplexing clients rely on.
+pub const REQUEST_PROTO_VERSION: u16 = 3;
+/// First work-carrying request version that carries a request id.
+pub const REQUEST_TAGGED_FROM: u16 = 3;
+/// First response / scrape-request version that carries a request id.
+pub const PROTO_TAGGED_FROM: u16 = 2;
 
 /// Upper bound on a frame payload (64 MiB). A length prefix beyond this is
 /// treated as a protocol violation rather than an allocation request — it
@@ -312,6 +320,96 @@ fn skip_request_context(r: &mut wire::ByteReader<'_>, version: u16) -> Result<()
     Ok(())
 }
 
+/// The work-carrying request magics (`DSRQ`/`DSRM`/`DSRT`/`DSGP`/`DSGF`):
+/// the frames that carry a trace context from version 2 and a request id
+/// from version [`REQUEST_TAGGED_FROM`].
+const WORK_REQUEST_MAGICS: [[u8; 4]; 5] = [
+    REQUEST_MAGIC,
+    MULTI_REQUEST_MAGIC,
+    RETEST_REQUEST_MAGIC,
+    PUSH_MAGIC,
+    FETCH_MAGIC,
+];
+
+/// The first version at which a request frame of `magic` carries a request
+/// id, or `None` for a magic that is not a request.
+fn request_tagged_from(magic: [u8; 4]) -> Option<u16> {
+    if WORK_REQUEST_MAGICS.contains(&magic) {
+        Some(REQUEST_TAGGED_FROM)
+    } else if magic == METRICS_REQUEST_MAGIC || magic == TRACES_REQUEST_MAGIC {
+        Some(PROTO_TAGGED_FROM)
+    } else {
+        None
+    }
+}
+
+/// Reads the version field of a payload that is at least `magic + version`
+/// long, without validating anything else.
+fn peek_version(payload: &[u8]) -> Option<u16> {
+    payload
+        .get(4..6)
+        .map(|v| u16::from_le_bytes(v.try_into().expect("2 bytes")))
+}
+
+/// Extracts the request id of a tagged frame — request **or** response —
+/// without decoding its body: the correlator the event loop echoes into the
+/// response and the pipelined client demultiplexes on. Infallible: untagged
+/// (older-version), truncated or unrecognized payloads peek as the id `0`
+/// (the decoder proper reports the actual error).
+pub fn peek_request_id(payload: &[u8]) -> u64 {
+    let magic: [u8; 4] = match payload.get(..4).and_then(|m| m.try_into().ok()) {
+        Some(magic) => magic,
+        None => return 0,
+    };
+    // Requests tag from their family's threshold; every response family
+    // tags from PROTO_TAGGED_FROM; anything else is not a tagged frame.
+    const RESPONSE_MAGICS: [[u8; 4]; 5] = [
+        RESPONSE_MAGIC,
+        RETEST_RESPONSE_MAGIC,
+        ADMIN_RESPONSE_MAGIC,
+        METRICS_RESPONSE_MAGIC,
+        TRACES_RESPONSE_MAGIC,
+    ];
+    let tagged_from = match request_tagged_from(magic) {
+        Some(tagged_from) => tagged_from,
+        None if RESPONSE_MAGICS.contains(&magic) => PROTO_TAGGED_FROM,
+        None => return 0,
+    };
+    match (peek_version(payload), payload.get(6..14)) {
+        (Some(version), Some(id)) if version >= tagged_from => u64::from_le_bytes(id.try_into().expect("8 bytes")),
+        _ => 0,
+    }
+}
+
+/// Whether a request payload is a tagged (multiplexable) frame. Tagged
+/// requests may be answered out of order — the id correlates them; untagged
+/// requests keep the historical at-most-one-in-flight, in-order semantics.
+/// Unrecognized payloads report untagged (they draw an in-order error
+/// response).
+pub fn request_is_tagged(payload: &[u8]) -> bool {
+    let magic: [u8; 4] = match payload.get(..4).and_then(|m| m.try_into().ok()) {
+        Some(magic) => magic,
+        None => return false,
+    };
+    match (request_tagged_from(magic), peek_version(payload)) {
+        (Some(tagged_from), Some(version)) => version >= tagged_from && payload.len() >= 14,
+        _ => false,
+    }
+}
+
+/// Stamps `request_id` into a tagged frame in place (bytes `6..14`, right
+/// after the magic and version). Encoders emit the placeholder id `0`;
+/// transports that multiplex stamp the real correlator here — and the event
+/// loop stamps the echoed id into responses the same way — without
+/// re-encoding the body.
+///
+/// # Panics
+/// Panics if `frame` is shorter than a tagged header — calling this on
+/// anything but a current-version encoder output is a programming error.
+pub fn stamp_request_id(frame: &mut [u8], request_id: u64) {
+    frame[6..14].copy_from_slice(&request_id.to_le_bytes());
+}
+
 /// Extracts the trace context of a request frame without decoding its body
 /// — the dispatch loop pins it to the handling thread before
 /// [`decode_any_request`] runs. Infallible: anything that is not a
@@ -322,20 +420,12 @@ pub fn decode_request_context(payload: &[u8]) -> TraceContext {
         Some(magic) => magic,
         None => return TraceContext::NONE,
     };
-    let carries_context = [
-        REQUEST_MAGIC,
-        MULTI_REQUEST_MAGIC,
-        RETEST_REQUEST_MAGIC,
-        PUSH_MAGIC,
-        FETCH_MAGIC,
-    ]
-    .contains(&magic);
-    if !carries_context {
+    if !WORK_REQUEST_MAGICS.contains(&magic) {
         return TraceContext::NONE;
     }
     let mut r = wire::ByteReader::new(payload, "request trace context");
-    match r.header(magic, REQUEST_PROTO_VERSION) {
-        Ok(version) if version >= 2 => trace::read_trace_context(&mut r).unwrap_or(TraceContext::NONE),
+    match r.tagged_header(magic, REQUEST_PROTO_VERSION, REQUEST_TAGGED_FROM) {
+        Ok((version, _)) if version >= 2 => trace::read_trace_context(&mut r).unwrap_or(TraceContext::NONE),
         _ => TraceContext::NONE,
     }
 }
@@ -343,7 +433,7 @@ pub fn decode_request_context(payload: &[u8]) -> TraceContext {
 /// Encodes a screening request payload (without the frame length prefix).
 pub fn encode_request(golden_key: u64, signatures: &[Signature]) -> Vec<u8> {
     let mut out = Vec::with_capacity(35 + 64 * signatures.len());
-    wire::put_header(&mut out, REQUEST_MAGIC, REQUEST_PROTO_VERSION);
+    wire::put_tagged_header(&mut out, REQUEST_MAGIC, REQUEST_PROTO_VERSION, 0);
     put_request_context(&mut out);
     wire::put_u64(&mut out, golden_key);
     wire::put_u32(&mut out, signatures.len() as u32);
@@ -359,7 +449,7 @@ pub fn encode_request(golden_key: u64, signatures: &[Signature]) -> Vec<u8> {
 /// Returns [`ServeError::Dsig`] on framing or signature decoding errors.
 pub fn decode_request(payload: &[u8]) -> Result<ScreenRequest> {
     let mut r = wire::ByteReader::new(payload, "screen request");
-    let version = r.header(REQUEST_MAGIC, REQUEST_PROTO_VERSION)?;
+    let (version, _) = r.tagged_header(REQUEST_MAGIC, REQUEST_PROTO_VERSION, REQUEST_TAGGED_FROM)?;
     skip_request_context(&mut r, version)?;
     let golden_key = r.u64()?;
     let count = r.u32()? as usize;
@@ -377,7 +467,7 @@ pub fn decode_request(payload: &[u8]) -> Result<ScreenRequest> {
 /// length prefix).
 pub fn encode_multi_request(items: &[(u64, Signature)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(27 + 76 * items.len());
-    wire::put_header(&mut out, MULTI_REQUEST_MAGIC, REQUEST_PROTO_VERSION);
+    wire::put_tagged_header(&mut out, MULTI_REQUEST_MAGIC, REQUEST_PROTO_VERSION, 0);
     put_request_context(&mut out);
     wire::put_u32(&mut out, items.len() as u32);
     for (key, signature) in items {
@@ -394,7 +484,7 @@ pub fn encode_multi_request(items: &[(u64, Signature)]) -> Vec<u8> {
 /// Returns [`ServeError::Dsig`] on framing or signature decoding errors.
 pub fn decode_multi_request(payload: &[u8]) -> Result<MultiScreenRequest> {
     let mut r = wire::ByteReader::new(payload, "multi screen request");
-    let version = r.header(MULTI_REQUEST_MAGIC, REQUEST_PROTO_VERSION)?;
+    let (version, _) = r.tagged_header(MULTI_REQUEST_MAGIC, REQUEST_PROTO_VERSION, REQUEST_TAGGED_FROM)?;
     skip_request_context(&mut r, version)?;
     let count = r.u32()? as usize;
     // Minimum per item: 8-byte key + 4-byte length + 8-byte empty signature.
@@ -412,7 +502,7 @@ pub fn decode_multi_request(payload: &[u8]) -> Result<MultiScreenRequest> {
 /// length prefix).
 pub fn encode_retest_request(request: &RetestRequest) -> Vec<u8> {
     let mut out = Vec::with_capacity(49 + 128 * request.items.len());
-    wire::put_header(&mut out, RETEST_REQUEST_MAGIC, REQUEST_PROTO_VERSION);
+    wire::put_tagged_header(&mut out, RETEST_REQUEST_MAGIC, REQUEST_PROTO_VERSION, 0);
     put_request_context(&mut out);
     wire::put_u64(&mut out, request.golden_key);
     wire::put_f64(&mut out, request.policy.guard_band);
@@ -440,7 +530,7 @@ pub fn encode_retest_request(request: &RetestRequest) -> Vec<u8> {
 /// [`RetestPolicy::new`]).
 pub fn decode_retest_request(payload: &[u8]) -> Result<RetestRequest> {
     let mut r = wire::ByteReader::new(payload, "retest request");
-    let version = r.header(RETEST_REQUEST_MAGIC, REQUEST_PROTO_VERSION)?;
+    let (version, _) = r.tagged_header(RETEST_REQUEST_MAGIC, REQUEST_PROTO_VERSION, REQUEST_TAGGED_FROM)?;
     skip_request_context(&mut r, version)?;
     let golden_key = r.u64()?;
     let guard_band = r.f64()?;
@@ -478,7 +568,7 @@ pub fn decode_retest_request(payload: &[u8]) -> Result<RetestRequest> {
 /// prefix).
 pub fn encode_retest_response(response: &RetestResponse) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
-    wire::put_header(&mut out, RETEST_RESPONSE_MAGIC, PROTO_VERSION);
+    wire::put_tagged_header(&mut out, RETEST_RESPONSE_MAGIC, PROTO_VERSION, 0);
     match response {
         RetestResponse::Results(results) => {
             out.push(STATUS_OK);
@@ -509,7 +599,7 @@ pub fn encode_retest_response(response: &RetestResponse) -> Vec<u8> {
 /// [`ServeError::Protocol`] on unknown status, marginal or flip tags.
 pub fn decode_retest_response(payload: &[u8]) -> Result<RetestResponse> {
     let mut r = wire::ByteReader::new(payload, "retest response");
-    r.header(RETEST_RESPONSE_MAGIC, PROTO_VERSION)?;
+    r.tagged_header(RETEST_RESPONSE_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
     match r.u8()? {
         STATUS_OK => {
             let count = r.u32()? as usize;
@@ -558,7 +648,7 @@ fn decode_bool(tag: u8, what: &str) -> Result<bool> {
 /// Encodes a golden-push request payload (without the frame length prefix).
 pub fn encode_push_request(key: u64, band: AcceptanceBand, golden: &Signature) -> Vec<u8> {
     let mut out = Vec::with_capacity(43 + 64);
-    wire::put_header(&mut out, PUSH_MAGIC, REQUEST_PROTO_VERSION);
+    wire::put_tagged_header(&mut out, PUSH_MAGIC, REQUEST_PROTO_VERSION, 0);
     put_request_context(&mut out);
     wire::put_u64(&mut out, key);
     wire::put_f64(&mut out, band.ndf_threshold);
@@ -573,7 +663,7 @@ pub fn encode_push_request(key: u64, band: AcceptanceBand, golden: &Signature) -
 /// decoding errors.
 pub fn decode_push_request(payload: &[u8]) -> Result<Request> {
     let mut r = wire::ByteReader::new(payload, "golden push request");
-    let version = r.header(PUSH_MAGIC, REQUEST_PROTO_VERSION)?;
+    let (version, _) = r.tagged_header(PUSH_MAGIC, REQUEST_PROTO_VERSION, REQUEST_TAGGED_FROM)?;
     skip_request_context(&mut r, version)?;
     let key = r.u64()?;
     let band = AcceptanceBand::new(r.f64()?)?;
@@ -585,7 +675,7 @@ pub fn decode_push_request(payload: &[u8]) -> Result<Request> {
 /// Encodes a golden-fetch request payload (without the frame length prefix).
 pub fn encode_fetch_request(key: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(31);
-    wire::put_header(&mut out, FETCH_MAGIC, REQUEST_PROTO_VERSION);
+    wire::put_tagged_header(&mut out, FETCH_MAGIC, REQUEST_PROTO_VERSION, 0);
     put_request_context(&mut out);
     wire::put_u64(&mut out, key);
     out
@@ -597,7 +687,7 @@ pub fn encode_fetch_request(key: u64) -> Vec<u8> {
 /// Returns [`ServeError::Dsig`] on framing errors.
 pub fn decode_fetch_request(payload: &[u8]) -> Result<Request> {
     let mut r = wire::ByteReader::new(payload, "golden fetch request");
-    let version = r.header(FETCH_MAGIC, REQUEST_PROTO_VERSION)?;
+    let (version, _) = r.tagged_header(FETCH_MAGIC, REQUEST_PROTO_VERSION, REQUEST_TAGGED_FROM)?;
     skip_request_context(&mut r, version)?;
     let key = r.u64()?;
     r.finish()?;
@@ -608,7 +698,7 @@ pub fn decode_fetch_request(payload: &[u8]) -> Result<Request> {
 /// prefix). The request is header-only.
 pub fn encode_metrics_request() -> Vec<u8> {
     let mut out = Vec::with_capacity(6);
-    wire::put_header(&mut out, METRICS_REQUEST_MAGIC, PROTO_VERSION);
+    wire::put_tagged_header(&mut out, METRICS_REQUEST_MAGIC, PROTO_VERSION, 0);
     out
 }
 
@@ -620,7 +710,7 @@ pub fn encode_metrics_request() -> Vec<u8> {
 /// version, trailing bytes).
 pub fn decode_metrics_request(payload: &[u8]) -> Result<Request> {
     let mut r = wire::ByteReader::new(payload, "metrics request");
-    r.header(METRICS_REQUEST_MAGIC, PROTO_VERSION)?;
+    r.tagged_header(METRICS_REQUEST_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
     r.finish()?;
     Ok(Request::Metrics)
 }
@@ -629,7 +719,7 @@ pub fn decode_metrics_request(payload: &[u8]) -> Result<Request> {
 /// prefix). The ok body is one length-prefixed `DSMS` snapshot.
 pub fn encode_metrics_response(response: &MetricsResponse) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
-    wire::put_header(&mut out, METRICS_RESPONSE_MAGIC, PROTO_VERSION);
+    wire::put_tagged_header(&mut out, METRICS_RESPONSE_MAGIC, PROTO_VERSION, 0);
     match response {
         MetricsResponse::Snapshot(snapshot) => {
             out.push(STATUS_OK);
@@ -652,7 +742,7 @@ pub fn encode_metrics_response(response: &MetricsResponse) -> Vec<u8> {
 /// [`ServeError::Protocol`] on an unknown status byte.
 pub fn decode_metrics_response(payload: &[u8]) -> Result<MetricsResponse> {
     let mut r = wire::ByteReader::new(payload, "metrics response");
-    r.header(METRICS_RESPONSE_MAGIC, PROTO_VERSION)?;
+    r.tagged_header(METRICS_RESPONSE_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
     match r.u8()? {
         STATUS_OK => {
             let snapshot = MetricsSnapshot::from_bytes(r.bytes()?)?;
@@ -673,7 +763,7 @@ pub fn decode_metrics_response(payload: &[u8]) -> Result<MetricsResponse> {
 /// prefix). The request is header-only, like `DSMX`.
 pub fn encode_traces_request() -> Vec<u8> {
     let mut out = Vec::with_capacity(6);
-    wire::put_header(&mut out, TRACES_REQUEST_MAGIC, PROTO_VERSION);
+    wire::put_tagged_header(&mut out, TRACES_REQUEST_MAGIC, PROTO_VERSION, 0);
     out
 }
 
@@ -685,7 +775,7 @@ pub fn encode_traces_request() -> Vec<u8> {
 /// version, trailing bytes).
 pub fn decode_traces_request(payload: &[u8]) -> Result<Request> {
     let mut r = wire::ByteReader::new(payload, "traces request");
-    r.header(TRACES_REQUEST_MAGIC, PROTO_VERSION)?;
+    r.tagged_header(TRACES_REQUEST_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
     r.finish()?;
     Ok(Request::Traces)
 }
@@ -694,7 +784,7 @@ pub fn decode_traces_request(payload: &[u8]) -> Result<Request> {
 /// prefix). The ok body is one length-prefixed `DSTL` trace log.
 pub fn encode_traces_response(response: &TracesResponse) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
-    wire::put_header(&mut out, TRACES_RESPONSE_MAGIC, PROTO_VERSION);
+    wire::put_tagged_header(&mut out, TRACES_RESPONSE_MAGIC, PROTO_VERSION, 0);
     match response {
         TracesResponse::Log(log) => {
             out.push(STATUS_OK);
@@ -717,7 +807,7 @@ pub fn encode_traces_response(response: &TracesResponse) -> Vec<u8> {
 /// [`ServeError::Protocol`] on an unknown status byte.
 pub fn decode_traces_response(payload: &[u8]) -> Result<TracesResponse> {
     let mut r = wire::ByteReader::new(payload, "traces response");
-    r.header(TRACES_RESPONSE_MAGIC, PROTO_VERSION)?;
+    r.tagged_header(TRACES_RESPONSE_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
     match r.u8()? {
         STATUS_OK => {
             let log = TraceLog::from_bytes(r.bytes()?)?;
@@ -795,7 +885,7 @@ pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
 /// Encodes an admin response payload (without the frame length prefix).
 pub fn encode_admin_response(response: &AdminResponse) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
-    wire::put_header(&mut out, ADMIN_RESPONSE_MAGIC, PROTO_VERSION);
+    wire::put_tagged_header(&mut out, ADMIN_RESPONSE_MAGIC, PROTO_VERSION, 0);
     match response {
         AdminResponse::Ack => out.push(ADMIN_ACK),
         AdminResponse::Record { band, golden } => {
@@ -819,7 +909,7 @@ pub fn encode_admin_response(response: &AdminResponse) -> Vec<u8> {
 /// [`ServeError::Protocol`] on an unknown status byte.
 pub fn decode_admin_response(payload: &[u8]) -> Result<AdminResponse> {
     let mut r = wire::ByteReader::new(payload, "admin response");
-    r.header(ADMIN_RESPONSE_MAGIC, PROTO_VERSION)?;
+    r.tagged_header(ADMIN_RESPONSE_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
     match r.u8()? {
         ADMIN_ACK => {
             r.finish()?;
@@ -844,7 +934,7 @@ pub fn decode_admin_response(payload: &[u8]) -> Result<AdminResponse> {
 /// Encodes a response payload (without the frame length prefix).
 pub fn encode_response(response: &ScreenResponse) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
-    wire::put_header(&mut out, RESPONSE_MAGIC, PROTO_VERSION);
+    wire::put_tagged_header(&mut out, RESPONSE_MAGIC, PROTO_VERSION, 0);
     match response {
         ScreenResponse::Results(results) => {
             out.push(STATUS_OK);
@@ -871,7 +961,7 @@ pub fn encode_response(response: &ScreenResponse) -> Vec<u8> {
 /// tags) and [`ServeError::Protocol`] on an unknown status byte.
 pub fn decode_response(payload: &[u8]) -> Result<ScreenResponse> {
     let mut r = wire::ByteReader::new(payload, "screen response");
-    r.header(RESPONSE_MAGIC, PROTO_VERSION)?;
+    r.tagged_header(RESPONSE_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
     match r.u8()? {
         STATUS_OK => {
             let count = r.u32()? as usize;
@@ -1021,7 +1111,7 @@ mod tests {
         let response = encode_response(&ScreenResponse::Results(vec![]));
         assert!(decode_response(&response[..3]).is_err());
         let mut bad_status = response;
-        let at = 6; // magic + version
+        let at = 14; // magic + version + request id
         bad_status[at] = 9;
         assert!(matches!(decode_response(&bad_status), Err(ServeError::Protocol(_))));
     }
@@ -1084,15 +1174,15 @@ mod tests {
         let mut trailing = payload.clone();
         trailing.push(0);
         assert!(decode_retest_request(&trailing).is_err());
-        // The guard band sits after magic+version (6) + trace context (17)
-        // + golden key (8).
+        // The guard band sits after magic+version+request id (14) + trace
+        // context (17) + golden key (8).
         let mut nan_guard = payload.clone();
-        nan_guard[31..39].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        nan_guard[39..47].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
         assert!(decode_retest_request(&nan_guard).is_err(), "NaN guard band");
         let mut bad_schedule = payload;
-        // First schedule step (after magic+version+context+key+guard+step
+        // First schedule step (after magic+version+id+context+key+guard+step
         // count).
-        bad_schedule[43..47].copy_from_slice(&0u32.to_le_bytes());
+        bad_schedule[51..55].copy_from_slice(&0u32.to_le_bytes());
         assert!(decode_retest_request(&bad_schedule).is_err(), "zero schedule step");
     }
 
@@ -1133,15 +1223,15 @@ mod tests {
         trailing.push(0);
         assert!(decode_retest_response(&trailing).is_err());
         let mut bad_status = payload.clone();
-        bad_status[6] = 9;
+        bad_status[14] = 9;
         assert!(matches!(
             decode_retest_response(&bad_status),
             Err(ServeError::Protocol(_))
         ));
         let mut bad_marginal = payload;
-        // First score: header(6) + status(1) + count(4) + ndf(8) + peak(4) +
-        // outcome(1) puts the marginal tag at offset 24.
-        bad_marginal[24] = 7;
+        // First score: header(14) + status(1) + count(4) + ndf(8) + peak(4) +
+        // outcome(1) puts the marginal tag at offset 32.
+        bad_marginal[32] = 7;
         assert!(matches!(
             decode_retest_response(&bad_marginal),
             Err(ServeError::Protocol(_))
@@ -1176,9 +1266,9 @@ mod tests {
         }
         assert!(decode_push_request(&push[..10]).is_err());
         // A NaN threshold is caught by AcceptanceBand validation (the
-        // threshold sits after magic+version (6) + context (17) + key (8)).
+        // threshold sits after magic+version+id (14) + context (17) + key (8)).
         let mut nan = push.clone();
-        nan[31..39].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        nan[39..47].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
         assert!(decode_push_request(&nan).is_err());
 
         let fetch = encode_fetch_request(42);
@@ -1213,7 +1303,7 @@ mod tests {
             assert!(decode_admin_response(&payload[..5]).is_err());
         }
         let mut bad_status = encode_admin_response(&AdminResponse::Ack);
-        bad_status[6] = 9; // magic + version
+        bad_status[14] = 9; // magic + version + request id
         assert!(matches!(
             decode_admin_response(&bad_status),
             Err(ServeError::Protocol(_))
@@ -1289,7 +1379,7 @@ mod tests {
         trailing.push(0);
         assert!(decode_metrics_response(&trailing).is_err());
         let mut bad_status = payload;
-        bad_status[6] = 9; // magic + version
+        bad_status[14] = 9; // magic + version + request id
         assert!(matches!(
             decode_metrics_response(&bad_status),
             Err(ServeError::Protocol(_))
@@ -1410,7 +1500,7 @@ mod tests {
         trailing.push(0);
         assert!(decode_traces_response(&trailing).is_err());
         let mut bad_status = payload;
-        bad_status[6] = 9; // magic + version
+        bad_status[14] = 9; // magic + version + request id
         assert!(matches!(
             decode_traces_response(&bad_status),
             Err(ServeError::Protocol(_))
@@ -1425,6 +1515,88 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn request_ids_stamp_and_peek_across_every_tagged_family() {
+        // A freshly encoded frame carries the placeholder id 0; stamping
+        // patches bytes 6..14 in place and the peek reads it back.
+        let mut request = encode_request(7, &[sig(&[(1, 1.0)])]);
+        assert_eq!(peek_request_id(&request), 0);
+        assert!(request_is_tagged(&request));
+        stamp_request_id(&mut request, 0xABCD_EF01_2345_6789);
+        assert_eq!(peek_request_id(&request), 0xABCD_EF01_2345_6789);
+        // The body still decodes — the id lives outside it.
+        assert!(decode_request(&request).is_ok());
+        // The context peek skips the id correctly.
+        assert_eq!(decode_request_context(&request), TraceContext::NONE);
+
+        let mut response = encode_response(&ScreenResponse::Results(vec![]));
+        stamp_request_id(&mut response, 42);
+        assert_eq!(peek_request_id(&response), 42);
+        assert!(decode_response(&response).is_ok());
+
+        for mut frame in [
+            encode_multi_request(&[]),
+            encode_retest_request(&RetestRequest {
+                golden_key: 1,
+                policy: RetestPolicy::new(0.005, vec![2]).unwrap(),
+                items: vec![],
+            }),
+            encode_push_request(1, AcceptanceBand::new(0.03).unwrap(), &sig(&[(1, 1.0)])),
+            encode_fetch_request(1),
+            encode_metrics_request(),
+            encode_traces_request(),
+            encode_retest_response(&RetestResponse::Results(vec![])),
+            encode_admin_response(&AdminResponse::Ack),
+            encode_decode_error(b"DSRQ", "boom".into()),
+        ] {
+            assert_eq!(peek_request_id(&frame), 0);
+            stamp_request_id(&mut frame, 99);
+            assert_eq!(peek_request_id(&frame), 99, "family {:?}", &frame[..4]);
+        }
+        // Garbage peeks as the untagged id without panicking.
+        assert_eq!(peek_request_id(b"DS"), 0);
+        assert_eq!(peek_request_id(b"NOPE1234aaaaaaaa"), 0);
+        assert!(!request_is_tagged(b"NOPE1234aaaaaaaa"));
+        assert!(!request_is_tagged(&encode_response(&ScreenResponse::Results(vec![]))));
+    }
+
+    #[test]
+    fn untagged_cross_version_frames_still_decode_as_id_zero() {
+        // A hand-built v2 work request: header + trace context, no id — the
+        // frame a pre-multiplexing client sends.
+        let mut v2 = Vec::new();
+        wire::put_header(&mut v2, REQUEST_MAGIC, 2);
+        trace::put_trace_context(&mut v2, TraceContext::NONE);
+        wire::put_u64(&mut v2, 7);
+        wire::put_u32(&mut v2, 0);
+        assert!(!request_is_tagged(&v2), "v2 keeps one-in-flight semantics");
+        assert_eq!(peek_request_id(&v2), 0);
+        let decoded = decode_request(&v2).unwrap();
+        assert_eq!(decoded.golden_key, 7);
+        assert!(decoded.signatures.is_empty());
+
+        // A hand-built v1 work request: bare header, no context either.
+        let mut v1 = Vec::new();
+        wire::put_header(&mut v1, REQUEST_MAGIC, 1);
+        wire::put_u64(&mut v1, 9);
+        wire::put_u32(&mut v1, 0);
+        assert!(!request_is_tagged(&v1));
+        assert_eq!(decode_request(&v1).unwrap().golden_key, 9);
+
+        // A hand-built v1 response: header + status + empty count.
+        let mut r1 = Vec::new();
+        wire::put_header(&mut r1, RESPONSE_MAGIC, 1);
+        r1.push(STATUS_OK);
+        wire::put_u32(&mut r1, 0);
+        assert_eq!(peek_request_id(&r1), 0);
+        assert_eq!(decode_response(&r1).unwrap(), ScreenResponse::Results(vec![]));
+
+        // A v3 work request truncated inside the id region is an error, not
+        // a panic.
+        let tagged = encode_request(7, &[]);
+        assert!(decode_request(&tagged[..10]).is_err());
     }
 
     #[test]

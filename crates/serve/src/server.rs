@@ -31,10 +31,11 @@ use dsig_obs::trace::{self, TraceContext, Tracer};
 use dsig_obs::{Counter, Histogram, MetricsSnapshot, Registry, Span, TraceLog};
 
 use crate::error::{Result, ServeError};
+use crate::mux::{self, WorkPool};
 use crate::proto::{
     decode_any_request, decode_request_context, encode_admin_response, encode_decode_error, encode_metrics_response,
-    encode_response, encode_retest_response, encode_traces_response, read_frame, write_frame, AdminResponse, ErrorCode,
-    MetricsResponse, Request, RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
+    encode_response, encode_retest_response, encode_traces_response, AdminResponse, ErrorCode, MetricsResponse,
+    Request, RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
 };
 use crate::store::{GoldenRecord, GoldenStore};
 
@@ -442,6 +443,34 @@ impl ServeHandle {
         }
         let batch: Arc<[Signature]> = signatures.into();
         let inbound = trace::current_context();
+        if batch.len() <= self.chunk {
+            // A batch that fits one chunk is scored on the calling thread:
+            // the shard round trip (channel, wake-up, reply) only pays for
+            // itself when there are chunks to run in parallel. Spans and
+            // metrics are identical to the dispatched path with one chunk.
+            {
+                let mut dispatch_span = self.tracer.span("serve.dispatch", "serve", inbound);
+                let _dispatch = Span::enter(&self.metrics.dispatch_us);
+                dispatch_span.annotate("chunks", 1usize);
+                dispatch_span.annotate("batch", batch.len());
+            }
+            let result = {
+                let mut shard_span = self.tracer.span("serve.shard", "serve", inbound);
+                shard_span.annotate("chunk_start", 0usize);
+                shard_span.annotate("items", batch.len());
+                let scored: std::result::Result<Vec<ScoreResult>, DsigError> =
+                    batch.iter().map(|observed| score(&record, observed)).collect();
+                if scored.is_ok() {
+                    self.scored.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    self.metrics.scored.add(batch.len() as u64);
+                }
+                scored
+            };
+            let mut reassembly_span = self.tracer.span("serve.reassembly", "serve", inbound);
+            reassembly_span.annotate("chunks", 1usize);
+            let _reassembly = Span::enter(&self.metrics.reassembly_us);
+            return Ok(result?);
+        }
         let (reply, replies) = mpsc::channel();
         let mut chunks = 0usize;
         {
@@ -516,6 +545,10 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_handle = handle.clone();
         let accept_shutdown = Arc::clone(&shutdown);
+        // One request-processing pool shared by every connection: request
+        // concurrency scales with cores, not with connection count, so one
+        // listener fans out to thousands of pipelined clients.
+        let pool = Arc::new(WorkPool::new(available_threads()));
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
@@ -524,9 +557,10 @@ impl Server {
                 match stream {
                     Ok(stream) => {
                         let conn_handle = accept_handle.clone();
+                        let conn_pool = Arc::clone(&pool);
                         // Connection threads are detached; they exit when the
                         // peer closes its end of the stream.
-                        std::thread::spawn(move || handle_connection(stream, conn_handle));
+                        std::thread::spawn(move || handle_connection(stream, conn_handle, conn_pool));
                     }
                     // Back off briefly on accept errors (e.g. EMFILE under
                     // fd exhaustion) instead of busy-spinning the core.
@@ -697,25 +731,18 @@ fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
     }
 }
 
-/// Serves one TCP connection: read a request frame, dispatch it by magic,
-/// write the response frame, repeat until the peer closes.
-fn handle_connection(stream: TcpStream, handle: ServeHandle) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = std::io::BufReader::new(read_half);
-    let mut writer = std::io::BufWriter::new(stream);
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            // Clean close, unreadable frame or dead socket: stop serving.
-            Ok(None) | Err(_) => return,
-        };
+/// Serves one TCP connection through the shared [`WorkPool`]: frames are
+/// read on this thread, tagged requests run as pool jobs completing out of
+/// order, and a writer thread streams responses back (see
+/// [`mux::drive_connection`]).
+fn handle_connection(stream: TcpStream, handle: ServeHandle, pool: Arc<WorkPool>) {
+    let respond_to = Arc::new(move |payload: Vec<u8>| {
         handle.metrics.bytes_in.add(payload.len() as u64 + 4);
         let response = {
             // Pin the caller's trace context for the whole request so every
-            // span opened while serving it parents under the remote caller.
+            // span opened while serving it parents under the remote caller
+            // — per request, because pool workers interleave requests from
+            // many callers.
             let _ctx = trace::with_context(decode_request_context(&payload));
             match decode_any_request(&payload) {
                 Ok(request) => respond(&handle, request),
@@ -726,13 +753,9 @@ fn handle_connection(stream: TcpStream, handle: ServeHandle) {
             }
         };
         handle.metrics.bytes_out.add(response.len() as u64 + 4);
-        if write_frame(&mut writer, &response).is_err() {
-            return;
-        }
-        if std::io::Write::flush(&mut writer).is_err() {
-            return;
-        }
-    }
+        response
+    });
+    mux::drive_connection(stream, &pool, respond_to);
 }
 
 impl From<ScoreResult> for RemoteScore {

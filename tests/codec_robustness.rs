@@ -394,7 +394,14 @@ proptest! {
         let mut mutated = request.clone();
         let at = ((mutated.len() - 1) as f64 * position) as usize;
         mutated[at] ^= flip;
-        prop_assert!(proto::decode_metrics_request(&mutated).is_err());
+        if at < 6 {
+            // Magic/version corruption always errors; bytes 6..14 are the
+            // opaque request id, which any value is legal for.
+            prop_assert!(proto::decode_metrics_request(&mutated).is_err());
+        } else {
+            prop_assert!(proto::decode_metrics_request(&mutated).is_ok());
+            prop_assert_eq!(proto::peek_request_id(&mutated) == 0, mutated[6..14] == [0; 8]);
+        }
     }
 
     #[test]
@@ -467,7 +474,13 @@ proptest! {
         let mut mutated = request.clone();
         let at = ((mutated.len() - 1) as f64 * position) as usize;
         mutated[at] ^= flip;
-        prop_assert!(proto::decode_traces_request(&mutated).is_err());
+        if at < 6 {
+            // As for DSMX: only the magic/version bytes are load-bearing;
+            // the request id (6..14) is an opaque correlator.
+            prop_assert!(proto::decode_traces_request(&mutated).is_err());
+        } else {
+            prop_assert!(proto::decode_traces_request(&mutated).is_ok());
+        }
 
         // Both DSTD response arms round-trip and reject abuse.
         let message = String::from_utf8(message_bytes).unwrap();
@@ -491,6 +504,118 @@ proptest! {
                 prop_assert!(proto::decode_traces_response(&mutated).is_err());
             }
         }
+    }
+
+    #[test]
+    fn tagged_request_headers_round_trip_and_decode_across_versions(
+        key in 0u64..u64::MAX,
+        id in 1u64..u64::MAX,
+        parts in prop::collection::vec((0u32..64, 0.01..500.0_f64), 1..6),
+        cut in 0.0..1.0_f64,
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+    ) {
+        use analog_signature::dsig::wire;
+        use analog_signature::obs::trace::{put_trace_context, TraceContext};
+
+        // A v3 work request: header, request id, trace context, body. The
+        // encoder emits the placeholder id 0; stamping patches bytes 6..14
+        // in place and must not disturb the decoded body.
+        let signature = signature_from(&parts);
+        let mut tagged = proto::encode_request(key, std::slice::from_ref(&signature));
+        let reference = proto::decode_request(&tagged).unwrap();
+        prop_assert_eq!(proto::peek_request_id(&tagged), 0);
+        proto::stamp_request_id(&mut tagged, id);
+        prop_assert_eq!(proto::peek_request_id(&tagged), id);
+        prop_assert!(proto::request_is_tagged(&tagged));
+        let decoded = proto::decode_request(&tagged).unwrap();
+        prop_assert_eq!(&decoded, &reference);
+        for (a, b) in decoded.signatures[0].entries().iter().zip(reference.signatures[0].entries()) {
+            prop_assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+        }
+
+        // Cross-version decode: the same body framed as v2 (trace context,
+        // no id) and v1 (bare) must still decode, as the untagged id 0 with
+        // the historical one-in-flight semantics.
+        let body = &tagged[14 + 17..];
+        let mut v2 = Vec::new();
+        wire::put_header(&mut v2, proto::REQUEST_MAGIC, 2);
+        put_trace_context(&mut v2, TraceContext::NONE);
+        v2.extend_from_slice(body);
+        let mut v1 = Vec::new();
+        wire::put_header(&mut v1, proto::REQUEST_MAGIC, 1);
+        v1.extend_from_slice(body);
+        for old in [&v2, &v1] {
+            prop_assert!(!proto::request_is_tagged(old));
+            prop_assert_eq!(proto::peek_request_id(old), 0);
+            prop_assert_eq!(&proto::decode_request(old).unwrap(), &reference);
+        }
+
+        // Truncation anywhere — including inside the id — is a clean error.
+        let keep = (tagged.len() as f64 * cut) as usize;
+        let truncated = proto::decode_request(&tagged[..keep]);
+        prop_assert!(matches!(
+            truncated,
+            Err(analog_signature::serve::ServeError::Dsig(
+                DsigError::Truncated { .. } | DsigError::Corrupt { .. }
+            ))
+        ));
+        // Mutating the opaque id bytes only changes the peeked correlator;
+        // the body still decodes to the same request.
+        let mut mutated = tagged.clone();
+        let at = 6 + ((7.999 * position) as usize);
+        mutated[at] ^= flip;
+        prop_assert_ne!(proto::peek_request_id(&mutated), id);
+        prop_assert_eq!(&proto::decode_request(&mutated).unwrap(), &reference);
+    }
+
+    #[test]
+    fn wire_tagged_headers_round_trip_and_reject_abuse(
+        version in 0u16..8,
+        max_version in 1u16..8,
+        tagged_from in 1u16..8,
+        id in 0u64..u64::MAX,
+        trailer in prop::collection::vec(0u8..255, 0..8),
+    ) {
+        use analog_signature::dsig::wire::{self, ByteReader};
+        let magic = *b"DSQQ";
+        let mut frame = Vec::new();
+        if version >= tagged_from {
+            wire::put_tagged_header(&mut frame, magic, version, id);
+        } else {
+            wire::put_header(&mut frame, magic, version);
+        }
+        frame.extend_from_slice(&trailer);
+
+        let mut reader = ByteReader::new(&frame, "proptest frame");
+        let result = reader.tagged_header(magic, max_version, tagged_from);
+        if version == 0 || version > max_version {
+            // Version 0 and future versions are rejected before the id is
+            // ever touched.
+            prop_assert!(result.is_err());
+        } else if version >= tagged_from {
+            prop_assert_eq!(result.unwrap(), (version, id));
+            prop_assert_eq!(reader.remaining(), trailer.len());
+        } else {
+            // Untagged versions read as id 0 without consuming body bytes.
+            prop_assert_eq!(result.unwrap(), (version, 0));
+            prop_assert_eq!(reader.remaining(), trailer.len());
+        }
+
+        // A tagged header truncated inside the id region is a clean
+        // Truncated error, never a panic or a garbage id.
+        if version >= tagged_from && version <= max_version && version > 0 {
+            for keep in 6..14 {
+                let mut reader = ByteReader::new(&frame[..keep], "proptest frame");
+                prop_assert!(matches!(
+                    reader.tagged_header(magic, max_version, tagged_from),
+                    Err(DsigError::Truncated { .. })
+                ));
+            }
+        }
+        // The wrong magic is rejected whatever the version says.
+        let mut reader = ByteReader::new(&frame, "proptest frame");
+        prop_assert!(reader.tagged_header(*b"XXXX", max_version, tagged_from).is_err());
     }
 
     #[test]
