@@ -17,10 +17,13 @@
 //! an idle-timeout close between requests does not surface to the caller.
 //! Under pipelining the rule is explicit: on reconnect, only the
 //! **unacknowledged idempotent** requests are resubmitted (with their
-//! original ids). Requests whose responses already arrived are never
-//! resent, and a pending `DSTX` trace drain — the one non-idempotent
-//! request, since scraping consumes spans — fails with the connection error
-//! instead of being silently re-issued.
+//! original ids), and each request is resubmitted **at most once** — if the
+//! replacement connection dies too (a crash-looping or shedding server),
+//! the request fails with the I/O error instead of being redialed forever.
+//! Requests whose responses already arrived are never resent, and a pending
+//! `DSTX` trace drain — the one non-idempotent request, since scraping
+//! consumes spans — fails with the connection error instead of being
+//! silently re-issued.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -291,6 +294,12 @@ fn decode_trace_log(payload: &[u8]) -> Result<TraceLog> {
     }
 }
 
+/// Upper bound on one (re)dial. Redials run with callers waiting — the
+/// reconnect path even holds the state lock — so a dial to a black-holed
+/// host must fail within this bound instead of stalling every clone for the
+/// OS connect default (which can be minutes).
+const DIAL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
 /// A pending response slot: the ticket's receiver plus everything needed to
 /// resubmit the request if the connection dies underneath it.
 struct PendingEntry {
@@ -299,6 +308,10 @@ struct PendingEntry {
     frame: Vec<u8>,
     /// Delivers the response payload (or the terminal error) to the ticket.
     tx: mpsc::Sender<Result<Vec<u8>>>,
+    /// Whether the one-redial retry budget is spent: a request rides at most
+    /// two connections — if the one it was resubmitted on dies too, it fails
+    /// instead of riding a crash loop forever.
+    resubmitted: bool,
 }
 
 /// Shared connection state: the write half plus the in-flight table.
@@ -453,13 +466,31 @@ impl PipelinedClient {
             return Err(poison_error(detail));
         }
         if state.writer.is_none() {
-            // Lazy redial after an idle server-side close.
-            let stream = TcpStream::connect(self.inner.addr)?;
-            attach_stream(&self.inner, &mut state, stream)?;
+            // Lazy redial after an idle server-side close — with the lock
+            // released, so a slow dial stalls neither other clones'
+            // submissions nor the reader's response delivery.
+            drop(state);
+            let stream = TcpStream::connect_timeout(&self.inner.addr, DIAL_TIMEOUT)?;
+            state = self.inner.state.lock().expect("mux state poisoned");
+            if let Some(detail) = &state.poisoned {
+                return Err(poison_error(detail));
+            }
+            // A clone may have redialed while the lock was free; theirs
+            // wins and our stream just drops.
+            if state.writer.is_none() {
+                attach_stream(&self.inner, &mut state, stream)?;
+            }
         }
         // The pending table owns the frame (for resubmit-on-reconnect); the
         // wire write borrows it from there, so the hot path never copies it.
-        state.pending.insert(id, PendingEntry { frame, tx });
+        state.pending.insert(
+            id,
+            PendingEntry {
+                frame,
+                tx,
+                resubmitted: false,
+            },
+        );
         let MuxState { writer, pending, .. } = &mut *state;
         let frame = &pending[&id].frame;
         let writer = writer.as_mut().expect("connected above");
@@ -606,29 +637,45 @@ fn attach_stream(inner: &Arc<MuxInner>, state: &mut MuxState, stream: TcpStream)
 }
 
 /// Tears down the current connection and dials **once**: unacknowledged
-/// idempotent requests are resubmitted with their original ids; pending
-/// trace drains (non-idempotent) and — if the redial fails — everything
-/// else resolve to the connection error. Callers already hold the lock.
+/// idempotent requests that have not been resubmitted before are resubmitted
+/// with their original ids (and their one-redial budget marked spent);
+/// pending trace drains (non-idempotent), requests whose budget is already
+/// spent and — if the redial fails — everything else resolve to the
+/// connection error. Callers already hold the lock.
 fn reconnect(inner: &Arc<MuxInner>, state: &mut MuxState) {
     state.writer = None;
     // Invalidate the old reader even if redialing fails.
     state.generation += 1;
-    // Fail the non-idempotent requests rather than re-issuing them.
-    let drains: Vec<u64> = state
+    // Fail the non-idempotent requests rather than re-issuing them, and the
+    // requests whose single transparent resubmission is already spent — the
+    // budget is what keeps a server that accepts and immediately dies again
+    // (crash loop, overload shedding) from being redialed forever while
+    // callers hang.
+    let spent: Vec<u64> = state
         .pending
         .iter()
-        .filter(|(_, entry)| entry.frame.get(..4) == Some(&TRACES_REQUEST_MAGIC))
+        .filter(|(_, entry)| entry.resubmitted || entry.frame.get(..4) == Some(&TRACES_REQUEST_MAGIC))
         .map(|(&id, _)| id)
         .collect();
-    for id in drains {
+    for id in spent {
         if let Some(entry) = state.pending.remove(&id) {
+            let message = if entry.frame.get(..4) == Some(&TRACES_REQUEST_MAGIC) {
+                "connection died before the trace drain resolved; not resubmitted (a drain is not idempotent)"
+            } else {
+                "connection died again after the request's one transparent resubmission"
+            };
             let _ = entry.tx.send(Err(ServeError::Io(std::io::Error::new(
                 std::io::ErrorKind::ConnectionReset,
-                "connection died before the trace drain resolved; not resubmitted (a drain is not idempotent)",
+                message,
             ))));
         }
     }
-    let failure = match TcpStream::connect(inner.addr)
+    if state.pending.is_empty() {
+        // Nothing left to resubmit: skip the redial and let the next call
+        // dial lazily (outside the lock).
+        return;
+    }
+    let failure = match TcpStream::connect_timeout(&inner.addr, DIAL_TIMEOUT)
         .map_err(ServeError::from)
         .and_then(|stream| attach_stream(inner, state, stream))
     {
@@ -637,8 +684,11 @@ fn reconnect(inner: &Arc<MuxInner>, state: &mut MuxState) {
             let MuxState { writer, pending, .. } = &mut *state;
             let writer = writer.as_mut().expect("attached above");
             pending
-                .values()
-                .try_fold((), |(), entry| write_frame(writer, &entry.frame))
+                .values_mut()
+                .try_fold((), |(), entry| {
+                    entry.resubmitted = true;
+                    write_frame(writer, &entry.frame)
+                })
                 .and_then(|()| writer.flush().map_err(Into::into))
                 .err()
         }
@@ -977,20 +1027,59 @@ mod tests {
             assert_eq!(&frame[..4], b"DSTX");
             drop(reader);
             drop(first);
-            // Connection 2 (the transparent redial): nothing may be
-            // resubmitted on it.
-            let (second, _) = listener.accept().unwrap();
-            let mut reader = std::io::BufReader::new(second.try_clone().unwrap());
-            assert!(
-                crate::proto::read_frame(&mut reader).unwrap().is_none(),
-                "a trace drain must not be resubmitted"
-            );
+            // With the drain failed there is nothing left to resubmit, so
+            // the client must not even redial: poll the listener briefly
+            // and reject any second connection.
+            listener.set_nonblocking(true).unwrap();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+            while std::time::Instant::now() < deadline {
+                match listener.accept() {
+                    Ok(_) => panic!("a trace drain must not trigger a redial, let alone a resubmission"),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Err(e) => panic!("unexpected accept error {e}"),
+                }
+            }
         });
 
         let client = PipelinedClient::connect(addr).unwrap();
         assert!(matches!(client.traces(), Err(ServeError::Io(_))));
         drop(client);
         serve_thread.join().unwrap();
+    }
+
+    /// Against a server that accepts and immediately dies again, the retry
+    /// budget is one transparent resubmission per request: the second dead
+    /// connection fails the ticket with [`ServeError::Io`] instead of
+    /// redialing forever while the caller hangs.
+    #[test]
+    fn pipelined_requests_fail_after_one_resubmission_against_a_crash_looping_server() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let crash_loop = std::thread::spawn(move || {
+            // The initial connection and the one reconnect dial are both
+            // accepted and dropped on the floor; a third dial would hit the
+            // closed listener (connection refused), so a retry-budget
+            // regression still fails the test instead of hanging it.
+            for _ in 0..2 {
+                let (conn, _) = listener.accept().unwrap();
+                drop(conn);
+            }
+        });
+
+        let client = PipelinedClient::connect(addr).unwrap();
+        let ticket = client.start_screen(1, &[sig(&[(1, 1.0)])]).unwrap();
+        match ticket.wait() {
+            Err(ServeError::Io(_)) => {}
+            other => panic!("expected Io after the spent retry budget, got {other:?}"),
+        }
+        crash_loop.join().unwrap();
+        // The budget is per request, not per client: a later call dials
+        // lazily (and here fails cleanly against the closed listener).
+        assert!(matches!(client.screen(1, &[sig(&[(1, 1.0)])]), Err(ServeError::Io(_))));
     }
 
     /// A response id matching nothing in flight poisons the client: every

@@ -17,11 +17,16 @@
 //!
 //! Each accepted connection runs two threads: the **reader** decodes frames
 //! and submits tagged requests to the shared pool (untagged pre-v3 frames
-//! are served inline, preserving their historical in-order semantics), and
-//! the **writer** drains an unbounded response channel, so a stalled peer
-//! blocks only its own writer — never a pool worker, never another
-//! connection. Pool workers stamp the request's id into the response
-//! ([`crate::proto::stamp_request_id`]) and hand it to the owning
+//! are served inline — in order, and answered with untagged version-1
+//! responses, preserving exactly the contract pre-multiplexing clients were
+//! built against), and the **writer** drains the response channel, so a
+//! stalled peer blocks only its own reader/writer pair — never a pool
+//! worker, never another connection. Responses outstanding per connection
+//! are capped at [`MAX_QUEUED_RESPONSES`]: past the cap the reader stops
+//! pulling new requests until the peer drains some responses, so a peer
+//! that pipelines requests without ever reading answers holds a bounded
+//! amount of server memory. Pool workers stamp the request's id into the
+//! response ([`crate::proto::stamp_request_id`]) and hand it to the owning
 //! connection's writer; completion order is whatever the shards finish
 //! first, which is the whole point.
 
@@ -32,7 +37,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crate::proto::{peek_request_id, read_frame, request_is_tagged, stamp_request_id, write_frame};
+use crate::proto::{peek_request_id, read_frame, request_is_tagged, stamp_request_id, untag_response, write_frame};
 
 /// One unit of connection work: decode, serve and encode one request.
 type Job = Box<dyn FnOnce() + Send>;
@@ -154,7 +159,89 @@ fn worker_loop(inner: &PoolInner, index: usize) {
             }
             std::thread::yield_now();
         };
-        job();
+        // A panicking job must not kill the worker: the pool is shared by
+        // every connection of the process, and each death would silently
+        // shrink it until nothing serves. The job's connection sees the
+        // dropped response as a never-answered request; everyone else is
+        // unaffected.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+/// Cap on responses outstanding per connection: requests handed to the pool
+/// (or served inline) whose response frames have not yet been written to the
+/// peer. Past the cap the reader stops pulling frames off the socket until
+/// the writer drains, so a peer that pipelines without reading is
+/// flow-controlled instead of growing an unbounded response queue
+/// server-side. Generous enough to keep every pool worker busy on one
+/// connection; frames can be up to 64 MiB, so the cap is what bounds worst
+/// case per-connection memory.
+pub const MAX_QUEUED_RESPONSES: usize = 64;
+
+/// The per-connection response budget: a counting gate the reader acquires
+/// one slot from per request, released when the response frame has been
+/// written (or abandoned — see [`SlotGuard`]).
+struct ResponseGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+struct GateState {
+    /// Slots currently held by in-flight requests / unwritten responses.
+    held: usize,
+    /// Set when the writer exits; a blocked reader gives up instead of
+    /// waiting for slots nobody will ever free.
+    writer_gone: bool,
+}
+
+impl ResponseGate {
+    fn new() -> Arc<ResponseGate> {
+        Arc::new(ResponseGate {
+            state: Mutex::new(GateState {
+                held: 0,
+                writer_gone: false,
+            }),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Blocks until a slot is free, returning `None` once the writer is gone
+    /// (the peer stopped accepting bytes — reading more requests is
+    /// pointless).
+    fn acquire(self: &Arc<ResponseGate>) -> Option<SlotGuard> {
+        let mut state = self.state.lock().expect("response gate poisoned");
+        while state.held >= MAX_QUEUED_RESPONSES && !state.writer_gone {
+            state = self.freed.wait(state).expect("response gate poisoned");
+        }
+        if state.writer_gone {
+            return None;
+        }
+        state.held += 1;
+        Some(SlotGuard { gate: Arc::clone(self) })
+    }
+
+    /// Marks the writer dead and wakes a reader blocked on a slot.
+    fn writer_gone(&self) {
+        self.state.lock().expect("response gate poisoned").writer_gone = true;
+        self.freed.notify_all();
+    }
+}
+
+/// One held response slot. Travels with the response frame through the
+/// channel and releases on drop — when the writer has written the frame,
+/// when the writer dies with frames queued, or when a panicking job never
+/// produces a response at all.
+struct SlotGuard {
+    gate: Arc<ResponseGate>,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("response gate poisoned");
+        state.held -= 1;
+        drop(state);
+        // Only the connection's reader ever waits.
+        self.gate.freed.notify_one();
     }
 }
 
@@ -164,8 +251,11 @@ fn worker_loop(inner: &PoolInner, index: usize) {
 /// complete out of order (matched by the echoed request id).
 ///
 /// Untagged (pre-multiplexing) requests are served inline on the reader
-/// thread: at most one in flight, responses in request order — exactly the
-/// contract those clients were built against.
+/// thread: at most one in flight, responses in request order — and answered
+/// with **untagged version-1 response frames**
+/// ([`crate::proto::untag_response`]), because a pre-tagging client decodes
+/// responses with `max_version = 1` and would reject the current tagged
+/// layout. That is exactly the contract those clients were built against.
 ///
 /// Returns when the peer closes or the stream errors; in-flight pool jobs
 /// finish and their responses are written (or dropped if the peer is gone)
@@ -176,8 +266,17 @@ pub fn drive_connection(stream: TcpStream, pool: &WorkPool, respond: Arc<Respond
         return;
     };
     let mut reader = std::io::BufReader::new(read_half);
-    let (responses, inbox) = mpsc::channel::<Vec<u8>>();
-    let writer = std::thread::spawn(move || writer_loop(stream, &inbox));
+    let (responses, inbox) = mpsc::channel::<(Vec<u8>, SlotGuard)>();
+    let gate = ResponseGate::new();
+    let writer = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            writer_loop(stream, &inbox);
+            // Unblock a reader waiting on a slot: no more responses will
+            // ever be written, so reading more requests is pointless.
+            gate.writer_gone();
+        })
+    };
     // With a single pool worker, completion order is submission order and
     // every job runs back-to-back on that one thread — the handoff (job
     // allocation, semaphore, queue, worker wake-up) buys nothing, so serve
@@ -185,14 +284,20 @@ pub fn drive_connection(stream: TcpStream, pool: &WorkPool, respond: Arc<Respond
     // through the writer thread, so a stalled peer keeps blocking only its
     // own writer.
     let inline_tagged = pool.workers() == 1;
-    // A clean close, unreadable frame or dead socket ends the read loop.
+    // A clean close, unreadable frame or dead socket ends the read loop; so
+    // does writer death (the response budget can never be repaid).
     while let Ok(Some(payload)) = read_frame(&mut reader) {
+        // One response slot per request, acquired *before* the work exists:
+        // at the cap the reader pauses here until the peer drains responses.
+        let Some(slot) = gate.acquire() else {
+            break;
+        };
         if request_is_tagged(&payload) {
             if inline_tagged {
                 let request_id = peek_request_id(&payload);
                 let mut response = respond(payload);
                 stamp_request_id(&mut response, request_id);
-                let _ = responses.send(response);
+                let _ = responses.send((response, slot));
                 continue;
             }
             let respond = Arc::clone(&respond);
@@ -203,12 +308,12 @@ pub fn drive_connection(stream: TcpStream, pool: &WorkPool, respond: Arc<Respond
                 stamp_request_id(&mut response, request_id);
                 // A send failure means the writer died with the peer; the
                 // response is dropped like any write to a closed socket.
-                let _ = responses.send(response);
+                let _ = responses.send((response, slot));
             }));
         } else {
-            // Encoders emit the placeholder id 0 — exactly the untagged
-            // correlator these frames decode as, so no stamping needed.
-            let _ = responses.send(respond(payload));
+            // Answer in the untagged layout the pre-tagging peer decodes
+            // (no stamping — the placeholder id is dropped with the field).
+            let _ = responses.send((untag_response(respond(payload)), slot));
         }
     }
     // Close our sender; the writer exits once every in-flight job's clone
@@ -219,18 +324,22 @@ pub fn drive_connection(stream: TcpStream, pool: &WorkPool, respond: Arc<Respond
 
 /// The write half of a connection: drain the response channel, batching
 /// every ready frame into one flush. Exits when the channel closes (reader
-/// gone, jobs done) or the peer stops accepting bytes.
-fn writer_loop(stream: TcpStream, inbox: &mpsc::Receiver<Vec<u8>>) {
+/// gone, jobs done) or the peer stops accepting bytes. Each frame's
+/// [`SlotGuard`] is dropped once the frame is written (or abandoned),
+/// repaying the connection's response budget.
+fn writer_loop(stream: TcpStream, inbox: &mpsc::Receiver<(Vec<u8>, SlotGuard)>) {
     let mut writer = std::io::BufWriter::new(stream);
-    while let Ok(frame) = inbox.recv() {
+    while let Ok((frame, slot)) = inbox.recv() {
         if write_frame(&mut writer, &frame).is_err() {
             return;
         }
+        drop(slot);
         // Greedily coalesce everything already queued before flushing once.
-        while let Ok(frame) = inbox.try_recv() {
+        while let Ok((frame, slot)) = inbox.try_recv() {
             if write_frame(&mut writer, &frame).is_err() {
                 return;
             }
+            drop(slot);
         }
         if writer.flush().is_err() {
             return;
@@ -301,6 +410,77 @@ mod tests {
         drop(pool);
         opener.join().unwrap();
         assert_eq!(ran.load(Ordering::Relaxed), 10, "every queued job ran before exit");
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_pool_workers() {
+        // Every worker eats several panicking jobs; the pool must still run
+        // jobs submitted afterwards — a panic costs one response, never a
+        // worker thread.
+        let pool = WorkPool::new(2);
+        for _ in 0..8 {
+            pool.submit(Box::new(|| panic!("job panic must not kill the worker")));
+        }
+        let (done, finished) = mpsc::channel();
+        for k in 1..=10u64 {
+            let done = done.clone();
+            pool.submit(Box::new(move || {
+                let _ = done.send(k);
+            }));
+        }
+        let mut sum = 0;
+        for _ in 0..10 {
+            sum += finished.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(sum, 55, "jobs after the panics still run on a full-size pool");
+    }
+
+    #[test]
+    fn untagged_requests_are_answered_with_untagged_v1_responses() {
+        use std::io::Write;
+        use std::net::TcpListener;
+
+        // A pre-tagging peer sends an untagged (version-1) frame; the
+        // connection loop must answer with a version-1 response — no id
+        // field — because that peer's decoder rejects anything newer.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let respond: Arc<Responder> =
+            Arc::new(|_payload| crate::proto::encode_response(&crate::proto::ScreenResponse::Results(vec![])));
+        let server = std::thread::spawn(move || {
+            let pool = WorkPool::new(2);
+            let (stream, _) = listener.accept().unwrap();
+            drive_connection(stream, &pool, respond);
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = std::io::BufWriter::new(stream.try_clone().unwrap());
+        // An untagged v1 request: magic + version 1, no id field.
+        let mut untagged = Vec::new();
+        untagged.extend_from_slice(&crate::proto::REQUEST_MAGIC);
+        untagged.extend_from_slice(&1u16.to_le_bytes());
+        assert!(!request_is_tagged(&untagged));
+        write_frame(&mut writer, &untagged).unwrap();
+        writer.flush().unwrap();
+
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let response = read_frame(&mut reader).unwrap().expect("response frame");
+        assert_eq!(&response[..4], b"DSRS");
+        assert_eq!(
+            u16::from_le_bytes(response[4..6].try_into().unwrap()),
+            1,
+            "an untagged request draws a version-1 response"
+        );
+        let tagged = crate::proto::encode_response(&crate::proto::ScreenResponse::Results(vec![]));
+        assert_eq!(response.len(), tagged.len() - 8, "exactly the id field is dropped");
+        assert_eq!(&response[6..], &tagged[14..], "the body is untouched");
+        // The current decoder still reads the downgraded frame (as id 0).
+        assert!(matches!(
+            crate::proto::decode_response(&response).unwrap(),
+            crate::proto::ScreenResponse::Results(results) if results.is_empty()
+        ));
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        server.join().unwrap();
     }
 
     #[test]

@@ -410,6 +410,22 @@ pub fn stamp_request_id(frame: &mut [u8], request_id: u64) {
     frame[6..14].copy_from_slice(&request_id.to_le_bytes());
 }
 
+/// Rewrites a current-version (tagged) response frame into the version-1
+/// untagged layout: the version field drops to `1` and the `u64` id at
+/// bytes `6..14` is removed, leaving the body untouched (the id is the only
+/// thing the response version bump added). This is how a server answers an
+/// **untagged** request — a pre-tagging client decodes responses with
+/// `max_version = 1` and would reject a version-2 frame outright, so the
+/// event loop downgrades what it echoes back to them. Frames already
+/// untagged (or too short to carry an id) pass through unchanged.
+pub fn untag_response(mut frame: Vec<u8>) -> Vec<u8> {
+    if frame.len() >= 14 && peek_version(&frame).is_some_and(|version| version >= PROTO_TAGGED_FROM) {
+        frame[4..6].copy_from_slice(&1u16.to_le_bytes());
+        frame.drain(6..14);
+    }
+    frame
+}
+
 /// Extracts the trace context of a request frame without decoding its body
 /// — the dispatch loop pins it to the handling thread before
 /// [`decode_any_request`] runs. Infallible: anything that is not a
@@ -1114,6 +1130,42 @@ mod tests {
         let at = 14; // magic + version + request id
         bad_status[at] = 9;
         assert!(matches!(decode_response(&bad_status), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn untag_response_downgrades_every_response_family_to_v1() {
+        // Each family's tagged (current-version) encoding downgrades to a
+        // version-1 frame: version field 1, id bytes 6..14 gone, body
+        // untouched — and the current decoder still accepts the result.
+        let frames = [
+            encode_response(&ScreenResponse::Results(vec![])),
+            encode_retest_response(&RetestResponse::Results(vec![])),
+            encode_admin_response(&AdminResponse::Ack),
+            encode_metrics_response(&MetricsResponse::Error {
+                code: ErrorCode::Internal,
+                message: "x".into(),
+            }),
+            encode_traces_response(&TracesResponse::Error {
+                code: ErrorCode::Internal,
+                message: "x".into(),
+            }),
+        ];
+        for tagged in frames {
+            let untagged = untag_response(tagged.clone());
+            assert_eq!(&untagged[..4], &tagged[..4]);
+            assert_eq!(u16::from_le_bytes(untagged[4..6].try_into().unwrap()), 1);
+            assert_eq!(&untagged[6..], &tagged[14..], "body must be untouched");
+            assert_eq!(peek_request_id(&untagged), 0);
+            // Downgrading an already-untagged frame is a no-op.
+            assert_eq!(untag_response(untagged.clone()), untagged);
+        }
+        let v1 = untag_response(encode_response(&ScreenResponse::Results(vec![])));
+        assert!(matches!(
+            decode_response(&v1).unwrap(),
+            ScreenResponse::Results(results) if results.is_empty()
+        ));
+        // Frames too short for an id field pass through unchanged.
+        assert_eq!(untag_response(b"DSRS".to_vec()), b"DSRS".to_vec());
     }
 
     #[test]

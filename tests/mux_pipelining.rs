@@ -322,6 +322,65 @@ fn routed_pipelined_campaign_is_bit_identical_at_every_backend_count() {
 }
 
 #[test]
+fn pre_tagging_v1_clients_still_round_trip_against_the_upgraded_server() {
+    let _exclusive = exclusive();
+    let lot = lot();
+    let (store, key) = served_store();
+    let server = Server::bind("127.0.0.1:0", store, ServeConfig::with_shards(2)).unwrap();
+    let addr = server.local_addr();
+
+    let mut blocking = ServeClient::connect(addr).unwrap();
+    let expected = blocking.screen_one(key, &lot.signatures[0]).unwrap();
+
+    // A frame exactly as a pre-tagging binary emits it: version-1 header,
+    // no request id, no trace context. Such a binary also decodes responses
+    // with `max_version = 1`, so the answer must come back as version 1 too
+    // — the whole point of the untagged inline path.
+    let current = proto::encode_request(key, std::slice::from_ref(&lot.signatures[0]));
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(&current[..4]);
+    v1.extend_from_slice(&1u16.to_le_bytes());
+    v1.extend_from_slice(&current[14 + 17..]); // body after the id + trace context
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = std::io::BufWriter::new(stream.try_clone().unwrap());
+    let mut reader = std::io::BufReader::new(stream);
+    for round in 0..3 {
+        proto::write_frame(&mut writer, &v1).unwrap();
+        writer.flush().unwrap();
+        let response = proto::read_frame(&mut reader).unwrap().expect("v1 response");
+        assert_eq!(&response[..4], b"DSRS", "round {round}");
+        assert_eq!(
+            u16::from_le_bytes(response[4..6].try_into().unwrap()),
+            1,
+            "round {round}: a v1-only reader rejects anything newer, so the response must be v1"
+        );
+        match proto::decode_response(&response).unwrap() {
+            proto::ScreenResponse::Results(scores) => {
+                assert_eq!(scores.len(), 1, "round {round}");
+                assert_eq!(scores[0].ndf.to_bits(), expected.ndf.to_bits(), "round {round}");
+                assert_eq!(scores[0].outcome, expected.outcome, "round {round}");
+            }
+            other => panic!("round {round}: unexpected response {other:?}"),
+        }
+    }
+
+    // The scrape families tag from v2; a v1 `DSMX` must draw a v1 `DSMR`.
+    let mut scrape = Vec::new();
+    scrape.extend_from_slice(b"DSMX");
+    scrape.extend_from_slice(&1u16.to_le_bytes());
+    proto::write_frame(&mut writer, &scrape).unwrap();
+    writer.flush().unwrap();
+    let response = proto::read_frame(&mut reader).unwrap().expect("v1 scrape response");
+    assert_eq!(&response[..4], b"DSMR");
+    assert_eq!(u16::from_le_bytes(response[4..6].try_into().unwrap()), 1);
+    assert!(matches!(
+        proto::decode_metrics_response(&response).unwrap(),
+        proto::MetricsResponse::Snapshot(_)
+    ));
+}
+
+#[test]
 fn slow_loris_mid_frame_disconnects_and_garbage_do_not_wedge_other_connections() {
     let _exclusive = exclusive();
     let lot = lot();
