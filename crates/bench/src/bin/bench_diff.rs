@@ -13,6 +13,13 @@
 //! must not fail the build. Without `--smoke`, a regression (or a vanished
 //! path) exits 1.
 //!
+//! Pass `--metrics <path>` (the `METRICS_*.txt` scrape the bench wrote) to
+//! additionally judge the run's server health: the default SLO policy is
+//! evaluated over the rendered metrics and the verdict rides the `VERDICT`
+//! line as a ` health=PASS|DEGRADED|FAIL` suffix, with one `HLTH` line per
+//! violated objective. Health is informational — it never changes the exit
+//! code, which stays about throughput regressions.
+//!
 //! A benchmark without a committed baseline yet (the baseline file does not
 //! exist) is not an error: the record says `VERDICT NEW`, lists every
 //! candidate path as `NEW`, and the process exits 0 — a fresh throughput bin
@@ -23,13 +30,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use repro_bench::trend::{diff_artifacts, BenchArtifact, DEFAULT_THRESHOLD_PCT};
+use repro_bench::trend::{diff_artifacts, health_from_metrics_text, BenchArtifact, DEFAULT_THRESHOLD_PCT};
 
 struct Args {
     baseline: PathBuf,
     candidate: PathBuf,
     threshold_pct: f64,
     rslt: Option<PathBuf>,
+    metrics: Option<PathBuf>,
     smoke: bool,
     write_baseline: bool,
 }
@@ -38,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
     let mut positional: Vec<PathBuf> = Vec::new();
     let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
     let mut rslt = None;
+    let mut metrics = None;
     let mut smoke = false;
     let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
@@ -53,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--rslt" => rslt = Some(PathBuf::from(args.next().ok_or("--rslt needs a path")?)),
+            "--metrics" => metrics = Some(PathBuf::from(args.next().ok_or("--metrics needs a path")?)),
             "--smoke" => smoke = true,
             "--write-baseline" => write_baseline = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -60,14 +70,15 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let [baseline, candidate] = <[PathBuf; 2]>::try_from(positional).map_err(|_| {
-        "usage: bench_diff <baseline.json> <candidate.json> \
-         [--threshold-pct <pct>] [--rslt <path>] [--smoke] [--write-baseline]"
+        "usage: bench_diff <baseline.json> <candidate.json> [--threshold-pct <pct>] \
+         [--rslt <path>] [--metrics <path>] [--smoke] [--write-baseline]"
     })?;
     Ok(Args {
         baseline,
         candidate,
         threshold_pct,
         rslt,
+        metrics,
         smoke,
         write_baseline,
     })
@@ -96,6 +107,29 @@ fn seed_baseline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Folds the run's health verdict into an `RSLT` record (`--metrics`): the
+/// metrics text is judged against the default SLO policy, the status rides
+/// the `VERDICT` line as a ` health=...` suffix, and `ENV`/`HLTH` lines are
+/// spliced in before `END RSLT`. Informational only — the caller's exit
+/// code is untouched.
+fn fold_health(rslt: &mut String, metrics: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(metrics).map_err(|e| format!("{}: {e}", metrics.display()))?;
+    let health = health_from_metrics_text(&text, &dsig_obs::SloPolicy::default());
+    if let Some(at) = rslt.find("\nVERDICT ") {
+        let line_end = rslt[at + 1..].find('\n').map_or(rslt.len(), |i| at + 1 + i);
+        rslt.insert_str(line_end, &format!(" health={}", health.status.as_str()));
+    }
+    let mut extra = format!("ENV metrics {}\n", metrics.display());
+    for finding in &health.findings {
+        extra.push_str(&format!("HLTH {finding}\n"));
+    }
+    match rslt.rfind("END RSLT\n") {
+        Some(end) => rslt.insert_str(end, &extra),
+        None => rslt.push_str(&extra),
+    }
+    Ok(())
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     let candidate = BenchArtifact::load(&args.candidate)?;
@@ -109,6 +143,9 @@ fn run() -> Result<bool, String> {
             rslt.push_str(&format!("NEW {}/{}\n", path.path, path.batch));
         }
         rslt.push_str("END RSLT\n");
+        if let Some(metrics) = &args.metrics {
+            fold_health(&mut rslt, metrics)?;
+        }
         print!("{rslt}");
         if let Some(path) = &args.rslt {
             write_record(path, &rslt)?;
@@ -142,6 +179,9 @@ fn run() -> Result<bool, String> {
         .and_then(|first| rslt[first + 1..].find('\n').map(|second| first + 1 + second + 1));
     if let Some(at) = after_verdict {
         rslt.insert_str(at, &env);
+    }
+    if let Some(metrics) = &args.metrics {
+        fold_health(&mut rslt, metrics)?;
     }
 
     print!("{rslt}");

@@ -13,8 +13,11 @@
 //! that fully-traced routing — every request carrying a sampled trace
 //! context — stays within 10% of untraced; `--json <path>` writes the
 //! `BENCH_router_throughput.json` artifact, `--metrics <path>` the rendered
-//! `DSMX` scrape of the routing tier, and `--trace <path>` the span trees
-//! scraped over `DSTX` after the traced load).
+//! `DSMX` scrape of the routing tier, `--trace <path>` the span trees
+//! scraped over `DSTX` after the traced load, and `--events <path>` the
+//! structured event log drained over `DSEX` — non-empty by construction,
+//! because the retest lot's marginal devices exhaust their escalation
+//! schedule and emit `retest.cap_hit` events).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -474,6 +477,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         repro_bench::smoke::save_text(&path, &text)?;
         println!("wrote {}", path.display());
+    }
+    // Drain the structured event log over `DSEX` — also before the gates.
+    // The marginal-heavy retest lot guarantees `retest.cap_hit` events, so
+    // CI can assert this artifact is never empty.
+    if let Some(path) = repro_bench::smoke::events_path_from_args() {
+        let log = client.events()?;
+        repro_bench::smoke::save_text(&path, &log.render())?;
+        println!("wrote {} ({} events)", path.display(), log.events.len());
     }
     if smoke {
         // CI gate: routing must cost coordination, not capacity. The bound

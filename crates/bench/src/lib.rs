@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod smoke;
+pub mod top;
 pub mod trend;
 
 use cut_filters::BiquadParams;

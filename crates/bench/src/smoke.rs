@@ -411,6 +411,14 @@ pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
     path_flag_from_args("--trace")
 }
 
+/// Extracts the `--events <path>` flag from the process arguments: where a
+/// throughput bin writes the rendered structured event log it drains from
+/// its server over `DSEX` at the end of the run (uploaded by CI next to the
+/// metrics; CI asserts it is non-empty).
+pub fn events_path_from_args() -> Option<std::path::PathBuf> {
+    path_flag_from_args("--events")
+}
+
 fn path_flag_from_args(flag: &str) -> Option<std::path::PathBuf> {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {

@@ -1,0 +1,240 @@
+//! Fleet-console rendering for `dsig_top`: turns two successive `DSFM`
+//! scrapes plus a `DSHC` verdict into a plain-text per-backend table.
+//!
+//! The routing tier's fleet snapshot carries each backend's metrics under a
+//! `backend.<label>.` prefix and the cross-backend rollup under `fleet.`;
+//! rows are discovered from those prefixes, so the renderer needs no fleet
+//! topology of its own. A standalone serving process answers `DSFM` with an
+//! unprefixed fleet-of-one snapshot, which renders as a single `self` row.
+//!
+//! Rates are counter deltas between the two scrapes divided by the wall
+//! time between them; latency quantiles and queue depth are read from the
+//! later scrape (lifetime histogram, last-write-wins gauge).
+
+use dsig_obs::{HealthReport, MetricValue, MetricsSnapshot};
+
+/// Sums every counter under `prefix` (e.g. all of
+/// `backend.local-0.serve.requests.*`).
+fn sum_counters(snapshot: &MetricsSnapshot, prefix: &str) -> u64 {
+    snapshot
+        .metrics
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .filter_map(|(_, value)| match value {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        })
+        .sum()
+}
+
+/// Per-second rate of the counters under `{scope}serve.{family}.` between
+/// two scrapes. Counters are monotone per process, but a fleet scrape can
+/// step backwards when a backend restarts — clamp to zero rather than
+/// rendering a negative rate.
+fn family_rate(prev: &MetricsSnapshot, curr: &MetricsSnapshot, scope: &str, family: &str, dt_secs: f64) -> f64 {
+    if dt_secs <= 0.0 {
+        return 0.0;
+    }
+    let prefix = format!("{scope}serve.{family}.");
+    sum_counters(curr, &prefix).saturating_sub(sum_counters(prev, &prefix)) as f64 / dt_secs
+}
+
+/// Backend labels present in a fleet scrape, ascending: the `<label>` of
+/// every `backend.<label>.serve.*` metric name.
+pub fn backend_labels(snapshot: &MetricsSnapshot) -> Vec<String> {
+    let mut labels = std::collections::BTreeSet::new();
+    for (name, _) in &snapshot.metrics {
+        if let Some(rest) = name.strip_prefix("backend.") {
+            // Labels may themselves contain dots (host:port, shard ids), so
+            // split at the metric namespace rather than the first dot.
+            if let Some(at) = rest.find(".serve.") {
+                labels.insert(rest[..at].to_string());
+            }
+        }
+    }
+    labels.into_iter().collect()
+}
+
+/// One rendered table row: label plus the `(scope)` metric-name prefix its
+/// numbers are read from.
+struct Row {
+    label: String,
+    scope: String,
+}
+
+fn rows_of(curr: &MetricsSnapshot) -> Vec<Row> {
+    let labels = backend_labels(curr);
+    let mut rows: Vec<Row> = labels
+        .into_iter()
+        .map(|label| Row {
+            scope: format!("backend.{label}."),
+            label,
+        })
+        .collect();
+    if rows.is_empty() {
+        // A fleet-of-one scrape from a standalone server: everything is
+        // unprefixed.
+        rows.push(Row {
+            label: "self".to_string(),
+            scope: String::new(),
+        });
+    } else {
+        rows.push(Row {
+            label: "fleet".to_string(),
+            scope: "fleet.".to_string(),
+        });
+    }
+    rows
+}
+
+/// Renders the fleet table: one row per backend discovered in the scrape,
+/// a `fleet` rollup row, and the health verdict underneath. `dt_secs` is
+/// the wall time between the two scrapes.
+pub fn render_fleet_table(
+    prev: &MetricsSnapshot,
+    curr: &MetricsSnapshot,
+    dt_secs: f64,
+    health: &HealthReport,
+) -> String {
+    let mut out = format!(
+        "{:<22} {:>9} {:>9} {:>9} {:>8} {:>8} {:>6}\n",
+        "BACKEND", "REQ/S", "ERR/S", "SIGS/S", "P50_US", "P99_US", "QUEUE"
+    );
+    for row in rows_of(curr) {
+        let req_s = family_rate(prev, curr, &row.scope, "requests", dt_secs);
+        let err_s = family_rate(prev, curr, &row.scope, "errors", dt_secs);
+        // Signatures scored move on both the TCP and the in-process paths,
+        // so this column stays live even for an embedded (handle-only)
+        // fleet whose request counters never tick.
+        let scored = format!("{}serve.signatures_scored", row.scope);
+        let sigs_s = if dt_secs > 0.0 {
+            curr.counter(&scored)
+                .unwrap_or(0)
+                .saturating_sub(prev.counter(&scored).unwrap_or(0)) as f64
+                / dt_secs
+        } else {
+            0.0
+        };
+        let latency = curr.histogram(&format!("{}serve.request_us", row.scope));
+        let (p50, p99) = latency.map_or((0, 0), |h| (h.p50_us(), h.p99_us()));
+        let queue = curr
+            .gauge(&format!("{}serve.queue_depth", row.scope))
+            .map_or(0, |g| g.round() as i64);
+        out.push_str(&format!(
+            "{:<22} {:>9.1} {:>9.1} {:>9.1} {:>8} {:>8} {:>6}\n",
+            row.label, req_s, err_s, sigs_s, p50, p99, queue
+        ));
+    }
+    out.push_str(&health.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsig_obs::{HealthSample, HistogramSnapshot, SloPolicy};
+
+    fn snapshot(metrics: Vec<(&str, MetricValue)>) -> MetricsSnapshot {
+        let mut metrics: Vec<(String, MetricValue)> = metrics.into_iter().map(|(n, v)| (n.to_string(), v)).collect();
+        metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { metrics }
+    }
+
+    fn hist(count: u64, bound: u64) -> MetricValue {
+        MetricValue::Histogram(HistogramSnapshot {
+            count,
+            sum_us: count * bound,
+            max_us: bound,
+            buckets: vec![(bound, count)],
+        })
+    }
+
+    fn fleet_pair() -> (MetricsSnapshot, MetricsSnapshot) {
+        let at = |dsrq: u64, errs: u64| {
+            snapshot(vec![
+                ("backend.local-0.serve.requests.dsrq", MetricValue::Counter(dsrq)),
+                ("backend.local-0.serve.errors.dsrq", MetricValue::Counter(errs)),
+                ("backend.local-0.serve.request_us", hist(dsrq, 120)),
+                ("backend.local-0.serve.queue_depth", MetricValue::Gauge(3.0)),
+                ("backend.local-1.serve.requests.dsrq", MetricValue::Counter(dsrq / 2)),
+                ("backend.local-1.serve.request_us", hist(dsrq / 2, 400)),
+                ("fleet.serve.requests.dsrq", MetricValue::Counter(dsrq + dsrq / 2)),
+                ("fleet.serve.request_us", hist(dsrq + dsrq / 2, 400)),
+                ("router.forwards", MetricValue::Counter(7)),
+            ])
+        };
+        (at(100, 0), at(300, 4))
+    }
+
+    #[test]
+    fn discovers_backend_labels_from_prefixes() {
+        let (_, curr) = fleet_pair();
+        assert_eq!(
+            backend_labels(&curr),
+            vec!["local-0".to_string(), "local-1".to_string()]
+        );
+        // Labels with dots and colons survive: split happens at `.serve.`.
+        let tcp = snapshot(vec![(
+            "backend.127.0.0.1:9000.serve.requests.dsrq",
+            MetricValue::Counter(1),
+        )]);
+        assert_eq!(backend_labels(&tcp), vec!["127.0.0.1:9000".to_string()]);
+    }
+
+    #[test]
+    fn rates_are_counter_deltas_over_wall_time() {
+        let (prev, curr) = fleet_pair();
+        assert_eq!(family_rate(&prev, &curr, "backend.local-0.", "requests", 2.0), 100.0);
+        assert_eq!(family_rate(&prev, &curr, "backend.local-0.", "errors", 2.0), 2.0);
+        assert_eq!(family_rate(&prev, &curr, "fleet.", "requests", 2.0), 150.0);
+        // A backwards step (backend restart) clamps to zero, and a zero dt
+        // cannot divide.
+        assert_eq!(family_rate(&curr, &prev, "fleet.", "requests", 2.0), 0.0);
+        assert_eq!(family_rate(&prev, &curr, "fleet.", "requests", 0.0), 0.0);
+    }
+
+    #[test]
+    fn renders_one_row_per_backend_plus_fleet_and_health() {
+        let (prev, curr) = fleet_pair();
+        let health = SloPolicy::default().evaluate(HealthSample {
+            requests: 450,
+            errors: 4,
+            p99_us: 400,
+            backed_off: 0,
+            backends: 2,
+        });
+        let table = render_fleet_table(&prev, &curr, 2.0, &health);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("BACKEND"), "{table}");
+        assert!(lines[1].starts_with("local-0"), "{table}");
+        assert!(lines[2].starts_with("local-1"), "{table}");
+        assert!(lines[3].starts_with("fleet"), "{table}");
+        assert!(lines[4].starts_with("health "), "{table}");
+        // local-0's row carries its rate, quantiles and queue depth.
+        assert!(lines[1].contains("100.0"), "{table}");
+        assert!(lines[1].contains("120"), "{table}");
+        assert!(lines[1].contains('3'), "{table}");
+    }
+
+    #[test]
+    fn fleet_of_one_scrape_renders_a_self_row() {
+        let at = |n: u64| {
+            snapshot(vec![
+                ("serve.requests.dsrq", MetricValue::Counter(n)),
+                ("serve.request_us", hist(n, 90)),
+            ])
+        };
+        let health = SloPolicy::default().evaluate(HealthSample {
+            requests: 50,
+            errors: 0,
+            p99_us: 90,
+            backed_off: 0,
+            backends: 1,
+        });
+        let table = render_fleet_table(&at(10), &at(60), 1.0, &health);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[1].starts_with("self"), "{table}");
+        assert!(lines[1].contains("50.0"), "{table}");
+        assert_eq!(lines.len(), 3, "{table}");
+    }
+}

@@ -444,6 +444,78 @@ pub fn diff_artifacts(baseline: &BenchArtifact, candidate: &BenchArtifact, thres
     }
 }
 
+/// Reconstructs a [`HealthSample`](dsig_obs::HealthSample) from rendered
+/// metrics text — the `METRICS_*.txt` artifact a throughput bin writes from
+/// [`MetricsSnapshot::render`](dsig_obs::MetricsSnapshot::render) — and
+/// evaluates it against `policy`. This lets `bench_diff --metrics` fold a
+/// `DSHC`-style verdict into its `RSLT` record after the fact, without
+/// re-scraping a server that exited with the bench.
+///
+/// A fleet scrape (any `fleet.serve.*` line present) is judged on its
+/// rollup; a single-process scrape on its unprefixed `serve.*` lines. The
+/// backed-off count reads the `router.backoff_backends` gauge and the fleet
+/// size counts the distinct `backend.<label>.serve.*` prefixes; both are
+/// zero for a single-process scrape — a fleet of one with no routing tier.
+pub fn health_from_metrics_text(text: &str, policy: &dsig_obs::SloPolicy) -> dsig_obs::HealthReport {
+    let scope = if text.lines().any(|line| line.starts_with("fleet.serve.")) {
+        "fleet."
+    } else {
+        ""
+    };
+    let requests_prefix = format!("{scope}serve.requests.");
+    let errors_prefix = format!("{scope}serve.errors.");
+    let latency_name = format!("{scope}serve.request_us");
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut p99_us = 0u64;
+    let mut backed_off = 0u32;
+    let mut backends = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let mut tokens = line.split_whitespace();
+        let (Some(name), Some(kind)) = (tokens.next(), tokens.next()) else {
+            continue;
+        };
+        if let Some(rest) = name.strip_prefix("backend.") {
+            // Backend labels may contain dots (host:port), so split at the
+            // metric namespace, exactly like the fleet-table renderer.
+            if let Some(at) = rest.find(".serve.") {
+                backends.insert(rest[..at].to_string());
+            }
+        }
+        match kind {
+            "counter" => {
+                let value = tokens.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+                if name.starts_with(&requests_prefix) {
+                    requests += value;
+                } else if name.starts_with(&errors_prefix) {
+                    errors += value;
+                }
+            }
+            "gauge" if name == "router.backoff_backends" => {
+                let value = tokens.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.0);
+                backed_off = value.round().max(0.0) as u32;
+            }
+            "histogram" if name == latency_name => {
+                // The rendered tail: `count N mean_us M p50_us A p95_us B
+                // p99_us C max_us D` — walk the key/value pairs.
+                while let (Some(key), Some(value)) = (tokens.next(), tokens.next()) {
+                    if key == "p99_us" {
+                        p99_us = value.parse().unwrap_or(0);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    policy.evaluate(dsig_obs::HealthSample {
+        requests,
+        errors,
+        p99_us,
+        backed_off,
+        backends: backends.len() as u32,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,5 +627,57 @@ mod tests {
         let rslt = report.render_rslt();
         assert!(rslt.contains("VERDICT PASS"));
         assert!(rslt.contains("NEW router traced/64"));
+    }
+
+    #[test]
+    fn health_from_metrics_text_judges_a_fleet_scrape_on_its_rollup() {
+        let policy = dsig_obs::SloPolicy::default();
+        let text = "backend.local-0.serve.requests.dsrq counter 60\n\
+                    backend.local-1.serve.requests.dsrq counter 40\n\
+                    fleet.serve.requests.dsrq counter 100\n\
+                    fleet.serve.requests.dsmx counter 2\n\
+                    fleet.serve.errors.dsrq counter 0\n\
+                    fleet.serve.request_us histogram count 102 mean_us 150.0 p50_us 128 p95_us 300 p99_us 410 max_us 512\n\
+                    router.backoff_backends gauge 0.0\n\
+                    serve.requests.dsrq counter 999999\n";
+        let report = health_from_metrics_text(text, &policy);
+        // The unprefixed aggregator-side counter is ignored: the fleet is
+        // judged on the `fleet.` rollup.
+        assert_eq!(report.status, dsig_obs::HealthStatus::Pass, "{report:?}");
+        assert_eq!(report.error_rate, 0.0);
+        assert_eq!(report.p99_us, 410);
+        assert_eq!((report.backed_off, report.backends), (0, 2));
+    }
+
+    #[test]
+    fn health_from_metrics_text_degrades_on_backoff_and_errors() {
+        let policy = dsig_obs::SloPolicy::default();
+        let text = "backend.local-0.serve.requests.dsrq counter 100\n\
+                    backend.local-1.serve.queue_depth gauge 0.0\n\
+                    fleet.serve.requests.dsrq counter 100\n\
+                    fleet.serve.errors.dsrq counter 50\n\
+                    fleet.serve.request_us histogram count 100 mean_us 150.0 p50_us 128 p95_us 300 p99_us 410 max_us 512\n\
+                    router.backoff_backends gauge 1.0\n";
+        let report = health_from_metrics_text(text, &policy);
+        assert_eq!(report.status, dsig_obs::HealthStatus::Degraded, "{report:?}");
+        assert_eq!((report.backed_off, report.backends), (1, 2));
+        assert!(report.error_rate > 0.4);
+        assert!(!report.findings.is_empty());
+    }
+
+    #[test]
+    fn health_from_metrics_text_falls_back_to_unprefixed_serve_lines() {
+        let policy = dsig_obs::SloPolicy::default();
+        let text = "serve.requests.dsrq counter 10\n\
+                    serve.requests.dsmx counter 1\n\
+                    serve.errors.decode counter 0\n\
+                    serve.request_us histogram count 11 mean_us 90.0 p50_us 64 p95_us 128 p99_us 128 max_us 130\n";
+        let report = health_from_metrics_text(text, &policy);
+        assert_eq!(report.status, dsig_obs::HealthStatus::Pass, "{report:?}");
+        assert_eq!(report.p99_us, 128);
+        assert_eq!((report.backed_off, report.backends), (0, 0));
+        // Garbage or empty text never panics — it just has nothing to judge.
+        let empty = health_from_metrics_text("not a metrics line\n\nxyz", &policy);
+        assert_eq!(empty.status, dsig_obs::HealthStatus::Pass);
     }
 }

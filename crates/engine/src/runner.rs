@@ -498,6 +498,7 @@ fn apply_retest(
                 }
                 let outcome = &mut outcomes[at];
                 let verdict = policy.escalate(&campaign.band, outcome.result.ndf, &repeat_ndfs);
+                note_cap_hit(policy, &verdict, outcome.result.index);
                 let used = verdict.repeats_used as usize;
                 let peak = repeat_peaks[..used]
                     .iter()
@@ -531,6 +532,7 @@ fn apply_retest(
                     flipped: remote_score.flipped,
                     repeats_used: remote_score.repeats_used,
                 };
+                note_cap_hit(policy, &verdict, outcome.result.index);
                 let used = remote_score.repeats_used as usize;
                 // The remote tier already folded the peak Hamming distance
                 // over the initial capture and the consumed repeats.
@@ -544,6 +546,24 @@ fn apply_retest(
         }
     }
     Ok(())
+}
+
+/// Logs an event for a device that consumed the policy's whole escalation
+/// schedule and still verdicted marginal — the population the repeat cap is
+/// sized against. Observational only: the verdict itself is untouched.
+fn note_cap_hit(policy: &RetestPolicy, verdict: &dsig_core::RetestVerdict, device: impl std::fmt::Display) {
+    if verdict.marginal && verdict.repeats_used >= policy.repeat_cap() {
+        dsig_obs::Registry::global().events().emit(
+            dsig_obs::EventLevel::Warn,
+            "engine",
+            "retest.cap_hit",
+            "marginal device consumed the full escalation schedule",
+            &[
+                ("device", &device.to_string()),
+                ("repeats_used", &verdict.repeats_used.to_string()),
+            ],
+        );
+    }
 }
 
 /// Rewrites one device outcome with its retest verdict. The observed zone

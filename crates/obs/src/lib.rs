@@ -42,11 +42,14 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod trace;
+pub mod window;
 
+pub use events::{EventLevel, EventLog, EventRecord, EventSink, EVENT_LOG_MAGIC, EVENT_LOG_VERSION};
 pub use metrics::{Counter, Gauge, Histogram, Span, HISTOGRAM_BUCKETS};
 pub use registry::Registry;
 pub use snapshot::{
@@ -55,3 +58,4 @@ pub use snapshot::{
 pub use trace::{
     ActiveSpan, SpanRecord, TraceContext, TraceLog, TraceTree, Tracer, TRACE_LOG_MAGIC, TRACE_LOG_VERSION,
 };
+pub use window::{HealthReport, HealthSample, HealthStatus, RateWindow, SloPolicy};

@@ -1,8 +1,10 @@
 //! The process-wide metric registry.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
+use crate::events::EventSink;
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::{MetricValue, MetricsSnapshot};
 use crate::trace::Tracer;
@@ -24,6 +26,8 @@ enum Metric {
 pub struct Registry {
     inner: Arc<Mutex<BTreeMap<String, Metric>>>,
     tracer: Tracer,
+    events: EventSink,
+    kind_mismatches: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -53,6 +57,13 @@ impl Registry {
         &self.tracer
     }
 
+    /// The registry's event recorder. Clones share it, so every component
+    /// registered into one registry emits into one ring and a single
+    /// event drain sees the whole process.
+    pub fn events(&self) -> &EventSink {
+        &self.events
+    }
+
     fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
         // Metric updates cannot panic, so poisoning can only come from a
         // panicking *caller* mid-registration; the map is still coherent.
@@ -71,7 +82,10 @@ impl Registry {
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
         match metric {
             Metric::Counter(c) => Arc::clone(c),
-            _ => Arc::new(Counter::new()),
+            _ => {
+                self.kind_mismatches.fetch_add(1, Ordering::Relaxed);
+                Arc::new(Counter::new())
+            }
         }
     }
 
@@ -84,7 +98,10 @@ impl Registry {
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
         match metric {
             Metric::Gauge(g) => Arc::clone(g),
-            _ => Arc::new(Gauge::new()),
+            _ => {
+                self.kind_mismatches.fetch_add(1, Ordering::Relaxed);
+                Arc::new(Gauge::new())
+            }
         }
     }
 
@@ -97,28 +114,47 @@ impl Registry {
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
         match metric {
             Metric::Histogram(h) => Arc::clone(h),
-            _ => Arc::new(Histogram::new()),
+            _ => {
+                self.kind_mismatches.fetch_add(1, Ordering::Relaxed);
+                Arc::new(Histogram::new())
+            }
         }
     }
 
     /// Captures every registered metric into a [`MetricsSnapshot`], sorted
     /// by name. Counters are monotonically consistent across successive
     /// snapshots of the same registry.
+    ///
+    /// Three synthetic health counters ride along so silent data loss is
+    /// visible from any scrape: `obs.dropped_spans` and
+    /// `obs.dropped_events` (ring overwrites of undrained records) and
+    /// `obs.kind_mismatches` (detached handles returned for a name
+    /// registered as a different kind). A real metric registered under one
+    /// of those names wins.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let map = self.lock();
-        MetricsSnapshot {
-            metrics: map
-                .iter()
-                .map(|(name, metric)| {
-                    let value = match metric {
-                        Metric::Counter(c) => MetricValue::Counter(c.get()),
-                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
-                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
-                    };
-                    (name.clone(), value)
-                })
-                .collect(),
+        let mut metrics: Vec<(String, MetricValue)> = map
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        drop(map);
+        for (name, value) in [
+            ("obs.dropped_events", self.events.dropped()),
+            ("obs.dropped_spans", self.tracer.dropped()),
+            ("obs.kind_mismatches", self.kind_mismatches.load(Ordering::Relaxed)),
+        ] {
+            if let Err(at) = metrics.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                metrics.insert(at, (name.to_owned(), MetricValue::Counter(value)));
+            }
         }
+        MetricsSnapshot { metrics }
     }
 }
 
@@ -145,13 +181,19 @@ mod tests {
     }
 
     #[test]
-    fn kind_mismatch_returns_detached_handle() {
+    fn kind_mismatch_returns_detached_handle_and_is_counted() {
         let registry = Registry::new();
         registry.counter("m").inc();
         let detached = registry.gauge("m");
         detached.set(9.0);
-        // The registered counter is untouched and still a counter.
-        assert_eq!(registry.snapshot().counter("m"), Some(1));
+        // The registered counter is untouched and still a counter, but the
+        // misuse is visible in the snapshot.
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("m"), Some(1));
+        assert_eq!(snapshot.counter("obs.kind_mismatches"), Some(1));
+        registry.histogram("m");
+        registry.counter("g");
+        assert_eq!(registry.snapshot().counter("obs.kind_mismatches"), Some(2));
     }
 
     #[test]
@@ -163,10 +205,49 @@ mod tests {
         c.add(5);
         let first = registry.snapshot();
         let names: Vec<_> = first.metrics.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, ["a.first", "b.second", "c.third"]);
+        assert_eq!(
+            names,
+            [
+                "a.first",
+                "b.second",
+                "c.third",
+                "obs.dropped_events",
+                "obs.dropped_spans",
+                "obs.kind_mismatches"
+            ]
+        );
         c.add(5);
         let second = registry.snapshot();
         assert!(second.counter("b.second").unwrap() > first.counter("b.second").unwrap());
+    }
+
+    #[test]
+    fn snapshot_surfaces_ring_drops_and_real_metrics_win() {
+        let registry = Registry::new();
+        assert_eq!(registry.snapshot().counter("obs.dropped_spans"), Some(0));
+        assert_eq!(registry.snapshot().counter("obs.dropped_events"), Some(0));
+        for i in 0..(crate::EventSink::DEFAULT_CAPACITY as u64 + 3) {
+            registry
+                .events()
+                .emit(crate::EventLevel::Info, "test", "e", i.to_string(), &[]);
+        }
+        assert_eq!(registry.snapshot().counter("obs.dropped_events"), Some(3));
+        // A real metric registered under a synthetic name is not shadowed.
+        registry.counter("obs.dropped_spans").add(41);
+        assert_eq!(registry.snapshot().counter("obs.dropped_spans"), Some(41));
+        // The snapshot still decodes: names stayed strictly ascending.
+        let bytes = registry.snapshot().to_bytes();
+        assert!(MetricsSnapshot::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn clones_share_the_event_sink() {
+        let registry = Registry::new();
+        registry
+            .clone()
+            .events()
+            .emit(crate::EventLevel::Warn, "test", "shared", "x", &[]);
+        assert_eq!(registry.events().drain().len(), 1);
     }
 
     #[test]

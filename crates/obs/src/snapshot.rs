@@ -350,6 +350,82 @@ impl MetricsSnapshot {
         diff
     }
 
+    /// Returns a copy with `prefix` prepended to every metric name. A
+    /// uniform prefix preserves the sorted-unique name invariant, so the
+    /// result still serializes and decodes.
+    pub fn with_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|(name, value)| (format!("{prefix}{name}"), value.clone()))
+                .collect(),
+        }
+    }
+
+    /// Element-wise rollup of several snapshots: counters and gauges are
+    /// summed, histograms merged per bucket bound (counts and sums added,
+    /// maxima maxed, bounds unioned ascending). A metric present in only
+    /// some snapshots rolls up over those; a name registered as different
+    /// kinds in different snapshots is dropped from the rollup (the
+    /// per-backend copies still carry it).
+    pub fn rollup(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+        let mut merged: std::collections::BTreeMap<String, Option<MetricValue>> = std::collections::BTreeMap::new();
+        for part in parts {
+            for (name, value) in &part.metrics {
+                match merged.get_mut(name) {
+                    None => {
+                        merged.insert(name.clone(), Some(value.clone()));
+                    }
+                    Some(slot) => {
+                        let folded = match (slot.take(), value) {
+                            (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => {
+                                Some(MetricValue::Counter(a.wrapping_add(*b)))
+                            }
+                            (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => Some(MetricValue::Gauge(a + b)),
+                            (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => {
+                                Some(MetricValue::Histogram(merge_histograms(&a, b)))
+                            }
+                            // Kind conflict: poison the name for the rest
+                            // of the rollup.
+                            _ => None,
+                        };
+                        *slot = folded;
+                    }
+                }
+            }
+        }
+        MetricsSnapshot {
+            metrics: merged
+                .into_iter()
+                .filter_map(|(name, value)| value.map(|v| (name, v)))
+                .collect(),
+        }
+    }
+
+    /// Assembles a fleet scrape: each backend's snapshot under a
+    /// `backend.<label>.` prefix, the cross-backend [rollup](MetricsSnapshot::rollup)
+    /// under `fleet.`, and the aggregator's own snapshot unprefixed. On a
+    /// (misconfigured) name collision the first writer wins, preserving
+    /// the sorted-unique invariant the `DSMS` decoder enforces.
+    pub fn merge_fleet(backends: &[(String, MetricsSnapshot)], own: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut merged: std::collections::BTreeMap<String, MetricValue> = std::collections::BTreeMap::new();
+        let mut add = |snapshot: MetricsSnapshot| {
+            for (name, value) in snapshot.metrics {
+                merged.entry(name).or_insert(value);
+            }
+        };
+        for (label, snapshot) in backends {
+            add(snapshot.with_prefix(&format!("backend.{label}.")));
+        }
+        let parts: Vec<MetricsSnapshot> = backends.iter().map(|(_, s)| s.clone()).collect();
+        add(MetricsSnapshot::rollup(&parts).with_prefix("fleet."));
+        add(own.clone());
+        MetricsSnapshot {
+            metrics: merged.into_iter().collect(),
+        }
+    }
+
     /// Renders the snapshot as aligned human-readable text, one metric per
     /// line (the format CI uploads next to the bench JSON artifacts).
     pub fn render(&self) -> String {
@@ -372,6 +448,22 @@ impl MetricsSnapshot {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Merges two histogram snapshots: counts and sums added (wrapping, like
+/// the recording path), maxima maxed, bucket bounds unioned ascending.
+fn merge_histograms(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut buckets: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for &(upper, n) in a.buckets.iter().chain(&b.buckets) {
+        let slot = buckets.entry(upper).or_insert(0);
+        *slot = slot.wrapping_add(n);
+    }
+    HistogramSnapshot {
+        count: a.count.wrapping_add(b.count),
+        sum_us: a.sum_us.wrapping_add(b.sum_us),
+        max_us: a.max_us.max(b.max_us),
+        buckets: buckets.into_iter().collect(),
     }
 }
 
@@ -612,6 +704,82 @@ mod tests {
         for keep in 0..bytes.len() {
             assert!(MetricsSnapshot::from_bytes(&bytes[..keep]).is_err());
         }
+    }
+
+    #[test]
+    fn with_prefix_preserves_order_and_round_trips() {
+        let prefixed = sample().with_prefix("backend.local-0.");
+        assert_eq!(prefixed.counter("backend.local-0.a.count"), Some(42));
+        assert!(MetricsSnapshot::from_bytes(&prefixed.to_bytes()).is_ok());
+    }
+
+    #[test]
+    fn rollup_sums_counters_and_merges_histograms() {
+        let a = MetricsSnapshot {
+            metrics: vec![
+                ("c".into(), MetricValue::Counter(10)),
+                ("g".into(), MetricValue::Gauge(1.5)),
+                (
+                    "h".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: 2,
+                        sum_us: 30,
+                        max_us: 20,
+                        buckets: vec![(16, 1), (32, 1)],
+                    }),
+                ),
+                ("only.a".into(), MetricValue::Counter(1)),
+                ("kind.conflict".into(), MetricValue::Counter(1)),
+            ],
+        };
+        let b = MetricsSnapshot {
+            metrics: vec![
+                ("c".into(), MetricValue::Counter(5)),
+                ("g".into(), MetricValue::Gauge(0.5)),
+                (
+                    "h".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: 3,
+                        sum_us: 200,
+                        max_us: 90,
+                        buckets: vec![(32, 2), (128, 1)],
+                    }),
+                ),
+                ("kind.conflict".into(), MetricValue::Gauge(1.0)),
+            ],
+        };
+        let rolled = MetricsSnapshot::rollup(&[a, b]);
+        assert_eq!(rolled.counter("c"), Some(15));
+        assert_eq!(rolled.gauge("g"), Some(2.0));
+        let h = rolled.histogram("h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum_us, 230);
+        assert_eq!(h.max_us, 90);
+        assert_eq!(h.buckets, vec![(16, 1), (32, 3), (128, 1)]);
+        // Partial presence rolls up over the snapshots that carry it.
+        assert_eq!(rolled.counter("only.a"), Some(1));
+        // A kind conflict drops the name from the rollup entirely.
+        assert_eq!(rolled.get("kind.conflict"), None);
+        assert!(MetricsSnapshot::from_bytes(&rolled.to_bytes()).is_ok());
+    }
+
+    #[test]
+    fn merge_fleet_prefixes_rolls_up_and_appends_own() {
+        let backend = |n: u64| MetricsSnapshot {
+            metrics: vec![("serve.requests".into(), MetricValue::Counter(n))],
+        };
+        let own = MetricsSnapshot {
+            metrics: vec![("router.forwards".into(), MetricValue::Counter(7))],
+        };
+        let fleet =
+            MetricsSnapshot::merge_fleet(&[("local-0".into(), backend(3)), ("local-1".into(), backend(4))], &own);
+        assert_eq!(fleet.counter("backend.local-0.serve.requests"), Some(3));
+        assert_eq!(fleet.counter("backend.local-1.serve.requests"), Some(4));
+        assert_eq!(fleet.counter("fleet.serve.requests"), Some(7));
+        assert_eq!(fleet.counter("router.forwards"), Some(7));
+        // The result is a legal DSMS body: sorted unique names.
+        let bytes = fleet.to_bytes();
+        assert_eq!(MetricsSnapshot::from_bytes(&bytes).unwrap(), fleet);
     }
 
     #[test]

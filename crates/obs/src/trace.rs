@@ -146,8 +146,9 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Microseconds since the process epoch.
-fn now_us() -> u64 {
+/// Microseconds since the process epoch (shared with the event log so
+/// span and event timestamps are directly comparable).
+pub(crate) fn now_us() -> u64 {
     u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
@@ -205,6 +206,7 @@ impl SpanRecord {
 struct TracerInner {
     slots: Vec<Mutex<Option<SpanRecord>>>,
     cursor: AtomicUsize,
+    dropped: AtomicU64,
 }
 
 /// A cheaply cloneable span recorder: a bounded ring of finished spans.
@@ -246,6 +248,7 @@ impl Tracer {
             inner: Arc::new(TracerInner {
                 slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
                 cursor: AtomicUsize::new(0),
+                dropped: AtomicU64::new(0),
             }),
         }
     }
@@ -253,6 +256,12 @@ impl Tracer {
     /// The ring capacity, in spans.
     pub fn capacity(&self) -> usize {
         self.inner.slots.len()
+    }
+
+    /// Number of spans overwritten before being drained. Surfaced in
+    /// snapshots as the `obs.dropped_spans` counter.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
     }
 
     /// Starts a new sampled trace, returning the root context to open the
@@ -297,6 +306,9 @@ impl Tracer {
         let mut guard = self.inner.slots[slot]
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if guard.is_some() {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
         *guard = Some(span);
     }
 
@@ -680,11 +692,13 @@ mod tests {
     #[test]
     fn ring_overwrites_oldest_when_full() {
         let tracer = Tracer::with_capacity(4);
+        assert_eq!(tracer.dropped(), 0);
         let ctx = tracer.start_trace();
         for i in 0..10 {
             let mut span = tracer.span("s", "test", ctx);
             span.annotate("i", i);
         }
+        assert_eq!(tracer.dropped(), 6, "each overwrite of an undrained span counts");
         let spans = tracer.drain();
         assert_eq!(spans.len(), 4);
         let kept: Vec<&str> = spans.iter().map(|s| s.annotations[0].1.as_str()).collect();

@@ -8,6 +8,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dsig_core::{AcceptanceBand, Signature};
+use dsig_obs::{EventLog, MetricsSnapshot, TraceLog};
 use dsig_serve::{GoldenRecord, PipelinedClient, RetestRequest, RetestScore, ScoreResult, ServeError, ServeHandle};
 
 /// Backoff policy of the per-backend health record: the `n`-th consecutive
@@ -139,6 +140,18 @@ impl Backend {
         }
     }
 
+    /// Undoes a [`Backend::kill`]: in-process backends accept operations
+    /// again, and the health record is cleared so the next forward reaches
+    /// the backend without waiting out a backoff window. TCP backends only
+    /// clear their record — whether operations succeed depends on the remote
+    /// process being back. Returns `true` when this ended a failure streak.
+    pub fn revive(&self) -> bool {
+        if let Transport::Local { killed, .. } = &self.transport {
+            killed.store(false, Ordering::SeqCst);
+        }
+        self.note_success()
+    }
+
     /// Whether the backend's health record currently marks it down.
     pub fn is_down(&self) -> bool {
         !self.is_available(Instant::now())
@@ -152,18 +165,25 @@ impl Backend {
         }
     }
 
-    /// Clears the failure record after a successful operation.
-    pub(crate) fn note_success(&self) {
+    /// Clears the failure record after a successful operation. Returns
+    /// `true` when this ended a failure streak — the backed-off → recovered
+    /// transition the router logs an event for.
+    pub(crate) fn note_success(&self) -> bool {
         let mut health = self.health.lock().expect("backend health lock poisoned");
+        let recovered = health.consecutive_failures > 0;
         health.consecutive_failures = 0;
         health.down_until = None;
+        recovered
     }
 
-    /// Records a failed operation and arms the exponential backoff.
-    pub(crate) fn note_failure(&self, now: Instant, config: &HealthConfig) {
+    /// Records a failed operation and arms the exponential backoff. Returns
+    /// `true` when this started a failure streak (the backend just went from
+    /// healthy to backed-off).
+    pub(crate) fn note_failure(&self, now: Instant, config: &HealthConfig) -> bool {
         let mut health = self.health.lock().expect("backend health lock poisoned");
         health.consecutive_failures = health.consecutive_failures.saturating_add(1);
         health.down_until = Some(now + config.backoff(health.consecutive_failures));
+        health.consecutive_failures == 1
     }
 
     /// Clones the backend's shared multiplexed connection, dialing it on
@@ -239,6 +259,58 @@ impl Backend {
         }
     }
 
+    /// Scrapes this backend's own metrics snapshot (`DSMX`) — one leg of the
+    /// router's fleet-metrics fan-out.
+    pub(crate) fn metrics(&self) -> Result<MetricsSnapshot, ServeError> {
+        match &self.transport {
+            Transport::Tcp { addr, mux } => {
+                let client = Self::client(*addr, mux)?;
+                Self::settle(mux, client.metrics())
+            }
+            Transport::Local { handle, killed } => {
+                if killed.load(Ordering::SeqCst) {
+                    return Err(ServeError::Closed);
+                }
+                Ok(handle.metrics())
+            }
+        }
+    }
+
+    /// Drains this backend's buffered trace spans (`DSTX`) — one leg of the
+    /// router's fleet-trace fan-out. A drain is consuming: spans move to the
+    /// caller and are gone from the backend.
+    pub(crate) fn traces(&self) -> Result<TraceLog, ServeError> {
+        match &self.transport {
+            Transport::Tcp { addr, mux } => {
+                let client = Self::client(*addr, mux)?;
+                Self::settle(mux, client.traces())
+            }
+            Transport::Local { handle, killed } => {
+                if killed.load(Ordering::SeqCst) {
+                    return Err(ServeError::Closed);
+                }
+                Ok(handle.traces())
+            }
+        }
+    }
+
+    /// Drains this backend's buffered events (`DSEX`). Consuming, like
+    /// [`Backend::traces`].
+    pub(crate) fn events(&self) -> Result<EventLog, ServeError> {
+        match &self.transport {
+            Transport::Tcp { addr, mux } => {
+                let client = Self::client(*addr, mux)?;
+                Self::settle(mux, client.events())
+            }
+            Transport::Local { handle, killed } => {
+                if killed.load(Ordering::SeqCst) {
+                    return Err(ServeError::Closed);
+                }
+                Ok(handle.events())
+            }
+        }
+    }
+
     /// Reads a golden record back from this backend.
     pub(crate) fn fetch(&self, key: u64) -> Result<(AcceptanceBand, Signature), ServeError> {
         match &self.transport {
@@ -304,16 +376,49 @@ mod tests {
         let config = HealthConfig::default();
         let now = Instant::now();
         assert!(backend.is_available(now));
-        backend.note_failure(now, &config);
+        assert!(backend.note_failure(now, &config), "first failure starts a streak");
         assert!(!backend.is_available(now));
         assert!(backend.is_down());
         // ...but availability returns once the backoff elapses...
         assert!(backend.is_available(now + config.base_backoff));
         // ...and a success clears the record instantly.
-        backend.note_failure(now, &config);
-        backend.note_success();
+        assert!(
+            !backend.note_failure(now, &config),
+            "a running streak is not a transition"
+        );
+        assert!(backend.note_success(), "clearing a streak is the recovery transition");
         assert!(backend.is_available(now));
         assert!(!backend.is_down());
+        assert!(
+            !backend.note_success(),
+            "a success with a clean record is not a transition"
+        );
+    }
+
+    #[test]
+    fn revive_undoes_a_kill_and_clears_the_health_record() {
+        let backend = local_backend(7);
+        let band = AcceptanceBand::new(0.05).unwrap();
+        let golden = sig(&[(1, 100e-6)]);
+        backend
+            .push(
+                4,
+                &GoldenRecord {
+                    golden: golden.clone(),
+                    band,
+                },
+            )
+            .unwrap();
+        backend.kill();
+        backend.note_failure(Instant::now(), &HealthConfig::default());
+        assert!(matches!(backend.metrics(), Err(ServeError::Closed)));
+        assert!(matches!(backend.events(), Err(ServeError::Closed)));
+        assert!(matches!(backend.traces(), Err(ServeError::Closed)));
+        assert!(backend.is_down());
+        backend.revive();
+        assert!(!backend.is_down(), "revive clears the backoff immediately");
+        assert_eq!(backend.screen(4, std::slice::from_ref(&golden)).unwrap()[0].ndf, 0.0);
+        assert!(backend.metrics().is_ok());
     }
 
     #[test]

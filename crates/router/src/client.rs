@@ -12,7 +12,7 @@
 use std::net::{SocketAddr, ToSocketAddrs};
 
 use dsig_core::{AcceptanceBand, Signature};
-use dsig_obs::{MetricsSnapshot, TraceLog};
+use dsig_obs::{EventLog, HealthReport, MetricsSnapshot, TraceLog};
 use dsig_serve::{PipelinedClient, RetestRequest, RetestScore, ScoreResult, ServeClient, Ticket};
 
 use crate::error::Result;
@@ -155,6 +155,45 @@ impl RouterClient {
     pub fn traces(&mut self) -> Result<TraceLog> {
         self.inner.traces().map_err(Into::into)
     }
+
+    /// Scrapes the aggregated fleet metrics (`DSFM`): every backend's
+    /// snapshot under `backend.<label>.`, the cross-backend rollup under
+    /// `fleet.`, and the router's own registry unprefixed.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`] on transport or remote failures.
+    pub fn fleet_metrics(&mut self) -> Result<MetricsSnapshot> {
+        self.inner.fleet_metrics().map_err(Into::into)
+    }
+
+    /// Drains the aggregated fleet traces (`DSFT`): every reachable
+    /// backend's spans plus the router's own. Consuming and therefore not
+    /// resubmitted on a dead connection.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`] on transport or remote failures.
+    pub fn fleet_traces(&mut self) -> Result<TraceLog> {
+        self.inner.fleet_traces().map_err(Into::into)
+    }
+
+    /// Drains the router's buffered events (`DSEX`): backend
+    /// backoff/recovery transitions, refresh-on-miss records. Consuming and
+    /// therefore not resubmitted on a dead connection.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`] on transport or remote failures.
+    pub fn events(&mut self) -> Result<EventLog> {
+        self.inner.events().map_err(Into::into)
+    }
+
+    /// Runs a fleet health check (`DSHC`): the router scrapes its backends
+    /// and verdicts the rollup against its configured SLO policy.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::screen`] on transport or remote failures.
+    pub fn health(&mut self) -> Result<HealthReport> {
+        self.inner.health().map_err(Into::into)
+    }
 }
 
 /// The multiplexed client of a routing tier: one connection, many requests
@@ -294,6 +333,42 @@ impl PipelinedRouterClient {
     /// As for [`RouterClient::traces`].
     pub fn traces(&self) -> Result<TraceLog> {
         self.inner.traces().map_err(Into::into)
+    }
+
+    /// Scrapes the aggregated fleet metrics (`DSFM`) — the pipelined
+    /// [`RouterClient::fleet_metrics`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_metrics`].
+    pub fn fleet_metrics(&self) -> Result<MetricsSnapshot> {
+        self.inner.fleet_metrics().map_err(Into::into)
+    }
+
+    /// Drains the aggregated fleet traces (`DSFT`) — not resubmitted on a
+    /// dead connection (a drain is not idempotent).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_traces`].
+    pub fn fleet_traces(&self) -> Result<TraceLog> {
+        self.inner.fleet_traces().map_err(Into::into)
+    }
+
+    /// Drains the router's buffered events (`DSEX`) — not resubmitted on a
+    /// dead connection (a drain is not idempotent).
+    ///
+    /// # Errors
+    /// As for [`RouterClient::events`].
+    pub fn events(&self) -> Result<EventLog> {
+        self.inner.events().map_err(Into::into)
+    }
+
+    /// Runs a fleet health check (`DSHC`) — the pipelined
+    /// [`RouterClient::health`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::health`].
+    pub fn health(&self) -> Result<HealthReport> {
+        self.inner.health().map_err(Into::into)
     }
 }
 

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_engine::{RemoteScore, RemoteScorer};
-use dsig_obs::{MetricsSnapshot, TraceLog};
+use dsig_obs::{EventLog, HealthReport, MetricsSnapshot, TraceLog};
 use dsig_serve::{GoldenRecord, GoldenStore, RetestRequest, RetestScore, ScoreResult, ServeConfig, ServeHandle};
 
 use crate::backend::Backend;
@@ -84,6 +84,16 @@ impl RouterHandle {
         self.core.backends()[index].kill();
     }
 
+    /// Revives backend `index` (see [`Backend::revive`]): undoes a kill and
+    /// clears its failure record, so the next forward (and the next health
+    /// check) sees it up immediately.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range.
+    pub fn revive_backend(&self, index: usize) {
+        self.core.revive_backend(index);
+    }
+
     /// Whether backend `index`'s health record currently marks it down.
     ///
     /// # Panics
@@ -103,6 +113,38 @@ impl RouterHandle {
     /// equivalent of a `DSTX` scrape. Each span is exported at most once.
     pub fn traces(&self) -> TraceLog {
         self.core.traces()
+    }
+
+    /// Aggregated fleet metrics — the in-process equivalent of a `DSFM`
+    /// scrape: every backend's snapshot under a `backend.<label>.` prefix,
+    /// the cross-backend rollup under `fleet.`, and the router's own
+    /// registry unprefixed. Unreachable backends are skipped, never fatal.
+    pub fn fleet_metrics(&self) -> MetricsSnapshot {
+        self.core.fleet_metrics()
+    }
+
+    /// Aggregated fleet trace drain — the in-process equivalent of a `DSFT`
+    /// scrape: every reachable backend's spans plus the router's own.
+    /// Consuming: each span is exported at most once fleet-wide.
+    pub fn fleet_traces(&self) -> TraceLog {
+        self.core.fleet_traces()
+    }
+
+    /// Drains the fleet's buffered events — the in-process equivalent of a
+    /// `DSEX` scrape at the router: every reachable backend's events plus
+    /// the router's own (backend backoff/recovery transitions,
+    /// refresh-on-miss records). Consuming: each record is exported at most
+    /// once fleet-wide.
+    pub fn events(&self) -> EventLog {
+        self.core.events()
+    }
+
+    /// Scrapes the fleet and verdicts it against the configured
+    /// [`dsig_obs::SloPolicy`] — the in-process equivalent of a `DSHC` health
+    /// check. A backend counts as down when its health record backs it off
+    /// or its scrape fails.
+    pub fn health(&self) -> HealthReport {
+        self.core.health()
     }
 
     /// Characterizes `(setup, reference)` into the router store and pushes
@@ -436,6 +478,108 @@ mod tests {
         );
         assert!(fanout(&after) >= fanout(&before) + 2);
         assert!(after.gauge("router.backoff_backends").is_some());
+    }
+
+    #[test]
+    fn fleet_scrape_prefixes_backends_rolls_up_and_health_tracks_kills() {
+        // Isolated per-backend registries make the health verdict
+        // deterministic even though the router core itself registers in the
+        // process-global registry (the health sample only reads the `fleet.`
+        // rollup, which is built from the backend snapshots).
+        let fleet: Vec<Backend> = (0..3)
+            .map(|id| {
+                Backend::local(
+                    id,
+                    ServeHandle::spawn_in(
+                        Arc::new(GoldenStore::new()),
+                        ServeConfig::with_shards(1),
+                        dsig_obs::Registry::new(),
+                    ),
+                )
+            })
+            .collect();
+        let router = RouterHandle::with_backends(fleet, RouterStore::new(), RouterConfig::default()).unwrap();
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        router.push_golden(0xF7EE7, golden.clone(), band(0.05)).unwrap();
+        router.screen(0xF7EE7, std::slice::from_ref(&golden)).unwrap();
+
+        // Every backend appears under its own prefix, and the rollup sums
+        // the per-backend counters exactly.
+        let snapshot = router.fleet_metrics();
+        let scored: Vec<u64> = (0..3)
+            .map(|i| {
+                snapshot
+                    .counter(&format!("backend.local-{i}.serve.signatures_scored"))
+                    .unwrap_or_else(|| panic!("backend local-{i} missing from the fleet scrape"))
+            })
+            .collect();
+        assert_eq!(
+            snapshot.counter("fleet.serve.signatures_scored").unwrap(),
+            scored.iter().sum::<u64>(),
+            "the fleet rollup must sum the per-backend counters"
+        );
+        assert!(
+            scored.iter().sum::<u64>() >= 1,
+            "the routed screen was scored somewhere"
+        );
+        // The router's own registry rides along unprefixed.
+        assert!(snapshot.counter("router.refresh_on_miss").is_some());
+
+        // PASS with everyone up; DEGRADED after one kill; FAIL when the
+        // whole fleet is gone; PASS again once everyone is revived.
+        assert_eq!(router.health().status, dsig_obs::HealthStatus::Pass);
+        router.kill_backend(0);
+        let degraded = router.health();
+        assert_eq!(degraded.status, dsig_obs::HealthStatus::Degraded);
+        assert_eq!((degraded.backed_off, degraded.backends), (1, 3));
+        assert!(!degraded.findings.is_empty());
+        router.kill_backend(1);
+        router.kill_backend(2);
+        assert_eq!(router.health().status, dsig_obs::HealthStatus::Fail);
+        for index in 0..3 {
+            router.revive_backend(index);
+        }
+        let recovered = router.health();
+        assert_eq!(
+            recovered.status,
+            dsig_obs::HealthStatus::Pass,
+            "{:?}",
+            recovered.findings
+        );
+
+        // A dead backend is skipped by the scrape, not fatal.
+        router.kill_backend(2);
+        let partial = router.fleet_metrics();
+        assert!(partial.counter("backend.local-2.serve.signatures_scored").is_none());
+        assert!(partial.counter("backend.local-0.serve.signatures_scored").is_some());
+    }
+
+    #[test]
+    fn backend_transitions_and_refreshes_surface_as_events() {
+        let router = fleet(3, 1); // one copy: failover must refresh
+        let golden = sig(&[(1, 100e-6), (3, 100e-6)]);
+        router.push_golden(0xE7E47, golden.clone(), band(0.05)).unwrap();
+        router.screen(0xE7E47, std::slice::from_ref(&golden)).unwrap();
+        // Kill the owner: the next screen starts its failure streak and
+        // refreshes the golden on the failover target.
+        let owner = router.rank(0xE7E47)[0];
+        router.kill_backend(owner);
+        router.screen(0xE7E47, std::slice::from_ref(&golden)).unwrap();
+        router.revive_backend(owner);
+
+        // The event sink is process-global (other tests may interleave), so
+        // assert only that this test's transitions are present.
+        let names: Vec<String> = router.events().events.into_iter().map(|event| event.name).collect();
+        for expected in ["backend.backed_off", "backend.recovered", "golden.refresh_on_miss"] {
+            assert!(
+                names.iter().any(|name| name == expected),
+                "missing {expected} in {names:?}"
+            );
+        }
+        // Fleet traces drain without error even with spans buffered by other
+        // tests; a second drain of a quiet fleet yields nothing new for the
+        // spans this test produced.
+        let _ = router.fleet_traces();
     }
 
     #[test]

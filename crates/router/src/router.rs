@@ -10,8 +10,10 @@ use std::time::Instant;
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_obs::trace::{self, Tracer};
-use dsig_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, Span, TraceLog};
-use dsig_serve::server::group_by_fingerprint;
+use dsig_obs::{
+    Counter, EventLevel, EventLog, Gauge, HealthReport, Histogram, MetricsSnapshot, Registry, SloPolicy, Span, TraceLog,
+};
+use dsig_serve::server::{group_by_fingerprint, health_sample};
 use dsig_serve::{GoldenRecord, RetestRequest, RetestScore, ScoreResult, ServeError};
 
 use crate::backend::{Backend, HealthConfig};
@@ -32,6 +34,8 @@ pub struct RouterConfig {
     pub sub_batch: usize,
     /// Health/backoff policy of the backend set.
     pub health: HealthConfig,
+    /// SLO thresholds the `DSHC` health check verdicts the fleet against.
+    pub slo: SloPolicy,
 }
 
 impl Default for RouterConfig {
@@ -40,6 +44,7 @@ impl Default for RouterConfig {
             replicas: 2,
             sub_batch: 256,
             health: HealthConfig::default(),
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -159,6 +164,155 @@ impl RouterCore {
         }
     }
 
+    /// Drains the routing tier's events — the `DSEX` scrape body. Like the
+    /// other fleet scrapes this aggregates: every reachable backend's
+    /// drained events plus the router's own (backend backoff/recovery
+    /// transitions, refresh-on-miss records), in the sink's canonical
+    /// `(at_us, trace_id, name)` order. In-process fleets share one global
+    /// sink with the router; the drain's take-semantics keep each record
+    /// exported exactly once either way.
+    pub(crate) fn events(&self) -> EventLog {
+        let drained: Vec<Option<EventLog>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .backends
+                .iter()
+                .map(|backend| scope.spawn(move || backend.events().ok()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("fleet event thread panicked"))
+                .collect()
+        });
+        let mut events: Vec<dsig_obs::EventRecord> = drained.into_iter().flatten().flat_map(|log| log.events).collect();
+        events.extend(self.registry.events().drain());
+        events.sort_by(|a, b| (a.at_us, a.trace_id, &a.name).cmp(&(b.at_us, b.trace_id, &b.name)));
+        EventLog { events }
+    }
+
+    /// Scrapes every backend's own metrics concurrently (one thread per
+    /// backend). A dead backend yields `None` — the fleet scrape skips it
+    /// and [`RouterCore::health`] counts it as down.
+    fn scrape_backends(&self) -> Vec<Option<MetricsSnapshot>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .backends
+                .iter()
+                .map(|backend| scope.spawn(move || backend.metrics().ok()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("fleet scrape thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Answers a `DSFM` fleet-metrics scrape: every backend's snapshot under
+    /// `backend.<label>.`, the cross-backend rollup under `fleet.`, and the
+    /// router's own registry unprefixed. Unreachable backends are skipped —
+    /// a fleet scrape is an observation, never a failure.
+    pub(crate) fn fleet_metrics(&self) -> MetricsSnapshot {
+        let scraped = self.scrape_backends();
+        let parts: Vec<(String, MetricsSnapshot)> = self
+            .backends
+            .iter()
+            .zip(scraped)
+            .filter_map(|(backend, snapshot)| snapshot.map(|s| (backend.label().to_string(), s)))
+            .collect();
+        MetricsSnapshot::merge_fleet(&parts, &self.registry.snapshot())
+    }
+
+    /// Answers a `DSFT` fleet-trace drain: every reachable backend's spans
+    /// plus the router's own, in the tracer's canonical
+    /// `(trace_id, start_us, span_id)` order. Consuming, like every drain.
+    pub(crate) fn fleet_traces(&self) -> TraceLog {
+        let drained: Vec<Option<TraceLog>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .backends
+                .iter()
+                .map(|backend| scope.spawn(move || backend.traces().ok()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("fleet trace thread panicked"))
+                .collect()
+        });
+        let mut spans: Vec<dsig_obs::SpanRecord> = drained.into_iter().flatten().flat_map(|log| log.spans).collect();
+        spans.extend(self.registry.tracer().drain());
+        spans.sort_by_key(|span| (span.trace_id, span.start_us, span.span_id));
+        TraceLog { spans }
+    }
+
+    /// Answers a `DSHC` health check: scrapes the fleet, counts a backend
+    /// down when its health record backs it off *or* its scrape fails
+    /// (a killed backend is down right now even before any forward has
+    /// armed the backoff), and verdicts the `fleet.` rollup against the
+    /// configured [`SloPolicy`].
+    pub(crate) fn health(&self) -> HealthReport {
+        let now = Instant::now();
+        let scraped = self.scrape_backends();
+        let down = self
+            .backends
+            .iter()
+            .zip(&scraped)
+            .filter(|(backend, snapshot)| snapshot.is_none() || !backend.is_available(now))
+            .count();
+        let parts: Vec<(String, MetricsSnapshot)> = self
+            .backends
+            .iter()
+            .zip(scraped)
+            .filter_map(|(backend, snapshot)| snapshot.map(|s| (backend.label().to_string(), s)))
+            .collect();
+        let merged = MetricsSnapshot::merge_fleet(&parts, &self.registry.snapshot());
+        self.config.slo.evaluate(health_sample(
+            &merged,
+            "fleet.",
+            down as u32,
+            self.backends.len() as u32,
+        ))
+    }
+
+    /// Clears backend `index`'s failure record, logging the recovery event
+    /// when this ends a failure streak.
+    fn mark_success(&self, index: usize) {
+        if self.backends[index].note_success() {
+            self.registry.events().emit(
+                EventLevel::Info,
+                "router",
+                "backend.recovered",
+                "backend answered again after a failure streak; failure record cleared",
+                &[("backend", self.backends[index].label())],
+            );
+        }
+    }
+
+    /// Revives backend `index` (see [`Backend::revive`]), logging the
+    /// recovery event when this ended a failure streak.
+    pub(crate) fn revive_backend(&self, index: usize) {
+        if self.backends[index].revive() {
+            self.registry.events().emit(
+                EventLevel::Info,
+                "router",
+                "backend.recovered",
+                "backend revived by the operator; failure record cleared",
+                &[("backend", self.backends[index].label())],
+            );
+        }
+    }
+
+    /// Records a failure against backend `index`, logging the backed-off
+    /// event when this starts a failure streak.
+    fn mark_failure(&self, index: usize, now: Instant) {
+        if self.backends[index].note_failure(now, &self.config.health) {
+            self.registry.events().emit(
+                EventLevel::Warn,
+                "router",
+                "backend.backed_off",
+                "backend failed; marked down with exponential backoff (deprioritized, not abandoned)",
+                &[("backend", self.backends[index].label())],
+            );
+        }
+    }
+
     pub(crate) fn backends(&self) -> &[Backend] {
         &self.backends
     }
@@ -197,6 +351,13 @@ impl RouterCore {
                 Some(record) => {
                     backend.push(key, &record)?;
                     self.metrics.refresh_on_miss.inc();
+                    self.registry.events().emit(
+                        EventLevel::Info,
+                        "router",
+                        "golden.refresh_on_miss",
+                        "backend missed a golden mid-request; re-pushed from the router store",
+                        &[("golden_key", &format!("{key:#x}")), ("backend", backend.label())],
+                    );
                     attempt(backend)
                 }
                 None => Err(ServeError::UnknownGolden(key)),
@@ -245,7 +406,7 @@ impl RouterCore {
             };
             match outcome {
                 Ok(scores) => {
-                    backend.note_success();
+                    self.mark_success(index);
                     counters.forwards.inc();
                     if position > 0 {
                         counters.failovers.inc();
@@ -260,7 +421,7 @@ impl RouterCore {
                     failures.push(format!("{}: unknown golden", backend.label()));
                 }
                 Err(err) => {
-                    backend.note_failure(now, &self.config.health);
+                    self.mark_failure(index, now);
                     counters.retries.inc();
                     forward_span.annotate("outcome", "failed");
                     failures.push(format!("{}: {err}", backend.label()));
@@ -424,11 +585,11 @@ impl RouterCore {
             let backend = &self.backends[index];
             match backend.push(key, record) {
                 Ok(()) => {
-                    backend.note_success();
+                    self.mark_success(index);
                     pushed += 1;
                 }
                 Err(err) => {
-                    backend.note_failure(now, &self.config.health);
+                    self.mark_failure(index, now);
                     failures.push(format!("{}: {err}", backend.label()));
                 }
             }
@@ -478,12 +639,12 @@ impl RouterCore {
             let backend = &self.backends[index];
             match backend.fetch(key) {
                 Ok((band, golden)) => {
-                    backend.note_success();
+                    self.mark_success(index);
                     self.store.insert(key, golden, band);
                     return Ok(self.store.get(key).expect("record just cached"));
                 }
                 Err(ServeError::UnknownGolden(_)) => {}
-                Err(_) => backend.note_failure(now, &self.config.health),
+                Err(_) => self.mark_failure(index, now),
             }
         }
         Err(RouterError::UnknownGolden(key))

@@ -1,7 +1,9 @@
 //! The TCP router front: an accept loop speaking the `dsig-serve` wire
 //! protocol (`DSRQ`/`DSRM`/`DSGP`/`DSGF`/`DSMX` in, `DSRS`/`DSRA`/`DSMR`
 //! out), fanning every request out across the backend fleet through the
-//! routing core.
+//! routing core. The fleet-observability frames (`DSFM`/`DSFT` aggregated
+//! scrapes, `DSEX` event drain, `DSHC` health check) are answered here too —
+//! the router is the natural aggregation point for a fleet.
 //!
 //! # Architecture
 //!
@@ -27,9 +29,10 @@ use std::thread::JoinHandle;
 use dsig_obs::trace;
 use dsig_serve::mux::{self, WorkPool};
 use dsig_serve::proto::{
-    decode_any_request, decode_request_context, encode_admin_response, encode_decode_error, encode_metrics_response,
-    encode_response, encode_retest_response, encode_traces_response, AdminResponse, ErrorCode, MetricsResponse,
-    Request, RetestResponse, ScreenResponse, TracesResponse,
+    decode_any_request, decode_request_context, encode_admin_response, encode_decode_error, encode_events_response,
+    encode_health_response, encode_metrics_response, encode_response, encode_retest_response, encode_traces_response,
+    AdminResponse, ErrorCode, EventsResponse, HealthResponse, MetricsResponse, Request, RetestResponse, ScreenResponse,
+    TracesResponse,
 };
 
 use crate::backend::Backend;
@@ -216,6 +219,12 @@ fn respond(core: &RouterCore, request: Request) -> Vec<u8> {
         }),
         Request::Metrics => encode_metrics_response(&MetricsResponse::Snapshot(core.metrics())),
         Request::Traces => encode_traces_response(&TracesResponse::Log(core.traces())),
+        // The fleet scrapes fan out to every backend and merge; the router's
+        // own plain `DSMX`/`DSTX` answers above stay backend-free.
+        Request::FleetMetrics => encode_metrics_response(&MetricsResponse::Snapshot(core.fleet_metrics())),
+        Request::FleetTraces => encode_traces_response(&TracesResponse::Log(core.fleet_traces())),
+        Request::Events => encode_events_response(&EventsResponse::Log(core.events())),
+        Request::Health => encode_health_response(&HealthResponse::Report(core.health())),
     }
 }
 

@@ -21,9 +21,9 @@
 //! replacement connection dies too (a crash-looping or shedding server),
 //! the request fails with the I/O error instead of being redialed forever.
 //! Requests whose responses already arrived are never resent, and a pending
-//! `DSTX` trace drain — the one non-idempotent request, since scraping
-//! consumes spans — fails with the connection error instead of being
-//! silently re-issued.
+//! drain — `DSTX`, its fleet form `DSFT`, or a `DSEX` event drain, the
+//! non-idempotent requests, since draining consumes records — fails with
+//! the connection error instead of being silently re-issued.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -33,15 +33,17 @@ use std::sync::{mpsc, Arc, Mutex, Weak};
 
 use dsig_core::{AcceptanceBand, DsigError, Signature};
 
-use dsig_obs::{MetricsSnapshot, TraceLog};
+use dsig_obs::{EventLevel, EventLog, HealthReport, MetricsSnapshot, Registry, TraceLog};
 
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    decode_admin_response, decode_metrics_response, decode_response, decode_retest_response, decode_traces_response,
-    encode_fetch_request, encode_metrics_request, encode_multi_request, encode_push_request, encode_request,
-    encode_retest_request, encode_traces_request, read_frame, stamp_request_id, write_frame, AdminResponse, ErrorCode,
+    decode_admin_response, decode_events_response, decode_health_response, decode_metrics_response, decode_response,
+    decode_retest_response, decode_traces_response, encode_events_request, encode_fetch_request,
+    encode_fleet_metrics_request, encode_fleet_traces_request, encode_health_request, encode_metrics_request,
+    encode_multi_request, encode_push_request, encode_request, encode_retest_request, encode_traces_request,
+    read_frame, stamp_request_id, write_frame, AdminResponse, ErrorCode, EventsResponse, HealthResponse,
     MetricsResponse, RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
-    TRACES_REQUEST_MAGIC,
+    EVENTS_REQUEST_MAGIC, FLEET_TRACES_REQUEST_MAGIC, TRACES_REQUEST_MAGIC,
 };
 
 /// A blocking client over one TCP connection.
@@ -217,6 +219,49 @@ impl ServeClient {
         let payload = self.exchange(&encode_fetch_request(key))?;
         decode_fetch_record(&payload, key)
     }
+
+    /// Scrapes the fleet-wide merged metrics (`DSFM`): against a routing
+    /// tier the snapshot carries every backend's metrics under
+    /// `backend.<id>.` prefixes plus `fleet.` rollups; a bare server
+    /// answers its own snapshot — a fleet of one. Idempotent, like `DSMX`.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::metrics`].
+    pub fn fleet_metrics(&mut self) -> Result<MetricsSnapshot> {
+        let payload = self.exchange(&encode_fleet_metrics_request())?;
+        decode_metrics_snapshot(&payload)
+    }
+
+    /// Drains trace spans fleet-wide (`DSFT`): a routing tier drains every
+    /// backend plus itself; a bare server answers its own log. Consuming,
+    /// like `DSTX` — successive drains return disjoint span sets.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::traces`].
+    pub fn fleet_traces(&mut self) -> Result<TraceLog> {
+        let payload = self.exchange(&encode_fleet_traces_request())?;
+        decode_trace_log(&payload)
+    }
+
+    /// Drains the server's structured event log (`DSEX`). Consuming: each
+    /// event is exported at most once.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::metrics`].
+    pub fn events(&mut self) -> Result<EventLog> {
+        let payload = self.exchange(&encode_events_request())?;
+        decode_event_log(&payload)
+    }
+
+    /// Asks the server to evaluate its own health (`DSHC`), returning the
+    /// PASS/DEGRADED/FAIL [`HealthReport`]. Idempotent.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::metrics`].
+    pub fn health(&mut self) -> Result<HealthReport> {
+        let payload = self.exchange(&encode_health_request())?;
+        decode_health_report(&payload)
+    }
 }
 
 /// Decodes a screening response, checking the score count.
@@ -291,6 +336,22 @@ fn decode_trace_log(payload: &[u8]) -> Result<TraceLog> {
     match decode_traces_response(payload)? {
         TracesResponse::Log(log) => Ok(log),
         TracesResponse::Error { message, .. } => Err(ServeError::Remote(message)),
+    }
+}
+
+/// Decodes an event-drain response into its log.
+fn decode_event_log(payload: &[u8]) -> Result<EventLog> {
+    match decode_events_response(payload)? {
+        EventsResponse::Log(log) => Ok(log),
+        EventsResponse::Error { message, .. } => Err(ServeError::Remote(message)),
+    }
+}
+
+/// Decodes a health-check response into its report.
+fn decode_health_report(payload: &[u8]) -> Result<HealthReport> {
+    match decode_health_response(payload)? {
+        HealthResponse::Report(report) => Ok(report),
+        HealthResponse::Error { message, .. } => Err(ServeError::Remote(message)),
     }
 }
 
@@ -603,16 +664,67 @@ impl PipelinedClient {
         decode_metrics_snapshot(&self.call(encode_metrics_request())?.wait()?)
     }
 
-    /// Drains the server's buffered trace spans (`DSTX`). The one
-    /// non-idempotent request: if the connection dies before the response
-    /// arrives, the call fails with [`ServeError::Io`] instead of being
-    /// resubmitted (the drain may or may not have happened server-side).
+    /// Drains the server's buffered trace spans (`DSTX`). A drain is not
+    /// idempotent: if the connection dies before the response arrives, the
+    /// call fails with [`ServeError::Io`] instead of being resubmitted (the
+    /// drain may or may not have happened server-side).
     ///
     /// # Errors
     /// As for [`ServeClient::traces`].
     pub fn traces(&self) -> Result<TraceLog> {
         decode_trace_log(&self.call(encode_traces_request())?.wait()?)
     }
+
+    /// Scrapes the fleet-wide merged metrics (`DSFM`) — the pipelined
+    /// [`ServeClient::fleet_metrics`]. Idempotent: resubmitted on a
+    /// transparent reconnect like `DSMX`.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::metrics`].
+    pub fn fleet_metrics(&self) -> Result<MetricsSnapshot> {
+        decode_metrics_snapshot(&self.call(encode_fleet_metrics_request())?.wait()?)
+    }
+
+    /// Drains trace spans fleet-wide (`DSFT`) — the pipelined
+    /// [`ServeClient::fleet_traces`]. Not idempotent: fails instead of
+    /// resubmitting on a dead connection, like `DSTX`.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::traces`].
+    pub fn fleet_traces(&self) -> Result<TraceLog> {
+        decode_trace_log(&self.call(encode_fleet_traces_request())?.wait()?)
+    }
+
+    /// Drains the server's structured event log (`DSEX`) — the pipelined
+    /// [`ServeClient::events`]. Not idempotent: fails instead of
+    /// resubmitting on a dead connection, like `DSTX`.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::metrics`].
+    pub fn events(&self) -> Result<EventLog> {
+        decode_event_log(&self.call(encode_events_request())?.wait()?)
+    }
+
+    /// Asks the server to evaluate its own health (`DSHC`) — the pipelined
+    /// [`ServeClient::health`]. Idempotent.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::metrics`].
+    pub fn health(&self) -> Result<HealthReport> {
+        decode_health_report(&self.call(encode_health_request())?.wait()?)
+    }
+}
+
+/// Whether a pending frame is a consuming drain — a `DSTX` trace scrape,
+/// its fleet form `DSFT`, or a `DSEX` event drain. Drains are the
+/// non-idempotent requests: a reconnect fails them with the connection
+/// error instead of silently re-issuing (the server-side drain may or may
+/// not have happened).
+fn is_drain_frame(frame: &[u8]) -> bool {
+    matches!(
+        frame.get(..4),
+        Some(magic) if magic == TRACES_REQUEST_MAGIC || magic == FLEET_TRACES_REQUEST_MAGIC || magic == EVENTS_REQUEST_MAGIC
+    )
 }
 
 /// The terminal error a poisoned client answers everything with.
@@ -654,13 +766,13 @@ fn reconnect(inner: &Arc<MuxInner>, state: &mut MuxState) {
     let spent: Vec<u64> = state
         .pending
         .iter()
-        .filter(|(_, entry)| entry.resubmitted || entry.frame.get(..4) == Some(&TRACES_REQUEST_MAGIC))
+        .filter(|(_, entry)| entry.resubmitted || is_drain_frame(&entry.frame))
         .map(|(&id, _)| id)
         .collect();
     for id in spent {
         if let Some(entry) = state.pending.remove(&id) {
-            let message = if entry.frame.get(..4) == Some(&TRACES_REQUEST_MAGIC) {
-                "connection died before the trace drain resolved; not resubmitted (a drain is not idempotent)"
+            let message = if is_drain_frame(&entry.frame) {
+                "connection died before the drain resolved; not resubmitted (trace/event drains are not idempotent)"
             } else {
                 "connection died again after the request's one transparent resubmission"
             };
@@ -703,6 +815,16 @@ fn reconnect(inner: &Arc<MuxInner>, state: &mut MuxState) {
                 message.clone(),
             ))));
         }
+    } else {
+        let resubmitted = state.pending.len().to_string();
+        let peer = inner.addr.to_string();
+        Registry::global().events().emit(
+            EventLevel::Warn,
+            "client",
+            "mux.reconnect",
+            "connection died; redialed and resubmitted the unacknowledged idempotent requests",
+            &[("peer", &peer), ("resubmitted", &resubmitted)],
+        );
     }
 }
 
@@ -735,6 +857,14 @@ fn reader_loop(inner: &Weak<MuxInner>, stream: TcpStream, generation: u64) {
                         // trusted to route responses: poison terminally.
                         let detail = format!("response carries unknown or duplicate request id {id}");
                         state.poisoned = Some(detail.clone());
+                        let peer = inner.addr.to_string();
+                        Registry::global().events().emit(
+                            EventLevel::Error,
+                            "client",
+                            "mux.poisoned",
+                            detail.clone(),
+                            &[("peer", &peer)],
+                        );
                         if let Some(writer) = &state.writer {
                             let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
                         }

@@ -97,6 +97,12 @@ impl WorkPool {
         self.inner.queues.len()
     }
 
+    /// Jobs submitted but not yet picked up by a worker — the pool's queue
+    /// depth, sampled for the `serve.queue_depth` gauge.
+    pub fn queued(&self) -> usize {
+        *self.inner.pending.lock().expect("pool semaphore poisoned")
+    }
+
     /// Enqueues one job. Jobs submitted before the pool drops are always
     /// run, even if the drop races the submission.
     pub fn submit(&self, job: Job) {
@@ -164,7 +170,15 @@ fn worker_loop(inner: &PoolInner, index: usize) {
         // shrink it until nothing serves. The job's connection sees the
         // dropped response as a never-answered request; everyone else is
         // unaffected.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            dsig_obs::Registry::global().events().emit(
+                dsig_obs::EventLevel::Error,
+                "serve",
+                "pool.job_panic",
+                "work-pool job panicked; its response is dropped, the worker survives",
+                &[("worker", &index.to_string())],
+            );
+        }
     }
 }
 

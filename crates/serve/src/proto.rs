@@ -12,7 +12,7 @@ use std::io::{Read, Write};
 
 use dsig_core::{wire, AcceptanceBand, RetestPolicy, Signature, TestOutcome};
 use dsig_obs::trace::{self, TraceContext};
-use dsig_obs::{MetricsSnapshot, TraceLog};
+use dsig_obs::{EventLog, HealthReport, HealthStatus, MetricsSnapshot, TraceLog};
 
 use crate::error::{Result, ServeError};
 
@@ -50,6 +50,34 @@ pub const TRACES_REQUEST_MAGIC: [u8; 4] = *b"DSTX";
 /// Magic prefix of trace-scrape response payloads (`DSTD`) — one serialized
 /// [`dsig_obs::TraceLog`] (`DSTL` bytes), or an error.
 pub const TRACES_RESPONSE_MAGIC: [u8; 4] = *b"DSTD";
+/// Magic prefix of fleet-metrics-scrape request payloads (`DSFM`): a
+/// header-only frame asking an aggregating process (the router) to fan
+/// `DSMX` out to every backend and answer one merged snapshot — per-backend
+/// metrics under `backend.<id>.` prefixes plus `fleet.` rollups — in the
+/// ordinary `DSMR` response family. Idempotent: scraping twice returns two
+/// consistent snapshots.
+pub const FLEET_METRICS_REQUEST_MAGIC: [u8; 4] = *b"DSFM";
+/// Magic prefix of fleet-trace-drain request payloads (`DSFT`): the `DSFM`
+/// pattern for traces — every backend's span ring drained and concatenated
+/// with the aggregator's own, answered in the `DSTD` response family.
+/// **Not** idempotent: like `DSTX`, a drain consumes the spans it returns.
+pub const FLEET_TRACES_REQUEST_MAGIC: [u8; 4] = *b"DSFT";
+/// Magic prefix of event-drain request payloads (`DSEX`): a header-only
+/// frame asking the answering process to drain its buffered operational
+/// events. **Not** idempotent: like `DSTX`, a drain consumes what it
+/// returns.
+pub const EVENTS_REQUEST_MAGIC: [u8; 4] = *b"DSEX";
+/// Magic prefix of event-drain response payloads (`DSED`) — one serialized
+/// [`dsig_obs::EventLog`] (`DSEL` bytes), or an error.
+pub const EVENTS_RESPONSE_MAGIC: [u8; 4] = *b"DSED";
+/// Magic prefix of health-check request payloads (`DSHC`): a header-only
+/// frame asking the answering process to judge its current state against
+/// its [`dsig_obs::SloPolicy`] and answer one PASS/DEGRADED/FAIL verdict.
+/// Idempotent.
+pub const HEALTH_REQUEST_MAGIC: [u8; 4] = *b"DSHC";
+/// Magic prefix of health-check response payloads (`DSHR`) — one
+/// [`dsig_obs::HealthReport`], or an error.
+pub const HEALTH_RESPONSE_MAGIC: [u8; 4] = *b"DSHR";
 /// Wire-protocol version of response frames and of the scrape requests
 /// (`DSMX`/`DSTX`). Version 2 added a `u64` request id right after the
 /// header — the multiplexing correlator echoed from the request — at the
@@ -239,6 +267,19 @@ pub enum Request {
     Metrics,
     /// A trace-scrape request (`DSTX`): drain the process's buffered spans.
     Traces,
+    /// A fleet-metrics-scrape request (`DSFM`): fan `DSMX` out to every
+    /// backend and answer one merged snapshot. A leaf process answers it
+    /// as a fleet of one.
+    FleetMetrics,
+    /// A fleet-trace-drain request (`DSFT`): drain every backend's spans
+    /// plus the aggregator's own.
+    FleetTraces,
+    /// An event-drain request (`DSEX`): drain the process's buffered
+    /// operational events.
+    Events,
+    /// A health-check request (`DSHC`): judge the current state against
+    /// the process's SLO policy.
+    Health,
 }
 
 /// A decoded metrics-scrape response (`DSMR`): the answering process's
@@ -264,6 +305,38 @@ pub enum MetricsResponse {
 pub enum TracesResponse {
     /// The drained spans.
     Log(TraceLog),
+    /// The request failed server-side.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+/// A decoded event-drain response (`DSED`): the events the answering
+/// process had buffered (draining them), or a server-side error (same error
+/// vocabulary as [`ScreenResponse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventsResponse {
+    /// The drained events.
+    Log(EventLog),
+    /// The request failed server-side.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+/// A decoded health-check response (`DSHR`): the answering process's
+/// verdict, or a server-side error (same error vocabulary as
+/// [`ScreenResponse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthResponse {
+    /// The judged verdict with the facts behind it.
+    Report(HealthReport),
     /// The request failed server-side.
     Error {
         /// Machine-readable error class.
@@ -334,9 +407,19 @@ const WORK_REQUEST_MAGICS: [[u8; 4]; 5] = [
 /// The first version at which a request frame of `magic` carries a request
 /// id, or `None` for a magic that is not a request.
 fn request_tagged_from(magic: [u8; 4]) -> Option<u16> {
+    /// The header-only scrape request magics, which tag from
+    /// [`PROTO_TAGGED_FROM`] like responses do.
+    const SCRAPE_REQUEST_MAGICS: [[u8; 4]; 6] = [
+        METRICS_REQUEST_MAGIC,
+        TRACES_REQUEST_MAGIC,
+        FLEET_METRICS_REQUEST_MAGIC,
+        FLEET_TRACES_REQUEST_MAGIC,
+        EVENTS_REQUEST_MAGIC,
+        HEALTH_REQUEST_MAGIC,
+    ];
     if WORK_REQUEST_MAGICS.contains(&magic) {
         Some(REQUEST_TAGGED_FROM)
-    } else if magic == METRICS_REQUEST_MAGIC || magic == TRACES_REQUEST_MAGIC {
+    } else if SCRAPE_REQUEST_MAGICS.contains(&magic) {
         Some(PROTO_TAGGED_FROM)
     } else {
         None
@@ -363,12 +446,14 @@ pub fn peek_request_id(payload: &[u8]) -> u64 {
     };
     // Requests tag from their family's threshold; every response family
     // tags from PROTO_TAGGED_FROM; anything else is not a tagged frame.
-    const RESPONSE_MAGICS: [[u8; 4]; 5] = [
+    const RESPONSE_MAGICS: [[u8; 4]; 7] = [
         RESPONSE_MAGIC,
         RETEST_RESPONSE_MAGIC,
         ADMIN_RESPONSE_MAGIC,
         METRICS_RESPONSE_MAGIC,
         TRACES_RESPONSE_MAGIC,
+        EVENTS_RESPONSE_MAGIC,
+        HEALTH_RESPONSE_MAGIC,
     ];
     let tagged_from = match request_tagged_from(magic) {
         Some(tagged_from) => tagged_from,
@@ -840,6 +925,209 @@ pub fn decode_traces_response(payload: &[u8]) -> Result<TracesResponse> {
     }
 }
 
+/// Encodes a fleet-metrics-scrape request payload (without the frame
+/// length prefix). The request is header-only, like `DSMX`; the response
+/// comes back in the `DSMR` family.
+pub fn encode_fleet_metrics_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    wire::put_tagged_header(&mut out, FLEET_METRICS_REQUEST_MAGIC, PROTO_VERSION, 0);
+    out
+}
+
+/// Decodes a fleet-metrics-scrape request payload. Never panics on
+/// malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors (wrong magic, unsupported
+/// version, trailing bytes).
+pub fn decode_fleet_metrics_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "fleet metrics request");
+    r.tagged_header(FLEET_METRICS_REQUEST_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
+    r.finish()?;
+    Ok(Request::FleetMetrics)
+}
+
+/// Encodes a fleet-trace-drain request payload (without the frame length
+/// prefix). The request is header-only, like `DSTX`; the response comes
+/// back in the `DSTD` family.
+pub fn encode_fleet_traces_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    wire::put_tagged_header(&mut out, FLEET_TRACES_REQUEST_MAGIC, PROTO_VERSION, 0);
+    out
+}
+
+/// Decodes a fleet-trace-drain request payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors (wrong magic, unsupported
+/// version, trailing bytes).
+pub fn decode_fleet_traces_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "fleet traces request");
+    r.tagged_header(FLEET_TRACES_REQUEST_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
+    r.finish()?;
+    Ok(Request::FleetTraces)
+}
+
+/// Encodes an event-drain request payload (without the frame length
+/// prefix). The request is header-only, like `DSTX`.
+pub fn encode_events_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    wire::put_tagged_header(&mut out, EVENTS_REQUEST_MAGIC, PROTO_VERSION, 0);
+    out
+}
+
+/// Decodes an event-drain request payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors (wrong magic, unsupported
+/// version, trailing bytes).
+pub fn decode_events_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "events request");
+    r.tagged_header(EVENTS_REQUEST_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
+    r.finish()?;
+    Ok(Request::Events)
+}
+
+/// Encodes an event-drain response payload (without the frame length
+/// prefix). The ok body is one length-prefixed `DSEL` event log.
+pub fn encode_events_response(response: &EventsResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    wire::put_tagged_header(&mut out, EVENTS_RESPONSE_MAGIC, PROTO_VERSION, 0);
+    match response {
+        EventsResponse::Log(log) => {
+            out.push(STATUS_OK);
+            wire::put_bytes(&mut out, &log.to_bytes());
+        }
+        EventsResponse::Error { code, message } => {
+            out.push(STATUS_ERROR);
+            wire::put_u16(&mut out, code.to_u16());
+            wire::put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes an event-drain response payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing or event-log decoding errors and
+/// [`ServeError::Protocol`] on an unknown status byte.
+pub fn decode_events_response(payload: &[u8]) -> Result<EventsResponse> {
+    let mut r = wire::ByteReader::new(payload, "events response");
+    r.tagged_header(EVENTS_RESPONSE_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
+    match r.u8()? {
+        STATUS_OK => {
+            let log = EventLog::from_bytes(r.bytes()?)?;
+            r.finish()?;
+            Ok(EventsResponse::Log(log))
+        }
+        STATUS_ERROR => {
+            let code = ErrorCode::from_u16(r.u16()?)?;
+            let message = r.string()?;
+            r.finish()?;
+            Ok(EventsResponse::Error { code, message })
+        }
+        other => Err(ServeError::Protocol(format!("unknown events response status {other}"))),
+    }
+}
+
+/// Encodes a health-check request payload (without the frame length
+/// prefix). The request is header-only, like `DSMX`.
+pub fn encode_health_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    wire::put_tagged_header(&mut out, HEALTH_REQUEST_MAGIC, PROTO_VERSION, 0);
+    out
+}
+
+/// Decodes a health-check request payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors (wrong magic, unsupported
+/// version, trailing bytes).
+pub fn decode_health_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "health request");
+    r.tagged_header(HEALTH_REQUEST_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
+    r.finish()?;
+    Ok(Request::Health)
+}
+
+/// Encodes a health-check response payload (without the frame length
+/// prefix). The ok body carries the report inline: status byte, error
+/// rate, p99, backed-off and fleet-size counts, then the findings.
+pub fn encode_health_response(response: &HealthResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    wire::put_tagged_header(&mut out, HEALTH_RESPONSE_MAGIC, PROTO_VERSION, 0);
+    match response {
+        HealthResponse::Report(report) => {
+            out.push(STATUS_OK);
+            out.push(report.status.to_u8());
+            wire::put_f64(&mut out, report.error_rate);
+            wire::put_u64(&mut out, report.p99_us);
+            wire::put_u32(&mut out, report.backed_off);
+            wire::put_u32(&mut out, report.backends);
+            wire::put_u32(&mut out, report.findings.len() as u32);
+            for finding in &report.findings {
+                wire::put_str(&mut out, finding);
+            }
+        }
+        HealthResponse::Error { code, message } => {
+            out.push(STATUS_ERROR);
+            wire::put_u16(&mut out, code.to_u16());
+            wire::put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a health-check response payload. Never panics on malformed
+/// input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors and
+/// [`ServeError::Protocol`] on an unknown status byte or verdict tag.
+pub fn decode_health_response(payload: &[u8]) -> Result<HealthResponse> {
+    let mut r = wire::ByteReader::new(payload, "health response");
+    r.tagged_header(HEALTH_RESPONSE_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
+    match r.u8()? {
+        STATUS_OK => {
+            let tag = r.u8()?;
+            let status = HealthStatus::from_u8(tag)
+                .ok_or_else(|| ServeError::Protocol(format!("unknown health status {tag}")))?;
+            let error_rate = r.f64()?;
+            let p99_us = r.u64()?;
+            let backed_off = r.u32()?;
+            let backends = r.u32()?;
+            let n_findings = r.u32()? as usize;
+            // Minimum finding: one empty length-prefixed string.
+            r.check_count(n_findings, 4)?;
+            let mut findings = Vec::with_capacity(n_findings);
+            for _ in 0..n_findings {
+                findings.push(r.string()?);
+            }
+            r.finish()?;
+            Ok(HealthResponse::Report(HealthReport {
+                status,
+                error_rate,
+                p99_us,
+                backed_off,
+                backends,
+                findings,
+            }))
+        }
+        STATUS_ERROR => {
+            let code = ErrorCode::from_u16(r.u16()?)?;
+            let message = r.string()?;
+            r.finish()?;
+            Ok(HealthResponse::Error { code, message })
+        }
+        other => Err(ServeError::Protocol(format!("unknown health response status {other}"))),
+    }
+}
+
 /// Decodes any request frame by its payload magic — the dispatch point of a
 /// serving or routing process. Never panics on malformed input.
 ///
@@ -855,6 +1143,10 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
         Some(magic) if *magic == FETCH_MAGIC => decode_fetch_request(payload),
         Some(magic) if *magic == METRICS_REQUEST_MAGIC => decode_metrics_request(payload),
         Some(magic) if *magic == TRACES_REQUEST_MAGIC => decode_traces_request(payload),
+        Some(magic) if *magic == FLEET_METRICS_REQUEST_MAGIC => decode_fleet_metrics_request(payload),
+        Some(magic) if *magic == FLEET_TRACES_REQUEST_MAGIC => decode_fleet_traces_request(payload),
+        Some(magic) if *magic == EVENTS_REQUEST_MAGIC => decode_events_request(payload),
+        Some(magic) if *magic == HEALTH_REQUEST_MAGIC => decode_health_request(payload),
         Some(magic) => Err(ServeError::Protocol(format!(
             "unknown request magic {:?}",
             String::from_utf8_lossy(magic)
@@ -869,10 +1161,11 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
 /// Encodes the response for a request frame that failed to decode, matching
 /// the response family the client is waiting for: admin requests
 /// (`DSGP`/`DSGF`) are answered with a `DSRA` error, retest requests
-/// (`DSRT`) with a `DSRR` error, metrics scrapes (`DSMX`) with a `DSMR`
-/// error and trace scrapes (`DSTX`) with a `DSTD` error, so each
-/// client-side decoder surfaces the server's message instead of a magic
-/// mismatch; everything else gets a `DSRS` error.
+/// (`DSRT`) with a `DSRR` error, metrics scrapes (`DSMX`/`DSFM`) with a
+/// `DSMR` error, trace scrapes (`DSTX`/`DSFT`) with a `DSTD` error, event
+/// drains (`DSEX`) with a `DSED` error and health checks (`DSHC`) with a
+/// `DSHR` error, so each client-side decoder surfaces the server's message
+/// instead of a magic mismatch; everything else gets a `DSRS` error.
 pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
     match payload.get(..4) {
         Some(magic) if *magic == PUSH_MAGIC || *magic == FETCH_MAGIC => encode_admin_response(&AdminResponse::Error {
@@ -883,11 +1176,23 @@ pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
             code: ErrorCode::BadRequest,
             message,
         }),
-        Some(magic) if *magic == METRICS_REQUEST_MAGIC => encode_metrics_response(&MetricsResponse::Error {
+        Some(magic) if *magic == METRICS_REQUEST_MAGIC || *magic == FLEET_METRICS_REQUEST_MAGIC => {
+            encode_metrics_response(&MetricsResponse::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            })
+        }
+        Some(magic) if *magic == TRACES_REQUEST_MAGIC || *magic == FLEET_TRACES_REQUEST_MAGIC => {
+            encode_traces_response(&TracesResponse::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            })
+        }
+        Some(magic) if *magic == EVENTS_REQUEST_MAGIC => encode_events_response(&EventsResponse::Error {
             code: ErrorCode::BadRequest,
             message,
         }),
-        Some(magic) if *magic == TRACES_REQUEST_MAGIC => encode_traces_response(&TracesResponse::Error {
+        Some(magic) if *magic == HEALTH_REQUEST_MAGIC => encode_health_response(&HealthResponse::Error {
             code: ErrorCode::BadRequest,
             message,
         }),
@@ -1146,6 +1451,11 @@ mod tests {
                 message: "x".into(),
             }),
             encode_traces_response(&TracesResponse::Error {
+                code: ErrorCode::Internal,
+                message: "x".into(),
+            }),
+            encode_events_response(&EventsResponse::Log(EventLog::default())),
+            encode_health_response(&HealthResponse::Error {
                 code: ErrorCode::Internal,
                 message: "x".into(),
             }),
@@ -1570,6 +1880,119 @@ mod tests {
     }
 
     #[test]
+    fn fleet_scrape_requests_round_trip_and_answer_in_leaf_families() {
+        for (payload, want) in [
+            (encode_fleet_metrics_request(), Request::FleetMetrics),
+            (encode_fleet_traces_request(), Request::FleetTraces),
+            (encode_events_request(), Request::Events),
+            (encode_health_request(), Request::Health),
+        ] {
+            assert_eq!(decode_any_request(&payload).unwrap(), want);
+            // Scrape requests carry nothing beyond the header.
+            let mut trailing = payload.clone();
+            trailing.push(0);
+            assert!(decode_any_request(&trailing).is_err(), "{want:?}");
+            let mut future = payload.clone();
+            future[4..6].copy_from_slice(&42u16.to_le_bytes());
+            assert!(decode_any_request(&future).is_err(), "{want:?} future version");
+        }
+        // Decode failures answer in the family the client decodes: DSFM in
+        // DSMR, DSFT in DSTD, DSEX in DSED, DSHC in DSHR.
+        let response = encode_decode_error(&encode_fleet_metrics_request()[..5], "bad".into());
+        assert!(matches!(
+            decode_metrics_response(&response).unwrap(),
+            MetricsResponse::Error { .. }
+        ));
+        let response = encode_decode_error(&encode_fleet_traces_request()[..5], "bad".into());
+        assert!(matches!(
+            decode_traces_response(&response).unwrap(),
+            TracesResponse::Error { .. }
+        ));
+        let response = encode_decode_error(&encode_events_request()[..5], "bad".into());
+        assert!(matches!(
+            decode_events_response(&response).unwrap(),
+            EventsResponse::Error { .. }
+        ));
+        let response = encode_decode_error(&encode_health_request()[..5], "bad".into());
+        assert!(matches!(
+            decode_health_response(&response).unwrap(),
+            HealthResponse::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn events_responses_round_trip_and_reject_malformed_payloads() {
+        use dsig_obs::{EventLevel, EventRecord};
+
+        let ok = EventsResponse::Log(EventLog {
+            events: vec![EventRecord {
+                level: EventLevel::Warn,
+                tier: "router".into(),
+                name: "backend.backed_off".into(),
+                message: "local-1 down".into(),
+                fields: vec![("backend".into(), "local-1".into())],
+                at_us: 123,
+                trace_id: 0xFEED,
+            }],
+        });
+        let payload = encode_events_response(&ok);
+        assert_eq!(decode_events_response(&payload).unwrap(), ok);
+        let err = EventsResponse::Error {
+            code: ErrorCode::Internal,
+            message: "sink unavailable".into(),
+        };
+        assert_eq!(decode_events_response(&encode_events_response(&err)).unwrap(), err);
+        assert!(decode_events_response(&payload[..5]).is_err());
+        assert!(decode_events_response(&payload[..payload.len() - 1]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_events_response(&trailing).is_err());
+        let mut bad_status = payload;
+        bad_status[14] = 9; // magic + version + request id
+        assert!(matches!(
+            decode_events_response(&bad_status),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn health_responses_round_trip_and_reject_malformed_payloads() {
+        let ok = HealthResponse::Report(HealthReport {
+            status: HealthStatus::Degraded,
+            error_rate: 0.25,
+            p99_us: 45_000,
+            backed_off: 1,
+            backends: 3,
+            findings: vec!["1 of 3 backends backed off".into()],
+        });
+        let payload = encode_health_response(&ok);
+        assert_eq!(decode_health_response(&payload).unwrap(), ok);
+        let err = HealthResponse::Error {
+            code: ErrorCode::Internal,
+            message: "no snapshot".into(),
+        };
+        assert_eq!(decode_health_response(&encode_health_response(&err)).unwrap(), err);
+        assert!(decode_health_response(&payload[..5]).is_err());
+        assert!(decode_health_response(&payload[..payload.len() - 1]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_health_response(&trailing).is_err());
+        let mut bad_status = payload.clone();
+        bad_status[14] = 9; // magic + version + request id
+        assert!(matches!(
+            decode_health_response(&bad_status),
+            Err(ServeError::Protocol(_))
+        ));
+        // An unknown verdict tag (right after the status byte) is an error.
+        let mut bad_verdict = payload;
+        bad_verdict[15] = 9;
+        assert!(matches!(
+            decode_health_response(&bad_verdict),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
     fn request_ids_stamp_and_peek_across_every_tagged_family() {
         // A freshly encoded frame carries the placeholder id 0; stamping
         // patches bytes 6..14 in place and the peek reads it back.
@@ -1599,8 +2022,17 @@ mod tests {
             encode_fetch_request(1),
             encode_metrics_request(),
             encode_traces_request(),
+            encode_fleet_metrics_request(),
+            encode_fleet_traces_request(),
+            encode_events_request(),
+            encode_health_request(),
             encode_retest_response(&RetestResponse::Results(vec![])),
             encode_admin_response(&AdminResponse::Ack),
+            encode_events_response(&EventsResponse::Log(EventLog::default())),
+            encode_health_response(&HealthResponse::Error {
+                code: ErrorCode::Internal,
+                message: "x".into(),
+            }),
             encode_decode_error(b"DSRQ", "boom".into()),
         ] {
             assert_eq!(peek_request_id(&frame), 0);

@@ -28,14 +28,18 @@ use std::thread::JoinHandle;
 use dsig_core::{ndf, peak_hamming_distance, AcceptanceBand, DsigError, RetestPolicy, Signature};
 use dsig_engine::{available_threads, RemoteRetest, RemoteScore, RemoteScorer, RetestDevice};
 use dsig_obs::trace::{self, TraceContext, Tracer};
-use dsig_obs::{Counter, Histogram, MetricsSnapshot, Registry, Span, TraceLog};
+use dsig_obs::{
+    Counter, EventLevel, EventLog, Gauge, HealthReport, HealthSample, Histogram, MetricValue, MetricsSnapshot,
+    Registry, SloPolicy, Span, TraceLog,
+};
 
 use crate::error::{Result, ServeError};
 use crate::mux::{self, WorkPool};
 use crate::proto::{
-    decode_any_request, decode_request_context, encode_admin_response, encode_decode_error, encode_metrics_response,
-    encode_response, encode_retest_response, encode_traces_response, AdminResponse, ErrorCode, MetricsResponse,
-    Request, RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
+    decode_any_request, decode_request_context, encode_admin_response, encode_decode_error, encode_events_response,
+    encode_health_response, encode_metrics_response, encode_response, encode_retest_response, encode_traces_response,
+    AdminResponse, ErrorCode, EventsResponse, HealthResponse, MetricsResponse, Request, RetestRequest, RetestResponse,
+    RetestScore, ScoreResult, ScreenResponse, TracesResponse,
 };
 use crate::store::{GoldenRecord, GoldenStore};
 
@@ -89,6 +93,11 @@ struct ServeMetrics {
     bytes_out: Arc<Counter>,
     /// `serve.signatures_scored` — mirror of [`ServeHandle::signatures_scored`].
     scored: Arc<Counter>,
+    /// `serve.request_us` — end-to-end time to answer one decoded request.
+    request_us: Arc<Histogram>,
+    /// `serve.queue_depth` — work-pool jobs queued or running, sampled as
+    /// each connection frame arrives.
+    queue_depth: Arc<Gauge>,
 }
 
 /// One counter per request family (wire magic).
@@ -100,6 +109,10 @@ struct PerFamily {
     fetch: Arc<Counter>,
     metrics: Arc<Counter>,
     traces: Arc<Counter>,
+    fleet_metrics: Arc<Counter>,
+    fleet_traces: Arc<Counter>,
+    events: Arc<Counter>,
+    health: Arc<Counter>,
 }
 
 impl PerFamily {
@@ -113,6 +126,10 @@ impl PerFamily {
             fetch: registry.counter(&name("dsgf")),
             metrics: registry.counter(&name("dsmx")),
             traces: registry.counter(&name("dstx")),
+            fleet_metrics: registry.counter(&name("dsfm")),
+            fleet_traces: registry.counter(&name("dsft")),
+            events: registry.counter(&name("dsex")),
+            health: registry.counter(&name("dshc")),
         }
     }
 
@@ -125,6 +142,10 @@ impl PerFamily {
             Request::FetchGolden { .. } => &self.fetch,
             Request::Metrics => &self.metrics,
             Request::Traces => &self.traces,
+            Request::FleetMetrics => &self.fleet_metrics,
+            Request::FleetTraces => &self.fleet_traces,
+            Request::Events => &self.events,
+            Request::Health => &self.health,
         }
     }
 }
@@ -140,7 +161,40 @@ impl ServeMetrics {
             bytes_in: registry.counter("serve.bytes_in"),
             bytes_out: registry.counter("serve.bytes_out"),
             scored: registry.counter("serve.signatures_scored"),
+            request_us: registry.histogram("serve.request_us"),
+            queue_depth: registry.gauge("serve.queue_depth"),
         }
+    }
+}
+
+/// Distills a [`HealthSample`] out of a serving-tier metrics snapshot:
+/// `requests` and `errors` sum the per-family `serve.requests.*` /
+/// `serve.errors.*` counters and `p99_us` reads the `serve.request_us`
+/// histogram, all under an optional name prefix (`""` for a process's own
+/// snapshot, `"fleet."` for the routing tier's merged rollup). The fleet
+/// fields are supplied by the caller — a standalone server is a fleet of
+/// one with nothing backed off.
+pub fn health_sample(snapshot: &MetricsSnapshot, prefix: &str, backed_off: u32, backends: u32) -> HealthSample {
+    let sum_family = |family: &str| {
+        let family_prefix = format!("{prefix}serve.{family}.");
+        snapshot
+            .metrics
+            .iter()
+            .filter(|(name, _)| name.starts_with(&family_prefix))
+            .filter_map(|(_, value)| match value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .fold(0u64, u64::wrapping_add)
+    };
+    HealthSample {
+        requests: sum_family("requests"),
+        errors: sum_family("errors"),
+        p99_us: snapshot
+            .histogram(&format!("{prefix}serve.request_us"))
+            .map_or(0, |h| h.p99_us()),
+        backed_off,
+        backends,
     }
 }
 
@@ -282,6 +336,23 @@ impl ServeHandle {
         }
     }
 
+    /// Drains and returns the structured events buffered by this handle's
+    /// registry — the in-process equivalent of a `DSEX` scrape. Draining
+    /// consumes: a second drain returns only events emitted in between.
+    pub fn events(&self) -> EventLog {
+        EventLog {
+            events: self.registry.events().drain(),
+        }
+    }
+
+    /// Evaluates this process's health against `policy` from a fresh
+    /// metrics snapshot — the in-process form of the `DSHC` check. A
+    /// standalone serving process is a fleet of one with no routing tier,
+    /// so `backed_off` is always zero.
+    pub fn health(&self, policy: &SloPolicy) -> HealthReport {
+        policy.evaluate(health_sample(&self.metrics(), "", 0, 1))
+    }
+
     /// Total signatures scored successfully through this handle's shards
     /// (shared with every clone and with the owning [`Server`], if any).
     pub fn signatures_scored(&self) -> u64 {
@@ -388,6 +459,17 @@ impl ServeHandle {
             at += 1 + repeat_count;
             let repeat_ndfs: Vec<f64> = repeats.iter().map(|s| s.ndf).collect();
             let verdict = policy.escalate(&record.band, initial.ndf, &repeat_ndfs);
+            if verdict.marginal && verdict.repeats_used >= policy.repeat_cap() {
+                let key = format!("{golden_key:#x}");
+                let used = verdict.repeats_used.to_string();
+                self.registry.events().emit(
+                    EventLevel::Warn,
+                    "serve",
+                    "retest.cap_hit",
+                    "marginal device consumed the full escalation schedule",
+                    &[("golden_key", &key), ("repeats_used", &used)],
+                );
+            }
             let used = verdict.repeats_used as usize;
             results.push(RetestScore {
                 score: ScoreResult {
@@ -535,12 +617,31 @@ impl Server {
     /// Binds a listener (use port 0 for an ephemeral port), spawns the
     /// scoring shards and the accept loop, and starts serving.
     ///
+    /// Metrics register in the process-wide [`Registry::global`]; use
+    /// [`Server::bind_in`] to register elsewhere.
+    ///
     /// # Errors
     /// Returns [`ServeError::Io`] if the listener cannot be bound.
     pub fn bind(addr: impl ToSocketAddrs, store: Arc<GoldenStore>, config: ServeConfig) -> Result<Server> {
+        Server::bind_in(addr, store, config, Registry::global())
+    }
+
+    /// Like [`Server::bind`], registering the server's metrics, traces, and
+    /// events in `registry` instead of the process-wide one — so several
+    /// servers in one process (a demo fleet, a test harness) each answer
+    /// `DSMX` with their own counters rather than a shared blur.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Io`] if the listener cannot be bound.
+    pub fn bind_in(
+        addr: impl ToSocketAddrs,
+        store: Arc<GoldenStore>,
+        config: ServeConfig,
+        registry: Registry,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let handle = ServeHandle::spawn(store, config);
+        let handle = ServeHandle::spawn_in(store, config, registry);
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_handle = handle.clone();
@@ -673,6 +774,7 @@ fn error_code_of(err: &ServeError) -> ErrorCode {
 /// request kinds after fanning the work out).
 fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
     let metrics = &handle.metrics;
+    let _request_timer = Span::enter(&metrics.request_us);
     metrics.requests.of(&request).inc();
     // Cloned up front so the error arms can tally without re-matching on
     // the (by then moved) request.
@@ -728,6 +830,13 @@ fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
         }),
         Request::Metrics => encode_metrics_response(&MetricsResponse::Snapshot(handle.metrics())),
         Request::Traces => encode_traces_response(&TracesResponse::Log(handle.traces())),
+        // A standalone serving process answers the fleet scrapes as a fleet
+        // of one: its own snapshot/log, no `backend.*` prefixes, so the
+        // routing tier and a bare server share one client-side shape.
+        Request::FleetMetrics => encode_metrics_response(&MetricsResponse::Snapshot(handle.metrics())),
+        Request::FleetTraces => encode_traces_response(&TracesResponse::Log(handle.traces())),
+        Request::Events => encode_events_response(&EventsResponse::Log(handle.events())),
+        Request::Health => encode_health_response(&HealthResponse::Report(handle.health(&SloPolicy::default()))),
     }
 }
 
@@ -736,8 +845,10 @@ fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
 /// order, and a writer thread streams responses back (see
 /// [`mux::drive_connection`]).
 fn handle_connection(stream: TcpStream, handle: ServeHandle, pool: Arc<WorkPool>) {
+    let depth_pool = Arc::clone(&pool);
     let respond_to = Arc::new(move |payload: Vec<u8>| {
         handle.metrics.bytes_in.add(payload.len() as u64 + 4);
+        handle.metrics.queue_depth.set(depth_pool.queued() as f64);
         let response = {
             // Pin the caller's trace context for the whole request so every
             // span opened while serving it parents under the remote caller

@@ -1,9 +1,11 @@
 //! Property tests of the binary codecs: random signatures, logs and wire
 //! frames (including the router tier's `DSRM`/`DSGP`/`DSGF`/`DSRA` and the
 //! observability tier's `DSMS` snapshots, `DSMX`/`DSMR` scrape pair, `DSTL`
-//! trace logs and `DSTX`/`DSTD` trace scrape pair) must round-trip
-//! bit-exactly, and random truncations / byte mutations must be rejected or
-//! decoded — never panic, never hang, never over-allocate.
+//! trace logs, `DSTX`/`DSTD` trace scrape pair, `DSEL` event logs with
+//! their `DSEX`/`DSED` drain pair, the `DSHC` health-check pair and the
+//! `DSFM`/`DSFT` fleet-scrape requests) must round-trip bit-exactly, and
+//! random truncations / byte mutations must be rejected or decoded — never
+//! panic, never hang, never over-allocate.
 
 use analog_signature::dsig::{AcceptanceBand, DsigError, Signature, SignatureEntry, ZoneCode};
 use analog_signature::engine::SignatureLog;
@@ -502,6 +504,200 @@ proptest! {
             let _ = proto::decode_traces_response(&mutated);
             if at < 6 {
                 prop_assert!(proto::decode_traces_response(&mutated).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn event_logs_and_drain_frames_round_trip_and_survive_abuse(
+        records in prop::collection::vec(
+            (
+                // level tag, (tier, name, message), fields, (at µs, trace id)
+                0u8..3,
+                (
+                    prop::collection::vec(0x20u8..0x7f, 1..8),
+                    prop::collection::vec(0x20u8..0x7f, 1..16),
+                    prop::collection::vec(0x20u8..0x7f, 0..24),
+                ),
+                prop::collection::vec(
+                    (prop::collection::vec(0x20u8..0x7f, 1..8), prop::collection::vec(0x20u8..0x7f, 0..8)),
+                    0..4,
+                ),
+                (0u64..1_000_000_000, 0u64..u64::MAX),
+            ),
+            0..8,
+        ),
+        message_bytes in prop::collection::vec(0x20u8..0x7f, 0..40),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        use analog_signature::obs::{EventLevel, EventLog, EventRecord};
+        let log = EventLog {
+            events: records
+                .iter()
+                .map(|(level, (tier, name, message), fields, (at_us, trace_id))| EventRecord {
+                    level: EventLevel::from_u8(*level).unwrap(),
+                    tier: String::from_utf8(tier.clone()).unwrap(),
+                    name: String::from_utf8(name.clone()).unwrap(),
+                    message: String::from_utf8(message.clone()).unwrap(),
+                    fields: fields
+                        .iter()
+                        .map(|(k, v)| {
+                            (String::from_utf8(k.clone()).unwrap(), String::from_utf8(v.clone()).unwrap())
+                        })
+                        .collect(),
+                    at_us: *at_us,
+                    trace_id: *trace_id,
+                })
+                .collect(),
+        };
+        // The standalone DSEL log round-trips bit-exactly.
+        let bytes = log.to_bytes();
+        prop_assert_eq!(&EventLog::from_bytes(&bytes).unwrap(), &log);
+        // Truncation: always a clean error (the empty log is 10 bytes).
+        let keep = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(EventLog::from_bytes(&bytes[..keep]).is_err());
+        // Mutation: never a panic; header corruption always errors.
+        let mut mutated = bytes.clone();
+        let at = ((mutated.len() - 1) as f64 * position) as usize;
+        mutated[at] ^= flip;
+        let _ = EventLog::from_bytes(&mutated);
+        if at < 6 {
+            prop_assert!(EventLog::from_bytes(&mutated).is_err());
+        }
+
+        // The DSEX request is header-only and dispatches like every other
+        // request family.
+        let request = proto::encode_events_request();
+        match proto::decode_any_request(&request).unwrap() {
+            proto::Request::Events => {}
+            other => prop_assert!(false, "expected Events, got {:?}", other),
+        }
+        let keep = (request.len() as f64 * cut) as usize;
+        prop_assert!(proto::decode_events_request(&request[..keep]).is_err());
+
+        // Both DSED response arms round-trip and reject abuse.
+        let message = String::from_utf8(message_bytes).unwrap();
+        for response in [
+            proto::EventsResponse::Log(log),
+            proto::EventsResponse::Error {
+                code: proto::ErrorCode::Internal,
+                message,
+            },
+        ] {
+            let bytes = proto::encode_events_response(&response);
+            let decoded = proto::decode_events_response(&bytes).unwrap();
+            prop_assert_eq!(proto::encode_events_response(&decoded), bytes.clone());
+            let keep = (bytes.len() as f64 * cut) as usize;
+            prop_assert!(proto::decode_events_response(&bytes[..keep]).is_err());
+            let mut mutated = bytes.clone();
+            let at = ((mutated.len() - 1) as f64 * position) as usize;
+            mutated[at] ^= flip;
+            let _ = proto::decode_events_response(&mutated);
+            if at < 6 {
+                prop_assert!(proto::decode_events_response(&mutated).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn health_frames_round_trip_and_survive_abuse(
+        status in 0u8..3,
+        error_rate in 0.0..1.0_f64,
+        p99_us in 0u64..10_000_000,
+        backed_off in 0u32..8,
+        extra_backends in 0u32..8,
+        findings in prop::collection::vec(prop::collection::vec(0x20u8..0x7f, 0..32), 0..4),
+        message_bytes in prop::collection::vec(0x20u8..0x7f, 0..40),
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        use analog_signature::obs::{HealthReport, HealthStatus};
+        // The DSHC request is header-only and dispatches like every other
+        // request family.
+        let request = proto::encode_health_request();
+        match proto::decode_any_request(&request).unwrap() {
+            proto::Request::Health => {}
+            other => prop_assert!(false, "expected Health, got {:?}", other),
+        }
+        let keep = (request.len() as f64 * cut) as usize;
+        prop_assert!(proto::decode_health_request(&request[..keep]).is_err());
+
+        // Both response arms round-trip and reject abuse; the error rate is
+        // a bit-exact f64.
+        let report = HealthReport {
+            status: HealthStatus::from_u8(status).unwrap(),
+            error_rate,
+            p99_us,
+            backed_off,
+            backends: backed_off + extra_backends,
+            findings: findings.iter().map(|f| String::from_utf8(f.clone()).unwrap()).collect(),
+        };
+        let message = String::from_utf8(message_bytes).unwrap();
+        for response in [
+            proto::HealthResponse::Report(report),
+            proto::HealthResponse::Error {
+                code: proto::ErrorCode::Internal,
+                message,
+            },
+        ] {
+            let bytes = proto::encode_health_response(&response);
+            let decoded = proto::decode_health_response(&bytes).unwrap();
+            prop_assert_eq!(proto::encode_health_response(&decoded), bytes.clone());
+            if let (proto::HealthResponse::Report(got), proto::HealthResponse::Report(sent)) =
+                (&decoded, &response)
+            {
+                prop_assert_eq!(got.error_rate.to_bits(), sent.error_rate.to_bits());
+            }
+            let keep = (bytes.len() as f64 * cut) as usize;
+            prop_assert!(proto::decode_health_response(&bytes[..keep]).is_err());
+            let mut mutated = bytes.clone();
+            let at = ((mutated.len() - 1) as f64 * position) as usize;
+            mutated[at] ^= flip;
+            let _ = proto::decode_health_response(&mutated);
+            if at < 6 {
+                prop_assert!(proto::decode_health_response(&mutated).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_scrape_requests_dispatch_and_survive_abuse(
+        position in 0.0..1.0_f64,
+        flip in 1u8..255,
+        cut in 0.0..1.0_f64,
+    ) {
+        for (request, is_metrics) in [
+            (proto::encode_fleet_metrics_request(), true),
+            (proto::encode_fleet_traces_request(), false),
+        ] {
+            match proto::decode_any_request(&request).unwrap() {
+                proto::Request::FleetMetrics => prop_assert!(is_metrics),
+                proto::Request::FleetTraces => prop_assert!(!is_metrics),
+                other => prop_assert!(false, "unexpected request kind {:?}", other),
+            }
+            // Truncation: always a clean error (the request is 14 bytes).
+            let keep = (request.len() as f64 * cut) as usize;
+            prop_assert!(proto::decode_any_request(&request[..keep]).is_err());
+            // Mutation: corrupting the magic or version means the frame no
+            // longer decodes as the family it was encoded as (a magic flip
+            // may legally land on a *different* family's magic); the id
+            // bytes (6..14) are an opaque correlator.
+            let mut mutated = request.clone();
+            let at = ((mutated.len() - 1) as f64 * position) as usize;
+            mutated[at] ^= flip;
+            let same_family = if is_metrics {
+                proto::decode_fleet_metrics_request(&mutated).is_ok()
+            } else {
+                proto::decode_fleet_traces_request(&mutated).is_ok()
+            };
+            if at < 6 {
+                prop_assert!(!same_family);
+            } else {
+                prop_assert!(same_family);
+                prop_assert_eq!(proto::peek_request_id(&mutated) == 0, mutated[6..14] == [0u8; 8]);
             }
         }
     }

@@ -195,6 +195,77 @@ fn hundreds_of_in_flight_requests_on_one_connection_match_the_blocking_path() {
 }
 
 #[test]
+fn scrape_frames_interleave_with_hundreds_of_in_flight_screens() {
+    let _exclusive = exclusive();
+    let lot = lot();
+    let (store, key) = served_store();
+    let server = Server::bind("127.0.0.1:0", store, ServeConfig::with_shards(4)).unwrap();
+
+    let mut blocking = ServeClient::connect(server.local_addr()).unwrap();
+    let reference = blocking.screen_one(key, &lot.signatures[0]).unwrap();
+
+    // Put 128 screens in flight, then run the whole observability surface —
+    // DSMX, DSFM, DSEX (twice), DSHC — on the *same* connection while the
+    // work drains. The scrapes ride the tagged mux like any other request,
+    // so they answer without waiting for the queue ahead of them.
+    let before = server.metrics();
+    let pipelined = PipelinedClient::connect(server.local_addr()).unwrap();
+    const WORK: usize = 128;
+    let tickets: Vec<_> = (0..WORK)
+        .map(|_| {
+            pipelined
+                .start_screen(key, std::slice::from_ref(&lot.signatures[0]))
+                .unwrap()
+        })
+        .collect();
+
+    let snapshot = pipelined.metrics().unwrap();
+    assert!(
+        snapshot.counter("serve.requests.dsrq").is_some(),
+        "mid-flight DSMX must answer a live snapshot"
+    );
+    let fleet = pipelined.fleet_metrics().unwrap();
+    assert!(
+        fleet.counter("serve.requests.dsrq").is_some(),
+        "a bare server answers DSFM as a fleet of one (unprefixed)"
+    );
+    let health = pipelined.health().unwrap();
+    assert_eq!(
+        (health.backed_off, health.backends),
+        (0, 1),
+        "a standalone server is a fleet of one with nothing backed off: {health:?}"
+    );
+    let drained = pipelined.events().unwrap();
+    let again = pipelined.events().unwrap();
+    for event in &again.events {
+        assert!(
+            !drained
+                .events
+                .iter()
+                .any(|e| (e.at_us, &e.name, &e.message) == (event.at_us, &event.name, &event.message)),
+            "DSEX is a take: no event may be exported twice ({})",
+            event.name
+        );
+    }
+
+    // The interleaved scrapes cost the work nothing: every screen comes
+    // back bit-identical to the blocking path.
+    for ticket in tickets {
+        let scores = pipelined.wait_screen(ticket, 1, key).unwrap();
+        assert_eq!(scores[0].ndf.to_bits(), reference.ndf.to_bits());
+        assert_eq!(scores[0].outcome, reference.outcome);
+    }
+    let after = server.metrics();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    assert_eq!(delta("serve.requests.dsrq"), WORK as u64);
+    assert_eq!(delta("serve.requests.dsmx"), 1);
+    assert_eq!(delta("serve.requests.dsfm"), 1);
+    assert_eq!(delta("serve.requests.dsex"), 2);
+    assert_eq!(delta("serve.requests.dshc"), 1);
+    assert_eq!(delta("serve.errors.decode"), 0);
+}
+
+#[test]
 fn tagged_responses_complete_out_of_order_and_are_matched_by_id() {
     let _exclusive = exclusive();
     let lot = lot();

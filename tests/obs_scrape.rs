@@ -5,13 +5,14 @@
 //! bit-identical to an uninstrumented local run.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use analog_signature::dsig::{AcceptanceBand, TestSetup};
 use analog_signature::engine::{Campaign, CampaignRunner, DevicePopulation, ScoreTarget};
 use analog_signature::filters::BiquadParams;
-use analog_signature::obs::MetricsSnapshot;
-use analog_signature::router::{RouterConfig, RouterHandle, RouterStore};
-use analog_signature::serve::ServeConfig;
+use analog_signature::obs::{HealthStatus, MetricsSnapshot, Registry};
+use analog_signature::router::{Backend, RouterConfig, RouterHandle, RouterStore};
+use analog_signature::serve::{GoldenStore, ServeConfig, ServeHandle};
 
 /// Every counter and histogram count present in `before` must still be
 /// present in `after`, no smaller: counters are monotone, and a scrape must
@@ -112,4 +113,78 @@ fn live_fleet_scrapes_move_and_leave_the_campaign_report_bit_identical() {
         routed, local,
         "scraping a live fleet mid-campaign must not perturb the report"
     );
+}
+
+#[test]
+fn one_fleet_scrape_carries_prefixes_and_rollups_and_health_flips_on_kills() {
+    const BACKENDS: usize = 3;
+    let setup = TestSetup::paper_default().unwrap().with_sample_rate(1e6).unwrap();
+    let reference = BiquadParams::paper_default();
+    let band = AcceptanceBand::new(0.03).unwrap();
+    // Per-backend registries: each backend's `DSMX` answer carries only its
+    // own counters, so the fleet scrape's prefixes and rollup are exactly
+    // checkable (with the process-global registry every backend would
+    // answer the same blurred snapshot).
+    let fleet: Vec<Backend> = (0..BACKENDS)
+        .map(|id| {
+            Backend::local(
+                id as u64,
+                ServeHandle::spawn_in(Arc::new(GoldenStore::new()), ServeConfig::default(), Registry::new()),
+            )
+        })
+        .collect();
+    let router = RouterHandle::with_backends(fleet, RouterStore::new(), RouterConfig::default()).unwrap();
+    let key = router.characterize(&setup, &reference, band).unwrap();
+    let golden = router.golden(key).unwrap().golden.clone();
+    // A batch bigger than the sub-batch size spreads over the whole fleet,
+    // so every backend's scored counter moves.
+    let batch: Vec<_> = std::iter::repeat_with(|| golden.clone()).take(8 * BACKENDS).collect();
+    router.screen(key, &batch).unwrap();
+
+    // ONE fleet scrape answers for everything: per-backend prefixed copies,
+    // a cross-backend rollup, and the router's own unprefixed metrics.
+    let scrape = router.fleet_metrics();
+    let per_backend: Vec<u64> = (0..BACKENDS)
+        .map(|i| {
+            scrape
+                .counter(&format!("backend.local-{i}.serve.signatures_scored"))
+                .unwrap_or_else(|| panic!("backend local-{i} missing from the fleet scrape"))
+        })
+        .collect();
+    let total: u64 = per_backend.iter().sum();
+    // A single key routes to its owner, so the batch lands on one backend —
+    // but every backend answers the scrape, and the rollup is the exact sum.
+    assert!(
+        total >= batch.len() as u64,
+        "the screening load is invisible: {scrape:?}"
+    );
+    assert_eq!(
+        scrape.counter("fleet.serve.signatures_scored"),
+        Some(total),
+        "the fleet rollup must be the exact cross-backend sum"
+    );
+    assert!(
+        scrape.histogram("router.fanout_us").is_some(),
+        "the router's own metrics ride the scrape unprefixed"
+    );
+    // The merged scrape is still a legal DSMS body (sorted unique names).
+    assert_eq!(MetricsSnapshot::from_bytes(&scrape.to_bytes()).unwrap(), scrape);
+
+    // The windowed health verdict tracks fleet state: PASS with everyone
+    // up, DEGRADED after one kill, FAIL when nothing is left, and back to
+    // PASS once the operator revives the fleet.
+    assert_eq!(router.health().status, HealthStatus::Pass);
+    router.kill_backend(0);
+    let degraded = router.health();
+    assert_eq!(degraded.status, HealthStatus::Degraded, "{degraded:?}");
+    assert_eq!((degraded.backed_off, degraded.backends), (1, BACKENDS as u32));
+    assert!(!degraded.findings.is_empty());
+    for index in 1..BACKENDS {
+        router.kill_backend(index);
+    }
+    assert_eq!(router.health().status, HealthStatus::Fail);
+    for index in 0..BACKENDS {
+        router.revive_backend(index);
+    }
+    assert_eq!(router.health().status, HealthStatus::Pass);
 }
