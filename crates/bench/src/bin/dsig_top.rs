@@ -28,8 +28,9 @@ use std::time::{Duration, Instant};
 use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_engine::{Campaign, CampaignRunner, DevicePopulation};
+use dsig_obs::{HealthReport, MetricsSnapshot};
 use dsig_router::{Backend, Router, RouterConfig, RouterStore};
-use dsig_serve::{GoldenStore, ServeClient, ServeConfig, Server};
+use dsig_serve::{GoldenStore, ObsScrape, Screen, ServeClient, ServeConfig, Server};
 use repro_bench::smoke::save_text;
 use repro_bench::top::render_fleet_table;
 
@@ -90,9 +91,10 @@ struct DemoFleet {
     servers: Vec<Server>,
     pool: Vec<Signature>,
     key: u64,
-    /// The golden's owner backend — the one a `--once` capture kills so the
-    /// table and event log show the failover machinery.
-    owner: usize,
+    /// The golden's owner backend label (its `host:port`) — the one a
+    /// `--once` capture kills so the table and event log show the failover
+    /// machinery.
+    owner: String,
 }
 
 impl DemoFleet {
@@ -128,7 +130,7 @@ impl DemoFleet {
         let fleet: Vec<Backend> = servers.iter().map(|server| Backend::tcp(server.local_addr())).collect();
         let router = Router::bind("127.0.0.1:0", fleet, RouterStore::new(), RouterConfig::default())?;
         let key = router.handle().characterize(&setup, &reference, band)?;
-        let owner = router.handle().rank(key)[0];
+        let owner = router.handle().rank_labels(key)[0].clone();
         Ok(DemoFleet {
             router,
             servers,
@@ -138,9 +140,11 @@ impl DemoFleet {
         })
     }
 
-    /// Screens `requests` small batches through the router over TCP so the
-    /// next sample has rates to show.
-    fn drive(&self, client: &mut ServeClient, requests: usize) -> Result<(), dsig_serve::ServeError> {
+    /// Screens `requests` small batches so the next sample has rates to
+    /// show. Generic over the shared [`Screen`] trait: any screening
+    /// surface (TCP client, pipelined client, in-process handle) can drive
+    /// the demo load.
+    fn drive<S: Screen>(&self, client: &mut S, requests: usize) -> Result<(), S::Error> {
         for request in 0..requests {
             let batch: Vec<Signature> = (0..8)
                 .map(|k| self.pool[(request * 8 + k) % self.pool.len()].clone())
@@ -154,9 +158,26 @@ impl DemoFleet {
     /// then drop the router's cached connection so the next forward dials a
     /// dead port and the failover machinery engages.
     fn kill_owner(&mut self) {
-        self.servers[self.owner].shutdown();
-        self.router.handle().kill_backend(self.owner);
+        if let Some(server) = self
+            .servers
+            .iter_mut()
+            .find(|server| server.local_addr().to_string() == self.owner)
+        {
+            server.shutdown();
+        }
+        self.router
+            .handle()
+            .kill(&self.owner)
+            .expect("the owner label came from the live membership");
     }
+}
+
+/// One console sample over the shared [`ObsScrape`] trait: the aggregated
+/// fleet scrape plus the health verdict (which carries the membership
+/// epoch). Any scrapeable tier — serve or router, TCP or in-process — can
+/// sit behind the console.
+fn sample<C: ObsScrape>(client: &mut C) -> Result<(MetricsSnapshot, HealthReport), C::Error> {
+    Ok((client.fleet_metrics()?, client.health()?))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -175,7 +196,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut client = ServeClient::connect(addr)?;
 
-    let mut prev = client.fleet_metrics()?;
+    let mut prev = sample(&mut client)?.0;
     let mut prev_at = Instant::now();
     let mut tick = 0u64;
     let mut last_table;
@@ -193,9 +214,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         std::thread::sleep(Duration::from_millis(args.interval_ms));
-        let curr = client.fleet_metrics()?;
+        let (curr, health) = sample(&mut client)?;
         let now = Instant::now();
-        let health = client.health()?;
         let dt = now.duration_since(prev_at).as_secs_f64();
         last_table = render_fleet_table(&prev, &curr, dt, &health);
         println!("-- dsig_top {addr} tick {tick} (dt {dt:.2}s)");
@@ -211,7 +231,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Clear the demo kill's failure record (the listener itself stays
         // down; the console exits right after), so the drained event log
         // also carries the operator-recovery edge.
-        demo.router.handle().revive_backend(demo.owner);
+        demo.router.handle().revive(&demo.owner)?;
     }
     if let Some(path) = &args.events {
         let log = client.events()?;

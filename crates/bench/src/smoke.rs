@@ -25,6 +25,12 @@ pub const ROUTER_MIN_RATIO: f64 = 0.8;
 /// within 30% of the no-retest batched screening throughput.
 pub const RETEST_MIN_RATIO: f64 = 0.7;
 
+/// CI gate: routed batched throughput while the fleet churns underneath the
+/// load (one backend drained, a cold standby joined mid-load over `DSAQ`)
+/// must stay at or above this fraction of the steady-fleet path — live
+/// reconfiguration must cost a blip, not the tier.
+pub const CHURN_MIN_RATIO: f64 = 0.8;
+
 /// CI gate: routed batched throughput with every request carrying a sampled
 /// trace context must stay at or above this fraction of the untraced path —
 /// tracing must be observationally cheap.
@@ -417,6 +423,14 @@ pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
 /// metrics; CI asserts it is non-empty).
 pub fn events_path_from_args() -> Option<std::path::PathBuf> {
     path_flag_from_args("--events")
+}
+
+/// Extracts the `--churn <path>` flag from the process arguments: where
+/// `router_throughput` writes the plain-text churn-phase report (steady vs
+/// churning throughput, the verdict audit and the final roster) that CI
+/// uploads next to the JSON artifact.
+pub fn churn_path_from_args() -> Option<std::path::PathBuf> {
+    path_flag_from_args("--churn")
 }
 
 fn path_flag_from_args(flag: &str) -> Option<std::path::PathBuf> {

@@ -184,6 +184,11 @@ pub struct HealthReport {
     pub backed_off: u32,
     /// Backends in the fleet.
     pub backends: u32,
+    /// Fleet membership epoch: bumped by the routing tier on every
+    /// join/leave/drain, `0` for a single-process health check (and for
+    /// policies that never learn an epoch — [`SloPolicy::evaluate`] always
+    /// reports `0`; the tier that owns the membership overwrites it).
+    pub epoch: u64,
     /// One line per violated objective; empty for a PASS.
     pub findings: Vec<String>,
 }
@@ -193,12 +198,13 @@ impl HealthReport {
     /// one indented line per finding.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "health {} error_rate {:.4} p99_us {} backed_off {}/{}\n",
+            "health {} error_rate {:.4} p99_us {} backed_off {}/{} epoch {}\n",
             self.status.as_str(),
             self.error_rate,
             self.p99_us,
             self.backed_off,
-            self.backends
+            self.backends,
+            self.epoch
         );
         for finding in &self.findings {
             out.push_str("  - ");
@@ -260,6 +266,7 @@ impl SloPolicy {
             p99_us: sample.p99_us,
             backed_off: sample.backed_off,
             backends: sample.backends,
+            epoch: 0,
             findings,
         }
     }

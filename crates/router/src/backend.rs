@@ -46,6 +46,9 @@ impl HealthConfig {
 struct Health {
     consecutive_failures: u32,
     down_until: Option<Instant>,
+    /// Set once per failure streak when the backoff saturates at the
+    /// configured cap — the latch behind once-per-death replica healing.
+    heal_armed: bool,
 }
 
 /// How the router reaches a backend.
@@ -173,7 +176,26 @@ impl Backend {
         let recovered = health.consecutive_failures > 0;
         health.consecutive_failures = 0;
         health.down_until = None;
+        health.heal_armed = false;
         recovered
+    }
+
+    /// The replica-healing latch: returns `true` exactly once per failure
+    /// streak, the first time the streak's backoff has saturated at
+    /// [`HealthConfig::max_backoff`] — i.e. the backend has stayed dead past
+    /// every doubling and is now presumed gone for good. Any success (or a
+    /// [`Backend::revive`]) disarms the latch, so a backend that comes back
+    /// and dies again heals again.
+    pub(crate) fn arm_heal(&self, config: &HealthConfig) -> bool {
+        let mut health = self.health.lock().expect("backend health lock poisoned");
+        if health.heal_armed
+            || health.consecutive_failures == 0
+            || config.backoff(health.consecutive_failures) < config.max_backoff
+        {
+            return false;
+        }
+        health.heal_armed = true;
+        true
     }
 
     /// Records a failed operation and arms the exponential backoff. Returns
@@ -393,6 +415,30 @@ mod tests {
             !backend.note_success(),
             "a success with a clean record is not a transition"
         );
+    }
+
+    #[test]
+    fn heal_latch_arms_once_at_backoff_saturation_and_rearms_after_recovery() {
+        let backend = local_backend(1);
+        let config = HealthConfig {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+        };
+        let now = Instant::now();
+        backend.note_failure(now, &config);
+        assert!(!backend.arm_heal(&config), "one failure is a blip, not a death");
+        backend.note_failure(now, &config);
+        assert!(!backend.arm_heal(&config), "still doubling");
+        backend.note_failure(now, &config);
+        assert!(backend.arm_heal(&config), "backoff saturated: heal once");
+        backend.note_failure(now, &config);
+        assert!(!backend.arm_heal(&config), "the latch holds for the rest of the streak");
+        backend.note_success();
+        assert!(!backend.arm_heal(&config), "a healthy backend never heals");
+        for _ in 0..3 {
+            backend.note_failure(now, &config);
+        }
+        assert!(backend.arm_heal(&config), "a second death heals again");
     }
 
     #[test]

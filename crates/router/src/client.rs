@@ -13,7 +13,10 @@ use std::net::{SocketAddr, ToSocketAddrs};
 
 use dsig_core::{AcceptanceBand, Signature};
 use dsig_obs::{EventLog, HealthReport, MetricsSnapshot, TraceLog};
-use dsig_serve::{PipelinedClient, RetestRequest, RetestScore, ScoreResult, ServeClient, Ticket};
+use dsig_serve::{
+    FleetAdmin, FleetRoster, ObsScrape, PipelinedClient, RetestRequest, RetestScore, ScoreResult, Screen, ServeClient,
+    Ticket,
+};
 
 use crate::error::Result;
 
@@ -187,12 +190,122 @@ impl RouterClient {
     }
 
     /// Runs a fleet health check (`DSHC`): the router scrapes its backends
-    /// and verdicts the rollup against its configured SLO policy.
+    /// and verdicts the rollup against its configured SLO policy. The
+    /// report carries the live membership epoch.
     ///
     /// # Errors
     /// As for [`RouterClient::screen`] on transport or remote failures.
     pub fn health(&mut self) -> Result<HealthReport> {
         self.inner.health().map_err(Into::into)
+    }
+
+    /// Admits the backend at `label` (a dialable `host:port`, or an
+    /// existing member's label to reactivate it) into the fleet (`DSAQ`
+    /// join). The router migrates the goldens the newcomer owns onto it
+    /// before it enters the rotation. Idempotent by label.
+    ///
+    /// # Errors
+    /// Rejected labels surface as [`crate::RouterError::Serve`] wrapping
+    /// the remote message; transport failures as for
+    /// [`RouterClient::screen`].
+    pub fn fleet_join(&mut self, label: &str) -> Result<FleetRoster> {
+        self.inner.fleet_join(label).map_err(Into::into)
+    }
+
+    /// Removes the member at `label` from the fleet (`DSAQ` leave), after
+    /// its goldens re-replicate to the survivors. Idempotent; the last
+    /// member cannot leave.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_join`].
+    pub fn fleet_leave(&mut self, label: &str) -> Result<FleetRoster> {
+        self.inner.fleet_leave(label).map_err(Into::into)
+    }
+
+    /// Drains the member at `label` (`DSAQ` drain): new work steers away
+    /// while it stays rostered as a failover last resort. Idempotent.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_join`].
+    pub fn fleet_drain(&mut self, label: &str) -> Result<FleetRoster> {
+        self.inner.fleet_drain(label).map_err(Into::into)
+    }
+
+    /// Reads the live roster (`DSAQ` list): membership epoch plus every
+    /// member's label, id and state.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_join`].
+    pub fn fleet_roster(&mut self) -> Result<FleetRoster> {
+        self.inner.fleet_roster().map_err(Into::into)
+    }
+}
+
+impl Screen for RouterClient {
+    type Error = crate::RouterError;
+
+    fn screen(&mut self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        RouterClient::screen(self, golden_key, signatures)
+    }
+
+    fn screen_one(&mut self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
+        RouterClient::screen_one(self, golden_key, signature)
+    }
+
+    fn screen_multi(&mut self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        RouterClient::screen_multi(self, items)
+    }
+
+    fn screen_retest(&mut self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        RouterClient::screen_retest(self, request)
+    }
+}
+
+impl ObsScrape for RouterClient {
+    type Error = crate::RouterError;
+
+    fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        RouterClient::metrics(self)
+    }
+
+    fn traces(&mut self) -> Result<TraceLog> {
+        RouterClient::traces(self)
+    }
+
+    fn events(&mut self) -> Result<EventLog> {
+        RouterClient::events(self)
+    }
+
+    fn fleet_metrics(&mut self) -> Result<MetricsSnapshot> {
+        RouterClient::fleet_metrics(self)
+    }
+
+    fn fleet_traces(&mut self) -> Result<TraceLog> {
+        RouterClient::fleet_traces(self)
+    }
+
+    fn health(&mut self) -> Result<HealthReport> {
+        RouterClient::health(self)
+    }
+}
+
+impl FleetAdmin for RouterClient {
+    type Error = crate::RouterError;
+
+    fn fleet_join(&mut self, label: &str) -> Result<FleetRoster> {
+        RouterClient::fleet_join(self, label)
+    }
+
+    fn fleet_leave(&mut self, label: &str) -> Result<FleetRoster> {
+        RouterClient::fleet_leave(self, label)
+    }
+
+    fn fleet_drain(&mut self, label: &str) -> Result<FleetRoster> {
+        RouterClient::fleet_drain(self, label)
+    }
+
+    fn fleet_roster(&mut self) -> Result<FleetRoster> {
+        RouterClient::fleet_roster(self)
     }
 }
 
@@ -369,6 +482,111 @@ impl PipelinedRouterClient {
     /// As for [`RouterClient::health`].
     pub fn health(&self) -> Result<HealthReport> {
         self.inner.health().map_err(Into::into)
+    }
+
+    /// Admits the backend at `label` into the fleet (`DSAQ` join) — the
+    /// pipelined [`RouterClient::fleet_join`]. Idempotent by label and
+    /// therefore resubmit-safe under the mux's transparent reconnect.
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_join`].
+    pub fn fleet_join(&self, label: &str) -> Result<FleetRoster> {
+        self.inner.fleet_join(label).map_err(Into::into)
+    }
+
+    /// Removes the member at `label` (`DSAQ` leave) — the pipelined
+    /// [`RouterClient::fleet_leave`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_join`].
+    pub fn fleet_leave(&self, label: &str) -> Result<FleetRoster> {
+        self.inner.fleet_leave(label).map_err(Into::into)
+    }
+
+    /// Drains the member at `label` (`DSAQ` drain) — the pipelined
+    /// [`RouterClient::fleet_drain`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_join`].
+    pub fn fleet_drain(&self, label: &str) -> Result<FleetRoster> {
+        self.inner.fleet_drain(label).map_err(Into::into)
+    }
+
+    /// Reads the live roster (`DSAQ` list) — the pipelined
+    /// [`RouterClient::fleet_roster`].
+    ///
+    /// # Errors
+    /// As for [`RouterClient::fleet_join`].
+    pub fn fleet_roster(&self) -> Result<FleetRoster> {
+        self.inner.fleet_roster().map_err(Into::into)
+    }
+}
+
+impl Screen for PipelinedRouterClient {
+    type Error = crate::RouterError;
+
+    fn screen(&mut self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        PipelinedRouterClient::screen(self, golden_key, signatures)
+    }
+
+    fn screen_one(&mut self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
+        PipelinedRouterClient::screen_one(self, golden_key, signature)
+    }
+
+    fn screen_multi(&mut self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        PipelinedRouterClient::screen_multi(self, items)
+    }
+
+    fn screen_retest(&mut self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        PipelinedRouterClient::screen_retest(self, request)
+    }
+}
+
+impl ObsScrape for PipelinedRouterClient {
+    type Error = crate::RouterError;
+
+    fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        PipelinedRouterClient::metrics(self)
+    }
+
+    fn traces(&mut self) -> Result<TraceLog> {
+        PipelinedRouterClient::traces(self)
+    }
+
+    fn events(&mut self) -> Result<EventLog> {
+        PipelinedRouterClient::events(self)
+    }
+
+    fn fleet_metrics(&mut self) -> Result<MetricsSnapshot> {
+        PipelinedRouterClient::fleet_metrics(self)
+    }
+
+    fn fleet_traces(&mut self) -> Result<TraceLog> {
+        PipelinedRouterClient::fleet_traces(self)
+    }
+
+    fn health(&mut self) -> Result<HealthReport> {
+        PipelinedRouterClient::health(self)
+    }
+}
+
+impl FleetAdmin for PipelinedRouterClient {
+    type Error = crate::RouterError;
+
+    fn fleet_join(&mut self, label: &str) -> Result<FleetRoster> {
+        PipelinedRouterClient::fleet_join(self, label)
+    }
+
+    fn fleet_leave(&mut self, label: &str) -> Result<FleetRoster> {
+        PipelinedRouterClient::fleet_leave(self, label)
+    }
+
+    fn fleet_drain(&mut self, label: &str) -> Result<FleetRoster> {
+        PipelinedRouterClient::fleet_drain(self, label)
+    }
+
+    fn fleet_roster(&mut self) -> Result<FleetRoster> {
+        PipelinedRouterClient::fleet_roster(self)
     }
 }
 

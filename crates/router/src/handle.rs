@@ -2,6 +2,12 @@
 //! serves, without any socket — and a constructor that spawns a whole
 //! backend fleet in-process (via [`ServeHandle::spawn`]) for tests,
 //! benchmarks and single-process deployments.
+//!
+//! Backends are addressed **by label** (`local-<id>` for in-process
+//! backends, `host:port` for TCP ones). Labels stay valid across
+//! membership changes; the index-based methods are deprecated shims that
+//! resolve against the current membership order and go stale the moment a
+//! backend joins or leaves.
 
 use std::sync::Arc;
 
@@ -9,7 +15,10 @@ use cut_filters::BiquadParams;
 use dsig_core::{AcceptanceBand, Signature, TestSetup};
 use dsig_engine::{RemoteScore, RemoteScorer};
 use dsig_obs::{EventLog, HealthReport, MetricsSnapshot, TraceLog};
-use dsig_serve::{GoldenRecord, GoldenStore, RetestRequest, RetestScore, ScoreResult, ServeConfig, ServeHandle};
+use dsig_serve::{
+    FleetAdmin, FleetRoster, GoldenRecord, GoldenStore, ObsScrape, RetestRequest, RetestScore, ScoreResult, Screen,
+    ServeConfig, ServeHandle,
+};
 
 use crate::backend::Backend;
 use crate::error::Result;
@@ -65,46 +74,158 @@ impl RouterHandle {
         self.core.store()
     }
 
-    /// Number of backends behind this router.
+    /// Number of members (active, draining or backed off) in the live fleet.
     pub fn backend_count(&self) -> usize {
-        self.core.backends().len()
+        self.core.backend_count()
     }
 
-    /// The rendezvous ranking of a fingerprint: backend indices, owner first.
+    /// The live membership epoch: starts at 1, bumped on every
+    /// join/leave/drain. The same value rides in `DSHR` health reports and
+    /// the `DSAQ` roster.
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// Member labels in membership order (`local-<id>` for in-process
+    /// backends, `host:port` for TCP ones) — the stable addressing
+    /// vocabulary of the fleet.
+    pub fn backend_labels(&self) -> Vec<String> {
+        self.core.backend_labels()
+    }
+
+    /// The rendezvous ranking of a fingerprint as member labels, owner
+    /// first.
+    pub fn rank_labels(&self, key: u64) -> Vec<String> {
+        self.core.rank_labels(key)
+    }
+
+    /// The rendezvous ranking of a fingerprint as member **indices** into
+    /// the current membership order.
+    #[deprecated(since = "0.2.0", note = "indices go stale under live membership; use rank_labels")]
     pub fn rank(&self, key: u64) -> Vec<usize> {
         self.core.rank(key)
     }
 
-    /// Kills backend `index` (see [`Backend::kill`]): subsequent requests
-    /// routed to it fail and fail over to its replicas.
+    /// Kills the member at `label` (see [`Backend::kill`]): subsequent
+    /// requests routed to it fail and fail over to its replicas.
+    ///
+    /// # Errors
+    /// Rejects an unknown label.
+    pub fn kill(&self, label: &str) -> Result<()> {
+        self.core.kill_by_label(label)
+    }
+
+    /// Revives the member at `label` (see [`Backend::revive`]): undoes a
+    /// kill and clears its failure record, so the next forward (and the
+    /// next health check) sees it up immediately.
+    ///
+    /// # Errors
+    /// Rejects an unknown label.
+    pub fn revive(&self, label: &str) -> Result<()> {
+        self.core.revive_by_label(label)
+    }
+
+    /// Whether the member at `label`'s health record currently marks it
+    /// down.
+    ///
+    /// # Errors
+    /// Rejects an unknown label.
+    pub fn backend_is_down(&self, label: &str) -> Result<bool> {
+        self.core.down_by_label(label)
+    }
+
+    /// Resolves the label of the member at `index` in membership order —
+    /// the bridge the deprecated index shims use.
+    fn label_at(&self, index: usize) -> String {
+        self.core.backend_labels()[index].clone()
+    }
+
+    /// Kills backend `index` (membership order).
     ///
     /// # Panics
     /// Panics when `index` is out of range.
+    #[deprecated(since = "0.2.0", note = "indices go stale under live membership; use kill(label)")]
     pub fn kill_backend(&self, index: usize) {
-        self.core.backends()[index].kill();
+        self.core
+            .kill_by_label(&self.label_at(index))
+            .expect("label resolved from the live membership");
     }
 
-    /// Revives backend `index` (see [`Backend::revive`]): undoes a kill and
-    /// clears its failure record, so the next forward (and the next health
-    /// check) sees it up immediately.
+    /// Revives backend `index` (membership order).
     ///
     /// # Panics
     /// Panics when `index` is out of range.
+    #[deprecated(since = "0.2.0", note = "indices go stale under live membership; use revive(label)")]
     pub fn revive_backend(&self, index: usize) {
-        self.core.revive_backend(index);
+        self.core
+            .revive_by_label(&self.label_at(index))
+            .expect("label resolved from the live membership");
     }
 
-    /// Whether backend `index`'s health record currently marks it down.
+    /// Whether backend `index` (membership order) is currently marked down.
     ///
     /// # Panics
     /// Panics when `index` is out of range.
+    #[deprecated(
+        since = "0.2.0",
+        note = "indices go stale under live membership; use backend_is_down(label)"
+    )]
     pub fn backend_down(&self, index: usize) -> bool {
-        self.core.backends()[index].is_down()
+        self.core
+            .down_by_label(&self.label_at(index))
+            .expect("label resolved from the live membership")
+    }
+
+    /// Admits an explicit [`Backend`] (TCP or in-process) into the live
+    /// fleet: the goldens it now owns are migrated onto it **before** the
+    /// membership flips, so it never sees a request it cannot answer.
+    /// Idempotent by label; joining a draining member reactivates it.
+    ///
+    /// # Errors
+    /// Rejects a rendezvous-id collision and an unreachable backend (the
+    /// migration must land).
+    pub fn join(&self, backend: Backend) -> Result<FleetRoster> {
+        self.core.join_backend(backend)
+    }
+
+    /// The wire form of [`RouterHandle::join`]: an existing member is
+    /// reactivated by label, a new one must be a dialable `host:port`
+    /// (joined as a TCP backend).
+    ///
+    /// # Errors
+    /// As for [`RouterHandle::join`], plus unparseable labels.
+    pub fn fleet_join(&self, label: &str) -> Result<FleetRoster> {
+        self.core.join_by_label(label)
+    }
+
+    /// Removes the member at `label`, re-replicating its goldens to the
+    /// surviving owners first. Idempotent: leaving an unknown member is an
+    /// acknowledged no-op.
+    ///
+    /// # Errors
+    /// Rejects removing the last member.
+    pub fn fleet_leave(&self, label: &str) -> Result<FleetRoster> {
+        self.core.leave_backend(label)
+    }
+
+    /// Marks the member at `label` draining: new work steers away, its
+    /// goldens re-replicate, and it stays ranked as a failover last resort.
+    /// Idempotent on a draining member.
+    ///
+    /// # Errors
+    /// Rejects an unknown label.
+    pub fn fleet_drain(&self, label: &str) -> Result<FleetRoster> {
+        self.core.drain_backend(label)
+    }
+
+    /// The live roster: epoch plus every member's label, id and state.
+    pub fn fleet_roster(&self) -> FleetRoster {
+        self.core.roster()
     }
 
     /// Snapshots the routing tier's metrics (per-backend forward/failover/
-    /// retry counters, backoff gauge, fan-out latency, refresh-on-miss) — the
-    /// in-process equivalent of a `DSMX` scrape.
+    /// retry counters, backoff gauge, fan-out latency, refresh-on-miss,
+    /// membership epoch) — the in-process equivalent of a `DSMX` scrape.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.core.metrics()
     }
@@ -132,9 +253,9 @@ impl RouterHandle {
 
     /// Drains the fleet's buffered events — the in-process equivalent of a
     /// `DSEX` scrape at the router: every reachable backend's events plus
-    /// the router's own (backend backoff/recovery transitions,
-    /// refresh-on-miss records). Consuming: each record is exported at most
-    /// once fleet-wide.
+    /// the router's own (backend backoff/recovery and membership
+    /// transitions, refresh-on-miss records). Consuming: each record is
+    /// exported at most once fleet-wide.
     pub fn events(&self) -> EventLog {
         self.core.events()
     }
@@ -142,7 +263,7 @@ impl RouterHandle {
     /// Scrapes the fleet and verdicts it against the configured
     /// [`dsig_obs::SloPolicy`] — the in-process equivalent of a `DSHC` health
     /// check. A backend counts as down when its health record backs it off
-    /// or its scrape fails.
+    /// or its scrape fails; the report carries the live membership epoch.
     pub fn health(&self) -> HealthReport {
         self.core.health()
     }
@@ -218,9 +339,77 @@ impl RouterHandle {
     }
 }
 
+impl Screen for RouterHandle {
+    type Error = crate::RouterError;
+
+    fn screen(&mut self, golden_key: u64, signatures: &[Signature]) -> Result<Vec<ScoreResult>> {
+        RouterHandle::screen(self, golden_key, signatures)
+    }
+
+    fn screen_one(&mut self, golden_key: u64, signature: &Signature) -> Result<ScoreResult> {
+        RouterHandle::screen_one(self, golden_key, signature)
+    }
+
+    fn screen_multi(&mut self, items: &[(u64, Signature)]) -> Result<Vec<ScoreResult>> {
+        RouterHandle::screen_multi(self, items)
+    }
+
+    fn screen_retest(&mut self, request: &RetestRequest) -> Result<Vec<RetestScore>> {
+        RouterHandle::screen_retest(self, request)
+    }
+}
+
+impl ObsScrape for RouterHandle {
+    type Error = crate::RouterError;
+
+    fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        Ok(RouterHandle::metrics(self))
+    }
+
+    fn traces(&mut self) -> Result<TraceLog> {
+        Ok(RouterHandle::traces(self))
+    }
+
+    fn events(&mut self) -> Result<EventLog> {
+        Ok(RouterHandle::events(self))
+    }
+
+    fn fleet_metrics(&mut self) -> Result<MetricsSnapshot> {
+        Ok(RouterHandle::fleet_metrics(self))
+    }
+
+    fn fleet_traces(&mut self) -> Result<TraceLog> {
+        Ok(RouterHandle::fleet_traces(self))
+    }
+
+    fn health(&mut self) -> Result<HealthReport> {
+        Ok(RouterHandle::health(self))
+    }
+}
+
+impl FleetAdmin for RouterHandle {
+    type Error = crate::RouterError;
+
+    fn fleet_join(&mut self, label: &str) -> Result<FleetRoster> {
+        RouterHandle::fleet_join(self, label)
+    }
+
+    fn fleet_leave(&mut self, label: &str) -> Result<FleetRoster> {
+        RouterHandle::fleet_leave(self, label)
+    }
+
+    fn fleet_drain(&mut self, label: &str) -> Result<FleetRoster> {
+        RouterHandle::fleet_drain(self, label)
+    }
+
+    fn fleet_roster(&mut self) -> Result<FleetRoster> {
+        Ok(RouterHandle::fleet_roster(self))
+    }
+}
+
 impl RemoteScorer for RouterHandle {
     fn screen_remote(&self, golden_key: u64, signatures: &[Signature]) -> dsig_core::Result<Vec<RemoteScore>> {
-        self.screen(golden_key, signatures)
+        RouterHandle::screen(self, golden_key, signatures)
             // The score conversion is dsig-serve's `From<ScoreResult>`.
             .map(|scores| scores.into_iter().map(Into::into).collect())
             .map_err(crate::RouterError::into_dsig)
@@ -232,9 +421,12 @@ impl RemoteScorer for RouterHandle {
         policy: &dsig_core::RetestPolicy,
         devices: &[dsig_engine::RetestDevice],
     ) -> dsig_core::Result<Vec<dsig_engine::RemoteRetest>> {
-        self.screen_retest(&dsig_serve::server::retest_request_of(golden_key, policy, devices))
-            .map(|scores| scores.into_iter().map(Into::into).collect())
-            .map_err(crate::RouterError::into_dsig)
+        RouterHandle::screen_retest(
+            self,
+            &dsig_serve::server::retest_request_of(golden_key, policy, devices),
+        )
+        .map(|scores| scores.into_iter().map(Into::into).collect())
+        .map_err(crate::RouterError::into_dsig)
     }
 }
 
@@ -243,6 +435,7 @@ mod tests {
     use super::*;
     use crate::RouterError;
     use dsig_core::{SignatureEntry, TestOutcome, ZoneCode};
+    use dsig_serve::BackendState;
 
     fn sig(codes: &[(u32, f64)]) -> Signature {
         Signature::new(
@@ -275,6 +468,13 @@ mod tests {
         .unwrap()
     }
 
+    fn local_backend(id: u64) -> Backend {
+        Backend::local(
+            id,
+            ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::with_shards(1)),
+        )
+    }
+
     #[test]
     fn empty_fleets_and_duplicate_ids_are_rejected() {
         assert!(matches!(
@@ -286,16 +486,7 @@ mod tests {
             ),
             Err(RouterError::NoBackends)
         ));
-        let dup = vec![
-            Backend::local(
-                1,
-                ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::with_shards(1)),
-            ),
-            Backend::local(
-                1,
-                ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::with_shards(1)),
-            ),
-        ];
+        let dup = vec![local_backend(1), local_backend(1)];
         assert!(RouterHandle::with_backends(dup, RouterStore::new(), RouterConfig::default()).is_err());
     }
 
@@ -334,11 +525,14 @@ mod tests {
         let before = router.screen(7, &observed).unwrap();
         // Kill the owner: the next screen fails over to the replica, which
         // misses the golden and is refreshed from the router store mid-call.
-        let owner = router.rank(7)[0];
-        router.kill_backend(owner);
+        let owner = router.rank_labels(7)[0].clone();
+        router.kill(&owner).unwrap();
         let after = router.screen(7, &observed).unwrap();
         assert_eq!(after, before, "failover must not change a single verdict");
-        assert!(router.backend_down(owner), "the dead owner must be marked down");
+        assert!(
+            router.backend_is_down(&owner).unwrap(),
+            "the dead owner must be marked down"
+        );
         // The router survives repeated screens with the owner gone.
         assert_eq!(router.screen(7, &observed).unwrap(), before);
     }
@@ -437,10 +631,10 @@ mod tests {
 
         // Kill the owner: the retest fails over (refreshing the golden from
         // the router store) without changing a single verdict.
-        let owner = router.rank(0xAB)[0];
-        router.kill_backend(owner);
+        let owner = router.rank_labels(0xAB)[0].clone();
+        router.kill(&owner).unwrap();
         assert_eq!(router.screen_retest(&request).unwrap(), expected);
-        assert!(router.backend_down(owner));
+        assert!(router.backend_is_down(&owner).unwrap());
     }
 
     #[test]
@@ -466,7 +660,7 @@ mod tests {
         router.screen(0x0B5, std::slice::from_ref(&golden)).unwrap();
         // Kill the owner: the next screen retries it, fails over to the next
         // ranked backend and refreshes the golden there mid-request.
-        router.kill_backend(router.rank(0x0B5)[0]);
+        router.kill(&router.rank_labels(0x0B5)[0]).unwrap();
         router.screen(0x0B5, std::slice::from_ref(&golden)).unwrap();
 
         let after = router.metrics();
@@ -478,6 +672,7 @@ mod tests {
         );
         assert!(fanout(&after) >= fanout(&before) + 2);
         assert!(after.gauge("router.backoff_backends").is_some());
+        assert_eq!(after.gauge("router.membership_epoch"), Some(1.0));
     }
 
     #[test]
@@ -526,18 +721,21 @@ mod tests {
         assert!(snapshot.counter("router.refresh_on_miss").is_some());
 
         // PASS with everyone up; DEGRADED after one kill; FAIL when the
-        // whole fleet is gone; PASS again once everyone is revived.
-        assert_eq!(router.health().status, dsig_obs::HealthStatus::Pass);
-        router.kill_backend(0);
+        // whole fleet is gone; PASS again once everyone is revived. The
+        // health report carries the membership epoch throughout.
+        let healthy = router.health();
+        assert_eq!(healthy.status, dsig_obs::HealthStatus::Pass);
+        assert_eq!(healthy.epoch, router.epoch());
+        router.kill("local-0").unwrap();
         let degraded = router.health();
         assert_eq!(degraded.status, dsig_obs::HealthStatus::Degraded);
         assert_eq!((degraded.backed_off, degraded.backends), (1, 3));
         assert!(!degraded.findings.is_empty());
-        router.kill_backend(1);
-        router.kill_backend(2);
+        router.kill("local-1").unwrap();
+        router.kill("local-2").unwrap();
         assert_eq!(router.health().status, dsig_obs::HealthStatus::Fail);
-        for index in 0..3 {
-            router.revive_backend(index);
+        for label in router.backend_labels() {
+            router.revive(&label).unwrap();
         }
         let recovered = router.health();
         assert_eq!(
@@ -548,7 +746,7 @@ mod tests {
         );
 
         // A dead backend is skipped by the scrape, not fatal.
-        router.kill_backend(2);
+        router.kill("local-2").unwrap();
         let partial = router.fleet_metrics();
         assert!(partial.counter("backend.local-2.serve.signatures_scored").is_none());
         assert!(partial.counter("backend.local-0.serve.signatures_scored").is_some());
@@ -562,10 +760,10 @@ mod tests {
         router.screen(0xE7E47, std::slice::from_ref(&golden)).unwrap();
         // Kill the owner: the next screen starts its failure streak and
         // refreshes the golden on the failover target.
-        let owner = router.rank(0xE7E47)[0];
-        router.kill_backend(owner);
+        let owner = router.rank_labels(0xE7E47)[0].clone();
+        router.kill(&owner).unwrap();
         router.screen(0xE7E47, std::slice::from_ref(&golden)).unwrap();
-        router.revive_backend(owner);
+        router.revive(&owner).unwrap();
 
         // The event sink is process-global (other tests may interleave), so
         // assert only that this test's transitions are present.
@@ -587,8 +785,8 @@ mod tests {
         let router = fleet(2, 2);
         let golden = sig(&[(1, 100e-6)]);
         router.push_golden(1, golden.clone(), band(0.05)).unwrap();
-        router.kill_backend(0);
-        router.kill_backend(1);
+        router.kill("local-0").unwrap();
+        router.kill("local-1").unwrap();
         match router.screen(1, &[golden]) {
             Err(RouterError::AllBackendsFailed { key, detail }) => {
                 assert_eq!(key, 1);
@@ -609,7 +807,223 @@ mod tests {
         // routing, and survives the owner dying thanks to the replica.
         let observed = setup.signature_of(&reference, 5).unwrap();
         assert_eq!(router.screen_one(key, &observed).unwrap().ndf, 0.0);
-        router.kill_backend(router.rank(key)[0]);
+        router.kill(&router.rank_labels(key)[0]).unwrap();
         assert_eq!(router.screen_one(key, &observed).unwrap().ndf, 0.0);
+    }
+
+    #[test]
+    fn unknown_labels_are_rejected_and_index_shims_still_resolve() {
+        let router = fleet(2, 2);
+        assert!(router.kill("no-such-backend").is_err());
+        assert!(router.revive("no-such-backend").is_err());
+        assert!(router.backend_is_down("no-such-backend").is_err());
+        let golden = sig(&[(1, 100e-6)]);
+        router.push_golden(0x51, golden.clone(), band(0.05)).unwrap();
+        // The deprecated index addressing keeps working for one release,
+        // resolving through the membership order.
+        #[allow(deprecated)]
+        {
+            assert_eq!(router.rank(0x51), {
+                let labels = router.backend_labels();
+                router
+                    .rank_labels(0x51)
+                    .iter()
+                    .map(|label| labels.iter().position(|l| l == label).unwrap())
+                    .collect::<Vec<_>>()
+            });
+            // Kill both members; a failed screen arms the health records the
+            // index shims then read (a bare kill alone does not).
+            router.kill_backend(0);
+            router.kill_backend(1);
+            assert!(router.screen(0x51, std::slice::from_ref(&golden)).is_err());
+            assert!(router.backend_down(0));
+            assert!(router.backend_down(1));
+            router.revive_backend(0);
+            router.revive_backend(1);
+            assert!(!router.backend_down(0));
+            assert!(!router.backend_down(1));
+        }
+    }
+
+    #[test]
+    fn join_migrates_goldens_and_bumps_the_epoch() {
+        let router = fleet(2, 1); // single copy: migration is observable
+        let setup_keys: Vec<u64> = (0..24).collect();
+        for &key in &setup_keys {
+            router
+                .push_golden(key, sig(&[(1, 100e-6), (key as u32 + 2, 50e-6)]), band(0.05))
+                .unwrap();
+        }
+        assert_eq!(router.epoch(), 1);
+
+        let roster = router.join(local_backend(7)).unwrap();
+        assert_eq!(roster.epoch, 2);
+        assert_eq!(router.epoch(), 2);
+        assert_eq!(router.backend_count(), 3);
+        assert_eq!(roster.entries.len(), 3);
+        assert!(roster.entries.iter().all(|entry| entry.state == BackendState::Active));
+
+        // The mover set is exactly the keys the newcomer now owns a copy of:
+        // every one must have been migrated, so killing BOTH old members
+        // still screens the newcomer's keys without a store refresh (the
+        // newcomer answers them from its own migrated store).
+        let moved: Vec<u64> = setup_keys
+            .iter()
+            .copied()
+            .filter(|&key| router.rank_labels(key)[0] == "local-7")
+            .collect();
+        assert!(!moved.is_empty(), "with 24 keys some must re-home onto the joiner");
+        for &key in &moved {
+            let observed = sig(&[(1, 100e-6), (key as u32 + 2, 50e-6)]);
+            assert_eq!(router.screen_one(key, &observed).unwrap().ndf, 0.0);
+        }
+
+        // Idempotent: joining the same label again is a no-op, same epoch.
+        let again = router.join(local_backend(7)).unwrap();
+        assert_eq!(again.epoch, 2);
+        assert_eq!(router.backend_count(), 3);
+
+        // A label that is neither a member nor a dialable address is
+        // rejected by the wire-form join.
+        assert!(router.fleet_join("not-an-address").is_err());
+
+        // The joined/epoch transitions surface as events.
+        let names: Vec<String> = router.events().events.into_iter().map(|event| event.name).collect();
+        assert!(names.iter().any(|name| name == "backend.joined"), "{names:?}");
+    }
+
+    #[test]
+    fn leave_rehomes_goldens_and_rejects_the_last_member() {
+        let router = fleet(3, 1); // single copy: the leaver's keys must re-home
+        let keys: Vec<u64> = (100..130).collect();
+        for &key in &keys {
+            router
+                .push_golden(key, sig(&[(1, 100e-6), ((key % 31) as u32 + 2, 50e-6)]), band(0.05))
+                .unwrap();
+        }
+        let leaver = "local-1";
+        let owned: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|&key| router.rank_labels(key)[0] == leaver)
+            .collect();
+        assert!(!owned.is_empty(), "with 30 keys some must live on the leaver");
+
+        let roster = router.fleet_leave(leaver).unwrap();
+        assert_eq!(roster.epoch, 2);
+        assert_eq!(router.backend_count(), 2);
+        assert!(roster.entries.iter().all(|entry| entry.label != leaver));
+
+        // The leaver's keys were re-homed before removal: screening them
+        // works without any refresh-on-miss (assert via a clean screen).
+        for &key in &owned {
+            let observed = sig(&[(1, 100e-6), ((key % 31) as u32 + 2, 50e-6)]);
+            assert_eq!(router.screen_one(key, &observed).unwrap().ndf, 0.0);
+        }
+
+        // Idempotent: leaving again is an acknowledged no-op, same epoch.
+        assert_eq!(router.fleet_leave(leaver).unwrap().epoch, 2);
+
+        // The last member can never leave.
+        router.fleet_leave("local-0").unwrap();
+        assert!(router.fleet_leave("local-2").is_err());
+        assert_eq!(router.backend_count(), 1);
+
+        let names: Vec<String> = router.events().events.into_iter().map(|event| event.name).collect();
+        assert!(names.iter().any(|name| name == "backend.left"), "{names:?}");
+    }
+
+    #[test]
+    fn drain_steers_work_away_and_join_reactivates() {
+        let router = fleet(3, 2);
+        let keys: Vec<u64> = (200..220).collect();
+        for &key in &keys {
+            router
+                .push_golden(key, sig(&[(1, 100e-6), ((key % 17) as u32 + 2, 50e-6)]), band(0.05))
+                .unwrap();
+        }
+        let drained = "local-2";
+        let roster = router.fleet_drain(drained).unwrap();
+        assert_eq!(roster.epoch, 2);
+        let state_of = |roster: &FleetRoster, label: &str| {
+            roster
+                .entries
+                .iter()
+                .find(|entry| entry.label == label)
+                .map(|entry| entry.state)
+                .unwrap()
+        };
+        assert_eq!(state_of(&roster, drained), BackendState::Draining);
+
+        // New work steers away from the draining member: with it killed
+        // outright, every key still screens cleanly off the non-draining
+        // members (the drain re-replicated its copies to them).
+        router.kill(drained).unwrap();
+        for &key in &keys {
+            let observed = sig(&[(1, 100e-6), ((key % 17) as u32 + 2, 50e-6)]);
+            assert_eq!(router.screen_one(key, &observed).unwrap().ndf, 0.0);
+        }
+        router.revive(drained).unwrap();
+
+        // Draining a draining member is a no-op; draining a stranger is an
+        // error.
+        assert_eq!(router.fleet_drain(drained).unwrap().epoch, 2);
+        assert!(router.fleet_drain("no-such-backend").is_err());
+
+        // A join by label reactivates the draining member.
+        let rejoined = router.fleet_join(drained).unwrap();
+        assert_eq!(rejoined.epoch, 3);
+        assert_eq!(state_of(&rejoined, drained), BackendState::Active);
+
+        let names: Vec<String> = router.events().events.into_iter().map(|event| event.name).collect();
+        assert!(names.iter().any(|name| name == "backend.draining"), "{names:?}");
+        assert!(names.iter().any(|name| name == "backend.joined"), "{names:?}");
+    }
+
+    #[test]
+    fn saturated_failure_streak_heals_replicas_once() {
+        use crate::backend::HealthConfig;
+        use std::time::Duration;
+
+        // A tiny backoff cap so the very first failure saturates the streak
+        // and arms the healing latch.
+        let config = RouterConfig {
+            replicas: 1, // a single copy: healing must create the second one
+            sub_batch: 3,
+            health: HealthConfig {
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(1),
+            },
+            ..RouterConfig::default()
+        };
+        let router = RouterHandle::spawn(3, ServeConfig::with_shards(1), RouterStore::new(), config).unwrap();
+        let keys: Vec<u64> = (300..324).collect();
+        for &key in &keys {
+            router
+                .push_golden(key, sig(&[(1, 100e-6), ((key % 13) as u32 + 2, 50e-6)]), band(0.05))
+                .unwrap();
+        }
+        let victim = router.rank_labels(keys[0])[0].clone();
+        router.kill(&victim).unwrap();
+
+        // The first screen against the dead owner fails over AND (backoff
+        // saturated on the first failure) heals: every golden the victim
+        // owned re-replicates to the survivors.
+        let observed = sig(&[(1, 100e-6), ((keys[0] % 13) as u32 + 2, 50e-6)]);
+        assert_eq!(router.screen_one(keys[0], &observed).unwrap().ndf, 0.0);
+
+        let names: Vec<String> = router.events().events.into_iter().map(|event| event.name).collect();
+        assert_eq!(
+            names.iter().filter(|name| *name == "replica.healed").count(),
+            1,
+            "healing fires exactly once per death: {names:?}"
+        );
+
+        // After healing, every key the victim owned screens cleanly even
+        // though the victim is still dead.
+        for &key in &keys {
+            let observed = sig(&[(1, 100e-6), ((key % 13) as u32 + 2, 50e-6)]);
+            assert_eq!(router.screen_one(key, &observed).unwrap().ndf, 0.0);
+        }
     }
 }

@@ -35,6 +35,21 @@
 //! * [`RouterConfig`] — replication factor, sub-batch boundary, health
 //!   policy.
 //!
+//! # Elastic fleet
+//!
+//! Membership is **live**: the `DSAQ` admin family (join, leave, drain,
+//! list — see `docs/FORMATS.md`) mutates an epoch-versioned membership
+//! snapshot under the event loop. A joining backend has the goldens it now
+//! owns migrated onto it *before* it enters the rotation; a leaving or
+//! draining member has its replicas re-homed to the survivors first; a
+//! member that stays dead past its backoff cap triggers once-per-death
+//! **replica healing**. Backends are addressed by **label** (`host:port`
+//! or `local-<id>`); membership transitions surface as `backend.joined` /
+//! `backend.left` / `backend.draining` / `replica.healed` events and the
+//! epoch rides in every `DSHR` health report. All six client/handle types
+//! program against the shared [`dsig_serve::Screen`],
+//! [`dsig_serve::ObsScrape`] and [`dsig_serve::FleetAdmin`] traits.
+//!
 //! The router implements [`dsig_engine::RemoteScorer`], so a
 //! [`dsig_engine::CampaignRunner`] can score an entire campaign through the
 //! routing tier (`ScoreTarget::Remote`) — multi-process campaign sharding

@@ -49,6 +49,17 @@ fn error_code_of(err: &RouterError) -> ErrorCode {
     }
 }
 
+/// Maps an admin-verb failure onto its wire code: rejected verbs
+/// (unparseable label, unknown drain target, removing the last member, a
+/// rendezvous-id collision) are the caller's fault — `BadRequest`, so a
+/// resubmitting client knows retrying verbatim cannot succeed.
+fn admin_error_code_of(err: &RouterError) -> ErrorCode {
+    match err {
+        RouterError::Dsig(dsig_core::DsigError::InvalidConfig(_)) => ErrorCode::BadRequest,
+        _ => ErrorCode::Internal,
+    }
+}
+
 /// The routing tier's TCP front: shares one routing core between the
 /// accept loop and any number of in-process [`RouterHandle`]s.
 ///
@@ -225,6 +236,15 @@ fn respond(core: &RouterCore, request: Request) -> Vec<u8> {
         Request::FleetTraces => encode_traces_response(&TracesResponse::Log(core.fleet_traces())),
         Request::Events => encode_events_response(&EventsResponse::Log(core.events())),
         Request::Health => encode_health_response(&HealthResponse::Report(core.health())),
+        // The admin family: live membership over the same tagged mux the
+        // work frames ride. Every verb answers the post-change roster.
+        Request::Admin(admin) => encode_admin_response(&match core.admin(&admin) {
+            Ok(roster) => AdminResponse::Roster(roster),
+            Err(err) => AdminResponse::Error {
+                code: admin_error_code_of(&err),
+                message: err.to_string(),
+            },
+        }),
     }
 }
 

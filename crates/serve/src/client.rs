@@ -38,12 +38,12 @@ use dsig_obs::{EventLevel, EventLog, HealthReport, MetricsSnapshot, Registry, Tr
 use crate::error::{Result, ServeError};
 use crate::proto::{
     decode_admin_response, decode_events_response, decode_health_response, decode_metrics_response, decode_response,
-    decode_retest_response, decode_traces_response, encode_events_request, encode_fetch_request,
+    decode_retest_response, decode_traces_response, encode_admin_request, encode_events_request, encode_fetch_request,
     encode_fleet_metrics_request, encode_fleet_traces_request, encode_health_request, encode_metrics_request,
     encode_multi_request, encode_push_request, encode_request, encode_retest_request, encode_traces_request,
-    read_frame, stamp_request_id, write_frame, AdminResponse, ErrorCode, EventsResponse, HealthResponse,
-    MetricsResponse, RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse, TracesResponse,
-    EVENTS_REQUEST_MAGIC, FLEET_TRACES_REQUEST_MAGIC, TRACES_REQUEST_MAGIC,
+    read_frame, stamp_request_id, write_frame, AdminRequest, AdminResponse, ErrorCode, EventsResponse, FleetRoster,
+    HealthResponse, MetricsResponse, RetestRequest, RetestResponse, RetestScore, ScoreResult, ScreenResponse,
+    TracesResponse, EVENTS_REQUEST_MAGIC, FLEET_TRACES_REQUEST_MAGIC, TRACES_REQUEST_MAGIC,
 };
 
 /// A blocking client over one TCP connection.
@@ -262,6 +262,52 @@ impl ServeClient {
         let payload = self.exchange(&encode_health_request())?;
         decode_health_report(&payload)
     }
+
+    /// Asks a routing tier to admit the backend at `label` (`DSAQ` join) and
+    /// waits for the golden migration to complete, returning the roster
+    /// after the membership change. Idempotent by label: joining a member
+    /// that is already active is an acknowledged no-op.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Remote`] when the peer rejects the verb (a leaf
+    /// serving process is not a routing tier, an unparseable label);
+    /// otherwise as for [`ServeClient::metrics`].
+    pub fn fleet_join(&mut self, label: &str) -> Result<FleetRoster> {
+        let payload = self.exchange(&encode_admin_request(&AdminRequest::Join { label: label.into() }))?;
+        decode_roster(&payload)
+    }
+
+    /// Asks a routing tier to remove the member at `label` (`DSAQ` leave),
+    /// re-replicating its goldens to the surviving owners first. Idempotent
+    /// by label: leaving an unknown member is an acknowledged no-op.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::fleet_join`].
+    pub fn fleet_leave(&mut self, label: &str) -> Result<FleetRoster> {
+        let payload = self.exchange(&encode_admin_request(&AdminRequest::Leave { label: label.into() }))?;
+        decode_roster(&payload)
+    }
+
+    /// Asks a routing tier to drain the member at `label` (`DSAQ` drain):
+    /// its goldens are re-replicated and new work steers away, but the
+    /// member stays in the roster as a last resort. Idempotent by label.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::fleet_join`].
+    pub fn fleet_drain(&mut self, label: &str) -> Result<FleetRoster> {
+        let payload = self.exchange(&encode_admin_request(&AdminRequest::Drain { label: label.into() }))?;
+        decode_roster(&payload)
+    }
+
+    /// Reads the routing tier's live membership roster (`DSAQ` list): the
+    /// current epoch plus every member's label, id and state. Idempotent.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::fleet_join`].
+    pub fn fleet_roster(&mut self) -> Result<FleetRoster> {
+        let payload = self.exchange(&encode_admin_request(&AdminRequest::List))?;
+        decode_roster(&payload)
+    }
 }
 
 /// Decodes a screening response, checking the score count.
@@ -307,6 +353,7 @@ fn decode_push_ack(payload: &[u8]) -> Result<()> {
     match decode_admin_response(payload)? {
         AdminResponse::Ack => Ok(()),
         AdminResponse::Record { .. } => Err(ServeError::Protocol("push answered with a record".into())),
+        AdminResponse::Roster(_) => Err(ServeError::Protocol("push answered with a roster".into())),
         AdminResponse::Error { message, .. } => Err(ServeError::Remote(message)),
     }
 }
@@ -316,10 +363,21 @@ fn decode_fetch_record(payload: &[u8], key: u64) -> Result<(AcceptanceBand, Sign
     match decode_admin_response(payload)? {
         AdminResponse::Record { band, golden } => Ok((band, golden)),
         AdminResponse::Ack => Err(ServeError::Protocol("fetch answered with a bare ack".into())),
+        AdminResponse::Roster(_) => Err(ServeError::Protocol("fetch answered with a roster".into())),
         AdminResponse::Error { code, message } => Err(match code {
             ErrorCode::UnknownGolden => ServeError::UnknownGolden(key),
             _ => ServeError::Remote(message),
         }),
+    }
+}
+
+/// Decodes a fleet-admin response into the post-change roster.
+fn decode_roster(payload: &[u8]) -> Result<FleetRoster> {
+    match decode_admin_response(payload)? {
+        AdminResponse::Roster(roster) => Ok(roster),
+        AdminResponse::Ack => Err(ServeError::Protocol("admin verb answered with a bare ack".into())),
+        AdminResponse::Record { .. } => Err(ServeError::Protocol("admin verb answered with a record".into())),
+        AdminResponse::Error { message, .. } => Err(ServeError::Remote(message)),
     }
 }
 
@@ -712,6 +770,55 @@ impl PipelinedClient {
     /// As for [`ServeClient::metrics`].
     pub fn health(&self) -> Result<HealthReport> {
         decode_health_report(&self.call(encode_health_request())?.wait()?)
+    }
+
+    /// Admits a backend into the fleet (`DSAQ` join) — the pipelined
+    /// [`ServeClient::fleet_join`]. Idempotent by label: resubmitted on a
+    /// transparent reconnect like every other admin verb.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::fleet_join`].
+    pub fn fleet_join(&self, label: &str) -> Result<FleetRoster> {
+        decode_roster(
+            &self
+                .call(encode_admin_request(&AdminRequest::Join { label: label.into() }))?
+                .wait()?,
+        )
+    }
+
+    /// Removes a fleet member (`DSAQ` leave) — the pipelined
+    /// [`ServeClient::fleet_leave`]. Idempotent by label.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::fleet_join`].
+    pub fn fleet_leave(&self, label: &str) -> Result<FleetRoster> {
+        decode_roster(
+            &self
+                .call(encode_admin_request(&AdminRequest::Leave { label: label.into() }))?
+                .wait()?,
+        )
+    }
+
+    /// Drains a fleet member (`DSAQ` drain) — the pipelined
+    /// [`ServeClient::fleet_drain`]. Idempotent by label.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::fleet_join`].
+    pub fn fleet_drain(&self, label: &str) -> Result<FleetRoster> {
+        decode_roster(
+            &self
+                .call(encode_admin_request(&AdminRequest::Drain { label: label.into() }))?
+                .wait()?,
+        )
+    }
+
+    /// Reads the live membership roster (`DSAQ` list) — the pipelined
+    /// [`ServeClient::fleet_roster`]. Idempotent.
+    ///
+    /// # Errors
+    /// As for [`ServeClient::fleet_join`].
+    pub fn fleet_roster(&self) -> Result<FleetRoster> {
+        decode_roster(&self.call(encode_admin_request(&AdminRequest::List))?.wait()?)
     }
 }
 

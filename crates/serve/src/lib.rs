@@ -120,6 +120,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod client;
 pub mod error;
 pub mod mux;
@@ -127,12 +128,13 @@ pub mod proto;
 pub mod server;
 pub mod store;
 
+pub use api::{FleetAdmin, ObsScrape, Screen};
 pub use client::{PipelinedClient, ServeClient, Ticket};
 pub use error::{Result, ServeError};
 pub use mux::WorkPool;
 pub use proto::{
-    AdminResponse, ErrorCode, MetricsResponse, MultiScreenRequest, Request, RetestItem, RetestRequest, RetestResponse,
-    RetestScore, ScoreResult, ScreenRequest, ScreenResponse,
+    AdminRequest, AdminResponse, BackendState, ErrorCode, FleetRoster, MetricsResponse, MultiScreenRequest, Request,
+    RetestItem, RetestRequest, RetestResponse, RetestScore, RosterEntry, ScoreResult, ScreenRequest, ScreenResponse,
 };
 pub use server::{group_by_fingerprint, ServeConfig, ServeHandle, Server};
 pub use store::{GoldenRecord, GoldenStore};

@@ -29,6 +29,13 @@ pub const PUSH_MAGIC: [u8; 4] = *b"DSGP";
 pub const FETCH_MAGIC: [u8; 4] = *b"DSGF";
 /// Magic prefix of admin (push/fetch) response payloads (`DSRA`).
 pub const ADMIN_RESPONSE_MAGIC: [u8; 4] = *b"DSRA";
+/// Magic prefix of fleet-admin request payloads (`DSAQ`): the membership
+/// verbs — join, leave, drain, list — a routing tier accepts over the
+/// ordinary tagged mux. Answered in the `DSRA` family (ack/roster/error).
+/// Idempotent by label: resubmitting a join/leave/drain after a reconnect
+/// converges to the same membership, so the pipelined client may resubmit
+/// them like any work frame.
+pub const ADMIN_REQUEST_MAGIC: [u8; 4] = *b"DSAQ";
 /// Magic prefix of adaptive-retest screening request payloads (`DSRT`): each
 /// device carries its single-shot signature plus pre-captured measurement
 /// repeats, and the server verdicts marginal devices through the
@@ -96,6 +103,10 @@ pub const REQUEST_PROTO_VERSION: u16 = 3;
 pub const REQUEST_TAGGED_FROM: u16 = 3;
 /// First response / scrape-request version that carries a request id.
 pub const PROTO_TAGGED_FROM: u16 = 2;
+/// Wire-protocol version of health-check responses (`DSHR`). Version 3
+/// appended the `u64` fleet membership epoch after the backend count;
+/// version-2 reports still decode, as epoch `0`.
+pub const HEALTH_RESPONSE_VERSION: u16 = 3;
 
 /// Upper bound on a frame payload (64 MiB). A length prefix beyond this is
 /// treated as a protocol violation rather than an allocation request — it
@@ -239,6 +250,99 @@ pub enum RetestResponse {
     },
 }
 
+/// A decoded fleet-admin request (`DSAQ`): one membership verb addressed to
+/// a routing tier. Every verb is idempotent by label — replaying it after a
+/// reconnect converges to the same membership — so the multiplexing client
+/// resubmits admin frames like ordinary work frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminRequest {
+    /// Add the backend at `label` (a dialable `host:port` address) to the
+    /// fleet, or reactivate it if it is present but draining.
+    Join {
+        /// The backend's label: the address the router will dial.
+        label: String,
+    },
+    /// Remove the backend labelled `label` from the fleet, re-replicating
+    /// the goldens it owned first.
+    Leave {
+        /// Label of the backend to remove.
+        label: String,
+    },
+    /// Stop targeting the backend labelled `label` with new work (it stays
+    /// ranked, as a last resort) and re-replicate the goldens it owns.
+    Drain {
+        /// Label of the backend to drain.
+        label: String,
+    },
+    /// Return the current membership roster and epoch without changing
+    /// anything.
+    List,
+}
+
+/// Verb tag of an [`AdminRequest::Join`].
+const ADMIN_VERB_JOIN: u8 = 0;
+/// Verb tag of an [`AdminRequest::Leave`].
+const ADMIN_VERB_LEAVE: u8 = 1;
+/// Verb tag of an [`AdminRequest::Drain`].
+const ADMIN_VERB_DRAIN: u8 = 2;
+/// Verb tag of an [`AdminRequest::List`].
+const ADMIN_VERB_LIST: u8 = 3;
+
+/// Operational state of one fleet member, as reported in a roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendState {
+    /// Targeted with new work.
+    Active,
+    /// Administratively draining: still ranked, not targeted with new work.
+    Draining,
+    /// Currently backed off after consecutive failures.
+    BackedOff,
+}
+
+impl BackendState {
+    /// The state's wire tag.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            BackendState::Active => 0,
+            BackendState::Draining => 1,
+            BackendState::BackedOff => 2,
+        }
+    }
+
+    /// Decodes a wire tag written by [`BackendState::to_u8`]; `None` on an
+    /// unknown tag.
+    pub fn from_u8(tag: u8) -> Option<BackendState> {
+        match tag {
+            0 => Some(BackendState::Active),
+            1 => Some(BackendState::Draining),
+            2 => Some(BackendState::BackedOff),
+            _ => None,
+        }
+    }
+}
+
+/// One fleet member in a roster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RosterEntry {
+    /// The backend's label (address for TCP backends).
+    pub label: String,
+    /// The backend's rendezvous-hash identity.
+    pub id: u64,
+    /// Its operational state at roster time.
+    pub state: BackendState,
+}
+
+/// A fleet membership roster: the epoch plus one entry per member. Every
+/// mutating admin verb answers with the post-change roster, so a caller
+/// always observes the membership its change produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRoster {
+    /// Membership epoch: bumped on every join/leave/drain.
+    pub epoch: u64,
+    /// The members, in membership order.
+    pub entries: Vec<RosterEntry>,
+}
+
 /// Any request frame the serving tier understands, decoded by payload magic
 /// (see [`decode_any_request`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -280,6 +384,10 @@ pub enum Request {
     /// A health-check request (`DSHC`): judge the current state against
     /// the process's SLO policy.
     Health,
+    /// A fleet-admin request (`DSAQ`): a membership verb for the routing
+    /// tier. A leaf serving process answers it with a `DSRA` error — it has
+    /// no fleet to administer.
+    Admin(AdminRequest),
 }
 
 /// A decoded metrics-scrape response (`DSMR`): the answering process's
@@ -347,7 +455,7 @@ pub enum HealthResponse {
 }
 
 /// A decoded admin response (to [`Request::PushGolden`] /
-/// [`Request::FetchGolden`]).
+/// [`Request::FetchGolden`] / [`Request::Admin`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdminResponse {
     /// The push was applied.
@@ -359,6 +467,8 @@ pub enum AdminResponse {
         /// The golden signature.
         golden: Signature,
     },
+    /// The membership roster answering a fleet-admin verb.
+    Roster(FleetRoster),
     /// The request failed server-side.
     Error {
         /// Machine-readable error class.
@@ -375,6 +485,8 @@ const ADMIN_ACK: u8 = 0;
 const ADMIN_ERROR: u8 = 1;
 /// Status byte of an [`AdminResponse::Record`].
 const ADMIN_RECORD: u8 = 2;
+/// Status byte of an [`AdminResponse::Roster`].
+const ADMIN_ROSTER: u8 = 3;
 
 /// Appends the current thread's ambient trace context (see
 /// [`trace::current_context`]): request encoders stamp outgoing frames with
@@ -393,15 +505,17 @@ fn skip_request_context(r: &mut wire::ByteReader<'_>, version: u16) -> Result<()
     Ok(())
 }
 
-/// The work-carrying request magics (`DSRQ`/`DSRM`/`DSRT`/`DSGP`/`DSGF`):
-/// the frames that carry a trace context from version 2 and a request id
-/// from version [`REQUEST_TAGGED_FROM`].
-const WORK_REQUEST_MAGICS: [[u8; 4]; 5] = [
+/// The work-carrying request magics
+/// (`DSRQ`/`DSRM`/`DSRT`/`DSGP`/`DSGF`/`DSAQ`): the frames that carry a
+/// trace context from version 2 and a request id from version
+/// [`REQUEST_TAGGED_FROM`].
+const WORK_REQUEST_MAGICS: [[u8; 4]; 6] = [
     REQUEST_MAGIC,
     MULTI_REQUEST_MAGIC,
     RETEST_REQUEST_MAGIC,
     PUSH_MAGIC,
     FETCH_MAGIC,
+    ADMIN_REQUEST_MAGIC,
 ];
 
 /// The first version at which a request frame of `magic` carries a request
@@ -795,6 +909,53 @@ pub fn decode_fetch_request(payload: &[u8]) -> Result<Request> {
     Ok(Request::FetchGolden { key })
 }
 
+/// Encodes a fleet-admin request payload (without the frame length prefix):
+/// one verb tag plus the addressed label (empty for [`AdminRequest::List`]).
+pub fn encode_admin_request(request: &AdminRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40);
+    wire::put_tagged_header(&mut out, ADMIN_REQUEST_MAGIC, REQUEST_PROTO_VERSION, 0);
+    put_request_context(&mut out);
+    let (verb, label) = match request {
+        AdminRequest::Join { label } => (ADMIN_VERB_JOIN, label.as_str()),
+        AdminRequest::Leave { label } => (ADMIN_VERB_LEAVE, label.as_str()),
+        AdminRequest::Drain { label } => (ADMIN_VERB_DRAIN, label.as_str()),
+        AdminRequest::List => (ADMIN_VERB_LIST, ""),
+    };
+    out.push(verb);
+    wire::put_str(&mut out, label);
+    out
+}
+
+/// Decodes a fleet-admin request payload. Never panics on malformed input.
+///
+/// # Errors
+/// Returns [`ServeError::Dsig`] on framing errors and
+/// [`ServeError::Protocol`] on an unknown verb tag or a label where none is
+/// allowed (`List` carries an empty label).
+pub fn decode_admin_request(payload: &[u8]) -> Result<Request> {
+    let mut r = wire::ByteReader::new(payload, "fleet admin request");
+    let (version, _) = r.tagged_header(ADMIN_REQUEST_MAGIC, REQUEST_PROTO_VERSION, REQUEST_TAGGED_FROM)?;
+    skip_request_context(&mut r, version)?;
+    let verb = r.u8()?;
+    let label = r.string()?;
+    r.finish()?;
+    let request = match verb {
+        ADMIN_VERB_JOIN => AdminRequest::Join { label },
+        ADMIN_VERB_LEAVE => AdminRequest::Leave { label },
+        ADMIN_VERB_DRAIN => AdminRequest::Drain { label },
+        ADMIN_VERB_LIST => {
+            if !label.is_empty() {
+                return Err(ServeError::Protocol(format!(
+                    "admin list request carries an unexpected label {label:?}"
+                )));
+            }
+            AdminRequest::List
+        }
+        other => return Err(ServeError::Protocol(format!("unknown admin verb {other}"))),
+    };
+    Ok(Request::Admin(request))
+}
+
 /// Encodes a metrics-scrape request payload (without the frame length
 /// prefix). The request is header-only.
 pub fn encode_metrics_request() -> Vec<u8> {
@@ -1057,10 +1218,11 @@ pub fn decode_health_request(payload: &[u8]) -> Result<Request> {
 
 /// Encodes a health-check response payload (without the frame length
 /// prefix). The ok body carries the report inline: status byte, error
-/// rate, p99, backed-off and fleet-size counts, then the findings.
+/// rate, p99, backed-off and fleet-size counts, the membership epoch
+/// (version 3), then the findings.
 pub fn encode_health_response(response: &HealthResponse) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
-    wire::put_tagged_header(&mut out, HEALTH_RESPONSE_MAGIC, PROTO_VERSION, 0);
+    wire::put_tagged_header(&mut out, HEALTH_RESPONSE_MAGIC, HEALTH_RESPONSE_VERSION, 0);
     match response {
         HealthResponse::Report(report) => {
             out.push(STATUS_OK);
@@ -1069,6 +1231,7 @@ pub fn encode_health_response(response: &HealthResponse) -> Vec<u8> {
             wire::put_u64(&mut out, report.p99_us);
             wire::put_u32(&mut out, report.backed_off);
             wire::put_u32(&mut out, report.backends);
+            wire::put_u64(&mut out, report.epoch);
             wire::put_u32(&mut out, report.findings.len() as u32);
             for finding in &report.findings {
                 wire::put_str(&mut out, finding);
@@ -1091,7 +1254,7 @@ pub fn encode_health_response(response: &HealthResponse) -> Vec<u8> {
 /// [`ServeError::Protocol`] on an unknown status byte or verdict tag.
 pub fn decode_health_response(payload: &[u8]) -> Result<HealthResponse> {
     let mut r = wire::ByteReader::new(payload, "health response");
-    r.tagged_header(HEALTH_RESPONSE_MAGIC, PROTO_VERSION, PROTO_TAGGED_FROM)?;
+    let (version, _) = r.tagged_header(HEALTH_RESPONSE_MAGIC, HEALTH_RESPONSE_VERSION, PROTO_TAGGED_FROM)?;
     match r.u8()? {
         STATUS_OK => {
             let tag = r.u8()?;
@@ -1101,6 +1264,8 @@ pub fn decode_health_response(payload: &[u8]) -> Result<HealthResponse> {
             let p99_us = r.u64()?;
             let backed_off = r.u32()?;
             let backends = r.u32()?;
+            // Version 2 reports predate live membership: epoch 0.
+            let epoch = if version >= 3 { r.u64()? } else { 0 };
             let n_findings = r.u32()? as usize;
             // Minimum finding: one empty length-prefixed string.
             r.check_count(n_findings, 4)?;
@@ -1115,6 +1280,7 @@ pub fn decode_health_response(payload: &[u8]) -> Result<HealthResponse> {
                 p99_us,
                 backed_off,
                 backends,
+                epoch,
                 findings,
             }))
         }
@@ -1147,6 +1313,7 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
         Some(magic) if *magic == FLEET_TRACES_REQUEST_MAGIC => decode_fleet_traces_request(payload),
         Some(magic) if *magic == EVENTS_REQUEST_MAGIC => decode_events_request(payload),
         Some(magic) if *magic == HEALTH_REQUEST_MAGIC => decode_health_request(payload),
+        Some(magic) if *magic == ADMIN_REQUEST_MAGIC => decode_admin_request(payload),
         Some(magic) => Err(ServeError::Protocol(format!(
             "unknown request magic {:?}",
             String::from_utf8_lossy(magic)
@@ -1160,7 +1327,7 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
 
 /// Encodes the response for a request frame that failed to decode, matching
 /// the response family the client is waiting for: admin requests
-/// (`DSGP`/`DSGF`) are answered with a `DSRA` error, retest requests
+/// (`DSGP`/`DSGF`/`DSAQ`) are answered with a `DSRA` error, retest requests
 /// (`DSRT`) with a `DSRR` error, metrics scrapes (`DSMX`/`DSFM`) with a
 /// `DSMR` error, trace scrapes (`DSTX`/`DSFT`) with a `DSTD` error, event
 /// drains (`DSEX`) with a `DSED` error and health checks (`DSHC`) with a
@@ -1168,10 +1335,12 @@ pub fn decode_any_request(payload: &[u8]) -> Result<Request> {
 /// instead of a magic mismatch; everything else gets a `DSRS` error.
 pub fn encode_decode_error(payload: &[u8], message: String) -> Vec<u8> {
     match payload.get(..4) {
-        Some(magic) if *magic == PUSH_MAGIC || *magic == FETCH_MAGIC => encode_admin_response(&AdminResponse::Error {
-            code: ErrorCode::BadRequest,
-            message,
-        }),
+        Some(magic) if *magic == PUSH_MAGIC || *magic == FETCH_MAGIC || *magic == ADMIN_REQUEST_MAGIC => {
+            encode_admin_response(&AdminResponse::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            })
+        }
         Some(magic) if *magic == RETEST_REQUEST_MAGIC => encode_retest_response(&RetestResponse::Error {
             code: ErrorCode::BadRequest,
             message,
@@ -1214,6 +1383,16 @@ pub fn encode_admin_response(response: &AdminResponse) -> Vec<u8> {
             wire::put_f64(&mut out, band.ndf_threshold);
             wire::put_bytes(&mut out, &golden.to_bytes());
         }
+        AdminResponse::Roster(roster) => {
+            out.push(ADMIN_ROSTER);
+            wire::put_u64(&mut out, roster.epoch);
+            wire::put_u32(&mut out, roster.entries.len() as u32);
+            for entry in &roster.entries {
+                wire::put_str(&mut out, &entry.label);
+                wire::put_u64(&mut out, entry.id);
+                out.push(entry.state.to_u8());
+            }
+        }
         AdminResponse::Error { code, message } => {
             out.push(ADMIN_ERROR);
             wire::put_u16(&mut out, code.to_u16());
@@ -1241,6 +1420,23 @@ pub fn decode_admin_response(payload: &[u8]) -> Result<AdminResponse> {
             let golden = Signature::from_bytes(r.bytes()?)?;
             r.finish()?;
             Ok(AdminResponse::Record { band, golden })
+        }
+        ADMIN_ROSTER => {
+            let epoch = r.u64()?;
+            let count = r.u32()? as usize;
+            // Minimum per entry: 4-byte empty label + u64 id + u8 state.
+            r.check_count(count, 13)?;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let label = r.string()?;
+                let id = r.u64()?;
+                let tag = r.u8()?;
+                let state = BackendState::from_u8(tag)
+                    .ok_or_else(|| ServeError::Protocol(format!("unknown backend state {tag}")))?;
+                entries.push(RosterEntry { label, id, state });
+            }
+            r.finish()?;
+            Ok(AdminResponse::Roster(FleetRoster { epoch, entries }))
         }
         ADMIN_ERROR => {
             let code = ErrorCode::from_u16(r.u16()?)?;
@@ -1655,6 +1851,21 @@ mod tests {
                 band,
                 golden: golden.clone(),
             },
+            AdminResponse::Roster(FleetRoster {
+                epoch: 5,
+                entries: vec![
+                    RosterEntry {
+                        label: "127.0.0.1:9000".into(),
+                        id: 0xFEED,
+                        state: BackendState::Active,
+                    },
+                    RosterEntry {
+                        label: "local-1".into(),
+                        id: 7,
+                        state: BackendState::Draining,
+                    },
+                ],
+            }),
             AdminResponse::Error {
                 code: ErrorCode::UnknownGolden,
                 message: "no such golden".into(),
@@ -1673,6 +1884,63 @@ mod tests {
         let mut trailing = encode_admin_response(&AdminResponse::Ack);
         trailing.push(0);
         assert!(decode_admin_response(&trailing).is_err());
+        // An unknown backend-state tag is a clean protocol error: the tag of
+        // the single empty-label entry sits at the end of the payload.
+        let mut bad_state = encode_admin_response(&AdminResponse::Roster(FleetRoster {
+            epoch: 1,
+            entries: vec![RosterEntry {
+                label: String::new(),
+                id: 1,
+                state: BackendState::BackedOff,
+            }],
+        }));
+        *bad_state.last_mut().unwrap() = 9;
+        assert!(matches!(
+            decode_admin_response(&bad_state),
+            Err(ServeError::Protocol(_))
+        ));
+        for state in [BackendState::Active, BackendState::Draining, BackendState::BackedOff] {
+            assert_eq!(BackendState::from_u8(state.to_u8()), Some(state));
+        }
+        assert_eq!(BackendState::from_u8(3), None);
+    }
+
+    #[test]
+    fn admin_requests_round_trip_and_reject_malformed_payloads() {
+        for request in [
+            AdminRequest::Join {
+                label: "127.0.0.1:9000".into(),
+            },
+            AdminRequest::Leave {
+                label: "127.0.0.1:9000".into(),
+            },
+            AdminRequest::Drain {
+                label: "local-2".into(),
+            },
+            AdminRequest::List,
+        ] {
+            let payload = encode_admin_request(&request);
+            assert_eq!(decode_any_request(&payload).unwrap(), Request::Admin(request.clone()));
+            assert!(decode_admin_request(&payload[..9]).is_err(), "{request:?}");
+            let mut trailing = payload.clone();
+            trailing.push(0);
+            assert!(decode_admin_request(&trailing).is_err(), "{request:?}");
+            let mut future = payload.clone();
+            future[4..6].copy_from_slice(&42u16.to_le_bytes());
+            assert!(decode_admin_request(&future).is_err(), "{request:?} future version");
+        }
+        // An unknown verb tag is a clean protocol error. The verb sits after
+        // magic+version+id (14) + trace context (17).
+        let mut bad_verb = encode_admin_request(&AdminRequest::List);
+        bad_verb[31] = 9;
+        assert!(matches!(decode_admin_request(&bad_verb), Err(ServeError::Protocol(_))));
+        // A list verb must not carry a label.
+        let mut labelled_list = encode_admin_request(&AdminRequest::Drain { label: "x".into() });
+        labelled_list[31] = 3;
+        assert!(matches!(
+            decode_admin_request(&labelled_list),
+            Err(ServeError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -1693,6 +1961,18 @@ mod tests {
             }
             other => panic!("expected an admin error, got {other:?}"),
         }
+        // An undecodable fleet-admin verb answers in the DSRA family too.
+        let mut admin = encode_admin_request(&AdminRequest::List);
+        admin[4..6].copy_from_slice(&42u16.to_le_bytes());
+        let err = decode_any_request(&admin).unwrap_err();
+        let response = encode_decode_error(&admin, err.to_string());
+        assert!(matches!(
+            decode_admin_response(&response).unwrap(),
+            AdminResponse::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
         // Everything else (screening requests, unknown magics) answers DSRS.
         for payload in [&encode_request(1, &[])[..2], b"NOPE1234"] {
             let response = encode_decode_error(payload, "bad".into());
@@ -1782,6 +2062,7 @@ mod tests {
                 ),
                 ("DSGP", encode_push_request(7, band, &golden)),
                 ("DSGF", encode_fetch_request(7)),
+                ("DSAQ", encode_admin_request(&AdminRequest::List)),
             ]
         };
         for (what, payload) in &frames {
@@ -1963,6 +2244,7 @@ mod tests {
             p99_us: 45_000,
             backed_off: 1,
             backends: 3,
+            epoch: 4,
             findings: vec!["1 of 3 backends backed off".into()],
         });
         let payload = encode_health_response(&ok);
@@ -1990,6 +2272,24 @@ mod tests {
             decode_health_response(&bad_verdict),
             Err(ServeError::Protocol(_))
         ));
+        // A hand-built version-2 report (no epoch field) still decodes, as
+        // epoch 0 — the pre-membership layout.
+        let mut v2 = Vec::new();
+        wire::put_tagged_header(&mut v2, HEALTH_RESPONSE_MAGIC, 2, 0);
+        v2.push(STATUS_OK);
+        v2.push(HealthStatus::Pass.to_u8());
+        wire::put_f64(&mut v2, 0.0);
+        wire::put_u64(&mut v2, 17);
+        wire::put_u32(&mut v2, 0);
+        wire::put_u32(&mut v2, 2);
+        wire::put_u32(&mut v2, 0);
+        match decode_health_response(&v2).unwrap() {
+            HealthResponse::Report(report) => {
+                assert_eq!(report.epoch, 0);
+                assert_eq!(report.backends, 2);
+            }
+            other => panic!("expected a report, got {other:?}"),
+        }
     }
 
     #[test]
@@ -2020,6 +2320,9 @@ mod tests {
             }),
             encode_push_request(1, AcceptanceBand::new(0.03).unwrap(), &sig(&[(1, 1.0)])),
             encode_fetch_request(1),
+            encode_admin_request(&AdminRequest::Join {
+                label: "127.0.0.1:9000".into(),
+            }),
             encode_metrics_request(),
             encode_traces_request(),
             encode_fleet_metrics_request(),
@@ -2028,6 +2331,10 @@ mod tests {
             encode_health_request(),
             encode_retest_response(&RetestResponse::Results(vec![])),
             encode_admin_response(&AdminResponse::Ack),
+            encode_admin_response(&AdminResponse::Roster(FleetRoster {
+                epoch: 1,
+                entries: vec![],
+            })),
             encode_events_response(&EventsResponse::Log(EventLog::default())),
             encode_health_response(&HealthResponse::Error {
                 code: ErrorCode::Internal,

@@ -113,6 +113,7 @@ struct PerFamily {
     fleet_traces: Arc<Counter>,
     events: Arc<Counter>,
     health: Arc<Counter>,
+    admin: Arc<Counter>,
 }
 
 impl PerFamily {
@@ -130,6 +131,7 @@ impl PerFamily {
             fleet_traces: registry.counter(&name("dsft")),
             events: registry.counter(&name("dsex")),
             health: registry.counter(&name("dshc")),
+            admin: registry.counter(&name("dsaq")),
         }
     }
 
@@ -146,6 +148,7 @@ impl PerFamily {
             Request::FleetTraces => &self.fleet_traces,
             Request::Events => &self.events,
             Request::Health => &self.health,
+            Request::Admin(_) => &self.admin,
         }
     }
 }
@@ -837,6 +840,15 @@ fn respond(handle: &ServeHandle, request: Request) -> Vec<u8> {
         Request::FleetTraces => encode_traces_response(&TracesResponse::Log(handle.traces())),
         Request::Events => encode_events_response(&EventsResponse::Log(handle.events())),
         Request::Health => encode_health_response(&HealthResponse::Report(handle.health(&SloPolicy::default()))),
+        // A leaf serving process has no fleet to administer; only the
+        // routing tier accepts membership verbs.
+        Request::Admin(_) => {
+            count_error();
+            encode_admin_response(&AdminResponse::Error {
+                code: ErrorCode::BadRequest,
+                message: "fleet admin verbs are only valid against a routing tier".into(),
+            })
+        }
     }
 }
 

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    store and on its rendezvous owner + replica.
     let handle = router.handle();
     let key = handle.characterize(&setup, &reference, band)?;
-    let rank = handle.rank(key);
+    let rank = handle.rank_labels(key);
     println!(
         "golden {key:#018x}: owner backend {}, replica backend {}",
         rank[0], rank[1]
@@ -86,16 +86,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // A real kill: shut the owning TCP server down (its listener closes, so
     // fresh dials are refused), or flip the in-process backend's kill switch;
-    // either way also drop the router's pooled connections to it.
-    match rank[0] {
-        0 => server_a.shutdown(),
-        1 => server_b.shutdown(),
-        _ => {}
+    // either way also drop the router's pooled connections to it. Backends
+    // are addressed by label: a TCP backend's label is its host:port.
+    let owner = &rank[0];
+    if *owner == server_a.local_addr().to_string() {
+        server_a.shutdown();
+    } else if *owner == server_b.local_addr().to_string() {
+        server_b.shutdown();
     }
-    handle.kill_backend(rank[0]);
+    handle.kill(owner)?;
     println!(
-        "killed owner backend {} mid-lot; failing over to backend {}",
-        rank[0], rank[1]
+        "killed owner backend {owner} mid-lot; failing over to backend {}",
+        rank[1]
     );
     for batch in signatures[half..].chunks(BATCH) {
         scores.extend(client.screen(key, batch)?);
@@ -113,6 +115,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          all NDFs and outcomes bit-identical, {mismatches} wrong verdicts",
         scores.len()
     );
-    assert!(handle.backend_down(rank[0]), "health record must mark the dead owner");
+    assert!(handle.backend_is_down(owner)?, "health record must mark the dead owner");
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! Property tests of the binary codecs: random signatures, logs and wire
-//! frames (including the router tier's `DSRM`/`DSGP`/`DSGF`/`DSRA` and the
+//! frames (including the router tier's `DSRM`/`DSGP`/`DSGF`/`DSRA`, the
+//! `DSAQ` fleet-admin verbs with their roster responses, and the
 //! observability tier's `DSMS` snapshots, `DSMX`/`DSMR` scrape pair, `DSTL`
 //! trace logs, `DSTX`/`DSTD` trace scrape pair, `DSEL` event logs with
 //! their `DSEX`/`DSED` drain pair, the `DSHC` health-check pair and the
@@ -129,8 +130,36 @@ proptest! {
         for bytes in [
             proto::encode_push_request(key, band, &golden),
             proto::encode_fetch_request(key),
+            // The DSAQ fleet-admin family: all four verbs, including a
+            // generated host:port label and the empty label.
+            proto::encode_admin_request(&proto::AdminRequest::Join {
+                label: format!("10.0.{}.{}:{}", key % 256, (key >> 8) % 256, 1024 + key % 50_000),
+            }),
+            proto::encode_admin_request(&proto::AdminRequest::Leave { label: "local-1".into() }),
+            proto::encode_admin_request(&proto::AdminRequest::Drain { label: String::new() }),
+            proto::encode_admin_request(&proto::AdminRequest::List),
             proto::encode_admin_response(&proto::AdminResponse::Ack),
             proto::encode_admin_response(&proto::AdminResponse::Record { band, golden: golden.clone() }),
+            proto::encode_admin_response(&proto::AdminResponse::Roster(proto::FleetRoster {
+                epoch: key,
+                entries: vec![
+                    proto::RosterEntry {
+                        label: "10.0.0.1:9000".into(),
+                        id: key ^ 1,
+                        state: proto::BackendState::Active,
+                    },
+                    proto::RosterEntry {
+                        label: "local-1".into(),
+                        id: 1,
+                        state: proto::BackendState::Draining,
+                    },
+                    proto::RosterEntry {
+                        label: "local-2".into(),
+                        id: 2,
+                        state: proto::BackendState::BackedOff,
+                    },
+                ],
+            })),
             proto::encode_admin_response(&proto::AdminResponse::Error {
                 code: proto::ErrorCode::Internal,
                 message: "x".into(),
@@ -153,6 +182,9 @@ proptest! {
                             prop_assert_eq!(g, &golden);
                         }
                         proto::Request::FetchGolden { key: k } => prop_assert_eq!(*k, key),
+                        proto::Request::Admin(request) => {
+                            prop_assert_eq!(proto::encode_admin_request(request), bytes.clone());
+                        }
                         other => prop_assert!(false, "unexpected request kind {:?}", other),
                     }
                 }
@@ -608,6 +640,7 @@ proptest! {
         p99_us in 0u64..10_000_000,
         backed_off in 0u32..8,
         extra_backends in 0u32..8,
+        epoch in 0u64..u64::MAX,
         findings in prop::collection::vec(prop::collection::vec(0x20u8..0x7f, 0..32), 0..4),
         message_bytes in prop::collection::vec(0x20u8..0x7f, 0..40),
         position in 0.0..1.0_f64,
@@ -633,6 +666,7 @@ proptest! {
             p99_us,
             backed_off,
             backends: backed_off + extra_backends,
+            epoch,
             findings: findings.iter().map(|f| String::from_utf8(f.clone()).unwrap()).collect(),
         };
         let message = String::from_utf8(message_bytes).unwrap();

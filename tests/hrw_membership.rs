@@ -1,0 +1,170 @@
+//! Property tests of the rendezvous-hashing contract the elastic fleet
+//! rests on: membership changes move the **minimum** set of keys. For any
+//! fleet, any key and any replica depth `r`, a member leaving changes a
+//! key's replica set iff the departed member was in it, and a member
+//! joining changes it iff the newcomer broke into it — because the
+//! surviving members' relative rank order is *exactly* preserved. This is
+//! what lets the router migrate only the joiner's share of goldens and
+//! re-home only the departed member's replicas, with zero remapping for
+//! everyone else.
+
+use analog_signature::router::{hrw_weight, mix64, rank_backends};
+use proptest::prelude::*;
+
+/// A fleet of `count` unique backend ids: sequential (the in-process
+/// default) or hashed (how TCP backends fingerprint their address).
+/// `mix64` is a bijection, so distinct inputs guarantee distinct ids.
+fn fleet_ids(count: usize, seed: u64, hashed: bool) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| if hashed { mix64(seed.wrapping_add(i)) } else { i })
+        .collect()
+}
+
+/// `rank_backends` as an id sequence instead of an index sequence, which
+/// is what survives comparison across fleets of different shapes.
+fn rank_ids(key: u64, ids: &[u64]) -> Vec<u64> {
+    rank_backends(key, ids).into_iter().map(|i| ids[i]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ranking is a permutation sorted by strictly descending
+    /// rendezvous weight (index-tie-broken), so it is total, deterministic
+    /// and identical on every router instance.
+    #[test]
+    fn ranking_is_a_permutation_in_descending_weight_order(
+        count in 2usize..10,
+        seed in 0u64..u64::MAX,
+        key in 0u64..u64::MAX,
+        hashed in prop::bool::ANY,
+    ) {
+        let ids = fleet_ids(count, seed, hashed);
+        let ranked = rank_backends(key, &ids);
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..count).collect::<Vec<usize>>());
+        for pair in ranked.windows(2) {
+            let (wa, wb) = (hrw_weight(key, ids[pair[0]]), hrw_weight(key, ids[pair[1]]));
+            prop_assert!(
+                wa > wb || (wa == wb && pair[0] < pair[1]),
+                "rank not in descending weight order for key {key:#x}"
+            );
+        }
+    }
+
+    /// Leave: the post-leave ranking is the old one with the departed
+    /// member deleted, so at every replica depth the replica set moves iff
+    /// the departed member was in it — the moved-key bound.
+    #[test]
+    fn leave_only_remaps_keys_that_ranked_the_departed_member(
+        count in 2usize..10,
+        seed in 0u64..u64::MAX,
+        key in 0u64..u64::MAX,
+        victim in 0usize..64,
+        hashed in prop::bool::ANY,
+    ) {
+        let ids = fleet_ids(count, seed, hashed);
+        let victim = ids[victim % count];
+        let survivors: Vec<u64> = ids.iter().copied().filter(|&id| id != victim).collect();
+
+        let before = rank_ids(key, &ids);
+        let after = rank_ids(key, &survivors);
+
+        // Survivors keep their exact relative order.
+        let expected: Vec<u64> = before.iter().copied().filter(|&id| id != victim).collect();
+        prop_assert_eq!(&after, &expected, "key {:#x}: survivors reordered", key);
+
+        // The moved-key bound at every replica depth: a key that did not
+        // rank the victim in its top r keeps its replica set bit-for-bit.
+        for r in 1..survivors.len() {
+            let moved = after[..r] != before[..r];
+            prop_assert_eq!(
+                moved,
+                before[..r].contains(&victim),
+                "key {:#x} depth {}: replica set moved without ranking the victim",
+                key,
+                r
+            );
+        }
+    }
+
+    /// Join: deleting the newcomer from the post-join ranking restores the
+    /// old one, so at every depth the replica set moves iff the newcomer
+    /// broke into it — and then it is the old set with exactly one member
+    /// displaced.
+    #[test]
+    fn join_only_pulls_keys_the_newcomer_now_ranks(
+        count in 2usize..10,
+        seed in 0u64..u64::MAX,
+        key in 0u64..u64::MAX,
+        hashed in prop::bool::ANY,
+    ) {
+        let ids = fleet_ids(count, seed, hashed);
+        let mut newcomer = mix64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        while ids.contains(&newcomer) {
+            newcomer = mix64(newcomer);
+        }
+        let mut grown = ids.clone();
+        grown.push(newcomer);
+
+        let before = rank_ids(key, &ids);
+        let after = rank_ids(key, &grown);
+
+        // Incumbents keep their exact relative order.
+        let restricted: Vec<u64> = after.iter().copied().filter(|&id| id != newcomer).collect();
+        prop_assert_eq!(&restricted, &before, "key {:#x}: incumbents reordered", key);
+
+        for r in 1..=ids.len() {
+            let gained = after[..r].contains(&newcomer);
+            prop_assert_eq!(
+                after[..r] != before[..r],
+                gained,
+                "key {:#x} depth {}: replica set moved without the newcomer in it",
+                key,
+                r
+            );
+            if gained {
+                // Exactly one displacement: the new set is the old top r-1
+                // plus the newcomer (the old depth r-1 member fell out).
+                let mut got: Vec<u64> = after[..r].to_vec();
+                let mut expected: Vec<u64> = before[..r - 1].to_vec();
+                expected.push(newcomer);
+                got.sort_unstable();
+                expected.sort_unstable();
+                prop_assert_eq!(got, expected, "key {:#x} depth {}", key, r);
+            }
+        }
+    }
+}
+
+/// The ownership share a join actually moves: exactly the keys the
+/// newcomer wins, which is the fair `1/(n+1)` slice of the keyspace (within
+/// loose statistical bounds), not a rehash of everything.
+#[test]
+fn a_join_moves_exactly_the_newcomers_fair_share_of_owners() {
+    for n in [2usize, 4, 8] {
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let newcomer = 1000u64;
+        let mut grown = ids.clone();
+        grown.push(newcomer);
+        let keys: Vec<u64> = (0..4096u64).map(mix64).collect();
+
+        let moved: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|&key| rank_ids(key, &ids)[0] != rank_ids(key, &grown)[0])
+            .collect();
+        assert!(
+            moved.iter().all(|&key| rank_ids(key, &grown)[0] == newcomer),
+            "n={n}: a key changed owner without the newcomer winning it"
+        );
+        let fair = keys.len() / (n + 1);
+        assert!(
+            (fair / 2..=2 * fair).contains(&moved.len()),
+            "n={n}: {} of {} owners moved; fair share is ~{fair}",
+            moved.len(),
+            keys.len()
+        );
+    }
+}

@@ -174,17 +174,17 @@ fn one_fleet_scrape_carries_prefixes_and_rollups_and_health_flips_on_kills() {
     // up, DEGRADED after one kill, FAIL when nothing is left, and back to
     // PASS once the operator revives the fleet.
     assert_eq!(router.health().status, HealthStatus::Pass);
-    router.kill_backend(0);
+    router.kill("local-0").unwrap();
     let degraded = router.health();
     assert_eq!(degraded.status, HealthStatus::Degraded, "{degraded:?}");
     assert_eq!((degraded.backed_off, degraded.backends), (1, BACKENDS as u32));
     assert!(!degraded.findings.is_empty());
     for index in 1..BACKENDS {
-        router.kill_backend(index);
+        router.kill(&format!("local-{index}")).unwrap();
     }
     assert_eq!(router.health().status, HealthStatus::Fail);
-    for index in 0..BACKENDS {
-        router.revive_backend(index);
+    for label in router.backend_labels() {
+        router.revive(&label).unwrap();
     }
     assert_eq!(router.health().status, HealthStatus::Pass);
 }

@@ -152,10 +152,10 @@ fn router_target_reproduces_the_local_retest_report_at_every_backend_count() {
         // the router store's refresh-on-miss carry the golden).
         let killer = (backends == 4).then(|| {
             let router = router.clone();
-            let owner = router.rank(key)[0];
+            let owner = router.rank_labels(key)[0].clone();
             std::thread::spawn(move || {
                 std::thread::sleep(std::time::Duration::from_millis(150));
-                router.kill_backend(owner);
+                router.kill(&owner).unwrap();
             })
         });
         let routed = runner(4)

@@ -2,16 +2,18 @@
 //! screened through a router must yield bit-identical `(ndf, outcome,
 //! peak_hamming)` results to direct campaign-engine (`TestFlow`) scoring at
 //! backend counts 1, 2 and 4 — and keep doing so, with zero wrong verdicts,
-//! after one backend is killed mid-lot. A campaign scoring through the
+//! after one backend is killed mid-lot, and through a full **rolling
+//! restart** (kill the owner, admin-join a fresh standby, remove the dead
+//! member) at backend counts 2, 4 and 8. A campaign scoring through the
 //! router as its `ScoreTarget` must reproduce the local report exactly.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use analog_signature::dsig::{AcceptanceBand, Signature, TestSetup};
 use analog_signature::engine::{Campaign, CampaignReport, CampaignRunner, DevicePopulation, ScoreTarget};
 use analog_signature::filters::BiquadParams;
-use analog_signature::router::{RouterConfig, RouterHandle, RouterStore};
-use analog_signature::serve::ServeConfig;
+use analog_signature::router::{Backend, RouterConfig, RouterHandle, RouterStore};
+use analog_signature::serve::{GoldenStore, ServeConfig, ServeHandle};
 
 const DEVICES: usize = 1000;
 /// Client-side batch size; deliberately coprime with the router's sub-batch
@@ -119,7 +121,7 @@ fn routed_screening_is_bit_identical_at_every_backend_count() {
 fn routed_screening_survives_a_killed_backend_with_zero_wrong_verdicts() {
     let lot = lot();
     let (router, key) = router_with(4, 97);
-    let owner = router.rank(key)[0];
+    let owner = router.rank_labels(key)[0].clone();
 
     // First half of the lot with the full fleet...
     let half = DEVICES / 2;
@@ -129,13 +131,13 @@ fn routed_screening_survives_a_killed_backend_with_zero_wrong_verdicts() {
     }
     // ...then the owner dies mid-lot and the rest fails over to the replica
     // chain (refreshing the golden from the router store if it has to).
-    router.kill_backend(owner);
+    router.kill(&owner).unwrap();
     for batch in lot.signatures[half..].chunks(BATCH) {
         scores.extend(router.screen(key, batch).unwrap());
     }
     assert_scores_match(&scores, &lot.report.results, "killed-owner");
     assert!(
-        router.backend_down(owner),
+        router.backend_is_down(&owner).unwrap(),
         "the killed owner must be marked down by the health record"
     );
 
@@ -144,6 +146,59 @@ fn routed_screening_survives_a_killed_backend_with_zero_wrong_verdicts() {
     let items: Vec<(u64, Signature)> = lot.signatures[..100].iter().map(|s| (key, s.clone())).collect();
     let multi = router.screen_multi(&items).unwrap();
     assert_scores_match(&multi, &lot.report.results[..100], "killed-owner multi");
+}
+
+#[test]
+fn rolling_restart_mid_lot_keeps_every_verdict_at_all_fleet_sizes() {
+    let lot = lot();
+    for backends in [2usize, 4, 8] {
+        let (router, key) = router_with(backends, 97);
+        let what = format!("rolling-restart backends={backends}");
+        let third = DEVICES / 3;
+        let mut scores = Vec::with_capacity(DEVICES);
+
+        // Phase 1: the original fleet screens the first third of the lot.
+        for batch in lot.signatures[..third].chunks(BATCH) {
+            scores.extend(router.screen(key, batch).unwrap());
+        }
+
+        // Phase 2: the owner dies and a cold standby joins mid-lot — no
+        // operator data shuffling: the join migrates the goldens the
+        // newcomer owns before it enters the rotation.
+        let owner = router.rank_labels(key)[0].clone();
+        router.kill(&owner).unwrap();
+        let epoch_before = router.epoch();
+        let standby_id = 100 + backends as u64;
+        let roster = router
+            .join(Backend::local(
+                standby_id,
+                ServeHandle::spawn(Arc::new(GoldenStore::new()), ServeConfig::default()),
+            ))
+            .unwrap();
+        assert_eq!(roster.epoch, epoch_before + 1, "{what}: join must bump the epoch");
+        assert_eq!(roster.entries.len(), backends + 1);
+        for batch in lot.signatures[third..2 * third].chunks(BATCH) {
+            scores.extend(router.screen(key, batch).unwrap());
+        }
+
+        // Phase 3: the dead member is removed from the fleet outright; the
+        // rest of the lot screens on the reshaped fleet.
+        let roster = router.fleet_leave(&owner).unwrap();
+        assert_eq!(roster.epoch, epoch_before + 2, "{what}: leave must bump the epoch");
+        assert!(roster.entries.iter().all(|entry| entry.label != owner));
+        for batch in lot.signatures[2 * third..].chunks(BATCH) {
+            scores.extend(router.screen(key, batch).unwrap());
+        }
+
+        // Zero wrong verdicts across the kill, the join and the leave.
+        assert_scores_match(&scores, &lot.report.results, &what);
+        // The health report carries the final epoch, and the standby is a
+        // full member: if it now owns the golden, it answers without help.
+        assert_eq!(router.health().epoch, epoch_before + 2, "{what}");
+        assert_eq!(router.backend_count(), backends);
+        let standby = format!("local-{standby_id}");
+        assert!(router.backend_labels().contains(&standby), "{what}");
+    }
 }
 
 #[test]
